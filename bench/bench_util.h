@@ -1,0 +1,57 @@
+#ifndef PGTRIGGERS_BENCH_BENCH_UTIL_H_
+#define PGTRIGGERS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/trigger/database.h"
+
+namespace pgt::bench {
+
+/// Wall-clock stopwatch for the report-style benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void MustExec(Database& db, const std::string& q,
+                     const Params& params = {}) {
+  auto r = db.Execute(q, params);
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n  query: %s\n",
+                 r.status().ToString().c_str(), q.c_str());
+    std::abort();
+  }
+}
+
+inline int64_t MustCount(Database& db, const std::string& q) {
+  auto r = db.Execute(q);
+  if (!r.ok() || r->rows.empty()) {
+    std::fprintf(stderr, "FATAL: %s\n  query: %s\n",
+                 r.status().ToString().c_str(), q.c_str());
+    std::abort();
+  }
+  return r->rows[0][0].int_value();
+}
+
+inline void Banner(const char* id, const char* title) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace pgt::bench
+
+#endif  // PGTRIGGERS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,35 @@
+#ifndef PGTRIGGERS_COMMON_CLOCK_H_
+#define PGTRIGGERS_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace pgt {
+
+/// Deterministic logical clock backing the Cypher DATETIME() function.
+///
+/// Every call advances the clock by one microsecond, so timestamps are
+/// strictly monotone and runs are reproducible (the paper's alert nodes
+/// carry `time: DATETIME()`; with a wall clock, tests and benchmark output
+/// would be nondeterministic). The epoch can be set to a fixed calendar
+/// point when realistic-looking values matter.
+class LogicalClock {
+ public:
+  explicit LogicalClock(int64_t epoch_micros = 0) : now_(epoch_micros) {}
+
+  /// Returns the current instant and advances the clock.
+  int64_t NextMicros() { return now_++; }
+
+  /// Returns the current instant without advancing.
+  int64_t PeekMicros() const { return now_; }
+
+  /// Jumps forward; used by workload generators to model the passage of
+  /// days between admission waves.
+  void AdvanceMicros(int64_t delta) { now_ += delta; }
+
+ private:
+  int64_t now_;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_COMMON_CLOCK_H_

@@ -1,0 +1,51 @@
+#ifndef PGTRIGGERS_COMMON_IDS_H_
+#define PGTRIGGERS_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace pgt {
+
+/// Interned symbol identifiers. Labels, relationship types, and property
+/// keys are interned into dense uint32 ids by the GraphStore dictionaries.
+using LabelId = uint32_t;
+using RelTypeId = uint32_t;
+using PropKeyId = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr uint32_t kInvalidSymbol = 0xFFFFFFFFu;
+
+/// Strongly-typed node identifier. Ids are allocated densely and never
+/// reused after deletion (tombstoning), which keeps transition variables and
+/// undo logs unambiguous across a transaction's lifetime.
+struct NodeId {
+  uint64_t value = 0;
+  bool operator==(const NodeId&) const = default;
+  auto operator<=>(const NodeId&) const = default;
+};
+
+/// Strongly-typed relationship identifier; same allocation discipline as
+/// NodeId.
+struct RelId {
+  uint64_t value = 0;
+  bool operator==(const RelId&) const = default;
+  auto operator<=>(const RelId&) const = default;
+};
+
+}  // namespace pgt
+
+template <>
+struct std::hash<pgt::NodeId> {
+  size_t operator()(const pgt::NodeId& id) const noexcept {
+    return std::hash<uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<pgt::RelId> {
+  size_t operator()(const pgt::RelId& id) const noexcept {
+    return std::hash<uint64_t>{}(id.value ^ 0x9E3779B97F4A7C15ull);
+  }
+};
+
+#endif  // PGTRIGGERS_COMMON_IDS_H_

@@ -1,0 +1,20 @@
+#include "src/common/interner.h"
+
+namespace pgt {
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> StringInterner::Lookup(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace pgt

@@ -1,0 +1,38 @@
+#ifndef PGTRIGGERS_COMMON_INTERNER_H_
+#define PGTRIGGERS_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace pgt {
+
+/// Bidirectional string <-> dense-id dictionary used for labels,
+/// relationship types, and property keys. Ids are assigned in first-seen
+/// order starting at 0 and are stable for the lifetime of the store.
+class StringInterner {
+ public:
+  /// Returns the id for `s`, interning it if unseen.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id for `s` if already interned.
+  std::optional<uint32_t> Lookup(std::string_view s) const;
+
+  /// Returns the string for `id`. Precondition: id < size().
+  const std::string& name(uint32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_COMMON_INTERNER_H_

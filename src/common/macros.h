@@ -1,0 +1,31 @@
+#ifndef PGTRIGGERS_COMMON_MACROS_H_
+#define PGTRIGGERS_COMMON_MACROS_H_
+
+#include <utility>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+/// Error-propagation macros in the Arrow / RocksDB idiom.
+///
+///   PGT_RETURN_IF_ERROR(expr);            // expr yields Status
+///   PGT_ASSIGN_OR_RETURN(auto v, expr);   // expr yields Result<T>
+
+#define PGT_CONCAT_IMPL(x, y) x##y
+#define PGT_CONCAT(x, y) PGT_CONCAT_IMPL(x, y)
+
+#define PGT_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::pgt::Status _pgt_st = (expr);              \
+    if (!_pgt_st.ok()) return _pgt_st;           \
+  } while (0)
+
+#define PGT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define PGT_ASSIGN_OR_RETURN(lhs, expr) \
+  PGT_ASSIGN_OR_RETURN_IMPL(PGT_CONCAT(_pgt_res_, __LINE__), lhs, expr)
+
+#endif  // PGTRIGGERS_COMMON_MACROS_H_

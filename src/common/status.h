@@ -1,0 +1,113 @@
+#ifndef PGTRIGGERS_COMMON_STATUS_H_
+#define PGTRIGGERS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pgt {
+
+/// Canonical error codes used across the library. Modeled after the
+/// RocksDB/Arrow Status idiom: no exceptions cross public API boundaries;
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input from the caller (bad query text, bad options).
+  kInvalidArgument,
+  /// A referenced entity (node, relationship, trigger, label) is missing.
+  kNotFound,
+  /// An entity with the same identity already exists (e.g. trigger name).
+  kAlreadyExists,
+  /// The operation is not legal in the current state (e.g. write in a
+  /// read-only context, commit of an aborted transaction).
+  kFailedPrecondition,
+  /// Lexical or grammatical error in a query / trigger definition.
+  kSyntaxError,
+  /// Operand of the wrong runtime type (e.g. adding a string to a node).
+  kTypeError,
+  /// A PG-Schema or PG-Trigger legality rule was violated (e.g. setting the
+  /// trigger's target label inside its own statement, key violation).
+  kConstraintViolation,
+  /// Trigger cascading exceeded the configured depth limit (runaway rules).
+  kCascadeLimitExceeded,
+  /// The enclosing transaction was rolled back.
+  kAborted,
+  /// Feature recognized but intentionally not implemented.
+  kUnimplemented,
+  /// Internal invariant broken; indicates a bug in the library.
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("Ok",
+/// "SyntaxError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a context message.
+///
+/// Cheap to copy in the OK case (empty message). Use the factory functions
+/// (`Status::OK()`, `Status::SyntaxError("...")`) rather than the raw
+/// constructor.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status SyntaxError(std::string m) {
+    return Status(StatusCode::kSyntaxError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status CascadeLimitExceeded(std::string m) {
+    return Status(StatusCode::kCascadeLimitExceeded, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "SyntaxError: unexpected token 'FOO' at 1:17" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_COMMON_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef PGTRIGGERS_COMMON_STR_UTIL_H_
+#define PGTRIGGERS_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgt {
+
+/// ASCII-uppercased copy (for case-insensitive keyword handling).
+std::string ToUpper(std::string_view s);
+
+/// ASCII-lowercased copy.
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Escapes single quotes and backslashes for embedding in a single-quoted
+/// Cypher string literal.
+std::string EscapeSingleQuoted(std::string_view s);
+
+/// Indents every line of `text` by `spaces` spaces (used by the code
+/// generators to pretty-print APOC / Memgraph trigger bodies).
+std::string Indent(std::string_view text, int spaces);
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_COMMON_STR_UTIL_H_

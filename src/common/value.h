@@ -1,0 +1,155 @@
+#ifndef PGTRIGGERS_COMMON_VALUE_H_
+#define PGTRIGGERS_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace pgt {
+
+/// Calendar date, stored as days since the Unix epoch.
+struct Date {
+  int64_t days = 0;
+  bool operator==(const Date&) const = default;
+  auto operator<=>(const Date&) const = default;
+};
+
+/// Timestamp, stored as microseconds on the engine's logical clock (the
+/// engine uses a deterministic logical clock so that examples and tests are
+/// reproducible; see LogicalClock in src/common/clock.h).
+struct DateTime {
+  int64_t micros = 0;
+  bool operator==(const DateTime&) const = default;
+  auto operator<=>(const DateTime&) const = default;
+};
+
+/// Runtime type tag of a Value.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kList,
+  kMap,
+  kDate,
+  kDateTime,
+  kNode,  ///< reference to a node in the graph store
+  kRel,   ///< reference to a relationship in the graph store
+};
+
+/// Returns a stable name ("NULL", "INTEGER", ...) for a value type.
+const char* ValueTypeName(ValueType t);
+
+/// Dynamic value: the single value model shared by node/relationship
+/// properties, Cypher expression evaluation, query result rows, and trigger
+/// transition variables.
+///
+/// Lists and maps use shared ownership (copy-on-write is not needed at our
+/// scale; copies share the payload, mutation goes through the builders).
+/// Node/relationship values store only the id; the evaluation context
+/// resolves them against the store (including "ghost" records of deleted
+/// items so that OLD transition variables remain readable).
+class Value {
+ public:
+  using List = std::vector<Value>;
+  using Map = std::map<std::string, Value>;  // ordered => deterministic print
+
+  /// Default-constructed Value is NULL.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Double(double d) { return Value(Rep(d)); }
+  static Value String(std::string s) { return Value(Rep(std::move(s))); }
+  static Value MakeList(List items);
+  static Value MakeMap(Map items);
+  static Value MakeDate(int64_t days) { return Value(Rep(Date{days})); }
+  static Value MakeDateTime(int64_t micros) {
+    return Value(Rep(DateTime{micros}));
+  }
+  static Value Node(NodeId id) { return Value(Rep(id)); }
+  static Value Rel(RelId id) { return Value(Rep(id)); }
+
+  ValueType type() const;
+  const char* type_name() const { return ValueTypeName(type()); }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_list() const { return type() == ValueType::kList; }
+  bool is_map() const { return type() == ValueType::kMap; }
+  bool is_node() const { return type() == ValueType::kNode; }
+  bool is_rel() const { return type() == ValueType::kRel; }
+
+  /// Unchecked accessors; caller must verify the type first.
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(rep_);
+  }
+  const List& list_value() const { return *std::get<ListPtr>(rep_); }
+  const Map& map_value() const { return *std::get<MapPtr>(rep_); }
+  Date date_value() const { return std::get<Date>(rep_); }
+  DateTime datetime_value() const { return std::get<DateTime>(rep_); }
+  NodeId node_id() const { return std::get<NodeId>(rep_); }
+  RelId rel_id() const { return std::get<RelId>(rep_); }
+
+  /// Numeric value widened to double (valid for kInt/kDouble).
+  double as_double() const {
+    return is_int() ? static_cast<double>(int_value()) : double_value();
+  }
+
+  /// Structural equality with numeric coercion (1 = 1.0 is true), as in
+  /// Cypher's `=` on non-null operands. NULL = NULL is *true* here; the
+  /// expression evaluator implements SQL/Cypher ternary logic on top.
+  bool Equals(const Value& other) const;
+
+  /// Total order over all values, used for ORDER BY, DISTINCT and grouping:
+  /// NULL sorts last; values of different types order by type tag; numerics
+  /// compare across int/double. Returns <0, 0, >0.
+  int TotalCompare(const Value& other) const;
+
+  /// Rendering close to Cypher literals: strings quoted, lists/maps
+  /// bracketed, nodes as `#n<id>`, relationships as `#r<id>`.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+
+ private:
+  using ListPtr = std::shared_ptr<const List>;
+  using MapPtr = std::shared_ptr<const Map>;
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string,
+                           ListPtr, MapPtr, Date, DateTime, NodeId, RelId>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// Comparator usable as the ordering of std::map / std::sort over Values.
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.TotalCompare(b) < 0;
+  }
+};
+
+/// Lexicographic total order over value tuples (grouping keys).
+struct ValueVectorLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_COMMON_VALUE_H_

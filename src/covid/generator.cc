@@ -1,0 +1,227 @@
+#include "src/covid/generator.h"
+
+#include "src/common/rng.h"
+
+namespace pgt::covid {
+
+namespace {
+
+const char* kRegionNames[] = {"Lombardy", "Tuscany",  "Lazio",
+                              "Veneto",   "Piedmont", "Campania"};
+const char* kHospitalNames[] = {"Sacco",      "Meyer",    "Niguarda",
+                                "Careggi",    "Gemelli",  "Molinette",
+                                "SanRaffaele", "Cardarelli"};
+const char* kProteins[] = {"Spike", "ORF1a", "ORF1b", "N", "E", "M"};
+const char* kEffects[] = {"Enhanced infectivity", "Immune escape",
+                          "Antiviral resistance", "Increased severity"};
+const char* kWho[] = {"Alpha", "Beta", "Gamma", "Delta", "Omicron"};
+const char* kComorbidities[] = {"diabetes", "hypertension", "asthma",
+                                "obesity"};
+
+}  // namespace
+
+CovidDataset GenerateCovidData(GraphStore& store,
+                               const GeneratorOptions& options) {
+  Rng rng(options.seed);
+  CovidDataset data;
+
+  const LabelId l_region = store.InternLabel("Region");
+  const LabelId l_hospital = store.InternLabel("Hospital");
+  const LabelId l_lab = store.InternLabel("Laboratory");
+  const LabelId l_lineage = store.InternLabel("Lineage");
+  const LabelId l_mutation = store.InternLabel("Mutation");
+  const LabelId l_effect = store.InternLabel("CriticalEffect");
+  const LabelId l_patient = store.InternLabel("Patient");
+  const LabelId l_hospitalized = store.InternLabel("HospitalizedPatient");
+  store.InternLabel("IcuPatient");  // used by workloads
+  store.InternLabel("Alert");       // created by triggers
+
+  const RelTypeId r_located = store.InternRelType("LocatedIn");
+  const RelTypeId r_lab_located = store.InternRelType("LabLocatedIn");
+  const RelTypeId r_connected = store.InternRelType("ConnectedTo");
+  const RelTypeId r_risk = store.InternRelType("Risk");
+  const RelTypeId r_found = store.InternRelType("FoundIn");
+  const RelTypeId r_belongs = store.InternRelType("BelongsTo");
+  const RelTypeId r_sequenced = store.InternRelType("SequencedAt");
+  const RelTypeId r_sample = store.InternRelType("HasSample");
+  const RelTypeId r_treated = store.InternRelType("TreatedAt");
+
+  const PropKeyId p_name = store.InternPropKey("name");
+  const PropKeyId p_icu = store.InternPropKey("icuBeds");
+  const PropKeyId p_distance = store.InternPropKey("distance");
+  const PropKeyId p_protein = store.InternPropKey("protein");
+  const PropKeyId p_desc = store.InternPropKey("description");
+  const PropKeyId p_who = store.InternPropKey("whoDesignation");
+  const PropKeyId p_accession = store.InternPropKey("accession");
+  const PropKeyId p_collection = store.InternPropKey("collection");
+  const PropKeyId p_ssn = store.InternPropKey("ssn");
+  const PropKeyId p_sex = store.InternPropKey("sex");
+  const PropKeyId p_comorbidity = store.InternPropKey("comorbidity");
+  const PropKeyId p_vaccinated = store.InternPropKey("vaccinated");
+  const PropKeyId p_id = store.InternPropKey("id");
+  const PropKeyId p_prognosis = store.InternPropKey("prognosis");
+
+  // Regions.
+  const int n_regions =
+      std::min<int>(options.regions,
+                    static_cast<int>(std::size(kRegionNames)));
+  for (int i = 0; i < n_regions; ++i) {
+    data.regions.push_back(store.CreateNode(
+        {l_region}, {{p_name, Value::String(kRegionNames[i])}}));
+  }
+
+  // Hospitals: Sacco is always in Lombardy, Meyer always in Tuscany
+  // (the Section 6.2.3 relocation scenario). Other hospitals draw from the
+  // name pool starting after the two anchors.
+  int hospital_idx = 0;
+  int generic_name_idx = 2;
+  for (int r = 0; r < n_regions; ++r) {
+    for (int h = 0; h < options.hospitals_per_region; ++h) {
+      std::string hospital_name;
+      if (r == 0 && h == 0) {
+        hospital_name = "Sacco";
+      } else if ((r == 1 && h == 0) || (n_regions == 1 && r == 0 && h == 1)) {
+        hospital_name = "Meyer";
+      } else if (generic_name_idx <
+                 static_cast<int>(std::size(kHospitalNames))) {
+        hospital_name = kHospitalNames[generic_name_idx++];
+      } else {
+        hospital_name = "Hospital" + std::to_string(hospital_idx);
+      }
+      const int beds = static_cast<int>(
+          rng.NextInRange(options.icu_beds_min, options.icu_beds_max));
+      NodeId id = store.CreateNode(
+          {l_hospital}, {{p_name, Value::String(hospital_name)},
+                         {p_icu, Value::Int(beds)}});
+      (void)store.CreateRel(id, r_located, data.regions[r], {});
+      if (hospital_name == "Sacco") data.sacco = id;
+      if (hospital_name == "Meyer") data.meyer = id;
+      data.hospitals.push_back(id);
+      ++hospital_idx;
+    }
+  }
+  // Pairwise ConnectedTo with symmetric distances.
+  for (size_t i = 0; i < data.hospitals.size(); ++i) {
+    for (size_t j = i + 1; j < data.hospitals.size(); ++j) {
+      const int64_t d = rng.NextInRange(5, 400);
+      (void)store.CreateRel(data.hospitals[i], r_connected,
+                            data.hospitals[j],
+                            {{p_distance, Value::Int(d)}});
+    }
+  }
+
+  // Laboratories.
+  for (int r = 0; r < n_regions; ++r) {
+    for (int l = 0; l < options.labs_per_region; ++l) {
+      NodeId id = store.CreateNode(
+          {l_lab},
+          {{p_name, Value::String(std::string(kRegionNames[r]) + "-Lab" +
+                                  std::to_string(l + 1))}});
+      (void)store.CreateRel(id, r_lab_located, data.regions[r], {});
+      data.laboratories.push_back(id);
+    }
+  }
+
+  // Lineages: roughly half get a WHO designation.
+  for (int i = 0; i < options.lineages; ++i) {
+    std::map<PropKeyId, Value> props = {
+        {p_name, Value::String("B.1." + std::to_string(i + 1))}};
+    if (rng.NextBool(0.5)) {
+      props[p_who] = Value::String(
+          kWho[rng.NextBelow(std::size(kWho))]);
+    }
+    data.lineages.push_back(store.CreateNode({l_lineage}, std::move(props)));
+  }
+
+  // Critical effects and mutations.
+  for (int i = 0; i < options.critical_effects; ++i) {
+    data.critical_effects.push_back(store.CreateNode(
+        {l_effect},
+        {{p_desc, Value::String(
+              kEffects[i % static_cast<int>(std::size(kEffects))])}}));
+  }
+  for (int i = 0; i < options.mutations; ++i) {
+    const char* protein = kProteins[rng.NextBelow(std::size(kProteins))];
+    NodeId id = store.CreateNode(
+        {l_mutation},
+        {{p_name, Value::String(std::string(protein) + ":D" +
+                                std::to_string(600 + i) + "G")},
+         {p_protein, Value::String(protein)}});
+    if (!data.critical_effects.empty() &&
+        rng.NextBool(options.critical_mutation_fraction)) {
+      (void)store.CreateRel(
+          id, r_risk,
+          data.critical_effects[rng.NextBelow(
+              data.critical_effects.size())],
+          {});
+    }
+    data.mutations.push_back(id);
+  }
+
+  // Patients; a fraction are hospitalized (carrying both labels, the
+  // multi-label encoding of the Figure 4 hierarchy).
+  for (int i = 0; i < options.patients; ++i) {
+    std::map<PropKeyId, Value> props = {
+        {p_ssn, Value::String("SSN" + std::to_string(100000 + i))},
+        {p_name, Value::String("Patient" + std::to_string(i))},
+        {p_sex, Value::String(rng.NextBool(0.5) ? "F" : "M")},
+        {p_vaccinated, Value::Int(rng.NextInRange(0, 4))}};
+    if (rng.NextBool(0.4)) {
+      Value::List com;
+      com.push_back(Value::String(
+          kComorbidities[rng.NextBelow(std::size(kComorbidities))]));
+      props[p_comorbidity] = Value::MakeList(std::move(com));
+    }
+    const bool hospitalized = rng.NextBool(options.hospitalized_fraction);
+    std::vector<LabelId> labels = {l_patient};
+    if (hospitalized) {
+      labels.push_back(l_hospitalized);
+      props[p_id] = Value::Int(i);
+      props[p_prognosis] =
+          Value::String(rng.NextBool(0.3) ? "severe" : "moderate");
+    }
+    NodeId id = store.CreateNode(labels, std::move(props));
+    if (hospitalized && !data.hospitals.empty()) {
+      (void)store.CreateRel(
+          id, r_treated,
+          data.hospitals[rng.NextBelow(data.hospitals.size())], {});
+    }
+    data.patients.push_back(id);
+  }
+
+  // Sequences.
+  for (int i = 0; i < options.sequences; ++i) {
+    NodeId id = store.CreateNode(
+        {store.InternLabel("Sequence")},
+        {{p_accession, Value::String("EPI_ISL_" + std::to_string(40000 + i))},
+         {p_collection, Value::MakeDate(18600 + rng.NextInRange(0, 700))}});
+    if (!data.lineages.empty()) {
+      (void)store.CreateRel(id, r_belongs,
+                            data.lineages[rng.NextBelow(
+                                data.lineages.size())],
+                            {});
+    }
+    if (!data.laboratories.empty()) {
+      (void)store.CreateRel(id, r_sequenced,
+                            data.laboratories[rng.NextBelow(
+                                data.laboratories.size())],
+                            {});
+    }
+    if (!data.patients.empty()) {
+      (void)store.CreateRel(
+          data.patients[rng.NextBelow(data.patients.size())], r_sample, id,
+          {});
+    }
+    // A couple of known mutations per sequence.
+    const int k = static_cast<int>(rng.NextInRange(1, 3));
+    for (int m = 0; m < k && !data.mutations.empty(); ++m) {
+      (void)store.CreateRel(
+          data.mutations[rng.NextBelow(data.mutations.size())], r_found, id,
+          {});
+    }
+    data.sequences.push_back(id);
+  }
+  return data;
+}
+
+}  // namespace pgt::covid

@@ -1,0 +1,98 @@
+#include "src/covid/schema.h"
+
+namespace pgt::covid {
+
+using schema::EdgeTypeSpec;
+using schema::NodeTypeSpec;
+using schema::PropertySpec;
+using schema::PropType;
+using schema::SchemaDef;
+
+SchemaDef BuildCovidSchema() {
+  SchemaDef s;
+  s.name = "CovidGraphType";
+  s.strict = true;
+
+  auto node = [&](const std::string& type_name, const std::string& label,
+                  const std::string& parent, bool open,
+                  std::vector<PropertySpec> props) {
+    NodeTypeSpec t;
+    t.type_name = type_name;
+    t.label = label;
+    t.parent = parent;
+    t.open = open;
+    t.props = std::move(props);
+    s.node_types.push_back(std::move(t));
+  };
+  auto edge = [&](const std::string& type_name, const std::string& rel,
+                  const std::string& src, const std::string& dst,
+                  std::vector<PropertySpec> props = {}) {
+    EdgeTypeSpec e;
+    e.type_name = type_name;
+    e.rel_type = rel;
+    e.src_type = src;
+    e.dst_type = dst;
+    e.props = std::move(props);
+    s.edge_types.push_back(std::move(e));
+  };
+  auto p = [](const std::string& name, PropType type, bool optional = false,
+              bool key = false) {
+    PropertySpec spec;
+    spec.name = name;
+    spec.type = type;
+    spec.optional = optional;
+    spec.is_key = key;
+    return spec;
+  };
+
+  // Node types (Figure 4).
+  node("MutationType", "Mutation", "", false,
+       {p("name", PropType::kString), p("protein", PropType::kString)});
+  node("CriticalEffectType", "CriticalEffect", "", false,
+       {p("description", PropType::kString)});
+  node("SequenceType", "Sequence", "", false,
+       {p("accession", PropType::kString, false, true),
+        p("collection", PropType::kDate)});
+  node("LineageType", "Lineage", "", false,
+       {p("name", PropType::kString),
+        p("whoDesignation", PropType::kString, true)});
+  node("LaboratoryType", "Laboratory", "", false,
+       {p("name", PropType::kString)});
+  node("RegionType", "Region", "", false, {p("name", PropType::kString)});
+  node("PatientType", "Patient", "", false,
+       {p("ssn", PropType::kString, false, true),
+        p("name", PropType::kString), p("sex", PropType::kChar),
+        p("comorbidity", PropType::kStringArray, true),
+        p("vaccinated", PropType::kInt)});
+  node("HospitalizedPatientType", "HospitalizedPatient", "PatientType",
+       false,
+       {p("id", PropType::kInt), p("prognosis", PropType::kString)});
+  node("IcuPatientType", "IcuPatient", "HospitalizedPatientType", false,
+       {p("admission", PropType::kDate),
+        p("admittedToICU", PropType::kBool, true)});
+  node("HospitalType", "Hospital", "", false,
+       {p("name", PropType::kString), p("icuBeds", PropType::kInt)});
+  // Alert is OPEN: triggers attach arbitrary extra properties (Section
+  // 6.2: "of a new, OPEN type (allowing for the inclusion of arbitrary
+  // properties)").
+  node("AlertType", "Alert", "", true,
+       {p("time", PropType::kDateTime), p("desc", PropType::kString)});
+
+  // Edge types (Figure 4).
+  edge("RiskType", "Risk", "MutationType", "CriticalEffectType");
+  edge("FoundInType", "FoundIn", "MutationType", "SequenceType");
+  edge("BelongsToType", "BelongsTo", "SequenceType", "LineageType");
+  edge("SequencedAtType", "SequencedAt", "SequenceType", "LaboratoryType");
+  edge("LabLocatedInType", "LabLocatedIn", "LaboratoryType", "RegionType");
+  edge("HasSampleType", "HasSample", "PatientType", "SequenceType");
+  edge("TreatedAtType", "TreatedAt", "HospitalizedPatientType",
+       "HospitalType");
+  edge("LocatedInType", "LocatedIn", "HospitalType", "RegionType");
+  edge("ConnectedToType", "ConnectedTo", "HospitalType", "HospitalType",
+       {p("distance", PropType::kInt)});
+  return s;
+}
+
+std::string CovidSchemaDdl() { return BuildCovidSchema().ToDdl(); }
+
+}  // namespace pgt::covid

@@ -1,0 +1,24 @@
+#ifndef PGTRIGGERS_COVID_SCHEMA_H_
+#define PGTRIGGERS_COVID_SCHEMA_H_
+
+#include <string>
+
+#include "src/schema/pg_schema.h"
+
+namespace pgt::covid {
+
+/// The PG-Schema of the paper's running example (Figures 4 and 5): the
+/// CoV2K excerpt with Mutation, CriticalEffect, Sequence, Lineage,
+/// Laboratory, Region, Patient (with the HospitalizedPatient and
+/// IcuPatient hierarchy), Hospital, the Alert OPEN type the triggers
+/// create, and the Risk / FoundIn / BelongsTo / SequencedAt / LocatedIn /
+/// HasSample / TreatedAt / ConnectedTo relationships.
+schema::SchemaDef BuildCovidSchema();
+
+/// The same schema as Figure 5-style DDL text (parses back through
+/// ParseSchemaDdl to an equivalent schema).
+std::string CovidSchemaDdl();
+
+}  // namespace pgt::covid
+
+#endif  // PGTRIGGERS_COVID_SCHEMA_H_

@@ -1,0 +1,42 @@
+#ifndef PGTRIGGERS_COVID_TRIGGERS_H_
+#define PGTRIGGERS_COVID_TRIGGERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/trigger/database.h"
+
+namespace pgt::covid {
+
+/// The six PG-Triggers of Section 6.2, in the paper's order, as executable
+/// DDL in our concrete syntax. Adaptations from the paper's informal
+/// listings are mechanical and documented inline in triggers.cc:
+/// integer-division guards (toFloat), explicit WITH carries, and the
+/// FOREACH-based rendering of the relocation actions (the paper's
+/// `THEN BEGIN ... END` pseudo-syntax).
+///
+///   [0] NewCriticalMutation        AFTER CREATE ON Mutation   FOR EACH
+///   [1] NewCriticalLineage         AFTER CREATE ON BelongsTo  FOR EACH REL
+///   [2] WhoDesignationChange       AFTER SET ON Lineage.whoDesignation
+///   [3] IcuPatientsOverThreshold   AFTER CREATE ON IcuPatient FOR ALL
+///   [4] IcuPatientIncrease         AFTER CREATE ON IcuPatient FOR ALL
+///   [5] IcuPatientMove             AFTER CREATE ON IcuPatient FOR ALL
+///   [6] MoveToNearHospital         AFTER CREATE ON IcuPatient FOR EACH
+std::vector<std::string> PaperTriggerDdl();
+
+/// Names of the paper triggers, aligned with PaperTriggerDdl().
+std::vector<std::string> PaperTriggerNames();
+
+/// MoveToNearHospital without the destination-capacity guard: the
+/// Section 6.2.3 variant whose cascade "may not converge if ICU beds in
+/// close hospitals are also exceeded".
+std::string UnguardedMoveTriggerDdl();
+
+/// Installs a subset of the paper triggers (all by default).
+Status InstallPaperTriggers(Database& db,
+                            const std::vector<std::string>& only = {});
+
+}  // namespace pgt::covid
+
+#endif  // PGTRIGGERS_COVID_TRIGGERS_H_

@@ -1,0 +1,132 @@
+#include "src/covid/workload.h"
+
+#include "src/common/macros.h"
+
+namespace pgt::covid {
+
+Status AdmitIcuPatients(Database& db, const std::string& hospital, int n,
+                        int64_t id_base) {
+  Params params;
+  params["hospital"] = Value::String(hospital);
+  params["n"] = Value::Int(n);
+  params["base"] = Value::Int(id_base);
+  return db
+      .Execute(
+          "MATCH (h:Hospital {name: $hospital}) "
+          "UNWIND RANGE(1, $n) AS i "
+          "CREATE (p:Patient:HospitalizedPatient:IcuPatient "
+          "{ssn: 'WSSN' + toString($base + i), "
+          " name: 'WavePatient' + toString($base + i), sex: 'F', "
+          " vaccinated: 2, id: $base + i, prognosis: 'severe', "
+          " admission: DATE()}) "
+          "CREATE (p)-[:TreatedAt]->(h)",
+          params)
+      .status();
+}
+
+Status RegisterMutation(Database& db, const std::string& name,
+                        const std::string& protein, bool critical) {
+  Params params;
+  params["name"] = Value::String(name);
+  params["protein"] = Value::String(protein);
+  if (critical) {
+    return db
+        .Execute(
+            "MATCH (c:CriticalEffect) WITH c LIMIT 1 "
+            "CREATE (m:Mutation {name: $name, protein: $protein}) "
+            "CREATE (m)-[:Risk]->(c)",
+            params)
+        .status();
+  }
+  return db
+      .Execute("CREATE (:Mutation {name: $name, protein: $protein})", params)
+      .status();
+}
+
+Status RegisterSequence(Database& db, const std::string& accession,
+                        const std::string& lineage_name,
+                        const std::string& mutation_name) {
+  Params params;
+  params["accession"] = Value::String(accession);
+  params["lineage"] = Value::String(lineage_name);
+  params["mutation"] = Value::String(mutation_name);
+  return db
+      .Execute(
+          "MATCH (l:Lineage {name: $lineage}) "
+          "MATCH (m:Mutation {name: $mutation}) "
+          "MATCH (p:Patient) WITH l, m, p LIMIT 1 "
+          "CREATE (s:Sequence {accession: $accession, collection: DATE()}) "
+          "CREATE (p)-[:HasSample]->(s) "
+          "CREATE (m)-[:FoundIn]->(s) "
+          "CREATE (s)-[:BelongsTo]->(l)",
+          params)
+      .status();
+}
+
+Status ChangeWhoDesignation(Database& db, const std::string& lineage_name,
+                            const std::string& designation) {
+  Params params;
+  params["lineage"] = Value::String(lineage_name);
+  params["who"] = Value::String(designation);
+  return db
+      .Execute(
+          "MATCH (l:Lineage {name: $lineage}) SET l.whoDesignation = $who",
+          params)
+      .status();
+}
+
+Result<int64_t> CountAlerts(Database& db) {
+  PGT_ASSIGN_OR_RETURN(auto result,
+                       db.Execute("MATCH (a:Alert) RETURN COUNT(*) AS n"));
+  return result.rows[0][0].int_value();
+}
+
+Result<int64_t> CountIcuAt(Database& db, const std::string& hospital) {
+  Params params;
+  params["hospital"] = Value::String(hospital);
+  PGT_ASSIGN_OR_RETURN(
+      auto result,
+      db.Execute("MATCH (p:IcuPatient)-[:TreatedAt]-"
+                 "(h:Hospital {name: $hospital}) RETURN COUNT(p) AS n",
+                 params));
+  return result.rows[0][0].int_value();
+}
+
+Result<ScenarioOutcome> RunCovidScenario(Database& db,
+                                         const CovidDataset& data,
+                                         int admission_waves,
+                                         int patients_per_wave) {
+  (void)data;
+  // Molecular-surveillance stream: new mutations, some critical.
+  PGT_RETURN_IF_ERROR(
+      RegisterMutation(db, "Spike:N501Y", "Spike", /*critical=*/true));
+  PGT_RETURN_IF_ERROR(
+      RegisterMutation(db, "ORF1a:T265I", "ORF1a", /*critical=*/false));
+  PGT_RETURN_IF_ERROR(
+      RegisterMutation(db, "Spike:E484K", "Spike", /*critical=*/true));
+
+  // Sequencing stream: the critical mutation shows up in a new lineage.
+  PGT_RETURN_IF_ERROR(
+      RegisterSequence(db, "EPI_ISL_900001", "B.1.1", "Spike:N501Y"));
+  PGT_RETURN_IF_ERROR(
+      RegisterSequence(db, "EPI_ISL_900002", "B.1.2", "ORF1a:T265I"));
+
+  // WHO designation updates (set, then an actual change).
+  PGT_RETURN_IF_ERROR(ChangeWhoDesignation(db, "B.1.1", "Indian"));
+  PGT_RETURN_IF_ERROR(ChangeWhoDesignation(db, "B.1.1", "Delta"));
+
+  // Admission waves at Sacco (the hospitalization surge).
+  for (int w = 0; w < admission_waves; ++w) {
+    PGT_RETURN_IF_ERROR(AdmitIcuPatients(db, "Sacco", patients_per_wave,
+                                         1000 + w * patients_per_wave));
+  }
+
+  ScenarioOutcome outcome;
+  PGT_ASSIGN_OR_RETURN(outcome.alerts, CountAlerts(db));
+  PGT_ASSIGN_OR_RETURN(outcome.icu_at_sacco, CountIcuAt(db, "Sacco"));
+  PGT_ASSIGN_OR_RETURN(outcome.icu_at_meyer, CountIcuAt(db, "Meyer"));
+  outcome.statements = db.stats().statements;
+  return outcome;
+}
+
+}  // namespace pgt::covid

@@ -1,0 +1,64 @@
+#ifndef PGTRIGGERS_COVID_WORKLOAD_H_
+#define PGTRIGGERS_COVID_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/covid/generator.h"
+#include "src/trigger/database.h"
+
+namespace pgt::covid {
+
+/// Event-stream drivers for the Section 6 scenario. Each call is one
+/// transaction (the paper assumes, e.g., that "admissions are periodically
+/// registered by a transaction").
+
+/// Admits `n` new ICU patients to `hospital` in a single transaction
+/// (creates Patient:HospitalizedPatient:IcuPatient nodes and their
+/// TreatedAt relationships). `id_base` keeps ssn/id unique across waves.
+Status AdmitIcuPatients(Database& db, const std::string& hospital, int n,
+                        int64_t id_base);
+
+/// Registers a new mutation; when `critical`, links it to an existing
+/// CriticalEffect in the same statement (activating NewCriticalMutation).
+Status RegisterMutation(Database& db, const std::string& name,
+                        const std::string& protein, bool critical);
+
+/// Registers a newly sequenced genome carrying `mutation_name`, sampled
+/// from an existing patient, and assigns it to `lineage_name`
+/// (activating NewCriticalLineage when the mutation is critical).
+Status RegisterSequence(Database& db, const std::string& accession,
+                        const std::string& lineage_name,
+                        const std::string& mutation_name);
+
+/// Sets/changes a lineage's WHO designation (activating
+/// WhoDesignationChange when it actually changes).
+Status ChangeWhoDesignation(Database& db, const std::string& lineage_name,
+                            const std::string& designation);
+
+/// Number of Alert nodes currently in the graph.
+Result<int64_t> CountAlerts(Database& db);
+
+/// Number of ICU patients treated at the named hospital.
+Result<int64_t> CountIcuAt(Database& db, const std::string& hospital);
+
+/// Counters produced by RunCovidScenario.
+struct ScenarioOutcome {
+  int64_t alerts = 0;
+  int64_t icu_at_sacco = 0;
+  int64_t icu_at_meyer = 0;
+  uint64_t statements = 0;
+};
+
+/// Drives the full Section 6 narrative against a database with generated
+/// data and installed triggers: critical-mutation discoveries, sequencing
+/// batches, designation changes, and admission waves that overflow Sacco.
+Result<ScenarioOutcome> RunCovidScenario(Database& db,
+                                         const CovidDataset& data,
+                                         int admission_waves = 6,
+                                         int patients_per_wave = 12);
+
+}  // namespace pgt::covid
+
+#endif  // PGTRIGGERS_COVID_WORKLOAD_H_

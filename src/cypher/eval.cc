@@ -1,0 +1,494 @@
+#include "src/cypher/eval.h"
+
+#include <cmath>
+
+#include "src/common/macros.h"
+#include "src/common/str_util.h"
+#include "src/cypher/functions.h"
+#include "src/cypher/matcher.h"
+
+namespace pgt::cypher {
+
+const Value* Row::Get(const std::string& name) const {
+  for (const auto& [k, v] : cols) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+void Row::Set(const std::string& name, Value v) {
+  for (auto& [k, val] : cols) {
+    if (k == name) {
+      val = std::move(v);
+      return;
+    }
+  }
+  cols.emplace_back(name, std::move(v));
+}
+
+bool IsAggregateFunctionName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  return lower == "count" || lower == "sum" || lower == "avg" ||
+         lower == "min" || lower == "max" || lower == "collect";
+}
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == Expr::Kind::kCountStar) return true;
+  if (e.kind == Expr::Kind::kFunc && IsAggregateFunctionName(e.name)) {
+    return true;
+  }
+  if (e.kind == Expr::Kind::kExists) return false;  // own scope
+  if (e.a && ContainsAggregate(*e.a)) return true;
+  if (e.b && ContainsAggregate(*e.b)) return true;
+  if (e.c && ContainsAggregate(*e.c)) return true;
+  for (const ExprPtr& arg : e.args) {
+    if (ContainsAggregate(*arg)) return true;
+  }
+  for (const auto& [k, v] : e.map_entries) {
+    (void)k;
+    if (ContainsAggregate(*v)) return true;
+  }
+  for (const auto& [w, t] : e.whens) {
+    if (ContainsAggregate(*w) || ContainsAggregate(*t)) return true;
+  }
+  return false;
+}
+
+Value ReadItemProp(EvalContext& ctx, const Value& item, PropKeyId key) {
+  if (item.is_node()) return ctx.tx->ReadNodeProp(item.node_id(), key);
+  if (item.is_rel()) return ctx.tx->ReadRelProp(item.rel_id(), key);
+  return Value::Null();
+}
+
+std::vector<LabelId> ReadItemLabels(EvalContext& ctx, const Value& item) {
+  if (item.is_node()) return ctx.tx->ReadNodeLabels(item.node_id());
+  return {};
+}
+
+namespace {
+
+Status TypeErr(const Expr& e, const std::string& msg) {
+  return Status::TypeError(msg + " at " + std::to_string(e.line) + ":" +
+                           std::to_string(e.col));
+}
+
+/// Three-valued logic encoding: -1 = null, 0 = false, 1 = true.
+int Tri(const Value& v) {
+  if (v.is_null()) return -1;
+  return v.bool_value() ? 1 : 0;
+}
+
+Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
+                         EvalContext& ctx) {
+  (void)ctx;
+  switch (e.bin_op) {
+    case BinOp::kAnd: {
+      const int x = Tri(a), y = Tri(b);
+      if (!a.is_null() && !a.is_bool()) {
+        return TypeErr(e, "AND requires booleans");
+      }
+      if (!b.is_null() && !b.is_bool()) {
+        return TypeErr(e, "AND requires booleans");
+      }
+      if (x == 0 || y == 0) return Value::Bool(false);
+      if (x == 1 && y == 1) return Value::Bool(true);
+      return Value::Null();
+    }
+    case BinOp::kOr: {
+      const int x = Tri(a), y = Tri(b);
+      if (!a.is_null() && !a.is_bool()) {
+        return TypeErr(e, "OR requires booleans");
+      }
+      if (!b.is_null() && !b.is_bool()) {
+        return TypeErr(e, "OR requires booleans");
+      }
+      if (x == 1 || y == 1) return Value::Bool(true);
+      if (x == 0 && y == 0) return Value::Bool(false);
+      return Value::Null();
+    }
+    case BinOp::kXor: {
+      const int x = Tri(a), y = Tri(b);
+      if (x < 0 || y < 0) return Value::Null();
+      return Value::Bool((x == 1) != (y == 1));
+    }
+    case BinOp::kEq:
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::Bool(a.Equals(b));
+    case BinOp::kNe:
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::Bool(!a.Equals(b));
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      const bool comparable =
+          (a.is_numeric() && b.is_numeric()) ||
+          (a.is_string() && b.is_string()) ||
+          (a.is_bool() && b.is_bool()) ||
+          (a.type() == ValueType::kDate && b.type() == ValueType::kDate) ||
+          (a.type() == ValueType::kDateTime &&
+           b.type() == ValueType::kDateTime);
+      if (!comparable) return Value::Null();
+      const int c = a.TotalCompare(b);
+      switch (e.bin_op) {
+        case BinOp::kLt:
+          return Value::Bool(c < 0);
+        case BinOp::kLe:
+          return Value::Bool(c <= 0);
+        case BinOp::kGt:
+          return Value::Bool(c > 0);
+        default:
+          return Value::Bool(c >= 0);
+      }
+    }
+    case BinOp::kAdd: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.is_string() || b.is_string()) {
+        auto raw = [](const Value& v) {
+          return v.is_string() ? v.string_value() : v.ToString();
+        };
+        return Value::String(raw(a) + raw(b));
+      }
+      if (a.is_list() || b.is_list()) {
+        Value::List out;
+        if (a.is_list()) {
+          out = a.list_value();
+        } else {
+          out.push_back(a);
+        }
+        if (b.is_list()) {
+          for (const Value& v : b.list_value()) out.push_back(v);
+        } else {
+          out.push_back(b);
+        }
+        return Value::MakeList(std::move(out));
+      }
+      if (a.is_int() && b.is_int()) {
+        return Value::Int(a.int_value() + b.int_value());
+      }
+      if (a.is_numeric() && b.is_numeric()) {
+        return Value::Double(a.as_double() + b.as_double());
+      }
+      return TypeErr(e, std::string("cannot add ") + a.type_name() + " and " +
+                            b.type_name());
+    }
+    case BinOp::kSub: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.is_int() && b.is_int()) {
+        return Value::Int(a.int_value() - b.int_value());
+      }
+      if (a.is_numeric() && b.is_numeric()) {
+        return Value::Double(a.as_double() - b.as_double());
+      }
+      return TypeErr(e, "subtraction requires numbers");
+    }
+    case BinOp::kMul: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.is_int() && b.is_int()) {
+        return Value::Int(a.int_value() * b.int_value());
+      }
+      if (a.is_numeric() && b.is_numeric()) {
+        return Value::Double(a.as_double() * b.as_double());
+      }
+      return TypeErr(e, "multiplication requires numbers");
+    }
+    case BinOp::kDiv: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.is_int() && b.is_int()) {
+        if (b.int_value() == 0) return TypeErr(e, "division by zero");
+        return Value::Int(a.int_value() / b.int_value());
+      }
+      if (a.is_numeric() && b.is_numeric()) {
+        if (b.as_double() == 0.0) return TypeErr(e, "division by zero");
+        return Value::Double(a.as_double() / b.as_double());
+      }
+      return TypeErr(e, "division requires numbers");
+    }
+    case BinOp::kMod: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (a.is_int() && b.is_int()) {
+        if (b.int_value() == 0) return TypeErr(e, "modulo by zero");
+        return Value::Int(a.int_value() % b.int_value());
+      }
+      if (a.is_numeric() && b.is_numeric()) {
+        return Value::Double(std::fmod(a.as_double(), b.as_double()));
+      }
+      return TypeErr(e, "modulo requires numbers");
+    }
+    case BinOp::kPow: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (!a.is_numeric() || !b.is_numeric()) {
+        return TypeErr(e, "exponentiation requires numbers");
+      }
+      return Value::Double(std::pow(a.as_double(), b.as_double()));
+    }
+    case BinOp::kIn: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (!b.is_list()) return TypeErr(e, "IN requires a list");
+      bool saw_null = false;
+      for (const Value& v : b.list_value()) {
+        if (v.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (a.Equals(v)) return Value::Bool(true);
+      }
+      return saw_null ? Value::Null() : Value::Bool(false);
+    }
+    case BinOp::kStartsWith:
+    case BinOp::kEndsWith:
+    case BinOp::kContains: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (!a.is_string() || !b.is_string()) {
+        return TypeErr(e, "string predicate requires strings");
+      }
+      const std::string& s = a.string_value();
+      const std::string& t = b.string_value();
+      bool r = false;
+      if (e.bin_op == BinOp::kStartsWith) {
+        r = s.size() >= t.size() && s.compare(0, t.size(), t) == 0;
+      } else if (e.bin_op == BinOp::kEndsWith) {
+        r = s.size() >= t.size() &&
+            s.compare(s.size() - t.size(), t.size(), t) == 0;
+      } else {
+        r = s.find(t) != std::string::npos;
+      }
+      return Value::Bool(r);
+    }
+  }
+  return TypeErr(e, "unknown binary operator");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, const Row& row, EvalContext& ctx) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.value;
+    case Expr::Kind::kParam: {
+      if (ctx.params != nullptr) {
+        auto it = ctx.params->find(e.name);
+        if (it != ctx.params->end()) return it->second;
+      }
+      return Status::InvalidArgument("unbound parameter $" + e.name);
+    }
+    case Expr::Kind::kVar: {
+      const Value* v = row.Get(e.name);
+      if (v != nullptr) return *v;
+      return Status::InvalidArgument("unbound variable '" + e.name + "' at " +
+                                     std::to_string(e.line) + ":" +
+                                     std::to_string(e.col));
+    }
+    case Expr::Kind::kProp: {
+      PGT_ASSIGN_OR_RETURN(Value base, EvalExpr(*e.a, row, ctx));
+      if (base.is_null()) return Value::Null();
+      if (base.is_map()) {
+        auto it = base.map_value().find(e.name);
+        return it == base.map_value().end() ? Value::Null() : it->second;
+      }
+      if (!base.is_node() && !base.is_rel()) {
+        return TypeErr(e, "property access on " +
+                              std::string(base.type_name()));
+      }
+      auto key = ctx.store()->LookupPropKey(e.name);
+      if (!key.has_value()) return Value::Null();
+      // OLD transition views: reads through an old-view variable see the
+      // pre-event property image.
+      if (ctx.transition != nullptr && e.a->kind == Expr::Kind::kVar &&
+          ctx.transition->old_view_vars.count(e.a->name) > 0) {
+        const auto& overlays = base.is_node()
+                                   ? ctx.transition->old_node_props
+                                   : ctx.transition->old_rel_props;
+        const uint64_t id =
+            base.is_node() ? base.node_id().value : base.rel_id().value;
+        auto oit = overlays.find(id);
+        if (oit != overlays.end()) {
+          auto pit = oit->second.find(*key);
+          if (pit != oit->second.end()) return pit->second;
+        }
+      }
+      return ReadItemProp(ctx, base, *key);
+    }
+    case Expr::Kind::kBinary: {
+      PGT_ASSIGN_OR_RETURN(Value a, EvalExpr(*e.a, row, ctx));
+      // Short-circuit when possible (left false AND, left true OR).
+      if (e.bin_op == BinOp::kAnd && a.is_bool() && !a.bool_value()) {
+        return Value::Bool(false);
+      }
+      if (e.bin_op == BinOp::kOr && a.is_bool() && a.bool_value()) {
+        return Value::Bool(true);
+      }
+      PGT_ASSIGN_OR_RETURN(Value b, EvalExpr(*e.b, row, ctx));
+      return EvalBinary(e, a, b, ctx);
+    }
+    case Expr::Kind::kUnary: {
+      PGT_ASSIGN_OR_RETURN(Value a, EvalExpr(*e.a, row, ctx));
+      switch (e.un_op) {
+        case UnOp::kNot: {
+          const int t = Tri(a);
+          if (!a.is_null() && !a.is_bool()) {
+            return TypeErr(e, "NOT requires a boolean");
+          }
+          if (t < 0) return Value::Null();
+          return Value::Bool(t == 0);
+        }
+        case UnOp::kNeg:
+          if (a.is_null()) return Value::Null();
+          if (a.is_int()) return Value::Int(-a.int_value());
+          if (a.is_double()) return Value::Double(-a.double_value());
+          return TypeErr(e, "negation requires a number");
+        case UnOp::kIsNull:
+          return Value::Bool(a.is_null());
+        case UnOp::kIsNotNull:
+          return Value::Bool(!a.is_null());
+      }
+      return TypeErr(e, "unknown unary operator");
+    }
+    case Expr::Kind::kFunc: {
+      if (IsAggregateFunctionName(e.name)) {
+        return Status::InvalidArgument(
+            "aggregate function " + e.name +
+            " is only allowed in WITH/RETURN projections");
+      }
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const ExprPtr& arg : e.args) {
+        PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, row, ctx));
+        args.push_back(std::move(v));
+      }
+      return CallBuiltin(e.name, args, ctx, e.line, e.col);
+    }
+    case Expr::Kind::kCountStar:
+      return Status::InvalidArgument(
+          "COUNT(*) is only allowed in WITH/RETURN projections");
+    case Expr::Kind::kList: {
+      Value::List items;
+      items.reserve(e.args.size());
+      for (const ExprPtr& arg : e.args) {
+        PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, row, ctx));
+        items.push_back(std::move(v));
+      }
+      return Value::MakeList(std::move(items));
+    }
+    case Expr::Kind::kMap: {
+      Value::Map m;
+      for (const auto& [k, ve] : e.map_entries) {
+        PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*ve, row, ctx));
+        m[k] = std::move(v);
+      }
+      return Value::MakeMap(std::move(m));
+    }
+    case Expr::Kind::kIndex: {
+      PGT_ASSIGN_OR_RETURN(Value base, EvalExpr(*e.a, row, ctx));
+      PGT_ASSIGN_OR_RETURN(Value idx, EvalExpr(*e.b, row, ctx));
+      if (base.is_null() || idx.is_null()) return Value::Null();
+      if (base.is_list()) {
+        if (!idx.is_int()) return TypeErr(e, "list index must be an integer");
+        int64_t i = idx.int_value();
+        const auto& list = base.list_value();
+        const int64_t n = static_cast<int64_t>(list.size());
+        if (i < 0) i += n;
+        if (i < 0 || i >= n) return Value::Null();
+        return list[static_cast<size_t>(i)];
+      }
+      if (base.is_map()) {
+        if (!idx.is_string()) return TypeErr(e, "map key must be a string");
+        auto it = base.map_value().find(idx.string_value());
+        return it == base.map_value().end() ? Value::Null() : it->second;
+      }
+      return TypeErr(e, "indexing requires a list or map");
+    }
+    case Expr::Kind::kCase: {
+      if (e.a) {
+        PGT_ASSIGN_OR_RETURN(Value operand, EvalExpr(*e.a, row, ctx));
+        for (const auto& [w, t] : e.whens) {
+          PGT_ASSIGN_OR_RETURN(Value wv, EvalExpr(*w, row, ctx));
+          if (!operand.is_null() && !wv.is_null() && operand.Equals(wv)) {
+            return EvalExpr(*t, row, ctx);
+          }
+        }
+      } else {
+        for (const auto& [w, t] : e.whens) {
+          PGT_ASSIGN_OR_RETURN(Value wv, EvalExpr(*w, row, ctx));
+          if (wv.is_bool() && wv.bool_value()) {
+            return EvalExpr(*t, row, ctx);
+          }
+        }
+      }
+      if (e.c) return EvalExpr(*e.c, row, ctx);
+      return Value::Null();
+    }
+    case Expr::Kind::kExists: {
+      PGT_ASSIGN_OR_RETURN(
+          bool found,
+          PatternExists(*e.pattern, e.pattern_where.get(), row, ctx));
+      return Value::Bool(found);
+    }
+    case Expr::Kind::kListComp: {
+      PGT_ASSIGN_OR_RETURN(Value list, EvalExpr(*e.a, row, ctx));
+      if (list.is_null()) return Value::Null();
+      if (!list.is_list()) {
+        return TypeErr(e, "list comprehension requires a list");
+      }
+      Value::List out;
+      for (const Value& item : list.list_value()) {
+        Row scoped = row;
+        scoped.Set(e.name, item);
+        if (e.b != nullptr) {
+          PGT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*e.b, scoped, ctx));
+          if (!pass) continue;
+        }
+        if (e.c != nullptr) {
+          PGT_ASSIGN_OR_RETURN(Value projected, EvalExpr(*e.c, scoped, ctx));
+          out.push_back(std::move(projected));
+        } else {
+          out.push_back(item);
+        }
+      }
+      return Value::MakeList(std::move(out));
+    }
+    case Expr::Kind::kLabelTest: {
+      PGT_ASSIGN_OR_RETURN(Value base, EvalExpr(*e.a, row, ctx));
+      if (base.is_null()) return Value::Null();
+      if (!base.is_node()) {
+        return TypeErr(e, "label test requires a node");
+      }
+      // Transition pseudo-labels may appear in label tests too
+      // (e.g. `x:NEWNODES`): test membership in the transition set.
+      std::vector<LabelId> labels = ReadItemLabels(ctx, base);
+      for (const std::string& name : e.labels) {
+        const TransitionEnv::SetBinding* set =
+            ctx.transition != nullptr ? ctx.transition->FindSet(name)
+                                      : nullptr;
+        if (set != nullptr) {
+          const uint64_t id = base.node_id().value;
+          bool member = set->is_node &&
+                        std::find(set->ids.begin(), set->ids.end(), id) !=
+                            set->ids.end();
+          if (!member) return Value::Bool(false);
+          continue;
+        }
+        auto lid = ctx.store()->LookupLabel(name);
+        if (!lid.has_value() ||
+            !std::binary_search(labels.begin(), labels.end(), *lid)) {
+          return Value::Bool(false);
+        }
+      }
+      return Value::Bool(true);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& e, const Row& row, EvalContext& ctx) {
+  PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(e, row, ctx));
+  if (v.is_null()) return false;
+  if (!v.is_bool()) {
+    return TypeErr(e, "predicate must be boolean, got " +
+                          std::string(v.type_name()));
+  }
+  return v.bool_value();
+}
+
+}  // namespace pgt::cypher

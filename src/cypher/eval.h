@@ -1,0 +1,101 @@
+#ifndef PGTRIGGERS_CYPHER_EVAL_H_
+#define PGTRIGGERS_CYPHER_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/common/value.h"
+#include "src/cypher/ast.h"
+#include "src/tx/transaction.h"
+
+namespace pgt::cypher {
+
+/// A binding row flowing through the clause pipeline. Kept as a small
+/// ordered vector (queries bind few variables); lookups are linear.
+struct Row {
+  std::vector<std::pair<std::string, Value>> cols;
+
+  const Value* Get(const std::string& name) const;
+  bool Has(const std::string& name) const { return Get(name) != nullptr; }
+  /// Sets (overwriting an existing binding of the same name).
+  void Set(const std::string& name, Value v);
+};
+
+/// Transition-variable environment injected by the trigger engine
+/// (Section 4.2 "Transition Variables"; DESIGN.md D6).
+///
+/// * `singles` binds item-granularity variables (OLD / NEW or their
+///   REFERENCING aliases) to node/relationship values; they are seeded into
+///   the statement's initial row.
+/// * `sets` binds set-granularity names (OLDNODES / NEWNODES / OLDRELS /
+///   NEWRELS or aliases). These act as *pseudo-labels* in patterns —
+///   `MATCH (pn:NEWNODES)` filters to the transition set — and are also
+///   seeded as list values.
+/// * `old_view_vars` lists variable names whose property reads must see the
+///   OLD images (old_node_props / old_rel_props overlays; falls back to the
+///   ghost record for deleted items, then to the live store).
+struct TransitionEnv {
+  struct SetBinding {
+    bool is_node = true;
+    std::vector<uint64_t> ids;
+  };
+  std::map<std::string, Value> singles;
+  std::map<std::string, SetBinding> sets;
+  std::set<std::string> old_view_vars;
+  std::unordered_map<uint64_t, std::map<PropKeyId, Value>> old_node_props;
+  std::unordered_map<uint64_t, std::map<PropKeyId, Value>> old_rel_props;
+
+  const SetBinding* FindSet(const std::string& name) const {
+    auto it = sets.find(name);
+    return it == sets.end() ? nullptr : &it->second;
+  }
+};
+
+class ProcedureRegistry;
+
+/// Everything expression evaluation / matching / execution needs.
+/// Non-owning: the Database wires the pieces together.
+struct EvalContext {
+  Transaction* tx = nullptr;
+  const std::map<std::string, Value>* params = nullptr;
+  LogicalClock* clock = nullptr;
+  const TransitionEnv* transition = nullptr;
+  ProcedureRegistry* procedures = nullptr;
+
+  /// Guard invoked on every label set/remove performed by the executor;
+  /// the trigger engine uses it to enforce the Section 4.2 rule that a
+  /// trigger statement may not set/remove its target label.
+  std::function<Status(LabelId, bool /*is_set*/)> label_write_guard;
+
+  GraphStore* store() const { return tx->store(); }
+};
+
+/// Evaluates an expression in the given row. Aggregate calls are rejected
+/// here (they are handled by the executor's projection logic).
+Result<Value> EvalExpr(const Expr& e, const Row& row, EvalContext& ctx);
+
+/// Evaluates an expression as a predicate: true iff the value is boolean
+/// true (NULL and false are both "does not pass", per Cypher WHERE).
+Result<bool> EvalPredicate(const Expr& e, const Row& row, EvalContext& ctx);
+
+/// True if the expression contains an aggregate call (COUNT/SUM/AVG/MIN/
+/// MAX/COLLECT or COUNT(*)) outside any EXISTS subquery.
+bool ContainsAggregate(const Expr& e);
+
+/// True if `name` (case-insensitive) is an aggregate function name.
+bool IsAggregateFunctionName(const std::string& name);
+
+/// Ghost-aware helpers shared by the evaluator and the matcher.
+Value ReadItemProp(EvalContext& ctx, const Value& item, PropKeyId key);
+std::vector<LabelId> ReadItemLabels(EvalContext& ctx, const Value& item);
+
+}  // namespace pgt::cypher
+
+#endif  // PGTRIGGERS_CYPHER_EVAL_H_

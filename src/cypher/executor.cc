@@ -1,0 +1,745 @@
+#include "src/cypher/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/macros.h"
+#include "src/common/str_util.h"
+#include "src/cypher/functions.h"
+#include "src/cypher/matcher.h"
+
+namespace pgt::cypher {
+
+namespace {
+
+Status ExecError(const Clause& c, const std::string& msg) {
+  return Status::InvalidArgument(msg + " at " + std::to_string(c.line) + ":" +
+                                 std::to_string(c.col));
+}
+
+/// Computes one aggregate call over the rows of a group.
+Result<Value> EvalAggregateCall(const Expr& e,
+                                const std::vector<Row>& group,
+                                EvalContext& ctx) {
+  if (e.kind == Expr::Kind::kCountStar) {
+    return Value::Int(static_cast<int64_t>(group.size()));
+  }
+  const std::string fn = ToLower(e.name);
+  if (e.args.size() != 1) {
+    return Status::InvalidArgument("aggregate " + e.name +
+                                   " expects one argument");
+  }
+  std::vector<Value> vals;
+  vals.reserve(group.size());
+  for (const Row& row : group) {
+    PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], row, ctx));
+    if (!v.is_null()) vals.push_back(std::move(v));
+  }
+  if (e.distinct) {
+    std::vector<Value> uniq;
+    for (Value& v : vals) {
+      bool dup = false;
+      for (const Value& u : uniq) {
+        if (u.Equals(v)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) uniq.push_back(std::move(v));
+    }
+    vals = std::move(uniq);
+  }
+  if (fn == "count") return Value::Int(static_cast<int64_t>(vals.size()));
+  if (fn == "collect") return Value::MakeList(std::move(vals));
+  if (fn == "sum") {
+    bool all_int = true;
+    double acc = 0;
+    int64_t iacc = 0;
+    for (const Value& v : vals) {
+      if (!v.is_numeric()) {
+        return Status::TypeError("sum over non-numeric value");
+      }
+      if (v.is_int()) {
+        iacc += v.int_value();
+      } else {
+        all_int = false;
+      }
+      acc += v.as_double();
+    }
+    return all_int ? Value::Int(iacc) : Value::Double(acc);
+  }
+  if (fn == "avg") {
+    if (vals.empty()) return Value::Null();
+    double acc = 0;
+    for (const Value& v : vals) {
+      if (!v.is_numeric()) {
+        return Status::TypeError("avg over non-numeric value");
+      }
+      acc += v.as_double();
+    }
+    return Value::Double(acc / static_cast<double>(vals.size()));
+  }
+  if (fn == "min" || fn == "max") {
+    if (vals.empty()) return Value::Null();
+    Value best = vals[0];
+    for (size_t i = 1; i < vals.size(); ++i) {
+      const int c = vals[i].TotalCompare(best);
+      if ((fn == "min" && c < 0) || (fn == "max" && c > 0)) best = vals[i];
+    }
+    return best;
+  }
+  return Status::InvalidArgument("unknown aggregate " + e.name);
+}
+
+/// Replaces aggregate subtrees with their computed literal values.
+Status SubstituteAggregates(Expr* e, const std::vector<Row>& group,
+                            EvalContext& ctx) {
+  if (e->kind == Expr::Kind::kCountStar ||
+      (e->kind == Expr::Kind::kFunc && IsAggregateFunctionName(e->name))) {
+    PGT_ASSIGN_OR_RETURN(Value v, EvalAggregateCall(*e, group, ctx));
+    Expr lit;
+    lit.kind = Expr::Kind::kLiteral;
+    lit.value = std::move(v);
+    lit.line = e->line;
+    lit.col = e->col;
+    *e = std::move(lit);
+    return Status::OK();
+  }
+  if (e->kind == Expr::Kind::kExists) return Status::OK();
+  if (e->a) PGT_RETURN_IF_ERROR(SubstituteAggregates(e->a.get(), group, ctx));
+  if (e->b) PGT_RETURN_IF_ERROR(SubstituteAggregates(e->b.get(), group, ctx));
+  if (e->c) PGT_RETURN_IF_ERROR(SubstituteAggregates(e->c.get(), group, ctx));
+  for (ExprPtr& arg : e->args) {
+    PGT_RETURN_IF_ERROR(SubstituteAggregates(arg.get(), group, ctx));
+  }
+  for (auto& [k, v] : e->map_entries) {
+    (void)k;
+    PGT_RETURN_IF_ERROR(SubstituteAggregates(v.get(), group, ctx));
+  }
+  for (auto& [w, t] : e->whens) {
+    PGT_RETURN_IF_ERROR(SubstituteAggregates(w.get(), group, ctx));
+    PGT_RETURN_IF_ERROR(SubstituteAggregates(t.get(), group, ctx));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string QueryResult::ToTable() const {
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].size();
+  }
+  for (const auto& row : rows) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line.push_back(row[c].ToString());
+      if (c < widths.size()) widths[c] = std::max(widths[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& vals) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string v = c < vals.size() ? vals[c] : "";
+      os << " " << v << std::string(widths[c] - v.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(columns);
+  os << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& line : cells) emit_row(line);
+  return os.str();
+}
+
+Result<QueryResult> Executor::Run(const Query& q, const Row& seed) {
+  std::vector<Row> rows = {seed};
+  QueryResult result;
+  for (size_t i = 0; i < q.clauses.size(); ++i) {
+    const Clause& c = *q.clauses[i];
+    if (c.kind == Clause::Kind::kReturn && i + 1 != q.clauses.size()) {
+      return ExecError(c, "RETURN must be the final clause");
+    }
+    PGT_ASSIGN_OR_RETURN(rows, ApplyClause(c, std::move(rows)));
+    if (c.kind == Clause::Kind::kReturn) {
+      // ApplyProjection left projected rows; shape the result table.
+      std::set<std::string> col_set;
+      std::vector<std::string> col_order;
+      for (const Row& r : rows) {
+        for (const auto& [k, v] : r.cols) {
+          (void)v;
+          if (col_set.insert(k).second) col_order.push_back(k);
+        }
+      }
+      result.columns = col_order;
+      for (const Row& r : rows) {
+        std::vector<Value> line;
+        for (const std::string& col : col_order) {
+          const Value* v = r.Get(col);
+          line.push_back(v == nullptr ? Value::Null() : *v);
+        }
+        result.rows.push_back(std::move(line));
+      }
+    }
+  }
+  return result;
+}
+
+Status Executor::RunUpdates(const std::vector<ClausePtr>& clauses,
+                            std::vector<Row> rows) {
+  for (const ClausePtr& c : clauses) {
+    if (c->kind == Clause::Kind::kReturn) {
+      return ExecError(*c, "RETURN is not allowed here");
+    }
+    PGT_ASSIGN_OR_RETURN(rows, ApplyClause(*c, std::move(rows)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Executor::RunClauses(
+    const std::vector<ClausePtr>& clauses, std::vector<Row> rows) {
+  for (const ClausePtr& c : clauses) {
+    PGT_ASSIGN_OR_RETURN(rows, ApplyClause(*c, std::move(rows)));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Executor::ApplyClause(const Clause& c,
+                                               std::vector<Row> rows) {
+  switch (c.kind) {
+    case Clause::Kind::kMatch:
+      return ApplyMatch(c, std::move(rows));
+    case Clause::Kind::kUnwind:
+      return ApplyUnwind(c, std::move(rows));
+    case Clause::Kind::kWith:
+    case Clause::Kind::kReturn:
+      return ApplyProjection(c, std::move(rows));
+    case Clause::Kind::kCreate:
+      return ApplyCreate(c, std::move(rows));
+    case Clause::Kind::kMerge:
+      return ApplyMerge(c, std::move(rows));
+    case Clause::Kind::kDelete:
+      return ApplyDelete(c, std::move(rows));
+    case Clause::Kind::kSet:
+      return ApplySet(c, std::move(rows));
+    case Clause::Kind::kRemove:
+      return ApplyRemove(c, std::move(rows));
+    case Clause::Kind::kForeach:
+      return ApplyForeach(c, std::move(rows));
+    case Clause::Kind::kCall:
+      return ApplyCall(c, std::move(rows));
+  }
+  return Status::Internal("unhandled clause kind");
+}
+
+Result<std::vector<Row>> Executor::ApplyMatch(const Clause& c,
+                                              std::vector<Row> rows) {
+  std::vector<Row> out;
+  for (const Row& row : rows) {
+    size_t before = out.size();
+    PGT_RETURN_IF_ERROR(MatchPattern(
+        c.pattern, row, ctx_, [&](const Row& match) -> Status {
+          if (c.where != nullptr) {
+            PGT_ASSIGN_OR_RETURN(bool pass,
+                                 EvalPredicate(*c.where, match, ctx_));
+            if (!pass) return Status::OK();
+          }
+          out.push_back(match);
+          return Status::OK();
+        }));
+    if (c.optional_match && out.size() == before) {
+      Row padded = row;
+      for (const std::string& var : PatternVariables(c.pattern, row)) {
+        padded.Set(var, Value::Null());
+      }
+      out.push_back(std::move(padded));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ApplyUnwind(const Clause& c,
+                                               std::vector<Row> rows) {
+  std::vector<Row> out;
+  for (const Row& row : rows) {
+    PGT_ASSIGN_OR_RETURN(Value list, EvalExpr(*c.unwind_expr, row, ctx_));
+    if (list.is_null()) continue;
+    if (list.is_list()) {
+      for (const Value& v : list.list_value()) {
+        Row next = row;
+        next.Set(c.unwind_var, v);
+        out.push_back(std::move(next));
+      }
+    } else {
+      Row next = row;
+      next.Set(c.unwind_var, list);
+      out.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ApplyProjection(const Clause& c,
+                                                   std::vector<Row> rows) {
+  std::vector<Row> projected;
+
+  if (c.return_star) {
+    projected = rows;  // keep all bindings
+  } else {
+    bool has_aggregate = false;
+    for (const ProjItem& item : c.items) {
+      if (ContainsAggregate(*item.expr)) has_aggregate = true;
+    }
+    if (has_aggregate) {
+      // Group rows by the values of the non-aggregate items.
+      std::vector<const ProjItem*> key_items;
+      for (const ProjItem& item : c.items) {
+        if (!ContainsAggregate(*item.expr)) key_items.push_back(&item);
+      }
+      std::map<std::vector<Value>, std::vector<Row>, ValueVectorLess> groups;
+      for (const Row& row : rows) {
+        std::vector<Value> key;
+        for (const ProjItem* item : key_items) {
+          PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*item->expr, row, ctx_));
+          key.push_back(std::move(v));
+        }
+        groups[std::move(key)].push_back(row);
+      }
+      if (groups.empty() && key_items.empty()) {
+        groups[{}] = {};  // aggregates over an empty input: one global group
+      }
+      for (auto& [key, group] : groups) {
+        (void)key;
+        const Row rep = group.empty() ? Row{} : group.front();
+        Row out_row;
+        for (const ProjItem& item : c.items) {
+          if (ContainsAggregate(*item.expr)) {
+            ExprPtr clone = CloneExpr(*item.expr);
+            PGT_RETURN_IF_ERROR(
+                SubstituteAggregates(clone.get(), group, ctx_));
+            PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*clone, rep, ctx_));
+            out_row.Set(item.alias, std::move(v));
+          } else {
+            PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, rep, ctx_));
+            out_row.Set(item.alias, std::move(v));
+          }
+        }
+        projected.push_back(std::move(out_row));
+      }
+    } else {
+      for (const Row& row : rows) {
+        Row out_row;
+        for (const ProjItem& item : c.items) {
+          PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.expr, row, ctx_));
+          out_row.Set(item.alias, std::move(v));
+        }
+        projected.push_back(std::move(out_row));
+      }
+    }
+  }
+
+  if (c.distinct) {
+    std::set<std::vector<Value>, ValueVectorLess> seen;
+    std::vector<Row> uniq;
+    for (Row& row : projected) {
+      std::vector<Value> key;
+      for (const auto& [k, v] : row.cols) {
+        (void)k;
+        key.push_back(v);
+      }
+      if (seen.insert(std::move(key)).second) uniq.push_back(std::move(row));
+    }
+    projected = std::move(uniq);
+  }
+
+  if (c.where != nullptr) {
+    std::vector<Row> filtered;
+    for (Row& row : projected) {
+      PGT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*c.where, row, ctx_));
+      if (pass) filtered.push_back(std::move(row));
+    }
+    projected = std::move(filtered);
+  }
+
+  if (!c.order_by.empty()) {
+    // Precompute sort keys (stable sort for determinism).
+    std::vector<std::pair<std::vector<Value>, size_t>> keyed;
+    keyed.reserve(projected.size());
+    for (size_t i = 0; i < projected.size(); ++i) {
+      std::vector<Value> key;
+      for (const SortItem& s : c.order_by) {
+        PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*s.expr, projected[i], ctx_));
+        key.push_back(std::move(v));
+      }
+      keyed.emplace_back(std::move(key), i);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (size_t k = 0; k < c.order_by.size(); ++k) {
+                         const int cmp = a.first[k].TotalCompare(b.first[k]);
+                         if (cmp != 0) {
+                           return c.order_by[k].ascending ? cmp < 0 : cmp > 0;
+                         }
+                       }
+                       return false;
+                     });
+    std::vector<Row> sorted;
+    sorted.reserve(projected.size());
+    for (const auto& [key, idx] : keyed) {
+      (void)key;
+      sorted.push_back(std::move(projected[idx]));
+    }
+    projected = std::move(sorted);
+  }
+
+  if (c.skip != nullptr) {
+    PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*c.skip, Row{}, ctx_));
+    if (!v.is_int() || v.int_value() < 0) {
+      return ExecError(c, "SKIP requires a non-negative integer");
+    }
+    const size_t k = static_cast<size_t>(v.int_value());
+    if (k >= projected.size()) {
+      projected.clear();
+    } else {
+      projected.erase(projected.begin(), projected.begin() + k);
+    }
+  }
+  if (c.limit != nullptr) {
+    PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*c.limit, Row{}, ctx_));
+    if (!v.is_int() || v.int_value() < 0) {
+      return ExecError(c, "LIMIT requires a non-negative integer");
+    }
+    const size_t k = static_cast<size_t>(v.int_value());
+    if (projected.size() > k) projected.resize(k);
+  }
+  return projected;
+}
+
+Result<Row> Executor::CreatePatternPart(const PatternPart& part, Row row) {
+  // Resolve or create the first node.
+  auto resolve_node = [&](const NodePattern& np,
+                          Row& r) -> Result<NodeId> {
+    if (!np.var.empty()) {
+      const Value* bound = r.Get(np.var);
+      if (bound != nullptr) {
+        if (!bound->is_node()) {
+          return Status::TypeError("CREATE endpoint '" + np.var +
+                                   "' is not a node");
+        }
+        if (!np.labels.empty() || !np.props.empty()) {
+          return Status::InvalidArgument(
+              "variable '" + np.var +
+              "' already bound; cannot redeclare labels/properties in "
+              "CREATE");
+        }
+        return bound->node_id();
+      }
+    }
+    std::vector<LabelId> labels;
+    for (const std::string& l : np.labels) {
+      if (ctx_.transition != nullptr &&
+          ctx_.transition->FindSet(l) != nullptr) {
+        return Status::InvalidArgument(
+            "cannot CREATE with transition pseudo-label " + l);
+      }
+      labels.push_back(ctx_.store()->InternLabel(l));
+    }
+    std::map<PropKeyId, Value> props;
+    for (const auto& [k, expr] : np.props) {
+      PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, r, ctx_));
+      if (v.is_null()) continue;
+      props[ctx_.store()->InternPropKey(k)] = std::move(v);
+    }
+    PGT_ASSIGN_OR_RETURN(NodeId id, ctx_.tx->CreateNode(labels,
+                                                        std::move(props)));
+    if (!np.var.empty()) r.Set(np.var, Value::Node(id));
+    return id;
+  };
+
+  PGT_ASSIGN_OR_RETURN(NodeId prev, resolve_node(part.first, row));
+  for (const auto& [rp, np] : part.chain) {
+    if (rp.direction == PatternDirection::kUndirected) {
+      return Status::InvalidArgument(
+          "CREATE requires a directed relationship");
+    }
+    if (rp.types.size() != 1) {
+      return Status::InvalidArgument(
+          "CREATE requires exactly one relationship type");
+    }
+    if (rp.var_length) {
+      return Status::InvalidArgument(
+          "CREATE cannot use variable-length relationships");
+    }
+    PGT_ASSIGN_OR_RETURN(NodeId next, resolve_node(np, row));
+    std::map<PropKeyId, Value> props;
+    for (const auto& [k, expr] : rp.props) {
+      PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, row, ctx_));
+      if (v.is_null()) continue;
+      props[ctx_.store()->InternPropKey(k)] = std::move(v);
+    }
+    const RelTypeId type = ctx_.store()->InternRelType(rp.types[0]);
+    const NodeId src =
+        rp.direction == PatternDirection::kLeftToRight ? prev : next;
+    const NodeId dst =
+        rp.direction == PatternDirection::kLeftToRight ? next : prev;
+    PGT_ASSIGN_OR_RETURN(RelId rid,
+                         ctx_.tx->CreateRel(src, type, dst,
+                                            std::move(props)));
+    if (!rp.var.empty()) {
+      if (row.Has(rp.var)) {
+        return Status::InvalidArgument("relationship variable '" + rp.var +
+                                       "' already bound in CREATE");
+      }
+      row.Set(rp.var, Value::Rel(rid));
+    }
+    prev = next;
+  }
+  return row;
+}
+
+Result<std::vector<Row>> Executor::ApplyCreate(const Clause& c,
+                                               std::vector<Row> rows) {
+  std::vector<Row> out;
+  for (Row& row : rows) {
+    Row current = std::move(row);
+    for (const PatternPart& part : c.pattern.parts) {
+      PGT_ASSIGN_OR_RETURN(current,
+                           CreatePatternPart(part, std::move(current)));
+    }
+    out.push_back(std::move(current));
+  }
+  return out;
+}
+
+Status Executor::ApplySetItems(const std::vector<SetItem>& items,
+                               const Row& row) {
+  for (const SetItem& item : items) {
+    if (item.kind == SetItem::Kind::kProperty) {
+      PGT_ASSIGN_OR_RETURN(Value target, EvalExpr(*item.target, row, ctx_));
+      if (target.is_null()) continue;
+      PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.value, row, ctx_));
+      const PropKeyId key = ctx_.store()->InternPropKey(item.prop);
+      if (target.is_node()) {
+        PGT_RETURN_IF_ERROR(
+            ctx_.tx->SetNodeProp(target.node_id(), key, std::move(v)));
+      } else if (target.is_rel()) {
+        PGT_RETURN_IF_ERROR(
+            ctx_.tx->SetRelProp(target.rel_id(), key, std::move(v)));
+      } else {
+        return Status::TypeError("SET target must be a node or relationship");
+      }
+    } else if (item.kind == SetItem::Kind::kMergeMap) {
+      const Value* target = row.Get(item.var);
+      if (target == nullptr) {
+        return Status::InvalidArgument("unbound variable '" + item.var +
+                                       "' in SET +=");
+      }
+      if (target->is_null()) continue;
+      if (!target->is_node() && !target->is_rel()) {
+        return Status::TypeError(
+            "SET += target must be a node or relationship");
+      }
+      PGT_ASSIGN_OR_RETURN(Value map, EvalExpr(*item.value, row, ctx_));
+      if (map.is_null()) continue;
+      if (!map.is_map()) {
+        return Status::TypeError("SET += requires a map value");
+      }
+      for (const auto& [k, v] : map.map_value()) {
+        const PropKeyId key = ctx_.store()->InternPropKey(k);
+        if (target->is_node()) {
+          PGT_RETURN_IF_ERROR(ctx_.tx->SetNodeProp(target->node_id(), key, v));
+        } else {
+          PGT_RETURN_IF_ERROR(ctx_.tx->SetRelProp(target->rel_id(), key, v));
+        }
+      }
+    } else {
+      const Value* target = row.Get(item.var);
+      if (target == nullptr) {
+        return Status::InvalidArgument("unbound variable '" + item.var +
+                                       "' in SET");
+      }
+      if (target->is_null()) continue;
+      if (!target->is_node()) {
+        return Status::TypeError("SET labels target must be a node");
+      }
+      for (const std::string& l : item.labels) {
+        const LabelId label = ctx_.store()->InternLabel(l);
+        if (ctx_.label_write_guard) {
+          PGT_RETURN_IF_ERROR(ctx_.label_write_guard(label, /*is_set=*/true));
+        }
+        PGT_RETURN_IF_ERROR(ctx_.tx->AddLabel(target->node_id(), label));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Executor::ApplyMerge(const Clause& c,
+                                              std::vector<Row> rows) {
+  std::vector<Row> out;
+  const PatternPart& part = c.pattern.parts.front();
+  for (const Row& row : rows) {
+    std::vector<Row> matches;
+    PGT_RETURN_IF_ERROR(
+        MatchPattern(c.pattern, row, ctx_, [&](const Row& m) -> Status {
+          matches.push_back(m);
+          return Status::OK();
+        }));
+    if (!matches.empty()) {
+      for (Row& m : matches) {
+        PGT_RETURN_IF_ERROR(ApplySetItems(c.on_match, m));
+        out.push_back(std::move(m));
+      }
+    } else {
+      PGT_ASSIGN_OR_RETURN(Row created, CreatePatternPart(part, row));
+      PGT_RETURN_IF_ERROR(ApplySetItems(c.on_create, created));
+      out.push_back(std::move(created));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Row>> Executor::ApplyDelete(const Clause& c,
+                                               std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    for (const ExprPtr& expr : c.delete_exprs) {
+      PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, row, ctx_));
+      std::vector<Value> items;
+      if (v.is_list()) {
+        items = v.list_value();
+      } else {
+        items.push_back(std::move(v));
+      }
+      for (const Value& item : items) {
+        if (item.is_null()) continue;
+        if (item.is_node()) {
+          if (!ctx_.store()->NodeAlive(item.node_id())) continue;
+          PGT_RETURN_IF_ERROR(ctx_.tx->DeleteNode(item.node_id(), c.detach));
+        } else if (item.is_rel()) {
+          if (!ctx_.store()->RelAlive(item.rel_id())) continue;
+          PGT_RETURN_IF_ERROR(ctx_.tx->DeleteRel(item.rel_id()));
+        } else {
+          return ExecError(c, "DELETE requires nodes or relationships");
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Executor::ApplySet(const Clause& c,
+                                            std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    PGT_RETURN_IF_ERROR(ApplySetItems(c.set_items, row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Executor::ApplyRemove(const Clause& c,
+                                               std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    for (const RemoveItem& item : c.remove_items) {
+      if (item.kind == RemoveItem::Kind::kProperty) {
+        PGT_ASSIGN_OR_RETURN(Value target, EvalExpr(*item.target, row, ctx_));
+        if (target.is_null()) continue;
+        auto key = ctx_.store()->LookupPropKey(item.prop);
+        if (!key.has_value()) continue;  // property key never used
+        if (target.is_node()) {
+          PGT_RETURN_IF_ERROR(ctx_.tx->RemoveNodeProp(target.node_id(), *key));
+        } else if (target.is_rel()) {
+          PGT_RETURN_IF_ERROR(ctx_.tx->RemoveRelProp(target.rel_id(), *key));
+        } else {
+          return ExecError(c, "REMOVE target must be a node or relationship");
+        }
+      } else {
+        const Value* target = row.Get(item.var);
+        if (target == nullptr) {
+          return ExecError(c, "unbound variable '" + item.var + "' in REMOVE");
+        }
+        if (target->is_null()) continue;
+        if (!target->is_node()) {
+          return ExecError(c, "REMOVE labels target must be a node");
+        }
+        for (const std::string& l : item.labels) {
+          auto label = ctx_.store()->LookupLabel(l);
+          if (!label.has_value()) continue;
+          if (ctx_.label_write_guard) {
+            PGT_RETURN_IF_ERROR(
+                ctx_.label_write_guard(*label, /*is_set=*/false));
+          }
+          PGT_RETURN_IF_ERROR(ctx_.tx->RemoveLabel(target->node_id(), *label));
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Executor::ApplyForeach(const Clause& c,
+                                                std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    PGT_ASSIGN_OR_RETURN(Value list, EvalExpr(*c.foreach_list, row, ctx_));
+    if (list.is_null()) continue;
+    if (!list.is_list()) {
+      return ExecError(c, "FOREACH requires a list");
+    }
+    for (const Value& v : list.list_value()) {
+      Row scoped = row;
+      scoped.Set(c.foreach_var, v);
+      PGT_RETURN_IF_ERROR(RunUpdates(c.foreach_body, {scoped}));
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Executor::ApplyCall(const Clause& c,
+                                             std::vector<Row> rows) {
+  if (ctx_.procedures == nullptr) {
+    return ExecError(c, "no procedures registered (CALL " + c.call_proc + ")");
+  }
+  const ProcedureRegistry::Entry* proc =
+      ctx_.procedures->Lookup(c.call_proc);
+  if (proc == nullptr) {
+    return ExecError(c, "unknown procedure " + c.call_proc);
+  }
+  for (const std::string& y : c.call_yield) {
+    if (std::find(proc->outputs.begin(), proc->outputs.end(), y) ==
+        proc->outputs.end()) {
+      return ExecError(c, "procedure " + c.call_proc +
+                              " has no output column '" + y + "'");
+    }
+  }
+  std::vector<Row> out;
+  for (const Row& row : rows) {
+    std::vector<Value> args;
+    for (const ExprPtr& arg : c.call_args) {
+      PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, row, ctx_));
+      args.push_back(std::move(v));
+    }
+    PGT_ASSIGN_OR_RETURN(std::vector<Row> produced,
+                         proc->fn(ctx_, args, row));
+    if (c.call_yield.empty()) {
+      out.push_back(row);  // side-effect call: pass the row through
+      continue;
+    }
+    for (const Row& prow : produced) {
+      Row merged = row;
+      for (const std::string& y : c.call_yield) {
+        const Value* v = prow.Get(y);
+        merged.Set(y, v == nullptr ? Value::Null() : *v);
+      }
+      out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+}  // namespace pgt::cypher

@@ -1,0 +1,80 @@
+#ifndef PGTRIGGERS_CYPHER_EXECUTOR_H_
+#define PGTRIGGERS_CYPHER_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cypher/ast.h"
+#include "src/cypher/eval.h"
+
+namespace pgt::cypher {
+
+/// Tabular result of a query (populated by a trailing RETURN; queries
+/// without RETURN produce an empty table but still report row counts).
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Convenience for tests: single-cell access.
+  const Value& at(size_t r, size_t c) const { return rows[r][c]; }
+
+  /// Renders an aligned ASCII table (examples/bench output).
+  std::string ToTable() const;
+};
+
+/// Pipeline interpreter for the Cypher subset.
+///
+/// Clauses execute strictly left to right over materialized binding rows;
+/// writes are applied immediately through the change-tracking Transaction,
+/// so later clauses observe earlier writes — matching the "interleaving of
+/// MATCH clauses with ... creations, updates and deletions" the paper
+/// discusses in Section 4.2.
+class Executor {
+ public:
+  explicit Executor(EvalContext ctx) : ctx_(ctx) {}
+
+  /// Runs a query. `seed` provides the initial bindings (the trigger engine
+  /// seeds transition variables; plain queries start from an empty row).
+  Result<QueryResult> Run(const Query& q, const Row& seed);
+
+  /// Runs the update clauses of a FOREACH body / trigger action against an
+  /// explicit set of starting rows (no RETURN allowed).
+  Status RunUpdates(const std::vector<ClausePtr>& clauses,
+                    std::vector<Row> rows);
+
+  /// Applies a clause sequence to explicit rows and returns the resulting
+  /// rows. Used by the trigger engine: WHEN pipelines produce the binding
+  /// rows the action then runs over (DESIGN.md D2).
+  Result<std::vector<Row>> RunClauses(const std::vector<ClausePtr>& clauses,
+                                      std::vector<Row> rows);
+
+ private:
+  Result<std::vector<Row>> ApplyClause(const Clause& c,
+                                       std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyMatch(const Clause& c, std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyUnwind(const Clause& c,
+                                       std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyProjection(const Clause& c,
+                                           std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyCreate(const Clause& c,
+                                       std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyMerge(const Clause& c, std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyDelete(const Clause& c,
+                                       std::vector<Row> rows);
+  Result<std::vector<Row>> ApplySet(const Clause& c, std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyRemove(const Clause& c,
+                                       std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyForeach(const Clause& c,
+                                        std::vector<Row> rows);
+  Result<std::vector<Row>> ApplyCall(const Clause& c, std::vector<Row> rows);
+
+  Status ApplySetItems(const std::vector<SetItem>& items, const Row& row);
+  Result<Row> CreatePatternPart(const PatternPart& part, Row row);
+
+  EvalContext ctx_;
+};
+
+}  // namespace pgt::cypher
+
+#endif  // PGTRIGGERS_CYPHER_EXECUTOR_H_

@@ -1,0 +1,57 @@
+#ifndef PGTRIGGERS_CYPHER_FUNCTIONS_H_
+#define PGTRIGGERS_CYPHER_FUNCTIONS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/value.h"
+#include "src/cypher/eval.h"
+
+namespace pgt::cypher {
+
+/// Invokes a builtin scalar/list/string/temporal function by (dotted,
+/// case-insensitive) name. Returns NotFound for unknown names.
+///
+/// Supported: id, labels, type, keys, properties, startNode, endNode,
+/// exists, coalesce, size, length, head, last, tail, range, abs, sign,
+/// ceil, floor, round, sqrt, toInteger, toFloat, toString, toBoolean,
+/// toUpper, toLower, trim, split, substring, replace, left, right,
+/// reverse, date, datetime, timestamp.
+Result<Value> CallBuiltin(const std::string& name,
+                          const std::vector<Value>& args, EvalContext& ctx,
+                          int line, int col);
+
+/// Procedures callable through the CALL clause. The PG-Triggers engine
+/// itself needs none; the APOC emulator registers apoc.do.when /
+/// apoc.trigger.* here so that translated trigger code is executable
+/// (paper Section 5.1).
+class ProcedureRegistry {
+ public:
+  /// A procedure receives the evaluated arguments and the current row and
+  /// returns zero or more output rows; each output row must carry exactly
+  /// the declared output columns.
+  using Procedure = std::function<Result<std::vector<Row>>(
+      EvalContext& ctx, const std::vector<Value>& args, const Row& row)>;
+
+  struct Entry {
+    std::vector<std::string> outputs;
+    Procedure fn;
+  };
+
+  /// Registers (or replaces) a procedure under a dotted name.
+  void Register(const std::string& name, std::vector<std::string> outputs,
+                Procedure fn);
+
+  /// Case-insensitive lookup; nullptr if unknown.
+  const Entry* Lookup(const std::string& name) const;
+
+ private:
+  std::map<std::string, Entry> procs_;  // keyed by lowercase name
+};
+
+}  // namespace pgt::cypher
+
+#endif  // PGTRIGGERS_CYPHER_FUNCTIONS_H_

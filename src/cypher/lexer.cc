@@ -1,0 +1,389 @@
+#include "src/cypher/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pgt::cypher {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string TokenToString(const Token& t) {
+  switch (t.type) {
+    case TokenType::kEnd:
+      return "<end of input>";
+    case TokenType::kIdent:
+      return "'" + t.text + "'";
+    case TokenType::kString:
+      return "string '" + t.text + "'";
+    case TokenType::kInt:
+      return "integer " + std::to_string(t.int_value);
+    case TokenType::kFloat:
+      return "float " + std::to_string(t.float_value);
+    case TokenType::kParam:
+      return "$" + t.text;
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kLBrace:
+      return "'{'";
+    case TokenType::kRBrace:
+      return "'}'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kColon:
+      return "':'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kDotDot:
+      return "'..'";
+    case TokenType::kPipe:
+      return "'|'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+    case TokenType::kCaret:
+      return "'^'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNeq:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kPlusEq:
+      return "'+='";
+  }
+  return "<unknown>";
+}
+
+Result<std::vector<Token>> Lexer::Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1, col = 1;
+  const size_t n = text.size();
+
+  auto advance = [&](size_t k) {
+    for (size_t j = 0; j < k && i < n; ++j, ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto make = [&](TokenType t) {
+    Token tok;
+    tok.type = t;
+    tok.line = line;
+    tok.col = col;
+    return tok;
+  };
+  auto err = [&](const std::string& msg) {
+    return Status::SyntaxError(msg + " at " + std::to_string(line) + ":" +
+                               std::to_string(col));
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) advance(1);
+      if (i + 1 >= n) return err("unterminated block comment");
+      advance(2);
+      continue;
+    }
+    // Strings.
+    if (c == '\'' || c == '"') {
+      Token tok = make(TokenType::kString);
+      const char quote = c;
+      advance(1);
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        const char d = text[i];
+        if (d == '\\' && i + 1 < n) {
+          const char e = text[i + 1];
+          switch (e) {
+            case 'n':
+              s += '\n';
+              break;
+            case 't':
+              s += '\t';
+              break;
+            case '\\':
+              s += '\\';
+              break;
+            case '\'':
+              s += '\'';
+              break;
+            case '"':
+              s += '"';
+              break;
+            default:
+              s += e;
+          }
+          advance(2);
+          continue;
+        }
+        if (d == quote) {
+          closed = true;
+          advance(1);
+          break;
+        }
+        s += d;
+        advance(1);
+      }
+      if (!closed) return err("unterminated string literal");
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Backtick identifiers.
+    if (c == '`') {
+      Token tok = make(TokenType::kIdent);
+      advance(1);
+      std::string s;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '`') {
+          closed = true;
+          advance(1);
+          break;
+        }
+        s += text[i];
+        advance(1);
+      }
+      if (!closed) return err("unterminated backtick identifier");
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Parameters.
+    if (c == '$') {
+      Token tok = make(TokenType::kParam);
+      advance(1);
+      std::string s;
+      while (i < n && IsIdentChar(text[i])) {
+        s += text[i];
+        advance(1);
+      }
+      if (s.empty()) return err("empty parameter name");
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token tok = make(TokenType::kInt);
+      std::string s;
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+        s += text[i];
+        advance(1);
+      }
+      bool is_float = false;
+      // '.' starts a fraction only when followed by a digit and not '..'.
+      if (i < n && text[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_float = true;
+        s += '.';
+        advance(1);
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+          s += text[i];
+          advance(1);
+        }
+      }
+      if (i < n && (text[i] == 'e' || text[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (text[j] == '+' || text[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) {
+          is_float = true;
+          while (i < j) {
+            s += text[i];
+            advance(1);
+          }
+          while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) {
+            s += text[i];
+            advance(1);
+          }
+        }
+      }
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(s.c_str(), nullptr);
+      } else {
+        tok.int_value = std::strtoll(s.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      Token tok = make(TokenType::kIdent);
+      std::string s;
+      while (i < n && IsIdentChar(text[i])) {
+        s += text[i];
+        advance(1);
+      }
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation and operators.
+    Token tok = make(TokenType::kEnd);
+    switch (c) {
+      case '(':
+        tok.type = TokenType::kLParen;
+        advance(1);
+        break;
+      case ')':
+        tok.type = TokenType::kRParen;
+        advance(1);
+        break;
+      case '[':
+        tok.type = TokenType::kLBracket;
+        advance(1);
+        break;
+      case ']':
+        tok.type = TokenType::kRBracket;
+        advance(1);
+        break;
+      case '{':
+        tok.type = TokenType::kLBrace;
+        advance(1);
+        break;
+      case '}':
+        tok.type = TokenType::kRBrace;
+        advance(1);
+        break;
+      case ',':
+        tok.type = TokenType::kComma;
+        advance(1);
+        break;
+      case ':':
+        tok.type = TokenType::kColon;
+        advance(1);
+        break;
+      case ';':
+        tok.type = TokenType::kSemicolon;
+        advance(1);
+        break;
+      case '|':
+        tok.type = TokenType::kPipe;
+        advance(1);
+        break;
+      case '.':
+        if (i + 1 < n && text[i + 1] == '.') {
+          tok.type = TokenType::kDotDot;
+          advance(2);
+        } else {
+          tok.type = TokenType::kDot;
+          advance(1);
+        }
+        break;
+      case '+':
+        if (i + 1 < n && text[i + 1] == '=') {
+          tok.type = TokenType::kPlusEq;
+          advance(2);
+        } else {
+          tok.type = TokenType::kPlus;
+          advance(1);
+        }
+        break;
+      case '-':
+        tok.type = TokenType::kMinus;
+        advance(1);
+        break;
+      case '*':
+        tok.type = TokenType::kStar;
+        advance(1);
+        break;
+      case '/':
+        tok.type = TokenType::kSlash;
+        advance(1);
+        break;
+      case '%':
+        tok.type = TokenType::kPercent;
+        advance(1);
+        break;
+      case '^':
+        tok.type = TokenType::kCaret;
+        advance(1);
+        break;
+      case '=':
+        tok.type = TokenType::kEq;
+        advance(1);
+        break;
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          tok.type = TokenType::kLe;
+          advance(2);
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          tok.type = TokenType::kNeq;
+          advance(2);
+        } else {
+          tok.type = TokenType::kLt;
+          advance(1);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          tok.type = TokenType::kGe;
+          advance(2);
+        } else {
+          tok.type = TokenType::kGt;
+          advance(1);
+        }
+        break;
+      default:
+        return err(std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.line = line;
+  end.col = col;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace pgt::cypher

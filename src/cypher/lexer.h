@@ -1,0 +1,27 @@
+#ifndef PGTRIGGERS_CYPHER_LEXER_H_
+#define PGTRIGGERS_CYPHER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cypher/token.h"
+
+namespace pgt::cypher {
+
+/// Tokenizes Cypher / PG-Trigger-DDL text.
+///
+/// Supports `//` line comments and `/* */` block comments, single- and
+/// double-quoted strings with backslash escapes, backtick-quoted
+/// identifiers, `$parameters`, integer and float literals.
+class Lexer {
+ public:
+  /// Tokenizes the whole input (appends a kEnd token). Returns SyntaxError
+  /// with line/column context on bad input.
+  static Result<std::vector<Token>> Tokenize(std::string_view text);
+};
+
+}  // namespace pgt::cypher
+
+#endif  // PGTRIGGERS_CYPHER_LEXER_H_

@@ -1,0 +1,362 @@
+#include "src/cypher/matcher.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/macros.h"
+
+namespace pgt::cypher {
+
+namespace {
+
+/// Per-MATCH state: the emit callback and the relationship-uniqueness set.
+struct MatchState {
+  EvalContext* ctx;
+  const std::function<Status(const Row&)>* emit;
+  std::set<uint64_t> used_rels;
+};
+
+struct LabelSplit {
+  std::vector<LabelId> real;                               // must all exist
+  std::vector<const TransitionEnv::SetBinding*> trans;     // pseudo-labels
+  bool impossible = false;  // names an unknown label: no node can match
+};
+
+LabelSplit SplitLabels(const std::vector<std::string>& names, bool for_node,
+                       EvalContext& ctx) {
+  LabelSplit out;
+  for (const std::string& name : names) {
+    const TransitionEnv::SetBinding* set =
+        ctx.transition != nullptr ? ctx.transition->FindSet(name) : nullptr;
+    if (set != nullptr) {
+      if (set->is_node != for_node) {
+        out.impossible = true;
+        return out;
+      }
+      out.trans.push_back(set);
+      continue;
+    }
+    auto id = ctx.store()->LookupLabel(name);
+    if (!id.has_value()) {
+      out.impossible = true;  // label never interned: nothing carries it
+      return out;
+    }
+    out.real.push_back(*id);
+  }
+  return out;
+}
+
+bool InSet(const TransitionEnv::SetBinding& set, uint64_t id) {
+  return std::find(set.ids.begin(), set.ids.end(), id) != set.ids.end();
+}
+
+/// Checks a candidate node against a node pattern (labels, pseudo-labels,
+/// property constraints). Ghost-aware so OLD-set members still match.
+Result<bool> NodeMatches(const NodePattern& np, const LabelSplit& split,
+                         NodeId id, const Row& row, EvalContext& ctx) {
+  if (split.impossible) return false;
+  std::vector<LabelId> labels = ctx.tx->ReadNodeLabels(id);
+  for (LabelId l : split.real) {
+    if (!std::binary_search(labels.begin(), labels.end(), l)) return false;
+  }
+  for (const TransitionEnv::SetBinding* set : split.trans) {
+    if (!InSet(*set, id.value)) return false;
+  }
+  for (const auto& [key, expr] : np.props) {
+    PGT_ASSIGN_OR_RETURN(Value want, EvalExpr(*expr, row, ctx));
+    auto pk = ctx.store()->LookupPropKey(key);
+    Value have =
+        pk.has_value() ? ctx.tx->ReadNodeProp(id, *pk) : Value::Null();
+    if (want.is_null() || have.is_null() || !have.Equals(want)) return false;
+  }
+  return true;
+}
+
+Result<bool> RelMatches(const RelPattern& rp, RelId id, const Row& row,
+                        EvalContext& ctx) {
+  const RelRecord* r = ctx.store()->GetRel(id);
+  if (r == nullptr) return false;
+  if (!rp.types.empty()) {
+    bool any = false;
+    for (const std::string& t : rp.types) {
+      auto tid = ctx.store()->LookupRelType(t);
+      if (tid.has_value() && r->type == *tid) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  for (const auto& [key, expr] : rp.props) {
+    PGT_ASSIGN_OR_RETURN(Value want, EvalExpr(*expr, row, ctx));
+    auto pk = ctx.store()->LookupPropKey(key);
+    Value have =
+        pk.has_value() ? ctx.tx->ReadRelProp(id, *pk) : Value::Null();
+    if (want.is_null() || have.is_null() || !have.Equals(want)) return false;
+  }
+  return true;
+}
+
+class PartMatcher {
+ public:
+  PartMatcher(const Pattern& pattern, MatchState* state)
+      : pattern_(pattern), state_(state) {}
+
+  Status Run(const Row& row) { return MatchPart(0, row); }
+
+ private:
+  Status MatchPart(size_t part_idx, const Row& row) {
+    if (part_idx >= pattern_.parts.size()) {
+      return (*state_->emit)(row);
+    }
+    const PatternPart& part = pattern_.parts[part_idx];
+    return MatchFirstNode(part, part_idx, row);
+  }
+
+  Status MatchFirstNode(const PatternPart& part, size_t part_idx,
+                        const Row& row) {
+    const NodePattern& np = part.first;
+    EvalContext& ctx = *state_->ctx;
+    LabelSplit split = SplitLabels(np.labels, /*for_node=*/true, ctx);
+    if (split.impossible) return Status::OK();
+
+    auto try_candidate = [&](NodeId id) -> Status {
+      PGT_ASSIGN_OR_RETURN(bool ok, NodeMatches(np, split, id, row, ctx));
+      if (!ok) return Status::OK();
+      Row next = row;
+      if (!np.var.empty() && !row.Has(np.var)) {
+        next.Set(np.var, Value::Node(id));
+      }
+      return MatchChain(part, part_idx, 0, id, next);
+    };
+
+    // Bound variable: single candidate.
+    if (!np.var.empty()) {
+      const Value* bound = row.Get(np.var);
+      if (bound != nullptr) {
+        if (bound->is_null()) return Status::OK();
+        if (!bound->is_node()) return Status::OK();
+        return try_candidate(bound->node_id());
+      }
+    }
+    // Transition pseudo-label: scan that set (includes deleted items).
+    if (!split.trans.empty()) {
+      for (uint64_t raw : split.trans[0]->ids) {
+        PGT_RETURN_IF_ERROR(try_candidate(NodeId{raw}));
+      }
+      return Status::OK();
+    }
+    // Real label: index scan.
+    if (!split.real.empty()) {
+      for (NodeId id : ctx.store()->NodesByLabel(split.real[0])) {
+        PGT_RETURN_IF_ERROR(try_candidate(id));
+      }
+      return Status::OK();
+    }
+    // Unconstrained: full scan.
+    for (NodeId id : ctx.store()->AllNodes()) {
+      PGT_RETURN_IF_ERROR(try_candidate(id));
+    }
+    return Status::OK();
+  }
+
+  /// Matches chain element `chain_idx` of `part`, standing at `at`.
+  Status MatchChain(const PatternPart& part, size_t part_idx,
+                    size_t chain_idx, NodeId at, const Row& row) {
+    if (chain_idx >= part.chain.size()) {
+      return MatchPart(part_idx + 1, row);
+    }
+    const auto& [rp, np] = part.chain[chain_idx];
+    EvalContext& ctx = *state_->ctx;
+
+    if (rp.var_length) {
+      return MatchVarLength(part, part_idx, chain_idx, at, row);
+    }
+
+    Direction dir = Direction::kBoth;
+    if (rp.direction == PatternDirection::kLeftToRight) {
+      dir = Direction::kOutgoing;
+    } else if (rp.direction == PatternDirection::kRightToLeft) {
+      dir = Direction::kIncoming;
+    }
+    std::optional<RelTypeId> type_filter;
+    if (rp.types.size() == 1) {
+      auto tid = ctx.store()->LookupRelType(rp.types[0]);
+      if (!tid.has_value()) return Status::OK();  // type never used
+      type_filter = *tid;
+    }
+
+    // A bound relationship variable restricts candidates to that one rel.
+    std::optional<uint64_t> bound_rel;
+    if (!rp.var.empty()) {
+      const Value* bound = row.Get(rp.var);
+      if (bound != nullptr) {
+        if (!bound->is_rel()) return Status::OK();
+        bound_rel = bound->rel_id().value;
+      }
+    }
+
+    LabelSplit next_split = SplitLabels(np.labels, /*for_node=*/true, ctx);
+    if (next_split.impossible) return Status::OK();
+
+    for (RelId rid : ctx.store()->RelsOf(at, dir, type_filter)) {
+      if (bound_rel.has_value() && rid.value != *bound_rel) continue;
+      if (state_->used_rels.count(rid.value) > 0) continue;
+      PGT_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rp, rid, row, ctx));
+      if (!rel_ok) continue;
+      const RelRecord* r = ctx.store()->GetRel(rid);
+      const NodeId other = r->src == at ? r->dst : r->src;
+      // For undirected self-loops both ends coincide; direction filters
+      // already handled src/dst orientation via RelsOf.
+      PGT_ASSIGN_OR_RETURN(bool node_ok,
+                           NodeMatches(np, next_split, other, row, ctx));
+      if (!node_ok) continue;
+      // Bound next-node variable must agree.
+      Row next = row;
+      if (!np.var.empty()) {
+        const Value* bound = row.Get(np.var);
+        if (bound != nullptr) {
+          if (!bound->is_node() || !(bound->node_id() == other)) continue;
+        } else {
+          next.Set(np.var, Value::Node(other));
+        }
+      }
+      if (!rp.var.empty() && !bound_rel.has_value()) {
+        next.Set(rp.var, Value::Rel(rid));
+      }
+      state_->used_rels.insert(rid.value);
+      Status st = MatchChain(part, part_idx, chain_idx + 1, other, next);
+      state_->used_rels.erase(rid.value);
+      PGT_RETURN_IF_ERROR(st);
+    }
+    return Status::OK();
+  }
+
+  /// Variable-length traversal: DFS over rel paths of length min..max.
+  Status MatchVarLength(const PatternPart& part, size_t part_idx,
+                        size_t chain_idx, NodeId start, const Row& row) {
+    const auto& [rp, np] = part.chain[chain_idx];
+    EvalContext& ctx = *state_->ctx;
+    LabelSplit next_split = SplitLabels(np.labels, /*for_node=*/true, ctx);
+    if (next_split.impossible) return Status::OK();
+
+    Direction dir = Direction::kBoth;
+    if (rp.direction == PatternDirection::kLeftToRight) {
+      dir = Direction::kOutgoing;
+    } else if (rp.direction == PatternDirection::kRightToLeft) {
+      dir = Direction::kIncoming;
+    }
+    std::optional<RelTypeId> type_filter;
+    if (rp.types.size() == 1) {
+      auto tid = ctx.store()->LookupRelType(rp.types[0]);
+      if (!tid.has_value()) return Status::OK();
+      type_filter = *tid;
+    }
+
+    std::vector<RelId> path;
+    // Recursive lambda DFS.
+    std::function<Status(NodeId, int64_t)> dfs =
+        [&](NodeId at, int64_t depth) -> Status {
+      if (depth >= rp.min_hops) {
+        PGT_ASSIGN_OR_RETURN(bool node_ok,
+                             NodeMatches(np, next_split, at, row, ctx));
+        if (node_ok) {
+          Row next = row;
+          bool endpoint_ok = true;
+          if (!np.var.empty()) {
+            const Value* bound = row.Get(np.var);
+            if (bound != nullptr) {
+              endpoint_ok = bound->is_node() && bound->node_id() == at;
+            } else {
+              next.Set(np.var, Value::Node(at));
+            }
+          }
+          if (endpoint_ok) {
+            if (!rp.var.empty()) {
+              Value::List rels;
+              for (RelId r : path) rels.push_back(Value::Rel(r));
+              next.Set(rp.var, Value::MakeList(std::move(rels)));
+            }
+            PGT_RETURN_IF_ERROR(
+                MatchChain(part, part_idx, chain_idx + 1, at, next));
+          }
+        }
+      }
+      if (rp.max_hops != kMaxHopsUnbounded && depth >= rp.max_hops) {
+        return Status::OK();
+      }
+      for (RelId rid : ctx.store()->RelsOf(at, dir, type_filter)) {
+        if (state_->used_rels.count(rid.value) > 0) continue;
+        PGT_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rp, rid, row, ctx));
+        if (!rel_ok) continue;
+        const RelRecord* r = ctx.store()->GetRel(rid);
+        const NodeId other = r->src == at ? r->dst : r->src;
+        state_->used_rels.insert(rid.value);
+        path.push_back(rid);
+        Status st = dfs(other, depth + 1);
+        path.pop_back();
+        state_->used_rels.erase(rid.value);
+        PGT_RETURN_IF_ERROR(st);
+      }
+      return Status::OK();
+    };
+    return dfs(start, 0);
+  }
+
+  const Pattern& pattern_;
+  MatchState* state_;
+};
+
+}  // namespace
+
+Status MatchPattern(const Pattern& pattern, const Row& row, EvalContext& ctx,
+                    const std::function<Status(const Row&)>& emit) {
+  MatchState state;
+  state.ctx = &ctx;
+  state.emit = &emit;
+  PartMatcher matcher(pattern, &state);
+  return matcher.Run(row);
+}
+
+namespace {
+/// Sentinel used to stop enumeration early in PatternExists.
+const char kFoundSentinel[] = "__pgt_match_found__";
+}  // namespace
+
+Result<bool> PatternExists(const Pattern& pattern, const Expr* where,
+                           const Row& row, EvalContext& ctx) {
+  bool found = false;
+  Status st = MatchPattern(
+      pattern, row, ctx, [&](const Row& match) -> Status {
+        if (where != nullptr) {
+          PGT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*where, match, ctx));
+          if (!pass) return Status::OK();
+        }
+        found = true;
+        return Status::Aborted(kFoundSentinel);  // early exit
+      });
+  if (!st.ok() && !(st.code() == StatusCode::kAborted &&
+                    st.message() == kFoundSentinel)) {
+    return st;
+  }
+  return found;
+}
+
+std::vector<std::string> PatternVariables(const Pattern& pattern,
+                                          const Row& row) {
+  std::vector<std::string> out;
+  auto add = [&](const std::string& v) {
+    if (v.empty() || row.Has(v)) return;
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  };
+  for (const PatternPart& part : pattern.parts) {
+    add(part.first.var);
+    for (const auto& [rel, node] : part.chain) {
+      add(rel.var);
+      add(node.var);
+    }
+  }
+  return out;
+}
+
+}  // namespace pgt::cypher

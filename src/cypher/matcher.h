@@ -1,0 +1,44 @@
+#ifndef PGTRIGGERS_CYPHER_MATCHER_H_
+#define PGTRIGGERS_CYPHER_MATCHER_H_
+
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/cypher/ast.h"
+#include "src/cypher/eval.h"
+
+namespace pgt::cypher {
+
+/// Pattern matcher over the graph store.
+///
+/// Semantics follow openCypher:
+///  * comma-separated parts are matched left to right in one binding scope;
+///  * variables already bound in `row` constrain the match;
+///  * relationship uniqueness: one MATCH never binds the same relationship
+///    twice (including within variable-length paths);
+///  * variable-length patterns `-[*min..max]-` bind their variable to the
+///    list of traversed relationships;
+///  * label names that name a transition set (NEWNODES, ... or an alias)
+///    act as pseudo-labels restricting candidates to that set (DESIGN.md
+///    D6); deleted items in OLD sets match node patterns but traverse no
+///    relationships.
+///
+/// `emit` is called once per complete match with the extended row; it may
+/// return a non-OK status to abort enumeration (propagated to the caller).
+Status MatchPattern(const Pattern& pattern, const Row& row, EvalContext& ctx,
+                    const std::function<Status(const Row&)>& emit);
+
+/// Returns true iff at least one match exists (early exit). Used for
+/// EXISTS / pattern predicates; `where` (optional) filters matches.
+Result<bool> PatternExists(const Pattern& pattern, const Expr* where,
+                           const Row& row, EvalContext& ctx);
+
+/// Collects the variable names a pattern would introduce (not yet bound in
+/// `row`); used by OPTIONAL MATCH to bind them to NULL when nothing
+/// matches.
+std::vector<std::string> PatternVariables(const Pattern& pattern,
+                                          const Row& row);
+
+}  // namespace pgt::cypher
+
+#endif  // PGTRIGGERS_CYPHER_MATCHER_H_

@@ -1,0 +1,63 @@
+#ifndef PGTRIGGERS_CYPHER_TOKEN_H_
+#define PGTRIGGERS_CYPHER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pgt::cypher {
+
+/// Lexical token kinds. Keywords are lexed as kIdent and matched
+/// case-insensitively by the parser (Cypher keywords are context
+/// dependent). `<-` and `->` are *not* fused by the lexer: `a < -1` and a
+/// left-arrow produce the same token stream, and only the parser's context
+/// (expression vs pattern) disambiguates.
+enum class TokenType {
+  kEnd,
+  kIdent,        ///< bare or backtick-quoted identifier
+  kString,       ///< 'single' or "double" quoted literal
+  kInt,
+  kFloat,
+  kParam,        ///< $name
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kColon,
+  kSemicolon,
+  kDot,
+  kDotDot,       ///< .. (variable-length range)
+  kPipe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kCaret,
+  kEq,
+  kNeq,          ///< <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlusEq,       ///< +=
+};
+
+/// One lexed token with its source position (1-based line / column).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier / literal text (unquoted, unescaped)
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int col = 1;
+};
+
+/// Human-readable token description for error messages.
+std::string TokenToString(const Token& t);
+
+}  // namespace pgt::cypher
+
+#endif  // PGTRIGGERS_CYPHER_TOKEN_H_

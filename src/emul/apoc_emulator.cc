@@ -1,0 +1,320 @@
+#include "src/emul/apoc_emulator.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/cypher/parser.h"
+
+namespace pgt::emul {
+
+namespace {
+
+/// Converts a parameter-map Value (from apoc.do.when's fourth argument)
+/// into both query parameters and row bindings for the nested statement.
+void SeedFromMap(const Value& map, Params* params, cypher::Row* row) {
+  if (!map.is_map()) return;
+  for (const auto& [k, v] : map.map_value()) {
+    (*params)[k] = v;
+    row->Set(k, v);
+  }
+}
+
+}  // namespace
+
+ApocEmulator::ApocEmulator(Database* db) : db_(db) {
+  // apoc.do.when(condition, thenQuery, elseQuery, params) YIELD value.
+  db_->procedures().Register(
+      "apoc.do.when", {"value"},
+      [db](cypher::EvalContext& ctx, const std::vector<Value>& args,
+           const cypher::Row& row) -> Result<std::vector<cypher::Row>> {
+        (void)row;
+        if (args.size() < 3) {
+          return Status::InvalidArgument(
+              "apoc.do.when expects (condition, ifQuery, elseQuery[, "
+              "params])");
+        }
+        const bool cond = args[0].is_bool() && args[0].bool_value();
+        const Value& query_text =
+            cond ? args[1] : args[2];
+        cypher::Row out_row;
+        out_row.Set("value", Value::Bool(cond));
+        std::vector<cypher::Row> out = {out_row};
+        if (!query_text.is_string() || query_text.string_value().empty()) {
+          return out;
+        }
+        Params params;
+        cypher::Row seed;
+        if (args.size() >= 4) SeedFromMap(args[3], &params, &seed);
+        PGT_ASSIGN_OR_RETURN(
+            cypher::Query q,
+            cypher::Parser::ParseQuery(query_text.string_value()));
+        cypher::EvalContext sub = ctx;
+        sub.params = &params;
+        cypher::Executor exec(sub);
+        PGT_ASSIGN_OR_RETURN(auto rows, exec.RunClauses(q.clauses, {seed}));
+        (void)rows;
+        return out;
+      });
+}
+
+Status ApocEmulator::Install(const std::string& name,
+                             const std::string& statement,
+                             const std::string& phase) {
+  if (phase != "before" && phase != "rollback" && phase != "after" &&
+      phase != "afterAsync") {
+    return Status::InvalidArgument("unknown APOC phase '" + phase + "'");
+  }
+  for (const InstalledTrigger& t : triggers_) {
+    if (t.name == name) {
+      return Status::AlreadyExists("APOC trigger '" + name +
+                                   "' already installed");
+    }
+  }
+  InstalledTrigger trigger;
+  trigger.name = name;
+  trigger.phase = phase;
+  trigger.source = statement;
+  PGT_ASSIGN_OR_RETURN(trigger.query, cypher::Parser::ParseQuery(statement));
+  triggers_.push_back(std::move(trigger));
+  return Status::OK();
+}
+
+Status ApocEmulator::Install(const translate::ApocTrigger& trigger) {
+  return Install(trigger.name, trigger.statement, trigger.phase);
+}
+
+Status ApocEmulator::Drop(const std::string& name) {
+  for (auto it = triggers_.begin(); it != triggers_.end(); ++it) {
+    if (it->name == name) {
+      triggers_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("APOC trigger '" + name + "' not installed");
+}
+
+void ApocEmulator::DropAll() { triggers_.clear(); }
+
+Status ApocEmulator::Stop(const std::string& name) {
+  for (InstalledTrigger& t : triggers_) {
+    if (t.name == name) {
+      t.paused = true;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("APOC trigger '" + name + "' not installed");
+}
+
+Status ApocEmulator::Start(const std::string& name) {
+  for (InstalledTrigger& t : triggers_) {
+    if (t.name == name) {
+      t.paused = false;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("APOC trigger '" + name + "' not installed");
+}
+
+uint64_t ApocEmulator::fired(const std::string& name) const {
+  for (const InstalledTrigger& t : triggers_) {
+    if (t.name == name) return t.fired;
+  }
+  return 0;
+}
+
+void ApocEmulator::QueueInterleaved(const std::string& statement) {
+  interleaved_.push_back(statement);
+}
+
+Params ApocEmulator::BuildUtilityParams(const GraphDelta& delta,
+                                        const GraphStore& store) {
+  Params params;
+  {
+    Value::List nodes;
+    for (NodeId id : delta.created_nodes) nodes.push_back(Value::Node(id));
+    params["createdNodes"] = Value::MakeList(std::move(nodes));
+  }
+  {
+    Value::List rels;
+    for (RelId id : delta.created_rels) rels.push_back(Value::Rel(id));
+    params["createdRelationships"] = Value::MakeList(std::move(rels));
+  }
+  {
+    Value::List nodes;
+    for (const DeletedNodeImage& img : delta.deleted_nodes) {
+      nodes.push_back(Value::Node(img.id));
+    }
+    params["deletedNodes"] = Value::MakeList(std::move(nodes));
+  }
+  {
+    Value::List rels;
+    for (const DeletedRelImage& img : delta.deleted_rels) {
+      rels.push_back(Value::Rel(img.id));
+    }
+    params["deletedRelationships"] = Value::MakeList(std::move(rels));
+  }
+  // assignedLabels / removedLabels: map label name -> list of nodes.
+  auto label_map = [&](const std::vector<LabelChange>& changes) {
+    std::map<std::string, Value::List> by_label;
+    for (const LabelChange& lc : changes) {
+      by_label[store.LabelName(lc.label)].push_back(Value::Node(lc.node));
+    }
+    Value::Map out;
+    for (auto& [label, nodes] : by_label) {
+      out[label] = Value::MakeList(std::move(nodes));
+    }
+    return Value::MakeMap(std::move(out));
+  };
+  params["assignedLabels"] = label_map(delta.assigned_labels);
+  params["removedLabels"] = label_map(delta.removed_labels);
+  // assigned/removed node properties: map key -> list of quadruples/triples
+  // {node, key, old, new} (Table 2).
+  auto node_prop_map = [&](const std::vector<NodePropChange>& changes,
+                           bool with_new) {
+    std::map<std::string, Value::List> by_key;
+    for (const NodePropChange& pc : changes) {
+      Value::Map entry;
+      entry["node"] = Value::Node(pc.node);
+      entry["key"] = Value::String(store.PropKeyName(pc.key));
+      entry["old"] = pc.old_value;
+      if (with_new) entry["new"] = pc.new_value;
+      by_key[store.PropKeyName(pc.key)].push_back(
+          Value::MakeMap(std::move(entry)));
+    }
+    Value::Map out;
+    for (auto& [key, list] : by_key) {
+      out[key] = Value::MakeList(std::move(list));
+    }
+    return Value::MakeMap(std::move(out));
+  };
+  params["assignedNodeProperties"] =
+      node_prop_map(delta.assigned_node_props, /*with_new=*/true);
+  params["removedNodeProperties"] =
+      node_prop_map(delta.removed_node_props, /*with_new=*/false);
+  auto rel_prop_map = [&](const std::vector<RelPropChange>& changes,
+                          bool with_new) {
+    std::map<std::string, Value::List> by_key;
+    for (const RelPropChange& pc : changes) {
+      Value::Map entry;
+      entry["rel"] = Value::Rel(pc.rel);
+      entry["key"] = Value::String(store.PropKeyName(pc.key));
+      entry["old"] = pc.old_value;
+      if (with_new) entry["new"] = pc.new_value;
+      by_key[store.PropKeyName(pc.key)].push_back(
+          Value::MakeMap(std::move(entry)));
+    }
+    Value::Map out;
+    for (auto& [key, list] : by_key) {
+      out[key] = Value::MakeList(std::move(list));
+    }
+    return Value::MakeMap(std::move(out));
+  };
+  params["assignedRelProperties"] =
+      rel_prop_map(delta.assigned_rel_props, /*with_new=*/true);
+  params["removedRelProperties"] =
+      rel_prop_map(delta.removed_rel_props, /*with_new=*/false);
+  return params;
+}
+
+std::vector<ApocEmulator::InstalledTrigger*> ApocEmulator::ByPhaseAlphabetical(
+    const std::vector<std::string>& phases) {
+  std::vector<InstalledTrigger*> out;
+  for (InstalledTrigger& t : triggers_) {
+    if (t.paused) continue;
+    for (const std::string& p : phases) {
+      if (t.phase == p) {
+        out.push_back(&t);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InstalledTrigger* a, const InstalledTrigger* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+Status ApocEmulator::RunTriggerQuery(Transaction& tx,
+                                     InstalledTrigger& trigger,
+                                     const Params& params) {
+  ++trigger.fired;
+  cypher::EvalContext ctx = db_->MakeEvalContext(&tx, &params, nullptr);
+  cypher::Executor exec(ctx);
+  PGT_ASSIGN_OR_RETURN(auto rows,
+                       exec.RunClauses(trigger.query.clauses,
+                                       {cypher::Row{}}));
+  (void)rows;
+  return Status::OK();
+}
+
+Status ApocEmulator::OnStatement(Transaction& tx, const GraphDelta& delta) {
+  // APOC triggers are transaction-scoped; nothing happens per statement.
+  (void)tx;
+  (void)delta;
+  return Status::OK();
+}
+
+Status ApocEmulator::OnCommitPoint(Transaction& tx) {
+  if (in_trigger_context_) return Status::OK();  // no cascading (§5.1)
+  // The 'before' phase: every installed before-trigger runs exactly once,
+  // in alphabetical order, on the whole transaction delta — regardless of
+  // what the transaction actually touched.
+  const GraphDelta delta = tx.AccumulatedDelta();
+  if (delta.Empty()) return Status::OK();
+  Params params = BuildUtilityParams(delta, db_->store());
+  for (InstalledTrigger* t : ByPhaseAlphabetical({"before"})) {
+    tx.PushDeltaScope();
+    Status st = RunTriggerQuery(tx, *t, params);
+    tx.PopDeltaScope();  // effects merge; they never re-activate triggers
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status ApocEmulator::AfterCommit(const GraphDelta& tx_delta) {
+  if (in_trigger_context_) return Status::OK();  // cascade blocked (§5.1)
+  if (tx_delta.Empty()) return Status::OK();
+  std::vector<InstalledTrigger*> to_run =
+      ByPhaseAlphabetical({"after", "afterAsync"});
+  if (to_run.empty()) return Status::OK();
+
+  // afterAsync race: other transactions may commit between the activating
+  // commit and the trigger execution (deterministically injected here).
+  std::vector<std::string> interleaved = std::move(interleaved_);
+  interleaved_.clear();
+  for (const std::string& stmt : interleaved) {
+    auto r = db_->Execute(stmt);
+    PGT_RETURN_IF_ERROR(r.status());
+  }
+
+  in_trigger_context_ = true;
+  Params params = BuildUtilityParams(tx_delta, db_->store());
+  auto tx_or = db_->BeginTx();
+  if (!tx_or.ok()) {
+    in_trigger_context_ = false;
+    return tx_or.status();
+  }
+  std::unique_ptr<Transaction> tx = std::move(tx_or).value();
+  // Keep deleted items readable inside the trigger transaction.
+  for (const DeletedNodeImage& img : tx_delta.deleted_nodes) {
+    tx->InjectGhostNode(img);
+  }
+  for (const DeletedRelImage& img : tx_delta.deleted_rels) {
+    tx->InjectGhostRel(img);
+  }
+  Status st = Status::OK();
+  for (InstalledTrigger* t : to_run) {
+    st = RunTriggerQuery(*tx, *t, params);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) {
+    st = db_->CommitWithTriggers(std::move(tx));
+  } else {
+    db_->RollbackAndRelease(std::move(tx));
+  }
+  in_trigger_context_ = false;
+  return st;
+}
+
+}  // namespace pgt::emul

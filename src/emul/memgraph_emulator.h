@@ -1,0 +1,76 @@
+#ifndef PGTRIGGERS_EMUL_MEMGRAPH_EMULATOR_H_
+#define PGTRIGGERS_EMUL_MEMGRAPH_EMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trigger/database.h"
+#include "src/translate/memgraph_translator.h"
+
+namespace pgt::emul {
+
+/// Emulation of the Memgraph trigger runtime (paper Section 5.2):
+///
+///  * `CREATE TRIGGER name [ON () CREATE | ON --> CREATE | ...]
+///    BEFORE|AFTER COMMIT EXECUTE <openCypher>`;
+///  * the statement sees the Table 4 predefined variables
+///    (createdVertices, deletedEdges, setVertexProperties, ...) as plain
+///    bindings — no $parameters, unlike APOC;
+///  * BEFORE COMMIT runs right before the commit of the activating
+///    transaction, inside it; AFTER COMMIT runs asynchronously after it, in
+///    a new transaction;
+///  * like APOC, triggers do not cascade: changes made by trigger
+///    executions never activate triggers ("the trigger management
+///    implementations ... are identical to those of Neo4j APOC procedures,
+///    therefore also in Memgraph triggers do not correctly cascade");
+///  * triggers run in creation order (no alphabetic reordering).
+class MemgraphEmulator : public TriggerRuntime {
+ public:
+  struct InstalledTrigger {
+    std::string name;
+    translate::MgEventClass event_class = translate::MgEventClass::kAny;
+    bool before_commit = false;
+    cypher::Query query;
+    std::string source;
+    uint64_t fired = 0;
+  };
+
+  explicit MemgraphEmulator(Database* db) : db_(db) {}
+
+  Status Install(const std::string& name,
+                 translate::MgEventClass event_class, bool before_commit,
+                 const std::string& statement);
+  Status Install(const translate::MemgraphTrigger& trigger);
+  Status Drop(const std::string& name);
+  void DropAll();
+
+  const std::vector<InstalledTrigger>& triggers() const { return triggers_; }
+  uint64_t fired(const std::string& name) const;
+
+  // --- TriggerRuntime -------------------------------------------------------
+  Status OnStatement(Transaction& tx, const GraphDelta& delta) override;
+  Status OnCommitPoint(Transaction& tx) override;
+  Status AfterCommit(const GraphDelta& tx_delta) override;
+  const char* name() const override { return "memgraph-emulation"; }
+
+  /// Builds the Table 4 predefined-variable bindings from a delta
+  /// (exposed for the Table 4 bench).
+  static cypher::Row BuildPredefinedVars(const GraphDelta& delta,
+                                         const GraphStore& store);
+
+  /// Does the event class fire for this delta?
+  static bool EventClassMatches(translate::MgEventClass e,
+                                const GraphDelta& delta);
+
+ private:
+  Status RunTrigger(Transaction& tx, InstalledTrigger& trigger,
+                    const cypher::Row& vars);
+
+  Database* db_;
+  std::vector<InstalledTrigger> triggers_;
+  bool in_trigger_context_ = false;
+};
+
+}  // namespace pgt::emul
+
+#endif  // PGTRIGGERS_EMUL_MEMGRAPH_EMULATOR_H_

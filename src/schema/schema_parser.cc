@@ -1,0 +1,146 @@
+#include "src/common/macros.h"
+#include "src/common/str_util.h"
+#include "src/cypher/lexer.h"
+#include "src/cypher/parser.h"
+#include "src/schema/pg_schema.h"
+
+namespace pgt::schema {
+
+namespace {
+
+using cypher::Parser;
+using cypher::Token;
+using cypher::TokenType;
+
+Result<PropType> ParsePropType(Parser& p) {
+  if (p.AcceptKeyword("STRING")) return PropType::kString;
+  if (p.AcceptKeyword("CHAR")) return PropType::kChar;
+  if (p.AcceptKeyword("INT32") || p.AcceptKeyword("INT") ||
+      p.AcceptKeyword("INTEGER")) {
+    return PropType::kInt;
+  }
+  if (p.AcceptKeyword("DOUBLE") || p.AcceptKeyword("FLOAT")) {
+    return PropType::kDouble;
+  }
+  if (p.AcceptKeyword("BOOL") || p.AcceptKeyword("BOOLEAN")) {
+    return PropType::kBool;
+  }
+  if (p.AcceptKeyword("DATETIME")) return PropType::kDateTime;
+  if (p.AcceptKeyword("DATE")) return PropType::kDate;
+  if (p.AcceptKeyword("ANY")) return PropType::kAny;
+  if (p.AcceptKeyword("ARRAY")) {
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kLBracket, "'['").status());
+    if (!p.AcceptKeyword("STRING")) {
+      return p.MakeError("only ARRAY[STRING] is supported");
+    }
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kRBracket, "']'").status());
+    return PropType::kStringArray;
+  }
+  return p.MakeError("expected a property type");
+}
+
+Result<std::vector<PropertySpec>> ParseProps(Parser& p) {
+  std::vector<PropertySpec> props;
+  if (!p.Accept(TokenType::kLBrace)) return props;
+  if (p.Accept(TokenType::kRBrace)) return props;
+  while (true) {
+    PropertySpec spec;
+    PGT_ASSIGN_OR_RETURN(spec.name, p.ParseNameOrString("property name"));
+    // Allow the Figure 4 style "name : STRING" as well as "name STRING".
+    p.Accept(TokenType::kColon);
+    PGT_ASSIGN_OR_RETURN(spec.type, ParsePropType(p));
+    while (true) {
+      if (p.AcceptKeyword("OPTIONAL")) {
+        spec.optional = true;
+        continue;
+      }
+      if (p.AcceptKeyword("KEY")) {
+        spec.is_key = true;
+        continue;
+      }
+      break;
+    }
+    props.push_back(std::move(spec));
+    if (!p.Accept(TokenType::kComma)) break;
+  }
+  PGT_RETURN_IF_ERROR(p.Expect(TokenType::kRBrace, "'}'").status());
+  return props;
+}
+
+/// Element forms:
+///   (TypeName : Label [<: Parent] [OPEN] {props})      node type
+///   (:SrcType)-[TypeName : RelType {props}]->(:DstType) edge type
+Status ParseElement(Parser& p, SchemaDef* schema) {
+  PGT_RETURN_IF_ERROR(p.Expect(TokenType::kLParen, "'('").status());
+  if (p.Accept(TokenType::kColon)) {
+    // Edge type.
+    EdgeTypeSpec edge;
+    PGT_ASSIGN_OR_RETURN(edge.src_type, p.ParseNameOrString("source type"));
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kRParen, "')'").status());
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kMinus, "'-'").status());
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kLBracket, "'['").status());
+    PGT_ASSIGN_OR_RETURN(edge.type_name, p.ParseNameOrString("edge type"));
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kColon, "':'").status());
+    PGT_ASSIGN_OR_RETURN(edge.rel_type,
+                         p.ParseNameOrString("relationship type"));
+    PGT_ASSIGN_OR_RETURN(edge.props, ParseProps(p));
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kRBracket, "']'").status());
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kMinus, "'-'").status());
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kGt, "'>'").status());
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kLParen, "'('").status());
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kColon, "':'").status());
+    PGT_ASSIGN_OR_RETURN(edge.dst_type, p.ParseNameOrString("target type"));
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kRParen, "')'").status());
+    schema->edge_types.push_back(std::move(edge));
+    return Status::OK();
+  }
+  // Node type.
+  NodeTypeSpec node;
+  PGT_ASSIGN_OR_RETURN(node.type_name, p.ParseNameOrString("type name"));
+  PGT_RETURN_IF_ERROR(p.Expect(TokenType::kColon, "':'").status());
+  PGT_ASSIGN_OR_RETURN(node.label, p.ParseNameOrString("label"));
+  if (p.Peek().type == TokenType::kLt &&
+      p.Peek(1).type == TokenType::kColon) {
+    p.Accept(TokenType::kLt);
+    p.Accept(TokenType::kColon);
+    PGT_ASSIGN_OR_RETURN(node.parent, p.ParseNameOrString("parent type"));
+  }
+  if (p.AcceptKeyword("OPEN")) node.open = true;
+  PGT_ASSIGN_OR_RETURN(node.props, ParseProps(p));
+  PGT_RETURN_IF_ERROR(p.Expect(TokenType::kRParen, "')'").status());
+  schema->node_types.push_back(std::move(node));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SchemaDef> ParseSchemaDdl(std::string_view text) {
+  PGT_ASSIGN_OR_RETURN(std::vector<Token> toks, cypher::Lexer::Tokenize(text));
+  Parser p(std::move(toks));
+  PGT_RETURN_IF_ERROR(p.ExpectKeyword("CREATE"));
+  PGT_RETURN_IF_ERROR(p.ExpectKeyword("GRAPH"));
+  PGT_RETURN_IF_ERROR(p.ExpectKeyword("TYPE"));
+  SchemaDef schema;
+  PGT_ASSIGN_OR_RETURN(schema.name, p.ParseNameOrString("graph type name"));
+  if (p.AcceptKeyword("STRICT")) {
+    schema.strict = true;
+  } else if (p.AcceptKeyword("LOOSE")) {
+    schema.strict = false;
+  }
+  PGT_RETURN_IF_ERROR(p.Expect(TokenType::kLBrace, "'{'").status());
+  if (!p.Accept(TokenType::kRBrace)) {
+    while (true) {
+      PGT_RETURN_IF_ERROR(ParseElement(p, &schema));
+      if (!p.Accept(TokenType::kComma)) break;
+    }
+    PGT_RETURN_IF_ERROR(p.Expect(TokenType::kRBrace, "'}'").status());
+  }
+  p.Accept(TokenType::kSemicolon);
+  if (!p.AtEnd()) {
+    return p.MakeError("unexpected input after graph type definition");
+  }
+  PGT_RETURN_IF_ERROR(schema.Check());
+  return schema;
+}
+
+}  // namespace pgt::schema

@@ -1,0 +1,222 @@
+#include "src/schema/validator.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pgt::schema {
+
+namespace {
+
+const char* KindName(Violation::Kind k) {
+  switch (k) {
+    case Violation::Kind::kUntypedNode:
+      return "untyped-node";
+    case Violation::Kind::kMissingProperty:
+      return "missing-property";
+    case Violation::Kind::kWrongType:
+      return "wrong-type";
+    case Violation::Kind::kExtraProperty:
+      return "extra-property";
+    case Violation::Kind::kKeyViolation:
+      return "key-violation";
+    case Violation::Kind::kUntypedEdge:
+      return "untyped-edge";
+    case Violation::Kind::kBadEndpoint:
+      return "bad-endpoint";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Violation::ToString() const {
+  return std::string(KindName(kind)) + " " + item + ": " + detail;
+}
+
+std::string ValidationReport::Summary() const {
+  std::ostringstream os;
+  os << "checked " << nodes_checked << " nodes, " << rels_checked
+     << " relationships: "
+     << (violations.empty() ? "conformant"
+                            : std::to_string(violations.size()) +
+                                  " violation(s)");
+  return os.str();
+}
+
+ValidationReport ValidateGraph(const GraphStore& store,
+                               const SchemaDef& schema) {
+  ValidationReport report;
+
+  // Most-specific type resolution: for each node, the declared type with
+  // the longest ancestor chain whose labels are all carried by the node.
+  auto resolve_type = [&](const std::vector<LabelId>& labels)
+      -> const NodeTypeSpec* {
+    std::set<std::string> names;
+    for (LabelId l : labels) names.insert(store.LabelName(l));
+    const NodeTypeSpec* best = nullptr;
+    size_t best_depth = 0;
+    for (const NodeTypeSpec& t : schema.node_types) {
+      auto chain = schema.EffectiveLabels(t);
+      if (!chain.ok()) continue;
+      bool all = true;
+      for (const std::string& l : chain.value()) {
+        if (names.count(l) == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all && chain.value().size() >= best_depth &&
+          names.count(t.label) > 0) {
+        // Prefer deeper (more specific) types.
+        if (best == nullptr || chain.value().size() > best_depth) {
+          best = &t;
+          best_depth = chain.value().size();
+        }
+      }
+    }
+    return best;
+  };
+
+  // key (type_name, prop) -> value -> first node id
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, uint64_t>>
+      key_values;
+
+  for (NodeId id : store.AllNodes()) {
+    ++report.nodes_checked;
+    const NodeRecord* n = store.GetNode(id);
+    const std::string item = "node " + std::to_string(id.value);
+    const NodeTypeSpec* t = resolve_type(n->labels);
+    if (t == nullptr) {
+      if (schema.strict) {
+        std::string labels;
+        for (LabelId l : n->labels) labels += ":" + store.LabelName(l);
+        report.violations.push_back(
+            {Violation::Kind::kUntypedNode, item,
+             "labels [" + labels + "] match no declared node type"});
+      }
+      continue;
+    }
+    // STRICT: the node's labels must be exactly the type's label chain.
+    if (schema.strict) {
+      auto chain = schema.EffectiveLabels(*t);
+      std::set<std::string> expect(chain.value().begin(),
+                                   chain.value().end());
+      std::set<std::string> have;
+      for (LabelId l : n->labels) have.insert(store.LabelName(l));
+      if (have != expect) {
+        std::string labels;
+        for (const std::string& l : have) labels += ":" + l;
+        report.violations.push_back(
+            {Violation::Kind::kUntypedNode, item,
+             "labels [" + labels + "] are not exactly the chain of type " +
+                 t->type_name});
+        continue;
+      }
+    }
+    auto props = schema.EffectiveProps(*t);
+    std::set<std::string> declared;
+    for (const PropertySpec& p : props.value()) {
+      declared.insert(p.name);
+      auto key = store.LookupPropKey(p.name);
+      Value v = key.has_value() ? store.GetNodeProp(id, *key) : Value::Null();
+      if (v.is_null()) {
+        if (!p.optional) {
+          report.violations.push_back(
+              {Violation::Kind::kMissingProperty, item,
+               "required property '" + p.name + "' of type " + t->type_name +
+                   " is absent"});
+        }
+        continue;
+      }
+      if (!ValueConformsTo(v, p.type)) {
+        report.violations.push_back(
+            {Violation::Kind::kWrongType, item,
+             "property '" + p.name + "' = " + v.ToString() +
+                 " does not conform to " + PropTypeName(p.type)});
+      }
+      if (p.is_key) {
+        auto& seen = key_values[{t->type_name, p.name}];
+        const std::string repr = v.ToString();
+        auto [it, inserted] = seen.emplace(repr, id.value);
+        if (!inserted) {
+          report.violations.push_back(
+              {Violation::Kind::kKeyViolation, item,
+               "key '" + p.name + "' value " + repr +
+                   " duplicates node " + std::to_string(it->second)});
+        }
+      }
+    }
+    if (!t->open) {
+      for (const auto& [pk, pv] : n->props) {
+        (void)pv;
+        const std::string& pname = store.PropKeyName(pk);
+        if (declared.count(pname) == 0) {
+          report.violations.push_back(
+              {Violation::Kind::kExtraProperty, item,
+               "undeclared property '" + pname + "' on non-OPEN type " +
+                   t->type_name});
+        }
+      }
+    }
+  }
+
+  for (RelId id : store.AllRels()) {
+    ++report.rels_checked;
+    const RelRecord* r = store.GetRel(id);
+    const std::string item = "rel " + std::to_string(id.value);
+    const std::string type_name = store.RelTypeName(r->type);
+    const EdgeTypeSpec* e = schema.FindEdgeType(type_name);
+    if (e == nullptr) {
+      if (schema.strict) {
+        report.violations.push_back(
+            {Violation::Kind::kUntypedEdge, item,
+             "relationship type '" + type_name + "' is not declared"});
+      }
+      continue;
+    }
+    auto endpoint_ok = [&](NodeId node, const std::string& want_type) {
+      const NodeTypeSpec* want = schema.FindNodeType(want_type);
+      if (want == nullptr) return false;
+      const NodeRecord* rec = store.GetNode(node);
+      if (rec == nullptr) return false;
+      for (LabelId l : rec->labels) {
+        if (store.LabelName(l) == want->label) return true;
+      }
+      return false;
+    };
+    if (!endpoint_ok(r->src, e->src_type)) {
+      report.violations.push_back(
+          {Violation::Kind::kBadEndpoint, item,
+           "source of :" + type_name + " is not a " + e->src_type});
+    }
+    if (!endpoint_ok(r->dst, e->dst_type)) {
+      report.violations.push_back(
+          {Violation::Kind::kBadEndpoint, item,
+           "target of :" + type_name + " is not a " + e->dst_type});
+    }
+    for (const PropertySpec& p : e->props) {
+      auto key = store.LookupPropKey(p.name);
+      Value v = key.has_value() ? store.GetRelProp(id, *key) : Value::Null();
+      if (v.is_null()) {
+        if (!p.optional) {
+          report.violations.push_back(
+              {Violation::Kind::kMissingProperty, item,
+               "required property '" + p.name + "' of edge type " +
+                   e->type_name + " is absent"});
+        }
+        continue;
+      }
+      if (!ValueConformsTo(v, p.type)) {
+        report.violations.push_back(
+            {Violation::Kind::kWrongType, item,
+             "property '" + p.name + "' = " + v.ToString() +
+                 " does not conform to " + PropTypeName(p.type)});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace pgt::schema

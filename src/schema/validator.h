@@ -1,0 +1,48 @@
+#ifndef PGTRIGGERS_SCHEMA_VALIDATOR_H_
+#define PGTRIGGERS_SCHEMA_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/schema/pg_schema.h"
+#include "src/storage/graph_store.h"
+
+namespace pgt::schema {
+
+/// One validation finding.
+struct Violation {
+  enum class Kind {
+    kUntypedNode,        ///< STRICT: node labels match no declared type
+    kMissingProperty,    ///< required property absent
+    kWrongType,          ///< property value type mismatch
+    kExtraProperty,      ///< non-OPEN type carries an undeclared property
+    kKeyViolation,       ///< duplicate PG-Key value within a type
+    kUntypedEdge,        ///< STRICT: relationship type not declared
+    kBadEndpoint,        ///< edge endpoints violate the declared types
+  };
+  Kind kind;
+  std::string item;     // "node 17" / "rel 4"
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Result of validating a graph against a schema.
+struct ValidationReport {
+  size_t nodes_checked = 0;
+  size_t rels_checked = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// Validates every alive node and relationship of `store` against `schema`
+/// (type conformance, required/extra properties, PG-Key uniqueness, edge
+/// endpoint types with inheritance).
+ValidationReport ValidateGraph(const GraphStore& store,
+                               const SchemaDef& schema);
+
+}  // namespace pgt::schema
+
+#endif  // PGTRIGGERS_SCHEMA_VALIDATOR_H_

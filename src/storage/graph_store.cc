@@ -1,0 +1,318 @@
+#include "src/storage/graph_store.h"
+
+#include <algorithm>
+
+namespace pgt {
+
+bool NodeRecord::HasLabel(LabelId l) const {
+  return std::binary_search(labels.begin(), labels.end(), l);
+}
+
+// --- Nodes ------------------------------------------------------------------
+
+NodeId GraphStore::CreateNode(const std::vector<LabelId>& labels,
+                              std::map<PropKeyId, Value> props) {
+  NodeRecord rec;
+  rec.id = NodeId{nodes_.size()};
+  rec.labels = labels;
+  std::sort(rec.labels.begin(), rec.labels.end());
+  rec.labels.erase(std::unique(rec.labels.begin(), rec.labels.end()),
+                   rec.labels.end());
+  rec.props = std::move(props);
+  const NodeId id = rec.id;
+  nodes_.push_back(std::move(rec));
+  ++alive_nodes_;
+  for (LabelId l : nodes_.back().labels) IndexNodeLabel(id, l);
+  return id;
+}
+
+const NodeRecord* GraphStore::GetNode(NodeId id) const {
+  if (id.value >= nodes_.size()) return nullptr;
+  return &nodes_[id.value];
+}
+
+NodeRecord* GraphStore::MutableNode(NodeId id) {
+  if (id.value >= nodes_.size()) return nullptr;
+  return &nodes_[id.value];
+}
+
+bool GraphStore::NodeAlive(NodeId id) const {
+  const NodeRecord* n = GetNode(id);
+  return n != nullptr && n->alive;
+}
+
+Status GraphStore::DeleteNode(NodeId id) {
+  NodeRecord* n = MutableNode(id);
+  if (n == nullptr || !n->alive) {
+    return Status::NotFound("node " + std::to_string(id.value));
+  }
+  for (RelId r : n->out_rels) {
+    if (RelAlive(r)) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(id.value) +
+          " still has relationships; DETACH DELETE required");
+    }
+  }
+  for (RelId r : n->in_rels) {
+    if (RelAlive(r)) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(id.value) +
+          " still has relationships; DETACH DELETE required");
+    }
+  }
+  for (LabelId l : n->labels) UnindexNodeLabel(id, l);
+  n->alive = false;
+  --alive_nodes_;
+  return Status::OK();
+}
+
+Status GraphStore::ReviveNode(NodeId id, const std::vector<LabelId>& labels,
+                              std::map<PropKeyId, Value> props) {
+  NodeRecord* n = MutableNode(id);
+  if (n == nullptr) {
+    return Status::NotFound("node " + std::to_string(id.value));
+  }
+  if (n->alive) {
+    return Status::FailedPrecondition("node is alive");
+  }
+  n->alive = true;
+  n->labels = labels;
+  std::sort(n->labels.begin(), n->labels.end());
+  n->props = std::move(props);
+  ++alive_nodes_;
+  for (LabelId l : n->labels) IndexNodeLabel(id, l);
+  return Status::OK();
+}
+
+Result<bool> GraphStore::AddLabel(NodeId id, LabelId label) {
+  NodeRecord* n = MutableNode(id);
+  if (n == nullptr || !n->alive) {
+    return Status::NotFound("node " + std::to_string(id.value));
+  }
+  auto it = std::lower_bound(n->labels.begin(), n->labels.end(), label);
+  if (it != n->labels.end() && *it == label) return false;
+  n->labels.insert(it, label);
+  IndexNodeLabel(id, label);
+  return true;
+}
+
+Result<bool> GraphStore::RemoveLabel(NodeId id, LabelId label) {
+  NodeRecord* n = MutableNode(id);
+  if (n == nullptr || !n->alive) {
+    return Status::NotFound("node " + std::to_string(id.value));
+  }
+  auto it = std::lower_bound(n->labels.begin(), n->labels.end(), label);
+  if (it == n->labels.end() || *it != label) return false;
+  n->labels.erase(it);
+  UnindexNodeLabel(id, label);
+  return true;
+}
+
+Result<Value> GraphStore::SetNodeProp(NodeId id, PropKeyId key, Value value) {
+  NodeRecord* n = MutableNode(id);
+  if (n == nullptr || !n->alive) {
+    return Status::NotFound("node " + std::to_string(id.value));
+  }
+  Value old;
+  auto it = n->props.find(key);
+  if (it != n->props.end()) old = it->second;
+  if (value.is_null()) {
+    // Cypher semantics: SET n.p = null removes the property.
+    n->props.erase(key);
+  } else {
+    n->props[key] = std::move(value);
+  }
+  return old;
+}
+
+Result<Value> GraphStore::RemoveNodeProp(NodeId id, PropKeyId key) {
+  NodeRecord* n = MutableNode(id);
+  if (n == nullptr || !n->alive) {
+    return Status::NotFound("node " + std::to_string(id.value));
+  }
+  Value old;
+  auto it = n->props.find(key);
+  if (it != n->props.end()) {
+    old = it->second;
+    n->props.erase(it);
+  }
+  return old;
+}
+
+Value GraphStore::GetNodeProp(NodeId id, PropKeyId key) const {
+  const NodeRecord* n = GetNode(id);
+  if (n == nullptr) return Value::Null();
+  auto it = n->props.find(key);
+  return it == n->props.end() ? Value::Null() : it->second;
+}
+
+// --- Relationships -----------------------------------------------------------
+
+Result<RelId> GraphStore::CreateRel(NodeId src, RelTypeId type, NodeId dst,
+                                    std::map<PropKeyId, Value> props) {
+  NodeRecord* s = MutableNode(src);
+  NodeRecord* d = MutableNode(dst);
+  if (s == nullptr || !s->alive) {
+    return Status::NotFound("source node " + std::to_string(src.value));
+  }
+  if (d == nullptr || !d->alive) {
+    return Status::NotFound("target node " + std::to_string(dst.value));
+  }
+  RelRecord rec;
+  rec.id = RelId{rels_.size()};
+  rec.type = type;
+  rec.src = src;
+  rec.dst = dst;
+  rec.props = std::move(props);
+  const RelId id = rec.id;
+  rels_.push_back(std::move(rec));
+  ++alive_rels_;
+  s->out_rels.push_back(id);
+  d->in_rels.push_back(id);
+  return id;
+}
+
+const RelRecord* GraphStore::GetRel(RelId id) const {
+  if (id.value >= rels_.size()) return nullptr;
+  return &rels_[id.value];
+}
+
+RelRecord* GraphStore::MutableRel(RelId id) {
+  if (id.value >= rels_.size()) return nullptr;
+  return &rels_[id.value];
+}
+
+bool GraphStore::RelAlive(RelId id) const {
+  const RelRecord* r = GetRel(id);
+  return r != nullptr && r->alive;
+}
+
+Status GraphStore::DeleteRel(RelId id) {
+  RelRecord* r = MutableRel(id);
+  if (r == nullptr || !r->alive) {
+    return Status::NotFound("relationship " + std::to_string(id.value));
+  }
+  r->alive = false;
+  --alive_rels_;
+  return Status::OK();
+}
+
+Status GraphStore::ReviveRel(RelId id, std::map<PropKeyId, Value> props) {
+  RelRecord* r = MutableRel(id);
+  if (r == nullptr) {
+    return Status::NotFound("relationship " + std::to_string(id.value));
+  }
+  if (r->alive) return Status::FailedPrecondition("relationship is alive");
+  if (!NodeAlive(r->src) || !NodeAlive(r->dst)) {
+    return Status::FailedPrecondition("endpoint not alive");
+  }
+  r->alive = true;
+  r->props = std::move(props);
+  ++alive_rels_;
+  return Status::OK();
+}
+
+Result<Value> GraphStore::SetRelProp(RelId id, PropKeyId key, Value value) {
+  RelRecord* r = MutableRel(id);
+  if (r == nullptr || !r->alive) {
+    return Status::NotFound("relationship " + std::to_string(id.value));
+  }
+  Value old;
+  auto it = r->props.find(key);
+  if (it != r->props.end()) old = it->second;
+  if (value.is_null()) {
+    r->props.erase(key);
+  } else {
+    r->props[key] = std::move(value);
+  }
+  return old;
+}
+
+Result<Value> GraphStore::RemoveRelProp(RelId id, PropKeyId key) {
+  RelRecord* r = MutableRel(id);
+  if (r == nullptr || !r->alive) {
+    return Status::NotFound("relationship " + std::to_string(id.value));
+  }
+  Value old;
+  auto it = r->props.find(key);
+  if (it != r->props.end()) {
+    old = it->second;
+    r->props.erase(it);
+  }
+  return old;
+}
+
+Value GraphStore::GetRelProp(RelId id, PropKeyId key) const {
+  const RelRecord* r = GetRel(id);
+  if (r == nullptr) return Value::Null();
+  auto it = r->props.find(key);
+  return it == r->props.end() ? Value::Null() : it->second;
+}
+
+// --- Scans --------------------------------------------------------------------
+
+std::vector<NodeId> GraphStore::NodesByLabel(LabelId label) const {
+  std::vector<NodeId> out;
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (uint64_t v : it->second) out.push_back(NodeId{v});
+  return out;
+}
+
+std::vector<NodeId> GraphStore::AllNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_nodes_);
+  for (const NodeRecord& n : nodes_) {
+    if (n.alive) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<RelId> GraphStore::AllRels() const {
+  std::vector<RelId> out;
+  out.reserve(alive_rels_);
+  for (const RelRecord& r : rels_) {
+    if (r.alive) out.push_back(r.id);
+  }
+  return out;
+}
+
+std::vector<RelId> GraphStore::RelsOf(NodeId node, Direction dir,
+                                      std::optional<RelTypeId> type) const {
+  std::vector<RelId> out;
+  const NodeRecord* n = GetNode(node);
+  if (n == nullptr || !n->alive) return out;
+  auto consider = [&](RelId rid) {
+    const RelRecord* r = GetRel(rid);
+    if (r == nullptr || !r->alive) return;
+    if (type.has_value() && r->type != *type) return;
+    out.push_back(rid);
+  };
+  if (dir == Direction::kOutgoing || dir == Direction::kBoth) {
+    for (RelId rid : n->out_rels) consider(rid);
+  }
+  if (dir == Direction::kIncoming || dir == Direction::kBoth) {
+    for (RelId rid : n->in_rels) {
+      // Self-loops appear in both adjacency lists; report them once.
+      const RelRecord* r = GetRel(rid);
+      if (dir == Direction::kBoth && r != nullptr && r->src == r->dst) {
+        continue;
+      }
+      consider(rid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void GraphStore::IndexNodeLabel(NodeId id, LabelId label) {
+  label_index_[label].insert(id.value);
+}
+
+void GraphStore::UnindexNodeLabel(NodeId id, LabelId label) {
+  auto it = label_index_.find(label);
+  if (it != label_index_.end()) it->second.erase(id.value);
+}
+
+}  // namespace pgt

@@ -1,0 +1,194 @@
+#ifndef PGTRIGGERS_STORAGE_GRAPH_STORE_H_
+#define PGTRIGGERS_STORAGE_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/interner.h"
+#include "src/common/macros.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace pgt {
+
+/// Direction of traversal relative to a node.
+enum class Direction { kOutgoing, kIncoming, kBoth };
+
+/// Stored node. Labels are kept sorted; properties are keyed by interned
+/// property-key id. Adjacency is maintained as unordered id lists; deleted
+/// relationships are lazily skipped.
+struct NodeRecord {
+  NodeId id;
+  bool alive = true;
+  std::vector<LabelId> labels;  // sorted, unique
+  std::map<PropKeyId, Value> props;
+  std::vector<RelId> out_rels;
+  std::vector<RelId> in_rels;
+
+  bool HasLabel(LabelId l) const;
+};
+
+/// Stored relationship (always directed src -> dst; queries may traverse
+/// either way). A relationship has exactly one type, per the Property Graph
+/// model used by the paper.
+struct RelRecord {
+  RelId id;
+  bool alive = true;
+  RelTypeId type = 0;
+  NodeId src;
+  NodeId dst;
+  std::map<PropKeyId, Value> props;
+};
+
+/// In-memory property graph: the storage substrate on which the PG-Trigger
+/// engine, the Cypher-subset executor, and the APOC/Memgraph emulators all
+/// run (standing in for Neo4j's / Memgraph's storage layer).
+///
+/// Invariants:
+///  * ids are dense, allocated in creation order, never reused;
+///  * deletions tombstone the record (alive = false) and unlink it from the
+///    label index; the record stays addressable for undo and for OLD
+///    transition variables;
+///  * the label index is exact: it contains exactly the alive nodes that
+///    carry the label, in id order (deterministic scans).
+///
+/// The store itself performs no change tracking and no trigger dispatch;
+/// that is the transaction layer's job (src/tx). It is single-writer.
+class GraphStore {
+ public:
+  GraphStore() = default;
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  // --- Dictionaries -------------------------------------------------------
+
+  LabelId InternLabel(std::string_view name) { return labels_.Intern(name); }
+  RelTypeId InternRelType(std::string_view name) {
+    return rel_types_.Intern(name);
+  }
+  PropKeyId InternPropKey(std::string_view name) {
+    return prop_keys_.Intern(name);
+  }
+  std::optional<LabelId> LookupLabel(std::string_view name) const {
+    return labels_.Lookup(name);
+  }
+  std::optional<RelTypeId> LookupRelType(std::string_view name) const {
+    return rel_types_.Lookup(name);
+  }
+  std::optional<PropKeyId> LookupPropKey(std::string_view name) const {
+    return prop_keys_.Lookup(name);
+  }
+  const std::string& LabelName(LabelId id) const { return labels_.name(id); }
+  const std::string& RelTypeName(RelTypeId id) const {
+    return rel_types_.name(id);
+  }
+  const std::string& PropKeyName(PropKeyId id) const {
+    return prop_keys_.name(id);
+  }
+
+  // --- Node operations ----------------------------------------------------
+
+  /// Creates a node with the given labels and properties.
+  NodeId CreateNode(const std::vector<LabelId>& labels,
+                    std::map<PropKeyId, Value> props);
+
+  /// Returns the record (alive or tombstoned), or nullptr if never existed.
+  const NodeRecord* GetNode(NodeId id) const;
+
+  /// True iff the node exists and is alive.
+  bool NodeAlive(NodeId id) const;
+
+  /// Deletes a node. Fails with FailedPrecondition if relationships are
+  /// still attached (callers implement DETACH DELETE by removing them
+  /// first).
+  Status DeleteNode(NodeId id);
+
+  /// Re-inserts a tombstoned node with the given image (undo path).
+  Status ReviveNode(NodeId id, const std::vector<LabelId>& labels,
+                    std::map<PropKeyId, Value> props);
+
+  /// Adds a label; returns true if the label was newly added.
+  Result<bool> AddLabel(NodeId id, LabelId label);
+
+  /// Removes a label; returns true if the label was present.
+  Result<bool> RemoveLabel(NodeId id, LabelId label);
+
+  /// Sets a property; returns the previous value (NULL if absent).
+  Result<Value> SetNodeProp(NodeId id, PropKeyId key, Value value);
+
+  /// Removes a property; returns the previous value (NULL if absent).
+  Result<Value> RemoveNodeProp(NodeId id, PropKeyId key);
+
+  /// Property read; NULL if absent. Precondition: node exists.
+  Value GetNodeProp(NodeId id, PropKeyId key) const;
+
+  // --- Relationship operations --------------------------------------------
+
+  /// Creates a relationship src -[type]-> dst.
+  Result<RelId> CreateRel(NodeId src, RelTypeId type, NodeId dst,
+                          std::map<PropKeyId, Value> props);
+
+  const RelRecord* GetRel(RelId id) const;
+  bool RelAlive(RelId id) const;
+
+  Status DeleteRel(RelId id);
+
+  /// Re-inserts a tombstoned relationship with the given image (undo path).
+  Status ReviveRel(RelId id, std::map<PropKeyId, Value> props);
+
+  Result<Value> SetRelProp(RelId id, PropKeyId key, Value value);
+  Result<Value> RemoveRelProp(RelId id, PropKeyId key);
+  Value GetRelProp(RelId id, PropKeyId key) const;
+
+  // --- Scans ---------------------------------------------------------------
+
+  /// Alive nodes carrying `label`, in id order.
+  std::vector<NodeId> NodesByLabel(LabelId label) const;
+
+  /// All alive nodes, in id order.
+  std::vector<NodeId> AllNodes() const;
+
+  /// All alive relationships, in id order.
+  std::vector<RelId> AllRels() const;
+
+  /// Alive relationships incident to `node` in the given direction,
+  /// optionally restricted to a type. Deterministic (id order).
+  std::vector<RelId> RelsOf(NodeId node, Direction dir,
+                            std::optional<RelTypeId> type) const;
+
+  /// Number of alive nodes / relationships.
+  size_t NodeCount() const { return alive_nodes_; }
+  size_t RelCount() const { return alive_rels_; }
+
+  /// Total ids ever allocated (alive + tombstoned); ids are < these bounds.
+  uint64_t NodeIdBound() const { return nodes_.size(); }
+  uint64_t RelIdBound() const { return rels_.size(); }
+
+ private:
+  NodeRecord* MutableNode(NodeId id);
+  RelRecord* MutableRel(RelId id);
+  void IndexNodeLabel(NodeId id, LabelId label);
+  void UnindexNodeLabel(NodeId id, LabelId label);
+
+  StringInterner labels_;
+  StringInterner rel_types_;
+  StringInterner prop_keys_;
+  std::vector<NodeRecord> nodes_;
+  std::vector<RelRecord> rels_;
+  // label -> alive node ids carrying it; std::set keeps scans deterministic.
+  std::unordered_map<LabelId, std::set<uint64_t>> label_index_;
+  size_t alive_nodes_ = 0;
+  size_t alive_rels_ = 0;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_STORAGE_GRAPH_STORE_H_

@@ -1,0 +1,81 @@
+#include "src/survey/capability_registry.h"
+
+#include <sstream>
+
+namespace pgt::survey {
+
+const std::vector<SystemCapability>& Table1Systems() {
+  static const std::vector<SystemCapability> kSystems = {
+      // Graph databases with trigger support (Section 3.1.1).
+      {"Neo4j", "graph", Support::kYes, Support::kNone, Support::kNone,
+       "APOC triggers", "[36]"},
+      {"Memgraph", "graph", Support::kYes, Support::kNone, Support::kNone,
+       "native triggers", "[34]"},
+      // Graph databases with event listeners (Section 3.1.2).
+      {"JanusGraph", "graph", Support::kNone, Support::kNone,
+       Support::kMechanism, "JSBus", "[28]"},
+      {"Dgraph", "graph", Support::kNone, Support::kNone,
+       Support::kMechanism, "Lambda", "[16]"},
+      {"Amazon Neptune", "graph", Support::kNone, Support::kNone,
+       Support::kMechanism, "SNS", "[3]"},
+      {"Stardog", "graph", Support::kNone, Support::kNone,
+       Support::kMechanism, "Java", "[45]"},
+      // Other graph databases (Section 3.1.3).
+      {"Nebula Graph", "graph", Support::kNone, Support::kNone,
+       Support::kNone, "", "[26]"},
+      {"TigerGraph", "graph", Support::kNone, Support::kNone, Support::kNone,
+       "", "[46]"},
+      {"GraphDB", "graph", Support::kNone, Support::kNone, Support::kNone,
+       "", "[37]"},
+      // Mixed graph-relational systems (Section 3.2).
+      {"Oracle Graph Database", "mixed-relational", Support::kNone,
+       Support::kYes, Support::kNone, "relational triggers", "[40]"},
+      {"Virtuoso", "mixed-relational", Support::kNone, Support::kYes,
+       Support::kNone, "relational triggers", "[39]"},
+      {"AgensGraph", "mixed-relational", Support::kNone, Support::kYes,
+       Support::kNone, "PostgreSQL triggers", "[12]"},
+      // Mixed graph-document systems (Section 3.3).
+      {"Microsoft Azure Cosmos DB", "mixed-document", Support::kNone,
+       Support::kNone, Support::kMechanism, "JS", "[35]"},
+      {"OrientDB", "mixed-document", Support::kNone, Support::kNone,
+       Support::kMechanism, "Hooks", "[41]"},
+      {"ArangoDB", "mixed-document", Support::kNone, Support::kNone,
+       Support::kYes, "AbstractArangoEventListener", "[8]"},
+  };
+  return kSystems;
+}
+
+namespace {
+
+std::string Cell(Support s, const std::string& mechanism) {
+  switch (s) {
+    case Support::kNone:
+      return "-";
+    case Support::kYes:
+      return "Y";
+    case Support::kMechanism:
+      return "Y(" + mechanism + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderTable1() {
+  std::ostringstream os;
+  os << "Table 1: reactive support in graph databases (Tr-G | Tr-R | Ev-L)\n";
+  size_t width = 0;
+  for (const SystemCapability& s : Table1Systems()) {
+    width = std::max(width, s.name.size() + s.citation.size() + 1);
+  }
+  for (const SystemCapability& s : Table1Systems()) {
+    std::string label = s.name + " " + s.citation;
+    os << label << std::string(width + 2 - label.size(), ' ') << "| "
+       << Cell(s.triggers_graph, s.mechanism) << " | "
+       << Cell(s.triggers_relational, s.mechanism) << " | "
+       << Cell(s.event_listener, s.mechanism) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pgt::survey

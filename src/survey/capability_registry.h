@@ -1,0 +1,37 @@
+#ifndef PGTRIGGERS_SURVEY_CAPABILITY_REGISTRY_H_
+#define PGTRIGGERS_SURVEY_CAPABILITY_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+namespace pgt::survey {
+
+/// Support levels in the Table 1 matrix.
+enum class Support {
+  kNone,      // "-"
+  kYes,       // check mark
+  kMechanism, // check mark with a named mechanism, e.g. "(SNS)"
+};
+
+/// One row of the paper's Table 1: how a graph database system supports
+/// reactive computation.
+struct SystemCapability {
+  std::string name;
+  std::string category;   // graph | mixed-relational | mixed-document
+  Support triggers_graph = Support::kNone;       // Tr-G
+  Support triggers_relational = Support::kNone;  // Tr-R
+  Support event_listener = Support::kNone;       // Ev-L
+  std::string mechanism;  // e.g. "JSBus", "Lambda", "SNS", "JS", "Hooks"
+  std::string citation;   // reference tag used in the paper, e.g. "[36]"
+};
+
+/// The fifteen systems of Table 1 with the paper's assessments.
+const std::vector<SystemCapability>& Table1Systems();
+
+/// Renders the Table 1 matrix exactly in the paper's row order
+/// (Tr-G / Tr-R / Ev-L columns).
+std::string RenderTable1();
+
+}  // namespace pgt::survey
+
+#endif  // PGTRIGGERS_SURVEY_CAPABILITY_REGISTRY_H_

@@ -1,0 +1,427 @@
+#include "src/termination/triggering_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+namespace pgt::termination {
+
+namespace {
+
+constexpr const char* kWildcard = "*";
+
+/// Variable knowledge gathered from the patterns of a trigger definition.
+struct VarInfo {
+  std::set<std::string> node_labels;  // labels seen on node patterns
+  bool is_node = false;
+  bool is_rel = false;
+  std::set<std::string> rel_types;
+};
+
+using VarMap = std::map<std::string, VarInfo>;
+
+void ScanPattern(const cypher::Pattern& pattern, VarMap* vars) {
+  auto note_node = [&](const cypher::NodePattern& np) {
+    if (np.var.empty()) return;
+    VarInfo& info = (*vars)[np.var];
+    info.is_node = true;
+    for (const std::string& l : np.labels) info.node_labels.insert(l);
+  };
+  for (const cypher::PatternPart& part : pattern.parts) {
+    note_node(part.first);
+    for (const auto& [rel, node] : part.chain) {
+      if (!rel.var.empty()) {
+        VarInfo& info = (*vars)[rel.var];
+        info.is_rel = true;
+        for (const std::string& t : rel.types) info.rel_types.insert(t);
+      }
+      note_node(node);
+    }
+  }
+}
+
+void ScanClausesForVars(const std::vector<cypher::ClausePtr>& clauses,
+                        VarMap* vars) {
+  for (const cypher::ClausePtr& c : clauses) {
+    switch (c->kind) {
+      case cypher::Clause::Kind::kMatch:
+      case cypher::Clause::Kind::kCreate:
+      case cypher::Clause::Kind::kMerge:
+        ScanPattern(c->pattern, vars);
+        break;
+      case cypher::Clause::Kind::kForeach:
+        ScanClausesForVars(c->foreach_body, vars);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+/// Labels attributable to the base expression of a SET/REMOVE/DELETE
+/// target; wildcard when unknown.
+std::set<std::string> LabelsOfTarget(const cypher::Expr& e,
+                                     const VarMap& vars, bool* is_node,
+                                     bool* is_rel) {
+  *is_node = false;
+  *is_rel = false;
+  if (e.kind == cypher::Expr::Kind::kVar) {
+    auto it = vars.find(e.name);
+    if (it != vars.end()) {
+      *is_node = it->second.is_node;
+      *is_rel = it->second.is_rel;
+      if (it->second.is_node && !it->second.node_labels.empty()) {
+        return it->second.node_labels;
+      }
+      if (it->second.is_rel && !it->second.rel_types.empty()) {
+        return it->second.rel_types;
+      }
+    }
+  }
+  return {kWildcard};
+}
+
+void CollectWrites(const std::vector<cypher::ClausePtr>& clauses,
+                   const VarMap& vars, WriteSignature* sig) {
+  auto collect_set_items = [&](const std::vector<cypher::SetItem>& items) {
+    for (const cypher::SetItem& s : items) {
+      if (s.kind == cypher::SetItem::Kind::kLabels) {
+        for (const std::string& l : s.labels) sig->set_labels.insert(l);
+        continue;
+      }
+      if (s.kind == cypher::SetItem::Kind::kMergeMap) {
+        // n += {map}: property keys are dynamic — widen to wildcard.
+        sig->set_node_props.insert({kWildcard, kWildcard});
+        sig->set_rel_props.insert({kWildcard, kWildcard});
+        continue;
+      }
+      bool is_node = false, is_rel = false;
+      std::set<std::string> labels =
+          LabelsOfTarget(*s.target, vars, &is_node, &is_rel);
+      for (const std::string& l : labels) {
+        if (is_rel && !is_node) {
+          sig->set_rel_props.insert({l, s.prop});
+        } else if (is_node && !is_rel) {
+          sig->set_node_props.insert({l, s.prop});
+        } else {
+          sig->set_node_props.insert({l, s.prop});
+          sig->set_rel_props.insert({l, s.prop});
+        }
+      }
+    }
+  };
+  for (const cypher::ClausePtr& c : clauses) {
+    switch (c->kind) {
+      case cypher::Clause::Kind::kCreate:
+      case cypher::Clause::Kind::kMerge: {
+        for (const cypher::PatternPart& part : c->pattern.parts) {
+          auto note = [&](const cypher::NodePattern& np) {
+            // A bound variable is a reused node, not a creation.
+            if (!np.labels.empty()) {
+              for (const std::string& l : np.labels) {
+                sig->created_node_labels.insert(l);
+              }
+            } else if (np.var.empty()) {
+              sig->created_node_labels.insert(kWildcard);
+            }
+          };
+          if (!(part.first.var.empty() && part.first.labels.empty())) {
+            // Heuristic: nodes with labels or anonymous nodes are created.
+            if (!part.first.labels.empty() ||
+                vars.count(part.first.var) == 0) {
+              note(part.first);
+            }
+          }
+          for (const auto& [rel, node] : part.chain) {
+            for (const std::string& t : rel.types) {
+              sig->created_rel_types.insert(t);
+            }
+            if (!node.labels.empty() || node.var.empty() ||
+                vars.count(node.var) == 0) {
+              note(node);
+            }
+          }
+        }
+        collect_set_items(c->on_create);
+        collect_set_items(c->on_match);
+        break;
+      }
+      case cypher::Clause::Kind::kDelete: {
+        for (const cypher::ExprPtr& e : c->delete_exprs) {
+          bool is_node = false, is_rel = false;
+          std::set<std::string> labels =
+              LabelsOfTarget(*e, vars, &is_node, &is_rel);
+          for (const std::string& l : labels) {
+            if (is_rel && !is_node) {
+              sig->deleted_rel_types.insert(l);
+            } else if (is_node && !is_rel) {
+              sig->deleted_node_labels.insert(l);
+              if (c->detach) sig->deleted_rel_types.insert(kWildcard);
+            } else {
+              sig->deleted_node_labels.insert(l);
+              sig->deleted_rel_types.insert(l == kWildcard ? kWildcard : l);
+            }
+          }
+        }
+        break;
+      }
+      case cypher::Clause::Kind::kSet:
+        collect_set_items(c->set_items);
+        break;
+      case cypher::Clause::Kind::kRemove: {
+        for (const cypher::RemoveItem& r : c->remove_items) {
+          if (r.kind == cypher::RemoveItem::Kind::kLabels) {
+            for (const std::string& l : r.labels) {
+              sig->removed_labels.insert(l);
+            }
+            continue;
+          }
+          bool is_node = false, is_rel = false;
+          std::set<std::string> labels =
+              LabelsOfTarget(*r.target, vars, &is_node, &is_rel);
+          for (const std::string& l : labels) {
+            if (is_rel && !is_node) {
+              sig->removed_rel_props.insert({l, r.prop});
+            } else if (is_node && !is_rel) {
+              sig->removed_node_props.insert({l, r.prop});
+            } else {
+              sig->removed_node_props.insert({l, r.prop});
+              sig->removed_rel_props.insert({l, r.prop});
+            }
+          }
+        }
+        break;
+      }
+      case cypher::Clause::Kind::kForeach:
+        CollectWrites(c->foreach_body, vars, sig);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+bool MatchesLabel(const std::set<std::string>& labels,
+                  const std::string& want) {
+  return labels.count(want) > 0 || labels.count(kWildcard) > 0;
+}
+
+bool MatchesProp(const std::set<std::pair<std::string, std::string>>& props,
+                 const std::string& label, const std::string& prop) {
+  for (const auto& [l, p] : props) {
+    if (p != prop && p != kWildcard) continue;
+    if (l == label || l == kWildcard) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string WriteSignature::ToString() const {
+  std::ostringstream os;
+  auto emit_set = [&](const char* tag, const std::set<std::string>& s) {
+    if (s.empty()) return;
+    os << tag << "{";
+    bool first = true;
+    for (const std::string& v : s) {
+      if (!first) os << ",";
+      first = false;
+      os << v;
+    }
+    os << "} ";
+  };
+  auto emit_props =
+      [&](const char* tag,
+          const std::set<std::pair<std::string, std::string>>& s) {
+        if (s.empty()) return;
+        os << tag << "{";
+        bool first = true;
+        for (const auto& [l, p] : s) {
+          if (!first) os << ",";
+          first = false;
+          os << l << "." << p;
+        }
+        os << "} ";
+      };
+  emit_set("+node", created_node_labels);
+  emit_set("+rel", created_rel_types);
+  emit_set("-node", deleted_node_labels);
+  emit_set("-rel", deleted_rel_types);
+  emit_set("+label", set_labels);
+  emit_set("-label", removed_labels);
+  emit_props("set", set_node_props);
+  emit_props("unset", removed_node_props);
+  emit_props("rset", set_rel_props);
+  emit_props("runset", removed_rel_props);
+  return os.str();
+}
+
+WriteSignature ExtractWriteSignature(const TriggerDef& def) {
+  VarMap vars;
+  // Transition variables carry the target label by construction.
+  if (def.item == ItemKind::kNode) {
+    VarInfo info;
+    info.is_node = true;
+    info.node_labels.insert(def.label);
+    vars[def.OldVarName()] = info;
+    vars[def.NewVarName()] = info;
+    vars[def.AliasFor(TransitionVar::kOld)] = info;
+    vars[def.AliasFor(TransitionVar::kNew)] = info;
+  } else {
+    VarInfo info;
+    info.is_rel = true;
+    info.rel_types.insert(def.label);
+    vars[def.OldVarName()] = info;
+    vars[def.NewVarName()] = info;
+    vars[def.AliasFor(TransitionVar::kOld)] = info;
+    vars[def.AliasFor(TransitionVar::kNew)] = info;
+  }
+  ScanClausesForVars(def.when_query.clauses, &vars);
+  ScanClausesForVars(def.statement.clauses, &vars);
+  WriteSignature sig;
+  CollectWrites(def.statement.clauses, vars, &sig);
+  return sig;
+}
+
+bool MayTrigger(const WriteSignature& sig, const TriggerDef& def) {
+  const bool is_node = def.item == ItemKind::kNode;
+  switch (def.event) {
+    case TriggerEvent::kCreate:
+      return is_node ? MatchesLabel(sig.created_node_labels, def.label)
+                     : MatchesLabel(sig.created_rel_types, def.label);
+    case TriggerEvent::kDelete:
+      return is_node ? MatchesLabel(sig.deleted_node_labels, def.label)
+                     : MatchesLabel(sig.deleted_rel_types, def.label);
+    case TriggerEvent::kSet:
+      if (def.property.empty()) {
+        // Label event (kMonitoredLabel semantics; see options.h).
+        return MatchesLabel(sig.set_labels, def.label);
+      }
+      return is_node
+                 ? MatchesProp(sig.set_node_props, def.label, def.property)
+                 : MatchesProp(sig.set_rel_props, def.label, def.property);
+    case TriggerEvent::kRemove:
+      if (def.property.empty()) {
+        return MatchesLabel(sig.removed_labels, def.label);
+      }
+      return is_node ? MatchesProp(sig.removed_node_props, def.label,
+                                   def.property)
+                     : MatchesProp(sig.removed_rel_props, def.label,
+                                   def.property);
+  }
+  return false;
+}
+
+TriggeringGraph TriggeringGraph::Build(
+    const std::vector<const TriggerDef*>& triggers) {
+  TriggeringGraph g;
+  g.triggers_ = triggers;
+  g.edges_.resize(triggers.size());
+  std::vector<WriteSignature> sigs;
+  sigs.reserve(triggers.size());
+  for (const TriggerDef* t : triggers) {
+    sigs.push_back(ExtractWriteSignature(*t));
+  }
+  for (size_t i = 0; i < triggers.size(); ++i) {
+    for (size_t j = 0; j < triggers.size(); ++j) {
+      if (MayTrigger(sigs[i], *triggers[j])) {
+        g.edges_[i].push_back(j);
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<std::string>> TriggeringGraph::FindCycles() const {
+  // Tarjan SCC (iteratively sized graphs are tiny; recursion is fine).
+  const size_t n = triggers_.size();
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  int counter = 0;
+  std::vector<std::vector<std::string>> cycles;
+
+  std::function<void(size_t)> strongconnect = [&](size_t v) {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (size_t w : edges_[v]) {
+      if (index[w] < 0) {
+        strongconnect(w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack[w]) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<size_t> component;
+      while (true) {
+        size_t w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        component.push_back(w);
+        if (w == v) break;
+      }
+      bool is_cycle = component.size() > 1;
+      if (component.size() == 1) {
+        const size_t u = component[0];
+        is_cycle = std::find(edges_[u].begin(), edges_[u].end(), u) !=
+                   edges_[u].end();
+      }
+      if (is_cycle) {
+        std::vector<std::string> names;
+        for (size_t u : component) names.push_back(triggers_[u]->name);
+        std::sort(names.begin(), names.end());
+        cycles.push_back(std::move(names));
+      }
+    }
+  };
+  for (size_t v = 0; v < n; ++v) {
+    if (index[v] < 0) strongconnect(v);
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+TriggeringGraph::Report TriggeringGraph::Analyze() const {
+  Report report;
+  report.trigger_count = triggers_.size();
+  for (const auto& adj : edges_) report.edge_count += adj.size();
+  for (const std::vector<std::string>& cycle : FindCycles()) {
+    bool all_guarded = true;
+    for (const std::string& name : cycle) {
+      for (const TriggerDef* t : triggers_) {
+        if (t->name == name && !t->HasWhen()) {
+          all_guarded = false;
+        }
+      }
+    }
+    report.cycles.emplace_back(cycle, all_guarded);
+  }
+  report.guaranteed_termination = report.cycles.empty();
+  return report;
+}
+
+std::string TriggeringGraph::Report::ToString() const {
+  std::ostringstream os;
+  os << "triggering graph: " << trigger_count << " trigger(s), "
+     << edge_count << " edge(s)\n";
+  if (guaranteed_termination) {
+    os << "acyclic: every cascade terminates\n";
+    return os.str();
+  }
+  for (const auto& [cycle, guarded] : cycles) {
+    os << "cycle {";
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << cycle[i];
+    }
+    os << "} — " << (guarded ? "guarded (may converge; not proven)"
+                             : "UNGUARDED (non-termination likely)")
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pgt::termination

@@ -1,0 +1,82 @@
+#ifndef PGTRIGGERS_TERMINATION_TRIGGERING_GRAPH_H_
+#define PGTRIGGERS_TERMINATION_TRIGGERING_GRAPH_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/trigger/trigger_def.h"
+
+namespace pgt::termination {
+
+/// Conservative abstraction of what a trigger statement may do to the
+/// graph, expressed as event patterns it can raise. "*" is the wildcard
+/// label/property (the statement touches an item whose label set cannot be
+/// inferred statically).
+struct WriteSignature {
+  std::set<std::string> created_node_labels;
+  std::set<std::string> created_rel_types;
+  std::set<std::string> deleted_node_labels;  // may contain "*"
+  std::set<std::string> deleted_rel_types;    // may contain "*"
+  std::set<std::string> set_labels;
+  std::set<std::string> removed_labels;
+  // (label-or-*, property) pairs
+  std::set<std::pair<std::string, std::string>> set_node_props;
+  std::set<std::pair<std::string, std::string>> removed_node_props;
+  std::set<std::pair<std::string, std::string>> set_rel_props;
+  std::set<std::pair<std::string, std::string>> removed_rel_props;
+
+  std::string ToString() const;
+};
+
+/// Extracts a conservative write signature from a trigger action. Labels of
+/// variables are inferred from the MATCH/CREATE patterns that bind them in
+/// the same statement (and the WHEN pipeline); unknown targets widen to the
+/// wildcard.
+WriteSignature ExtractWriteSignature(const TriggerDef& def);
+
+/// Can the writes of `sig` raise the event monitored by `def`?
+/// (Conservative: wildcards match everything.)
+bool MayTrigger(const WriteSignature& sig, const TriggerDef& def);
+
+/// The triggering graph of Baralis/Ceri/Widom [9]: nodes are triggers, an
+/// edge T1 -> T2 means T1's action may raise T2's event. Acyclicity is a
+/// sufficient condition for termination of any cascade.
+class TriggeringGraph {
+ public:
+  /// Builds the graph over the given triggers (typically catalog.All()).
+  static TriggeringGraph Build(const std::vector<const TriggerDef*>& triggers);
+
+  /// Adjacency: edges()[i] lists indices j with trigger i -> trigger j.
+  const std::vector<std::vector<size_t>>& edges() const { return edges_; }
+  const std::vector<const TriggerDef*>& triggers() const { return triggers_; }
+
+  /// Strongly connected components with more than one trigger, plus
+  /// self-loops, in deterministic order. Each is a potential
+  /// non-termination source.
+  std::vector<std::vector<std::string>> FindCycles() const;
+
+  struct Report {
+    bool guaranteed_termination = false;
+    /// Cycles; alongside each, whether every trigger in it is guarded by a
+    /// WHEN condition (a guarded cycle *may* converge — e.g. the paper's
+    /// bed-availability test in Section 6.2.3 — but this is a heuristic,
+    /// not a proof).
+    std::vector<std::pair<std::vector<std::string>, bool>> cycles;
+    size_t trigger_count = 0;
+    size_t edge_count = 0;
+
+    std::string ToString() const;
+  };
+
+  /// Full analysis: termination guarantee or cycle inventory.
+  Report Analyze() const;
+
+ private:
+  std::vector<const TriggerDef*> triggers_;
+  std::vector<std::vector<size_t>> edges_;
+};
+
+}  // namespace pgt::termination
+
+#endif  // PGTRIGGERS_TERMINATION_TRIGGERING_GRAPH_H_

@@ -1,0 +1,180 @@
+#include "src/translate/apoc_translator.h"
+
+#include <sstream>
+
+#include "src/common/macros.h"
+#include "src/common/str_util.h"
+#include "src/translate/transform.h"
+
+namespace pgt::translate {
+
+namespace {
+using cypher::Clause;
+using cypher::Expr;
+using cypher::ExprPtr;
+using cypher::Query;
+}  // namespace
+
+Result<ApocTrigger> TranslateToApoc(const TriggerDef& def,
+                                    const ApocTranslateOptions& options) {
+  ApocTrigger out;
+  out.name = def.name;
+
+  switch (def.time) {
+    case ActionTime::kBefore:
+      return Status::Unimplemented(
+          "APOC has no faithful BEFORE mapping: its 'before' phase runs at "
+          "the commit point, and the community discourages 'before'/'after' "
+          "for blocking conflicts (paper Section 5.1)");
+    case ActionTime::kAfter:
+      out.phase = "afterAsync";
+      break;
+    case ActionTime::kOnCommit:
+      out.phase = "before";
+      break;
+    case ActionTime::kDetached:
+      out.phase = "afterAsync";
+      break;
+  }
+
+  const bool is_node = def.item == ItemKind::kNode;
+  const bool is_new = def.event == TriggerEvent::kCreate ||
+                      def.event == TriggerEvent::kSet;
+  const bool prop_event = !def.property.empty();
+
+  // Target runtime variable, UNWIND prelude (Table 2), and the label /
+  // type dispatch conjunct of the apoc.do.when condition.
+  std::string target;
+  std::string prelude;
+  ExprPtr base_cond;
+  std::set<std::string> carried;
+
+  if (prop_event) {
+    const char* util = nullptr;
+    std::string with;
+    if (is_node) {
+      target = "node";
+      util = def.event == TriggerEvent::kSet ? "assignedNodeProperties"
+                                             : "removedNodeProperties";
+      with = def.event == TriggerEvent::kSet
+                 ? "WITH aProp.node AS node, aProp.key AS propKey, "
+                   "aProp.old AS oldValue, aProp.new AS newValue"
+                 : "WITH aProp.node AS node, aProp.key AS propKey, "
+                   "aProp.old AS oldValue";
+    } else {
+      target = "rel";
+      util = def.event == TriggerEvent::kSet ? "assignedRelProperties"
+                                             : "removedRelProperties";
+      with = def.event == TriggerEvent::kSet
+                 ? "WITH aProp.rel AS rel, aProp.key AS propKey, "
+                   "aProp.old AS oldValue, aProp.new AS newValue"
+                 : "WITH aProp.rel AS rel, aProp.key AS propKey, "
+                   "aProp.old AS oldValue";
+    }
+    prelude = "UNWIND keys($" + std::string(util) + ") AS k\n" +
+              "UNWIND $" + util + "[k] AS aProp\n" + with;
+    base_cond = is_node ? MakeLabelTest(target, def.label)
+                        : MakeTypeCheck(target, def.label);
+    base_cond =
+        Conjoin(std::move(base_cond), MakeStringEq("propKey", def.property));
+    carried.insert("propKey");
+    carried.insert("oldValue");
+    if (def.event == TriggerEvent::kSet) carried.insert("newValue");
+  } else if (def.event == TriggerEvent::kCreate ||
+             def.event == TriggerEvent::kDelete) {
+    if (is_node) {
+      target = is_new ? "cNodes" : "oNodes";
+      prelude = std::string("UNWIND $") +
+                (is_new ? "createdNodes" : "deletedNodes") + " AS " + target;
+      base_cond = MakeLabelTest(target, def.label);
+    } else {
+      target = is_new ? "cRels" : "oRels";
+      prelude = std::string("UNWIND $") +
+                (is_new ? "createdRelationships" : "deletedRelationships") +
+                " AS " + target;
+      base_cond = MakeTypeCheck(target, def.label);
+    }
+  } else {
+    // Label SET/REMOVE events: $assignedLabels / $removedLabels map each
+    // label name to the affected nodes (Table 2), so dispatch happens in
+    // the UNWIND subscript and no extra conjunct is needed.
+    target = def.event == TriggerEvent::kSet ? "cNodes" : "oNodes";
+    prelude = std::string("UNWIND $") +
+              (def.event == TriggerEvent::kSet ? "assignedLabels"
+                                               : "removedLabels") +
+              "['" + EscapeSingleQuoted(def.label) + "'] AS " + target;
+  }
+
+  TransitionTransform tf = MakeTransitionTransform(def, target);
+
+  // Condition: translated pipeline (condition_query) with its trailing
+  // WHERE — and/or the WHEN expression — folded into apoc.do.when.
+  ExprPtr cond = std::move(base_cond);
+  std::string condition_query;
+  if (def.when_expr != nullptr) {
+    ExprPtr e = cypher::CloneExpr(*def.when_expr);
+    tf.TransformExpr(e.get());
+    cond = Conjoin(std::move(cond), std::move(e));
+  } else if (!def.when_query.clauses.empty()) {
+    Query q = cypher::CloneQuery(def.when_query);
+    tf.TransformQuery(&q);
+    Clause* last = q.clauses.back().get();
+    if (last->where != nullptr) {
+      cond = Conjoin(std::move(cond), std::move(last->where));
+      last->where = nullptr;
+    }
+    // Carry the UNWIND variable through every WITH so apoc.do.when can
+    // still see it (the paper appends ", cNodes" likewise).
+    for (cypher::ClausePtr& c : q.clauses) {
+      if (c->kind != Clause::Kind::kWith) continue;
+      bool has_target = false;
+      for (const cypher::ProjItem& item : c->items) {
+        if (item.alias == target) has_target = true;
+      }
+      if (!has_target) {
+        cypher::ProjItem item;
+        item.expr = MakeVar(target);
+        item.alias = target;
+        c->items.push_back(std::move(item));
+      }
+    }
+    for (const std::string& v : PipelineVars(q)) carried.insert(v);
+    condition_query = cypher::QueryToString(q);
+  }
+  if (cond == nullptr) cond = MakeBoolLiteral(true);
+
+  // Action.
+  Query stmt = cypher::CloneQuery(def.statement);
+  tf.TransformQuery(&stmt);
+  std::string action = cypher::QueryToString(stmt);
+
+  // apoc.do.when parameter map: the target variable plus everything the
+  // condition pipeline bound.
+  carried.insert(target);
+  std::string params = "{";
+  bool first = true;
+  for (const std::string& v : carried) {
+    if (!first) params += ", ";
+    first = false;
+    params += v + ": " + v;
+  }
+  params += "}";
+
+  std::ostringstream body;
+  body << prelude << "\n";
+  if (!condition_query.empty()) body << condition_query << "\n";
+  body << "CALL apoc.do.when(" << cypher::ExprToString(*cond) << ",\n"
+       << "  '" << EscapeSingleQuoted(action) << "',\n"
+       << "  '', " << params << ")\n"
+       << "YIELD value RETURN *";
+  out.statement = body.str();
+
+  std::ostringstream install;
+  install << "CALL apoc.trigger.install('" << options.database_name << "', '"
+          << out.name << "',\n\"" << out.statement << "\",\n{phase: '"
+          << out.phase << "'});";
+  out.install_call = install.str();
+  return out;
+}
+
+}  // namespace pgt::translate

@@ -1,0 +1,51 @@
+#ifndef PGTRIGGERS_TRANSLATE_APOC_TRANSLATOR_H_
+#define PGTRIGGERS_TRANSLATE_APOC_TRANSLATOR_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt::translate {
+
+/// Result of the Figure 2 syntax-directed translation of a PG-Trigger into
+/// a Neo4j APOC trigger.
+struct ApocTrigger {
+  std::string name;
+  /// APOC phase selector: 'before' | 'after' | 'afterAsync' (Section 5.1).
+  std::string phase;
+  /// The trigger statement handed to apoc.trigger.install: an
+  /// UNWIND-prelude over the Table 2 utility parameters, the translated
+  /// condition query, and a CALL apoc.do.when(...) carrying the translated
+  /// condition and action. Executable by the APOC emulator.
+  std::string statement;
+  /// The complete, printable `CALL apoc.trigger.install(...)` call.
+  std::string install_call;
+};
+
+struct ApocTranslateOptions {
+  std::string database_name = "databaseName";
+};
+
+/// Translates a PG-Trigger to an APOC trigger following the paper's
+/// Figure 2 scheme and the Table 2 / Table 3 utility mapping:
+///
+///  * action time: AFTER -> 'afterAsync' (the community-advised phase;
+///    Section 5.1 explains why 'after' is avoided), ONCOMMIT -> 'before',
+///    DETACHED -> 'afterAsync'; BEFORE has no faithful APOC counterpart
+///    and returns Unimplemented — exactly the gap the paper reports.
+///  * events select the Table 2 utility ($createdNodes, $deletedNodes,
+///    $createdRelationships, $deletedRelationships, $assignedLabels,
+///    $removedLabels, $assigned/removedNode/RelProperties);
+///  * transition variables are renamed per Table 3 (NEW/NEWNODES -> the
+///    UNWIND variable; OLD.p / NEW.p of the monitored property -> the
+///    oldValue / newValue fields of the property quadruples);
+///  * both granularities translate to the same UNWIND form — APOC "cannot
+///    separate the two cases of granularity" (Section 5.1), so FOR ALL
+///    conditions keep their aggregates in the condition query.
+Result<ApocTrigger> TranslateToApoc(const TriggerDef& def,
+                                    const ApocTranslateOptions& options = {});
+
+}  // namespace pgt::translate
+
+#endif  // PGTRIGGERS_TRANSLATE_APOC_TRANSLATOR_H_

@@ -1,0 +1,196 @@
+#include "src/translate/memgraph_translator.h"
+
+#include <sstream>
+
+#include "src/common/macros.h"
+#include "src/common/str_util.h"
+#include "src/translate/transform.h"
+
+namespace pgt::translate {
+
+namespace {
+using cypher::Clause;
+using cypher::Expr;
+using cypher::ExprPtr;
+using cypher::Query;
+}  // namespace
+
+const char* MgEventClassClause(MgEventClass e) {
+  switch (e) {
+    case MgEventClass::kAny:
+      return "";
+    case MgEventClass::kVertexCreate:
+      return "ON () CREATE";
+    case MgEventClass::kEdgeCreate:
+      return "ON --> CREATE";
+    case MgEventClass::kVertexDelete:
+      return "ON () DELETE";
+    case MgEventClass::kEdgeDelete:
+      return "ON --> DELETE";
+    case MgEventClass::kVertexUpdate:
+      return "ON () UPDATE";
+    case MgEventClass::kEdgeUpdate:
+      return "ON --> UPDATE";
+  }
+  return "";
+}
+
+Result<MemgraphTrigger> TranslateToMemgraph(const TriggerDef& def) {
+  MemgraphTrigger out;
+  out.name = def.name;
+
+  switch (def.time) {
+    case ActionTime::kBefore:
+      return Status::Unimplemented(
+          "Memgraph has no BEFORE-statement action time; BEFORE COMMIT is "
+          "the ONCOMMIT counterpart (paper Section 5.2)");
+    case ActionTime::kAfter:
+    case ActionTime::kDetached:
+      out.before_commit = false;  // AFTER COMMIT (asynchronous)
+      break;
+    case ActionTime::kOnCommit:
+      out.before_commit = true;  // BEFORE COMMIT
+      break;
+  }
+
+  const bool is_node = def.item == ItemKind::kNode;
+  const bool is_new = def.event == TriggerEvent::kCreate ||
+                      def.event == TriggerEvent::kSet;
+  const bool prop_event = !def.property.empty();
+
+  // Prelude over the Table 4 predefined variables, plus the dispatch
+  // conjunct that narrows Memgraph's coarser event classes back down to
+  // the PG-Trigger event.
+  std::string target = is_node ? "newNode" : "newEdge";
+  if (!is_new) target = is_node ? "oldNode" : "oldEdge";
+  std::string prelude;
+  ExprPtr dispatch;
+
+  switch (def.event) {
+    case TriggerEvent::kCreate:
+      out.event_class =
+          is_node ? MgEventClass::kVertexCreate : MgEventClass::kEdgeCreate;
+      prelude = std::string("UNWIND ") +
+                (is_node ? "createdVertices" : "createdEdges") + " AS " +
+                target;
+      break;
+    case TriggerEvent::kDelete:
+      out.event_class =
+          is_node ? MgEventClass::kVertexDelete : MgEventClass::kEdgeDelete;
+      prelude = std::string("UNWIND ") +
+                (is_node ? "deletedVertices" : "deletedEdges") + " AS " +
+                target;
+      break;
+    case TriggerEvent::kSet:
+    case TriggerEvent::kRemove: {
+      out.event_class =
+          is_node ? MgEventClass::kVertexUpdate : MgEventClass::kEdgeUpdate;
+      const bool set = def.event == TriggerEvent::kSet;
+      if (prop_event) {
+        if (is_node) {
+          prelude = std::string("UNWIND ") +
+                    (set ? "setVertexProperties" : "removedVertexProperties") +
+                    " AS sp\nWITH sp.vertex AS " + target +
+                    ", sp.key AS propKey, sp.old AS oldValue" +
+                    (set ? ", sp.new AS newValue" : "");
+        } else {
+          prelude = std::string("UNWIND ") +
+                    (set ? "setEdgeProperties" : "removedEdgeProperties") +
+                    " AS sp\nWITH sp.edge AS " + target +
+                    ", sp.key AS propKey, sp.old AS oldValue" +
+                    (set ? ", sp.new AS newValue" : "");
+        }
+        dispatch = MakeStringEq("propKey", def.property);
+      } else {
+        // Label events (nodes only; validated at install time).
+        prelude = std::string("UNWIND ") +
+                  (set ? "setVertexLabels" : "removedVertexLabels") +
+                  " AS lc\nWITH lc.vertex AS " + target +
+                  ", lc.label AS changedLabel";
+        dispatch = MakeStringEq("changedLabel", def.label);
+      }
+      break;
+    }
+  }
+
+  // The Figure 3 label check: '<label>' IN labels(newNode) for nodes,
+  // type(edge) = '<T>' for relationships. For label events the dispatch
+  // conjunct already pins the label.
+  ExprPtr label_check;
+  if (def.event == TriggerEvent::kCreate ||
+      def.event == TriggerEvent::kDelete || prop_event) {
+    label_check = is_node ? MakeLabelInLabels(target, def.label)
+                          : MakeTypeCheck(target, def.label);
+  }
+
+  TransitionTransform tf = MakeTransitionTransform(def, target);
+
+  ExprPtr cond = Conjoin(std::move(label_check), std::move(dispatch));
+  std::string condition_query;
+  std::set<std::string> carried;
+  if (def.when_expr != nullptr) {
+    ExprPtr e = cypher::CloneExpr(*def.when_expr);
+    tf.TransformExpr(e.get());
+    cond = Conjoin(std::move(cond), std::move(e));
+  } else if (!def.when_query.clauses.empty()) {
+    Query q = cypher::CloneQuery(def.when_query);
+    tf.TransformQuery(&q);
+    Clause* last = q.clauses.back().get();
+    if (last->where != nullptr) {
+      cond = Conjoin(std::move(cond), std::move(last->where));
+      last->where = nullptr;
+    }
+    for (cypher::ClausePtr& c : q.clauses) {
+      if (c->kind != Clause::Kind::kWith) continue;
+      bool has_target = false;
+      for (const cypher::ProjItem& item : c->items) {
+        if (item.alias == target) has_target = true;
+      }
+      if (!has_target) {
+        cypher::ProjItem item;
+        item.expr = MakeVar(target);
+        item.alias = target;
+        c->items.push_back(std::move(item));
+      }
+    }
+    carried = PipelineVars(q);
+    condition_query = cypher::QueryToString(q);
+  }
+  if (cond == nullptr) cond = MakeBoolLiteral(true);
+  if (prop_event) {
+    carried.insert("propKey");
+    carried.insert("oldValue");
+    if (def.event == TriggerEvent::kSet) carried.insert("newValue");
+  }
+
+  Query stmt = cypher::CloneQuery(def.statement);
+  tf.TransformQuery(&stmt);
+
+  // Figure 3: WITH CASE WHEN <cond> THEN <target> END AS flag, <target> AS
+  // <target> [, carried...] WHERE flag IS NOT NULL, then the statement.
+  std::ostringstream body;
+  body << prelude << "\n";
+  if (!condition_query.empty()) body << condition_query << "\n";
+  body << "WITH CASE WHEN " << cypher::ExprToString(*cond) << " THEN "
+       << target << " END AS flag, " << target << " AS " << target;
+  carried.erase(target);
+  carried.erase("flag");
+  for (const std::string& v : carried) {
+    body << ", " << v << " AS " << v;
+  }
+  body << " WHERE flag IS NOT NULL\n";
+  body << cypher::QueryToString(stmt);
+  out.statement = body.str();
+
+  std::ostringstream create;
+  create << "CREATE TRIGGER " << out.name;
+  const char* clause = MgEventClassClause(out.event_class);
+  if (clause[0] != '\0') create << " " << clause;
+  create << (out.before_commit ? " BEFORE COMMIT" : " AFTER COMMIT")
+         << " EXECUTE\n"
+         << out.statement << ";";
+  out.create_call = create.str();
+  return out;
+}
+
+}  // namespace pgt::translate

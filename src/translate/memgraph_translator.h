@@ -1,0 +1,52 @@
+#ifndef PGTRIGGERS_TRANSLATE_MEMGRAPH_TRANSLATOR_H_
+#define PGTRIGGERS_TRANSLATE_MEMGRAPH_TRANSLATOR_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt::translate {
+
+/// Memgraph trigger event classes (`ON () CREATE`, `ON --> UPDATE`, ...).
+enum class MgEventClass {
+  kAny,           // no ON clause: any change
+  kVertexCreate,  // ON () CREATE
+  kEdgeCreate,    // ON --> CREATE
+  kVertexDelete,  // ON () DELETE
+  kEdgeDelete,    // ON --> DELETE
+  kVertexUpdate,  // ON () UPDATE
+  kEdgeUpdate,    // ON --> UPDATE
+};
+
+const char* MgEventClassClause(MgEventClass e);
+
+/// Result of the Figure 3 syntax-directed translation of a PG-Trigger into
+/// a Memgraph trigger.
+struct MemgraphTrigger {
+  std::string name;
+  MgEventClass event_class = MgEventClass::kAny;
+  bool before_commit = false;  // BEFORE COMMIT vs AFTER COMMIT
+  /// The openCypher statement after EXECUTE: an UNWIND over the Table 4
+  /// predefined variable, the translated condition query, the
+  /// CASE-WHEN-flag construction, the `WHERE flag IS NOT NULL` gate, and
+  /// the translated action. Executable by the Memgraph emulator.
+  std::string statement;
+  /// The complete, printable `CREATE TRIGGER ... EXECUTE ...` text.
+  std::string create_call;
+};
+
+/// Translates a PG-Trigger to a Memgraph trigger per Figure 3:
+///  * events map to the coarser Memgraph classes (CREATE/DELETE keep their
+///    kind; SET/REMOVE — labels or properties — all map to UPDATE, with
+///    the specific change re-dispatched inside the statement via the
+///    Table 4 variables);
+///  * ONCOMMIT -> BEFORE COMMIT, AFTER/DETACHED -> AFTER COMMIT; BEFORE
+///    has no counterpart and returns Unimplemented;
+///  * conditional execution uses openCypher's CASE (no apoc.do.when), with
+///    the flag-is-not-null gate the paper describes.
+Result<MemgraphTrigger> TranslateToMemgraph(const TriggerDef& def);
+
+}  // namespace pgt::translate
+
+#endif  // PGTRIGGERS_TRANSLATE_MEMGRAPH_TRANSLATOR_H_

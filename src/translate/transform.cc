@@ -1,0 +1,261 @@
+#include "src/translate/transform.h"
+
+namespace pgt::translate {
+
+using cypher::Clause;
+using cypher::Expr;
+using cypher::ExprPtr;
+using cypher::Pattern;
+using cypher::Query;
+
+void TransitionTransform::TransformExpr(Expr* e) const {
+  if (e == nullptr) return;
+  // OLD.p / NEW.p of the monitored property -> oldValue / newValue.
+  if (!property.empty() && e->kind == Expr::Kind::kProp &&
+      e->name == property && e->a != nullptr &&
+      e->a->kind == Expr::Kind::kVar) {
+    if (old_names.count(e->a->name) > 0) {
+      e->kind = Expr::Kind::kVar;
+      e->name = old_value_var;
+      e->a.reset();
+      return;
+    }
+    if (new_names.count(e->a->name) > 0) {
+      e->kind = Expr::Kind::kVar;
+      e->name = new_value_var;
+      e->a.reset();
+      return;
+    }
+  }
+  if (e->kind == Expr::Kind::kVar && transition_names.count(e->name) > 0) {
+    e->name = target_var;
+  }
+  if (e->kind == Expr::Kind::kLabelTest) {
+    // x:NEWNODES — set membership is implied by the prelude's dispatch;
+    // keep real labels only, degenerate to TRUE when nothing remains.
+    std::vector<std::string> kept;
+    for (const std::string& l : e->labels) {
+      if (transition_names.count(l) == 0) kept.push_back(l);
+    }
+    e->labels = std::move(kept);
+    if (e->labels.empty()) {
+      Expr lit;
+      lit.kind = Expr::Kind::kLiteral;
+      lit.value = Value::Bool(true);
+      lit.line = e->line;
+      lit.col = e->col;
+      *e = std::move(lit);
+      return;
+    }
+  }
+  TransformExpr(e->a.get());
+  TransformExpr(e->b.get());
+  TransformExpr(e->c.get());
+  for (ExprPtr& arg : e->args) TransformExpr(arg.get());
+  for (auto& [k, v] : e->map_entries) {
+    (void)k;
+    TransformExpr(v.get());
+  }
+  for (auto& [w, t] : e->whens) {
+    TransformExpr(w.get());
+    TransformExpr(t.get());
+  }
+  if (e->pattern) TransformPattern(e->pattern.get());
+  TransformExpr(e->pattern_where.get());
+}
+
+void TransitionTransform::TransformNode(cypher::NodePattern* np) const {
+  bool had_pseudo = false;
+  std::vector<std::string> kept;
+  for (const std::string& l : np->labels) {
+    if (transition_names.count(l) > 0) {
+      had_pseudo = true;
+    } else {
+      kept.push_back(l);
+    }
+  }
+  np->labels = std::move(kept);
+  if (!np->var.empty() && transition_names.count(np->var) > 0) {
+    np->var = target_var;
+  } else if (had_pseudo) {
+    np->var = target_var;  // (pn:NEWNODES ...) -> the prelude variable
+  }
+  for (auto& [k, v] : np->props) {
+    (void)k;
+    TransformExpr(v.get());
+  }
+}
+
+void TransitionTransform::TransformPattern(Pattern* p) const {
+  for (cypher::PatternPart& part : p->parts) {
+    TransformNode(&part.first);
+    for (auto& [rel, node] : part.chain) {
+      if (!rel.var.empty() && transition_names.count(rel.var) > 0) {
+        rel.var = target_var;
+      }
+      for (auto& [k, v] : rel.props) {
+        (void)k;
+        TransformExpr(v.get());
+      }
+      TransformNode(&node);
+    }
+  }
+}
+
+void TransitionTransform::TransformClause(Clause* c) const {
+  TransformPattern(&c->pattern);
+  TransformExpr(c->where.get());
+  TransformExpr(c->unwind_expr.get());
+  for (cypher::ProjItem& item : c->items) TransformExpr(item.expr.get());
+  for (cypher::SortItem& s : c->order_by) TransformExpr(s.expr.get());
+  TransformExpr(c->skip.get());
+  TransformExpr(c->limit.get());
+  for (cypher::SetItem& s : c->set_items) {
+    TransformExpr(s.target.get());
+    TransformExpr(s.value.get());
+    if (!s.var.empty() && transition_names.count(s.var) > 0) {
+      s.var = target_var;
+    }
+  }
+  for (cypher::SetItem& s : c->on_create) {
+    TransformExpr(s.target.get());
+    TransformExpr(s.value.get());
+  }
+  for (cypher::SetItem& s : c->on_match) {
+    TransformExpr(s.target.get());
+    TransformExpr(s.value.get());
+  }
+  for (cypher::RemoveItem& r : c->remove_items) {
+    TransformExpr(r.target.get());
+    if (!r.var.empty() && transition_names.count(r.var) > 0) {
+      r.var = target_var;
+    }
+  }
+  for (cypher::ExprPtr& e : c->delete_exprs) TransformExpr(e.get());
+  TransformExpr(c->foreach_list.get());
+  for (cypher::ClausePtr& b : c->foreach_body) TransformClause(b.get());
+  for (cypher::ExprPtr& a : c->call_args) TransformExpr(a.get());
+}
+
+void TransitionTransform::TransformQuery(Query* q) const {
+  for (cypher::ClausePtr& c : q->clauses) TransformClause(c.get());
+}
+
+TransitionTransform MakeTransitionTransform(const TriggerDef& def,
+                                            const std::string& target) {
+  TransitionTransform t;
+  t.target_var = target;
+  t.property = def.property;
+  auto add = [&](TransitionVar v, bool is_old) {
+    const std::string name = def.AliasFor(v);
+    t.transition_names.insert(name);
+    t.transition_names.insert(TransitionVarName(v));
+    (is_old ? t.old_names : t.new_names).insert(name);
+    (is_old ? t.old_names : t.new_names).insert(TransitionVarName(v));
+  };
+  add(TransitionVar::kOld, true);
+  add(TransitionVar::kNew, false);
+  add(TransitionVar::kOldNodes, true);
+  add(TransitionVar::kNewNodes, false);
+  add(TransitionVar::kOldRels, true);
+  add(TransitionVar::kNewRels, false);
+  return t;
+}
+
+ExprPtr Conjoin(ExprPtr a, ExprPtr b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->bin_op = cypher::BinOp::kAnd;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+ExprPtr MakeVar(const std::string& name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kVar;
+  e->name = name;
+  return e;
+}
+
+ExprPtr MakeStringLiteral(const std::string& s) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->value = Value::String(s);
+  return e;
+}
+
+ExprPtr MakeBoolLiteral(bool b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->value = Value::Bool(b);
+  return e;
+}
+
+ExprPtr MakeLabelTest(const std::string& var, const std::string& label) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLabelTest;
+  e->a = MakeVar(var);
+  e->labels.push_back(label);
+  return e;
+}
+
+ExprPtr MakeLabelInLabels(const std::string& var, const std::string& label) {
+  auto fn = std::make_unique<Expr>();
+  fn->kind = Expr::Kind::kFunc;
+  fn->name = "labels";
+  fn->args.push_back(MakeVar(var));
+  auto in = std::make_unique<Expr>();
+  in->kind = Expr::Kind::kBinary;
+  in->bin_op = cypher::BinOp::kIn;
+  in->a = MakeStringLiteral(label);
+  in->b = std::move(fn);
+  return in;
+}
+
+ExprPtr MakeTypeCheck(const std::string& var, const std::string& type) {
+  auto fn = std::make_unique<Expr>();
+  fn->kind = Expr::Kind::kFunc;
+  fn->name = "TYPE";
+  fn->args.push_back(MakeVar(var));
+  auto eq = std::make_unique<Expr>();
+  eq->kind = Expr::Kind::kBinary;
+  eq->bin_op = cypher::BinOp::kEq;
+  eq->a = std::move(fn);
+  eq->b = MakeStringLiteral(type);
+  return eq;
+}
+
+ExprPtr MakeStringEq(const std::string& var, const std::string& value) {
+  auto eq = std::make_unique<Expr>();
+  eq->kind = Expr::Kind::kBinary;
+  eq->bin_op = cypher::BinOp::kEq;
+  eq->a = MakeVar(var);
+  eq->b = MakeStringLiteral(value);
+  return eq;
+}
+
+std::set<std::string> PipelineVars(const Query& q) {
+  std::set<std::string> vars;
+  for (const cypher::ClausePtr& c : q.clauses) {
+    if (c->kind == Clause::Kind::kMatch) {
+      for (const cypher::PatternPart& part : c->pattern.parts) {
+        if (!part.first.var.empty()) vars.insert(part.first.var);
+        for (const auto& [rel, node] : part.chain) {
+          if (!rel.var.empty()) vars.insert(rel.var);
+          if (!node.var.empty()) vars.insert(node.var);
+        }
+      }
+    } else if (c->kind == Clause::Kind::kUnwind) {
+      vars.insert(c->unwind_var);
+    } else if (c->kind == Clause::Kind::kWith) {
+      vars.clear();  // WITH re-scopes
+      for (const cypher::ProjItem& item : c->items) vars.insert(item.alias);
+    }
+  }
+  return vars;
+}
+
+}  // namespace pgt::translate

@@ -1,0 +1,71 @@
+#ifndef PGTRIGGERS_TRANSLATE_TRANSFORM_H_
+#define PGTRIGGERS_TRANSLATE_TRANSFORM_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/cypher/ast.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt::translate {
+
+/// AST rewriter shared by the APOC and Memgraph translators: renames
+/// transition variables to the runtime variable of the generated prelude,
+/// rewrites transition pseudo-labels in patterns (`(pn:NEWNODES)` becomes
+/// the prelude's UNWIND variable), and maps monitored-property reads
+/// (`OLD.p` / `NEW.p`) to the oldValue/newValue fields of the captured
+/// change records (paper Table 3 / Table 4).
+struct TransitionTransform {
+  std::set<std::string> transition_names;  // all old/new names + aliases
+  std::set<std::string> old_names;
+  std::set<std::string> new_names;
+  std::string target_var;  // e.g. cNodes / oNodes / node / newNode
+  std::string property;    // monitored property ('' when none)
+  std::string old_value_var = "oldValue";
+  std::string new_value_var = "newValue";
+
+  void TransformExpr(cypher::Expr* e) const;
+  void TransformPattern(cypher::Pattern* p) const;
+  void TransformNode(cypher::NodePattern* np) const;
+  void TransformClause(cypher::Clause* c) const;
+  void TransformQuery(cypher::Query* q) const;
+};
+
+/// Builds the transform for a trigger: canonical transition keywords plus
+/// any REFERENCING aliases all map to `target`.
+TransitionTransform MakeTransitionTransform(const TriggerDef& def,
+                                            const std::string& target);
+
+// --- Small expression builders used by both translators ---------------------
+
+/// a AND b (either side may be null).
+cypher::ExprPtr Conjoin(cypher::ExprPtr a, cypher::ExprPtr b);
+
+cypher::ExprPtr MakeVar(const std::string& name);
+cypher::ExprPtr MakeStringLiteral(const std::string& s);
+cypher::ExprPtr MakeBoolLiteral(bool b);
+
+/// var:Label
+cypher::ExprPtr MakeLabelTest(const std::string& var,
+                              const std::string& label);
+
+/// 'Label' IN labels(var)  — the Figure 3 Memgraph idiom.
+cypher::ExprPtr MakeLabelInLabels(const std::string& var,
+                                  const std::string& label);
+
+/// TYPE(var) = 'T'
+cypher::ExprPtr MakeTypeCheck(const std::string& var,
+                              const std::string& type);
+
+/// var = 'value'
+cypher::ExprPtr MakeStringEq(const std::string& var,
+                             const std::string& value);
+
+/// Variables bound by a condition pipeline (used to carry bindings into
+/// the generated code).
+std::set<std::string> PipelineVars(const cypher::Query& q);
+
+}  // namespace pgt::translate
+
+#endif  // PGTRIGGERS_TRANSLATE_TRANSFORM_H_

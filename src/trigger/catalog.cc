@@ -1,0 +1,229 @@
+#include "src/trigger/catalog.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/common/str_util.h"
+
+namespace pgt {
+
+namespace {
+
+/// Does this clause (recursively, through FOREACH) set or remove the given
+/// label?
+bool ClauseTouchesLabel(const cypher::Clause& c, const std::string& label) {
+  for (const cypher::SetItem& s : c.set_items) {
+    if (s.kind == cypher::SetItem::Kind::kLabels) {
+      for (const std::string& l : s.labels) {
+        if (l == label) return true;
+      }
+    }
+  }
+  for (const cypher::SetItem& s : c.on_create) {
+    if (s.kind == cypher::SetItem::Kind::kLabels) {
+      for (const std::string& l : s.labels) {
+        if (l == label) return true;
+      }
+    }
+  }
+  for (const cypher::SetItem& s : c.on_match) {
+    if (s.kind == cypher::SetItem::Kind::kLabels) {
+      for (const std::string& l : s.labels) {
+        if (l == label) return true;
+      }
+    }
+  }
+  for (const cypher::RemoveItem& r : c.remove_items) {
+    if (r.kind == cypher::RemoveItem::Kind::kLabels) {
+      for (const std::string& l : r.labels) {
+        if (l == label) return true;
+      }
+    }
+  }
+  for (const cypher::ClausePtr& body : c.foreach_body) {
+    if (ClauseTouchesLabel(*body, label)) return true;
+  }
+  return false;
+}
+
+bool IsReadOnlyClause(const cypher::Clause& c) {
+  switch (c.kind) {
+    case cypher::Clause::Kind::kMatch:
+    case cypher::Clause::Kind::kUnwind:
+    case cypher::Clause::Kind::kWith:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status TriggerCatalog::Validate(const TriggerDef& def) const {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("trigger name must not be empty");
+  }
+  if (Find(def.name) != nullptr) {
+    return Status::AlreadyExists("trigger '" + def.name + "' already exists");
+  }
+  if (def.label.empty()) {
+    return Status::InvalidArgument("trigger target label must not be empty");
+  }
+  const bool is_property_event = !def.property.empty();
+  const bool is_mutation_event = def.event == TriggerEvent::kSet ||
+                                 def.event == TriggerEvent::kRemove;
+  if (is_property_event && !is_mutation_event) {
+    return Status::ConstraintViolation(
+        "property monitors (ON '" + def.label + "'.'" + def.property +
+        "') require a SET or REMOVE event");
+  }
+  if (is_mutation_event && !is_property_event &&
+      def.item == ItemKind::kRelationship) {
+    return Status::ConstraintViolation(
+        "label SET/REMOVE events apply only to nodes; relationships have "
+        "exactly one immutable type");
+  }
+  if (is_mutation_event && !is_property_event &&
+      options_->label_event_semantics == LabelEventSemantics::kTargetSetChange) {
+    // Strict Section 4.2 reading: the monitored label set excludes the
+    // target label itself; nothing else to check here, but the trigger is
+    // legal only because of that exclusion. (Under kMonitoredLabel, ON 'L'
+    // means "L itself is set/removed", which the strict mode forbids —
+    // except it is exactly the target, so it stays legal by construction.)
+  }
+
+  // Section 4.2: "the target label cannot be set or removed within the
+  // <statement>".
+  for (const cypher::ClausePtr& c : def.statement.clauses) {
+    if (ClauseTouchesLabel(*c, def.label)) {
+      return Status::ConstraintViolation(
+          "trigger statement must not set or remove the target label '" +
+          def.label + "' (Section 4.2)");
+    }
+  }
+
+  // WHEN pipelines must be read-only.
+  for (const cypher::ClausePtr& c : def.when_query.clauses) {
+    if (!IsReadOnlyClause(*c)) {
+      return Status::ConstraintViolation(
+          "WHEN condition must be read-only (MATCH / UNWIND / WITH)");
+    }
+  }
+
+  // BEFORE triggers only condition NEW states: SET clauses only (D1).
+  if (def.time == ActionTime::kBefore) {
+    for (const cypher::ClausePtr& c : def.statement.clauses) {
+      const bool ok = c->kind == cypher::Clause::Kind::kSet ||
+                      IsReadOnlyClause(*c);
+      if (!ok) {
+        return Status::ConstraintViolation(
+            "BEFORE triggers may only SET properties on NEW transition "
+            "items (DESIGN.md D1)");
+      }
+      for (const cypher::SetItem& s : c->set_items) {
+        if (s.kind != cypher::SetItem::Kind::kProperty) {
+          return Status::ConstraintViolation(
+              "BEFORE triggers may not set labels");
+        }
+      }
+    }
+    if (def.event == TriggerEvent::kDelete ||
+        def.event == TriggerEvent::kRemove) {
+      return Status::ConstraintViolation(
+          "BEFORE triggers apply to CREATE/SET events (there is no NEW "
+          "state to condition for DELETE/REMOVE)");
+    }
+  }
+
+  // REFERENCING aliases must match granularity and item kind.
+  for (const ReferencingAlias& r : def.referencing) {
+    const bool is_set_var = r.var == TransitionVar::kOldNodes ||
+                            r.var == TransitionVar::kNewNodes ||
+                            r.var == TransitionVar::kOldRels ||
+                            r.var == TransitionVar::kNewRels;
+    if (def.granularity == Granularity::kEach && is_set_var) {
+      return Status::ConstraintViolation(
+          "FOR EACH triggers use OLD/NEW, not set transition variables");
+    }
+    if (def.granularity == Granularity::kAll && !is_set_var) {
+      return Status::ConstraintViolation(
+          "FOR ALL triggers use OLDNODES/NEWNODES/OLDRELS/NEWRELS");
+    }
+    const bool is_node_var = r.var == TransitionVar::kOldNodes ||
+                             r.var == TransitionVar::kNewNodes;
+    const bool is_rel_var =
+        r.var == TransitionVar::kOldRels || r.var == TransitionVar::kNewRels;
+    if (def.item == ItemKind::kNode && is_rel_var) {
+      return Status::ConstraintViolation(
+          "node trigger cannot reference OLDRELS/NEWRELS");
+    }
+    if (def.item == ItemKind::kRelationship && is_node_var) {
+      return Status::ConstraintViolation(
+          "relationship trigger cannot reference OLDNODES/NEWNODES");
+    }
+    if (r.alias.empty()) {
+      return Status::InvalidArgument("REFERENCING alias must not be empty");
+    }
+  }
+  return Status::OK();
+}
+
+Status TriggerCatalog::Install(TriggerDef def) {
+  PGT_RETURN_IF_ERROR(Validate(def));
+  def.seq = next_seq_++;
+  triggers_.push_back(std::make_unique<TriggerDef>(std::move(def)));
+  return Status::OK();
+}
+
+Status TriggerCatalog::Drop(const std::string& name) {
+  for (auto it = triggers_.begin(); it != triggers_.end(); ++it) {
+    if ((*it)->name == name) {
+      triggers_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("trigger '" + name + "' does not exist");
+}
+
+Status TriggerCatalog::SetEnabled(const std::string& name, bool enabled) {
+  for (const auto& t : triggers_) {
+    if (t->name == name) {
+      t->enabled = enabled;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("trigger '" + name + "' does not exist");
+}
+
+void TriggerCatalog::DropAll() { triggers_.clear(); }
+
+const TriggerDef* TriggerCatalog::Find(const std::string& name) const {
+  for (const auto& t : triggers_) {
+    if (t->name == name) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<const TriggerDef*> TriggerCatalog::ByTime(ActionTime time) const {
+  std::vector<const TriggerDef*> out;
+  for (const auto& t : triggers_) {
+    if (t->enabled && t->time == time) out.push_back(t.get());
+  }
+  if (options_->trigger_ordering == TriggerOrdering::kName) {
+    std::sort(out.begin(), out.end(),
+              [](const TriggerDef* a, const TriggerDef* b) {
+                return a->name < b->name;
+              });
+  }
+  // kCreationTime: triggers_ is already in creation order.
+  return out;
+}
+
+std::vector<const TriggerDef*> TriggerCatalog::All() const {
+  std::vector<const TriggerDef*> out;
+  out.reserve(triggers_.size());
+  for (const auto& t : triggers_) out.push_back(t.get());
+  return out;
+}
+
+}  // namespace pgt

@@ -1,0 +1,63 @@
+#ifndef PGTRIGGERS_TRIGGER_CATALOG_H_
+#define PGTRIGGERS_TRIGGER_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/trigger/options.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt {
+
+/// The installed-trigger catalog: owns TriggerDefs, validates legality at
+/// install time, and provides the per-action-time execution order
+/// (Section 4.2 "Order of execution": creation-time total order, with the
+/// PostgreSQL-style name order available for the ablation).
+class TriggerCatalog {
+ public:
+  explicit TriggerCatalog(const EngineOptions* options)
+      : options_(options) {}
+
+  /// Validates and installs a trigger. Enforced legality rules:
+  ///  * unique name;
+  ///  * property monitors (`ON L.p`) only with SET/REMOVE events;
+  ///  * label events (SET/REMOVE without property) only on nodes
+  ///    (relationships have exactly one immutable type);
+  ///  * under kTargetSetChange semantics, a label-event trigger may not
+  ///    monitor its own target label (strict Section 4.2 assumption);
+  ///  * the statement must not SET/REMOVE the target label (Section 4.2;
+  ///    checked statically here, guarded at runtime by the engine);
+  ///  * BEFORE triggers may only SET properties (they "condition NEW
+  ///    states", DESIGN.md D1);
+  ///  * WHEN pipelines must be read-only (MATCH/UNWIND/WITH);
+  ///  * REFERENCING aliases must match the granularity and item kind.
+  Status Install(TriggerDef def);
+
+  Status Drop(const std::string& name);
+  Status SetEnabled(const std::string& name, bool enabled);
+  void DropAll();
+
+  const TriggerDef* Find(const std::string& name) const;
+
+  /// Enabled triggers with the given action time, in execution order.
+  std::vector<const TriggerDef*> ByTime(ActionTime time) const;
+
+  /// All triggers (enabled and disabled), in creation order.
+  std::vector<const TriggerDef*> All() const;
+
+  size_t size() const { return triggers_.size(); }
+
+ private:
+  Status Validate(const TriggerDef& def) const;
+
+  const EngineOptions* options_;
+  std::vector<std::unique_ptr<TriggerDef>> triggers_;  // creation order
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_TRIGGER_CATALOG_H_

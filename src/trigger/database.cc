@@ -1,0 +1,159 @@
+#include "src/trigger/database.h"
+
+#include "src/common/macros.h"
+#include "src/cypher/parser.h"
+#include "src/schema/validator.h"
+
+namespace pgt {
+
+namespace {
+const Params kNoParams;
+}  // namespace
+
+Database::Database(EngineOptions options)
+    : options_(options),
+      tx_manager_(&store_),
+      catalog_(&options_),
+      clock_(options.clock_epoch_micros),
+      engine_(std::make_unique<PgTriggerEngine>(this)) {}
+
+Database::~Database() = default;
+
+void Database::SetRuntime(std::unique_ptr<TriggerRuntime> runtime) {
+  runtime_ = std::move(runtime);
+}
+
+cypher::EvalContext Database::MakeEvalContext(
+    Transaction* tx, const Params* params, const cypher::TransitionEnv* env) {
+  cypher::EvalContext ctx;
+  ctx.tx = tx;
+  ctx.params = params != nullptr ? params : &kNoParams;
+  ctx.clock = &clock_;
+  ctx.transition = env;
+  ctx.procedures = &procedures_;
+  return ctx;
+}
+
+Result<std::unique_ptr<Transaction>> Database::BeginTx() {
+  return tx_manager_.Begin();
+}
+
+Result<cypher::QueryResult> Database::RunStatementInTx(
+    Transaction& tx, const cypher::Query& query, const Params& params) {
+  tx.PushDeltaScope();
+  cypher::EvalContext ctx = MakeEvalContext(&tx, &params, nullptr);
+  cypher::Executor exec(ctx);
+  auto result = exec.Run(query, cypher::Row{});
+  GraphDelta delta = tx.PopDeltaScope();
+  if (!result.ok()) return result.status();
+  PGT_RETURN_IF_ERROR(runtime().OnStatement(tx, delta));
+  return result;
+}
+
+void Database::AttachSchema(std::optional<schema::SchemaDef> schema) {
+  schema_ = std::move(schema);
+}
+
+Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
+  Status st = runtime().OnCommitPoint(*tx);
+  if (!st.ok()) {
+    RollbackAndRelease(std::move(tx));
+    return st;
+  }
+  // PG-Schema commit guard: the post-trigger state must conform.
+  if (schema_.has_value() && !tx->AccumulatedDelta().Empty()) {
+    schema::ValidationReport report =
+        schema::ValidateGraph(store_, *schema_);
+    if (!report.ok()) {
+      std::string first = report.violations.front().ToString();
+      RollbackAndRelease(std::move(tx));
+      return Status::ConstraintViolation(
+          "commit violates attached PG-Schema '" + schema_->name +
+          "': " + first +
+          (report.violations.size() > 1
+               ? " (+" + std::to_string(report.violations.size() - 1) +
+                     " more)"
+               : ""));
+    }
+  }
+  const GraphDelta total = tx->AccumulatedDelta();
+  st = tx->Commit();
+  tx_manager_.Release(tx.get());
+  if (!st.ok()) return st;
+  tx_manager_.NoteCommit();
+  return runtime().AfterCommit(total);
+}
+
+void Database::RollbackAndRelease(std::unique_ptr<Transaction> tx) {
+  if (tx == nullptr) return;
+  if (tx->active()) {
+    // Rollback failures indicate a bug in the undo log; surface loudly in
+    // debug builds, tolerate in release (the store may be inconsistent).
+    Status st = tx->Rollback();
+    (void)st;
+  }
+  tx_manager_.Release(tx.get());
+}
+
+Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
+  PGT_ASSIGN_OR_RETURN(TriggerDdl ddl, TriggerDdlParser::Parse(text));
+  switch (ddl.kind) {
+    case TriggerDdl::Kind::kCreate:
+      PGT_RETURN_IF_ERROR(catalog_.Install(std::move(ddl.def)));
+      break;
+    case TriggerDdl::Kind::kDrop:
+      PGT_RETURN_IF_ERROR(catalog_.Drop(ddl.name));
+      break;
+    case TriggerDdl::Kind::kEnable:
+      PGT_RETURN_IF_ERROR(catalog_.SetEnabled(ddl.name, true));
+      break;
+    case TriggerDdl::Kind::kDisable:
+      PGT_RETURN_IF_ERROR(catalog_.SetEnabled(ddl.name, false));
+      break;
+  }
+  return cypher::QueryResult{};
+}
+
+Result<cypher::QueryResult> Database::Execute(std::string_view text,
+                                              const Params& params) {
+  if (TriggerDdlParser::IsTriggerDdl(text)) {
+    return ExecuteDdl(text);
+  }
+  PGT_ASSIGN_OR_RETURN(cypher::Query query, cypher::Parser::ParseQuery(text));
+  PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, BeginTx());
+  auto result = RunStatementInTx(*tx, query, params);
+  if (!result.ok()) {
+    RollbackAndRelease(std::move(tx));
+    return result.status();
+  }
+  PGT_RETURN_IF_ERROR(CommitWithTriggers(std::move(tx)));
+  return result;
+}
+
+Result<std::vector<cypher::QueryResult>> Database::ExecuteTx(
+    const std::vector<std::string>& statements, const Params& params) {
+  std::vector<cypher::Query> queries;
+  queries.reserve(statements.size());
+  for (const std::string& s : statements) {
+    if (TriggerDdlParser::IsTriggerDdl(s)) {
+      return Status::InvalidArgument(
+          "trigger DDL is not allowed inside a multi-statement transaction");
+    }
+    PGT_ASSIGN_OR_RETURN(cypher::Query q, cypher::Parser::ParseQuery(s));
+    queries.push_back(std::move(q));
+  }
+  PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, BeginTx());
+  std::vector<cypher::QueryResult> results;
+  for (const cypher::Query& q : queries) {
+    auto result = RunStatementInTx(*tx, q, params);
+    if (!result.ok()) {
+      RollbackAndRelease(std::move(tx));
+      return result.status();
+    }
+    results.push_back(std::move(result).value());
+  }
+  PGT_RETURN_IF_ERROR(CommitWithTriggers(std::move(tx)));
+  return results;
+}
+
+}  // namespace pgt

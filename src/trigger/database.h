@@ -1,0 +1,142 @@
+#ifndef PGTRIGGERS_TRIGGER_DATABASE_H_
+#define PGTRIGGERS_TRIGGER_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/cypher/executor.h"
+#include "src/cypher/functions.h"
+#include "src/schema/pg_schema.h"
+#include "src/storage/graph_store.h"
+#include "src/trigger/catalog.h"
+#include "src/trigger/engine.h"
+#include "src/trigger/options.h"
+#include "src/trigger/trigger_parser.h"
+#include "src/tx/transaction.h"
+
+namespace pgt {
+
+/// Query parameters ($name -> value).
+using Params = std::map<std::string, Value>;
+
+/// The reactive graph database facade: storage + transactions + the Cypher
+/// subset + the PG-Trigger runtime, wired together.
+///
+///   Database db;
+///   db.Execute("CREATE TRIGGER Alert AFTER CREATE ON 'Mutation' "
+///              "FOR EACH NODE BEGIN CREATE (:Alert {m: NEW.name}) END");
+///   db.Execute("CREATE (:Mutation {name: 'Spike:D614G'})");
+///   // -> the trigger fired inside the same transaction.
+///
+/// Every Execute() call is one auto-committed transaction; ExecuteTx() runs
+/// several statements in a single transaction (admission waves in the
+/// paper's Section 6 are modeled this way). Trigger DDL (CREATE/DROP/ALTER
+/// TRIGGER) is routed to the catalog.
+///
+/// The trigger runtime is pluggable (SetRuntime): by default the native
+/// PG-Trigger engine runs; the APOC / Memgraph emulators substitute the
+/// respective Section 5 semantics for comparison experiments.
+class Database {
+ public:
+  explicit Database(EngineOptions options = {});
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Query / DDL execution ----------------------------------------------
+
+  /// Executes one statement (query or trigger DDL) as its own transaction.
+  Result<cypher::QueryResult> Execute(std::string_view text,
+                                      const Params& params = {});
+
+  /// Executes several statements in one transaction (one statement-level
+  /// trigger round per statement, one commit at the end).
+  Result<std::vector<cypher::QueryResult>> ExecuteTx(
+      const std::vector<std::string>& statements, const Params& params = {});
+
+  // --- Components -----------------------------------------------------------
+
+  GraphStore& store() { return store_; }
+  const GraphStore& store() const { return store_; }
+  TriggerCatalog& catalog() { return catalog_; }
+  const TriggerCatalog& catalog() const { return catalog_; }
+  cypher::ProcedureRegistry& procedures() { return procedures_; }
+  LogicalClock& clock() { return clock_; }
+  EngineOptions& options() { return options_; }
+
+  /// The native engine (also reachable when a different runtime is active;
+  /// emulators delegate activation matching to it).
+  PgTriggerEngine& engine() { return *engine_; }
+  EngineStats& stats() { return engine_->stats(); }
+
+  /// Replaces the trigger runtime (pass nullptr to restore the native
+  /// engine). The Database keeps ownership.
+  void SetRuntime(std::unique_ptr<TriggerRuntime> runtime);
+  TriggerRuntime& runtime() {
+    return runtime_ != nullptr ? *runtime_ : *engine_;
+  }
+
+  // --- PG-Schema attachment --------------------------------------------------
+
+  /// Attaches a PG-Schema as a commit-time guard: after ONCOMMIT triggers
+  /// (and their side effects) run, the whole graph is validated against
+  /// the schema; any violation rolls the transaction back with
+  /// ConstraintViolation. This realizes the paper's footnote 1 direction
+  /// — PG-Types standing in for labels — as an enforcement mechanism.
+  /// Validation is whole-graph (O(store) per commit), intended for
+  /// correctness-first workloads; pass std::nullopt to detach.
+  void AttachSchema(std::optional<schema::SchemaDef> schema);
+  const std::optional<schema::SchemaDef>& attached_schema() const {
+    return schema_;
+  }
+
+  // --- Internals used by trigger runtimes -----------------------------------
+
+  /// Builds an evaluation context over `tx` (params/clock/procedures wired;
+  /// transition env optional).
+  cypher::EvalContext MakeEvalContext(Transaction* tx, const Params* params,
+                                      const cypher::TransitionEnv* env);
+
+  /// Runs one parsed statement inside `tx`: opens a delta scope, executes,
+  /// pops the scope, and hands the delta to the active runtime's
+  /// OnStatement.
+  Result<cypher::QueryResult> RunStatementInTx(Transaction& tx,
+                                               const cypher::Query& query,
+                                               const Params& params);
+
+  /// Begins an autonomous transaction (DETACHED triggers). The caller must
+  /// finish it via CommitWithTriggers or RollbackAndRelease.
+  Result<std::unique_ptr<Transaction>> BeginTx();
+
+  /// Drives OnCommitPoint, the physical commit, and AfterCommit.
+  Status CommitWithTriggers(std::unique_ptr<Transaction> tx);
+
+  void RollbackAndRelease(std::unique_ptr<Transaction> tx);
+
+  /// Number of committed transactions (visibility experiments).
+  uint64_t committed_transactions() const {
+    return tx_manager_.committed_count();
+  }
+
+ private:
+  Result<cypher::QueryResult> ExecuteDdl(std::string_view text);
+
+  EngineOptions options_;
+  GraphStore store_;
+  TransactionManager tx_manager_;
+  TriggerCatalog catalog_;
+  cypher::ProcedureRegistry procedures_;
+  LogicalClock clock_;
+  std::unique_ptr<PgTriggerEngine> engine_;
+  std::unique_ptr<TriggerRuntime> runtime_;  // null = native engine
+  std::optional<schema::SchemaDef> schema_;  // commit-time guard
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_TRIGGER_DATABASE_H_

@@ -1,0 +1,493 @@
+#include "src/trigger/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/macros.h"
+#include "src/cypher/executor.h"
+#include "src/trigger/database.h"
+
+namespace pgt {
+
+namespace {
+
+/// Labels of a node, falling back to the delta's deleted image when the
+/// node is gone (matching runs against deltas of committed transactions for
+/// DETACHED triggers, where no transaction ghost map exists).
+std::vector<LabelId> LabelsOf(const GraphStore& store, const GraphDelta& delta,
+                              NodeId id) {
+  if (store.NodeAlive(id)) return store.GetNode(id)->labels;
+  for (const DeletedNodeImage& img : delta.deleted_nodes) {
+    if (img.id == id) return img.labels;
+  }
+  return {};
+}
+
+bool HasLabel(const std::vector<LabelId>& labels, LabelId l) {
+  return std::binary_search(labels.begin(), labels.end(), l);
+}
+
+/// One matched event occurrence.
+struct Entry {
+  uint64_t id = 0;
+  bool has_old = false;
+  bool has_new = false;
+  bool has_overlay = false;
+  PropKeyId key = kInvalidSymbol;
+  Value old_value;
+};
+
+}  // namespace
+
+std::vector<Activation> PgTriggerEngine::MatchActivations(
+    const TriggerDef& def, const GraphDelta& delta) const {
+  std::vector<Activation> out;
+  const GraphStore& store = db_->store();
+  const bool is_node = def.item == ItemKind::kNode;
+
+  // Resolve the target label / relationship type; if it was never interned,
+  // no item can carry it and no event can match.
+  std::optional<uint32_t> target;
+  if (is_node) {
+    target = store.LookupLabel(def.label);
+  } else {
+    target = store.LookupRelType(def.label);
+  }
+  if (!target.has_value()) return out;
+
+  std::optional<PropKeyId> prop;
+  if (!def.property.empty()) {
+    prop = store.LookupPropKey(def.property);
+    if (!prop.has_value()) return out;  // property key never used
+  }
+
+  std::vector<Entry> entries;
+  const LabelEventSemantics label_sem = db_->options().label_event_semantics;
+
+  switch (def.event) {
+    case TriggerEvent::kCreate: {
+      if (is_node) {
+        for (NodeId id : delta.created_nodes) {
+          if (HasLabel(LabelsOf(store, delta, id), *target)) {
+            entries.push_back({id.value, false, true, false,
+                               kInvalidSymbol, Value()});
+          }
+        }
+      } else {
+        for (RelId id : delta.created_rels) {
+          const RelRecord* r = store.GetRel(id);
+          if (r != nullptr && r->type == *target) {
+            entries.push_back({id.value, false, true, false,
+                               kInvalidSymbol, Value()});
+          }
+        }
+      }
+      break;
+    }
+    case TriggerEvent::kDelete: {
+      if (is_node) {
+        for (const DeletedNodeImage& img : delta.deleted_nodes) {
+          if (HasLabel(img.labels, *target)) {
+            entries.push_back({img.id.value, true, false, false,
+                               kInvalidSymbol, Value()});
+          }
+        }
+      } else {
+        for (const DeletedRelImage& img : delta.deleted_rels) {
+          if (img.type == *target) {
+            entries.push_back({img.id.value, true, false, false,
+                               kInvalidSymbol, Value()});
+          }
+        }
+      }
+      break;
+    }
+    case TriggerEvent::kSet: {
+      if (prop.has_value()) {
+        if (is_node) {
+          for (const NodePropChange& pc : delta.assigned_node_props) {
+            if (pc.key == *prop &&
+                HasLabel(LabelsOf(store, delta, pc.node), *target)) {
+              entries.push_back(
+                  {pc.node.value, true, true, true, pc.key, pc.old_value});
+            }
+          }
+        } else {
+          for (const RelPropChange& pc : delta.assigned_rel_props) {
+            const RelRecord* r = store.GetRel(pc.rel);
+            if (pc.key == *prop && r != nullptr && r->type == *target) {
+              entries.push_back(
+                  {pc.rel.value, true, true, true, pc.key, pc.old_value});
+            }
+          }
+        }
+      } else {
+        // Label event (nodes only; validated at install time).
+        for (const LabelChange& lc : delta.assigned_labels) {
+          if (label_sem == LabelEventSemantics::kMonitoredLabel) {
+            if (lc.label == *target) {
+              entries.push_back({lc.node.value, false, true, false,
+                                 kInvalidSymbol, Value()});
+            }
+          } else {
+            if (lc.label != *target &&
+                HasLabel(LabelsOf(store, delta, lc.node), *target)) {
+              entries.push_back({lc.node.value, false, true, false,
+                                 kInvalidSymbol, Value()});
+            }
+          }
+        }
+      }
+      break;
+    }
+    case TriggerEvent::kRemove: {
+      if (prop.has_value()) {
+        if (is_node) {
+          for (const NodePropChange& pc : delta.removed_node_props) {
+            if (pc.key == *prop &&
+                HasLabel(LabelsOf(store, delta, pc.node), *target)) {
+              entries.push_back(
+                  {pc.node.value, true, false, true, pc.key, pc.old_value});
+            }
+          }
+        } else {
+          for (const RelPropChange& pc : delta.removed_rel_props) {
+            const RelRecord* r = store.GetRel(pc.rel);
+            if (pc.key == *prop && r != nullptr && r->type == *target) {
+              entries.push_back(
+                  {pc.rel.value, true, false, true, pc.key, pc.old_value});
+            }
+          }
+        }
+      } else {
+        for (const LabelChange& lc : delta.removed_labels) {
+          if (label_sem == LabelEventSemantics::kMonitoredLabel) {
+            if (lc.label == *target) {
+              entries.push_back({lc.node.value, true, false, false,
+                                 kInvalidSymbol, Value()});
+            }
+          } else {
+            if (lc.label != *target &&
+                HasLabel(LabelsOf(store, delta, lc.node), *target)) {
+              entries.push_back({lc.node.value, true, false, false,
+                                 kInvalidSymbol, Value()});
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  if (entries.empty()) return out;
+
+  auto item_value = [&](uint64_t id) {
+    return is_node ? Value::Node(NodeId{id}) : Value::Rel(RelId{id});
+  };
+  auto add_overlay = [&](cypher::TransitionEnv& env, const Entry& e) {
+    if (!e.has_overlay) return;
+    auto& overlays =
+        is_node ? env.old_node_props : env.old_rel_props;
+    // First old value wins: it is the pre-statement image.
+    overlays[e.id].emplace(e.key, e.old_value);
+  };
+
+  if (def.granularity == Granularity::kEach) {
+    const std::string new_name = def.AliasFor(TransitionVar::kNew);
+    const std::string old_name = def.AliasFor(TransitionVar::kOld);
+    for (const Entry& e : entries) {
+      Activation act;
+      act.trigger = &def;
+      if (e.has_new) {
+        act.env.singles[new_name] = item_value(e.id);
+        // NEW is also usable as a pseudo-label: MATCH (pn:NEW)-...
+        act.env.sets[new_name] = {is_node, {e.id}};
+      }
+      if (e.has_old) {
+        act.env.singles[old_name] = item_value(e.id);
+        act.env.sets[old_name] = {is_node, {e.id}};
+        act.env.old_view_vars.insert(old_name);
+        add_overlay(act.env, e);
+      }
+      out.push_back(std::move(act));
+    }
+  } else {
+    const std::string new_name = def.NewVarName();
+    const std::string old_name = def.OldVarName();
+    Activation act;
+    act.trigger = &def;
+    std::vector<uint64_t> old_ids, new_ids;
+    std::set<uint64_t> seen_old, seen_new;
+    for (const Entry& e : entries) {
+      if (e.has_old && seen_old.insert(e.id).second) old_ids.push_back(e.id);
+      if (e.has_new && seen_new.insert(e.id).second) new_ids.push_back(e.id);
+      add_overlay(act.env, e);
+    }
+    if (!new_ids.empty()) {
+      act.env.sets[new_name] = {is_node, std::move(new_ids)};
+    }
+    if (!old_ids.empty()) {
+      act.env.sets[old_name] = {is_node, std::move(old_ids)};
+      act.env.old_view_vars.insert(old_name);
+    }
+    out.push_back(std::move(act));
+  }
+  return out;
+}
+
+Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
+  const TriggerDef& def = *act.trigger;
+  TriggerStats& ts = stats_.per_trigger[def.name];
+  ++ts.considered;
+
+  cypher::EvalContext ctx = db_->MakeEvalContext(&tx, nullptr, &act.env);
+  // Runtime guard for the Section 4.2 rule: the statement may not set or
+  // remove the trigger's target label (catches dynamic cases the static
+  // install check cannot see).
+  if (def.item == ItemKind::kNode) {
+    auto target = db_->store().LookupLabel(def.label);
+    if (target.has_value()) {
+      const LabelId target_label = *target;
+      const std::string trigger_name = def.name;
+      ctx.label_write_guard = [target_label,
+                               trigger_name](LabelId l, bool) -> Status {
+        if (l == target_label) {
+          return Status::ConstraintViolation(
+              "trigger '" + trigger_name +
+              "' attempted to set/remove its target label (Section 4.2)");
+        }
+        return Status::OK();
+      };
+    }
+  }
+
+  // Seed row: single transition variables, plus set variables as lists.
+  cypher::Row seed;
+  for (const auto& [name, v] : act.env.singles) seed.Set(name, v);
+  if (def.granularity == Granularity::kAll) {
+    for (const auto& [name, sb] : act.env.sets) {
+      Value::List items;
+      items.reserve(sb.ids.size());
+      for (uint64_t id : sb.ids) {
+        items.push_back(sb.is_node ? Value::Node(NodeId{id})
+                                   : Value::Rel(RelId{id}));
+      }
+      seed.Set(name, Value::MakeList(std::move(items)));
+    }
+  }
+
+  cypher::Executor exec(ctx);
+  std::vector<cypher::Row> rows = {seed};
+  if (def.when_expr != nullptr) {
+    PGT_ASSIGN_OR_RETURN(bool pass,
+                         cypher::EvalPredicate(*def.when_expr, seed, ctx));
+    if (!pass) return Status::OK();
+  } else if (!def.when_query.clauses.empty()) {
+    PGT_ASSIGN_OR_RETURN(rows,
+                         exec.RunClauses(def.when_query.clauses,
+                                         std::move(rows)));
+    if (rows.empty()) return Status::OK();
+    // Transition variables are "the handlers to the part of the graph that
+    // has been modified" (Section 6.2): they stay in scope for the action
+    // even when the condition pipeline's WITH clauses re-scoped the rows.
+    for (cypher::Row& row : rows) {
+      for (const auto& [name, v] : seed.cols) {
+        if (!row.Has(name)) row.Set(name, v);
+      }
+    }
+  }
+  ++ts.fired;
+  ts.action_rows += rows.size();
+  return exec.RunUpdates(def.statement.clauses, std::move(rows));
+}
+
+Status PgTriggerEngine::ValidateBeforeDelta(const TriggerDef& def,
+                                            const Activation& act,
+                                            const GraphDelta& delta) const {
+  auto fail = [&](const std::string& what) {
+    return Status::ConstraintViolation(
+        "BEFORE trigger '" + def.name + "' " + what +
+        "; BEFORE triggers may only condition NEW states (DESIGN.md D1)");
+  };
+  if (!delta.created_nodes.empty() || !delta.created_rels.empty() ||
+      !delta.deleted_nodes.empty() || !delta.deleted_rels.empty() ||
+      !delta.assigned_labels.empty() || !delta.removed_labels.empty()) {
+    return fail("changed graph structure");
+  }
+  std::set<uint64_t> allowed;
+  const std::string new_name = def.granularity == Granularity::kEach
+                                   ? def.AliasFor(TransitionVar::kNew)
+                                   : def.NewVarName();
+  const cypher::TransitionEnv::SetBinding* set = act.env.FindSet(new_name);
+  if (set != nullptr) allowed.insert(set->ids.begin(), set->ids.end());
+  auto check_node = [&](const NodePropChange& pc) -> Status {
+    if (def.item != ItemKind::kNode || allowed.count(pc.node.value) == 0) {
+      return fail("modified an item outside its NEW transition set");
+    }
+    return Status::OK();
+  };
+  auto check_rel = [&](const RelPropChange& pc) -> Status {
+    if (def.item != ItemKind::kRelationship ||
+        allowed.count(pc.rel.value) == 0) {
+      return fail("modified an item outside its NEW transition set");
+    }
+    return Status::OK();
+  };
+  for (const NodePropChange& pc : delta.assigned_node_props) {
+    PGT_RETURN_IF_ERROR(check_node(pc));
+  }
+  for (const NodePropChange& pc : delta.removed_node_props) {
+    PGT_RETURN_IF_ERROR(check_node(pc));
+  }
+  for (const RelPropChange& pc : delta.assigned_rel_props) {
+    PGT_RETURN_IF_ERROR(check_rel(pc));
+  }
+  for (const RelPropChange& pc : delta.removed_rel_props) {
+    PGT_RETURN_IF_ERROR(check_rel(pc));
+  }
+  return Status::OK();
+}
+
+Status PgTriggerEngine::ProcessStatementLevel(Transaction& tx,
+                                              const GraphDelta& delta,
+                                              int depth) {
+  if (delta.Empty()) return Status::OK();
+  if (depth > db_->options().max_cascade_depth) {
+    return Status::CascadeLimitExceeded(
+        "trigger cascade exceeded max_cascade_depth=" +
+        std::to_string(db_->options().max_cascade_depth) +
+        " (possible non-terminating rule set; see Section 6.2.3)");
+  }
+  stats_.cascade_depth_max =
+      std::max<uint64_t>(stats_.cascade_depth_max, depth);
+
+  // BEFORE: condition NEW states; writes fold in silently (no cascade).
+  for (const TriggerDef* def : db_->catalog().ByTime(ActionTime::kBefore)) {
+    for (const Activation& act : MatchActivations(*def, delta)) {
+      tx.PushDeltaScope();
+      Status st = RunActivation(tx, act);
+      GraphDelta d = tx.PopDeltaScope();
+      if (!st.ok()) return st;
+      PGT_RETURN_IF_ERROR(ValidateBeforeDelta(*def, act, d));
+    }
+  }
+
+  // AFTER: each action is its own statement scope; cascades recursively
+  // (SQL3-style stack of execution contexts).
+  for (const TriggerDef* def : db_->catalog().ByTime(ActionTime::kAfter)) {
+    for (const Activation& act : MatchActivations(*def, delta)) {
+      tx.PushDeltaScope();
+      Status st = RunActivation(tx, act);
+      GraphDelta d = tx.PopDeltaScope();
+      if (!st.ok()) return st;
+      PGT_RETURN_IF_ERROR(ProcessStatementLevel(tx, d, depth + 1));
+    }
+  }
+  return Status::OK();
+}
+
+Status PgTriggerEngine::OnStatement(Transaction& tx, const GraphDelta& delta) {
+  ++stats_.statements;
+  return ProcessStatementLevel(tx, delta, 1);
+}
+
+Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
+  // D4: run ONCOMMIT triggers on the accumulated transaction delta; fold
+  // their side effects in and iterate to fixpoint, all before the physical
+  // commit.
+  GraphDelta pending = tx.AccumulatedDelta();
+  int round = 0;
+  while (!pending.Empty()) {
+    std::vector<Activation> acts;
+    for (const TriggerDef* def :
+         db_->catalog().ByTime(ActionTime::kOnCommit)) {
+      for (Activation& act : MatchActivations(*def, pending)) {
+        acts.push_back(std::move(act));
+      }
+    }
+    if (acts.empty()) break;
+    if (++round > db_->options().max_oncommit_rounds) {
+      return Status::CascadeLimitExceeded(
+          "ONCOMMIT processing did not reach a fixpoint within " +
+          std::to_string(db_->options().max_oncommit_rounds) + " rounds");
+    }
+    stats_.oncommit_rounds_max =
+        std::max<uint64_t>(stats_.oncommit_rounds_max, round);
+    tx.PushDeltaScope();
+    for (const Activation& act : acts) {
+      tx.PushDeltaScope();
+      Status st = RunActivation(tx, act);
+      GraphDelta d = tx.PopDeltaScope();
+      if (st.ok()) {
+        // ONCOMMIT actions are statements: BEFORE/AFTER triggers cascade
+        // on their effects as usual.
+        st = ProcessStatementLevel(tx, d, 1);
+      }
+      if (!st.ok()) {
+        tx.PopDeltaScope();
+        return st;
+      }
+    }
+    pending = tx.PopDeltaScope();  // everything this round produced
+  }
+  return Status::OK();
+}
+
+Status PgTriggerEngine::AfterCommit(const GraphDelta& tx_delta) {
+  for (const TriggerDef* def : db_->catalog().ByTime(ActionTime::kDetached)) {
+    for (Activation& act : MatchActivations(*def, tx_delta)) {
+      detached_queue_.emplace_back(std::move(act), tx_delta);
+    }
+  }
+  if (draining_detached_) return Status::OK();
+  draining_detached_ = true;
+  int processed = 0;
+  Status result = Status::OK();
+  while (!detached_queue_.empty()) {
+    if (++processed > db_->options().max_detached_queue) {
+      result = Status::CascadeLimitExceeded(
+          "DETACHED trigger chain exceeded max_detached_queue=" +
+          std::to_string(db_->options().max_detached_queue));
+      detached_queue_.clear();
+      break;
+    }
+    auto [act, src] = std::move(detached_queue_.front());
+    detached_queue_.pop_front();
+    Status st = RunDetachedActivation(act, src);
+    if (!st.ok()) {
+      result = st;
+      detached_queue_.clear();
+      break;
+    }
+  }
+  draining_detached_ = false;
+  return result;
+}
+
+Status PgTriggerEngine::RunDetachedActivation(const Activation& act,
+                                              const GraphDelta& source_delta) {
+  PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, db_->BeginTx());
+  // Keep OLD transition variables readable: the activating transaction is
+  // committed, so its deleted-item images are re-injected as ghosts.
+  for (const DeletedNodeImage& img : source_delta.deleted_nodes) {
+    tx->InjectGhostNode(img);
+  }
+  for (const DeletedRelImage& img : source_delta.deleted_rels) {
+    tx->InjectGhostRel(img);
+  }
+  ++stats_.detached_runs;
+  tx->PushDeltaScope();
+  Status st = RunActivation(*tx, act);
+  GraphDelta d = tx->PopDeltaScope();
+  if (st.ok()) st = ProcessStatementLevel(*tx, d, 1);
+  if (!st.ok()) {
+    // A DETACHED trigger failure aborts only its own autonomous
+    // transaction; the activating transaction is already durable.
+    db_->RollbackAndRelease(std::move(tx));
+    ++stats_.per_trigger[act.trigger->name].errors;
+    return Status::OK();
+  }
+  return db_->CommitWithTriggers(std::move(tx));
+}
+
+}  // namespace pgt

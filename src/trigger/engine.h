@@ -1,0 +1,128 @@
+#ifndef PGTRIGGERS_TRIGGER_ENGINE_H_
+#define PGTRIGGERS_TRIGGER_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cypher/eval.h"
+#include "src/trigger/catalog.h"
+#include "src/trigger/options.h"
+#include "src/trigger/trigger_def.h"
+#include "src/tx/delta.h"
+#include "src/tx/transaction.h"
+
+namespace pgt {
+
+class Database;
+
+/// Per-trigger runtime counters (benchmarks and tests read these).
+struct TriggerStats {
+  uint64_t considered = 0;  ///< activations whose condition was evaluated
+  uint64_t fired = 0;       ///< activations whose action executed
+  uint64_t action_rows = 0; ///< condition rows the action ran over
+  uint64_t errors = 0;      ///< contained failures (DETACHED autonomous txs)
+};
+
+/// Engine-wide counters.
+struct EngineStats {
+  std::map<std::string, TriggerStats> per_trigger;
+  uint64_t statements = 0;
+  uint64_t cascade_depth_max = 0;
+  uint64_t oncommit_rounds_max = 0;
+  uint64_t detached_runs = 0;
+
+  void Clear() { *this = EngineStats(); }
+};
+
+/// One activation of a trigger: the trigger plus the transition environment
+/// derived from the matched events (Section 4.2 "Transition Variables").
+struct Activation {
+  const TriggerDef* trigger = nullptr;
+  cypher::TransitionEnv env;
+};
+
+/// Strategy interface between the Database and a trigger runtime.
+///
+/// The native PG-Trigger engine implements the paper's proposed semantics;
+/// the APOC and Memgraph emulators (src/emul) implement the respective
+/// systems' *actual* documented behaviors (Section 5), so the benches can
+/// compare them executably.
+class TriggerRuntime {
+ public:
+  virtual ~TriggerRuntime() = default;
+
+  /// Called after every top-level statement, inside the open transaction,
+  /// with that statement's delta.
+  virtual Status OnStatement(Transaction& tx, const GraphDelta& delta) = 0;
+
+  /// Called when the transaction reaches its commit point (still inside
+  /// the transaction; failure rolls the whole transaction back).
+  virtual Status OnCommitPoint(Transaction& tx) = 0;
+
+  /// Called after a successful physical commit with the transaction's
+  /// accumulated delta. Runs outside any transaction.
+  virtual Status AfterCommit(const GraphDelta& tx_delta) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// The native PG-Trigger engine (the paper's Section 4 semantics):
+///
+///  * BEFORE — runs on the activating statement's delta before AFTER
+///    processing; may only SET properties on NEW transition items; its
+///    writes fold into the statement's delta without raising events (D1).
+///  * AFTER — runs per statement; every action executes in its own delta
+///    scope and its delta is recursively processed (SQL3-style cascaded
+///    execution with an execution-context stack), bounded by
+///    EngineOptions::max_cascade_depth.
+///  * ONCOMMIT — at the commit point, iterated to fixpoint over the deltas
+///    the ONCOMMIT actions produce (D4), still inside the transaction.
+///  * DETACHED — after the physical commit, each activation runs in its own
+///    autonomous transaction (full trigger processing applies to it too).
+///
+/// Ordering within an action time follows EngineOptions::trigger_ordering
+/// (creation-time by default, per Section 4.2).
+class PgTriggerEngine : public TriggerRuntime {
+ public:
+  explicit PgTriggerEngine(Database* db) : db_(db) {}
+
+  Status OnStatement(Transaction& tx, const GraphDelta& delta) override;
+  Status OnCommitPoint(Transaction& tx) override;
+  Status AfterCommit(const GraphDelta& tx_delta) override;
+  const char* name() const override { return "pg-triggers"; }
+
+  EngineStats& stats() { return stats_; }
+
+  /// Derives the activations of `def` raised by `delta` (exposed for tests
+  /// and for the translators' equivalence checks). Event matching follows
+  /// Section 4.2 and Table 3; label-event semantics follow
+  /// EngineOptions::label_event_semantics (D3).
+  std::vector<Activation> MatchActivations(const TriggerDef& def,
+                                           const GraphDelta& delta) const;
+
+  /// Evaluates condition and (if it holds) executes the action of one
+  /// activation inside `tx`. Does not open a delta scope; callers manage
+  /// scoping/cascading.
+  Status RunActivation(Transaction& tx, const Activation& act);
+
+ private:
+  Status ProcessStatementLevel(Transaction& tx, const GraphDelta& delta,
+                               int depth);
+  Status ValidateBeforeDelta(const TriggerDef& def, const Activation& act,
+                             const GraphDelta& delta) const;
+  Status RunDetachedActivation(const Activation& act,
+                               const GraphDelta& source_delta);
+
+  Database* db_;
+  EngineStats stats_;
+  bool draining_detached_ = false;
+  std::deque<std::pair<Activation, GraphDelta>> detached_queue_;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_TRIGGER_ENGINE_H_

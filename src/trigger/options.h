@@ -1,0 +1,57 @@
+#ifndef PGTRIGGERS_TRIGGER_OPTIONS_H_
+#define PGTRIGGERS_TRIGGER_OPTIONS_H_
+
+#include <cstdint>
+
+namespace pgt {
+
+/// Semantics of label SET/REMOVE events (`AFTER SET ON 'L' FOR ... NODE`
+/// with no property). The paper's Section 4.2 assumption — "no trigger can
+/// monitor the setting or removal of its target label" — admits two
+/// readings; both are implemented and compared in the ablation bench
+/// (DESIGN.md D3):
+enum class LabelEventSemantics {
+  /// The ON label *is* the monitored label: the trigger fires when label L
+  /// itself is set on / removed from a node. This matches the paper's
+  /// translation schemes (Table 3 builds NEW from $assignedLabels) and is
+  /// the default.
+  kMonitoredLabel,
+  /// Strict Section 4.2 reading: the ON label only defines the target set;
+  /// the trigger fires when *some other* label is set on / removed from a
+  /// node carrying L, and monitoring L itself is rejected at install time.
+  kTargetSetChange,
+};
+
+/// Trigger ordering among same-action-time triggers (Section 4.2
+/// "the most sensible option ... is to resort to the trigger creation
+/// time"; footnote 3 notes PostgreSQL's name-based alternative).
+enum class TriggerOrdering {
+  kCreationTime,  ///< paper default: total order by installation sequence
+  kName,          ///< PostgreSQL-style alphabetical order (ablation)
+};
+
+/// Tunables of the reactive engine (RocksDB-style options struct).
+struct EngineOptions {
+  /// Maximum depth of cascaded trigger activations before the transaction
+  /// aborts with CascadeLimitExceeded (runaway-rule backstop; Section 6.2.3
+  /// discusses non-terminating relocation cascades).
+  int max_cascade_depth = 32;
+
+  /// Maximum ONCOMMIT fixpoint rounds (DESIGN.md D4) before aborting.
+  int max_oncommit_rounds = 32;
+
+  /// Maximum queued DETACHED activations processed after one commit chain.
+  int max_detached_queue = 1024;
+
+  LabelEventSemantics label_event_semantics =
+      LabelEventSemantics::kMonitoredLabel;
+
+  TriggerOrdering trigger_ordering = TriggerOrdering::kCreationTime;
+
+  /// Epoch for the deterministic logical clock behind DATETIME().
+  int64_t clock_epoch_micros = 1'700'000'000'000'000;  // fixed, reproducible
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_TRIGGER_OPTIONS_H_

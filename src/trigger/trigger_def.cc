@@ -1,0 +1,121 @@
+#include "src/trigger/trigger_def.h"
+
+#include <sstream>
+
+namespace pgt {
+
+const char* ActionTimeName(ActionTime t) {
+  switch (t) {
+    case ActionTime::kBefore:
+      return "BEFORE";
+    case ActionTime::kAfter:
+      return "AFTER";
+    case ActionTime::kOnCommit:
+      return "ONCOMMIT";
+    case ActionTime::kDetached:
+      return "DETACHED";
+  }
+  return "?";
+}
+
+const char* TriggerEventName(TriggerEvent e) {
+  switch (e) {
+    case TriggerEvent::kCreate:
+      return "CREATE";
+    case TriggerEvent::kDelete:
+      return "DELETE";
+    case TriggerEvent::kSet:
+      return "SET";
+    case TriggerEvent::kRemove:
+      return "REMOVE";
+  }
+  return "?";
+}
+
+const char* ItemKindName(ItemKind k) {
+  return k == ItemKind::kNode ? "NODE" : "RELATIONSHIP";
+}
+
+const char* GranularityName(Granularity g) {
+  return g == Granularity::kEach ? "EACH" : "ALL";
+}
+
+const char* TransitionVarName(TransitionVar v) {
+  switch (v) {
+    case TransitionVar::kOld:
+      return "OLD";
+    case TransitionVar::kNew:
+      return "NEW";
+    case TransitionVar::kOldNodes:
+      return "OLDNODES";
+    case TransitionVar::kNewNodes:
+      return "NEWNODES";
+    case TransitionVar::kOldRels:
+      return "OLDRELS";
+    case TransitionVar::kNewRels:
+      return "NEWRELS";
+  }
+  return "?";
+}
+
+std::string TriggerDef::AliasFor(TransitionVar v) const {
+  for (const ReferencingAlias& r : referencing) {
+    if (r.var == v) return r.alias;
+  }
+  return TransitionVarName(v);
+}
+
+std::string TriggerDef::OldVarName() const {
+  if (granularity == Granularity::kEach) return AliasFor(TransitionVar::kOld);
+  return AliasFor(item == ItemKind::kNode ? TransitionVar::kOldNodes
+                                          : TransitionVar::kOldRels);
+}
+
+std::string TriggerDef::NewVarName() const {
+  if (granularity == Granularity::kEach) return AliasFor(TransitionVar::kNew);
+  return AliasFor(item == ItemKind::kNode ? TransitionVar::kNewNodes
+                                          : TransitionVar::kNewRels);
+}
+
+std::string TriggerDef::ToDdl() const {
+  std::ostringstream os;
+  os << "CREATE TRIGGER " << name << "\n";
+  os << ActionTimeName(time) << " " << TriggerEventName(event) << "\n";
+  os << "ON '" << label << "'";
+  if (!property.empty()) os << ".'" << property << "'";
+  os << "\n";
+  for (const ReferencingAlias& r : referencing) {
+    os << "REFERENCING " << TransitionVarName(r.var) << " AS " << r.alias
+       << "\n";
+  }
+  os << "FOR " << GranularityName(granularity) << " " << ItemKindName(item);
+  if (granularity == Granularity::kAll) os << "S";  // FOR ALL NODES
+  os << "\n";
+  if (when_expr != nullptr) {
+    os << "WHEN " << cypher::ExprToString(*when_expr) << "\n";
+  } else if (!when_query.clauses.empty()) {
+    os << "WHEN\n" << cypher::QueryToString(when_query) << "\n";
+  }
+  os << "BEGIN\n" << cypher::QueryToString(statement) << "\nEND";
+  return os.str();
+}
+
+TriggerDef TriggerDef::Clone() const {
+  TriggerDef out;
+  out.name = name;
+  out.time = time;
+  out.event = event;
+  out.label = label;
+  out.property = property;
+  out.granularity = granularity;
+  out.item = item;
+  out.referencing = referencing;
+  if (when_expr) out.when_expr = cypher::CloneExpr(*when_expr);
+  out.when_query = cypher::CloneQuery(when_query);
+  out.statement = cypher::CloneQuery(statement);
+  out.seq = seq;
+  out.enabled = enabled;
+  return out;
+}
+
+}  // namespace pgt

@@ -1,0 +1,110 @@
+#ifndef PGTRIGGERS_TRIGGER_TRIGGER_DEF_H_
+#define PGTRIGGERS_TRIGGER_TRIGGER_DEF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cypher/ast.h"
+
+namespace pgt {
+
+/// When the trigger's condition is considered and its action executed,
+/// relative to the activating statement / transaction (paper Figure 1 and
+/// Section 4.2 "Action Time").
+enum class ActionTime {
+  kBefore,    ///< before the statement's effects become definitive; may only
+              ///< condition NEW states (DESIGN.md D1)
+  kAfter,     ///< after the statement, inside the same transaction; actions
+              ///< cascade with SQL3 stack semantics
+  kOnCommit,  ///< at the commit point, still inside the transaction; side
+              ///< effects are folded in before the commit (DESIGN.md D4)
+  kDetached,  ///< after a successful commit, in an autonomous transaction
+};
+
+/// The monitored modification kind (Figure 1 <event>).
+enum class TriggerEvent { kCreate, kDelete, kSet, kRemove };
+
+/// Whether the trigger targets nodes or relationships (Figure 1 <item>).
+enum class ItemKind { kNode, kRelationship };
+
+/// Instance-level (FOR EACH) vs set-level (FOR ALL) granularity.
+enum class Granularity { kEach, kAll };
+
+const char* ActionTimeName(ActionTime t);
+const char* TriggerEventName(TriggerEvent e);
+const char* ItemKindName(ItemKind k);
+const char* GranularityName(Granularity g);
+
+/// Canonical transition-variable roles (Figure 1 <alias for old or new>).
+enum class TransitionVar {
+  kOld,       ///< single old item       (FOR EACH)
+  kNew,       ///< single new item       (FOR EACH)
+  kOldNodes,  ///< set of old nodes      (FOR ALL NODE)
+  kNewNodes,  ///< set of new nodes      (FOR ALL NODE)
+  kOldRels,   ///< set of old rels       (FOR ALL RELATIONSHIP)
+  kNewRels,   ///< set of new rels       (FOR ALL RELATIONSHIP)
+};
+
+const char* TransitionVarName(TransitionVar v);
+
+/// One REFERENCING entry: `NEWNODES AS admitted`.
+struct ReferencingAlias {
+  TransitionVar var;
+  std::string alias;
+};
+
+/// A parsed PG-Trigger (paper Figure 1). This is the core artifact of the
+/// library: the engine executes it, the translators compile it to APOC /
+/// Memgraph code, and the termination analyzer reasons over it.
+struct TriggerDef {
+  std::string name;
+  ActionTime time = ActionTime::kAfter;
+  TriggerEvent event = TriggerEvent::kCreate;
+  /// Target label (node triggers) or relationship type (relationship
+  /// triggers); Section 4.2 "Targeting".
+  std::string label;
+  /// Monitored property for SET/REMOVE property events (`ON 'L'.'p'`);
+  /// empty for CREATE/DELETE and for label events.
+  std::string property;
+  Granularity granularity = Granularity::kEach;
+  ItemKind item = ItemKind::kNode;
+  std::vector<ReferencingAlias> referencing;
+
+  /// WHEN as a boolean expression over transition variables (e.g.
+  /// `OLD.x <> NEW.x`); null when the condition is a pipeline or absent.
+  cypher::ExprPtr when_expr;
+  /// WHEN as a read-only Cypher pipeline (MATCH/UNWIND/WITH...); the
+  /// condition holds iff it yields at least one row, and the action runs
+  /// once per result row with its bindings in scope (DESIGN.md D2).
+  cypher::Query when_query;
+  /// BEGIN ... END action.
+  cypher::Query statement;
+
+  // --- Engine bookkeeping ---------------------------------------------------
+  uint64_t seq = 0;      ///< creation order; drives prioritization (D5)
+  bool enabled = true;
+
+  bool HasWhen() const {
+    return when_expr != nullptr || !when_query.clauses.empty();
+  }
+
+  /// Resolved name for a transition variable (REFERENCING alias if given,
+  /// else the canonical keyword, e.g. "NEW").
+  std::string AliasFor(TransitionVar v) const;
+
+  /// The single/set old/new variable names applicable to this trigger's
+  /// granularity and item kind.
+  std::string OldVarName() const;
+  std::string NewVarName() const;
+
+  /// Unparses to canonical PG-Trigger DDL (round-trips through the parser).
+  std::string ToDdl() const;
+
+  TriggerDef Clone() const;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_TRIGGER_TRIGGER_DEF_H_

@@ -1,0 +1,50 @@
+#include "src/tx/delta.h"
+
+#include <sstream>
+
+namespace pgt {
+
+namespace {
+template <typename T>
+void AppendAll(std::vector<T>& dst, const std::vector<T>& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+}  // namespace
+
+void GraphDelta::MergeFrom(const GraphDelta& other) {
+  AppendAll(created_nodes, other.created_nodes);
+  AppendAll(created_rels, other.created_rels);
+  AppendAll(deleted_nodes, other.deleted_nodes);
+  AppendAll(deleted_rels, other.deleted_rels);
+  AppendAll(assigned_labels, other.assigned_labels);
+  AppendAll(removed_labels, other.removed_labels);
+  AppendAll(assigned_node_props, other.assigned_node_props);
+  AppendAll(removed_node_props, other.removed_node_props);
+  AppendAll(assigned_rel_props, other.assigned_rel_props);
+  AppendAll(removed_rel_props, other.removed_rel_props);
+}
+
+bool GraphDelta::Empty() const { return ChangeCount() == 0; }
+
+void GraphDelta::Clear() { *this = GraphDelta(); }
+
+size_t GraphDelta::ChangeCount() const {
+  return created_nodes.size() + created_rels.size() + deleted_nodes.size() +
+         deleted_rels.size() + assigned_labels.size() +
+         removed_labels.size() + assigned_node_props.size() +
+         removed_node_props.size() + assigned_rel_props.size() +
+         removed_rel_props.size();
+}
+
+std::string GraphDelta::Summary() const {
+  std::ostringstream os;
+  os << "delta{+" << created_nodes.size() << "n, +" << created_rels.size()
+     << "r, -" << deleted_nodes.size() << "n, -" << deleted_rels.size()
+     << "r, labels+" << assigned_labels.size() << "/-"
+     << removed_labels.size() << ", nprops+" << assigned_node_props.size()
+     << "/-" << removed_node_props.size() << ", rprops+"
+     << assigned_rel_props.size() << "/-" << removed_rel_props.size() << "}";
+  return os.str();
+}
+
+}  // namespace pgt

@@ -1,0 +1,90 @@
+#ifndef PGTRIGGERS_TX_DELTA_H_
+#define PGTRIGGERS_TX_DELTA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+
+namespace pgt {
+
+/// Full image of a deleted node, kept so that (a) rollback can revive it and
+/// (b) OLD transition variables of DELETE triggers can still be read.
+struct DeletedNodeImage {
+  NodeId id;
+  std::vector<LabelId> labels;  // sorted
+  std::map<PropKeyId, Value> props;
+};
+
+/// Full image of a deleted relationship (see DeletedNodeImage).
+struct DeletedRelImage {
+  RelId id;
+  RelTypeId type = 0;
+  NodeId src;
+  NodeId dst;
+  std::map<PropKeyId, Value> props;
+};
+
+/// A label set on / removed from a node.
+struct LabelChange {
+  NodeId node;
+  LabelId label;
+};
+
+/// A node property assignment: <target node, property key, old, new>,
+/// mirroring APOC's assignedNodeProperties quadruple (paper Table 2).
+/// For removals new_value is NULL, mirroring the removed* triple.
+struct NodePropChange {
+  NodeId node;
+  PropKeyId key;
+  Value old_value;
+  Value new_value;
+};
+
+/// A relationship property assignment (see NodePropChange).
+struct RelPropChange {
+  RelId rel;
+  PropKeyId key;
+  Value old_value;
+  Value new_value;
+};
+
+/// Change set of a statement or transaction, in the spirit of a RocksDB
+/// WriteBatch turned inside out: it is *derived from* executed mutations and
+/// is the single source from which trigger events (Section 4.2 of the
+/// paper), APOC's $created*/$deleted*/$assigned*/$removed* variables
+/// (Table 2) and Memgraph's predefined variables (Table 4) are built.
+///
+/// Entries are kept in execution order within each category; a statement
+/// that creates then deletes the same item legitimately shows both entries.
+struct GraphDelta {
+  std::vector<NodeId> created_nodes;
+  std::vector<RelId> created_rels;
+  std::vector<DeletedNodeImage> deleted_nodes;
+  std::vector<DeletedRelImage> deleted_rels;
+  std::vector<LabelChange> assigned_labels;
+  std::vector<LabelChange> removed_labels;
+  std::vector<NodePropChange> assigned_node_props;
+  std::vector<NodePropChange> removed_node_props;
+  std::vector<RelPropChange> assigned_rel_props;
+  std::vector<RelPropChange> removed_rel_props;
+
+  /// Appends all entries of `other` (which happened after this delta).
+  void MergeFrom(const GraphDelta& other);
+
+  bool Empty() const;
+  void Clear();
+
+  /// Total number of change entries across all categories.
+  size_t ChangeCount() const;
+
+  /// Debug rendering: one line per category with counts.
+  std::string Summary() const;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_TX_DELTA_H_

@@ -1,0 +1,151 @@
+// Unit tests for Status/Result, interning, string utilities, clock, rng.
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/common/interner.h"
+#include "src/common/macros.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/str_util.h"
+
+namespace pgt {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::SyntaxError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kSyntaxError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "SyntaxError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Doubler(Result<int> in) {
+  PGT_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(MacrosTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  Result<int> err = Doubler(Status::Aborted("x"));
+  EXPECT_EQ(err.status().code(), StatusCode::kAborted);
+}
+
+Status FailWhenNegative(int v) {
+  auto check = [](int x) -> Status {
+    if (x < 0) return Status::InvalidArgument("negative");
+    return Status::OK();
+  };
+  PGT_RETURN_IF_ERROR(check(v));
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnIfError) {
+  EXPECT_TRUE(FailWhenNegative(1).ok());
+  EXPECT_EQ(FailWhenNegative(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InternerTest, AssignsDenseIdsInFirstSeenOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.name(1), "b");
+}
+
+TEST(InternerTest, LookupWithoutInterning) {
+  StringInterner interner;
+  interner.Intern("x");
+  EXPECT_EQ(interner.Lookup("x").value(), 0u);
+  EXPECT_FALSE(interner.Lookup("y").has_value());
+  EXPECT_EQ(interner.size(), 1u);  // Lookup must not intern
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToUpper("MiXeD_1"), "MIXED_1");
+  EXPECT_EQ(ToLower("MiXeD_1"), "mixed_1");
+  EXPECT_TRUE(EqualsIgnoreCase("match", "MATCH"));
+  EXPECT_FALSE(EqualsIgnoreCase("match", "matches"));
+}
+
+TEST(StrUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StrUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y \n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StrUtilTest, EscapeSingleQuoted) {
+  EXPECT_EQ(EscapeSingleQuoted("it's"), "it\\'s");
+  EXPECT_EQ(EscapeSingleQuoted("a\\b"), "a\\\\b");
+}
+
+TEST(StrUtilTest, Indent) {
+  EXPECT_EQ(Indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(Indent("a\n\nb", 2), "  a\n\n  b");  // blank lines unpadded
+}
+
+TEST(ClockTest, MonotoneAndDeterministic) {
+  LogicalClock clock(100);
+  EXPECT_EQ(clock.NextMicros(), 100);
+  EXPECT_EQ(clock.NextMicros(), 101);
+  EXPECT_EQ(clock.PeekMicros(), 102);
+  clock.AdvanceMicros(10);
+  EXPECT_EQ(clock.NextMicros(), 112);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, RangesRespectBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pgt

@@ -1,0 +1,227 @@
+// Section 6 scenario tests: generated CoV2K data conforms to the Figure 4
+// schema; the six paper triggers install and fire on the intended events.
+
+#include <gtest/gtest.h>
+
+#include "src/covid/generator.h"
+#include "src/covid/schema.h"
+#include "src/covid/triggers.h"
+#include "src/covid/workload.h"
+#include "src/schema/validator.h"
+
+namespace pgt::covid {
+namespace {
+
+class CovidTest : public ::testing::Test {
+ protected:
+  void Setup(GeneratorOptions options = {}) {
+    data_ = GenerateCovidData(db_.store(), options);
+  }
+  int64_t Count(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status();
+    return r.ok() ? r->rows[0][0].int_value() : -1;
+  }
+
+  Database db_;
+  CovidDataset data_;
+};
+
+TEST_F(CovidTest, GeneratorIsDeterministic) {
+  GraphStore s1, s2;
+  GeneratorOptions options;
+  options.seed = 7;
+  GenerateCovidData(s1, options);
+  GenerateCovidData(s2, options);
+  EXPECT_EQ(s1.NodeCount(), s2.NodeCount());
+  EXPECT_EQ(s1.RelCount(), s2.RelCount());
+}
+
+TEST_F(CovidTest, AnchorsExist) {
+  Setup();
+  ASSERT_TRUE(db_.store().NodeAlive(data_.sacco));
+  ASSERT_TRUE(db_.store().NodeAlive(data_.meyer));
+  EXPECT_EQ(Count("MATCH (h:Hospital {name: 'Sacco'})-[:LocatedIn]->"
+                  "(r:Region {name: 'Lombardy'}) RETURN COUNT(*) AS c"),
+            1);
+  EXPECT_EQ(Count("MATCH (h:Hospital {name: 'Meyer'})-[:LocatedIn]->"
+                  "(r:Region {name: 'Tuscany'}) RETURN COUNT(*) AS c"),
+            1);
+  EXPECT_GT(Count("MATCH (:Hospital)-[c:ConnectedTo]-(:Hospital) "
+                  "RETURN COUNT(c) AS c"),
+            0);
+}
+
+TEST_F(CovidTest, GeneratedDataValidatesAgainstFigure4Schema) {
+  Setup();
+  schema::SchemaDef schema = BuildCovidSchema();
+  // LOOSE here: the generator omits optional hierarchy levels legitimately
+  // (a HospitalizedPatient is not an IcuPatient), and STRICT label-chain
+  // equality is exercised in the schema tests.
+  schema.strict = false;
+  schema::ValidationReport report =
+      schema::ValidateGraph(db_.store(), schema);
+  std::string first =
+      report.violations.empty() ? "" : report.violations[0].ToString();
+  EXPECT_TRUE(report.ok()) << report.Summary() << "\nfirst: " << first;
+  EXPECT_GT(report.nodes_checked, 100u);
+}
+
+TEST_F(CovidTest, PaperTriggersInstall) {
+  Setup();
+  ASSERT_TRUE(InstallPaperTriggers(db_).ok());
+  EXPECT_EQ(db_.catalog().size(), 7u);
+  for (const std::string& name : PaperTriggerNames()) {
+    EXPECT_NE(db_.catalog().Find(name), nullptr) << name;
+  }
+}
+
+TEST_F(CovidTest, NewCriticalMutationFires) {
+  Setup();
+  ASSERT_TRUE(InstallPaperTriggers(db_, {"NewCriticalMutation"}).ok());
+  ASSERT_TRUE(RegisterMutation(db_, "Spike:X1Y", "Spike", true).ok());
+  ASSERT_TRUE(RegisterMutation(db_, "Spike:X2Y", "Spike", false).ok());
+  EXPECT_EQ(Count("MATCH (a:Alert {desc: 'New critical mutation'}) "
+                  "RETURN COUNT(*) AS c"),
+            1);
+  EXPECT_EQ(Count("MATCH (a:Alert {mutation: 'Spike:X1Y'}) "
+                  "RETURN COUNT(*) AS c"),
+            1);
+}
+
+TEST_F(CovidTest, NewCriticalLineageFires) {
+  Setup();
+  ASSERT_TRUE(InstallPaperTriggers(db_, {"NewCriticalLineage"}).ok());
+  ASSERT_TRUE(RegisterMutation(db_, "Spike:C1", "Spike", true).ok());
+  ASSERT_TRUE(
+      RegisterSequence(db_, "EPI_T1", "B.1.1", "Spike:C1").ok());
+  EXPECT_EQ(Count("MATCH (a:Alert {desc: 'New critical lineage', "
+                  "lineage: 'B.1.1'}) RETURN COUNT(*) AS c"),
+            1);
+  // A sequence with a non-critical mutation raises no alert.
+  ASSERT_TRUE(RegisterMutation(db_, "N:Q9", "N", false).ok());
+  ASSERT_TRUE(RegisterSequence(db_, "EPI_T2", "B.1.2", "N:Q9").ok());
+  EXPECT_EQ(Count("MATCH (a:Alert {desc: 'New critical lineage'}) "
+                  "RETURN COUNT(*) AS c"),
+            1);
+}
+
+TEST_F(CovidTest, WhoDesignationChangeFiresOnlyOnActualChange) {
+  Setup();
+  ASSERT_TRUE(InstallPaperTriggers(db_, {"WhoDesignationChange"}).ok());
+  // First assignment: OLD is null -> null <> 'Indian' is NULL -> no fire.
+  ASSERT_TRUE(ChangeWhoDesignation(db_, "B.1.3", "Indian").ok());
+  const int64_t after_first =
+      Count("MATCH (a:Alert) RETURN COUNT(*) AS c");
+  ASSERT_TRUE(ChangeWhoDesignation(db_, "B.1.3", "Delta").ok());
+  EXPECT_EQ(Count("MATCH (a:Alert) RETURN COUNT(*) AS c"), after_first + 1);
+  // Unchanged designation: no fire.
+  ASSERT_TRUE(ChangeWhoDesignation(db_, "B.1.3", "Delta").ok());
+  EXPECT_EQ(Count("MATCH (a:Alert) RETURN COUNT(*) AS c"), after_first + 1);
+}
+
+TEST_F(CovidTest, IcuThresholdFiresPastFifty) {
+  GeneratorOptions options;
+  options.patients = 0;  // start with an empty ICU at Sacco
+  Setup(options);
+  ASSERT_TRUE(InstallPaperTriggers(db_, {"IcuPatientsOverThreshold"}).ok());
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 49, 0).ok());
+  EXPECT_EQ(Count("MATCH (a:Alert) RETURN COUNT(*) AS c"), 0);
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 5, 100).ok());
+  EXPECT_EQ(Count("MATCH (a:Alert) RETURN COUNT(*) AS c"), 1);
+}
+
+TEST_F(CovidTest, IcuIncreaseFiresOnLargeWave) {
+  GeneratorOptions options;
+  options.patients = 0;
+  Setup(options);
+  ASSERT_TRUE(InstallPaperTriggers(db_, {"IcuPatientIncrease"}).ok());
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 50, 0).ok());  // first wave
+  const int64_t after_first = Count("MATCH (a:Alert) RETURN COUNT(*) AS c");
+  // A wave of 3 on top of 50: 3/53 < 10% -> no alert.
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 3, 100).ok());
+  EXPECT_EQ(Count("MATCH (a:Alert) RETURN COUNT(*) AS c"), after_first);
+  // A wave of 20 on top of 53: 20/73 > 10% -> alert.
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 20, 200).ok());
+  EXPECT_EQ(Count("MATCH (a:Alert) RETURN COUNT(*) AS c"), after_first + 1);
+}
+
+TEST_F(CovidTest, IcuPatientMoveRelocatesWaveToMeyer) {
+  GeneratorOptions options;
+  options.patients = 0;
+  options.icu_beds_min = 10;
+  options.icu_beds_max = 10;  // Sacco and Meyer both have 10 beds
+  Setup(options);
+  ASSERT_TRUE(InstallPaperTriggers(db_, {"IcuPatientMove"}).ok());
+  // 8 patients: under capacity, nobody moves.
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 8, 0).ok());
+  EXPECT_EQ(CountIcuAt(db_, "Sacco").value(), 8);
+  EXPECT_EQ(CountIcuAt(db_, "Meyer").value(), 0);
+  // A wave of 4 overflows Sacco (12 > 10): the 4 new patients move to
+  // Meyer (0 + 4 <= 10).
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 4, 100).ok());
+  EXPECT_EQ(CountIcuAt(db_, "Sacco").value(), 8);
+  EXPECT_EQ(CountIcuAt(db_, "Meyer").value(), 4);
+}
+
+TEST_F(CovidTest, MoveToNearHospitalUsesClosestConnection) {
+  GeneratorOptions options;
+  options.patients = 0;
+  options.icu_beds_min = 5;
+  options.icu_beds_max = 5;
+  Setup(options);
+  ASSERT_TRUE(InstallPaperTriggers(db_, {"MoveToNearHospital"}).ok());
+  // Fill Sacco to capacity, then admit one more: the FOR EACH trigger
+  // moves each overflow patient to the closest connected hospital.
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 5, 0).ok());
+  ASSERT_TRUE(AdmitIcuPatients(db_, "Sacco", 1, 100).ok());
+  EXPECT_EQ(CountIcuAt(db_, "Sacco").value(), 5);
+  // The moved patient is at exactly one other hospital.
+  EXPECT_EQ(Count("MATCH (p:IcuPatient)-[:TreatedAt]-(h:Hospital) "
+                  "WHERE h.name <> 'Sacco' RETURN COUNT(p) AS c"),
+            1);
+}
+
+TEST_F(CovidTest, FullScenarioProducesAlerts) {
+  GeneratorOptions options;
+  options.patients = 40;
+  Setup(options);
+  ASSERT_TRUE(InstallPaperTriggers(
+                  db_, {"NewCriticalMutation", "NewCriticalLineage",
+                        "WhoDesignationChange", "IcuPatientsOverThreshold",
+                        "IcuPatientIncrease"})
+                  .ok());
+  auto outcome = RunCovidScenario(db_, data_, /*admission_waves=*/6,
+                                  /*patients_per_wave=*/12);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->alerts, 0);
+  EXPECT_GT(outcome->icu_at_sacco, 0);
+  EXPECT_GT(outcome->statements, 0u);
+}
+
+TEST_F(CovidTest, UnguardedRelocationHitsCascadeLimit) {
+  GeneratorOptions options;
+  options.patients = 0;
+  options.icu_beds_min = 2;
+  options.icu_beds_max = 2;  // every hospital saturates quickly
+  Setup(options);
+  ASSERT_TRUE(db_.Execute(UnguardedMoveTriggerDdl()).ok());
+  // Fill every hospital exactly to capacity (2 > 2 is false: no trigger
+  // fires), then overflow Sacco: the unguarded relocation bounces the
+  // overflow patient between saturated hospitals until the cascade depth
+  // limit aborts the transaction (Section 6.2.3's non-termination).
+  int64_t base = 0;
+  for (const char* h : {"Sacco", "Meyer", "Niguarda", "Careggi", "Gemelli",
+                        "Molinette"}) {
+    ASSERT_TRUE(AdmitIcuPatients(db_, h, 2, base).ok()) << h;
+    base += 100;
+  }
+  db_.options().max_cascade_depth = 12;
+  auto st = AdmitIcuPatients(db_, "Sacco", 1, 900);
+  EXPECT_EQ(st.code(), StatusCode::kCascadeLimitExceeded);
+  // The failed wave rolled back entirely: Sacco still at capacity.
+  EXPECT_EQ(CountIcuAt(db_, "Sacco").value(), 2);
+}
+
+}  // namespace
+}  // namespace pgt::covid

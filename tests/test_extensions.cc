@@ -1,0 +1,164 @@
+// Tests for the extension features beyond the paper's core: list
+// comprehensions, SET += map merge, and the PG-Schema commit guard
+// (the paper's footnote-1 direction: PG-Types enforcing structure).
+
+#include <gtest/gtest.h>
+
+#include "src/schema/pg_schema.h"
+#include "src/trigger/database.h"
+
+namespace pgt {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void Exec(const std::string& q) {
+    auto r = db_.Execute(q);
+    ASSERT_TRUE(r.ok()) << q << " -> " << r.status();
+  }
+  Status ExecError(const std::string& q) { return db_.Execute(q).status(); }
+  Value One(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status();
+    return r.ok() ? r->rows[0][0] : Value::Null();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExtensionsTest, ListComprehensionFilterAndProject) {
+  Value v = One("RETURN [x IN RANGE(1, 6) WHERE x % 2 = 0 | x * 10] AS l");
+  ASSERT_TRUE(v.is_list());
+  ASSERT_EQ(v.list_value().size(), 3u);
+  EXPECT_EQ(v.list_value()[0].int_value(), 20);
+  EXPECT_EQ(v.list_value()[2].int_value(), 60);
+}
+
+TEST_F(ExtensionsTest, ListComprehensionFilterOnly) {
+  Value v = One("RETURN [x IN [1, 2, 3] WHERE x > 1] AS l");
+  EXPECT_EQ(v.list_value().size(), 2u);
+}
+
+TEST_F(ExtensionsTest, ListComprehensionProjectOnly) {
+  Value v = One("RETURN [x IN [1, 2] | x + 1] AS l");
+  EXPECT_EQ(v.list_value()[1].int_value(), 3);
+}
+
+TEST_F(ExtensionsTest, ListComprehensionOverNullIsNull) {
+  EXPECT_TRUE(One("RETURN [x IN null | x] AS l").is_null());
+}
+
+TEST_F(ExtensionsTest, ListComprehensionNested) {
+  Value v = One("RETURN [x IN [1, 2] | [y IN [1, 2] | x * 10 + y]] AS l");
+  ASSERT_EQ(v.list_value().size(), 2u);
+  EXPECT_EQ(v.list_value()[1].list_value()[0].int_value(), 21);
+}
+
+TEST_F(ExtensionsTest, ListComprehensionOverNodes) {
+  Exec("CREATE (:P {v: 1}), (:P {v: 2}), (:P {v: 3})");
+  Value v = One(
+      "MATCH (p:P) WITH COLLECT(p) AS ps "
+      "RETURN SIZE([q IN ps WHERE q.v >= 2]) AS n");
+  EXPECT_EQ(v.int_value(), 2);
+}
+
+TEST_F(ExtensionsTest, PlainListLiteralStillWorks) {
+  // `[x, y]` where the first element is a variable must stay a literal.
+  Exec("CREATE (:P {v: 7})");
+  Value v = One("MATCH (p:P) WITH p.v AS x RETURN [x, 2] AS l");
+  EXPECT_EQ(v.list_value()[0].int_value(), 7);
+}
+
+TEST_F(ExtensionsTest, SetMergeMapOnNode) {
+  Exec("CREATE (:P {a: 1})");
+  Exec("MATCH (p:P) SET p += {b: 2, c: 'x'}");
+  EXPECT_EQ(One("MATCH (p:P) RETURN p.a AS v").int_value(), 1);
+  EXPECT_EQ(One("MATCH (p:P) RETURN p.b AS v").int_value(), 2);
+  EXPECT_EQ(One("MATCH (p:P) RETURN p.c AS v").string_value(), "x");
+}
+
+TEST_F(ExtensionsTest, SetMergeMapOverwritesAndRaisesEvents) {
+  Exec("CREATE (:P {a: 1})");
+  Exec("CREATE TRIGGER W AFTER SET ON 'P'.'a' FOR EACH NODE "
+       "WHEN OLD.a <> NEW.a BEGIN CREATE (:Changed) END");
+  Exec("MATCH (p:P) SET p += {a: 2}");
+  EXPECT_EQ(One("MATCH (c:Changed) RETURN COUNT(*) AS c").int_value(), 1);
+}
+
+TEST_F(ExtensionsTest, SetMergeMapOnRelationship) {
+  Exec("CREATE (:A)-[:R {w: 1}]->(:B)");
+  Exec("MATCH ()-[r:R]->() SET r += {w: 2, z: 3}");
+  EXPECT_EQ(One("MATCH ()-[r:R]->() RETURN r.w AS v").int_value(), 2);
+  EXPECT_EQ(One("MATCH ()-[r:R]->() RETURN r.z AS v").int_value(), 3);
+}
+
+TEST_F(ExtensionsTest, SetMergeMapTypeErrors) {
+  Exec("CREATE (:P)");
+  EXPECT_FALSE(ExecError("MATCH (p:P) SET p += 5").ok());
+}
+
+// --- PG-Schema commit guard ----------------------------------------------------
+
+schema::SchemaDef TinySchema() {
+  auto r = schema::ParseSchemaDdl(R"(
+      CREATE GRAPH TYPE Tiny STRICT {
+        (PersonType : Person {name STRING, ssn STRING KEY}),
+        (:PersonType)-[KnowsType : Knows]->(:PersonType)
+      })");
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST_F(ExtensionsTest, SchemaGuardAcceptsConformingCommit) {
+  db_.AttachSchema(TinySchema());
+  Exec("CREATE (:Person {name: 'ann', ssn: '1'})");
+  EXPECT_EQ(One("MATCH (p:Person) RETURN COUNT(*) AS c").int_value(), 1);
+}
+
+TEST_F(ExtensionsTest, SchemaGuardRollsBackViolatingCommit) {
+  db_.AttachSchema(TinySchema());
+  Status st = ExecError("CREATE (:Person {name: 'bob'})");  // ssn missing
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+  EXPECT_NE(st.message().find("Tiny"), std::string::npos);
+  EXPECT_EQ(One("MATCH (n) RETURN COUNT(*) AS c").int_value(), 0);
+}
+
+TEST_F(ExtensionsTest, SchemaGuardCatchesKeyViolations) {
+  db_.AttachSchema(TinySchema());
+  Exec("CREATE (:Person {name: 'ann', ssn: '1'})");
+  Status st = ExecError("CREATE (:Person {name: 'imp', ssn: '1'})");
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(One("MATCH (p:Person) RETURN COUNT(*) AS c").int_value(), 1);
+}
+
+TEST_F(ExtensionsTest, SchemaGuardSeesTriggerSideEffects) {
+  // A trigger creating a node the schema does not know must abort the
+  // whole transaction — guard runs after ONCOMMIT processing.
+  db_.AttachSchema(TinySchema());
+  Exec("CREATE TRIGGER Bad AFTER CREATE ON 'Person' FOR EACH NODE "
+       "BEGIN CREATE (:Unknown) END");
+  Status st = ExecError("CREATE (:Person {name: 'ann', ssn: '1'})");
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(One("MATCH (n) RETURN COUNT(*) AS c").int_value(), 0);
+}
+
+TEST_F(ExtensionsTest, SchemaGuardDetachable) {
+  db_.AttachSchema(TinySchema());
+  ASSERT_FALSE(ExecError("CREATE (:Unknown)").ok());
+  db_.AttachSchema(std::nullopt);
+  Exec("CREATE (:Unknown)");
+  EXPECT_EQ(One("MATCH (n) RETURN COUNT(*) AS c").int_value(), 1);
+}
+
+TEST_F(ExtensionsTest, SchemaGuardIgnoresReadOnlyTransactions) {
+  db_.AttachSchema(TinySchema());
+  // Pre-existing nonconforming data (attached after the fact): reads must
+  // still work — the guard only fires on transactions that changed data.
+  db_.AttachSchema(std::nullopt);
+  Exec("CREATE (:Unknown)");
+  db_.AttachSchema(TinySchema());
+  EXPECT_EQ(One("MATCH (n) RETURN COUNT(*) AS c").int_value(), 1);
+}
+
+}  // namespace
+}  // namespace pgt

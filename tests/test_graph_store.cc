@@ -1,0 +1,212 @@
+// Unit tests for the property graph store (src/storage/graph_store.h).
+
+#include "src/storage/graph_store.h"
+
+#include <gtest/gtest.h>
+
+namespace pgt {
+namespace {
+
+class GraphStoreTest : public ::testing::Test {
+ protected:
+  GraphStore store_;
+
+  NodeId MakeNode(const std::string& label) {
+    return store_.CreateNode({store_.InternLabel(label)}, {});
+  }
+};
+
+TEST_F(GraphStoreTest, CreateNodeAssignsDenseIds) {
+  EXPECT_EQ(MakeNode("A").value, 0u);
+  EXPECT_EQ(MakeNode("A").value, 1u);
+  EXPECT_EQ(store_.NodeCount(), 2u);
+}
+
+TEST_F(GraphStoreTest, LabelsAreSortedAndDeduped) {
+  const LabelId b = store_.InternLabel("B");
+  const LabelId a = store_.InternLabel("A");
+  NodeId id = store_.CreateNode({b, a, b}, {});
+  const NodeRecord* n = store_.GetNode(id);
+  ASSERT_EQ(n->labels.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(n->labels.begin(), n->labels.end()));
+  EXPECT_TRUE(n->HasLabel(a));
+  EXPECT_TRUE(n->HasLabel(b));
+}
+
+TEST_F(GraphStoreTest, LabelIndexTracksMembership) {
+  const LabelId a = store_.InternLabel("A");
+  NodeId n1 = MakeNode("A");
+  NodeId n2 = MakeNode("A");
+  MakeNode("B");
+  std::vector<NodeId> nodes = store_.NodesByLabel(a);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], n1);
+  EXPECT_EQ(nodes[1], n2);  // id order
+}
+
+TEST_F(GraphStoreTest, AddRemoveLabelUpdatesIndex) {
+  const LabelId extra = store_.InternLabel("Extra");
+  NodeId id = MakeNode("A");
+  EXPECT_TRUE(store_.AddLabel(id, extra).value());
+  EXPECT_FALSE(store_.AddLabel(id, extra).value());  // already present
+  EXPECT_EQ(store_.NodesByLabel(extra).size(), 1u);
+  EXPECT_TRUE(store_.RemoveLabel(id, extra).value());
+  EXPECT_FALSE(store_.RemoveLabel(id, extra).value());
+  EXPECT_TRUE(store_.NodesByLabel(extra).empty());
+}
+
+TEST_F(GraphStoreTest, PropertySetReturnsOldValue) {
+  NodeId id = MakeNode("A");
+  const PropKeyId k = store_.InternPropKey("x");
+  EXPECT_TRUE(store_.SetNodeProp(id, k, Value::Int(1)).value().is_null());
+  Value old = store_.SetNodeProp(id, k, Value::Int(2)).value();
+  EXPECT_EQ(old.int_value(), 1);
+  EXPECT_EQ(store_.GetNodeProp(id, k).int_value(), 2);
+}
+
+TEST_F(GraphStoreTest, SetNullRemovesProperty) {
+  NodeId id = MakeNode("A");
+  const PropKeyId k = store_.InternPropKey("x");
+  ASSERT_TRUE(store_.SetNodeProp(id, k, Value::Int(1)).ok());
+  ASSERT_TRUE(store_.SetNodeProp(id, k, Value::Null()).ok());
+  EXPECT_TRUE(store_.GetNodeProp(id, k).is_null());
+  EXPECT_TRUE(store_.GetNode(id)->props.empty());
+}
+
+TEST_F(GraphStoreTest, RemovePropReturnsOldValue) {
+  NodeId id = MakeNode("A");
+  const PropKeyId k = store_.InternPropKey("x");
+  ASSERT_TRUE(store_.SetNodeProp(id, k, Value::String("v")).ok());
+  EXPECT_EQ(store_.RemoveNodeProp(id, k).value().string_value(), "v");
+  EXPECT_TRUE(store_.RemoveNodeProp(id, k).value().is_null());
+}
+
+TEST_F(GraphStoreTest, CreateRelLinksAdjacency) {
+  NodeId a = MakeNode("A");
+  NodeId b = MakeNode("B");
+  const RelTypeId t = store_.InternRelType("R");
+  RelId r = store_.CreateRel(a, t, b, {}).value();
+  const RelRecord* rec = store_.GetRel(r);
+  EXPECT_EQ(rec->src, a);
+  EXPECT_EQ(rec->dst, b);
+  EXPECT_EQ(store_.RelsOf(a, Direction::kOutgoing, std::nullopt).size(), 1u);
+  EXPECT_EQ(store_.RelsOf(b, Direction::kIncoming, std::nullopt).size(), 1u);
+  EXPECT_TRUE(store_.RelsOf(b, Direction::kOutgoing, std::nullopt).empty());
+}
+
+TEST_F(GraphStoreTest, CreateRelToDeadNodeFails) {
+  NodeId a = MakeNode("A");
+  NodeId b = MakeNode("B");
+  ASSERT_TRUE(store_.DeleteNode(b).ok());
+  const RelTypeId t = store_.InternRelType("R");
+  EXPECT_EQ(store_.CreateRel(a, t, b, {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GraphStoreTest, DeleteNodeRequiresDetachedState) {
+  NodeId a = MakeNode("A");
+  NodeId b = MakeNode("B");
+  const RelTypeId t = store_.InternRelType("R");
+  RelId r = store_.CreateRel(a, t, b, {}).value();
+  EXPECT_EQ(store_.DeleteNode(a).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store_.DeleteRel(r).ok());
+  EXPECT_TRUE(store_.DeleteNode(a).ok());
+  EXPECT_FALSE(store_.NodeAlive(a));
+  EXPECT_EQ(store_.NodeCount(), 1u);
+}
+
+TEST_F(GraphStoreTest, TombstonedNodeStaysAddressable) {
+  NodeId a = MakeNode("A");
+  const PropKeyId k = store_.InternPropKey("x");
+  ASSERT_TRUE(store_.SetNodeProp(a, k, Value::Int(5)).ok());
+  ASSERT_TRUE(store_.DeleteNode(a).ok());
+  const NodeRecord* rec = store_.GetNode(a);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->alive);
+  // Mutations on a dead node fail.
+  EXPECT_FALSE(store_.SetNodeProp(a, k, Value::Int(6)).ok());
+  EXPECT_FALSE(store_.AddLabel(a, store_.InternLabel("B")).ok());
+}
+
+TEST_F(GraphStoreTest, ReviveRestoresNodeAndIndex) {
+  const LabelId label_a = store_.InternLabel("A");
+  NodeId a = MakeNode("A");
+  ASSERT_TRUE(store_.DeleteNode(a).ok());
+  EXPECT_TRUE(store_.NodesByLabel(label_a).empty());
+  ASSERT_TRUE(store_.ReviveNode(a, {label_a},
+                                {{store_.InternPropKey("x"), Value::Int(1)}})
+                  .ok());
+  EXPECT_TRUE(store_.NodeAlive(a));
+  EXPECT_EQ(store_.NodesByLabel(label_a).size(), 1u);
+  EXPECT_EQ(store_.GetNodeProp(a, store_.InternPropKey("x")).int_value(), 1);
+}
+
+TEST_F(GraphStoreTest, ReviveRelRequiresAliveEndpoints) {
+  NodeId a = MakeNode("A");
+  NodeId b = MakeNode("B");
+  const RelTypeId t = store_.InternRelType("R");
+  RelId r = store_.CreateRel(a, t, b, {}).value();
+  ASSERT_TRUE(store_.DeleteRel(r).ok());
+  ASSERT_TRUE(store_.DeleteNode(b).ok());
+  EXPECT_EQ(store_.ReviveRel(r, {}).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store_.ReviveNode(b, {store_.InternLabel("B")}, {}).ok());
+  EXPECT_TRUE(store_.ReviveRel(r, {}).ok());
+  EXPECT_TRUE(store_.RelAlive(r));
+}
+
+TEST_F(GraphStoreTest, RelsOfFiltersByType) {
+  NodeId a = MakeNode("A");
+  NodeId b = MakeNode("B");
+  const RelTypeId t1 = store_.InternRelType("R1");
+  const RelTypeId t2 = store_.InternRelType("R2");
+  ASSERT_TRUE(store_.CreateRel(a, t1, b, {}).ok());
+  ASSERT_TRUE(store_.CreateRel(a, t2, b, {}).ok());
+  EXPECT_EQ(store_.RelsOf(a, Direction::kOutgoing, t1).size(), 1u);
+  EXPECT_EQ(store_.RelsOf(a, Direction::kBoth, std::nullopt).size(), 2u);
+}
+
+TEST_F(GraphStoreTest, SelfLoopReportedOnceForBoth) {
+  NodeId a = MakeNode("A");
+  const RelTypeId t = store_.InternRelType("R");
+  ASSERT_TRUE(store_.CreateRel(a, t, a, {}).ok());
+  EXPECT_EQ(store_.RelsOf(a, Direction::kBoth, std::nullopt).size(), 1u);
+  EXPECT_EQ(store_.RelsOf(a, Direction::kOutgoing, std::nullopt).size(), 1u);
+  EXPECT_EQ(store_.RelsOf(a, Direction::kIncoming, std::nullopt).size(), 1u);
+}
+
+TEST_F(GraphStoreTest, DeletedRelsSkippedInScans) {
+  NodeId a = MakeNode("A");
+  NodeId b = MakeNode("B");
+  const RelTypeId t = store_.InternRelType("R");
+  RelId r1 = store_.CreateRel(a, t, b, {}).value();
+  RelId r2 = store_.CreateRel(a, t, b, {}).value();
+  ASSERT_TRUE(store_.DeleteRel(r1).ok());
+  std::vector<RelId> rels = store_.RelsOf(a, Direction::kOutgoing, t);
+  ASSERT_EQ(rels.size(), 1u);
+  EXPECT_EQ(rels[0], r2);
+  EXPECT_EQ(store_.AllRels().size(), 1u);
+}
+
+TEST_F(GraphStoreTest, AllNodesInIdOrder) {
+  MakeNode("A");
+  NodeId b = MakeNode("B");
+  MakeNode("C");
+  ASSERT_TRUE(store_.DeleteNode(b).ok());
+  std::vector<NodeId> all = store_.AllNodes();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_LT(all[0].value, all[1].value);
+}
+
+TEST_F(GraphStoreTest, DictionariesRoundTrip) {
+  const LabelId l = store_.InternLabel("Person");
+  const RelTypeId t = store_.InternRelType("KNOWS");
+  const PropKeyId p = store_.InternPropKey("age");
+  EXPECT_EQ(store_.LabelName(l), "Person");
+  EXPECT_EQ(store_.RelTypeName(t), "KNOWS");
+  EXPECT_EQ(store_.PropKeyName(p), "age");
+  EXPECT_EQ(store_.LookupLabel("Person").value(), l);
+  EXPECT_FALSE(store_.LookupLabel("Nobody").has_value());
+}
+
+}  // namespace
+}  // namespace pgt

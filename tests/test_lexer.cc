@@ -1,0 +1,144 @@
+// Tests for the Cypher lexer.
+
+#include "src/cypher/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace pgt::cypher {
+namespace {
+
+std::vector<Token> Lex(const std::string& text) {
+  auto r = Lexer::Tokenize(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  std::vector<Token> toks = Lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywordsAreIdents) {
+  std::vector<Token> toks = Lex("MATCH foo _bar Baz9");
+  ASSERT_EQ(toks.size(), 5u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(toks[i].type, TokenType::kIdent);
+  EXPECT_EQ(toks[0].text, "MATCH");
+  EXPECT_EQ(toks[2].text, "_bar");
+}
+
+TEST(LexerTest, SingleAndDoubleQuotedStrings) {
+  std::vector<Token> toks = Lex("'abc' \"def\"");
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "abc");
+  EXPECT_EQ(toks[1].text, "def");
+}
+
+TEST(LexerTest, StringEscapes) {
+  std::vector<Token> toks = Lex(R"('it\'s a \\ test\n')");
+  EXPECT_EQ(toks[0].text, "it's a \\ test\n");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_EQ(Lexer::Tokenize("'abc").status().code(),
+            StatusCode::kSyntaxError);
+}
+
+TEST(LexerTest, BacktickIdentifiers) {
+  std::vector<Token> toks = Lex("`weird name`");
+  EXPECT_EQ(toks[0].type, TokenType::kIdent);
+  EXPECT_EQ(toks[0].text, "weird name");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  std::vector<Token> toks = Lex("42 3.25 1e3 2E-2");
+  EXPECT_EQ(toks[0].type, TokenType::kInt);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.25);
+  EXPECT_EQ(toks[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.02);
+}
+
+TEST(LexerTest, RangeDotsDoNotEatIntoFloats) {
+  // "1..3" must lex as INT DOTDOT INT (variable-length bounds).
+  std::vector<Token> toks = Lex("1..3");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].type, TokenType::kInt);
+  EXPECT_EQ(toks[1].type, TokenType::kDotDot);
+  EXPECT_EQ(toks[2].type, TokenType::kInt);
+}
+
+TEST(LexerTest, Parameters) {
+  std::vector<Token> toks = Lex("$name $x2");
+  EXPECT_EQ(toks[0].type, TokenType::kParam);
+  EXPECT_EQ(toks[0].text, "name");
+  EXPECT_EQ(toks[1].text, "x2");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  std::vector<Token> toks =
+      Lex("( ) [ ] { } , : ; . .. | + - * / % ^ = <> < <= > >= +=");
+  std::vector<TokenType> expect = {
+      TokenType::kLParen,  TokenType::kRParen,    TokenType::kLBracket,
+      TokenType::kRBracket, TokenType::kLBrace,   TokenType::kRBrace,
+      TokenType::kComma,   TokenType::kColon,     TokenType::kSemicolon,
+      TokenType::kDot,     TokenType::kDotDot,    TokenType::kPipe,
+      TokenType::kPlus,    TokenType::kMinus,     TokenType::kStar,
+      TokenType::kSlash,   TokenType::kPercent,   TokenType::kCaret,
+      TokenType::kEq,      TokenType::kNeq,       TokenType::kLt,
+      TokenType::kLe,      TokenType::kGt,        TokenType::kGe,
+      TokenType::kPlusEq,  TokenType::kEnd};
+  ASSERT_EQ(toks.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(toks[i].type, expect[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, ArrowsStaySplit) {
+  // "<-" and "->" are not fused; the parser decides by context.
+  std::vector<Token> toks = Lex("(a)-[:R]->(b)<-[:S]-(c)");
+  int lt = 0, gt = 0, minus = 0;
+  for (const Token& t : toks) {
+    if (t.type == TokenType::kLt) ++lt;
+    if (t.type == TokenType::kGt) ++gt;
+    if (t.type == TokenType::kMinus) ++minus;
+  }
+  EXPECT_EQ(lt, 1);
+  EXPECT_EQ(gt, 1);
+  EXPECT_EQ(minus, 4);
+}
+
+TEST(LexerTest, LineComments) {
+  std::vector<Token> toks = Lex("a // comment\n b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, BlockComments) {
+  std::vector<Token> toks = Lex("a /* multi\nline */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Lexer::Tokenize("a /* oops").ok());
+}
+
+TEST(LexerTest, PositionsTrackLinesAndColumns) {
+  std::vector<Token> toks = Lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto st = Lexer::Tokenize("a ? b").status();
+  EXPECT_EQ(st.code(), StatusCode::kSyntaxError);
+  EXPECT_NE(st.message().find("1:3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgt::cypher

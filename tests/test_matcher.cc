@@ -1,0 +1,249 @@
+// Pattern matcher tests: label scans, directions, property constraints,
+// relationship uniqueness, variable-length paths, transition pseudo-labels.
+
+#include "src/cypher/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/cypher/parser.h"
+
+namespace pgt::cypher {
+namespace {
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() : manager_(&store_) {
+    tx_ = std::move(manager_.Begin()).value();
+    ctx_.tx = tx_.get();
+    ctx_.clock = &clock_;
+    ctx_.params = &params_;
+  }
+
+  NodeId Node(const std::string& label,
+              std::map<std::string, Value> props = {}) {
+    std::map<PropKeyId, Value> p;
+    for (auto& [k, v] : props) p[store_.InternPropKey(k)] = v;
+    return store_.CreateNode({store_.InternLabel(label)}, std::move(p));
+  }
+  RelId Rel(NodeId a, const std::string& type, NodeId b) {
+    return store_.CreateRel(a, store_.InternRelType(type), b, {}).value();
+  }
+
+  /// Matches the MATCH clause of `query` and returns all rows.
+  std::vector<Row> Match(const std::string& pattern_text,
+                         const Row& seed = {}) {
+    auto q = Parser::ParseQuery("MATCH " + pattern_text + " RETURN *");
+    EXPECT_TRUE(q.ok()) << q.status();
+    std::vector<Row> out;
+    Status st = MatchPattern(q.value().clauses[0]->pattern, seed, ctx_,
+                             [&](const Row& r) {
+                               out.push_back(r);
+                               return Status::OK();
+                             });
+    EXPECT_TRUE(st.ok()) << st;
+    return out;
+  }
+
+  GraphStore store_;
+  TransactionManager manager_;
+  std::unique_ptr<Transaction> tx_;
+  LogicalClock clock_;
+  std::map<std::string, Value> params_;
+  EvalContext ctx_;
+};
+
+TEST_F(MatcherTest, LabelScan) {
+  Node("A");
+  Node("A");
+  Node("B");
+  EXPECT_EQ(Match("(n:A)").size(), 2u);
+  EXPECT_EQ(Match("(n:B)").size(), 1u);
+  EXPECT_EQ(Match("(n)").size(), 3u);
+}
+
+TEST_F(MatcherTest, UnknownLabelMatchesNothing) {
+  Node("A");
+  EXPECT_TRUE(Match("(n:Nothing)").empty());
+}
+
+TEST_F(MatcherTest, PropertyConstraint) {
+  Node("P", {{"age", Value::Int(30)}});
+  Node("P", {{"age", Value::Int(40)}});
+  EXPECT_EQ(Match("(n:P {age: 30})").size(), 1u);
+  EXPECT_TRUE(Match("(n:P {age: 99})").empty());
+  EXPECT_TRUE(Match("(n:P {missing: 1})").empty());
+}
+
+TEST_F(MatcherTest, DirectedTraversal) {
+  NodeId a = Node("A");
+  NodeId b = Node("B");
+  Rel(a, "R", b);
+  EXPECT_EQ(Match("(x:A)-[:R]->(y:B)").size(), 1u);
+  EXPECT_TRUE(Match("(x:A)<-[:R]-(y:B)").empty());
+  EXPECT_EQ(Match("(x:A)-[:R]-(y:B)").size(), 1u);
+  EXPECT_EQ(Match("(y:B)<-[:R]-(x:A)").size(), 1u);
+}
+
+TEST_F(MatcherTest, TypeFilterAndAlternatives) {
+  NodeId a = Node("A");
+  NodeId b = Node("B");
+  Rel(a, "R1", b);
+  Rel(a, "R2", b);
+  EXPECT_EQ(Match("(x:A)-[:R1]->(y)").size(), 1u);
+  EXPECT_EQ(Match("(x:A)-[:R1|R2]->(y)").size(), 2u);
+  EXPECT_EQ(Match("(x:A)-[r]->(y)").size(), 2u);
+}
+
+TEST_F(MatcherTest, BoundVariablesConstrain) {
+  NodeId a = Node("A");
+  NodeId b = Node("B");
+  NodeId c = Node("B");
+  Rel(a, "R", b);
+  Rel(a, "R", c);
+  Row seed;
+  seed.Set("y", Value::Node(b));
+  EXPECT_EQ(Match("(x:A)-[:R]->(y)", seed).size(), 1u);
+}
+
+TEST_F(MatcherTest, BoundRelVariableConstrains) {
+  NodeId a = Node("A");
+  NodeId b = Node("B");
+  RelId r1 = Rel(a, "R", b);
+  Rel(a, "R", b);
+  Row seed;
+  seed.Set("r", Value::Rel(r1));
+  EXPECT_EQ(Match("(x)-[r]->(y)", seed).size(), 1u);
+}
+
+TEST_F(MatcherTest, RelationshipUniquenessWithinMatch) {
+  NodeId a = Node("A");
+  NodeId b = Node("A");
+  Rel(a, "R", b);
+  // A two-hop path needs two distinct relationships; with only one, the
+  // same rel may not be reused (a)-[r]-(b)-[r]-(a).
+  EXPECT_TRUE(Match("(x:A)-[:R]-(y:A)-[:R]-(z:A)").empty());
+}
+
+TEST_F(MatcherTest, MultiPartCartesianAndJoin) {
+  Node("A");
+  Node("A");
+  Node("B");
+  EXPECT_EQ(Match("(x:A), (y:B)").size(), 2u);
+  EXPECT_EQ(Match("(x:A), (y:A)").size(), 4u);  // no node uniqueness
+}
+
+TEST_F(MatcherTest, VariableLengthPaths) {
+  NodeId n1 = Node("N");
+  NodeId n2 = Node("N");
+  NodeId n3 = Node("N");
+  NodeId n4 = Node("N");
+  Rel(n1, "R", n2);
+  Rel(n2, "R", n3);
+  Rel(n3, "R", n4);
+  Row seed;
+  seed.Set("s", Value::Node(n1));
+  EXPECT_EQ(Match("(s)-[:R*1..3]->(t)", seed).size(), 3u);
+  EXPECT_EQ(Match("(s)-[:R*2]->(t)", seed).size(), 1u);
+  EXPECT_EQ(Match("(s)-[:R*]->(t)", seed).size(), 3u);
+  // Zero-length includes the start node itself.
+  EXPECT_EQ(Match("(s)-[:R*0..1]->(t)", seed).size(), 2u);
+}
+
+TEST_F(MatcherTest, VariableLengthBindsRelList) {
+  NodeId n1 = Node("N");
+  NodeId n2 = Node("N");
+  NodeId n3 = Node("N");
+  Rel(n1, "R", n2);
+  Rel(n2, "R", n3);
+  Row seed;
+  seed.Set("s", Value::Node(n1));
+  std::vector<Row> rows = Match("(s)-[path:R*2]->(t)", seed);
+  ASSERT_EQ(rows.size(), 1u);
+  const Value* path = rows[0].Get("path");
+  ASSERT_NE(path, nullptr);
+  ASSERT_TRUE(path->is_list());
+  EXPECT_EQ(path->list_value().size(), 2u);
+}
+
+TEST_F(MatcherTest, VariableLengthCyclesAreBounded) {
+  NodeId a = Node("N");
+  NodeId b = Node("N");
+  Rel(a, "R", b);
+  Rel(b, "R", a);
+  Row seed;
+  seed.Set("s", Value::Node(a));
+  // Rel-uniqueness bounds the DFS: a->b (1 hop), a->b->a (2 hops), stop.
+  EXPECT_EQ(Match("(s)-[:R*]->(t)", seed).size(), 2u);
+}
+
+TEST_F(MatcherTest, TransitionPseudoLabel) {
+  NodeId a = Node("P");
+  Node("P");
+  TransitionEnv env;
+  env.sets["NEWNODES"] = {true, {a.value}};
+  ctx_.transition = &env;
+  std::vector<Row> rows = Match("(pn:NEWNODES)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].Get("pn")->node_id(), a);
+  // Combined with a real label.
+  EXPECT_EQ(Match("(pn:NEWNODES:P)").size(), 1u);
+  EXPECT_TRUE(Match("(pn:NEWNODES:Q)").empty());
+}
+
+TEST_F(MatcherTest, PseudoLabelOfRelSetNeverMatchesNodes) {
+  Node("P");
+  TransitionEnv env;
+  env.sets["NEWRELS"] = {false, {0}};
+  ctx_.transition = &env;
+  EXPECT_TRUE(Match("(x:NEWRELS)").empty());
+}
+
+TEST_F(MatcherTest, DeletedNodesInOldSetMatchButDoNotTraverse) {
+  NodeId a = Node("P");
+  NodeId b = Node("P");
+  Rel(a, "R", b);
+  ASSERT_TRUE(tx_->DeleteNode(a, /*detach=*/true).ok());
+  TransitionEnv env;
+  env.sets["OLDNODES"] = {true, {a.value}};
+  ctx_.transition = &env;
+  EXPECT_EQ(Match("(x:OLDNODES)").size(), 1u);       // ghost matches
+  EXPECT_TRUE(Match("(x:OLDNODES)-[:R]-(y)").empty());  // no traversal
+}
+
+TEST_F(MatcherTest, PatternExistsEarlyExit) {
+  NodeId a = Node("A");
+  NodeId b = Node("B");
+  Rel(a, "R", b);
+  auto q = Parser::ParseQuery("MATCH (x:A)-[:R]->(:B) RETURN *");
+  ASSERT_TRUE(q.ok());
+  auto found = PatternExists(q.value().clauses[0]->pattern, nullptr, Row{},
+                             ctx_);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found.value());
+  auto q2 = Parser::ParseQuery("MATCH (x:B)-[:R]->(:A) RETURN *");
+  auto missing = PatternExists(q2.value().clauses[0]->pattern, nullptr,
+                               Row{}, ctx_);
+  EXPECT_FALSE(missing.value());
+}
+
+TEST_F(MatcherTest, PatternVariablesReportsUnbound) {
+  auto q = Parser::ParseQuery("MATCH (a)-[r:R]->(b) RETURN *");
+  Row row;
+  row.Set("a", Value::Node(NodeId{0}));
+  std::vector<std::string> vars =
+      PatternVariables(q.value().clauses[0]->pattern, row);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], "r");
+  EXPECT_EQ(vars[1], "b");
+}
+
+TEST_F(MatcherTest, SelfLoopMatches) {
+  NodeId a = Node("A");
+  Rel(a, "R", a);
+  EXPECT_EQ(Match("(x:A)-[:R]->(x)").size(), 1u);
+  EXPECT_EQ(Match("(x:A)-[:R]-(y)").size(), 1u);
+}
+
+}  // namespace
+}  // namespace pgt::cypher

@@ -1,0 +1,185 @@
+// Realistic query corpus over a fixed social-graph fixture: end-to-end
+// checks of query results (not just row counts) across joins, optional
+// matches, variable-length paths, aggregation pipelines, and shaping.
+
+#include <gtest/gtest.h>
+
+#include "src/trigger/database.h"
+
+namespace pgt {
+namespace {
+
+class QueryCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // People and friendships (diamond + a loner), employers, cities.
+    Run("CREATE (:Person {name: 'ann', age: 34}), "
+        "(:Person {name: 'bob', age: 28}), "
+        "(:Person {name: 'cat', age: 41}), "
+        "(:Person {name: 'dan', age: 23}), "
+        "(:Person {name: 'eve', age: 51})");
+    Run("MATCH (a:Person {name: 'ann'}), (b:Person {name: 'bob'}) "
+        "CREATE (a)-[:Knows {since: 2015}]->(b)");
+    Run("MATCH (a:Person {name: 'ann'}), (c:Person {name: 'cat'}) "
+        "CREATE (a)-[:Knows {since: 2018}]->(c)");
+    Run("MATCH (b:Person {name: 'bob'}), (d:Person {name: 'dan'}) "
+        "CREATE (b)-[:Knows {since: 2020}]->(d)");
+    Run("MATCH (c:Person {name: 'cat'}), (d:Person {name: 'dan'}) "
+        "CREATE (c)-[:Knows {since: 2021}]->(d)");
+    Run("CREATE (:Company {name: 'Initech'}), (:Company {name: 'Hooli'})");
+    Run("MATCH (p:Person), (co:Company {name: 'Initech'}) "
+        "WHERE p.name IN ['ann', 'bob'] CREATE (p)-[:WorksAt]->(co)");
+    Run("MATCH (p:Person {name: 'cat'}), (co:Company {name: 'Hooli'}) "
+        "CREATE (p)-[:WorksAt]->(co)");
+  }
+
+  cypher::QueryResult Run(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status();
+    return r.ok() ? std::move(r).value() : cypher::QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(QueryCorpusTest, FriendsOfFriends) {
+  cypher::QueryResult r = Run(
+      "MATCH (a:Person {name: 'ann'})-[:Knows]->()-[:Knows]->(fof) "
+      "RETURN DISTINCT fof.name AS name ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "dan");
+}
+
+TEST_F(QueryCorpusTest, VariableLengthReachability) {
+  cypher::QueryResult r = Run(
+      "MATCH (a:Person {name: 'ann'})-[:Knows*1..3]->(p) "
+      "RETURN DISTINCT p.name AS name ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 3u);  // bob, cat, dan
+  EXPECT_EQ(r.rows[2][0].string_value(), "dan");
+}
+
+TEST_F(QueryCorpusTest, PathCountsPerEndpoint) {
+  // dan is reachable from ann via two distinct paths (bob and cat).
+  cypher::QueryResult r = Run(
+      "MATCH (a:Person {name: 'ann'})-[:Knows*2]->(p) "
+      "RETURN p.name AS name, COUNT(*) AS paths");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].int_value(), 2);
+}
+
+TEST_F(QueryCorpusTest, OptionalMatchKeepsLoners) {
+  cypher::QueryResult r = Run(
+      "MATCH (p:Person) OPTIONAL MATCH (p)-[:WorksAt]->(co:Company) "
+      "RETURN p.name AS name, co.name AS employer ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 5u);
+  // dan and eve have no employer -> null.
+  EXPECT_TRUE(r.rows[3][1].is_null());
+  EXPECT_TRUE(r.rows[4][1].is_null());
+  EXPECT_EQ(r.rows[0][1].string_value(), "Initech");
+}
+
+TEST_F(QueryCorpusTest, GroupedAggregationWithHaving) {
+  cypher::QueryResult r = Run(
+      "MATCH (p:Person)-[:WorksAt]->(co:Company) "
+      "WITH co.name AS employer, COUNT(p) AS headcount, "
+      "AVG(p.age) AS avg_age "
+      "WHERE headcount >= 2 "
+      "RETURN employer, headcount, avg_age");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "Initech");
+  EXPECT_EQ(r.rows[0][1].int_value(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].double_value(), 31.0);
+}
+
+TEST_F(QueryCorpusTest, CollectAndComprehension) {
+  cypher::QueryResult r = Run(
+      "MATCH (a:Person {name: 'ann'})-[:Knows]->(f) "
+      "WITH COLLECT(f) AS friends "
+      "RETURN [x IN friends WHERE x.age > 30 | x.name] AS seniors");
+  ASSERT_EQ(r.rows.size(), 1u);
+  const auto& list = r.rows[0][0].list_value();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].string_value(), "cat");
+}
+
+TEST_F(QueryCorpusTest, CaseBucketing) {
+  cypher::QueryResult r = Run(
+      "MATCH (p:Person) "
+      "RETURN CASE WHEN p.age < 30 THEN 'young' "
+      "WHEN p.age < 50 THEN 'mid' ELSE 'senior' END AS bucket, "
+      "COUNT(*) AS n ORDER BY bucket");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "mid");
+  EXPECT_EQ(r.rows[0][1].int_value(), 2);
+  EXPECT_EQ(r.rows[1][0].string_value(), "senior");
+  EXPECT_EQ(r.rows[2][0].string_value(), "young");
+  EXPECT_EQ(r.rows[2][1].int_value(), 2);
+}
+
+TEST_F(QueryCorpusTest, ExistsAntiJoin) {
+  cypher::QueryResult r = Run(
+      "MATCH (p:Person) "
+      "WHERE NOT EXISTS { MATCH (p)-[:Knows]->() } "
+      "AND NOT EXISTS { MATCH ()-[:Knows]->(p) } "
+      "RETURN p.name AS loner");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "eve");
+}
+
+TEST_F(QueryCorpusTest, RelationshipPropertyFilterOnPattern) {
+  cypher::QueryResult r = Run(
+      "MATCH (a)-[k:Knows]->(b) WHERE k.since >= 2020 "
+      "RETURN a.name + '->' + b.name AS edge ORDER BY edge");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "bob->dan");
+  EXPECT_EQ(r.rows[1][0].string_value(), "cat->dan");
+}
+
+TEST_F(QueryCorpusTest, UnwindCollectRoundTrip) {
+  cypher::QueryResult r = Run(
+      "MATCH (p:Person) WITH COLLECT(p.name) AS names "
+      "UNWIND names AS n WITH n ORDER BY n DESC LIMIT 2 "
+      "RETURN COLLECT(n) AS top");
+  const auto& list = r.rows[0][0].list_value();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].string_value(), "eve");
+  EXPECT_EQ(list[1].string_value(), "dan");
+}
+
+TEST_F(QueryCorpusTest, MergeIsIdempotentAcrossRuns) {
+  for (int i = 0; i < 3; ++i) {
+    Run("MERGE (c:City {name: 'Milan'}) ON CREATE SET c.fresh = true");
+  }
+  cypher::QueryResult r =
+      Run("MATCH (c:City) RETURN COUNT(*) AS n, COLLECT(c.fresh) AS f");
+  EXPECT_EQ(r.rows[0][0].int_value(), 1);
+  EXPECT_EQ(r.rows[0][1].list_value().size(), 1u);
+}
+
+TEST_F(QueryCorpusTest, UpdatePipelineWithForeach) {
+  Run("MATCH (p:Person)-[:Knows]->(f) WITH p, COLLECT(f) AS friends "
+      "FOREACH (x IN friends | SET x.popular = true)");
+  cypher::QueryResult r = Run(
+      "MATCH (p:Person {popular: true}) RETURN p.name AS name ORDER BY "
+      "name");
+  ASSERT_EQ(r.rows.size(), 3u);  // bob, cat, dan
+}
+
+TEST_F(QueryCorpusTest, ChainedWithStagesKeepScope) {
+  cypher::QueryResult r = Run(
+      "MATCH (p:Person) WITH p ORDER BY p.age DESC LIMIT 3 "
+      "WITH COLLECT(p.name) AS oldest "
+      "RETURN SIZE(oldest) AS n, oldest[0] AS first");
+  EXPECT_EQ(r.rows[0][0].int_value(), 3);
+  EXPECT_EQ(r.rows[0][1].string_value(), "eve");
+}
+
+TEST_F(QueryCorpusTest, UndirectedTraversalSeesBothDirections) {
+  cypher::QueryResult r = Run(
+      "MATCH (d:Person {name: 'dan'})-[:Knows]-(n) "
+      "RETURN COUNT(n) AS degree");
+  EXPECT_EQ(r.rows[0][0].int_value(), 2);  // bob and cat point at dan
+}
+
+}  // namespace
+}  // namespace pgt

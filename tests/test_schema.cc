@@ -1,0 +1,230 @@
+// PG-Schema tests: DDL parsing, round-trips, inheritance, and graph
+// validation (types, required/extra properties, keys, edge endpoints).
+
+#include <gtest/gtest.h>
+
+#include "src/covid/schema.h"
+#include "src/schema/pg_schema.h"
+#include "src/schema/validator.h"
+
+namespace pgt::schema {
+namespace {
+
+const char* kTinyDdl = R"(
+CREATE GRAPH TYPE Tiny STRICT {
+  (PersonType : Person {name STRING, age INT32 OPTIONAL, ssn STRING KEY}),
+  (StudentType : Student <: PersonType {school STRING}),
+  (NoteType : Note OPEN {text STRING}),
+  (:PersonType)-[KnowsType : Knows {since INT32 OPTIONAL}]->(:PersonType)
+})";
+
+TEST(SchemaParserTest, ParsesNodeEdgeAndInheritance) {
+  auto r = ParseSchemaDdl(kTinyDdl);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const SchemaDef& s = r.value();
+  EXPECT_EQ(s.name, "Tiny");
+  EXPECT_TRUE(s.strict);
+  ASSERT_EQ(s.node_types.size(), 3u);
+  ASSERT_EQ(s.edge_types.size(), 1u);
+  const NodeTypeSpec* student = s.FindNodeType("StudentType");
+  ASSERT_NE(student, nullptr);
+  EXPECT_EQ(student->parent, "PersonType");
+  EXPECT_TRUE(s.FindNodeType("NoteType")->open);
+  const EdgeTypeSpec* knows = s.FindEdgeType("Knows");
+  ASSERT_NE(knows, nullptr);
+  EXPECT_EQ(knows->src_type, "PersonType");
+}
+
+TEST(SchemaParserTest, PropertyFlags) {
+  auto r = ParseSchemaDdl(kTinyDdl);
+  ASSERT_TRUE(r.ok());
+  const NodeTypeSpec* person = r->FindNodeType("PersonType");
+  EXPECT_FALSE(person->props[0].optional);
+  EXPECT_TRUE(person->props[1].optional);
+  EXPECT_TRUE(person->props[2].is_key);
+}
+
+TEST(SchemaParserTest, RoundTripThroughToDdl) {
+  auto r1 = ParseSchemaDdl(kTinyDdl);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = ParseSchemaDdl(r1->ToDdl());
+  ASSERT_TRUE(r2.ok()) << r1->ToDdl() << "\n-> " << r2.status();
+  EXPECT_EQ(r2->ToDdl(), r1->ToDdl());
+}
+
+TEST(SchemaParserTest, RejectsUnknownParent) {
+  auto r = ParseSchemaDdl(
+      "CREATE GRAPH TYPE Bad STRICT { (AType : A <: Ghost {x STRING}) }");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaParserTest, RejectsOptionalKey) {
+  auto r = ParseSchemaDdl(
+      "CREATE GRAPH TYPE Bad STRICT { (AType : A {k STRING OPTIONAL KEY}) }");
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(SchemaParserTest, RejectsDuplicateTypeNames) {
+  auto r = ParseSchemaDdl(
+      "CREATE GRAPH TYPE Bad STRICT { (AType : A {x STRING}), "
+      "(AType : B {x STRING}) }");
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST(SchemaDefTest, EffectiveLabelsAndProps) {
+  auto r = ParseSchemaDdl(kTinyDdl);
+  ASSERT_TRUE(r.ok());
+  const NodeTypeSpec* student = r->FindNodeType("StudentType");
+  auto labels = r->EffectiveLabels(*student);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 2u);  // Student + Person
+  auto props = r->EffectiveProps(*student);
+  ASSERT_TRUE(props.ok());
+  EXPECT_EQ(props->size(), 4u);  // name, age, ssn, school
+  EXPECT_TRUE(r->IsSubtypeOf("StudentType", "PersonType"));
+  EXPECT_FALSE(r->IsSubtypeOf("PersonType", "StudentType"));
+}
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  ValidatorTest() {
+    auto r = ParseSchemaDdl(kTinyDdl);
+    EXPECT_TRUE(r.ok());
+    schema_ = std::move(r).value();
+  }
+
+  NodeId Person(const std::string& name, const std::string& ssn) {
+    return store_.CreateNode(
+        {store_.InternLabel("Person")},
+        {{store_.InternPropKey("name"), Value::String(name)},
+         {store_.InternPropKey("ssn"), Value::String(ssn)}});
+  }
+
+  GraphStore store_;
+  SchemaDef schema_;
+};
+
+TEST_F(ValidatorTest, ConformantGraphPasses) {
+  NodeId a = Person("ann", "1");
+  NodeId b = Person("bob", "2");
+  ASSERT_TRUE(
+      store_.CreateRel(a, store_.InternRelType("Knows"), b, {}).ok());
+  ValidationReport report = ValidateGraph(store_, schema_);
+  EXPECT_TRUE(report.ok()) << report.violations[0].ToString();
+  EXPECT_EQ(report.nodes_checked, 2u);
+  EXPECT_EQ(report.rels_checked, 1u);
+}
+
+TEST_F(ValidatorTest, MissingRequiredProperty) {
+  store_.CreateNode({store_.InternLabel("Person")},
+                    {{store_.InternPropKey("name"), Value::String("x")}});
+  ValidationReport report = ValidateGraph(store_, schema_);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kMissingProperty);
+}
+
+TEST_F(ValidatorTest, WrongPropertyType) {
+  store_.CreateNode({store_.InternLabel("Person")},
+                    {{store_.InternPropKey("name"), Value::Int(7)},
+                     {store_.InternPropKey("ssn"), Value::String("1")}});
+  ValidationReport report = ValidateGraph(store_, schema_);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kWrongType);
+}
+
+TEST_F(ValidatorTest, ExtraPropertyOnClosedType) {
+  store_.CreateNode({store_.InternLabel("Person")},
+                    {{store_.InternPropKey("name"), Value::String("x")},
+                     {store_.InternPropKey("ssn"), Value::String("1")},
+                     {store_.InternPropKey("hobby"), Value::String("y")}});
+  ValidationReport report = ValidateGraph(store_, schema_);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kExtraProperty);
+}
+
+TEST_F(ValidatorTest, OpenTypeAcceptsExtras) {
+  store_.CreateNode({store_.InternLabel("Note")},
+                    {{store_.InternPropKey("text"), Value::String("t")},
+                     {store_.InternPropKey("anything"), Value::Int(1)}});
+  EXPECT_TRUE(ValidateGraph(store_, schema_).ok());
+}
+
+TEST_F(ValidatorTest, KeyViolationDetected) {
+  Person("a", "same");
+  Person("b", "same");
+  ValidationReport report = ValidateGraph(store_, schema_);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kKeyViolation);
+}
+
+TEST_F(ValidatorTest, StrictRejectsUnknownLabels) {
+  store_.CreateNode({store_.InternLabel("Stranger")}, {});
+  ValidationReport report = ValidateGraph(store_, schema_);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kUntypedNode);
+}
+
+TEST_F(ValidatorTest, LooseModeSkipsUnknowns) {
+  schema_.strict = false;
+  store_.CreateNode({store_.InternLabel("Stranger")}, {});
+  EXPECT_TRUE(ValidateGraph(store_, schema_).ok());
+}
+
+TEST_F(ValidatorTest, SubtypeInstanceCarriesChainLabels) {
+  // Student instance: both labels, all required props.
+  store_.CreateNode(
+      {store_.InternLabel("Person"), store_.InternLabel("Student")},
+      {{store_.InternPropKey("name"), Value::String("s")},
+       {store_.InternPropKey("ssn"), Value::String("3")},
+       {store_.InternPropKey("school"), Value::String("PoliMi")}});
+  EXPECT_TRUE(ValidateGraph(store_, schema_).ok());
+  // Student label without the Person parent label is untyped in STRICT.
+  store_.CreateNode({store_.InternLabel("Student")},
+                    {{store_.InternPropKey("school"), Value::String("x")}});
+  EXPECT_FALSE(ValidateGraph(store_, schema_).ok());
+}
+
+TEST_F(ValidatorTest, EdgeEndpointTypesEnforced) {
+  NodeId p = Person("p", "1");
+  NodeId note = store_.CreateNode(
+      {store_.InternLabel("Note")},
+      {{store_.InternPropKey("text"), Value::String("t")}});
+  ASSERT_TRUE(
+      store_.CreateRel(p, store_.InternRelType("Knows"), note, {}).ok());
+  ValidationReport report = ValidateGraph(store_, schema_);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kBadEndpoint);
+}
+
+TEST_F(ValidatorTest, UndeclaredEdgeTypeInStrictMode) {
+  NodeId a = Person("a", "1");
+  NodeId b = Person("b", "2");
+  ASSERT_TRUE(
+      store_.CreateRel(a, store_.InternRelType("Mystery"), b, {}).ok());
+  ValidationReport report = ValidateGraph(store_, schema_);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, Violation::Kind::kUntypedEdge);
+}
+
+TEST(CovidSchemaTest, BuildsAndChecks) {
+  SchemaDef s = covid::BuildCovidSchema();
+  EXPECT_TRUE(s.Check().ok());
+  EXPECT_EQ(s.node_types.size(), 11u);
+  EXPECT_EQ(s.edge_types.size(), 9u);
+  // The IcuPatient chain is three levels deep (Figure 4).
+  const NodeTypeSpec* icu = s.FindNodeType("IcuPatientType");
+  ASSERT_NE(icu, nullptr);
+  auto labels = s.EffectiveLabels(*icu);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 3u);
+  EXPECT_TRUE(s.FindNodeType("AlertType")->open);
+}
+
+TEST(CovidSchemaTest, DdlRoundTrips) {
+  auto parsed = ParseSchemaDdl(covid::CovidSchemaDdl());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ToDdl(), covid::BuildCovidSchema().ToDdl());
+}
+
+}  // namespace
+}  // namespace pgt::schema

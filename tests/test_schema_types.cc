@@ -1,0 +1,108 @@
+// Parameterized conformance matrix: every PropType against every Value
+// shape (the PG-Schema typing lattice), plus PropTypeName stability.
+
+#include <gtest/gtest.h>
+
+#include "src/schema/pg_schema.h"
+
+namespace pgt::schema {
+namespace {
+
+struct Shape {
+  const char* name;
+  Value value;
+};
+
+std::vector<Shape> Shapes() {
+  return {
+      {"string", Value::String("abc")},
+      {"char", Value::String("x")},
+      {"empty-string", Value::String("")},
+      {"int", Value::Int(7)},
+      {"double", Value::Double(2.5)},
+      {"bool", Value::Bool(true)},
+      {"date", Value::MakeDate(100)},
+      {"datetime", Value::MakeDateTime(1)},
+      {"string-list", Value::MakeList({Value::String("a")})},
+      {"int-list", Value::MakeList({Value::Int(1)})},
+      {"empty-list", Value::MakeList({})},
+      {"map", Value::MakeMap({{"k", Value::Int(1)}})},
+      {"node", Value::Node(NodeId{0})},
+  };
+}
+
+// Expected conformance: rows = PropType, cols = the shapes above.
+struct MatrixRow {
+  PropType type;
+  std::vector<bool> accepts;  // aligned with Shapes()
+};
+
+std::vector<MatrixRow> Matrix() {
+  // Columns:         str    chr    empty  int    dbl    bool   date
+  //                  dtime  slist  ilist  elist  map    node
+  return {
+      {PropType::kString,
+       {true, true, true, false, false, false, false, false, false, false,
+        false, false, false}},
+      {PropType::kChar,
+       {false, true, false, false, false, false, false, false, false,
+        false, false, false, false}},
+      {PropType::kInt,
+       {false, false, false, true, false, false, false, false, false,
+        false, false, false, false}},
+      // kDouble accepts any numeric (widening), matching Figure 4 usage.
+      {PropType::kDouble,
+       {false, false, false, true, true, false, false, false, false, false,
+        false, false, false}},
+      {PropType::kBool,
+       {false, false, false, false, false, true, false, false, false,
+        false, false, false, false}},
+      // kDate accepts date values and ISO-ish strings (import paths).
+      {PropType::kDate,
+       {true, true, true, false, false, false, true, false, false, false,
+        false, false, false}},
+      // kDateTime accepts datetime values and raw micros.
+      {PropType::kDateTime,
+       {false, false, false, true, false, false, false, true, false, false,
+        false, false, false}},
+      {PropType::kStringArray,
+       {false, false, false, false, false, false, false, false, true,
+        false, true, false, false}},
+      {PropType::kAny,
+       {true, true, true, true, true, true, true, true, true, true, true,
+        true, true}},
+  };
+}
+
+class ConformanceMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConformanceMatrix, RowMatchesSpec) {
+  const MatrixRow row = Matrix()[static_cast<size_t>(GetParam())];
+  const std::vector<Shape> shapes = Shapes();
+  ASSERT_EQ(row.accepts.size(), shapes.size());
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    EXPECT_EQ(ValueConformsTo(shapes[i].value, row.type), row.accepts[i])
+        << PropTypeName(row.type) << " vs " << shapes[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ConformanceMatrix,
+                         ::testing::Range(0, 9));
+
+TEST(PropTypeTest, NamesAreStable) {
+  EXPECT_STREQ(PropTypeName(PropType::kString), "STRING");
+  EXPECT_STREQ(PropTypeName(PropType::kInt), "INT32");
+  EXPECT_STREQ(PropTypeName(PropType::kStringArray), "ARRAY[STRING]");
+}
+
+TEST(PropTypeTest, NullNeverConforms) {
+  // NULL means "absent"; presence checks are handled by OPTIONAL, not by
+  // the type lattice.
+  for (int t = 0; t < 8; ++t) {
+    EXPECT_FALSE(ValueConformsTo(Value::Null(), static_cast<PropType>(t)))
+        << PropTypeName(static_cast<PropType>(t));
+  }
+}
+
+}  // namespace
+}  // namespace pgt::schema

@@ -1,0 +1,196 @@
+// Termination analysis tests: write signatures, triggering-graph edges,
+// cycle detection and the guardedness report (Section 6.2.3 / [9]).
+
+#include "src/termination/triggering_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/covid/triggers.h"
+#include "src/trigger/trigger_parser.h"
+
+namespace pgt::termination {
+namespace {
+
+TriggerDef Parse(const std::string& ddl) {
+  auto r = TriggerDdlParser::ParseCreate(ddl);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(WriteSignatureTest, CreateNodesAndRels) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN CREATE (:Alert {v: 1})-[:Causes]->(:Incident) END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.created_node_labels.count("Alert"));
+  EXPECT_TRUE(sig.created_node_labels.count("Incident"));
+  EXPECT_TRUE(sig.created_rel_types.count("Causes"));
+  EXPECT_TRUE(sig.deleted_node_labels.empty());
+}
+
+TEST(WriteSignatureTest, SetPropsWithInferredLabels) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN MATCH (h:Hospital) SET h.load = 1 END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.set_node_props.count({"Hospital", "load"}));
+}
+
+TEST(WriteSignatureTest, TransitionVarCarriesTargetLabel) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN SET NEW.seen = true END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.set_node_props.count({"P", "seen"}));
+}
+
+TEST(WriteSignatureTest, UnknownTargetWidensToWildcard) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "WHEN MATCH (x) BEGIN DELETE x END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.deleted_node_labels.count("*") ||
+              sig.deleted_rel_types.count("*"));
+}
+
+TEST(WriteSignatureTest, DeleteWithLabel) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN MATCH (old:Stale) DETACH DELETE old END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.deleted_node_labels.count("Stale"));
+  EXPECT_TRUE(sig.deleted_rel_types.count("*"));  // detach widens
+}
+
+TEST(MayTriggerTest, CreateEventMatching) {
+  TriggerDef producer = Parse(
+      "CREATE TRIGGER P1 AFTER CREATE ON 'A' FOR EACH NODE "
+      "BEGIN CREATE (:B) END");
+  TriggerDef on_b = Parse(
+      "CREATE TRIGGER C1 AFTER CREATE ON 'B' FOR EACH NODE "
+      "BEGIN CREATE (:X) END");
+  TriggerDef on_c = Parse(
+      "CREATE TRIGGER C2 AFTER CREATE ON 'C' FOR EACH NODE "
+      "BEGIN CREATE (:X) END");
+  WriteSignature sig = ExtractWriteSignature(producer);
+  EXPECT_TRUE(MayTrigger(sig, on_b));
+  EXPECT_FALSE(MayTrigger(sig, on_c));
+}
+
+TEST(MayTriggerTest, PropertyEventMatching) {
+  TriggerDef setter = Parse(
+      "CREATE TRIGGER S AFTER CREATE ON 'A' FOR EACH NODE "
+      "BEGIN MATCH (h:H) SET h.x = 1 END");
+  WriteSignature sig = ExtractWriteSignature(setter);
+  EXPECT_TRUE(MayTrigger(sig, Parse("CREATE TRIGGER W1 AFTER SET ON "
+                                    "'H'.'x' FOR EACH NODE BEGIN CREATE "
+                                    "(:Y) END")));
+  EXPECT_FALSE(MayTrigger(sig, Parse("CREATE TRIGGER W2 AFTER SET ON "
+                                     "'H'.'y' FOR EACH NODE BEGIN CREATE "
+                                     "(:Y) END")));
+  EXPECT_FALSE(MayTrigger(sig, Parse("CREATE TRIGGER W3 AFTER REMOVE ON "
+                                     "'H'.'x' FOR EACH NODE BEGIN CREATE "
+                                     "(:Y) END")));
+}
+
+TEST(TriggeringGraphTest, AcyclicChainIsGuaranteedTerminating) {
+  TriggerDef a = Parse(
+      "CREATE TRIGGER A AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN CREATE (:Q) END");
+  TriggerDef b = Parse(
+      "CREATE TRIGGER B AFTER CREATE ON 'Q' FOR EACH NODE "
+      "BEGIN CREATE (:R) END");
+  TriggeringGraph g = TriggeringGraph::Build({&a, &b});
+  auto report = g.Analyze();
+  EXPECT_TRUE(report.guaranteed_termination);
+  EXPECT_EQ(report.edge_count, 1u);  // A -> B only
+  EXPECT_NE(report.ToString().find("acyclic"), std::string::npos);
+}
+
+TEST(TriggeringGraphTest, SelfLoopDetected) {
+  TriggerDef loop = Parse(
+      "CREATE TRIGGER Loop AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN CREATE (:P) END");
+  TriggeringGraph g = TriggeringGraph::Build({&loop});
+  auto report = g.Analyze();
+  EXPECT_FALSE(report.guaranteed_termination);
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_EQ(report.cycles[0].first[0], "Loop");
+  EXPECT_FALSE(report.cycles[0].second);  // unguarded (no WHEN)
+}
+
+TEST(TriggeringGraphTest, TwoTriggerCycleDetected) {
+  TriggerDef ping = Parse(
+      "CREATE TRIGGER Ping AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN CREATE (:Q) END");
+  TriggerDef pong = Parse(
+      "CREATE TRIGGER Pong AFTER CREATE ON 'Q' FOR EACH NODE "
+      "BEGIN CREATE (:P) END");
+  TriggeringGraph g = TriggeringGraph::Build({&ping, &pong});
+  auto report = g.Analyze();
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_EQ(report.cycles[0].first.size(), 2u);
+}
+
+TEST(TriggeringGraphTest, GuardedCycleFlagged) {
+  TriggerDef guarded = Parse(
+      "CREATE TRIGGER Guarded AFTER CREATE ON 'P' FOR EACH NODE "
+      "WHEN NEW.v > 0 BEGIN CREATE (:P {v: NEW.v - 1}) END");
+  TriggeringGraph g = TriggeringGraph::Build({&guarded});
+  auto report = g.Analyze();
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_TRUE(report.cycles[0].second);  // guarded by WHEN
+  EXPECT_NE(report.ToString().find("guarded"), std::string::npos);
+}
+
+TEST(TriggeringGraphTest, PaperRelocationTriggerIsCyclic) {
+  // The Section 6.2.3 cascading relocation: its action creates TreatedAt
+  // relationships, its event is TreatedAt creation -> self-loop.
+  auto r = TriggerDdlParser::ParseCreate(covid::UnguardedMoveTriggerDdl());
+  ASSERT_TRUE(r.ok()) << r.status();
+  TriggerDef def = std::move(r).value();
+  TriggeringGraph g = TriggeringGraph::Build({&def});
+  auto report = g.Analyze();
+  EXPECT_FALSE(report.guaranteed_termination);
+}
+
+TEST(TriggeringGraphTest, PaperSectionSixTriggersAnalyzed) {
+  // All Section 6.2 triggers together: the relocation triggers create
+  // TreatedAt edges but no trigger monitors TreatedAt, and alerts trigger
+  // nothing -> the set is acyclic except MoveToNearHospital/IcuPatientMove
+  // interplay via IcuPatient creation, which none of them performs.
+  std::vector<TriggerDef> defs;
+  for (const std::string& ddl : covid::PaperTriggerDdl()) {
+    auto r = TriggerDdlParser::ParseCreate(ddl);
+    ASSERT_TRUE(r.ok()) << ddl << "\n-> " << r.status();
+    defs.push_back(std::move(r).value());
+  }
+  std::vector<const TriggerDef*> ptrs;
+  for (const TriggerDef& d : defs) ptrs.push_back(&d);
+  TriggeringGraph g = TriggeringGraph::Build(ptrs);
+  auto report = g.Analyze();
+  EXPECT_TRUE(report.guaranteed_termination) << report.ToString();
+}
+
+TEST(TriggeringGraphTest, LabelEventEdges) {
+  TriggerDef setter = Parse(
+      "CREATE TRIGGER S AFTER CREATE ON 'A' FOR EACH NODE "
+      "BEGIN MATCH (n:B) SET n:Flagged END");
+  TriggerDef watcher = Parse(
+      "CREATE TRIGGER W AFTER SET ON 'Flagged' FOR EACH NODE "
+      "BEGIN CREATE (:X) END");
+  WriteSignature sig = ExtractWriteSignature(setter);
+  EXPECT_TRUE(MayTrigger(sig, watcher));
+}
+
+TEST(WriteSignatureTest, ToStringListsCategories) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN CREATE (:A) SET NEW.x = 1 END");
+  std::string s = ExtractWriteSignature(t).ToString();
+  EXPECT_NE(s.find("+node{A}"), std::string::npos);
+  EXPECT_NE(s.find("P.x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgt::termination

@@ -1,0 +1,212 @@
+// Unit tests for the dynamic Value model (src/common/value.h).
+
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pgt {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, BoolRoundTrip) {
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_FALSE(Value::Bool(false).bool_value());
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+}
+
+TEST(ValueTest, IntAndDoubleAccessors) {
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Int(3).as_double(), 3.0);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int(1).Equals(Value::Double(1.0)));
+  EXPECT_TRUE(Value::Double(2.0).Equals(Value::Int(2)));
+  EXPECT_FALSE(Value::Int(1).Equals(Value::Double(1.5)));
+}
+
+TEST(ValueTest, NullEqualsOnlyNull) {
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_FALSE(Value::String("").Equals(Value::Null()));
+}
+
+TEST(ValueTest, StringEquality) {
+  EXPECT_TRUE(Value::String("abc").Equals(Value::String("abc")));
+  EXPECT_FALSE(Value::String("abc").Equals(Value::String("abd")));
+  EXPECT_FALSE(Value::String("1").Equals(Value::Int(1)));
+}
+
+TEST(ValueTest, NodeRelIdentity) {
+  EXPECT_TRUE(Value::Node(NodeId{7}).Equals(Value::Node(NodeId{7})));
+  EXPECT_FALSE(Value::Node(NodeId{7}).Equals(Value::Node(NodeId{8})));
+  EXPECT_FALSE(Value::Node(NodeId{7}).Equals(Value::Rel(RelId{7})));
+}
+
+TEST(ValueTest, ListEqualityIsStructural) {
+  Value a = Value::MakeList({Value::Int(1), Value::String("x")});
+  Value b = Value::MakeList({Value::Int(1), Value::String("x")});
+  Value c = Value::MakeList({Value::Int(1)});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(ValueTest, NestedListEquality) {
+  Value inner = Value::MakeList({Value::Int(1), Value::Int(2)});
+  Value a = Value::MakeList({inner, Value::Bool(true)});
+  Value b = Value::MakeList(
+      {Value::MakeList({Value::Int(1), Value::Int(2)}), Value::Bool(true)});
+  EXPECT_TRUE(a.Equals(b));
+}
+
+TEST(ValueTest, MapEquality) {
+  Value a = Value::MakeMap({{"k", Value::Int(1)}, {"m", Value::Null()}});
+  Value b = Value::MakeMap({{"m", Value::Null()}, {"k", Value::Int(1)}});
+  EXPECT_TRUE(a.Equals(b));
+  Value c = Value::MakeMap({{"k", Value::Int(2)}});
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(ValueTest, TotalCompareNullSortsLast) {
+  EXPECT_LT(Value::Int(5).TotalCompare(Value::Null()), 0);
+  EXPECT_GT(Value::Null().TotalCompare(Value::String("z")), 0);
+  EXPECT_EQ(Value::Null().TotalCompare(Value::Null()), 0);
+}
+
+TEST(ValueTest, TotalCompareNumericCrossType) {
+  EXPECT_LT(Value::Int(1).TotalCompare(Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Double(2.5).TotalCompare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(3).TotalCompare(Value::Double(3.0)), 0);
+}
+
+TEST(ValueTest, TotalCompareStrings) {
+  EXPECT_LT(Value::String("abc").TotalCompare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").TotalCompare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, TotalCompareListsLexicographic) {
+  Value a = Value::MakeList({Value::Int(1), Value::Int(2)});
+  Value b = Value::MakeList({Value::Int(1), Value::Int(3)});
+  Value c = Value::MakeList({Value::Int(1)});
+  EXPECT_LT(a.TotalCompare(b), 0);
+  EXPECT_GT(a.TotalCompare(c), 0);  // longer sorts after its prefix
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::MakeList({Value::Int(1), Value::Int(2)}).ToString(),
+            "[1, 2]");
+  EXPECT_EQ(Value::MakeMap({{"a", Value::Int(1)}}).ToString(), "{a: 1}");
+  EXPECT_EQ(Value::Node(NodeId{3}).ToString(), "#n3");
+  EXPECT_EQ(Value::Rel(RelId{4}).ToString(), "#r4");
+}
+
+TEST(ValueTest, DateAndDateTime) {
+  Value d = Value::MakeDate(100);
+  Value t = Value::MakeDateTime(123456);
+  EXPECT_EQ(d.type(), ValueType::kDate);
+  EXPECT_EQ(t.type(), ValueType::kDateTime);
+  EXPECT_EQ(d.date_value().days, 100);
+  EXPECT_EQ(t.datetime_value().micros, 123456);
+  EXPECT_TRUE(d.Equals(Value::MakeDate(100)));
+  EXPECT_LT(Value::MakeDate(1).TotalCompare(Value::MakeDate(2)), 0);
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(Value::Null().type_name(), "NULL");
+  EXPECT_STREQ(Value::Int(1).type_name(), "INTEGER");
+  EXPECT_STREQ(Value::Double(1.0).type_name(), "FLOAT");
+  EXPECT_STREQ(Value::String("").type_name(), "STRING");
+  EXPECT_STREQ(Value::MakeList({}).type_name(), "LIST");
+  EXPECT_STREQ(Value::MakeMap({}).type_name(), "MAP");
+}
+
+TEST(ValueTest, ListSharingIsByValueSemantics) {
+  Value a = Value::MakeList({Value::Int(1)});
+  Value b = a;  // shares payload
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_EQ(&a.list_value(), &b.list_value());  // shared, immutable payload
+}
+
+TEST(ValueVectorLessTest, OrdersTuples) {
+  ValueVectorLess less;
+  std::vector<Value> a = {Value::Int(1), Value::String("a")};
+  std::vector<Value> b = {Value::Int(1), Value::String("b")};
+  std::vector<Value> c = {Value::Int(1)};
+  EXPECT_TRUE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+  EXPECT_TRUE(less(c, a));  // shorter first
+  EXPECT_FALSE(less(a, a));
+}
+
+// Property-style sweep: TotalCompare must be a consistent total order over
+// a mixed corpus (antisymmetry + transitivity spot checks).
+class ValueOrderProperty : public ::testing::TestWithParam<int> {};
+
+std::vector<Value> Corpus() {
+  return {Value::Null(),
+          Value::Bool(false),
+          Value::Bool(true),
+          Value::Int(-3),
+          Value::Int(0),
+          Value::Int(7),
+          Value::Double(-0.5),
+          Value::Double(7.0),
+          Value::String(""),
+          Value::String("abc"),
+          Value::MakeDate(10),
+          Value::MakeDateTime(99),
+          Value::Node(NodeId{1}),
+          Value::Rel(RelId{2}),
+          Value::MakeList({Value::Int(1)}),
+          Value::MakeMap({{"k", Value::Int(1)}})};
+}
+
+TEST_P(ValueOrderProperty, AntisymmetryAgainstWholeCorpus) {
+  std::vector<Value> corpus = Corpus();
+  const Value& a = corpus[static_cast<size_t>(GetParam())];
+  for (const Value& b : corpus) {
+    const int ab = a.TotalCompare(b);
+    const int ba = b.TotalCompare(a);
+    EXPECT_EQ(ab < 0, ba > 0);
+    EXPECT_EQ(ab == 0, ba == 0);
+  }
+}
+
+TEST_P(ValueOrderProperty, TransitivityAgainstWholeCorpus) {
+  std::vector<Value> corpus = Corpus();
+  const Value& a = corpus[static_cast<size_t>(GetParam())];
+  for (const Value& b : corpus) {
+    for (const Value& c : corpus) {
+      if (a.TotalCompare(b) <= 0 && b.TotalCompare(c) <= 0) {
+        EXPECT_LE(a.TotalCompare(c), 0)
+            << a.ToString() << " " << b.ToString() << " " << c.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(ValueOrderProperty, EqualsConsistentWithCompareForComparables) {
+  std::vector<Value> corpus = Corpus();
+  const Value& a = corpus[static_cast<size_t>(GetParam())];
+  for (const Value& b : corpus) {
+    if (a.Equals(b) && !a.is_null()) {
+      EXPECT_EQ(a.TotalCompare(b), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ValueOrderProperty,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace pgt
