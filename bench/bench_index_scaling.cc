@@ -1,0 +1,189 @@
+// Index scaling study: property-index probes vs. full/label scans on the
+// trigger-condition hot path, at 100k nodes.
+//
+//   $ ./build/bench_index_scaling [output.json]
+//
+// Three experiments, each run once without and once with an index, with
+// result rows compared for equality:
+//
+//   1. covid-style equality queries  — MATCH (p:Person {pid: $x})
+//   2. covid-style trigger condition — AFTER CREATE ON 'Case'
+//                                      WHEN MATCH (p:Person {pid: NEW.pid})
+//   3. fraud-style range queries     — MATCH (a:Account) WHERE a.score >= t
+//
+// Writes a JSON baseline (default BENCH_index.json) so later PRs have a
+// perf trajectory. The acceptance goal is a >= 10x speedup on the
+// equality-predicate trigger condition.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace pgt::bench {
+namespace {
+
+constexpr int kNodes = 100000;
+constexpr int kQueries = 50;
+
+struct Experiment {
+  const char* name;
+  double scan_micros = 0;     // per operation, full/label-scan path
+  double indexed_micros = 0;  // per operation, index path
+  bool identical = false;     // identical result rows across paths
+  double Speedup() const {
+    return indexed_micros > 0 ? scan_micros / indexed_micros : 0;
+  }
+};
+
+std::vector<std::vector<Value>> RunEqualityQueries(Database& db,
+                                                   double* micros_per_op) {
+  std::vector<std::vector<Value>> rows;
+  Stopwatch sw;
+  for (int i = 0; i < kQueries; ++i) {
+    const int64_t pid = (static_cast<int64_t>(i) * 9973) % kNodes;
+    auto r = db.Execute("MATCH (p:Person {pid: $x}) RETURN p.pid, p.cohort",
+                        {{"x", Value::Int(pid)}});
+    if (!r.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", r.status().ToString().c_str());
+      std::abort();
+    }
+    for (auto& row : r->rows) rows.push_back(std::move(row));
+  }
+  *micros_per_op = sw.ElapsedMicros() / kQueries;
+  return rows;
+}
+
+std::vector<std::vector<Value>> RunRangeQueries(Database& db,
+                                                double* micros_per_op) {
+  std::vector<std::vector<Value>> rows;
+  Stopwatch sw;
+  for (int i = 0; i < kQueries; ++i) {
+    const int64_t lo = 995 + (i % 5);
+    auto r = db.Execute(
+        "MATCH (a:Account) WHERE a.score >= $lo RETURN COUNT(*) AS c",
+        {{"lo", Value::Int(lo)}});
+    if (!r.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", r.status().ToString().c_str());
+      std::abort();
+    }
+    for (auto& row : r->rows) rows.push_back(std::move(row));
+  }
+  *micros_per_op = sw.ElapsedMicros() / kQueries;
+  return rows;
+}
+
+bool SameRows(const std::vector<std::vector<Value>>& a,
+              const std::vector<std::vector<Value>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      if (!a[i][j].Equals(b[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+/// Creates `count` :Case nodes (each activating the surveillance trigger)
+/// and returns micros per creation.
+double CreateCases(Database& db, int start, int count) {
+  Stopwatch sw;
+  for (int i = 0; i < count; ++i) {
+    const int64_t pid = (static_cast<int64_t>(start + i) * 7919) % kNodes;
+    MustExec(db, "CREATE (:Case {pid: $x})", {{"x", Value::Int(pid)}});
+  }
+  return sw.ElapsedMicros() / count;
+}
+
+}  // namespace
+}  // namespace pgt::bench
+
+int main(int argc, char** argv) {
+  using namespace pgt;
+  using namespace pgt::bench;
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_index.json";
+  Banner("BENCH-index", "property-index scaling (indexed vs full scan)");
+
+  Database db;
+  std::printf("populating %d :Person and %d :Account nodes...\n", kNodes,
+              kNodes);
+  // Covid-style cohort of persons; fraud-style accounts with a score.
+  MustExec(db, "UNWIND RANGE(0, " + std::to_string(kNodes - 1) +
+                   ") AS i CREATE (:Person {pid: i, cohort: i % 97})");
+  MustExec(db, "UNWIND RANGE(0, " + std::to_string(kNodes - 1) +
+                   ") AS i CREATE (:Account {acct: i, score: (i * 37) % "
+                   "1000})");
+
+  Experiment eq{"equality-query"};
+  Experiment trig{"trigger-condition"};
+  Experiment rng{"range-query"};
+
+  // --- 1. Equality queries ---------------------------------------------------
+  auto scan_rows = RunEqualityQueries(db, &eq.scan_micros);
+  MustExec(db, "CREATE UNIQUE INDEX ON :Person(pid)");
+  auto idx_rows = RunEqualityQueries(db, &eq.indexed_micros);
+  eq.identical = SameRows(scan_rows, idx_rows);
+
+  // --- 2. Trigger condition --------------------------------------------------
+  // The WHEN condition probes :Person by equality on the NEW case's pid.
+  MustExec(db,
+           "CREATE TRIGGER Surveil AFTER CREATE ON 'Case' FOR EACH NODE "
+           "WHEN MATCH (p:Person {pid: NEW.pid}) "
+           "BEGIN CREATE (:CaseAlert {pid: NEW.pid}) END");
+  MustExec(db, "DROP INDEX ON :Person(pid)");
+  trig.scan_micros = CreateCases(db, 0, kQueries);
+  const int64_t alerts_scan =
+      MustCount(db, "MATCH (a:CaseAlert) RETURN COUNT(*) AS c");
+  MustExec(db, "CREATE UNIQUE INDEX ON :Person(pid)");
+  trig.indexed_micros = CreateCases(db, kQueries, kQueries);
+  const int64_t alerts_indexed =
+      MustCount(db, "MATCH (a:CaseAlert) RETURN COUNT(*) AS c");
+  // Every case matches a person, so both phases alert on every creation.
+  trig.identical = (alerts_scan == kQueries) &&
+                   (alerts_indexed == 2 * kQueries);
+
+  // --- 3. Range queries ------------------------------------------------------
+  auto scan_range = RunRangeQueries(db, &rng.scan_micros);
+  MustExec(db, "CREATE RANGE INDEX ON :Account(score)");
+  auto idx_range = RunRangeQueries(db, &rng.indexed_micros);
+  rng.identical = SameRows(scan_range, idx_range);
+
+  // --- Report ----------------------------------------------------------------
+  std::printf("\n%-20s %14s %14s %9s %10s\n", "experiment", "scan (us/op)",
+              "index (us/op)", "speedup", "identical");
+  const Experiment* all[] = {&eq, &trig, &rng};
+  bool ok = true;
+  for (const Experiment* e : all) {
+    std::printf("%-20s %14.1f %14.1f %8.1fx %10s\n", e->name,
+                e->scan_micros, e->indexed_micros, e->Speedup(),
+                e->identical ? "yes" : "NO");
+    ok = ok && e->identical;
+  }
+  const bool goal = trig.Speedup() >= 10.0;
+  std::printf("\nacceptance (trigger-condition speedup >= 10x): %s\n",
+              goal ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"nodes\": %d,\n  \"queries_per_point\": %d,\n",
+                 kNodes, kQueries);
+    std::fprintf(f, "  \"experiments\": [\n");
+    for (size_t i = 0; i < 3; ++i) {
+      const Experiment* e = all[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"scan_micros_per_op\": %.1f, "
+                   "\"indexed_micros_per_op\": %.1f, \"speedup\": %.1f, "
+                   "\"identical_rows\": %s}%s\n",
+                   e->name, e->scan_micros, e->indexed_micros, e->Speedup(),
+                   e->identical ? "true" : "false", i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"trigger_speedup_goal_10x\": %s\n}\n",
+                 goal ? "true" : "false");
+    std::fclose(f);
+    std::printf("baseline written to %s\n", json_path.c_str());
+  }
+  return ok && goal ? 0 : 1;
+}

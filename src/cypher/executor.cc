@@ -245,8 +245,12 @@ Result<std::vector<Row>> Executor::ApplyMatch(const Clause& c,
   std::vector<Row> out;
   for (const Row& row : rows) {
     size_t before = out.size();
+    // c.where doubles as the scan planner's hint: sargable conjuncts may
+    // select a property-index probe instead of a label/full scan. The
+    // predicate itself is still evaluated on every match below.
     PGT_RETURN_IF_ERROR(MatchPattern(
-        c.pattern, row, ctx_, [&](const Row& match) -> Status {
+        c.pattern, row, ctx_,
+        [&](const Row& match) -> Status {
           if (c.where != nullptr) {
             PGT_ASSIGN_OR_RETURN(bool pass,
                                  EvalPredicate(*c.where, match, ctx_));
@@ -254,7 +258,8 @@ Result<std::vector<Row>> Executor::ApplyMatch(const Clause& c,
           }
           out.push_back(match);
           return Status::OK();
-        }));
+        },
+        c.where.get()));
     if (c.optional_match && out.size() == before) {
       Row padded = row;
       for (const std::string& var : PatternVariables(c.pattern, row)) {

@@ -1,18 +1,22 @@
 #include "src/cypher/matcher.h"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 
 #include "src/common/macros.h"
+#include "src/cypher/scan_plan.h"
 
 namespace pgt::cypher {
 
 namespace {
 
-/// Per-MATCH state: the emit callback and the relationship-uniqueness set.
+/// Per-MATCH state: the emit callback, the relationship-uniqueness set, and
+/// the WHERE hint handed to the scan planner.
 struct MatchState {
   EvalContext* ctx;
   const std::function<Status(const Row&)>* emit;
+  const Expr* where_hint = nullptr;
   std::set<uint64_t> used_rels;
 };
 
@@ -140,21 +144,26 @@ class PartMatcher {
       }
     }
     // Transition pseudo-label: scan that set (includes deleted items).
+    // Enumeration follows the delta log's event-recording order — itself
+    // deterministic — rather than id order; OLD sets may contain
+    // tombstoned nodes on purpose (ghost records keep them readable).
     if (!split.trans.empty()) {
       for (uint64_t raw : split.trans[0]->ids) {
         PGT_RETURN_IF_ERROR(try_candidate(NodeId{raw}));
       }
       return Status::OK();
     }
-    // Real label: index scan.
-    if (!split.real.empty()) {
-      for (NodeId id : ctx.store()->NodesByLabel(split.real[0])) {
-        PGT_RETURN_IF_ERROR(try_candidate(id));
-      }
-      return Status::OK();
-    }
-    // Unconstrained: full scan.
-    for (NodeId id : ctx.store()->AllNodes()) {
+    // Planner-selected access path: property-index probe, label-index scan,
+    // or full scan. All paths yield candidates in ascending id order (the
+    // store's scans are id-ordered and index postings are id-sorted sets),
+    // so results are identical whichever path is selected.
+    PGT_ASSIGN_OR_RETURN(
+        NodeScanPlan plan,
+        PlanNodeScan(np, split.real, state_->where_hint, row, ctx));
+    const std::vector<NodeId> candidates = ExecuteNodeScan(plan, ctx);
+    assert(std::is_sorted(candidates.begin(), candidates.end()) &&
+           "node scans must enumerate in ascending id order");
+    for (NodeId id : candidates) {
       PGT_RETURN_IF_ERROR(try_candidate(id));
     }
     return Status::OK();
@@ -310,10 +319,12 @@ class PartMatcher {
 }  // namespace
 
 Status MatchPattern(const Pattern& pattern, const Row& row, EvalContext& ctx,
-                    const std::function<Status(const Row&)>& emit) {
+                    const std::function<Status(const Row&)>& emit,
+                    const Expr* where_hint) {
   MatchState state;
   state.ctx = &ctx;
   state.emit = &emit;
+  state.where_hint = where_hint;
   PartMatcher matcher(pattern, &state);
   return matcher.Run(row);
 }
@@ -327,14 +338,16 @@ Result<bool> PatternExists(const Pattern& pattern, const Expr* where,
                            const Row& row, EvalContext& ctx) {
   bool found = false;
   Status st = MatchPattern(
-      pattern, row, ctx, [&](const Row& match) -> Status {
+      pattern, row, ctx,
+      [&](const Row& match) -> Status {
         if (where != nullptr) {
           PGT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*where, match, ctx));
           if (!pass) return Status::OK();
         }
         found = true;
         return Status::Aborted(kFoundSentinel);  // early exit
-      });
+      },
+      where);
   if (!st.ok() && !(st.code() == StatusCode::kAborted &&
                     st.message() == kFoundSentinel)) {
     return st;

@@ -23,10 +23,25 @@ namespace pgt::cypher {
 ///    D6); deleted items in OLD sets match node patterns but traverse no
 ///    relationships.
 ///
+/// Determinism contract: candidate nodes for each pattern part are
+/// enumerated in ascending id order regardless of the access path the scan
+/// planner picks (full scan, label index, or property index — see
+/// src/cypher/scan_plan.h), so match results and their order are identical
+/// across plans. Transition-set scans are the one exception: they enumerate
+/// in event-recording order, which is itself deterministic (the delta log
+/// preserves execution order). Tombstoned nodes never appear in any scan:
+/// deletion unlinks them from the label index and all property indexes
+/// before the record is marked dead.
+///
+/// `where_hint` (optional) is the enclosing clause's WHERE expression; the
+/// matcher uses it only for index selection (sargable conjuncts), never for
+/// filtering — the caller still evaluates WHERE on every emitted row.
+///
 /// `emit` is called once per complete match with the extended row; it may
 /// return a non-OK status to abort enumeration (propagated to the caller).
 Status MatchPattern(const Pattern& pattern, const Row& row, EvalContext& ctx,
-                    const std::function<Status(const Row&)>& emit);
+                    const std::function<Status(const Row&)>& emit,
+                    const Expr* where_hint = nullptr);
 
 /// Returns true iff at least one match exists (early exit). Used for
 /// EXISTS / pattern predicates; `where` (optional) filters matches.

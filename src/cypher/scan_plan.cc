@@ -1,0 +1,315 @@
+#include "src/cypher/scan_plan.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/index/index_catalog.h"
+#include "src/storage/graph_store.h"
+
+namespace pgt::cypher {
+
+namespace {
+
+/// True for expressions the planner may evaluate up front: literals,
+/// parameters, negated literals, and plain reads of variables already bound
+/// in `row` (including `NEW.pid`-style property reads — the hot shape of
+/// trigger conditions). Anything else — in particular references to the
+/// pattern's own not-yet-bound variables and function calls, which may
+/// tick the logical clock — is left to the per-candidate path.
+bool PlannerEvaluable(const Expr& e, const Row& row) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kParam:
+      return true;
+    case Expr::Kind::kVar:
+      return row.Has(e.name);
+    case Expr::Kind::kProp:
+      return e.a != nullptr && e.a->kind == Expr::Kind::kVar &&
+             row.Has(e.a->name);
+    case Expr::Kind::kUnary:
+      return e.un_op == UnOp::kNeg && e.a != nullptr &&
+             PlannerEvaluable(*e.a, row);
+    default:
+      return false;
+  }
+}
+
+/// Evaluates a planner-evaluable expression; nullopt on error (the normal
+/// per-candidate path will surface it, or not — either way the planner
+/// stays out of semantics).
+std::optional<Value> TryEval(const Expr& e, const Row& row,
+                             EvalContext& ctx) {
+  auto r = EvalExpr(e, row, ctx);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r).value();
+}
+
+/// One sargable predicate extracted from WHERE: var.key <op> val.
+struct Sarg {
+  std::string key;
+  BinOp op = BinOp::kEq;
+  Value val;
+};
+
+BinOp MirrorOp(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+      return BinOp::kGt;
+    case BinOp::kLe:
+      return BinOp::kGe;
+    case BinOp::kGt:
+      return BinOp::kLt;
+    case BinOp::kGe:
+      return BinOp::kLe;
+    default:
+      return op;  // kEq is symmetric
+  }
+}
+
+/// True if `e` is `var.key` for the given variable; sets `key`.
+bool IsVarProp(const Expr& e, const std::string& var, std::string* key) {
+  if (e.kind != Expr::Kind::kProp || e.a == nullptr) return false;
+  if (e.a->kind != Expr::Kind::kVar || e.a->name != var) return false;
+  *key = e.name;
+  return true;
+}
+
+/// Walks top-level AND conjuncts of `e`, collecting sargable predicates on
+/// `var`. OR/XOR/NOT subtrees are skipped entirely (their predicates are
+/// not necessary conditions).
+void CollectSargs(const Expr& e, const std::string& var, const Row& row,
+                  EvalContext& ctx, std::vector<Sarg>* out) {
+  if (e.kind == Expr::Kind::kBinary && e.bin_op == BinOp::kAnd) {
+    if (e.a != nullptr) CollectSargs(*e.a, var, row, ctx, out);
+    if (e.b != nullptr) CollectSargs(*e.b, var, row, ctx, out);
+    return;
+  }
+  if (e.kind != Expr::Kind::kBinary || e.a == nullptr || e.b == nullptr) {
+    return;
+  }
+  switch (e.bin_op) {
+    case BinOp::kEq:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      break;
+    default:
+      return;
+  }
+  std::string key;
+  const Expr* comparand = nullptr;
+  BinOp op = e.bin_op;
+  if (IsVarProp(*e.a, var, &key) && PlannerEvaluable(*e.b, row)) {
+    comparand = e.b.get();
+  } else if (IsVarProp(*e.b, var, &key) && PlannerEvaluable(*e.a, row)) {
+    comparand = e.a.get();
+    op = MirrorOp(op);
+  } else {
+    return;
+  }
+  std::optional<Value> v = TryEval(*comparand, row, ctx);
+  if (!v.has_value()) return;
+  out->push_back(Sarg{std::move(key), op, std::move(*v)});
+}
+
+/// Range bounds accumulated for one property key.
+struct Bounds {
+  std::optional<Value> lo, hi;
+  bool lo_inclusive = false, hi_inclusive = false;
+
+  void Tighten(BinOp op, const Value& v) {
+    const bool is_lo = op == BinOp::kGt || op == BinOp::kGe;
+    const bool inclusive = op == BinOp::kGe || op == BinOp::kLe;
+    std::optional<Value>& bound = is_lo ? lo : hi;
+    bool& bound_incl = is_lo ? lo_inclusive : hi_inclusive;
+    if (!bound.has_value()) {
+      bound = v;
+      bound_incl = inclusive;
+      return;
+    }
+    if (index::CompareClassOf(*bound) != index::CompareClassOf(v)) return;
+    const int c = v.TotalCompare(*bound);
+    const bool tighter = is_lo ? c > 0 : c < 0;
+    if (tighter) {
+      bound = v;
+      bound_incl = inclusive;
+    } else if (c == 0 && !inclusive) {
+      bound_incl = false;  // strict beats inclusive at the same endpoint
+    }
+  }
+};
+
+}  // namespace
+
+const char* NodeScanPlan::KindName() const {
+  switch (kind) {
+    case Kind::kFullScan:
+      return "full-scan";
+    case Kind::kLabelScan:
+      return "label-scan";
+    case Kind::kIndexEquality:
+      return "index-equality";
+    case Kind::kIndexRange:
+      return "index-range";
+  }
+  return "?";
+}
+
+std::string NodeScanPlan::ToString() const {
+  std::string s = KindName();
+  if (kind == Kind::kIndexEquality) {
+    s += " " + idx->spec().name + " = " + eq_value.ToString();
+  } else if (kind == Kind::kIndexRange) {
+    s += " " + idx->spec().name;
+    if (lo.has_value()) {
+      s += (lo_inclusive ? " >= " : " > ") + lo->ToString();
+    }
+    if (hi.has_value()) {
+      s += (hi_inclusive ? " <= " : " < ") + hi->ToString();
+    }
+  }
+  return s;
+}
+
+Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
+                                  const std::vector<LabelId>& labels,
+                                  const Expr* where_hint, const Row& row,
+                                  EvalContext& ctx) {
+  NodeScanPlan plan;
+  const GraphStore* store = ctx.store();
+  const index::IndexCatalog& catalog = store->indexes();
+
+  if (labels.empty()) return plan;  // our indexes are label-scoped
+
+  // Candidate equality probes: inline props first, then WHERE conjuncts.
+  struct EqCandidate {
+    const index::PropertyIndex* idx;
+    Value value;
+  };
+  std::vector<EqCandidate> equalities;
+  std::map<PropKeyId, Bounds> ranges;  // ordered-index range bounds per key
+
+  auto consider_eq = [&](const std::string& key, const Value& v) {
+    if (catalog.empty()) return;
+    auto pk = store->LookupPropKey(key);
+    if (!pk.has_value()) return;
+    for (LabelId l : labels) {
+      const index::PropertyIndex* idx = catalog.Find(l, *pk);
+      if (idx != nullptr) equalities.push_back(EqCandidate{idx, v});
+    }
+  };
+  auto consider_range = [&](const std::string& key, BinOp op,
+                            const Value& v) {
+    if (catalog.empty()) return;
+    if (index::CompareClassOf(v) == index::CompareClass::kOther) return;
+    auto pk = store->LookupPropKey(key);
+    if (!pk.has_value()) return;
+    for (LabelId l : labels) {
+      const index::PropertyIndex* idx = catalog.Find(l, *pk);
+      if (idx != nullptr && idx->SupportsRange()) {
+        ranges[*pk].Tighten(op, v);
+        break;  // bounds are per-key; one ordered index suffices
+      }
+    }
+  };
+
+  if (!catalog.empty()) {
+    for (const auto& [key, expr] : np.props) {
+      if (expr == nullptr || !PlannerEvaluable(*expr, row)) continue;
+      std::optional<Value> v = TryEval(*expr, row, ctx);
+      if (v.has_value()) consider_eq(key, *v);
+    }
+    if (where_hint != nullptr && !np.var.empty() && !row.Has(np.var)) {
+      std::vector<Sarg> sargs;
+      CollectSargs(*where_hint, np.var, row, ctx, &sargs);
+      for (const Sarg& s : sargs) {
+        if (s.op == BinOp::kEq) {
+          consider_eq(s.key, s.val);
+        } else {
+          consider_range(s.key, s.op, s.val);
+        }
+      }
+    }
+  }
+
+  // 1-2. Equality probe, unique indexes preferred.
+  for (const EqCandidate& c : equalities) {
+    if (c.idx->unique()) {
+      plan.kind = NodeScanPlan::Kind::kIndexEquality;
+      plan.idx = c.idx;
+      plan.eq_value = c.value;
+      return plan;
+    }
+  }
+  if (!equalities.empty()) {
+    plan.kind = NodeScanPlan::Kind::kIndexEquality;
+    plan.idx = equalities.front().idx;
+    plan.eq_value = equalities.front().value;
+    return plan;
+  }
+
+  // 3. Range scan over an ordered index.
+  for (const auto& [pk, bounds] : ranges) {
+    if (!bounds.lo.has_value() && !bounds.hi.has_value()) continue;
+    for (LabelId l : labels) {
+      const index::PropertyIndex* idx = catalog.Find(l, pk);
+      if (idx == nullptr || !idx->SupportsRange()) continue;
+      plan.kind = NodeScanPlan::Kind::kIndexRange;
+      plan.idx = idx;
+      plan.lo = bounds.lo;
+      plan.hi = bounds.hi;
+      plan.lo_inclusive = bounds.lo_inclusive;
+      plan.hi_inclusive = bounds.hi_inclusive;
+      return plan;
+    }
+  }
+
+  // 4. Label scan: the least-populated label wins.
+  LabelId best = labels.front();
+  size_t best_card = store->LabelCardinality(best);
+  for (size_t i = 1; i < labels.size(); ++i) {
+    const size_t card = store->LabelCardinality(labels[i]);
+    if (card < best_card) {
+      best = labels[i];
+      best_card = card;
+    }
+  }
+  plan.kind = NodeScanPlan::Kind::kLabelScan;
+  plan.label = best;
+  return plan;
+}
+
+std::vector<NodeId> ExecuteNodeScan(const NodeScanPlan& plan,
+                                    EvalContext& ctx) {
+  switch (plan.kind) {
+    case NodeScanPlan::Kind::kFullScan:
+      return ctx.store()->AllNodes();
+    case NodeScanPlan::Kind::kLabelScan:
+      return ctx.store()->NodesByLabel(plan.label);
+    case NodeScanPlan::Kind::kIndexEquality: {
+      std::vector<uint64_t> raw;
+      plan.idx->Lookup(plan.eq_value, &raw);
+      // Posting lists are id-sorted already.
+      std::vector<NodeId> out;
+      out.reserve(raw.size());
+      for (uint64_t v : raw) out.push_back(NodeId{v});
+      return out;
+    }
+    case NodeScanPlan::Kind::kIndexRange: {
+      std::vector<uint64_t> raw;
+      plan.idx->Range(plan.lo, plan.lo_inclusive, plan.hi, plan.hi_inclusive,
+                      &raw);
+      // Range traversal is value-ordered; restore global id order so the
+      // access path never changes result order.
+      std::sort(raw.begin(), raw.end());
+      std::vector<NodeId> out;
+      out.reserve(raw.size());
+      for (uint64_t v : raw) out.push_back(NodeId{v});
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace pgt::cypher

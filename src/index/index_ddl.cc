@@ -1,0 +1,81 @@
+#include "src/index/index_ddl.h"
+
+#include "src/common/macros.h"
+#include "src/common/str_util.h"
+#include "src/cypher/lexer.h"
+#include "src/cypher/parser.h"
+
+namespace pgt::index {
+
+namespace {
+
+using cypher::Parser;
+using cypher::Token;
+using cypher::TokenType;
+
+bool IsWord(const Token& t, std::string_view w) {
+  return t.type == TokenType::kIdent && EqualsIgnoreCase(t.text, w);
+}
+
+}  // namespace
+
+bool IndexDdlParser::IsIndexDdl(std::string_view text) {
+  auto toks = cypher::Lexer::Tokenize(text);
+  if (!toks.ok() || toks.value().size() < 2) return false;
+  const std::vector<Token>& t = toks.value();
+  if (IsWord(t[0], "DROP")) return IsWord(t[1], "INDEX");
+  if (IsWord(t[0], "SHOW")) {
+    return IsWord(t[1], "INDEXES") || IsWord(t[1], "INDEX");
+  }
+  if (!IsWord(t[0], "CREATE")) return false;
+  // CREATE [UNIQUE] [RANGE | HASH] INDEX ...
+  for (size_t i = 1; i < t.size() && i <= 3; ++i) {
+    if (IsWord(t[i], "INDEX")) return true;
+    if (!IsWord(t[i], "UNIQUE") && !IsWord(t[i], "RANGE") &&
+        !IsWord(t[i], "HASH")) {
+      return false;
+    }
+  }
+  return false;
+}
+
+Result<IndexDdl> IndexDdlParser::Parse(std::string_view text) {
+  PGT_ASSIGN_OR_RETURN(std::vector<Token> toks, cypher::Lexer::Tokenize(text));
+  Parser p(std::move(toks));
+  IndexDdl ddl;
+
+  if (p.AcceptKeyword("SHOW")) {
+    if (!p.AcceptKeyword("INDEXES")) {
+      PGT_RETURN_IF_ERROR(p.ExpectKeyword("INDEX"));
+    }
+    ddl.kind = IndexDdl::Kind::kShow;
+    p.Accept(TokenType::kSemicolon);
+    if (!p.AtEnd()) return p.MakeError("unexpected input after SHOW INDEXES");
+    return ddl;
+  }
+
+  if (p.AcceptKeyword("DROP")) {
+    ddl.kind = IndexDdl::Kind::kDrop;
+  } else {
+    PGT_RETURN_IF_ERROR(p.ExpectKeyword("CREATE"));
+    ddl.kind = IndexDdl::Kind::kCreate;
+    if (p.AcceptKeyword("UNIQUE")) ddl.unique = true;
+    if (p.AcceptKeyword("RANGE")) {
+      ddl.layout = IndexKind::kOrdered;
+    } else if (p.AcceptKeyword("HASH")) {
+      ddl.layout = IndexKind::kHash;
+    }
+  }
+  PGT_RETURN_IF_ERROR(p.ExpectKeyword("INDEX"));
+  PGT_RETURN_IF_ERROR(p.ExpectKeyword("ON"));
+  p.Accept(TokenType::kColon);  // ON :Label(...) or ON Label(...)
+  PGT_ASSIGN_OR_RETURN(ddl.label, p.ParseNameOrString("label"));
+  PGT_RETURN_IF_ERROR(p.Expect(TokenType::kLParen, "'('").status());
+  PGT_ASSIGN_OR_RETURN(ddl.prop, p.ParseNameOrString("property"));
+  PGT_RETURN_IF_ERROR(p.Expect(TokenType::kRParen, "')'").status());
+  p.Accept(TokenType::kSemicolon);
+  if (!p.AtEnd()) return p.MakeError("unexpected input after index DDL");
+  return ddl;
+}
+
+}  // namespace pgt::index

@@ -1,0 +1,53 @@
+#ifndef PGTRIGGERS_INDEX_INDEX_DEF_H_
+#define PGTRIGGERS_INDEX_INDEX_DEF_H_
+
+#include <string>
+
+#include "src/common/ids.h"
+
+namespace pgt::index {
+
+/// Physical layout of a property index.
+///
+/// * kHash    — unordered map keyed by property value: O(1) equality probes.
+/// * kOrdered — value-ordered map: equality probes plus range scans
+///              (`n.p > 5`, `n.p >= 'a' AND n.p < 'b'`).
+enum class IndexKind { kHash, kOrdered };
+
+/// Returns "hash" / "ordered".
+const char* IndexKindName(IndexKind k);
+
+/// Declaration of one label+property index.
+///
+/// An index covers exactly the alive nodes that carry `label` and have a
+/// non-NULL value for `prop`. Uniqueness comes in two flavors:
+///
+/// * `unique && enforce_on_write`  — writes that would duplicate a key are
+///   rejected with ConstraintViolation before they touch the store (the
+///   Transaction layer probes the index first). This is what
+///   `CREATE UNIQUE INDEX` DDL produces.
+/// * `unique && !enforce_on_write` — deferred uniqueness: the index is
+///   maintained (duplicate values simply share a posting list) and the
+///   PG-Schema commit guard reads violations off the postings at commit
+///   time. Database::AttachSchema creates these for PG-Key properties, so a
+///   transaction may pass through a temporarily-duplicated state (delete +
+///   recreate, key swaps) as long as the commit point is clean.
+struct IndexSpec {
+  LabelId label = 0;
+  PropKeyId prop = 0;
+  IndexKind kind = IndexKind::kHash;
+  bool unique = false;
+  bool enforce_on_write = true;
+  /// True for indexes auto-created by Database::AttachSchema to back
+  /// PG-Keys. Detaching a schema drops only indexes still carrying this
+  /// mark, so a user index that replaced (or preceded) the auto-created
+  /// one is never silently destroyed.
+  bool schema_managed = false;
+  /// Display name, e.g. "Person(ssn)"; filled in by GraphStore::CreateIndex
+  /// from the interned label / property-key names.
+  std::string name;
+};
+
+}  // namespace pgt::index
+
+#endif  // PGTRIGGERS_INDEX_INDEX_DEF_H_

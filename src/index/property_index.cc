@@ -1,0 +1,259 @@
+#include "src/index/property_index.h"
+
+#include <algorithm>
+
+namespace pgt::index {
+
+namespace {
+
+size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2));
+}
+
+int CmpDouble(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+/// NaN is unindexable: it would compare "equivalent" to every numeric
+/// under CmpDouble, destroying the strict weak ordering the ordered map
+/// needs. NaN never Equals anything (including itself) in Cypher, so
+/// skipping it loses no equality matches.
+bool IsNan(const Value& v) {
+  return v.is_double() && v.double_value() != v.double_value();
+}
+
+bool SameBand(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return CmpDouble(a.as_double(), b.as_double()) == 0;
+  }
+  return a.TotalCompare(b) == 0;
+}
+
+/// The smallest key of `v`'s band under IndexKeyLess (doubles sort before
+/// ints within a band).
+Value BandStart(const Value& v) {
+  return v.is_numeric() ? Value::Double(v.as_double()) : v;
+}
+
+}  // namespace
+
+bool IndexKeyEq::operator()(const Value& a, const Value& b) const {
+  return SameBand(a, b);
+}
+
+bool IndexKeyLess::operator()(const Value& a, const Value& b) const {
+  if (a.is_numeric() && b.is_numeric()) {
+    const int band = CmpDouble(a.as_double(), b.as_double());
+    if (band != 0) return band < 0;
+    const bool a_int = a.is_int(), b_int = b.is_int();
+    if (a_int != b_int) return !a_int;  // double kind first within a band
+    if (a_int) return a.int_value() < b.int_value();
+    return false;  // double-equal doubles are the same key
+  }
+  return a.TotalCompare(b) < 0;
+}
+
+size_t ValueHash::operator()(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return std::hash<bool>{}(v.bool_value());
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      // Numerics coerce under TotalCompare (1 == 1.0), so both hash via
+      // double. Ints beyond 2^53 may collide with nearby doubles; hash
+      // collisions are benign, the equality predicate disambiguates.
+      return std::hash<double>{}(v.as_double());
+    case ValueType::kString:
+      return std::hash<std::string>{}(v.string_value());
+    case ValueType::kDate:
+      return HashCombine(1, std::hash<int64_t>{}(v.date_value().days));
+    case ValueType::kDateTime:
+      return HashCombine(2, std::hash<int64_t>{}(v.datetime_value().micros));
+    case ValueType::kNode:
+      return HashCombine(3, std::hash<uint64_t>{}(v.node_id().value));
+    case ValueType::kRel:
+      return HashCombine(4, std::hash<uint64_t>{}(v.rel_id().value));
+    case ValueType::kList: {
+      size_t seed = 5;
+      for (const Value& e : v.list_value()) {
+        seed = HashCombine(seed, ValueHash{}(e));
+      }
+      return seed;
+    }
+    case ValueType::kMap: {
+      size_t seed = 6;
+      for (const auto& [k, e] : v.map_value()) {
+        seed = HashCombine(seed, std::hash<std::string>{}(k));
+        seed = HashCombine(seed, ValueHash{}(e));
+      }
+      return seed;
+    }
+  }
+  return 0;
+}
+
+CompareClass CompareClassOf(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      // NaN is not range-plannable (see IsNan): the planner must fall
+      // back to a scan rather than use it as an index bound.
+      if (IsNan(v)) return CompareClass::kOther;
+      return CompareClass::kNumeric;
+    case ValueType::kString:
+      return CompareClass::kString;
+    case ValueType::kBool:
+      return CompareClass::kBool;
+    case ValueType::kDate:
+      return CompareClass::kDate;
+    case ValueType::kDateTime:
+      return CompareClass::kDateTime;
+    default:
+      return CompareClass::kOther;
+  }
+}
+
+const char* IndexKindName(IndexKind k) {
+  return k == IndexKind::kHash ? "hash" : "ordered";
+}
+
+PropertyIndex::PropertyIndex(IndexSpec spec) : spec_(std::move(spec)) {}
+
+size_t PropertyIndex::DistinctValues() const {
+  return spec_.kind == IndexKind::kHash ? hash_.size() : ordered_.size();
+}
+
+void PropertyIndex::Insert(const Value& value, NodeId id) {
+  if (value.is_null() || IsNan(value)) return;
+  Postings& p = spec_.kind == IndexKind::kHash ? hash_[value]
+                                               : ordered_[value];
+  if (p.insert(id.value).second) ++entries_;
+}
+
+void PropertyIndex::Erase(const Value& value, NodeId id) {
+  if (value.is_null() || IsNan(value)) return;
+  if (spec_.kind == IndexKind::kHash) {
+    auto it = hash_.find(value);
+    if (it == hash_.end()) return;
+    if (it->second.erase(id.value) > 0) --entries_;
+    if (it->second.empty()) hash_.erase(it);
+  } else {
+    auto it = ordered_.find(value);
+    if (it == ordered_.end()) return;
+    if (it->second.erase(id.value) > 0) --entries_;
+    if (it->second.empty()) ordered_.erase(it);
+  }
+}
+
+void PropertyIndex::Lookup(const Value& value,
+                           std::vector<uint64_t>* out) const {
+  // NaN probes match nothing: NaN = NaN is false in Cypher.
+  if (value.is_null() || IsNan(value)) return;
+  const size_t start = out->size();
+  if (spec_.kind == IndexKind::kHash) {
+    // Hash buckets are band-granular already.
+    auto it = hash_.find(value);
+    if (it != hash_.end()) {
+      out->insert(out->end(), it->second.begin(), it->second.end());
+    }
+    return;
+  }
+  // Ordered layout: a numeric band may span several exact keys (e.g. an
+  // Int and a Double); collect the whole contiguous band.
+  size_t keys = 0;
+  for (auto it = ordered_.lower_bound(BandStart(value));
+       it != ordered_.end() && SameBand(it->first, value); ++it) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+    ++keys;
+  }
+  if (keys > 1) std::sort(out->begin() + start, out->end());
+}
+
+std::optional<NodeId> PropertyIndex::FindConflict(
+    const Value& value, std::optional<NodeId> self) const {
+  std::vector<uint64_t> ids;
+  Lookup(value, &ids);
+  for (uint64_t id : ids) {
+    if (!self.has_value() || id != self->value) return NodeId{id};
+  }
+  return std::nullopt;
+}
+
+void PropertyIndex::Range(const std::optional<Value>& lo, bool lo_inclusive,
+                          const std::optional<Value>& hi, bool hi_inclusive,
+                          std::vector<uint64_t>* out) const {
+  if (spec_.kind != IndexKind::kOrdered) return;
+  // The comparison class of the scan: ordering across classes yields NULL
+  // in the evaluator, so only same-class keys can satisfy the predicate.
+  const Value& ref = lo.has_value() ? *lo : *hi;
+  const CompareClass cls = CompareClassOf(ref);
+  if (cls == CompareClass::kOther) return;
+
+  // Bound checks use TotalCompare (the evaluator's exact semantics); keys
+  // whose *band* equals a bound still need the exact check because band
+  // members can differ exactly (huge int vs double).
+  auto passes_lo = [&](const Value& key) {
+    if (!lo.has_value()) return true;
+    const int c = key.TotalCompare(*lo);
+    return lo_inclusive ? c >= 0 : c > 0;
+  };
+  auto passes_hi = [&](const Value& key) {
+    if (!hi.has_value()) return true;
+    const int c = key.TotalCompare(*hi);
+    return hi_inclusive ? c <= 0 : c < 0;
+  };
+  auto beyond_hi = [&](const Value& key) {
+    if (!hi.has_value()) return false;
+    // Stop only past the bound's whole band: within it, later members may
+    // still pass the exact check (kind ordering puts doubles first).
+    if (key.is_numeric() && hi->is_numeric()) {
+      return CmpDouble(key.as_double(), hi->as_double()) > 0;
+    }
+    return key.TotalCompare(*hi) > 0;
+  };
+
+  // Start at the lower bound's band so no double-equal member is skipped.
+  auto it = lo.has_value() ? ordered_.lower_bound(BandStart(*lo))
+                           : ordered_.begin();
+  for (; it != ordered_.end(); ++it) {
+    const Value& key = it->first;
+    if (CompareClassOf(key) != cls) {
+      // IndexKeyLess orders by type rank first, so once the class changes
+      // past a present lower bound the scan is done; with no lower bound,
+      // keys of lower-ranked classes may precede — skip until the class
+      // matches.
+      if (lo.has_value()) break;
+      if (key.TotalCompare(ref) > 0) break;
+      continue;
+    }
+    if (beyond_hi(key)) break;
+    if (!passes_lo(key) || !passes_hi(key)) continue;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+}
+
+void PropertyIndex::ForEachDuplicate(
+    const std::function<void(const Value&, const std::set<uint64_t>&)>& fn)
+    const {
+  if (spec_.kind == IndexKind::kHash) {
+    for (const auto& [v, p] : hash_) {
+      if (p.size() >= 2) fn(v, p);
+    }
+  } else {
+    for (const auto& [v, p] : ordered_) {
+      if (p.size() >= 2) fn(v, p);
+    }
+  }
+}
+
+void PropertyIndex::Clear() {
+  hash_.clear();
+  ordered_.clear();
+  entries_ = 0;
+}
+
+}  // namespace pgt::index

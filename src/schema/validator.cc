@@ -1,8 +1,11 @@
 #include "src/schema/validator.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace pgt::schema {
 
@@ -78,7 +81,35 @@ ValidationReport ValidateGraph(const GraphStore& store,
     return best;
   };
 
-  // key (type_name, prop) -> value -> first node id
+  // Index-backed PG-Key fast path: when a property index covers a key's
+  // (label, prop) — Database::AttachSchema auto-creates one per PG-Key —
+  // uniqueness is read off the index postings after the node loop instead
+  // of accumulating every node's key value here: O(duplicated values)
+  // probes instead of O(nodes) string materializations per commit.
+  struct IndexedKey {
+    const NodeTypeSpec* type;
+    std::string prop;
+    PropKeyId prop_id;
+    const index::PropertyIndex* idx;
+  };
+  std::vector<IndexedKey> indexed_keys;
+  std::set<std::pair<std::string, std::string>> indexed_key_names;
+  for (const NodeTypeSpec& t : schema.node_types) {
+    auto props = schema.EffectiveProps(t);
+    auto lid = store.LookupLabel(t.label);
+    if (!props.ok() || !lid.has_value()) continue;
+    for (const PropertySpec& p : props.value()) {
+      if (!p.is_key) continue;
+      auto pid = store.LookupPropKey(p.name);
+      if (!pid.has_value()) continue;
+      const index::PropertyIndex* idx = store.indexes().Find(*lid, *pid);
+      if (idx == nullptr) continue;
+      indexed_keys.push_back(IndexedKey{&t, p.name, *pid, idx});
+      indexed_key_names.insert({t.type_name, p.name});
+    }
+  }
+
+  // key (type_name, prop) -> value -> first node id (non-indexed fallback)
   std::map<std::pair<std::string, std::string>,
            std::map<std::string, uint64_t>>
       key_values;
@@ -136,7 +167,8 @@ ValidationReport ValidateGraph(const GraphStore& store,
              "property '" + p.name + "' = " + v.ToString() +
                  " does not conform to " + PropTypeName(p.type)});
       }
-      if (p.is_key) {
+      if (p.is_key &&
+          indexed_key_names.count({t->type_name, p.name}) == 0) {
         auto& seen = key_values[{t->type_name, p.name}];
         const std::string repr = v.ToString();
         auto [it, inserted] = seen.emplace(repr, id.value);
@@ -157,6 +189,54 @@ ValidationReport ValidateGraph(const GraphStore& store,
               {Violation::Kind::kExtraProperty, item,
                "undeclared property '" + pname + "' on non-OPEN type " +
                    t->type_name});
+        }
+      }
+    }
+  }
+
+  // Index-backed PG-Key pass: only duplicated postings are inspected, and
+  // only nodes that the per-node path would have tracked (resolved to this
+  // very type; in STRICT mode, carrying exactly the type's label chain)
+  // count toward a violation. Duplicates are detected per value *band*
+  // (see src/index/property_index.h) refined by rendered repr, whereas the
+  // fallback groups by repr alone — so the index path does not report the
+  // fallback's false positives for distinct values whose lossy ToString
+  // renderings collide (e.g. doubles beyond print precision).
+  auto tracks_keys_for = [&](const NodeRecord* n, const NodeTypeSpec* t) {
+    if (resolve_type(n->labels) != t) return false;
+    if (!schema.strict) return true;
+    auto chain = schema.EffectiveLabels(*t);
+    if (!chain.ok()) return false;
+    std::set<std::string> expect(chain.value().begin(), chain.value().end());
+    std::set<std::string> have;
+    for (LabelId l : n->labels) have.insert(store.LabelName(l));
+    return have == expect;
+  };
+  for (const IndexedKey& k : indexed_keys) {
+    // Hash-layout iteration order is unspecified; sort duplicated postings
+    // by content so the report stays deterministic.
+    std::vector<std::vector<uint64_t>> dups;
+    k.idx->ForEachDuplicate(
+        [&](const Value&, const std::set<uint64_t>& ids) {
+          dups.emplace_back(ids.begin(), ids.end());
+        });
+    std::sort(dups.begin(), dups.end());
+    for (const std::vector<uint64_t>& ids : dups) {
+      std::map<std::string, uint64_t> seen;  // value repr -> first node id
+      for (uint64_t raw : ids) {
+        const NodeId nid{raw};
+        const NodeRecord* n = store.GetNode(nid);
+        if (n == nullptr || !n->alive || !tracks_keys_for(n, k.type)) {
+          continue;
+        }
+        const std::string repr = store.GetNodeProp(nid, k.prop_id).ToString();
+        auto [it, inserted] = seen.emplace(repr, raw);
+        if (!inserted) {
+          report.violations.push_back(
+              {Violation::Kind::kKeyViolation,
+               "node " + std::to_string(raw),
+               "key '" + k.prop + "' value " + repr + " duplicates node " +
+                   std::to_string(it->second)});
         }
       }
     }

@@ -22,7 +22,9 @@ NodeId GraphStore::CreateNode(const std::vector<LabelId>& labels,
   const NodeId id = rec.id;
   nodes_.push_back(std::move(rec));
   ++alive_nodes_;
-  for (LabelId l : nodes_.back().labels) IndexNodeLabel(id, l);
+  const NodeRecord& stored = nodes_.back();
+  for (LabelId l : stored.labels) IndexNodeLabel(id, l);
+  if (!indexes_.empty()) indexes_.OnNodeAdded(id, stored.labels, stored.props);
   return id;
 }
 
@@ -61,6 +63,7 @@ Status GraphStore::DeleteNode(NodeId id) {
     }
   }
   for (LabelId l : n->labels) UnindexNodeLabel(id, l);
+  if (!indexes_.empty()) indexes_.OnNodeRemoved(id, n->labels, n->props);
   n->alive = false;
   --alive_nodes_;
   return Status::OK();
@@ -81,6 +84,7 @@ Status GraphStore::ReviveNode(NodeId id, const std::vector<LabelId>& labels,
   n->props = std::move(props);
   ++alive_nodes_;
   for (LabelId l : n->labels) IndexNodeLabel(id, l);
+  if (!indexes_.empty()) indexes_.OnNodeAdded(id, n->labels, n->props);
   return Status::OK();
 }
 
@@ -93,6 +97,7 @@ Result<bool> GraphStore::AddLabel(NodeId id, LabelId label) {
   if (it != n->labels.end() && *it == label) return false;
   n->labels.insert(it, label);
   IndexNodeLabel(id, label);
+  if (!indexes_.empty()) indexes_.OnLabelAdded(id, label, n->props);
   return true;
 }
 
@@ -105,6 +110,7 @@ Result<bool> GraphStore::RemoveLabel(NodeId id, LabelId label) {
   if (it == n->labels.end() || *it != label) return false;
   n->labels.erase(it);
   UnindexNodeLabel(id, label);
+  if (!indexes_.empty()) indexes_.OnLabelRemoved(id, label, n->props);
   return true;
 }
 
@@ -119,7 +125,13 @@ Result<Value> GraphStore::SetNodeProp(NodeId id, PropKeyId key, Value value) {
   if (value.is_null()) {
     // Cypher semantics: SET n.p = null removes the property.
     n->props.erase(key);
+    if (!indexes_.empty()) {
+      indexes_.OnPropChanged(id, n->labels, key, old, Value::Null());
+    }
   } else {
+    if (!indexes_.empty()) {
+      indexes_.OnPropChanged(id, n->labels, key, old, value);
+    }
     n->props[key] = std::move(value);
   }
   return old;
@@ -135,6 +147,9 @@ Result<Value> GraphStore::RemoveNodeProp(NodeId id, PropKeyId key) {
   if (it != n->props.end()) {
     old = it->second;
     n->props.erase(it);
+    if (!indexes_.empty()) {
+      indexes_.OnPropChanged(id, n->labels, key, old, Value::Null());
+    }
   }
   return old;
 }
@@ -260,6 +275,11 @@ std::vector<NodeId> GraphStore::NodesByLabel(LabelId label) const {
   return out;
 }
 
+size_t GraphStore::LabelCardinality(LabelId label) const {
+  auto it = label_index_.find(label);
+  return it == label_index_.end() ? 0 : it->second.size();
+}
+
 std::vector<NodeId> GraphStore::AllNodes() const {
   std::vector<NodeId> out;
   out.reserve(alive_nodes_);
@@ -304,6 +324,46 @@ std::vector<RelId> GraphStore::RelsOf(NodeId node, Direction dir,
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+// --- Property indexes --------------------------------------------------------
+
+Result<const index::PropertyIndex*> GraphStore::CreateIndex(
+    index::IndexSpec spec) {
+  spec.name = LabelName(spec.label) + "(" + PropKeyName(spec.prop) + ")";
+  PGT_ASSIGN_OR_RETURN(index::PropertyIndex * idx,
+                       indexes_.Register(std::move(spec)));
+  // Backfill from the label index: exactly the alive carriers of the label.
+  const index::IndexSpec& s = idx->spec();
+  for (NodeId id : NodesByLabel(s.label)) {
+    const NodeRecord* n = GetNode(id);
+    auto it = n->props.find(s.prop);
+    if (it != n->props.end()) idx->Insert(it->second, id);
+  }
+  // A write-enforcing unique index must start from a clean state; report
+  // the first duplicate and leave no index behind.
+  if (s.unique && s.enforce_on_write) {
+    std::string error;
+    idx->ForEachDuplicate([&](const Value& v, const std::set<uint64_t>& ids) {
+      if (!error.empty()) return;
+      auto it = ids.begin();
+      const uint64_t first = *it++;
+      error = "cannot create unique index " + idx->spec().name + ": value " +
+              v.ToString() + " held by nodes " + std::to_string(first) +
+              " and " + std::to_string(*it);
+    });
+    if (!error.empty()) {
+      const LabelId label = s.label;
+      const PropKeyId prop = s.prop;
+      PGT_RETURN_IF_ERROR(indexes_.Unregister(label, prop));
+      return Status::ConstraintViolation(error);
+    }
+  }
+  return idx;
+}
+
+Status GraphStore::DropIndex(LabelId label, PropKeyId prop) {
+  return indexes_.Unregister(label, prop);
 }
 
 void GraphStore::IndexNodeLabel(NodeId id, LabelId label) {

@@ -16,6 +16,8 @@
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/index/index_catalog.h"
+#include "src/index/index_def.h"
 
 namespace pgt {
 
@@ -58,7 +60,11 @@ struct RelRecord {
 ///    label index; the record stays addressable for undo and for OLD
 ///    transition variables;
 ///  * the label index is exact: it contains exactly the alive nodes that
-///    carry the label, in id order (deterministic scans).
+///    carry the label, in id order (deterministic scans);
+///  * property indexes (see src/index) are exact in the same sense: every
+///    node mutation routes through the IndexCatalog maintenance hooks, so
+///    postings cover exactly the alive nodes carrying the indexed label
+///    with a non-NULL indexed property.
 ///
 /// The store itself performs no change tracking and no trigger dispatch;
 /// that is the transaction layer's job (src/tx). It is single-writer.
@@ -153,6 +159,9 @@ class GraphStore {
   /// Alive nodes carrying `label`, in id order.
   std::vector<NodeId> NodesByLabel(LabelId label) const;
 
+  /// Number of alive nodes carrying `label` (planner selectivity).
+  size_t LabelCardinality(LabelId label) const;
+
   /// All alive nodes, in id order.
   std::vector<NodeId> AllNodes() const;
 
@@ -172,6 +181,25 @@ class GraphStore {
   uint64_t NodeIdBound() const { return nodes_.size(); }
   uint64_t RelIdBound() const { return rels_.size(); }
 
+  // --- Property indexes ----------------------------------------------------
+
+  /// The property-index catalog. Every node mutation above flows through
+  /// its maintenance hooks, so postings always mirror the alive graph —
+  /// including across transaction rollback, whose undo log replays inverse
+  /// mutations through these same methods.
+  index::IndexCatalog& indexes() { return indexes_; }
+  const index::IndexCatalog& indexes() const { return indexes_; }
+
+  /// Creates and backfills a label+property index. `spec.name` is filled
+  /// from the interned names. Fails with AlreadyExists if (label, prop) is
+  /// already indexed, or with ConstraintViolation when a unique
+  /// enforce-on-write index finds duplicate values in existing data (the
+  /// index is not left behind).
+  Result<const index::PropertyIndex*> CreateIndex(index::IndexSpec spec);
+
+  /// Drops the index on (label, prop); NotFound if none exists.
+  Status DropIndex(LabelId label, PropKeyId prop);
+
  private:
   NodeRecord* MutableNode(NodeId id);
   RelRecord* MutableRel(RelId id);
@@ -185,6 +213,7 @@ class GraphStore {
   std::vector<RelRecord> rels_;
   // label -> alive node ids carrying it; std::set keeps scans deterministic.
   std::unordered_map<LabelId, std::set<uint64_t>> label_index_;
+  index::IndexCatalog indexes_;
   size_t alive_nodes_ = 0;
   size_t alive_rels_ = 0;
 };

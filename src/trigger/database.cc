@@ -2,6 +2,7 @@
 
 #include "src/common/macros.h"
 #include "src/cypher/parser.h"
+#include "src/index/index_ddl.h"
 #include "src/schema/validator.h"
 
 namespace pgt {
@@ -51,7 +52,44 @@ Result<cypher::QueryResult> Database::RunStatementInTx(
 }
 
 void Database::AttachSchema(std::optional<schema::SchemaDef> schema) {
+  // Drop the PG-Key indexes that backed the previous schema — but only if
+  // the index at (label, prop) is still the schema-managed one; a user
+  // index that replaced it stays.
+  for (const auto& [label, prop] : schema_key_indexes_) {
+    const index::PropertyIndex* idx = store_.indexes().Find(label, prop);
+    if (idx != nullptr && idx->spec().schema_managed) {
+      (void)store_.DropIndex(label, prop);
+    }
+  }
+  schema_key_indexes_.clear();
   schema_ = std::move(schema);
+  if (!schema_.has_value()) return;
+  // Index-backed PG-Key enforcement: one deferred unique index per key
+  // property. Deferred (enforce_on_write = false) so a transaction may pass
+  // through a temporarily-duplicated state; the commit guard reads
+  // violations off the index postings (ValidateGraph's fast path) instead
+  // of rescanning every node. A user-created index on the same
+  // (label, prop) is left alone and serves the same purpose.
+  for (const schema::NodeTypeSpec& t : schema_->node_types) {
+    auto props = schema_->EffectiveProps(t);
+    if (!props.ok()) continue;
+    for (const schema::PropertySpec& p : props.value()) {
+      if (!p.is_key) continue;
+      index::IndexSpec spec;
+      spec.label = store_.InternLabel(t.label);
+      spec.prop = store_.InternPropKey(p.name);
+      spec.kind = index::IndexKind::kHash;
+      spec.unique = true;
+      spec.enforce_on_write = false;
+      spec.schema_managed = true;
+      if (store_.indexes().Find(spec.label, spec.prop) != nullptr) continue;
+      const LabelId label = spec.label;
+      const PropKeyId prop = spec.prop;
+      if (store_.CreateIndex(std::move(spec)).ok()) {
+        schema_key_indexes_.emplace_back(label, prop);
+      }
+    }
+  }
 }
 
 Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
@@ -114,10 +152,53 @@ Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
   return cypher::QueryResult{};
 }
 
+Result<cypher::QueryResult> Database::ExecuteIndexDdl(std::string_view text) {
+  PGT_ASSIGN_OR_RETURN(index::IndexDdl ddl,
+                       index::IndexDdlParser::Parse(text));
+  switch (ddl.kind) {
+    case index::IndexDdl::Kind::kCreate: {
+      index::IndexSpec spec;
+      spec.label = store_.InternLabel(ddl.label);
+      spec.prop = store_.InternPropKey(ddl.prop);
+      spec.kind = ddl.layout;
+      spec.unique = ddl.unique;
+      spec.enforce_on_write = true;
+      PGT_RETURN_IF_ERROR(store_.CreateIndex(std::move(spec)).status());
+      return cypher::QueryResult{};
+    }
+    case index::IndexDdl::Kind::kDrop: {
+      auto label = store_.LookupLabel(ddl.label);
+      auto prop = store_.LookupPropKey(ddl.prop);
+      if (!label.has_value() || !prop.has_value()) {
+        return Status::NotFound("no index on :" + ddl.label + "(" +
+                                ddl.prop + ")");
+      }
+      PGT_RETURN_IF_ERROR(store_.DropIndex(*label, *prop));
+      return cypher::QueryResult{};
+    }
+    case index::IndexDdl::Kind::kShow: {
+      cypher::QueryResult result;
+      result.columns = {"name", "kind", "unique", "entries"};
+      store_.indexes().ForEach([&](const index::PropertyIndex& idx) {
+        result.rows.push_back(
+            {Value::String(idx.spec().name),
+             Value::String(index::IndexKindName(idx.spec().kind)),
+             Value::Bool(idx.spec().unique),
+             Value::Int(static_cast<int64_t>(idx.EntryCount()))});
+      });
+      return result;
+    }
+  }
+  return Status::Internal("unhandled index DDL kind");
+}
+
 Result<cypher::QueryResult> Database::Execute(std::string_view text,
                                               const Params& params) {
   if (TriggerDdlParser::IsTriggerDdl(text)) {
     return ExecuteDdl(text);
+  }
+  if (index::IndexDdlParser::IsIndexDdl(text)) {
+    return ExecuteIndexDdl(text);
   }
   PGT_ASSIGN_OR_RETURN(cypher::Query query, cypher::Parser::ParseQuery(text));
   PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, BeginTx());
@@ -138,6 +219,10 @@ Result<std::vector<cypher::QueryResult>> Database::ExecuteTx(
     if (TriggerDdlParser::IsTriggerDdl(s)) {
       return Status::InvalidArgument(
           "trigger DDL is not allowed inside a multi-statement transaction");
+    }
+    if (index::IndexDdlParser::IsIndexDdl(s)) {
+      return Status::InvalidArgument(
+          "index DDL is not allowed inside a multi-statement transaction");
     }
     PGT_ASSIGN_OR_RETURN(cypher::Query q, cypher::Parser::ParseQuery(s));
     queries.push_back(std::move(q));

@@ -88,8 +88,14 @@ class Database {
   /// the schema; any violation rolls the transaction back with
   /// ConstraintViolation. This realizes the paper's footnote 1 direction
   /// — PG-Types standing in for labels — as an enforcement mechanism.
-  /// Validation is whole-graph (O(store) per commit), intended for
-  /// correctness-first workloads; pass std::nullopt to detach.
+  /// Pass std::nullopt to detach.
+  ///
+  /// PG-Key properties get index-backed enforcement: attaching auto-creates
+  /// a deferred unique index per key (label, property), so the commit
+  /// guard's uniqueness check reads duplicates off index postings instead
+  /// of rescanning every node; the indexes are dropped again on detach.
+  /// Other schema rules remain whole-graph checks (O(store) per mutating
+  /// commit), intended for correctness-first workloads.
   void AttachSchema(std::optional<schema::SchemaDef> schema);
   const std::optional<schema::SchemaDef>& attached_schema() const {
     return schema_;
@@ -125,6 +131,7 @@ class Database {
 
  private:
   Result<cypher::QueryResult> ExecuteDdl(std::string_view text);
+  Result<cypher::QueryResult> ExecuteIndexDdl(std::string_view text);
 
   EngineOptions options_;
   GraphStore store_;
@@ -135,6 +142,8 @@ class Database {
   std::unique_ptr<PgTriggerEngine> engine_;
   std::unique_ptr<TriggerRuntime> runtime_;  // null = native engine
   std::optional<schema::SchemaDef> schema_;  // commit-time guard
+  // PG-Key indexes auto-created by AttachSchema (dropped on detach).
+  std::vector<std::pair<LabelId, PropKeyId>> schema_key_indexes_;
 };
 
 }  // namespace pgt

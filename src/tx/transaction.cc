@@ -4,6 +4,18 @@
 
 namespace pgt {
 
+namespace {
+
+/// Renders a write-time unique-index conflict as the user-facing error.
+Status UniqueViolation(const index::IndexCatalog::UniqueConflict& c) {
+  return Status::ConstraintViolation(
+      "unique index " + c.index->spec().name + " violated: value " +
+      c.value.ToString() + " is already held by node " +
+      std::to_string(c.holder.value));
+}
+
+}  // namespace
+
 Transaction::Transaction(GraphStore* store, uint64_t id)
     : store_(store), id_(id) {
   delta_stack_.emplace_back();  // transaction-level scope
@@ -29,6 +41,14 @@ Status Transaction::CheckActive() const {
 Result<NodeId> Transaction::CreateNode(const std::vector<LabelId>& labels,
                                        std::map<PropKeyId, Value> props) {
   PGT_RETURN_IF_ERROR(CheckActive());
+  // Write-time unique enforcement happens here (not in the store), so the
+  // rollback path — which replays inverse mutations directly through the
+  // store — can never be blocked by a constraint.
+  if (!store_->indexes().empty()) {
+    if (auto c = store_->indexes().CheckNodeAdd(labels, props)) {
+      return UniqueViolation(*c);
+    }
+  }
   const NodeId id = store_->CreateNode(labels, std::move(props));
   CurrentDelta().created_nodes.push_back(id);
   undo_log_.push_back(UndoCreateNode{id});
@@ -82,6 +102,14 @@ Status Transaction::DeleteRel(RelId id) {
 
 Status Transaction::AddLabel(NodeId id, LabelId label) {
   PGT_RETURN_IF_ERROR(CheckActive());
+  if (!store_->indexes().empty()) {
+    const NodeRecord* n = store_->GetNode(id);
+    if (n != nullptr && n->alive && !n->HasLabel(label)) {
+      if (auto c = store_->indexes().CheckLabelAdd(id, label, n->props)) {
+        return UniqueViolation(*c);
+      }
+    }
+  }
   PGT_ASSIGN_OR_RETURN(bool added, store_->AddLabel(id, label));
   if (added) {
     CurrentDelta().assigned_labels.push_back(LabelChange{id, label});
@@ -102,6 +130,14 @@ Status Transaction::RemoveLabel(NodeId id, LabelId label) {
 
 Status Transaction::SetNodeProp(NodeId id, PropKeyId key, Value value) {
   PGT_RETURN_IF_ERROR(CheckActive());
+  if (!store_->indexes().empty() && !value.is_null()) {
+    const NodeRecord* n = store_->GetNode(id);
+    if (n != nullptr && n->alive) {
+      if (auto c = store_->indexes().CheckPropSet(id, n->labels, key, value)) {
+        return UniqueViolation(*c);
+      }
+    }
+  }
   const Value new_copy = value;
   PGT_ASSIGN_OR_RETURN(Value old, store_->SetNodeProp(id, key,
                                                       std::move(value)));

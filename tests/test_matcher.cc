@@ -245,5 +245,70 @@ TEST_F(MatcherTest, SelfLoopMatches) {
   EXPECT_EQ(Match("(x:A)-[:R]-(y)").size(), 1u);
 }
 
+// Regression: scans must stay deterministic (ascending id order, tombstones
+// excluded) when deletes are interleaved with scans — the unconstrained,
+// label-index, and property-index access paths all share this contract.
+TEST_F(MatcherTest, ScanOrderDeterministicAcrossInterleavedDeletes) {
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back(Node("D", {{"v", Value::Int(i)}}));
+  }
+
+  auto scan_ids = [&](const std::string& pattern) {
+    std::vector<uint64_t> ids;
+    for (const Row& r : Match(pattern)) {
+      ids.push_back(r.Get("n")->node_id().value);
+    }
+    return ids;
+  };
+  auto expect_sorted_without = [&](const std::vector<uint64_t>& ids,
+                                   const std::set<uint64_t>& deleted,
+                                   size_t total) {
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    EXPECT_EQ(ids.size(), total - deleted.size());
+    for (uint64_t id : ids) EXPECT_EQ(deleted.count(id), 0u);
+  };
+
+  std::set<uint64_t> deleted;
+  expect_sorted_without(scan_ids("(n)"), deleted, nodes.size());
+
+  // Delete from the middle, scan, delete more, scan again.
+  ASSERT_TRUE(store_.DeleteNode(nodes[3]).ok());
+  deleted.insert(nodes[3].value);
+  expect_sorted_without(scan_ids("(n)"), deleted, nodes.size());
+  expect_sorted_without(scan_ids("(n:D)"), deleted, nodes.size());
+
+  ASSERT_TRUE(store_.DeleteNode(nodes[0]).ok());
+  ASSERT_TRUE(store_.DeleteNode(nodes[7]).ok());
+  deleted.insert(nodes[0].value);
+  deleted.insert(nodes[7].value);
+  expect_sorted_without(scan_ids("(n)"), deleted, nodes.size());
+  expect_sorted_without(scan_ids("(n:D)"), deleted, nodes.size());
+
+  // Revival (the rollback path) restores the node at its old position.
+  ASSERT_TRUE(store_
+                  .ReviveNode(nodes[3], {*store_.LookupLabel("D")},
+                              {{*store_.LookupPropKey("v"), Value::Int(3)}})
+                  .ok());
+  deleted.erase(nodes[3].value);
+  expect_sorted_without(scan_ids("(n)"), deleted, nodes.size());
+  expect_sorted_without(scan_ids("(n:D)"), deleted, nodes.size());
+
+  // Same contract on the property-index path.
+  ASSERT_TRUE(store_
+                  .CreateIndex(index::IndexSpec{*store_.LookupLabel("D"),
+                                                *store_.LookupPropKey("v"),
+                                                index::IndexKind::kOrdered})
+                  .ok());
+  std::vector<uint64_t> via_index = scan_ids("(n:D {v: 3})");
+  ASSERT_EQ(via_index.size(), 1u);
+  EXPECT_EQ(via_index[0], nodes[3].value);
+  // New nodes created mid-stream appear in id order on the next scan.
+  Node("D", {{"v", Value::Int(3)}});
+  via_index = scan_ids("(n:D {v: 3})");
+  ASSERT_EQ(via_index.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(via_index.begin(), via_index.end()));
+}
+
 }  // namespace
 }  // namespace pgt::cypher
