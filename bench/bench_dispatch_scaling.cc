@@ -1,0 +1,205 @@
+// Dispatch scaling study: event-keyed DispatchIndex vs. legacy per-trigger
+// linear scan, as the number of installed triggers grows.
+//
+//   $ ./build/bench_dispatch_scaling [output.json] [--smoke]
+//
+// For each trigger count T, two databases run an identical mixed-event
+// workload (node/rel creates, property sets, deletes — hitting a handful of
+// hot labels out of T monitored ones) with the only difference being
+// EngineOptions::use_dispatch_index. Per-trigger fired/considered stats
+// must be identical between the modes; the report records micros per
+// statement and the speedup.
+//
+// Writes a JSON baseline (default BENCH_dispatch.json). The acceptance
+// goal is a >= 10x dispatch speedup at 5000 installed triggers.
+// --smoke runs one small point (for CI) and only checks stat identity.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace pgt::bench {
+namespace {
+
+struct Point {
+  int triggers = 0;
+  double linear_micros = 0;   // per statement, legacy linear scan
+  double indexed_micros = 0;  // per statement, DispatchIndex
+  bool identical_stats = false;
+  double Speedup() const {
+    return indexed_micros > 0 ? linear_micros / indexed_micros : 0;
+  }
+};
+
+/// Interns every monitored symbol up front (multi-tenant steady state:
+/// the schema vocabulary exists before the workload runs).
+void InternSymbols(Database& db, int triggers) {
+  for (int i = 0; i < triggers; ++i) {
+    db.store().InternLabel("L" + std::to_string(i));
+    db.store().InternRelType("R" + std::to_string(i));
+  }
+  db.store().InternPropKey("p");
+}
+
+/// Installs `count` triggers cycling through action times, events, and item
+/// kinds, each monitoring its own label / relationship type.
+void InstallTriggers(Database& db, int count) {
+  for (int i = 0; i < count; ++i) {
+    const std::string n = std::to_string(i);
+    std::string ddl;
+    switch (i % 4) {
+      case 0:
+        ddl = "CREATE TRIGGER T" + n + " AFTER CREATE ON 'L" + n +
+              "' FOR EACH NODE BEGIN CREATE (:Fired" + n + ") END";
+        break;
+      case 1:
+        ddl = "CREATE TRIGGER T" + n + " AFTER SET ON 'L" + n +
+              "'.'p' FOR EACH NODE BEGIN CREATE (:Fired" + n + ") END";
+        break;
+      case 2:
+        ddl = "CREATE TRIGGER T" + n + " ONCOMMIT DELETE ON 'L" + n +
+              "' FOR ALL NODES BEGIN CREATE (:Fired" + n + ") END";
+        break;
+      default:
+        ddl = "CREATE TRIGGER T" + n + " DETACHED CREATE ON 'R" + n +
+              "' FOR EACH RELATIONSHIP BEGIN CREATE (:Fired" + n + ") END";
+        break;
+    }
+    MustExec(db, ddl);
+  }
+}
+
+/// Mixed-event workload touching a few hot labels; returns micros per
+/// statement. Every statement raises events, so each one pays a full
+/// dispatch round in all four action-time phases.
+double RunWorkload(Database& db, int rounds) {
+  int statements = 0;
+  Stopwatch sw;
+  for (int r = 0; r < rounds; ++r) {
+    // Node create (activates T0), property set (T1), node create+delete
+    // (delete activates T2 at commit), rel create (T3, detached), and one
+    // event on an unmonitored label (pure dispatch overhead).
+    MustExec(db, "CREATE (:L0 {p: 1})");
+    MustExec(db, "MATCH (n:L1) SET n.p = " + std::to_string(r));
+    MustExec(db, "CREATE (:L2 {p: 1})");
+    MustExec(db, "MATCH (n:L2) DELETE n");
+    MustExec(db, "CREATE (a:Cold)-[:R3 {p: 1}]->(b:Cold)");
+    MustExec(db, "CREATE (:Unmonitored)");
+    statements += 6;
+  }
+  return sw.ElapsedMicros() / statements;
+}
+
+/// Same per-trigger counters in both modes?
+bool SameStats(const EngineStats& a, const EngineStats& b) {
+  if (a.per_trigger.size() != b.per_trigger.size()) return false;
+  for (const auto& [name, ts] : a.per_trigger) {
+    auto it = b.per_trigger.find(name);
+    if (it == b.per_trigger.end()) return false;
+    if (ts.considered != it->second.considered ||
+        ts.fired != it->second.fired ||
+        ts.action_rows != it->second.action_rows) {
+      return false;
+    }
+  }
+  return a.detached_runs == b.detached_runs;
+}
+
+Point RunPoint(int triggers, int rounds) {
+  Point p;
+  p.triggers = triggers;
+
+  EngineOptions linear_opts;
+  linear_opts.use_dispatch_index = false;
+  Database linear(linear_opts);
+  InternSymbols(linear, triggers);
+  InstallTriggers(linear, triggers);
+  // Seed the hot set-target label with a few nodes.
+  for (int i = 0; i < 4; ++i) MustExec(linear, "CREATE (:L1 {p: 0})");
+  linear.stats().Clear();
+  p.linear_micros = RunWorkload(linear, rounds);
+
+  Database indexed;  // use_dispatch_index defaults to true
+  InternSymbols(indexed, triggers);
+  InstallTriggers(indexed, triggers);
+  for (int i = 0; i < 4; ++i) MustExec(indexed, "CREATE (:L1 {p: 0})");
+  indexed.stats().Clear();
+  p.indexed_micros = RunWorkload(indexed, rounds);
+
+  p.identical_stats = SameStats(linear.stats(), indexed.stats());
+  return p;
+}
+
+}  // namespace
+}  // namespace pgt::bench
+
+int main(int argc, char** argv) {
+  using namespace pgt;
+  using namespace pgt::bench;
+
+  bool smoke = false;
+  std::string json_path = "BENCH_dispatch.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  Banner("BENCH-dispatch",
+         "event-keyed trigger dispatch (DispatchIndex vs linear scan)");
+
+  const std::vector<int> counts =
+      smoke ? std::vector<int>{64} : std::vector<int>{1000, 2500, 5000, 10000};
+  const int rounds = smoke ? 5 : 40;
+
+  std::vector<Point> points;
+  for (int t : counts) {
+    std::printf("running %d installed triggers x %d rounds...\n", t, rounds);
+    points.push_back(RunPoint(t, rounds));
+  }
+
+  std::printf("\n%10s %16s %16s %9s %10s\n", "triggers", "linear (us/st)",
+              "indexed (us/st)", "speedup", "identical");
+  bool identical = true;
+  double speedup_at_5k = 0;
+  for (const Point& p : points) {
+    std::printf("%10d %16.1f %16.1f %8.1fx %10s\n", p.triggers,
+                p.linear_micros, p.indexed_micros, p.Speedup(),
+                p.identical_stats ? "yes" : "NO");
+    identical = identical && p.identical_stats;
+    if (p.triggers == 5000) speedup_at_5k = p.Speedup();
+  }
+
+  const bool goal = smoke || speedup_at_5k >= 10.0;
+  if (!smoke) {
+    std::printf("\nacceptance (>= 10x dispatch speedup at 5000 triggers): %s\n",
+                goal ? "PASS" : "FAIL");
+  }
+
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"smoke\": %s,\n  \"rounds\": %d,\n",
+                 smoke ? "true" : "false", rounds);
+    std::fprintf(f, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(f,
+                   "    {\"triggers\": %d, \"linear_micros_per_stmt\": %.1f, "
+                   "\"indexed_micros_per_stmt\": %.1f, \"speedup\": %.1f, "
+                   "\"identical_stats\": %s}%s\n",
+                   p.triggers, p.linear_micros, p.indexed_micros, p.Speedup(),
+                   p.identical_stats ? "true" : "false",
+                   i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"speedup_goal_10x_at_5k\": %s\n}\n",
+                 goal ? "true" : "false");
+    std::fclose(f);
+    std::printf("baseline written to %s\n", json_path.c_str());
+  }
+  return identical && goal ? 0 : 1;
+}

@@ -171,13 +171,18 @@ Status TriggerCatalog::Validate(const TriggerDef& def) const {
 Status TriggerCatalog::Install(TriggerDef def) {
   PGT_RETURN_IF_ERROR(Validate(def));
   def.seq = next_seq_++;
-  triggers_.push_back(std::make_unique<TriggerDef>(std::move(def)));
+  auto ptr = std::make_shared<TriggerDef>(std::move(def));
+  triggers_.push_back(ptr);
+  // Dispatch invariant: only enabled triggers are registered (programmatic
+  // installs may arrive pre-disabled).
+  if (ptr->enabled) dispatch_.Add(ptr);
   return Status::OK();
 }
 
 Status TriggerCatalog::Drop(const std::string& name) {
   for (auto it = triggers_.begin(); it != triggers_.end(); ++it) {
     if ((*it)->name == name) {
+      dispatch_.Remove(it->get());
       triggers_.erase(it);
       return Status::OK();
     }
@@ -188,14 +193,24 @@ Status TriggerCatalog::Drop(const std::string& name) {
 Status TriggerCatalog::SetEnabled(const std::string& name, bool enabled) {
   for (const auto& t : triggers_) {
     if (t->name == name) {
-      t->enabled = enabled;
+      if (t->enabled != enabled) {
+        t->enabled = enabled;
+        if (enabled) {
+          dispatch_.Add(t);
+        } else {
+          dispatch_.Remove(t.get());
+        }
+      }
       return Status::OK();
     }
   }
   return Status::NotFound("trigger '" + name + "' does not exist");
 }
 
-void TriggerCatalog::DropAll() { triggers_.clear(); }
+void TriggerCatalog::DropAll() {
+  triggers_.clear();
+  dispatch_.Clear();
+}
 
 const TriggerDef* TriggerCatalog::Find(const std::string& name) const {
   for (const auto& t : triggers_) {
@@ -204,15 +219,17 @@ const TriggerDef* TriggerCatalog::Find(const std::string& name) const {
   return nullptr;
 }
 
-std::vector<const TriggerDef*> TriggerCatalog::ByTime(ActionTime time) const {
-  std::vector<const TriggerDef*> out;
+std::vector<std::shared_ptr<const TriggerDef>> TriggerCatalog::ByTime(
+    ActionTime time) const {
+  std::vector<std::shared_ptr<const TriggerDef>> out;
   for (const auto& t : triggers_) {
-    if (t->enabled && t->time == time) out.push_back(t.get());
+    if (t->enabled && t->time == time) out.push_back(t);
   }
   if (options_->trigger_ordering == TriggerOrdering::kName) {
     std::sort(out.begin(), out.end(),
-              [](const TriggerDef* a, const TriggerDef* b) {
-                return a->name < b->name;
+              [](const std::shared_ptr<const TriggerDef>& a,
+                 const std::shared_ptr<const TriggerDef>& b) {
+                return ExecutionOrderLess(TriggerOrdering::kName, *a, *b);
               });
   }
   // kCreationTime: triggers_ is already in creation order.

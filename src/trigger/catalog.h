@@ -7,13 +7,16 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/trigger/dispatch_index.h"
 #include "src/trigger/options.h"
 #include "src/trigger/trigger_def.h"
 
 namespace pgt {
 
-/// The installed-trigger catalog: owns TriggerDefs, validates legality at
-/// install time, and provides the per-action-time execution order
+/// The installed-trigger catalog: owns TriggerDefs (shared with queued
+/// activations, so a DROP TRIGGER can never dangle an in-flight
+/// activation), validates legality at install time, maintains the
+/// event-dispatch index, and provides the per-action-time execution order
 /// (Section 4.2 "Order of execution": creation-time total order, with the
 /// PostgreSQL-style name order available for the ablation).
 class TriggerCatalog {
@@ -42,19 +45,37 @@ class TriggerCatalog {
 
   const TriggerDef* Find(const std::string& name) const;
 
-  /// Enabled triggers with the given action time, in execution order.
-  std::vector<const TriggerDef*> ByTime(ActionTime time) const;
+  /// Enabled triggers with the given action time, in execution order. The
+  /// returned pointers share ownership with the catalog, so they outlive a
+  /// concurrent Drop of the same trigger.
+  std::vector<std::shared_ptr<const TriggerDef>> ByTime(ActionTime time) const;
 
   /// All triggers (enabled and disabled), in creation order.
   std::vector<const TriggerDef*> All() const;
 
   size_t size() const { return triggers_.size(); }
 
+  /// The event-keyed dispatch index (maintained by Install / Drop /
+  /// SetEnabled / DropAll; the engine resolves late-interned symbols
+  /// through DispatchIndex::ResolvePending before probing).
+  DispatchIndex& dispatch() { return dispatch_; }
+  const DispatchIndex& dispatch() const { return dispatch_; }
+
+  /// The Section 4.2 execution-order comparator, shared by ByTime and the
+  /// engine's cross-bucket merge so the two dispatch strategies can never
+  /// order triggers differently.
+  static bool ExecutionOrderLess(TriggerOrdering ordering,
+                                 const TriggerDef& a, const TriggerDef& b) {
+    return ordering == TriggerOrdering::kName ? a.name < b.name
+                                              : a.seq < b.seq;
+  }
+
  private:
   Status Validate(const TriggerDef& def) const;
 
   const EngineOptions* options_;
-  std::vector<std::unique_ptr<TriggerDef>> triggers_;  // creation order
+  std::vector<std::shared_ptr<TriggerDef>> triggers_;  // creation order
+  DispatchIndex dispatch_;
   uint64_t next_seq_ = 1;
 };
 

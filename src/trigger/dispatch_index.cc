@@ -1,0 +1,104 @@
+#include "src/trigger/dispatch_index.h"
+
+#include <algorithm>
+
+#include "src/storage/graph_store.h"
+
+namespace pgt {
+
+std::optional<EventKey> DispatchIndex::Resolve(const TriggerDef& def,
+                                               const GraphStore& store) {
+  EventKey key;
+  key.time = def.time;
+  key.item = def.item;
+  key.event = def.event;
+  if (def.item == ItemKind::kNode) {
+    std::optional<LabelId> label = store.LookupLabel(def.label);
+    if (!label.has_value()) return std::nullopt;
+    key.sym = *label;
+  } else {
+    std::optional<RelTypeId> type = store.LookupRelType(def.label);
+    if (!type.has_value()) return std::nullopt;
+    key.sym = *type;
+  }
+  if (!def.property.empty()) {
+    std::optional<PropKeyId> prop = store.LookupPropKey(def.property);
+    if (!prop.has_value()) return std::nullopt;
+    key.prop = *prop;
+  }
+  return key;
+}
+
+void DispatchIndex::Add(std::shared_ptr<const TriggerDef> def) {
+  if (def == nullptr) return;
+  if (resolved_.count(def.get()) != 0) return;  // already registered
+  for (const auto& p : pending_) {
+    if (p.get() == def.get()) return;
+  }
+  pending_.push_back(std::move(def));
+}
+
+void DispatchIndex::InsertResolved(std::shared_ptr<const TriggerDef> def,
+                                   const EventKey& key) {
+  resolved_[def.get()] = key;
+  TriggerList& list = buckets_[key];
+  // Keep each bucket in creation order so cross-bucket merging only has to
+  // order the (few) matched triggers, never re-sort within a bucket.
+  auto it = std::lower_bound(
+      list.begin(), list.end(), def->seq,
+      [](const std::shared_ptr<const TriggerDef>& t, uint64_t seq) {
+        return t->seq < seq;
+      });
+  list.insert(it, std::move(def));
+}
+
+void DispatchIndex::ResolvePending(const GraphStore& store) {
+  if (pending_.empty()) return;
+  std::vector<std::shared_ptr<const TriggerDef>> still_pending;
+  for (auto& def : pending_) {
+    std::optional<EventKey> key = Resolve(*def, store);
+    if (key.has_value()) {
+      InsertResolved(std::move(def), *key);
+    } else {
+      still_pending.push_back(std::move(def));
+    }
+  }
+  pending_ = std::move(still_pending);
+}
+
+void DispatchIndex::Remove(const TriggerDef* def) {
+  auto it = resolved_.find(def);
+  if (it != resolved_.end()) {
+    auto bucket = buckets_.find(it->second);
+    if (bucket != buckets_.end()) {
+      TriggerList& list = bucket->second;
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [def](const std::shared_ptr<const TriggerDef>&
+                                          t) { return t.get() == def; }),
+                 list.end());
+      if (list.empty()) buckets_.erase(bucket);
+    }
+    resolved_.erase(it);
+    return;
+  }
+  pending_.erase(
+      std::remove_if(pending_.begin(), pending_.end(),
+                     [def](const std::shared_ptr<const TriggerDef>& t) {
+                       return t.get() == def;
+                     }),
+      pending_.end());
+}
+
+void DispatchIndex::Clear() {
+  buckets_.clear();
+  pending_.clear();
+  resolved_.clear();
+}
+
+const DispatchIndex::TriggerList* DispatchIndex::Probe(
+    const EventKey& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pgt

@@ -1,0 +1,99 @@
+#ifndef PGTRIGGERS_TRIGGER_DISPATCH_INDEX_H_
+#define PGTRIGGERS_TRIGGER_DISPATCH_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt {
+
+class GraphStore;
+
+/// Fully-resolved event key of the Section 4.2 event model: every trigger
+/// monitors exactly one (action time, item kind, event, label/type
+/// [, property]) combination, and every delta entry raises events for a
+/// small, enumerable set of such keys. Symbols are the GraphStore's
+/// interned ids, so a probe is a single hash lookup.
+struct EventKey {
+  ActionTime time = ActionTime::kAfter;
+  ItemKind item = ItemKind::kNode;
+  TriggerEvent event = TriggerEvent::kCreate;
+  /// LabelId for node triggers, RelTypeId for relationship triggers.
+  uint32_t sym = kInvalidSymbol;
+  /// Monitored property for SET/REMOVE property events; kInvalidSymbol for
+  /// structural (CREATE/DELETE) and label events.
+  PropKeyId prop = kInvalidSymbol;
+
+  bool operator==(const EventKey&) const = default;
+};
+
+struct EventKeyHash {
+  size_t operator()(const EventKey& k) const noexcept {
+    uint64_t h = (static_cast<uint64_t>(k.sym) << 32) | k.prop;
+    h ^= (static_cast<uint64_t>(k.time) << 13) ^
+         (static_cast<uint64_t>(k.item) << 11) ^
+         (static_cast<uint64_t>(k.event) << 7);
+    return std::hash<uint64_t>{}(h);
+  }
+};
+
+/// Event-keyed dispatch index over the installed triggers: maps EventKey to
+/// the list of enabled triggers monitoring it (kept in creation order), so
+/// the engine can iterate a delta once and probe per event instead of
+/// re-scanning the delta once per installed trigger (O(T x |delta|)).
+///
+/// The TriggerCatalog maintains it on install / drop / enable / disable. A
+/// trigger whose label, relationship type, or property name has not been
+/// interned yet cannot match anything; such triggers sit in a pending list
+/// until ResolvePending observes their symbols in the store's dictionaries
+/// (late interning: the symbol may first appear long after CREATE TRIGGER).
+///
+/// Buckets share ownership of the TriggerDefs with the catalog, so probe
+/// results (and the Activations built from them) stay valid even if the
+/// trigger is dropped while activations are queued.
+class DispatchIndex {
+ public:
+  using TriggerList = std::vector<std::shared_ptr<const TriggerDef>>;
+
+  /// Registers a trigger; it becomes probe-visible once its symbols
+  /// resolve (immediately at the next ResolvePending if already interned).
+  void Add(std::shared_ptr<const TriggerDef> def);
+
+  /// Unregisters a trigger (resolved or pending). No-op if unknown.
+  void Remove(const TriggerDef* def);
+
+  void Clear();
+
+  /// Moves every pending trigger whose symbols are now interned into its
+  /// bucket. Cheap no-op when nothing is pending.
+  void ResolvePending(const GraphStore& store);
+  bool HasPending() const { return !pending_.empty(); }
+
+  /// Triggers monitoring `key`, in creation order; nullptr when none.
+  const TriggerList* Probe(const EventKey& key) const;
+
+  size_t resolved_count() const { return resolved_.size(); }
+  size_t pending_count() const { return pending_.size(); }
+
+  /// Resolves a trigger's event key against the store dictionaries;
+  /// nullopt while any referenced symbol is not interned yet.
+  static std::optional<EventKey> Resolve(const TriggerDef& def,
+                                         const GraphStore& store);
+
+ private:
+  void InsertResolved(std::shared_ptr<const TriggerDef> def,
+                      const EventKey& key);
+
+  std::unordered_map<EventKey, TriggerList, EventKeyHash> buckets_;
+  std::vector<std::shared_ptr<const TriggerDef>> pending_;
+  // Resolved key per trigger, for O(1) bucket removal on drop/disable.
+  std::unordered_map<const TriggerDef*, EventKey> resolved_;
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_TRIGGER_DISPATCH_INDEX_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "src/common/macros.h"
 #include "src/cypher/executor.h"
@@ -23,6 +24,22 @@ std::vector<LabelId> LabelsOf(const GraphStore& store, const GraphDelta& delta,
   return {};
 }
 
+/// Type of a relationship, falling back to the delta's deleted image when
+/// the store holds no record at all (mirror of LabelsOf: kCreate/kSet/
+/// kRemove events on a relationship that is deleted later in the same
+/// transaction must still match). A tombstoned record keeps its immutable
+/// type, so one GetRel covers both the alive and the same-store-deleted
+/// case; the image scan only runs for deltas examined against a store that
+/// never materialized the rel.
+std::optional<RelTypeId> RelTypeOf(const GraphStore& store,
+                                   const GraphDelta& delta, RelId id) {
+  if (const RelRecord* r = store.GetRel(id); r != nullptr) return r->type;
+  for (const DeletedRelImage& img : delta.deleted_rels) {
+    if (img.id == id) return img.type;
+  }
+  return std::nullopt;
+}
+
 bool HasLabel(const std::vector<LabelId>& labels, LabelId l) {
   return std::binary_search(labels.begin(), labels.end(), l);
 }
@@ -37,46 +54,29 @@ struct Entry {
   Value old_value;
 };
 
-}  // namespace
-
-std::vector<Activation> PgTriggerEngine::MatchActivations(
-    const TriggerDef& def, const GraphDelta& delta) const {
-  std::vector<Activation> out;
-  const GraphStore& store = db_->store();
-  const bool is_node = def.item == ItemKind::kNode;
-
-  // Resolve the target label / relationship type; if it was never interned,
-  // no item can carry it and no event can match.
-  std::optional<uint32_t> target;
-  if (is_node) {
-    target = store.LookupLabel(def.label);
-  } else {
-    target = store.LookupRelType(def.label);
-  }
-  if (!target.has_value()) return out;
-
-  std::optional<PropKeyId> prop;
-  if (!def.property.empty()) {
-    prop = store.LookupPropKey(def.property);
-    if (!prop.has_value()) return out;  // property key never used
-  }
-
+/// Matches one trigger (with already-resolved target/property symbols)
+/// against the delta: the per-event linear scan, shared by the legacy path
+/// and by MatchActivations' public per-trigger API.
+std::vector<Entry> MatchEntries(const GraphStore& store,
+                                LabelEventSemantics label_sem,
+                                const TriggerDef& def, uint32_t target,
+                                std::optional<PropKeyId> prop,
+                                const GraphDelta& delta) {
   std::vector<Entry> entries;
-  const LabelEventSemantics label_sem = db_->options().label_event_semantics;
+  const bool is_node = def.item == ItemKind::kNode;
 
   switch (def.event) {
     case TriggerEvent::kCreate: {
       if (is_node) {
         for (NodeId id : delta.created_nodes) {
-          if (HasLabel(LabelsOf(store, delta, id), *target)) {
+          if (HasLabel(LabelsOf(store, delta, id), target)) {
             entries.push_back({id.value, false, true, false,
                                kInvalidSymbol, Value()});
           }
         }
       } else {
         for (RelId id : delta.created_rels) {
-          const RelRecord* r = store.GetRel(id);
-          if (r != nullptr && r->type == *target) {
+          if (RelTypeOf(store, delta, id) == target) {
             entries.push_back({id.value, false, true, false,
                                kInvalidSymbol, Value()});
           }
@@ -87,14 +87,14 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
     case TriggerEvent::kDelete: {
       if (is_node) {
         for (const DeletedNodeImage& img : delta.deleted_nodes) {
-          if (HasLabel(img.labels, *target)) {
+          if (HasLabel(img.labels, target)) {
             entries.push_back({img.id.value, true, false, false,
                                kInvalidSymbol, Value()});
           }
         }
       } else {
         for (const DeletedRelImage& img : delta.deleted_rels) {
-          if (img.type == *target) {
+          if (img.type == target) {
             entries.push_back({img.id.value, true, false, false,
                                kInvalidSymbol, Value()});
           }
@@ -107,15 +107,14 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
         if (is_node) {
           for (const NodePropChange& pc : delta.assigned_node_props) {
             if (pc.key == *prop &&
-                HasLabel(LabelsOf(store, delta, pc.node), *target)) {
+                HasLabel(LabelsOf(store, delta, pc.node), target)) {
               entries.push_back(
                   {pc.node.value, true, true, true, pc.key, pc.old_value});
             }
           }
         } else {
           for (const RelPropChange& pc : delta.assigned_rel_props) {
-            const RelRecord* r = store.GetRel(pc.rel);
-            if (pc.key == *prop && r != nullptr && r->type == *target) {
+            if (pc.key == *prop && RelTypeOf(store, delta, pc.rel) == target) {
               entries.push_back(
                   {pc.rel.value, true, true, true, pc.key, pc.old_value});
             }
@@ -125,13 +124,13 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
         // Label event (nodes only; validated at install time).
         for (const LabelChange& lc : delta.assigned_labels) {
           if (label_sem == LabelEventSemantics::kMonitoredLabel) {
-            if (lc.label == *target) {
+            if (lc.label == target) {
               entries.push_back({lc.node.value, false, true, false,
                                  kInvalidSymbol, Value()});
             }
           } else {
-            if (lc.label != *target &&
-                HasLabel(LabelsOf(store, delta, lc.node), *target)) {
+            if (lc.label != target &&
+                HasLabel(LabelsOf(store, delta, lc.node), target)) {
               entries.push_back({lc.node.value, false, true, false,
                                  kInvalidSymbol, Value()});
             }
@@ -145,15 +144,14 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
         if (is_node) {
           for (const NodePropChange& pc : delta.removed_node_props) {
             if (pc.key == *prop &&
-                HasLabel(LabelsOf(store, delta, pc.node), *target)) {
+                HasLabel(LabelsOf(store, delta, pc.node), target)) {
               entries.push_back(
                   {pc.node.value, true, false, true, pc.key, pc.old_value});
             }
           }
         } else {
           for (const RelPropChange& pc : delta.removed_rel_props) {
-            const RelRecord* r = store.GetRel(pc.rel);
-            if (pc.key == *prop && r != nullptr && r->type == *target) {
+            if (pc.key == *prop && RelTypeOf(store, delta, pc.rel) == target) {
               entries.push_back(
                   {pc.rel.value, true, false, true, pc.key, pc.old_value});
             }
@@ -162,13 +160,13 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
       } else {
         for (const LabelChange& lc : delta.removed_labels) {
           if (label_sem == LabelEventSemantics::kMonitoredLabel) {
-            if (lc.label == *target) {
+            if (lc.label == target) {
               entries.push_back({lc.node.value, true, false, false,
                                  kInvalidSymbol, Value()});
             }
           } else {
-            if (lc.label != *target &&
-                HasLabel(LabelsOf(store, delta, lc.node), *target)) {
+            if (lc.label != target &&
+                HasLabel(LabelsOf(store, delta, lc.node), target)) {
               entries.push_back({lc.node.value, true, false, false,
                                  kInvalidSymbol, Value()});
             }
@@ -178,8 +176,17 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
       break;
     }
   }
+  return entries;
+}
 
-  if (entries.empty()) return out;
+/// Turns one trigger's matched entries into activations (FOR EACH: one per
+/// entry; FOR ALL: one batched, deduplicated). Both dispatch strategies
+/// funnel through here, so their activations are structurally identical.
+void BuildActivations(std::shared_ptr<const TriggerDef> def,
+                      const std::vector<Entry>& entries,
+                      std::vector<Activation>* out) {
+  if (entries.empty()) return;
+  const bool is_node = def->item == ItemKind::kNode;
 
   auto item_value = [&](uint64_t id) {
     return is_node ? Value::Node(NodeId{id}) : Value::Rel(RelId{id});
@@ -192,12 +199,12 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
     overlays[e.id].emplace(e.key, e.old_value);
   };
 
-  if (def.granularity == Granularity::kEach) {
-    const std::string new_name = def.AliasFor(TransitionVar::kNew);
-    const std::string old_name = def.AliasFor(TransitionVar::kOld);
+  if (def->granularity == Granularity::kEach) {
+    const std::string new_name = def->AliasFor(TransitionVar::kNew);
+    const std::string old_name = def->AliasFor(TransitionVar::kOld);
     for (const Entry& e : entries) {
       Activation act;
-      act.trigger = &def;
+      act.trigger = def;
       if (e.has_new) {
         act.env.singles[new_name] = item_value(e.id);
         // NEW is also usable as a pseudo-label: MATCH (pn:NEW)-...
@@ -209,13 +216,13 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
         act.env.old_view_vars.insert(old_name);
         add_overlay(act.env, e);
       }
-      out.push_back(std::move(act));
+      out->push_back(std::move(act));
     }
   } else {
-    const std::string new_name = def.NewVarName();
-    const std::string old_name = def.OldVarName();
+    const std::string new_name = def->NewVarName();
+    const std::string old_name = def->OldVarName();
     Activation act;
-    act.trigger = &def;
+    act.trigger = def;
     std::vector<uint64_t> old_ids, new_ids;
     std::set<uint64_t> seen_old, seen_new;
     for (const Entry& e : entries) {
@@ -230,9 +237,195 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
       act.env.sets[old_name] = {is_node, std::move(old_ids)};
       act.env.old_view_vars.insert(old_name);
     }
-    out.push_back(std::move(act));
+    out->push_back(std::move(act));
+  }
+}
+
+}  // namespace
+
+void PgTriggerEngine::AppendActivations(std::shared_ptr<const TriggerDef> def,
+                                        const GraphDelta& delta,
+                                        std::vector<Activation>* out) const {
+  const GraphStore& store = db_->store();
+  const bool is_node = def->item == ItemKind::kNode;
+
+  // Resolve the target label / relationship type; if it was never interned,
+  // no item can carry it and no event can match.
+  std::optional<uint32_t> target;
+  if (is_node) {
+    target = store.LookupLabel(def->label);
+  } else {
+    target = store.LookupRelType(def->label);
+  }
+  if (!target.has_value()) return;
+
+  std::optional<PropKeyId> prop;
+  if (!def->property.empty()) {
+    prop = store.LookupPropKey(def->property);
+    if (!prop.has_value()) return;  // property key never used
+  }
+
+  std::vector<Entry> entries =
+      MatchEntries(store, db_->options().label_event_semantics, *def, *target,
+                   prop, delta);
+  BuildActivations(std::move(def), entries, out);
+}
+
+std::vector<Activation> PgTriggerEngine::MatchActivations(
+    const TriggerDef& def, const GraphDelta& delta) const {
+  std::vector<Activation> out;
+  // Non-owning alias: callers (tests, translators) pass stack-allocated
+  // defs; the resulting activations must not outlive them.
+  AppendActivations(std::shared_ptr<const TriggerDef>(
+                        std::shared_ptr<const TriggerDef>(), &def),
+                    delta, &out);
+  return out;
+}
+
+std::vector<Activation> PgTriggerEngine::MatchAllLinear(
+    ActionTime time, const GraphDelta& delta) const {
+  std::vector<Activation> out;
+  for (std::shared_ptr<const TriggerDef>& def : db_->catalog().ByTime(time)) {
+    AppendActivations(std::move(def), delta, &out);
   }
   return out;
+}
+
+std::vector<Activation> PgTriggerEngine::MatchAllIndexed(
+    ActionTime time, const GraphDelta& delta) {
+  const GraphStore& store = db_->store();
+  DispatchIndex& dispatch = db_->catalog().dispatch();
+  if (dispatch.HasPending()) dispatch.ResolvePending(store);
+
+  // Per-trigger entry buckets, created in first-match order. Each trigger
+  // reads exactly one delta category, so walking the categories in any
+  // fixed order preserves the per-trigger entry order of the linear scan.
+  struct Bucket {
+    std::shared_ptr<const TriggerDef> def;
+    std::vector<Entry> entries;
+  };
+  std::vector<Bucket> buckets;
+  std::unordered_map<const TriggerDef*, size_t> bucket_of;
+
+  auto emit = [&](const DispatchIndex::TriggerList* defs, const Entry& e) {
+    if (defs == nullptr) return;
+    for (const std::shared_ptr<const TriggerDef>& def : *defs) {
+      auto [it, inserted] = bucket_of.try_emplace(def.get(), buckets.size());
+      if (inserted) buckets.push_back(Bucket{def, {}});
+      buckets[it->second].entries.push_back(e);
+    }
+  };
+  auto probe = [&](ItemKind item, TriggerEvent event, uint32_t sym,
+                   PropKeyId prop) {
+    return dispatch.Probe(EventKey{time, item, event, sym, prop});
+  };
+  const LabelEventSemantics label_sem = db_->options().label_event_semantics;
+
+  // --- CREATE ---------------------------------------------------------------
+  for (NodeId id : delta.created_nodes) {
+    const Entry e{id.value, false, true, false, kInvalidSymbol, Value()};
+    for (LabelId l : LabelsOf(store, delta, id)) {
+      emit(probe(ItemKind::kNode, TriggerEvent::kCreate, l, kInvalidSymbol),
+           e);
+    }
+  }
+  for (RelId id : delta.created_rels) {
+    if (std::optional<RelTypeId> t = RelTypeOf(store, delta, id)) {
+      emit(probe(ItemKind::kRelationship, TriggerEvent::kCreate, *t,
+                 kInvalidSymbol),
+           Entry{id.value, false, true, false, kInvalidSymbol, Value()});
+    }
+  }
+
+  // --- DELETE ---------------------------------------------------------------
+  for (const DeletedNodeImage& img : delta.deleted_nodes) {
+    const Entry e{img.id.value, true, false, false, kInvalidSymbol, Value()};
+    for (LabelId l : img.labels) {
+      emit(probe(ItemKind::kNode, TriggerEvent::kDelete, l, kInvalidSymbol),
+           e);
+    }
+  }
+  for (const DeletedRelImage& img : delta.deleted_rels) {
+    emit(probe(ItemKind::kRelationship, TriggerEvent::kDelete, img.type,
+               kInvalidSymbol),
+         Entry{img.id.value, true, false, false, kInvalidSymbol, Value()});
+  }
+
+  // --- SET / REMOVE property events ----------------------------------------
+  for (const NodePropChange& pc : delta.assigned_node_props) {
+    const Entry e{pc.node.value, true, true, true, pc.key, pc.old_value};
+    for (LabelId l : LabelsOf(store, delta, pc.node)) {
+      emit(probe(ItemKind::kNode, TriggerEvent::kSet, l, pc.key), e);
+    }
+  }
+  for (const NodePropChange& pc : delta.removed_node_props) {
+    const Entry e{pc.node.value, true, false, true, pc.key, pc.old_value};
+    for (LabelId l : LabelsOf(store, delta, pc.node)) {
+      emit(probe(ItemKind::kNode, TriggerEvent::kRemove, l, pc.key), e);
+    }
+  }
+  for (const RelPropChange& pc : delta.assigned_rel_props) {
+    if (std::optional<RelTypeId> t = RelTypeOf(store, delta, pc.rel)) {
+      emit(probe(ItemKind::kRelationship, TriggerEvent::kSet, *t, pc.key),
+           Entry{pc.rel.value, true, true, true, pc.key, pc.old_value});
+    }
+  }
+  for (const RelPropChange& pc : delta.removed_rel_props) {
+    if (std::optional<RelTypeId> t = RelTypeOf(store, delta, pc.rel)) {
+      emit(probe(ItemKind::kRelationship, TriggerEvent::kRemove, *t, pc.key),
+           Entry{pc.rel.value, true, false, true, pc.key, pc.old_value});
+    }
+  }
+
+  // --- SET / REMOVE label events (nodes only) -------------------------------
+  // kMonitoredLabel: the changed label itself is the event key.
+  // kTargetSetChange: the trigger fires when some *other* label changes on a
+  // node carrying the target, so each of the node's labels except the
+  // changed one is a candidate key.
+  auto emit_label_events = [&](const std::vector<LabelChange>& changes,
+                               TriggerEvent event, bool has_old,
+                               bool has_new) {
+    for (const LabelChange& lc : changes) {
+      const Entry e{lc.node.value, has_old, has_new, false, kInvalidSymbol,
+                    Value()};
+      if (label_sem == LabelEventSemantics::kMonitoredLabel) {
+        emit(probe(ItemKind::kNode, event, lc.label, kInvalidSymbol), e);
+      } else {
+        for (LabelId l : LabelsOf(store, delta, lc.node)) {
+          if (l != lc.label) {
+            emit(probe(ItemKind::kNode, event, l, kInvalidSymbol), e);
+          }
+        }
+      }
+    }
+  };
+  emit_label_events(delta.assigned_labels, TriggerEvent::kSet,
+                    /*has_old=*/false, /*has_new=*/true);
+  emit_label_events(delta.removed_labels, TriggerEvent::kRemove,
+                    /*has_old=*/true, /*has_new=*/false);
+
+  // Cross-bucket execution order matches the catalog's ByTime ordering.
+  const TriggerOrdering ordering = db_->options().trigger_ordering;
+  std::sort(buckets.begin(), buckets.end(),
+            [ordering](const Bucket& a, const Bucket& b) {
+              return TriggerCatalog::ExecutionOrderLess(ordering, *a.def,
+                                                        *b.def);
+            });
+
+  std::vector<Activation> out;
+  for (Bucket& b : buckets) {
+    BuildActivations(std::move(b.def), b.entries, &out);
+  }
+  return out;
+}
+
+std::vector<Activation> PgTriggerEngine::MatchAll(ActionTime time,
+                                                  const GraphDelta& delta) {
+  if (delta.Empty()) return {};
+  if (db_->options().use_dispatch_index) {
+    return MatchAllIndexed(time, delta);
+  }
+  return MatchAllLinear(time, delta);
 }
 
 Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
@@ -362,26 +555,25 @@ Status PgTriggerEngine::ProcessStatementLevel(Transaction& tx,
       std::max<uint64_t>(stats_.cascade_depth_max, depth);
 
   // BEFORE: condition NEW states; writes fold in silently (no cascade).
-  for (const TriggerDef* def : db_->catalog().ByTime(ActionTime::kBefore)) {
-    for (const Activation& act : MatchActivations(*def, delta)) {
-      tx.PushDeltaScope();
-      Status st = RunActivation(tx, act);
-      GraphDelta d = tx.PopDeltaScope();
-      if (!st.ok()) return st;
-      PGT_RETURN_IF_ERROR(ValidateBeforeDelta(*def, act, d));
-    }
+  // All activations of the statement are derived up front against one
+  // consistent delta snapshot (Section 4.2: same-statement triggers
+  // consider the same set of events).
+  for (const Activation& act : MatchAll(ActionTime::kBefore, delta)) {
+    tx.PushDeltaScope();
+    Status st = RunActivation(tx, act);
+    GraphDelta d = tx.PopDeltaScope();
+    if (!st.ok()) return st;
+    PGT_RETURN_IF_ERROR(ValidateBeforeDelta(*act.trigger, act, d));
   }
 
   // AFTER: each action is its own statement scope; cascades recursively
   // (SQL3-style stack of execution contexts).
-  for (const TriggerDef* def : db_->catalog().ByTime(ActionTime::kAfter)) {
-    for (const Activation& act : MatchActivations(*def, delta)) {
-      tx.PushDeltaScope();
-      Status st = RunActivation(tx, act);
-      GraphDelta d = tx.PopDeltaScope();
-      if (!st.ok()) return st;
-      PGT_RETURN_IF_ERROR(ProcessStatementLevel(tx, d, depth + 1));
-    }
+  for (const Activation& act : MatchAll(ActionTime::kAfter, delta)) {
+    tx.PushDeltaScope();
+    Status st = RunActivation(tx, act);
+    GraphDelta d = tx.PopDeltaScope();
+    if (!st.ok()) return st;
+    PGT_RETURN_IF_ERROR(ProcessStatementLevel(tx, d, depth + 1));
   }
   return Status::OK();
 }
@@ -398,13 +590,7 @@ Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
   GraphDelta pending = tx.AccumulatedDelta();
   int round = 0;
   while (!pending.Empty()) {
-    std::vector<Activation> acts;
-    for (const TriggerDef* def :
-         db_->catalog().ByTime(ActionTime::kOnCommit)) {
-      for (Activation& act : MatchActivations(*def, pending)) {
-        acts.push_back(std::move(act));
-      }
-    }
+    std::vector<Activation> acts = MatchAll(ActionTime::kOnCommit, pending);
     if (acts.empty()) break;
     if (++round > db_->options().max_oncommit_rounds) {
       return Status::CascadeLimitExceeded(
@@ -434,9 +620,13 @@ Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
 }
 
 Status PgTriggerEngine::AfterCommit(const GraphDelta& tx_delta) {
-  for (const TriggerDef* def : db_->catalog().ByTime(ActionTime::kDetached)) {
-    for (Activation& act : MatchActivations(*def, tx_delta)) {
-      detached_queue_.emplace_back(std::move(act), tx_delta);
+  std::vector<Activation> acts = MatchAll(ActionTime::kDetached, tx_delta);
+  if (!acts.empty()) {
+    // One shared copy of the activating transaction's delta per commit,
+    // not one per activation.
+    auto source = std::make_shared<const GraphDelta>(tx_delta);
+    for (Activation& act : acts) {
+      detached_queue_.emplace_back(std::move(act), source);
     }
   }
   if (draining_detached_) return Status::OK();
@@ -453,7 +643,7 @@ Status PgTriggerEngine::AfterCommit(const GraphDelta& tx_delta) {
     }
     auto [act, src] = std::move(detached_queue_.front());
     detached_queue_.pop_front();
-    Status st = RunDetachedActivation(act, src);
+    Status st = RunDetachedActivation(act, *src);
     if (!st.ok()) {
       result = st;
       detached_queue_.clear();

@@ -40,8 +40,12 @@ struct EngineStats {
 
 /// One activation of a trigger: the trigger plus the transition environment
 /// derived from the matched events (Section 4.2 "Transition Variables").
+///
+/// The trigger definition is shared with the catalog, so an activation —
+/// in particular one sitting in the DETACHED queue — stays valid even if
+/// the trigger is dropped before it runs.
 struct Activation {
-  const TriggerDef* trigger = nullptr;
+  std::shared_ptr<const TriggerDef> trigger;
   cypher::TransitionEnv env;
 };
 
@@ -100,9 +104,18 @@ class PgTriggerEngine : public TriggerRuntime {
   /// Derives the activations of `def` raised by `delta` (exposed for tests
   /// and for the translators' equivalence checks). Event matching follows
   /// Section 4.2 and Table 3; label-event semantics follow
-  /// EngineOptions::label_event_semantics (D3).
+  /// EngineOptions::label_event_semantics (D3). The returned activations
+  /// alias `def` without owning it; they must not outlive it.
   std::vector<Activation> MatchActivations(const TriggerDef& def,
                                            const GraphDelta& delta) const;
+
+  /// All activations of enabled `time` triggers raised by `delta`, in
+  /// execution order (EngineOptions::trigger_ordering across triggers,
+  /// delta order within one trigger). Probes the catalog's DispatchIndex
+  /// with one walk over the delta, or falls back to the legacy per-trigger
+  /// linear scan when EngineOptions::use_dispatch_index is off; both paths
+  /// produce identical activations in identical order.
+  std::vector<Activation> MatchAll(ActionTime time, const GraphDelta& delta);
 
   /// Evaluates condition and (if it holds) executes the action of one
   /// activation inside `tx`. Does not open a delta scope; callers manage
@@ -110,6 +123,13 @@ class PgTriggerEngine : public TriggerRuntime {
   Status RunActivation(Transaction& tx, const Activation& act);
 
  private:
+  std::vector<Activation> MatchAllIndexed(ActionTime time,
+                                          const GraphDelta& delta);
+  std::vector<Activation> MatchAllLinear(ActionTime time,
+                                         const GraphDelta& delta) const;
+  void AppendActivations(std::shared_ptr<const TriggerDef> def,
+                         const GraphDelta& delta,
+                         std::vector<Activation>* out) const;
   Status ProcessStatementLevel(Transaction& tx, const GraphDelta& delta,
                                int depth);
   Status ValidateBeforeDelta(const TriggerDef& def, const Activation& act,
@@ -120,7 +140,10 @@ class PgTriggerEngine : public TriggerRuntime {
   Database* db_;
   EngineStats stats_;
   bool draining_detached_ = false;
-  std::deque<std::pair<Activation, GraphDelta>> detached_queue_;
+  // One shared transaction delta per activating commit (not one copy per
+  // queued activation).
+  std::deque<std::pair<Activation, std::shared_ptr<const GraphDelta>>>
+      detached_queue_;
 };
 
 }  // namespace pgt

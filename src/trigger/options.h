@@ -46,6 +46,14 @@ struct EngineOptions {
   LabelEventSemantics label_event_semantics =
       LabelEventSemantics::kMonitoredLabel;
 
+  /// Activation matching strategy. True (default): iterate the delta once
+  /// and probe the event-keyed DispatchIndex — O(|delta| + matches) per
+  /// statement regardless of how many triggers are installed. False: legacy
+  /// linear scan — every enabled trigger of the action time re-walks the
+  /// whole delta (O(T x |delta|)); kept for differential testing and the
+  /// dispatch-scaling ablation.
+  bool use_dispatch_index = true;
+
   TriggerOrdering trigger_ordering = TriggerOrdering::kCreationTime;
 
   /// Epoch for the deterministic logical clock behind DATETIME().

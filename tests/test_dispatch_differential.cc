@@ -1,0 +1,489 @@
+// Differential suite for the event-keyed dispatch subsystem: the
+// DispatchIndex fast path must produce byte-identical activations and the
+// same firing order / per-trigger stats as the legacy per-trigger linear
+// scan, across all four action times, both trigger orderings, and both
+// label-event semantics. Also holds the delta-lifetime regression tests:
+// relationship events on rels deleted later in the same transaction, and
+// DROP TRIGGER while DETACHED activations are queued.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/cypher/parser.h"
+#include "src/trigger/database.h"
+
+namespace pgt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+TriggerDef ParseDef(const std::string& ddl) {
+  auto r = TriggerDdlParser::ParseCreate(ddl);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+/// Canonical text form of an activation (trigger identity + full transition
+/// environment), for byte-identical comparisons across dispatch modes.
+std::string Describe(const Activation& act) {
+  std::ostringstream os;
+  os << act.trigger->name << "{";
+  for (const auto& [name, v] : act.env.singles) {
+    os << "s:" << name << "=" << v.ToString() << ";";
+  }
+  for (const auto& [name, sb] : act.env.sets) {
+    os << "S:" << name << (sb.is_node ? ":n[" : ":r[");
+    for (uint64_t id : sb.ids) os << id << ",";
+    os << "];";
+  }
+  for (const std::string& name : act.env.old_view_vars) {
+    os << "o:" << name << ";";
+  }
+  auto overlay = [&os](const char* tag, const auto& m) {
+    std::vector<uint64_t> ids;
+    for (const auto& [id, props] : m) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (uint64_t id : ids) {
+      os << tag << id << "{";
+      for (const auto& [key, v] : m.at(id)) {
+        os << key << "=" << v.ToString() << ",";
+      }
+      os << "};";
+    }
+  };
+  overlay("On:", act.env.old_node_props);
+  overlay("Or:", act.env.old_rel_props);
+  os << "}";
+  return os.str();
+}
+
+std::vector<std::string> DescribeAll(PgTriggerEngine& engine, ActionTime time,
+                                     const GraphDelta& delta) {
+  std::vector<std::string> out;
+  for (const Activation& act : engine.MatchAll(time, delta)) {
+    out.push_back(Describe(act));
+  }
+  return out;
+}
+
+/// Runs `statement` inside its own transaction and returns the raw
+/// statement delta (commit still runs the full trigger pipeline).
+GraphDelta RunAndCapture(Database& db, const std::string& statement) {
+  auto tx = std::move(db.BeginTx()).value();
+  tx->PushDeltaScope();
+  auto q = cypher::Parser::ParseQuery(statement);
+  EXPECT_TRUE(q.ok()) << q.status();
+  cypher::EvalContext ctx = db.MakeEvalContext(tx.get(), nullptr, nullptr);
+  cypher::Executor exec(ctx);
+  auto res = exec.Run(q.value(), cypher::Row{});
+  EXPECT_TRUE(res.ok()) << statement << " -> " << res.status();
+  GraphDelta delta = tx->PopDeltaScope();
+  EXPECT_TRUE(db.CommitWithTriggers(std::move(tx)).ok());
+  return delta;
+}
+
+int64_t Count(Database& db, const std::string& query) {
+  auto r = db.Execute(query);
+  EXPECT_TRUE(r.ok()) << r.status();
+  if (!r.ok() || r->rows.empty()) return -1;
+  return r->rows[0][0].int_value();
+}
+
+/// The firing-order log: trigger actions append `CREATE (:Log {t: name})`;
+/// Log nodes come back in id order, i.e. exactly the firing order.
+std::vector<std::string> FiringLog(Database& db) {
+  std::vector<std::string> out;
+  auto r = db.Execute("MATCH (l:Log) RETURN l.t");
+  EXPECT_TRUE(r.ok()) << r.status();
+  for (const auto& row : r->rows) out.push_back(row[0].string_value());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end differential: identical firing order and stats in both modes.
+
+struct ModeParams {
+  TriggerOrdering ordering;
+  LabelEventSemantics semantics;
+};
+
+class DispatchDifferential
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  EngineOptions Options(bool use_dispatch_index) const {
+    EngineOptions opts;
+    opts.trigger_ordering = std::get<0>(GetParam()) == 0
+                                ? TriggerOrdering::kCreationTime
+                                : TriggerOrdering::kName;
+    opts.label_event_semantics = std::get<1>(GetParam()) == 0
+                                     ? LabelEventSemantics::kMonitoredLabel
+                                     : LabelEventSemantics::kTargetSetChange;
+    opts.use_dispatch_index = use_dispatch_index;
+    return opts;
+  }
+
+  /// Trigger set spanning all four action times, both granularities, both
+  /// item kinds, property and label events. Names are chosen so that
+  /// name order differs from creation order.
+  void InstallTriggers(Database& db) {
+    const std::vector<std::string> ddls = {
+        "CREATE TRIGGER Zcreate AFTER CREATE ON 'M' FOR EACH NODE "
+        "BEGIN CREATE (:Log {t: 'Zcreate'}) END",
+        "CREATE TRIGGER Acreate AFTER CREATE ON 'M' FOR ALL NODES "
+        "BEGIN CREATE (:Log {t: 'Acreate'}) END",
+        "CREATE TRIGGER Ybefore BEFORE SET ON 'M'.'p' FOR EACH NODE "
+        "BEGIN SET NEW.btag = 1 END",
+        "CREATE TRIGGER Bset AFTER SET ON 'M'.'p' FOR EACH NODE "
+        "BEGIN CREATE (:Log {t: 'Bset'}) END",
+        "CREATE TRIGGER Xlabel AFTER SET ON 'Extra' FOR EACH NODE "
+        "BEGIN CREATE (:Log {t: 'Xlabel'}) END",
+        "CREATE TRIGGER Crem AFTER REMOVE ON 'Extra' FOR EACH NODE "
+        "BEGIN CREATE (:Log {t: 'Crem'}) END",
+        "CREATE TRIGGER Wrelset AFTER SET ON 'T'.'w' FOR EACH RELATIONSHIP "
+        "BEGIN CREATE (:Log {t: 'Wrelset'}) END",
+        "CREATE TRIGGER Dreldel AFTER DELETE ON 'T' FOR EACH RELATIONSHIP "
+        "BEGIN CREATE (:Log {t: 'Dreldel'}) END",
+        "CREATE TRIGGER Vcommit ONCOMMIT CREATE ON 'M' FOR ALL NODES "
+        "BEGIN CREATE (:Log {t: 'Vcommit'}) END",
+        "CREATE TRIGGER Edetach DETACHED DELETE ON 'N' FOR EACH NODE "
+        "BEGIN CREATE (:Log {t: 'Edetach'}) END",
+    };
+    for (const std::string& ddl : ddls) {
+      auto r = db.Execute(ddl);
+      ASSERT_TRUE(r.ok()) << ddl << " -> " << r.status();
+    }
+  }
+
+  void RunWorkload(Database& db) {
+    const std::vector<std::string> statements = {
+        "CREATE (:M {p: 1})",
+        "CREATE (:M {p: 2}), (:N {q: 1})",
+        "MATCH (m:M) SET m.p = 10",
+        "MATCH (m:M {p: 10}) SET m:Extra",
+        "MATCH (m:Extra) REMOVE m:Extra",
+        "CREATE (:S1), (:S2)",
+        "MATCH (a:S1), (b:S2) CREATE (a)-[:T {w: 1}]->(b)",
+        "MATCH ()-[r:T]->() SET r.w = 2",
+        "MATCH ()-[r:T]->() DELETE r",
+        "MATCH (n:N) DELETE n",
+    };
+    for (const std::string& s : statements) {
+      auto r = db.Execute(s);
+      ASSERT_TRUE(r.ok()) << s << " -> " << r.status();
+    }
+  }
+};
+
+TEST_P(DispatchDifferential, FiringOrderAndStatsIdentical) {
+  Database indexed(Options(/*use_dispatch_index=*/true));
+  Database linear(Options(/*use_dispatch_index=*/false));
+  InstallTriggers(indexed);
+  InstallTriggers(linear);
+  RunWorkload(indexed);
+  RunWorkload(linear);
+
+  const std::vector<std::string> log_indexed = FiringLog(indexed);
+  const std::vector<std::string> log_linear = FiringLog(linear);
+  EXPECT_FALSE(log_indexed.empty());
+  EXPECT_EQ(log_indexed, log_linear);
+
+  const EngineStats& si = indexed.stats();
+  const EngineStats& sl = linear.stats();
+  ASSERT_EQ(si.per_trigger.size(), sl.per_trigger.size());
+  for (const auto& [name, ts] : si.per_trigger) {
+    auto it = sl.per_trigger.find(name);
+    ASSERT_NE(it, sl.per_trigger.end()) << name;
+    EXPECT_EQ(ts.considered, it->second.considered) << name;
+    EXPECT_EQ(ts.fired, it->second.fired) << name;
+    EXPECT_EQ(ts.action_rows, it->second.action_rows) << name;
+    EXPECT_EQ(ts.errors, it->second.errors) << name;
+  }
+  EXPECT_EQ(Count(indexed, "MATCH (n) RETURN COUNT(*) AS c"),
+            Count(linear, "MATCH (n) RETURN COUNT(*) AS c"));
+}
+
+TEST_P(DispatchDifferential, MatchAllActivationsByteIdentical) {
+  Database db(Options(/*use_dispatch_index=*/true));
+  InstallTriggers(db);
+
+  const std::vector<std::string> statements = {
+      "CREATE (:M {p: 1}), (:M {p: 2}), (:N)",
+      "MATCH (m:M) SET m.p = 20",
+      "MATCH (m:M) SET m:Extra",
+      "MATCH (m:Extra) REMOVE m:Extra",
+      "CREATE (:S1), (:S2)",
+      "MATCH (a:S1), (b:S2) CREATE (a)-[:T {w: 1}]->(b)",
+      "MATCH ()-[r:T]->() SET r.w = 5",
+      "MATCH ()-[r:T]->() DELETE r",
+      "MATCH (n:N) DETACH DELETE n",
+  };
+  constexpr ActionTime kTimes[] = {ActionTime::kBefore, ActionTime::kAfter,
+                                   ActionTime::kOnCommit,
+                                   ActionTime::kDetached};
+  for (const std::string& s : statements) {
+    GraphDelta delta = RunAndCapture(db, s);
+    for (ActionTime time : kTimes) {
+      db.options().use_dispatch_index = true;
+      const std::vector<std::string> fast =
+          DescribeAll(db.engine(), time, delta);
+      db.options().use_dispatch_index = false;
+      const std::vector<std::string> slow =
+          DescribeAll(db.engine(), time, delta);
+      db.options().use_dispatch_index = true;
+      EXPECT_EQ(fast, slow) << "statement: " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderingsAndSemantics, DispatchDifferential,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(std::get<0>(info.param) == 0 ? "CreationTime"
+                                                      : "NameOrder") +
+             (std::get<1>(info.param) == 0 ? "MonitoredLabel"
+                                           : "TargetSetChange");
+    });
+
+// ---------------------------------------------------------------------------
+// Statement-level snapshot semantics (locked in by this PR): all triggers
+// activated by the same statement are matched up front against one
+// consistent snapshot of the statement's events (Section 4.2), so an
+// earlier trigger's action cannot un-match a sibling trigger of the same
+// statement. (Previously matching was lazy, per trigger, against the
+// mutated store.)
+
+TEST(SnapshotSemantics, EarlierTriggerCannotUnmatchSibling) {
+  for (bool use_index : {true, false}) {
+    EngineOptions opts;
+    opts.use_dispatch_index = use_index;
+    Database db(opts);
+    // T1 runs first (creation order) and strips :B from the new node; T2
+    // monitors CREATE on 'B' and must still fire on the snapshot.
+    ASSERT_TRUE(db.Execute("CREATE TRIGGER T1 AFTER CREATE ON 'A' "
+                           "FOR EACH NODE BEGIN REMOVE NEW:B END")
+                    .ok());
+    ASSERT_TRUE(db.Execute("CREATE TRIGGER T2 AFTER CREATE ON 'B' "
+                           "FOR EACH NODE BEGIN CREATE (:SawB) END")
+                    .ok());
+    ASSERT_TRUE(db.Execute("CREATE (:A:B)").ok());
+    EXPECT_EQ(Count(db, "MATCH (s:SawB) RETURN COUNT(*) AS c"), 1)
+        << "use_dispatch_index=" << use_index;
+    EXPECT_EQ(db.stats().per_trigger["T1"].fired, 1u);
+    EXPECT_EQ(db.stats().per_trigger["T2"].fired, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DispatchIndex maintenance: install / drop / enable / disable, and late
+// symbol interning.
+
+TEST(DispatchIndexMaintenance, LateInternedLabelResolvesAndFires) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER T AFTER CREATE ON 'NeverSeen' "
+                         "FOR EACH NODE BEGIN CREATE (:Hit) END")
+                  .ok());
+  // The label is not interned at install time: the trigger sits pending.
+  EXPECT_EQ(db.catalog().dispatch().pending_count(), 1u);
+  EXPECT_EQ(db.catalog().dispatch().resolved_count(), 0u);
+
+  // First use of the label interns it mid-statement; dispatch must pick it
+  // up within the same statement's trigger round.
+  ASSERT_TRUE(db.Execute("CREATE (:NeverSeen)").ok());
+  EXPECT_EQ(Count(db, "MATCH (h:Hit) RETURN COUNT(*) AS c"), 1);
+  EXPECT_EQ(db.catalog().dispatch().pending_count(), 0u);
+  EXPECT_EQ(db.catalog().dispatch().resolved_count(), 1u);
+}
+
+TEST(DispatchIndexMaintenance, DisableEnableDropMaintainIndex) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE (:A)").ok());  // intern 'A'
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER T AFTER CREATE ON 'A' "
+                         "FOR EACH NODE BEGIN CREATE (:Hit) END")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE (:A)").ok());
+  EXPECT_EQ(Count(db, "MATCH (h:Hit) RETURN COUNT(*) AS c"), 1);
+
+  ASSERT_TRUE(db.Execute("ALTER TRIGGER T DISABLE").ok());
+  EXPECT_EQ(db.catalog().dispatch().resolved_count(), 0u);
+  ASSERT_TRUE(db.Execute("CREATE (:A)").ok());
+  EXPECT_EQ(Count(db, "MATCH (h:Hit) RETURN COUNT(*) AS c"), 1);
+
+  ASSERT_TRUE(db.Execute("ALTER TRIGGER T ENABLE").ok());
+  ASSERT_TRUE(db.Execute("CREATE (:A)").ok());
+  EXPECT_EQ(Count(db, "MATCH (h:Hit) RETURN COUNT(*) AS c"), 2);
+
+  ASSERT_TRUE(db.Execute("DROP TRIGGER T").ok());
+  EXPECT_EQ(db.catalog().dispatch().resolved_count(), 0u);
+  EXPECT_EQ(db.catalog().dispatch().pending_count(), 0u);
+  ASSERT_TRUE(db.Execute("CREATE (:A)").ok());
+  EXPECT_EQ(Count(db, "MATCH (h:Hit) RETURN COUNT(*) AS c"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: relationship events on rels deleted later in the same
+// transaction. The type lookup must fall back to the delta's deleted-rel
+// image (mirror of the node path's LabelsOf fallback) when the store has no
+// record — e.g. a committed delta examined against a store that never
+// materialized the rel, as in the translators' equivalence checks.
+
+class RelDeltaLifetime : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    type_ = db_.store().InternRelType("T");
+    key_ = db_.store().InternPropKey("w");
+  }
+
+  /// A delta whose relationship exists only as a deleted image: the rel id
+  /// is beyond every record the store ever allocated.
+  GraphDelta DeletedOnlyDelta() {
+    GraphDelta delta;
+    DeletedRelImage img;
+    img.id = RelId{977};
+    img.type = type_;
+    delta.deleted_rels.push_back(img);
+    return delta;
+  }
+
+  Database db_;
+  RelTypeId type_ = 0;
+  PropKeyId key_ = 0;
+};
+
+TEST_F(RelDeltaLifetime, CreateEventOnRelDeletedInSameDelta) {
+  TriggerDef def = ParseDef(
+      "CREATE TRIGGER R AFTER CREATE ON 'T' FOR EACH RELATIONSHIP "
+      "BEGIN CREATE (:X) END");
+  GraphDelta delta = DeletedOnlyDelta();
+  delta.created_rels.push_back(RelId{977});
+  auto acts = db_.engine().MatchActivations(def, delta);
+  ASSERT_EQ(acts.size(), 1u);
+  EXPECT_TRUE(acts[0].env.singles.count("NEW"));
+}
+
+TEST_F(RelDeltaLifetime, SetEventOnRelDeletedInSameDelta) {
+  TriggerDef def = ParseDef(
+      "CREATE TRIGGER R AFTER SET ON 'T'.'w' FOR EACH RELATIONSHIP "
+      "BEGIN CREATE (:X) END");
+  GraphDelta delta = DeletedOnlyDelta();
+  delta.assigned_rel_props.push_back(
+      RelPropChange{RelId{977}, key_, Value::Int(1), Value::Int(2)});
+  auto acts = db_.engine().MatchActivations(def, delta);
+  ASSERT_EQ(acts.size(), 1u);
+  // OLD overlay carries the pre-statement value.
+  ASSERT_EQ(acts[0].env.old_rel_props.size(), 1u);
+}
+
+TEST_F(RelDeltaLifetime, RemoveEventOnRelDeletedInSameDelta) {
+  TriggerDef def = ParseDef(
+      "CREATE TRIGGER R AFTER REMOVE ON 'T'.'w' FOR EACH RELATIONSHIP "
+      "BEGIN CREATE (:X) END");
+  GraphDelta delta = DeletedOnlyDelta();
+  delta.removed_rel_props.push_back(
+      RelPropChange{RelId{977}, key_, Value::Int(1), Value::Null()});
+  auto acts = db_.engine().MatchActivations(def, delta);
+  ASSERT_EQ(acts.size(), 1u);
+}
+
+TEST_F(RelDeltaLifetime, IndexedDispatchUsesSameFallback) {
+  ASSERT_TRUE(db_.catalog()
+                  .Install(ParseDef(
+                      "CREATE TRIGGER R DETACHED SET ON 'T'.'w' FOR EACH "
+                      "RELATIONSHIP BEGIN CREATE (:X) END"))
+                  .ok());
+  GraphDelta delta = DeletedOnlyDelta();
+  delta.assigned_rel_props.push_back(
+      RelPropChange{RelId{977}, key_, Value::Int(1), Value::Int(2)});
+  db_.options().use_dispatch_index = true;
+  EXPECT_EQ(db_.engine().MatchAll(ActionTime::kDetached, delta).size(), 1u);
+  db_.options().use_dispatch_index = false;
+  EXPECT_EQ(db_.engine().MatchAll(ActionTime::kDetached, delta).size(), 1u);
+}
+
+TEST_F(RelDeltaLifetime, OnCommitSetThenDeleteStillFires) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE (:A), (:B)").ok());
+  ASSERT_TRUE(
+      db.Execute("MATCH (a:A), (b:B) CREATE (a)-[:T {w: 1}]->(b)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER OC ONCOMMIT SET ON 'T'.'w' "
+                         "FOR EACH RELATIONSHIP BEGIN CREATE (:OcLog) END")
+                  .ok());
+  auto r = db.ExecuteTx({"MATCH ()-[r:T]->() SET r.w = 2",
+                         "MATCH ()-[r:T]->() DELETE r"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(Count(db, "MATCH (l:OcLog) RETURN COUNT(*) AS c"), 1);
+}
+
+TEST_F(RelDeltaLifetime, DetachedSetThenDeleteStillFires) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE (:A), (:B)").ok());
+  ASSERT_TRUE(
+      db.Execute("MATCH (a:A), (b:B) CREATE (a)-[:T {w: 1}]->(b)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER DT DETACHED SET ON 'T'.'w' "
+                         "FOR EACH RELATIONSHIP BEGIN CREATE (:DtLog) END")
+                  .ok());
+  auto r = db.ExecuteTx({"MATCH ()-[r:T]->() SET r.w = 2",
+                         "MATCH ()-[r:T]->() DELETE r"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(Count(db, "MATCH (l:DtLog) RETURN COUNT(*) AS c"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: DROP TRIGGER while DETACHED activations are queued. The
+// queued activation shares ownership of the definition with the catalog,
+// so the drop (here issued from an earlier detached trigger's own
+// transaction, via a registered procedure) cannot dangle it.
+
+TEST(DropWhileQueued, QueuedDetachedActivationSurvivesDrop) {
+  Database db;
+  db.procedures().Register(
+      "test.dropb", {},
+      [&db](cypher::EvalContext&, const std::vector<Value>&,
+            const cypher::Row&) -> Result<std::vector<cypher::Row>> {
+        PGT_RETURN_IF_ERROR(db.catalog().Drop("B"));
+        return std::vector<cypher::Row>{};
+      });
+  // A runs first (creation order) and drops B while B's activation is
+  // already sitting in the detached queue.
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER A DETACHED CREATE ON 'X' "
+                         "FOR EACH NODE BEGIN CALL test.dropb() END")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER B DETACHED CREATE ON 'X' "
+                         "FOR EACH NODE BEGIN CREATE (:FromB) END")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE (:X)").ok());
+
+  EXPECT_EQ(db.catalog().Find("B"), nullptr);  // the drop took effect
+  // B's queued activation still ran on its owned definition.
+  EXPECT_EQ(Count(db, "MATCH (n:FromB) RETURN COUNT(*) AS c"), 1);
+  EXPECT_EQ(db.stats().per_trigger["B"].fired, 1u);
+
+  // B stays dropped: the next commit only activates A.
+  ASSERT_TRUE(db.Execute("CREATE (:X)").ok());
+  EXPECT_EQ(Count(db, "MATCH (n:FromB) RETURN COUNT(*) AS c"), 1);
+}
+
+// One commit queues several DETACHED activations; they share one source
+// delta, and each still reads OLD state through the re-injected ghosts.
+TEST(DetachedQueue, SharedSourceDeltaKeepsOldReadable) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER D1 DETACHED DELETE ON 'N' "
+                         "FOR EACH NODE BEGIN CREATE (:G1 {v: OLD.q}) END")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER D2 DETACHED DELETE ON 'N' "
+                         "FOR EACH NODE BEGIN CREATE (:G2 {v: OLD.q}) END")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE (:N {q: 7}), (:N {q: 8})").ok());
+  ASSERT_TRUE(db.Execute("MATCH (n:N) DELETE n").ok());
+  EXPECT_EQ(Count(db, "MATCH (g:G1) RETURN COUNT(*) AS c"), 2);
+  EXPECT_EQ(Count(db, "MATCH (g:G2) RETURN COUNT(*) AS c"), 2);
+  EXPECT_EQ(Count(db, "MATCH (g:G1) WHERE g.v = 7 RETURN COUNT(*) AS c"), 1);
+  EXPECT_EQ(Count(db, "MATCH (g:G2) WHERE g.v = 8 RETURN COUNT(*) AS c"), 1);
+}
+
+}  // namespace
+}  // namespace pgt
