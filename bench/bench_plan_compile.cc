@@ -1,0 +1,218 @@
+// Compiled-vs-interpreted trigger-firing throughput: the compile-once plan
+// pipeline (src/cypher/plan) against the legacy AST interpreter.
+//
+//   $ ./build/bench_plan_compile [output.json] [--smoke]
+//
+// Setup: owners with accounts ((:Owner {oid})-[:OWNS]->(:Acct {id, bal})),
+// point lookups index-backed (the steady state after the property-index
+// PR). Each firing is one parameterized UPDATE statement; with compiled
+// plans on, the statement hits the ad-hoc LRU and the trigger runs its
+// cached WHEN/action plans; off, everything re-parses / re-plans /
+// interprets per firing (the pre-plan behavior).
+//
+// Two trigger shapes, both with a 3-variable WHEN pipeline
+// (o / cnt / tot, NEW in scope for the action):
+//
+//  * "pipeline"  — match the owner, aggregate over sibling accounts. The
+//    speedup here bounds what slot frames + cached symbols + scan
+//    templates buy when evaluation cost is dominated by shared storage
+//    reads and Value machinery.
+//  * "watchlist" — the same pipeline with a 512-entry constant IN list in
+//    the condition (sanctions / variant watchlists; cf. the paper's
+//    Section 6 monitoring rules). The compiler folds the list once and
+//    probes it in O(log n); the interpreter rebuilds and linearly scans it
+//    on every row evaluation — the asymptotic half of compile-once.
+//
+// Per-trigger fired/considered stats and the final graph checksum must be
+// identical between modes for every point. Writes a JSON baseline (default
+// BENCH_plan.json). Acceptance goal: >= 5x per-firing speedup at 10k
+// firings for the watchlist trigger. --smoke runs small points (CI) and
+// only checks identity.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace pgt::bench {
+namespace {
+
+constexpr int kOwners = 64;
+constexpr int kAcctsPerOwner = 3;
+constexpr int kWatchlist = 512;
+
+struct Point {
+  std::string shape;
+  int firings = 0;
+  double interpreted_micros = 0;  // per firing
+  double compiled_micros = 0;     // per firing
+  bool identical = false;
+  double Speedup() const {
+    return compiled_micros > 0 ? interpreted_micros / compiled_micros : 0;
+  }
+};
+
+std::string WatchlistLiteral() {
+  // Account-id watchlist; entries beyond the live id range so the OR's
+  // right side decides and both shapes fire identically.
+  std::string s = "[";
+  for (int i = 0; i < kWatchlist; ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(100000 + i);
+  }
+  return s + "]";
+}
+
+std::string TriggerDdl(bool watchlist) {
+  const std::string cond =
+      watchlist ? "WHERE b.id IN " + WatchlistLiteral() + " OR b.bal >= 0 "
+                : "WHERE b.bal >= 0 ";
+  return "CREATE TRIGGER Hot AFTER SET ON 'Acct'.'bal' FOR EACH NODE "
+         "WHEN MATCH (o:Owner {oid: NEW.owner})-[:OWNS]->(b:Acct) " +
+         cond +
+         "WITH o, COUNT(b) AS cnt, SUM(b.bal) AS tot "
+         "BEGIN SET NEW.score = tot + cnt END";
+}
+
+void Seed(Database& db, bool watchlist) {
+  MustExec(db, "CREATE INDEX ON :Acct(id)");
+  MustExec(db, "CREATE INDEX ON :Owner(oid)");
+  for (int o = 0; o < kOwners; ++o) {
+    MustExec(db, "CREATE (:Owner {oid: " + std::to_string(o) + ", name: 'o" +
+                     std::to_string(o) + "'})");
+    for (int a = 0; a < kAcctsPerOwner; ++a) {
+      const int id = o * kAcctsPerOwner + a;
+      MustExec(db, "MATCH (o:Owner {oid: " + std::to_string(o) +
+                       "}) CREATE (o)-[:OWNS {w: 1}]->(:Acct {id: " +
+                       std::to_string(id) + ", bal: " + std::to_string(id) +
+                       ", owner: " + std::to_string(o) + "})");
+    }
+  }
+  MustExec(db, TriggerDdl(watchlist));
+}
+
+/// Runs `firings` parameterized balance updates; returns micros per firing.
+double RunFirings(Database& db, int firings) {
+  const std::string stmt = "MATCH (a:Acct {id: $id}) SET a.bal = $v";
+  Params params{{"id", Value::Int(0)}, {"v", Value::Int(0)}};
+  Stopwatch sw;
+  for (int i = 0; i < firings; ++i) {
+    params["id"] = Value::Int(i % (kOwners * kAcctsPerOwner));
+    params["v"] = Value::Int(i);
+    MustExec(db, stmt, params);
+  }
+  return sw.ElapsedMicros() / firings;
+}
+
+int64_t Checksum(Database& db) {
+  return MustCount(db, "MATCH (a:Acct) RETURN SUM(a.bal + a.score) AS c");
+}
+
+bool SameStats(Database& a, Database& b) {
+  const TriggerStats& sa = a.stats().per_trigger["Hot"];
+  const TriggerStats& sb = b.stats().per_trigger["Hot"];
+  return sa.considered == sb.considered && sa.fired == sb.fired &&
+         sa.action_rows == sb.action_rows && sa.errors == sb.errors;
+}
+
+Point RunPoint(const std::string& shape, bool watchlist, int firings) {
+  EngineOptions interpreted_opts;
+  interpreted_opts.use_compiled_plans = false;
+  EngineOptions compiled_opts;
+  compiled_opts.use_compiled_plans = true;
+
+  Database interpreted(interpreted_opts);
+  Database compiled(compiled_opts);
+  Seed(interpreted, watchlist);
+  Seed(compiled, watchlist);
+
+  Point p;
+  p.shape = shape;
+  p.firings = firings;
+  p.interpreted_micros = RunFirings(interpreted, firings);
+  p.compiled_micros = RunFirings(compiled, firings);
+  p.identical = SameStats(interpreted, compiled) &&
+                Checksum(interpreted) == Checksum(compiled);
+  return p;
+}
+
+}  // namespace
+}  // namespace pgt::bench
+
+int main(int argc, char** argv) {
+  using namespace pgt::bench;
+
+  std::string out_path = "BENCH_plan.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  Banner("bench_plan_compile",
+         "compiled plans vs AST interpreter: per-firing trigger cost");
+
+  const std::vector<int> firing_counts =
+      smoke ? std::vector<int>{200} : std::vector<int>{1000, 10000};
+  std::vector<Point> points;
+  bool all_identical = true;
+  double watchlist_10k_speedup = 0;
+  for (bool watchlist : {false, true}) {
+    const std::string shape = watchlist ? "watchlist" : "pipeline";
+    for (int firings : firing_counts) {
+      Point p = RunPoint(shape, watchlist, firings);
+      points.push_back(p);
+      all_identical = all_identical && p.identical;
+      if (watchlist && firings == firing_counts.back()) {
+        watchlist_10k_speedup = p.Speedup();
+      }
+      std::printf(
+          "%-9s firings=%-6d interpreted=%8.2f us   compiled=%8.2f us   "
+          "speedup=%5.1fx   identical=%s\n",
+          shape.c_str(), p.firings, p.interpreted_micros, p.compiled_micros,
+          p.Speedup(), p.identical ? "yes" : "NO");
+    }
+  }
+
+  const bool goal = smoke || watchlist_10k_speedup >= 5.0;
+  std::printf("\nspeedup goal (>= 5x at 10k firings, watchlist trigger): %s\n",
+              goal ? "MET" : "NOT MET");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"smoke\": %s,\n  \"owners\": %d,\n"
+                 "  \"accounts\": %d,\n  \"watchlist_entries\": %d,\n"
+                 "  \"points\": [\n",
+                 smoke ? "true" : "false", kOwners, kOwners * kAcctsPerOwner,
+                 kWatchlist);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(
+          f,
+          "    {\"shape\": \"%s\", \"firings\": %d, "
+          "\"interpreted_micros_per_firing\": %.1f, "
+          "\"compiled_micros_per_firing\": %.1f, \"speedup\": %.1f, "
+          "\"identical\": %s}%s\n",
+          p.shape.c_str(), p.firings, p.interpreted_micros,
+          p.compiled_micros, p.Speedup(), p.identical ? "true" : "false",
+          i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n  \"notes\": \"pipeline = slot frames + cached symbols + "
+        "scan templates over shared storage reads; watchlist adds a "
+        "512-entry constant IN list the compiler folds and probes in "
+        "O(log n) while the interpreter rebuilds and scans it per row\",\n"
+        "  \"speedup_goal_5x_at_10k\": %s\n}\n",
+        goal ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return all_identical && goal ? 0 : 1;
+}

@@ -67,9 +67,13 @@ std::vector<LabelId> ReadItemLabels(EvalContext& ctx, const Value& item) {
 
 namespace {
 
+Status TypeErrAt(int line, int col, const std::string& msg) {
+  return Status::TypeError(msg + " at " + std::to_string(line) + ":" +
+                           std::to_string(col));
+}
+
 Status TypeErr(const Expr& e, const std::string& msg) {
-  return Status::TypeError(msg + " at " + std::to_string(e.line) + ":" +
-                           std::to_string(e.col));
+  return TypeErrAt(e.line, e.col, msg);
 }
 
 /// Three-valued logic encoding: -1 = null, 0 = false, 1 = true.
@@ -78,17 +82,21 @@ int Tri(const Value& v) {
   return v.bool_value() ? 1 : 0;
 }
 
-Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
-                         EvalContext& ctx) {
-  (void)ctx;
-  switch (e.bin_op) {
+}  // namespace
+
+Result<Value> EvalBinaryOp(BinOp op, const Value& a, const Value& b, int line,
+                           int col) {
+  auto TypeErr = [&](const std::string& msg) {
+    return TypeErrAt(line, col, msg);
+  };
+  switch (op) {
     case BinOp::kAnd: {
       const int x = Tri(a), y = Tri(b);
       if (!a.is_null() && !a.is_bool()) {
-        return TypeErr(e, "AND requires booleans");
+        return TypeErr("AND requires booleans");
       }
       if (!b.is_null() && !b.is_bool()) {
-        return TypeErr(e, "AND requires booleans");
+        return TypeErr("AND requires booleans");
       }
       if (x == 0 || y == 0) return Value::Bool(false);
       if (x == 1 && y == 1) return Value::Bool(true);
@@ -97,10 +105,10 @@ Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
     case BinOp::kOr: {
       const int x = Tri(a), y = Tri(b);
       if (!a.is_null() && !a.is_bool()) {
-        return TypeErr(e, "OR requires booleans");
+        return TypeErr("OR requires booleans");
       }
       if (!b.is_null() && !b.is_bool()) {
-        return TypeErr(e, "OR requires booleans");
+        return TypeErr("OR requires booleans");
       }
       if (x == 1 || y == 1) return Value::Bool(true);
       if (x == 0 && y == 0) return Value::Bool(false);
@@ -131,7 +139,7 @@ Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
            b.type() == ValueType::kDateTime);
       if (!comparable) return Value::Null();
       const int c = a.TotalCompare(b);
-      switch (e.bin_op) {
+      switch (op) {
         case BinOp::kLt:
           return Value::Bool(c < 0);
         case BinOp::kLe:
@@ -170,7 +178,7 @@ Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
       if (a.is_numeric() && b.is_numeric()) {
         return Value::Double(a.as_double() + b.as_double());
       }
-      return TypeErr(e, std::string("cannot add ") + a.type_name() + " and " +
+      return TypeErr(std::string("cannot add ") + a.type_name() + " and " +
                             b.type_name());
     }
     case BinOp::kSub: {
@@ -181,7 +189,7 @@ Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
       if (a.is_numeric() && b.is_numeric()) {
         return Value::Double(a.as_double() - b.as_double());
       }
-      return TypeErr(e, "subtraction requires numbers");
+      return TypeErr("subtraction requires numbers");
     }
     case BinOp::kMul: {
       if (a.is_null() || b.is_null()) return Value::Null();
@@ -191,41 +199,41 @@ Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
       if (a.is_numeric() && b.is_numeric()) {
         return Value::Double(a.as_double() * b.as_double());
       }
-      return TypeErr(e, "multiplication requires numbers");
+      return TypeErr("multiplication requires numbers");
     }
     case BinOp::kDiv: {
       if (a.is_null() || b.is_null()) return Value::Null();
       if (a.is_int() && b.is_int()) {
-        if (b.int_value() == 0) return TypeErr(e, "division by zero");
+        if (b.int_value() == 0) return TypeErr("division by zero");
         return Value::Int(a.int_value() / b.int_value());
       }
       if (a.is_numeric() && b.is_numeric()) {
-        if (b.as_double() == 0.0) return TypeErr(e, "division by zero");
+        if (b.as_double() == 0.0) return TypeErr("division by zero");
         return Value::Double(a.as_double() / b.as_double());
       }
-      return TypeErr(e, "division requires numbers");
+      return TypeErr("division requires numbers");
     }
     case BinOp::kMod: {
       if (a.is_null() || b.is_null()) return Value::Null();
       if (a.is_int() && b.is_int()) {
-        if (b.int_value() == 0) return TypeErr(e, "modulo by zero");
+        if (b.int_value() == 0) return TypeErr("modulo by zero");
         return Value::Int(a.int_value() % b.int_value());
       }
       if (a.is_numeric() && b.is_numeric()) {
         return Value::Double(std::fmod(a.as_double(), b.as_double()));
       }
-      return TypeErr(e, "modulo requires numbers");
+      return TypeErr("modulo requires numbers");
     }
     case BinOp::kPow: {
       if (a.is_null() || b.is_null()) return Value::Null();
       if (!a.is_numeric() || !b.is_numeric()) {
-        return TypeErr(e, "exponentiation requires numbers");
+        return TypeErr("exponentiation requires numbers");
       }
       return Value::Double(std::pow(a.as_double(), b.as_double()));
     }
     case BinOp::kIn: {
       if (a.is_null() || b.is_null()) return Value::Null();
-      if (!b.is_list()) return TypeErr(e, "IN requires a list");
+      if (!b.is_list()) return TypeErr("IN requires a list");
       bool saw_null = false;
       for (const Value& v : b.list_value()) {
         if (v.is_null()) {
@@ -241,14 +249,14 @@ Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
     case BinOp::kContains: {
       if (a.is_null() || b.is_null()) return Value::Null();
       if (!a.is_string() || !b.is_string()) {
-        return TypeErr(e, "string predicate requires strings");
+        return TypeErr("string predicate requires strings");
       }
       const std::string& s = a.string_value();
       const std::string& t = b.string_value();
       bool r = false;
-      if (e.bin_op == BinOp::kStartsWith) {
+      if (op == BinOp::kStartsWith) {
         r = s.size() >= t.size() && s.compare(0, t.size(), t) == 0;
-      } else if (e.bin_op == BinOp::kEndsWith) {
+      } else if (op == BinOp::kEndsWith) {
         r = s.size() >= t.size() &&
             s.compare(s.size() - t.size(), t.size(), t) == 0;
       } else {
@@ -257,10 +265,34 @@ Result<Value> EvalBinary(const Expr& e, const Value& a, const Value& b,
       return Value::Bool(r);
     }
   }
-  return TypeErr(e, "unknown binary operator");
+  return TypeErr("unknown binary operator");
 }
 
-}  // namespace
+Result<Value> EvalUnaryOp(UnOp op, const Value& a, int line, int col) {
+  auto TypeErr = [&](const std::string& msg) {
+    return TypeErrAt(line, col, msg);
+  };
+  switch (op) {
+    case UnOp::kNot: {
+      const int t = Tri(a);
+      if (!a.is_null() && !a.is_bool()) {
+        return TypeErr("NOT requires a boolean");
+      }
+      if (t < 0) return Value::Null();
+      return Value::Bool(t == 0);
+    }
+    case UnOp::kNeg:
+      if (a.is_null()) return Value::Null();
+      if (a.is_int()) return Value::Int(-a.int_value());
+      if (a.is_double()) return Value::Double(-a.double_value());
+      return TypeErr("negation requires a number");
+    case UnOp::kIsNull:
+      return Value::Bool(a.is_null());
+    case UnOp::kIsNotNull:
+      return Value::Bool(!a.is_null());
+  }
+  return TypeErr("unknown unary operator");
+}
 
 Result<Value> EvalExpr(const Expr& e, const Row& row, EvalContext& ctx) {
   switch (e.kind) {
@@ -320,30 +352,11 @@ Result<Value> EvalExpr(const Expr& e, const Row& row, EvalContext& ctx) {
         return Value::Bool(true);
       }
       PGT_ASSIGN_OR_RETURN(Value b, EvalExpr(*e.b, row, ctx));
-      return EvalBinary(e, a, b, ctx);
+      return EvalBinaryOp(e.bin_op, a, b, e.line, e.col);
     }
     case Expr::Kind::kUnary: {
       PGT_ASSIGN_OR_RETURN(Value a, EvalExpr(*e.a, row, ctx));
-      switch (e.un_op) {
-        case UnOp::kNot: {
-          const int t = Tri(a);
-          if (!a.is_null() && !a.is_bool()) {
-            return TypeErr(e, "NOT requires a boolean");
-          }
-          if (t < 0) return Value::Null();
-          return Value::Bool(t == 0);
-        }
-        case UnOp::kNeg:
-          if (a.is_null()) return Value::Null();
-          if (a.is_int()) return Value::Int(-a.int_value());
-          if (a.is_double()) return Value::Double(-a.double_value());
-          return TypeErr(e, "negation requires a number");
-        case UnOp::kIsNull:
-          return Value::Bool(a.is_null());
-        case UnOp::kIsNotNull:
-          return Value::Bool(!a.is_null());
-      }
-      return TypeErr(e, "unknown unary operator");
+      return EvalUnaryOp(e.un_op, a, e.line, e.col);
     }
     case Expr::Kind::kFunc: {
       if (IsAggregateFunctionName(e.name)) {

@@ -81,6 +81,14 @@ struct EvalContext {
 /// here (they are handled by the executor's projection logic).
 Result<Value> EvalExpr(const Expr& e, const Row& row, EvalContext& ctx);
 
+/// Applies a binary / unary operator to already-evaluated operands (Cypher
+/// ternary logic, numeric coercion, string predicates, IN). Shared by the
+/// AST interpreter and the compiled plan executor (src/cypher/plan) so the
+/// two paths cannot diverge; `line`/`col` feed the error text.
+Result<Value> EvalBinaryOp(BinOp op, const Value& a, const Value& b, int line,
+                           int col);
+Result<Value> EvalUnaryOp(UnOp op, const Value& a, int line, int col);
+
 /// Evaluates an expression as a predicate: true iff the value is boolean
 /// true (NULL and false are both "does not pass", per Cypher WHERE).
 Result<bool> EvalPredicate(const Expr& e, const Row& row, EvalContext& ctx);

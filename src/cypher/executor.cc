@@ -26,7 +26,6 @@ Result<Value> EvalAggregateCall(const Expr& e,
   if (e.kind == Expr::Kind::kCountStar) {
     return Value::Int(static_cast<int64_t>(group.size()));
   }
-  const std::string fn = ToLower(e.name);
   if (e.args.size() != 1) {
     return Status::InvalidArgument("aggregate " + e.name +
                                    " expects one argument");
@@ -37,7 +36,15 @@ Result<Value> EvalAggregateCall(const Expr& e,
     PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.args[0], row, ctx));
     if (!v.is_null()) vals.push_back(std::move(v));
   }
-  if (e.distinct) {
+  return FinishAggregate(e.name, e.distinct, std::move(vals));
+}
+
+}  // namespace
+
+Result<Value> FinishAggregate(const std::string& name, bool distinct,
+                              std::vector<Value> vals) {
+  const std::string fn = ToLower(name);
+  if (distinct) {
     std::vector<Value> uniq;
     for (Value& v : vals) {
       bool dup = false;
@@ -90,8 +97,10 @@ Result<Value> EvalAggregateCall(const Expr& e,
     }
     return best;
   }
-  return Status::InvalidArgument("unknown aggregate " + e.name);
+  return Status::InvalidArgument("unknown aggregate " + name);
 }
+
+namespace {
 
 /// Replaces aggregate subtrees with their computed literal values.
 Status SubstituteAggregates(Expr* e, const std::vector<Row>& group,
@@ -297,7 +306,7 @@ Result<std::vector<Row>> Executor::ApplyProjection(const Clause& c,
   std::vector<Row> projected;
 
   if (c.return_star) {
-    projected = rows;  // keep all bindings
+    projected = std::move(rows);  // keep all bindings (pass-through, no copy)
   } else {
     bool has_aggregate = false;
     for (const ProjItem& item : c.items) {
@@ -591,7 +600,7 @@ Result<std::vector<Row>> Executor::ApplyMerge(const Clause& c,
                                               std::vector<Row> rows) {
   std::vector<Row> out;
   const PatternPart& part = c.pattern.parts.front();
-  for (const Row& row : rows) {
+  for (Row& row : rows) {
     std::vector<Row> matches;
     PGT_RETURN_IF_ERROR(
         MatchPattern(c.pattern, row, ctx_, [&](const Row& m) -> Status {
@@ -604,7 +613,8 @@ Result<std::vector<Row>> Executor::ApplyMerge(const Clause& c,
         out.push_back(std::move(m));
       }
     } else {
-      PGT_ASSIGN_OR_RETURN(Row created, CreatePatternPart(part, row));
+      PGT_ASSIGN_OR_RETURN(Row created,
+                           CreatePatternPart(part, std::move(row)));
       PGT_RETURN_IF_ERROR(ApplySetItems(c.on_create, created));
       out.push_back(std::move(created));
     }
@@ -699,7 +709,9 @@ Result<std::vector<Row>> Executor::ApplyForeach(const Clause& c,
     for (const Value& v : list.list_value()) {
       Row scoped = row;
       scoped.Set(c.foreach_var, v);
-      PGT_RETURN_IF_ERROR(RunUpdates(c.foreach_body, {scoped}));
+      std::vector<Row> seeded;
+      seeded.push_back(std::move(scoped));
+      PGT_RETURN_IF_ERROR(RunUpdates(c.foreach_body, std::move(seeded)));
     }
   }
   return rows;
@@ -723,7 +735,7 @@ Result<std::vector<Row>> Executor::ApplyCall(const Clause& c,
     }
   }
   std::vector<Row> out;
-  for (const Row& row : rows) {
+  for (Row& row : rows) {
     std::vector<Value> args;
     for (const ExprPtr& arg : c.call_args) {
       PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, row, ctx_));
@@ -732,7 +744,8 @@ Result<std::vector<Row>> Executor::ApplyCall(const Clause& c,
     PGT_ASSIGN_OR_RETURN(std::vector<Row> produced,
                          proc->fn(ctx_, args, row));
     if (c.call_yield.empty()) {
-      out.push_back(row);  // side-effect call: pass the row through
+      // Side-effect call: pass the row through without re-copying it.
+      out.push_back(std::move(row));
       continue;
     }
     for (const Row& prow : produced) {

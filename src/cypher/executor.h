@@ -23,6 +23,14 @@ struct QueryResult {
   std::string ToTable() const;
 };
 
+/// Reduces one aggregate call (count / collect / sum / avg / min / max)
+/// over the evaluated per-row argument values, NULLs already removed;
+/// applies DISTINCT dedup first when `distinct` is set. Shared by the
+/// interpreter's projection logic and the compiled plan executor
+/// (src/cypher/plan) so aggregate semantics cannot diverge.
+Result<Value> FinishAggregate(const std::string& name, bool distinct,
+                              std::vector<Value> vals);
+
 /// Pipeline interpreter for the Cypher subset.
 ///
 /// Clauses execute strictly left to right over materialized binding rows;

@@ -1,0 +1,48 @@
+#ifndef PGTRIGGERS_CYPHER_PLAN_COMPILER_H_
+#define PGTRIGGERS_CYPHER_PLAN_COMPILER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cypher/ast.h"
+#include "src/cypher/plan/program.h"
+
+namespace pgt::cypher::plan {
+
+/// Compile-time facts about the execution environment of a statement.
+struct CompileEnv {
+  /// Variables bound before the first clause, in seeding order (the trigger
+  /// engine's transition variables; empty for ad-hoc statements).
+  std::vector<std::string> seed_vars;
+  /// Variable names whose property reads may resolve against the OLD
+  /// transition images at runtime (TransitionEnv::old_view_vars is always a
+  /// subset of these for the statement's activations).
+  std::set<std::string> old_view_vars;
+};
+
+/// Lowers a parsed statement into a slot-addressed PhysicalPlan-style
+/// program. Scan templates are resolved against the store's IndexCatalog
+/// snapshot; `epoch` is the caller's plan epoch the program is keyed on.
+///
+/// Returns kUnimplemented when the statement uses a shape the compiled
+/// executor intentionally does not cover (`RETURN *` / `WITH *`, CALL,
+/// RETURN in a non-final position); callers fall back to the AST
+/// interpreter, which has identical semantics, so fallback is never
+/// user-visible.
+Result<PlanProgram> CompileQuery(const Query& q, const CompileEnv& env,
+                                 const GraphStore& store, uint64_t epoch);
+
+/// Compiles a trigger's WHEN (expression or read-only pipeline) and action
+/// into one program with a shared slot universe, so condition bindings stay
+/// in scope for the action (DESIGN.md D2). Fallback rules as CompileQuery.
+Result<TriggerProgram> CompileTrigger(const Expr* when_expr,
+                                      const Query* when_query,
+                                      const Query& action,
+                                      const CompileEnv& env,
+                                      const GraphStore& store, uint64_t epoch);
+
+}  // namespace pgt::cypher::plan
+
+#endif  // PGTRIGGERS_CYPHER_PLAN_COMPILER_H_

@@ -1,0 +1,77 @@
+#ifndef PGTRIGGERS_CYPHER_PLAN_PLAN_CACHE_H_
+#define PGTRIGGERS_CYPHER_PLAN_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/cypher/ast.h"
+#include "src/cypher/plan/program.h"
+
+namespace pgt::cypher::plan {
+
+/// One prepared ad-hoc statement: the parsed AST (kept for interpreter
+/// fallback and for cheap recompiles after an epoch bump) plus the compiled
+/// program (null when the statement hit an intentional compile fallback).
+struct PreparedStatement {
+  Query query;
+  std::shared_ptr<const PlanProgram> program;  // null = interpret
+  /// Plan epoch / store the program was compiled against; stale entries are
+  /// recompiled from `query` without re-parsing.
+  uint64_t epoch = 0;
+  const GraphStore* store = nullptr;
+};
+
+/// Small LRU cache mapping ad-hoc statement text to PreparedStatements.
+/// Single-threaded (the engine is single-writer); epoch validation is the
+/// caller's job — the cache only stores and evicts.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
+
+  /// Returns the cached entry for `text` (marking it most-recently-used),
+  /// or null. Heterogeneous lookup: no string copy on the hot Get path.
+  /// The returned entry stays owned by the cache but is shared_ptr-held,
+  /// so eviction cannot invalidate an in-flight execution.
+  std::shared_ptr<PreparedStatement> Get(std::string_view text);
+
+  /// Inserts (or replaces) the entry for `text`, evicting the
+  /// least-recently-used entry beyond capacity.
+  void Put(std::string_view text, std::shared_ptr<PreparedStatement> stmt);
+
+  void Clear();
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string text;
+    std::shared_ptr<PreparedStatement> stmt;
+  };
+
+  /// Transparent hash so Get can probe with a string_view.
+  struct TextHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator, TextHash,
+                     std::equal_to<>>
+      entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace pgt::cypher::plan
+
+#endif  // PGTRIGGERS_CYPHER_PLAN_PLAN_CACHE_H_

@@ -1,0 +1,105 @@
+#ifndef PGTRIGGERS_CYPHER_PLAN_PLAN_EXECUTOR_H_
+#define PGTRIGGERS_CYPHER_PLAN_PLAN_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/cypher/eval.h"
+#include "src/cypher/executor.h"
+#include "src/cypher/plan/program.h"
+
+namespace pgt::cypher::plan {
+
+/// Executes compiled programs over slot-addressed frames.
+///
+/// This is a structural mirror of the AST interpreter (Executor +
+/// MatchPattern): every step, match recursion, and evaluation rule
+/// corresponds one-to-one to its interpreter counterpart, and the
+/// value-level semantics (operators, aggregates, scan result order) are
+/// shared helpers, so the two paths produce byte-identical QueryResults,
+/// trigger activations, and stats (asserted by
+/// tests/test_plan_differential.cc). What the compiled path removes is
+/// per-evaluation interpretation overhead: name-keyed Row lookups and
+/// copies become slot reads and flat frame copies, label/type/property
+/// lookups hit per-plan symbol caches, and scan planning is a template
+/// instantiation instead of per-row WHERE re-analysis.
+///
+/// Callers must validate plan affinity (PlanProgram::store / epoch) before
+/// executing; a stale plan may hold dangling index pointers.
+class PlanExecutor {
+ public:
+  PlanExecutor(EvalContext ctx, const std::vector<std::string>& slot_names)
+      : ctx_(ctx), slot_names_(slot_names) {}
+
+  /// Mirror of Executor::Run: executes a full statement, shaping the result
+  /// table from the final RETURN step.
+  Result<QueryResult> Run(const std::vector<PStep>& steps, Frame seed);
+
+  /// Mirror of Executor::RunClauses (trigger WHEN pipelines).
+  Result<std::vector<Frame>> RunClauses(const std::vector<PStep>& steps,
+                                        std::vector<Frame> frames);
+
+  /// Mirror of Executor::RunUpdates (trigger actions, FOREACH bodies).
+  Status RunUpdates(const std::vector<PStep>& steps,
+                    std::vector<Frame> frames);
+
+  /// Expression evaluation (mirror of EvalExpr). Takes a mutable frame so
+  /// list comprehensions can bind their iteration slot in place
+  /// (saved/restored around the loop); every other path leaves the frame
+  /// untouched.
+  Result<Value> Eval(const PExpr& e, Frame& f);
+  Result<bool> EvalPredicate(const PExpr& e, Frame& f);
+
+  EvalContext& ctx() { return ctx_; }
+  size_t slot_count() const { return slot_names_.size(); }
+
+  /// Mirror of MatchPattern over frames (used by MATCH/MERGE steps and
+  /// EXISTS subqueries).
+  Status MatchPattern(const PPattern& pattern, const Frame& row,
+                      const std::function<Status(Frame&)>& emit);
+
+ private:
+  Result<std::vector<Frame>> ApplyStep(const PStep& s,
+                                       std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplyMatch(const PStep& s,
+                                        std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplyUnwind(const PStep& s,
+                                         std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplyProjection(const PStep& s,
+                                             std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplyCreate(const PStep& s,
+                                         std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplyMerge(const PStep& s,
+                                        std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplyDelete(const PStep& s,
+                                         std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplySet(const PStep& s,
+                                      std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplyRemove(const PStep& s,
+                                         std::vector<Frame> frames);
+  Result<std::vector<Frame>> ApplyForeach(const PStep& s,
+                                          std::vector<Frame> frames);
+
+  Status ApplySetItems(const std::vector<PSetItem>& items, const Frame& row);
+  Result<Frame> CreatePatternPart(const PPatternPart& part, Frame row);
+
+  Result<bool> PatternExists(const PPattern& pattern, const PExpr* where,
+                             const Frame& row);
+
+  /// Computes the aggregate calls of one projection item over a group, in
+  /// substitution pre-order, into `results` (indexed by PExpr::agg_index).
+  Status ComputeAggregates(const PExpr& e, std::vector<Frame>& group,
+                           std::vector<Value>* results);
+
+  EvalContext ctx_;
+  const std::vector<std::string>& slot_names_;
+  /// Non-null only while evaluating a projection item whose aggregates were
+  /// precomputed; aggregate nodes then read their substituted value.
+  const std::vector<Value>* agg_results_ = nullptr;
+};
+
+}  // namespace pgt::cypher::plan
+
+#endif  // PGTRIGGERS_CYPHER_PLAN_PLAN_EXECUTOR_H_

@@ -1,0 +1,346 @@
+#ifndef PGTRIGGERS_CYPHER_PLAN_PROGRAM_H_
+#define PGTRIGGERS_CYPHER_PLAN_PROGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/cypher/ast.h"
+#include "src/storage/graph_store.h"
+
+namespace pgt::cypher::plan {
+
+// ============================================================================
+// Frames — the slot-addressed replacement for the interpreter's name-keyed
+// Row. A query is compiled against a fixed variable universe; every frame
+// has one slot per variable, and binding state is tracked explicitly so
+// "unbound variable" semantics (errors, OPTIONAL MATCH padding, bound-var
+// pattern constraints) mirror Row::Has exactly.
+// ============================================================================
+
+struct FrameSlot {
+  Value v;
+  bool bound = false;
+};
+
+struct Frame {
+  std::vector<FrameSlot> slots;
+
+  Frame() = default;
+  explicit Frame(size_t n) : slots(n) {}
+
+  bool Bound(int slot) const { return slots[slot].bound; }
+  const Value* Get(int slot) const {
+    return slots[slot].bound ? &slots[slot].v : nullptr;
+  }
+  void Set(int slot, Value v) {
+    slots[slot].v = std::move(v);
+    slots[slot].bound = true;
+  }
+  void Clear(int slot) {
+    slots[slot].v = Value();
+    slots[slot].bound = false;
+  }
+};
+
+// ============================================================================
+// Symbol references — names resolved to interned ids once, then cached.
+//
+// A plan is compiled once and executed many times, but a name it mentions
+// may not be interned yet at compile time (the same late-interning problem
+// DispatchIndex solves with its pending list). A SymbolRef carries the name
+// and a cached id: read-side uses Resolve* (lookup, cache on success —
+// interner ids are stable and never removed, so a cached id can never go
+// stale), write-side uses Intern* (interning on first execution, exactly
+// where the interpreter would have interned). Caches are plain mutable
+// fields: the engine is single-writer single-threaded by design (D7).
+// ============================================================================
+
+struct SymbolRef {
+  std::string name;
+  mutable int64_t cached = -1;  // < 0 = not resolved yet
+
+  SymbolRef() = default;
+  explicit SymbolRef(std::string n) : name(std::move(n)) {}
+};
+
+inline std::optional<LabelId> ResolveLabel(const SymbolRef& ref,
+                                           const GraphStore& store) {
+  if (ref.cached >= 0) return static_cast<LabelId>(ref.cached);
+  auto id = store.LookupLabel(ref.name);
+  if (id.has_value()) ref.cached = *id;
+  return id;
+}
+
+inline std::optional<RelTypeId> ResolveRelType(const SymbolRef& ref,
+                                               const GraphStore& store) {
+  if (ref.cached >= 0) return static_cast<RelTypeId>(ref.cached);
+  auto id = store.LookupRelType(ref.name);
+  if (id.has_value()) ref.cached = *id;
+  return id;
+}
+
+inline std::optional<PropKeyId> ResolvePropKey(const SymbolRef& ref,
+                                               const GraphStore& store) {
+  if (ref.cached >= 0) return static_cast<PropKeyId>(ref.cached);
+  auto id = store.LookupPropKey(ref.name);
+  if (id.has_value()) ref.cached = *id;
+  return id;
+}
+
+inline LabelId InternLabel(const SymbolRef& ref, GraphStore& store) {
+  if (ref.cached < 0) ref.cached = store.InternLabel(ref.name);
+  return static_cast<LabelId>(ref.cached);
+}
+
+inline RelTypeId InternRelType(const SymbolRef& ref, GraphStore& store) {
+  if (ref.cached < 0) ref.cached = store.InternRelType(ref.name);
+  return static_cast<RelTypeId>(ref.cached);
+}
+
+inline PropKeyId InternPropKey(const SymbolRef& ref, GraphStore& store) {
+  if (ref.cached < 0) ref.cached = store.InternPropKey(ref.name);
+  return static_cast<PropKeyId>(ref.cached);
+}
+
+// ============================================================================
+// Compiled expressions — structurally the interpreter's Expr with variables
+// resolved to slots, property keys to SymbolRefs, and aggregate calls
+// numbered for the projection's substitution pass. Runtime-dependent checks
+// (transition pseudo-labels, OLD property views) keep the original names
+// and re-check against the activation's TransitionEnv exactly like the
+// interpreter, so an expression can never mean something different in the
+// two paths.
+// ============================================================================
+
+struct PPattern;  // fwd (EXISTS subqueries)
+
+struct PExpr {
+  Expr::Kind kind = Expr::Kind::kLiteral;
+  int line = 0, col = 0;
+
+  Value value;       // kLiteral
+  std::string name;  // kParam / kVar (error text) / kFunc / kProp key /
+                     // kListComp iteration variable
+  int slot = -1;     // kVar; kListComp iteration slot
+  SymbolRef prop;    // kProp
+  // kProp whose base is a variable the compile env lists as an OLD-view
+  // candidate; the executor then consults TransitionEnv overlays.
+  bool old_view_candidate = false;
+
+  std::unique_ptr<PExpr> a, b, c;
+  std::vector<std::unique_ptr<PExpr>> args;
+  std::vector<std::pair<std::string, std::unique_ptr<PExpr>>> map_entries;
+  std::vector<std::pair<std::unique_ptr<PExpr>, std::unique_ptr<PExpr>>>
+      whens;
+  BinOp bin_op = BinOp::kEq;
+  UnOp un_op = UnOp::kNot;
+  bool distinct = false;
+  std::vector<SymbolRef> labels;  // kLabelTest (may name transition sets)
+
+  // Aggregate substitution: kCountStar / aggregate kFunc nodes are numbered
+  // in the pre-order the interpreter's SubstituteAggregates visits them.
+  int agg_index = -1;
+
+  // kBinary kIn whose right side folded to a literal list: the compiler
+  // pre-sorts the non-null elements so membership is a binary search
+  // (TotalCompare == 0 coincides with Equals for every value pair except
+  // NaN, which the executor routes to the linear path). The interpreter
+  // rebuilds and linearly scans the list on every evaluation.
+  bool const_in_probe = false;
+  std::vector<Value> in_sorted;
+  bool in_has_null = false;
+
+  std::unique_ptr<PPattern> pattern;  // kExists
+  std::unique_ptr<PExpr> pattern_where;
+};
+
+using PExprPtr = std::unique_ptr<PExpr>;
+
+// ============================================================================
+// Compiled patterns and scan templates.
+// ============================================================================
+
+struct PPropConstraint {
+  SymbolRef key;
+  PExprPtr expr;
+};
+
+struct PNodePattern {
+  int slot = -1;             // -1 = anonymous
+  std::string var;           // original variable name (diagnostics)
+  std::vector<SymbolRef> labels;  // split real/transition at runtime
+  std::vector<PPropConstraint> props;
+  int line = 0, col = 0;
+};
+
+struct PRelPattern {
+  int slot = -1;
+  std::string var;
+  std::vector<SymbolRef> types;
+  std::vector<PPropConstraint> props;
+  PatternDirection direction = PatternDirection::kUndirected;
+  bool var_length = false;
+  int64_t min_hops = 1;
+  int64_t max_hops = 1;
+};
+
+/// Access-path template for a pattern part's first node, resolved at
+/// compile time against an IndexCatalog snapshot (PlanProgram::epoch). The
+/// probe *values* stay per-row (a trigger condition like
+/// `{id: NEW.owner}` probes a different key every activation), so each
+/// candidate carries a pointer to its compiled comparand expression; the
+/// executor evaluates comparands per input row and picks the access path in
+/// the same preference order as PlanNodeScan. Whatever is picked, scans
+/// enumerate candidates in ascending id order, so results are identical
+/// across access paths (the matcher's determinism contract).
+struct PScanTemplate {
+  struct EqProbe {
+    const index::PropertyIndex* idx = nullptr;
+    PExprPtr comparand;  // owned copy; the planner evaluates it per row
+    bool unique = false;
+  };
+  struct RangeBound {
+    BinOp op = BinOp::kLt;  // kLt / kLe / kGt / kGe
+    PExprPtr comparand;
+  };
+  struct RangeGroup {                  // one sargable key with an ordered idx
+    PropKeyId prop = 0;
+    const index::PropertyIndex* idx = nullptr;
+    std::vector<RangeBound> bounds;
+  };
+
+  // In planner consideration order: inline-prop probes first, then WHERE
+  // conjuncts (mirrors PlanNodeScan's equalities vector).
+  std::vector<EqProbe> eq_probes;
+  // Sorted by prop key id (mirrors the planner's std::map iteration).
+  std::vector<RangeGroup> range_groups;
+};
+
+struct PPatternPart {
+  PNodePattern first;
+  PScanTemplate scan;
+  std::vector<std::pair<PRelPattern, PNodePattern>> chain;
+};
+
+struct PPattern {
+  std::vector<PPatternPart> parts;
+  // Slots this pattern may introduce, in PatternVariables order (OPTIONAL
+  // MATCH padding).
+  std::vector<int> intro_slots;
+};
+
+// ============================================================================
+// Compiled clauses (steps) and whole programs.
+// ============================================================================
+
+struct PProjItem {
+  PExprPtr expr;
+  int slot = -1;  // alias slot
+  std::string alias;
+  bool has_aggregate = false;
+};
+
+struct PSortItem {
+  PExprPtr expr;
+  bool ascending = true;
+};
+
+struct PSetItem {
+  SetItem::Kind kind = SetItem::Kind::kProperty;
+  PExprPtr target;       // kProperty
+  SymbolRef prop;        // kProperty (interned on first execution)
+  PExprPtr value;        // kProperty / kMergeMap
+  int var_slot = -1;     // kLabels / kMergeMap
+  std::string var;       // error text
+  std::vector<SymbolRef> labels;  // kLabels (interned on first execution)
+};
+
+struct PRemoveItem {
+  RemoveItem::Kind kind = RemoveItem::Kind::kProperty;
+  PExprPtr target;
+  SymbolRef prop;        // lookup-only (REMOVE never interns)
+  int var_slot = -1;
+  std::string var;
+  std::vector<SymbolRef> labels;  // lookup-only
+};
+
+struct PStep {
+  Clause::Kind kind = Clause::Kind::kMatch;
+  int line = 0, col = 0;
+
+  // kMatch / kCreate / kMerge
+  bool optional_match = false;
+  PPattern pattern;
+  PExprPtr where;  // kMatch, kWith
+
+  // kUnwind
+  PExprPtr unwind_expr;
+  int unwind_slot = -1;
+
+  // kWith / kReturn
+  bool is_return = false;
+  bool distinct = false;
+  std::vector<PProjItem> items;
+  std::vector<PSortItem> order_by;
+  PExprPtr skip, limit;
+  bool any_aggregate = false;
+  // Unique alias slots in first-occurrence order (result columns and
+  // DISTINCT keys — mirrors the projected Row's column order).
+  std::vector<int> out_slots;
+  std::vector<std::string> out_names;
+  int agg_count = 0;  // aggregate calls across all items
+
+  // kMerge
+  std::vector<PSetItem> on_create, on_match;
+
+  // kDelete
+  bool detach = false;
+  std::vector<PExprPtr> delete_exprs;
+
+  // kSet / kRemove
+  std::vector<PSetItem> set_items;
+  std::vector<PRemoveItem> remove_items;
+
+  // kForeach
+  int foreach_slot = -1;
+  PExprPtr foreach_list;
+  std::vector<PStep> foreach_body;
+};
+
+/// A compiled statement: the slot universe plus the step pipeline. Plans
+/// are affine to the store they were compiled against (cached symbol ids,
+/// index pointers) and to the plan epoch (scan templates); callers compare
+/// both before executing and recompile when stale.
+struct PlanProgram {
+  size_t slot_count = 0;
+  std::vector<std::string> slot_names;
+  std::vector<PStep> steps;
+  const GraphStore* store = nullptr;
+  uint64_t epoch = 0;
+};
+
+/// A compiled trigger: WHEN (expression or pipeline) and action share one
+/// slot universe so condition bindings flow into the action, exactly like
+/// the interpreter's row scope (DESIGN.md D2).
+struct TriggerProgram {
+  size_t slot_count = 0;
+  std::vector<std::string> slot_names;
+  // Transition variables seeded before WHEN, as (name, slot); the engine
+  // fills values from the activation's TransitionEnv and re-binds any slot
+  // a WITH re-scope dropped before running the action.
+  std::vector<std::pair<std::string, int>> seed_slots;
+  PExprPtr when_expr;           // nullable
+  std::vector<PStep> when_steps;
+  std::vector<PStep> action_steps;
+  const GraphStore* store = nullptr;
+  uint64_t epoch = 0;
+};
+
+}  // namespace pgt::cypher::plan
+
+#endif  // PGTRIGGERS_CYPHER_PLAN_PROGRAM_H_

@@ -113,34 +113,28 @@ void CollectSargs(const Expr& e, const std::string& var, const Row& row,
   out->push_back(Sarg{std::move(key), op, std::move(*v)});
 }
 
-/// Range bounds accumulated for one property key.
-struct Bounds {
-  std::optional<Value> lo, hi;
-  bool lo_inclusive = false, hi_inclusive = false;
-
-  void Tighten(BinOp op, const Value& v) {
-    const bool is_lo = op == BinOp::kGt || op == BinOp::kGe;
-    const bool inclusive = op == BinOp::kGe || op == BinOp::kLe;
-    std::optional<Value>& bound = is_lo ? lo : hi;
-    bool& bound_incl = is_lo ? lo_inclusive : hi_inclusive;
-    if (!bound.has_value()) {
-      bound = v;
-      bound_incl = inclusive;
-      return;
-    }
-    if (index::CompareClassOf(*bound) != index::CompareClassOf(v)) return;
-    const int c = v.TotalCompare(*bound);
-    const bool tighter = is_lo ? c > 0 : c < 0;
-    if (tighter) {
-      bound = v;
-      bound_incl = inclusive;
-    } else if (c == 0 && !inclusive) {
-      bound_incl = false;  // strict beats inclusive at the same endpoint
-    }
-  }
-};
-
 }  // namespace
+
+void RangeBounds::Tighten(BinOp op, const Value& v) {
+  const bool is_lo = op == BinOp::kGt || op == BinOp::kGe;
+  const bool inclusive = op == BinOp::kGe || op == BinOp::kLe;
+  std::optional<Value>& bound = is_lo ? lo : hi;
+  bool& bound_incl = is_lo ? lo_inclusive : hi_inclusive;
+  if (!bound.has_value()) {
+    bound = v;
+    bound_incl = inclusive;
+    return;
+  }
+  if (index::CompareClassOf(*bound) != index::CompareClassOf(v)) return;
+  const int c = v.TotalCompare(*bound);
+  const bool tighter = is_lo ? c > 0 : c < 0;
+  if (tighter) {
+    bound = v;
+    bound_incl = inclusive;
+  } else if (c == 0 && !inclusive) {
+    bound_incl = false;  // strict beats inclusive at the same endpoint
+  }
+}
 
 const char* NodeScanPlan::KindName() const {
   switch (kind) {
@@ -188,7 +182,7 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
     Value value;
   };
   std::vector<EqCandidate> equalities;
-  std::map<PropKeyId, Bounds> ranges;  // ordered-index range bounds per key
+  std::map<PropKeyId, RangeBounds> ranges;  // ordered-index range bounds per key
 
   auto consider_eq = [&](const std::string& key, const Value& v) {
     if (catalog.empty()) return;

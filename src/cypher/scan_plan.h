@@ -33,6 +33,19 @@ struct NodeScanPlan {
   std::string ToString() const;
 };
 
+/// Range bounds accumulated for one property key while intersecting
+/// sargable </ />= / < / <= conjuncts. Shared by the per-row planner below
+/// and the compiled plan executor's scan templates (src/cypher/plan), so
+/// both paths tighten bounds identically.
+struct RangeBounds {
+  std::optional<Value> lo, hi;
+  bool lo_inclusive = false, hi_inclusive = false;
+
+  /// Narrows the bound named by `op` (kGt/kGe -> lo, kLt/kLe -> hi) to `v`
+  /// when `v` is tighter; mixed comparison classes are ignored.
+  void Tighten(BinOp op, const Value& v);
+};
+
 /// Scan selection for the first node of a pattern part.
 ///
 /// Inputs: the node pattern's inline property map, the interned real labels

@@ -1,0 +1,30 @@
+#ifndef PGTRIGGERS_CYPHER_STATEMENT_CLASSIFIER_H_
+#define PGTRIGGERS_CYPHER_STATEMENT_CLASSIFIER_H_
+
+#include <string_view>
+
+namespace pgt {
+
+/// What a statement's leading tokens say it is.
+enum class StatementKind {
+  kCypher,      ///< plain query / update statement
+  kTriggerDdl,  ///< CREATE / DROP / ALTER TRIGGER
+  kIndexDdl,    ///< CREATE [UNIQUE] [RANGE|HASH] INDEX, DROP INDEX,
+                ///< SHOW INDEX(ES)
+};
+
+const char* StatementKindName(StatementKind k);
+
+/// Classifies one statement by tokenizing its prefix once — replacing the
+/// per-statement IsTriggerDdl + IsIndexDdl double scan Database::Execute
+/// used to do. This is the single definition of the DDL-routing token
+/// grammar: TriggerDdlParser::IsTriggerDdl and IndexDdlParser::IsIndexDdl
+/// delegate here, so the grammars cannot drift. Purely lexical (it lives
+/// in the cypher layer beside the lexer): whitespace and comments are
+/// skipped by the lexer, keywords are case-insensitive, and untokenizable
+/// text classifies as kCypher so the Cypher parser surfaces the error.
+StatementKind ClassifyStatement(std::string_view text);
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_CYPHER_STATEMENT_CLASSIFIER_H_

@@ -13,6 +13,7 @@ Result<PropertyIndex*> IndexCatalog::Register(IndexSpec spec) {
   PropertyIndex* raw = idx.get();
   by_key_.emplace(key, std::move(idx));
   by_label_[raw->spec().label].push_back(raw);
+  ++epoch_;
   return raw;
 }
 
@@ -26,6 +27,7 @@ Status IndexCatalog::Unregister(LabelId label, PropKeyId prop) {
   vec.erase(std::remove(vec.begin(), vec.end(), raw), vec.end());
   if (vec.empty()) by_label_.erase(label);
   by_key_.erase(it);
+  ++epoch_;
   return Status::OK();
 }
 

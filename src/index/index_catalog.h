@@ -53,6 +53,12 @@ class IndexCatalog {
   bool empty() const { return by_key_.empty(); }
   size_t size() const { return by_key_.size(); }
 
+  /// Monotone structural version: bumped whenever an index is registered or
+  /// unregistered. Compiled query plans (src/cypher/plan) resolve their
+  /// access paths against a catalog snapshot and key the result on this
+  /// epoch; any index DDL invalidates them wholesale.
+  uint64_t epoch() const { return epoch_; }
+
   /// Iterates all indexes in (label, prop) order (deterministic).
   void ForEach(const std::function<void(const PropertyIndex&)>& fn) const;
 
@@ -111,6 +117,7 @@ class IndexCatalog {
 
   // (label, prop) -> index; std::map keeps ForEach deterministic.
   std::map<Key, std::unique_ptr<PropertyIndex>> by_key_;
+  uint64_t epoch_ = 0;
   // label -> indexes over that label (hook fan-out without a full scan).
   std::unordered_map<LabelId, std::vector<PropertyIndex*>> by_label_;
 };

@@ -3,6 +3,7 @@
 #include "src/common/macros.h"
 #include "src/common/str_util.h"
 #include "src/cypher/lexer.h"
+#include "src/cypher/statement_classifier.h"
 #include "src/cypher/parser.h"
 
 namespace pgt::index {
@@ -20,23 +21,8 @@ bool IsWord(const Token& t, std::string_view w) {
 }  // namespace
 
 bool IndexDdlParser::IsIndexDdl(std::string_view text) {
-  auto toks = cypher::Lexer::Tokenize(text);
-  if (!toks.ok() || toks.value().size() < 2) return false;
-  const std::vector<Token>& t = toks.value();
-  if (IsWord(t[0], "DROP")) return IsWord(t[1], "INDEX");
-  if (IsWord(t[0], "SHOW")) {
-    return IsWord(t[1], "INDEXES") || IsWord(t[1], "INDEX");
-  }
-  if (!IsWord(t[0], "CREATE")) return false;
-  // CREATE [UNIQUE] [RANGE | HASH] INDEX ...
-  for (size_t i = 1; i < t.size() && i <= 3; ++i) {
-    if (IsWord(t[i], "INDEX")) return true;
-    if (!IsWord(t[i], "UNIQUE") && !IsWord(t[i], "RANGE") &&
-        !IsWord(t[i], "HASH")) {
-      return false;
-    }
-  }
-  return false;
+  // Single source of truth for the DDL-routing token grammar.
+  return ClassifyStatement(text) == StatementKind::kIndexDdl;
 }
 
 Result<IndexDdl> IndexDdlParser::Parse(std::string_view text) {

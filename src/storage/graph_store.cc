@@ -301,27 +301,7 @@ std::vector<RelId> GraphStore::AllRels() const {
 std::vector<RelId> GraphStore::RelsOf(NodeId node, Direction dir,
                                       std::optional<RelTypeId> type) const {
   std::vector<RelId> out;
-  const NodeRecord* n = GetNode(node);
-  if (n == nullptr || !n->alive) return out;
-  auto consider = [&](RelId rid) {
-    const RelRecord* r = GetRel(rid);
-    if (r == nullptr || !r->alive) return;
-    if (type.has_value() && r->type != *type) return;
-    out.push_back(rid);
-  };
-  if (dir == Direction::kOutgoing || dir == Direction::kBoth) {
-    for (RelId rid : n->out_rels) consider(rid);
-  }
-  if (dir == Direction::kIncoming || dir == Direction::kBoth) {
-    for (RelId rid : n->in_rels) {
-      // Self-loops appear in both adjacency lists; report them once.
-      const RelRecord* r = GetRel(rid);
-      if (dir == Direction::kBoth && r != nullptr && r->src == r->dst) {
-        continue;
-      }
-      consider(rid);
-    }
-  }
+  ForEachRelOf(node, dir, type, [&](RelId rid) { out.push_back(rid); });
   std::sort(out.begin(), out.end());
   return out;
 }

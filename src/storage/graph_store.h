@@ -173,6 +173,37 @@ class GraphStore {
   std::vector<RelId> RelsOf(NodeId node, Direction dir,
                             std::optional<RelTypeId> type) const;
 
+  /// Zero-materialization traversal over the same relationships RelsOf
+  /// returns, in raw adjacency order (NOT id-sorted — RelsOf sorts on top
+  /// of this). For order-insensitive consumers only; the matcher keeps
+  /// using RelsOf so match emission order stays id-deterministic. The
+  /// callback must not mutate the store.
+  template <typename Fn>
+  void ForEachRelOf(NodeId node, Direction dir,
+                    std::optional<RelTypeId> type, Fn&& fn) const {
+    const NodeRecord* n = GetNode(node);
+    if (n == nullptr || !n->alive) return;
+    auto consider = [&](RelId rid) {
+      const RelRecord* r = GetRel(rid);
+      if (r == nullptr || !r->alive) return;
+      if (type.has_value() && r->type != *type) return;
+      fn(rid);
+    };
+    if (dir == Direction::kOutgoing || dir == Direction::kBoth) {
+      for (RelId rid : n->out_rels) consider(rid);
+    }
+    if (dir == Direction::kIncoming || dir == Direction::kBoth) {
+      for (RelId rid : n->in_rels) {
+        // Self-loops appear in both adjacency lists; report them once.
+        const RelRecord* r = GetRel(rid);
+        if (dir == Direction::kBoth && r != nullptr && r->src == r->dst) {
+          continue;
+        }
+        consider(rid);
+      }
+    }
+  }
+
   /// Number of alive nodes / relationships.
   size_t NodeCount() const { return alive_nodes_; }
   size_t RelCount() const { return alive_rels_; }

@@ -176,6 +176,7 @@ Status TriggerCatalog::Install(TriggerDef def) {
   // Dispatch invariant: only enabled triggers are registered (programmatic
   // installs may arrive pre-disabled).
   if (ptr->enabled) dispatch_.Add(ptr);
+  ++ddl_epoch_;
   return Status::OK();
 }
 
@@ -184,6 +185,7 @@ Status TriggerCatalog::Drop(const std::string& name) {
     if ((*it)->name == name) {
       dispatch_.Remove(it->get());
       triggers_.erase(it);
+      ++ddl_epoch_;
       return Status::OK();
     }
   }
@@ -200,6 +202,7 @@ Status TriggerCatalog::SetEnabled(const std::string& name, bool enabled) {
         } else {
           dispatch_.Remove(t.get());
         }
+        ++ddl_epoch_;
       }
       return Status::OK();
     }
@@ -210,6 +213,7 @@ Status TriggerCatalog::SetEnabled(const std::string& name, bool enabled) {
 void TriggerCatalog::DropAll() {
   triggers_.clear();
   dispatch_.Clear();
+  ++ddl_epoch_;
 }
 
 const TriggerDef* TriggerCatalog::Find(const std::string& name) const {

@@ -61,6 +61,11 @@ class TriggerCatalog {
   DispatchIndex& dispatch() { return dispatch_; }
   const DispatchIndex& dispatch() const { return dispatch_; }
 
+  /// Monotone trigger-DDL version: bumped by Install / Drop / SetEnabled /
+  /// DropAll. Folded into Database::PlanEpoch so trigger DDL invalidates
+  /// cached query plans alongside index DDL.
+  uint64_t ddl_epoch() const { return ddl_epoch_; }
+
   /// The Section 4.2 execution-order comparator, shared by ByTime and the
   /// engine's cross-bucket merge so the two dispatch strategies can never
   /// order triggers differently.
@@ -77,6 +82,7 @@ class TriggerCatalog {
   std::vector<std::shared_ptr<TriggerDef>> triggers_;  // creation order
   DispatchIndex dispatch_;
   uint64_t next_seq_ = 1;
+  uint64_t ddl_epoch_ = 0;
 };
 
 }  // namespace pgt

@@ -1,7 +1,12 @@
 #include "src/trigger/database.h"
 
+#include <cassert>
+
 #include "src/common/macros.h"
 #include "src/cypher/parser.h"
+#include "src/cypher/plan/compiler.h"
+#include "src/cypher/plan/plan_executor.h"
+#include "src/cypher/statement_classifier.h"
 #include "src/index/index_ddl.h"
 #include "src/schema/validator.h"
 
@@ -16,7 +21,8 @@ Database::Database(EngineOptions options)
       tx_manager_(&store_),
       catalog_(&options_),
       clock_(options.clock_epoch_micros),
-      engine_(std::make_unique<PgTriggerEngine>(this)) {}
+      engine_(std::make_unique<PgTriggerEngine>(this)),
+      plan_cache_(options.plan_cache_capacity) {}
 
 Database::~Database() = default;
 
@@ -45,6 +51,80 @@ Result<cypher::QueryResult> Database::RunStatementInTx(
   cypher::EvalContext ctx = MakeEvalContext(&tx, &params, nullptr);
   cypher::Executor exec(ctx);
   auto result = exec.Run(query, cypher::Row{});
+  GraphDelta delta = tx.PopDeltaScope();
+  if (!result.ok()) return result.status();
+  PGT_RETURN_IF_ERROR(runtime().OnStatement(tx, delta));
+  return result;
+}
+
+void Database::CompileInto(cypher::plan::PreparedStatement* stmt,
+                           uint64_t epoch) {
+  stmt->store = &store_;
+  stmt->epoch = epoch;
+  auto compiled =
+      cypher::plan::CompileQuery(stmt->query, cypher::plan::CompileEnv{},
+                                 store_, epoch);
+  if (compiled.ok()) {
+    stmt->program = std::make_shared<const cypher::plan::PlanProgram>(
+        std::move(compiled).value());
+    return;
+  }
+  // Intentional fallback (RETURN * / CALL / ...): interpret the cached
+  // AST. Anything else is a compiler defect — surface it in debug builds
+  // rather than silently interpreting forever.
+  assert(compiled.status().code() == StatusCode::kUnimplemented &&
+         "query-plan compilation failed with a non-fallback status");
+  stmt->program = nullptr;
+}
+
+Result<std::shared_ptr<cypher::plan::PreparedStatement>> Database::Prepare(
+    std::string_view text) {
+  return PrepareWith(CachedPlan(text), text);
+}
+
+Result<std::shared_ptr<cypher::plan::PreparedStatement>> Database::PrepareWith(
+    std::shared_ptr<cypher::plan::PreparedStatement> stmt,
+    std::string_view text) {
+  const uint64_t epoch = PlanEpoch();
+  if (stmt == nullptr) {
+    PGT_ASSIGN_OR_RETURN(cypher::Query query,
+                         cypher::Parser::ParseQuery(text));
+    stmt = std::make_shared<cypher::plan::PreparedStatement>();
+    stmt->query = std::move(query);
+    if (options_.use_compiled_plans) {
+      CompileInto(stmt.get(), epoch);
+      plan_cache_.Put(text, stmt);
+    }
+  } else if (stmt->epoch != epoch || stmt->store != &store_) {
+    // DDL bumped the plan epoch: recompile from the cached AST (the parse
+    // is still saved).
+    CompileInto(stmt.get(), epoch);
+  }
+  return stmt;
+}
+
+std::shared_ptr<cypher::plan::PreparedStatement> Database::CachedPlan(
+    std::string_view text) {
+  if (!options_.use_compiled_plans) return nullptr;
+  return plan_cache_.Get(text);
+}
+
+Result<cypher::QueryResult> Database::RunPreparedInTx(
+    Transaction& tx, const cypher::plan::PreparedStatement& stmt,
+    const Params& params) {
+  // A stale program may hold index pointers freed by DDL. Normally Prepare
+  // revalidated just before this call, but a registered procedure can
+  // reach the catalogs mid-transaction (ExecuteTx prepares up front), so
+  // re-check and fall back to interpreting the cached AST when stale.
+  if (stmt.program == nullptr || stmt.epoch != PlanEpoch() ||
+      stmt.store != &store_) {
+    return RunStatementInTx(tx, stmt.query, params);
+  }
+  tx.PushDeltaScope();
+  cypher::EvalContext ctx = MakeEvalContext(&tx, &params, nullptr);
+  cypher::plan::PlanExecutor exec(ctx, stmt.program->slot_names);
+  auto result = exec.Run(stmt.program->steps,
+                         cypher::plan::Frame(stmt.program->slot_count));
   GraphDelta delta = tx.PopDeltaScope();
   if (!result.ok()) return result.status();
   PGT_RETURN_IF_ERROR(runtime().OnStatement(tx, delta));
@@ -114,10 +194,15 @@ Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
                : ""));
     }
   }
-  const GraphDelta total = tx->AccumulatedDelta();
   st = tx->Commit();
+  if (!st.ok()) {
+    tx_manager_.Release(tx.get());
+    return st;
+  }
+  // The committed transaction no longer needs its delta: move it out for
+  // AfterCommit instead of copying.
+  const GraphDelta total = tx->TakeAccumulatedDelta();
   tx_manager_.Release(tx.get());
-  if (!st.ok()) return st;
   tx_manager_.NoteCommit();
   return runtime().AfterCommit(total);
 }
@@ -194,15 +279,24 @@ Result<cypher::QueryResult> Database::ExecuteIndexDdl(std::string_view text) {
 
 Result<cypher::QueryResult> Database::Execute(std::string_view text,
                                               const Params& params) {
-  if (TriggerDdlParser::IsTriggerDdl(text)) {
-    return ExecuteDdl(text);
+  // A plan-cache hit proves the text is plain Cypher (DDL never enters the
+  // cache), so repeated statements skip even the single classification
+  // pass. Misses classify once (replacing the old IsTriggerDdl +
+  // IsIndexDdl double re-scan) and route.
+  std::shared_ptr<cypher::plan::PreparedStatement> stmt = CachedPlan(text);
+  if (stmt == nullptr) {
+    switch (ClassifyStatement(text)) {
+      case StatementKind::kTriggerDdl:
+        return ExecuteDdl(text);
+      case StatementKind::kIndexDdl:
+        return ExecuteIndexDdl(text);
+      case StatementKind::kCypher:
+        break;
+    }
   }
-  if (index::IndexDdlParser::IsIndexDdl(text)) {
-    return ExecuteIndexDdl(text);
-  }
-  PGT_ASSIGN_OR_RETURN(cypher::Query query, cypher::Parser::ParseQuery(text));
+  PGT_ASSIGN_OR_RETURN(stmt, PrepareWith(std::move(stmt), text));
   PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, BeginTx());
-  auto result = RunStatementInTx(*tx, query, params);
+  auto result = RunPreparedInTx(*tx, *stmt, params);
   if (!result.ok()) {
     RollbackAndRelease(std::move(tx));
     return result.status();
@@ -213,24 +307,28 @@ Result<cypher::QueryResult> Database::Execute(std::string_view text,
 
 Result<std::vector<cypher::QueryResult>> Database::ExecuteTx(
     const std::vector<std::string>& statements, const Params& params) {
-  std::vector<cypher::Query> queries;
-  queries.reserve(statements.size());
+  std::vector<std::shared_ptr<cypher::plan::PreparedStatement>> prepared;
+  prepared.reserve(statements.size());
   for (const std::string& s : statements) {
-    if (TriggerDdlParser::IsTriggerDdl(s)) {
-      return Status::InvalidArgument(
-          "trigger DDL is not allowed inside a multi-statement transaction");
+    switch (ClassifyStatement(s)) {
+      case StatementKind::kTriggerDdl:
+        return Status::InvalidArgument(
+            "trigger DDL is not allowed inside a multi-statement "
+            "transaction");
+      case StatementKind::kIndexDdl:
+        return Status::InvalidArgument(
+            "index DDL is not allowed inside a multi-statement transaction");
+      case StatementKind::kCypher:
+        break;
     }
-    if (index::IndexDdlParser::IsIndexDdl(s)) {
-      return Status::InvalidArgument(
-          "index DDL is not allowed inside a multi-statement transaction");
-    }
-    PGT_ASSIGN_OR_RETURN(cypher::Query q, cypher::Parser::ParseQuery(s));
-    queries.push_back(std::move(q));
+    PGT_ASSIGN_OR_RETURN(
+        std::shared_ptr<cypher::plan::PreparedStatement> stmt, Prepare(s));
+    prepared.push_back(std::move(stmt));
   }
   PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, BeginTx());
   std::vector<cypher::QueryResult> results;
-  for (const cypher::Query& q : queries) {
-    auto result = RunStatementInTx(*tx, q, params);
+  for (const auto& stmt : prepared) {
+    auto result = RunPreparedInTx(*tx, *stmt, params);
     if (!result.ok()) {
       RollbackAndRelease(std::move(tx));
       return result.status();

@@ -11,6 +11,7 @@
 #include "src/common/result.h"
 #include "src/cypher/executor.h"
 #include "src/cypher/functions.h"
+#include "src/cypher/plan/plan_cache.h"
 #include "src/schema/pg_schema.h"
 #include "src/storage/graph_store.h"
 #include "src/trigger/catalog.h"
@@ -110,10 +111,35 @@ class Database {
 
   /// Runs one parsed statement inside `tx`: opens a delta scope, executes,
   /// pops the scope, and hands the delta to the active runtime's
-  /// OnStatement.
+  /// OnStatement. Always interprets the AST (emulators and tests call this
+  /// directly); Execute/ExecuteTx go through Prepare + RunPreparedInTx.
   Result<cypher::QueryResult> RunStatementInTx(Transaction& tx,
                                                const cypher::Query& query,
                                                const Params& params);
+
+  // --- Compile-once statement pipeline --------------------------------------
+
+  /// Plan-invalidation epoch: any index DDL (IndexCatalog::epoch) or
+  /// trigger DDL (TriggerCatalog::ddl_epoch) bumps it; compiled plans are
+  /// keyed on it and recompiled when stale (docs/plan.md).
+  uint64_t PlanEpoch() const {
+    return store_.indexes().epoch() + catalog_.ddl_epoch();
+  }
+
+  /// Parses (or fetches from the LRU plan cache) and compiles one ad-hoc
+  /// Cypher statement. With use_compiled_plans off this just parses —
+  /// nothing is cached and `program` stays null.
+  Result<std::shared_ptr<cypher::plan::PreparedStatement>> Prepare(
+      std::string_view text);
+
+  /// RunStatementInTx for a prepared statement: executes the compiled
+  /// program when present, the AST otherwise.
+  Result<cypher::QueryResult> RunPreparedInTx(
+      Transaction& tx, const cypher::plan::PreparedStatement& stmt,
+      const Params& params);
+
+  /// The ad-hoc prepared-plan cache (stats read by tests/benches).
+  const cypher::plan::PlanCache& plan_cache() const { return plan_cache_; }
 
   /// Begins an autonomous transaction (DETACHED triggers). The caller must
   /// finish it via CommitWithTriggers or RollbackAndRelease.
@@ -132,6 +158,16 @@ class Database {
  private:
   Result<cypher::QueryResult> ExecuteDdl(std::string_view text);
   Result<cypher::QueryResult> ExecuteIndexDdl(std::string_view text);
+  /// (Re)compiles `stmt`'s program from its parsed AST against the current
+  /// store and `epoch`; an intentional compile fallback leaves it null.
+  void CompileInto(cypher::plan::PreparedStatement* stmt, uint64_t epoch);
+  /// LRU lookup for `text` (null on miss or when compiled plans are off).
+  std::shared_ptr<cypher::plan::PreparedStatement> CachedPlan(
+      std::string_view text);
+  /// Prepare continuing from an already-performed cache lookup.
+  Result<std::shared_ptr<cypher::plan::PreparedStatement>> PrepareWith(
+      std::shared_ptr<cypher::plan::PreparedStatement> stmt,
+      std::string_view text);
 
   EngineOptions options_;
   GraphStore store_;
@@ -144,6 +180,7 @@ class Database {
   std::optional<schema::SchemaDef> schema_;  // commit-time guard
   // PG-Key indexes auto-created by AttachSchema (dropped on detach).
   std::vector<std::pair<LabelId, PropKeyId>> schema_key_indexes_;
+  cypher::plan::PlanCache plan_cache_;
 };
 
 }  // namespace pgt

@@ -6,7 +6,9 @@
 
 #include "src/common/macros.h"
 #include "src/cypher/executor.h"
+#include "src/cypher/plan/plan_executor.h"
 #include "src/trigger/database.h"
+#include "src/trigger/trigger_plan.h"
 
 namespace pgt {
 
@@ -428,6 +430,94 @@ std::vector<Activation> PgTriggerEngine::MatchAll(ActionTime time,
   return MatchAllLinear(time, delta);
 }
 
+namespace {
+
+/// Slot of a transition variable in a compiled trigger program, -1 if the
+/// program was compiled without it.
+int SeedSlotFor(const cypher::plan::TriggerProgram& prog,
+                const std::string& name) {
+  for (const auto& [n, s] : prog.seed_slots) {
+    if (n == name) return s;
+  }
+  return -1;
+}
+
+/// True when every transition variable this activation seeds has a slot in
+/// the compiled program (always the case for activations the engine derives
+/// itself; a defensive mismatch falls back to the interpreter).
+bool SeedsMatch(const cypher::plan::TriggerProgram& prog,
+                const Activation& act) {
+  for (const auto& [name, v] : act.env.singles) {
+    (void)v;
+    if (SeedSlotFor(prog, name) < 0) return false;
+  }
+  if (act.trigger->granularity == Granularity::kAll) {
+    for (const auto& [name, sb] : act.env.sets) {
+      (void)sb;
+      if (SeedSlotFor(prog, name) < 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status PgTriggerEngine::RunActivationCompiled(cypher::EvalContext& ctx,
+                                              const Activation& act,
+                                              const TriggerPlans& plans,
+                                              TriggerStats& ts) {
+  const TriggerDef& def = *act.trigger;
+  const cypher::plan::TriggerProgram& prog = plans.program;
+  cypher::plan::PlanExecutor exec(ctx, prog.slot_names);
+
+  // Seed frame: single transition variables, plus set variables as lists
+  // (mirror of the interpreter's seed row).
+  cypher::plan::Frame seed(prog.slot_count);
+  for (const auto& [name, v] : act.env.singles) {
+    seed.Set(SeedSlotFor(prog, name), v);
+  }
+  if (def.granularity == Granularity::kAll) {
+    for (const auto& [name, sb] : act.env.sets) {
+      Value::List items;
+      items.reserve(sb.ids.size());
+      for (uint64_t id : sb.ids) {
+        items.push_back(sb.is_node ? Value::Node(NodeId{id})
+                                   : Value::Rel(RelId{id}));
+      }
+      seed.Set(SeedSlotFor(prog, name), Value::MakeList(std::move(items)));
+    }
+  }
+
+  std::vector<cypher::plan::Frame> frames;
+  if (prog.when_expr != nullptr) {
+    PGT_ASSIGN_OR_RETURN(bool pass,
+                         exec.EvalPredicate(*prog.when_expr, seed));
+    if (!pass) return Status::OK();
+    frames.push_back(std::move(seed));
+  } else if (!prog.when_steps.empty()) {
+    std::vector<cypher::plan::Frame> start;
+    start.push_back(seed);
+    PGT_ASSIGN_OR_RETURN(frames,
+                         exec.RunClauses(prog.when_steps, std::move(start)));
+    if (frames.empty()) return Status::OK();
+    // Transition variables stay in scope for the action even when the
+    // condition pipeline's WITH clauses re-scoped the rows (Section 6.2).
+    for (cypher::plan::Frame& f : frames) {
+      for (const auto& [name, slot] : prog.seed_slots) {
+        (void)name;
+        if (!f.Bound(slot) && seed.Bound(slot)) {
+          f.Set(slot, seed.slots[static_cast<size_t>(slot)].v);
+        }
+      }
+    }
+  } else {
+    frames.push_back(std::move(seed));
+  }
+  ++ts.fired;
+  ts.action_rows += frames.size();
+  return exec.RunUpdates(prog.action_steps, std::move(frames));
+}
+
 Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
   const TriggerDef& def = *act.trigger;
   TriggerStats& ts = stats_.per_trigger[def.name];
@@ -440,17 +530,30 @@ Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
   if (def.item == ItemKind::kNode) {
     auto target = db_->store().LookupLabel(def.label);
     if (target.has_value()) {
+      // Small trivially-copyable capture (fits std::function's inline
+      // buffer — no heap allocation per activation); the definition
+      // outlives the guard via the activation's shared ownership.
       const LabelId target_label = *target;
-      const std::string trigger_name = def.name;
+      const TriggerDef* def_ptr = &def;
       ctx.label_write_guard = [target_label,
-                               trigger_name](LabelId l, bool) -> Status {
+                               def_ptr](LabelId l, bool) -> Status {
         if (l == target_label) {
           return Status::ConstraintViolation(
-              "trigger '" + trigger_name +
+              "trigger '" + def_ptr->name +
               "' attempted to set/remove its target label (Section 4.2)");
         }
         return Status::OK();
       };
+    }
+  }
+
+  // Compiled fast path: execute the trigger's cached WHEN/action plans
+  // (compiled on first activation, invalidated by DDL epoch bumps).
+  if (db_->options().use_compiled_plans) {
+    const TriggerPlans* plans =
+        GetOrCompileTriggerPlans(def, db_->store(), db_->PlanEpoch());
+    if (plans->usable && SeedsMatch(plans->program, act)) {
+      return RunActivationCompiled(ctx, act, *plans, ts);
     }
   }
 
@@ -586,11 +689,13 @@ Status PgTriggerEngine::OnStatement(Transaction& tx, const GraphDelta& delta) {
 Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
   // D4: run ONCOMMIT triggers on the accumulated transaction delta; fold
   // their side effects in and iterate to fixpoint, all before the physical
-  // commit.
-  GraphDelta pending = tx.AccumulatedDelta();
+  // commit. The first round matches against the accumulated delta in
+  // place — the common commit (no ONCOMMIT matches) never copies it.
+  GraphDelta pending;
+  const GraphDelta* current = &tx.AccumulatedDelta();
   int round = 0;
-  while (!pending.Empty()) {
-    std::vector<Activation> acts = MatchAll(ActionTime::kOnCommit, pending);
+  while (!current->Empty()) {
+    std::vector<Activation> acts = MatchAll(ActionTime::kOnCommit, *current);
     if (acts.empty()) break;
     if (++round > db_->options().max_oncommit_rounds) {
       return Status::CascadeLimitExceeded(
@@ -615,6 +720,7 @@ Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
       }
     }
     pending = tx.PopDeltaScope();  // everything this round produced
+    current = &pending;
   }
   return Status::OK();
 }

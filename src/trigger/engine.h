@@ -18,6 +18,7 @@
 namespace pgt {
 
 class Database;
+struct TriggerPlans;  // src/trigger/trigger_plan.h
 
 /// Per-trigger runtime counters (benchmarks and tests read these).
 struct TriggerStats {
@@ -119,10 +120,16 @@ class PgTriggerEngine : public TriggerRuntime {
 
   /// Evaluates condition and (if it holds) executes the action of one
   /// activation inside `tx`. Does not open a delta scope; callers manage
-  /// scoping/cascading.
+  /// scoping/cascading. With EngineOptions::use_compiled_plans the
+  /// trigger's cached WHEN/action plans execute (compiled on first
+  /// activation, recompiled after DDL epoch bumps); otherwise — or for
+  /// statements the compiler does not cover — the AST interpreter runs.
+  /// Both paths are byte-identical (tests/test_plan_differential.cc).
   Status RunActivation(Transaction& tx, const Activation& act);
 
  private:
+  Status RunActivationCompiled(cypher::EvalContext& ctx, const Activation& act,
+                               const TriggerPlans& plans, TriggerStats& ts);
   std::vector<Activation> MatchAllIndexed(ActionTime time,
                                           const GraphDelta& delta);
   std::vector<Activation> MatchAllLinear(ActionTime time,

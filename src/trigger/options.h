@@ -1,6 +1,7 @@
 #ifndef PGTRIGGERS_TRIGGER_OPTIONS_H_
 #define PGTRIGGERS_TRIGGER_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace pgt {
@@ -53,6 +54,22 @@ struct EngineOptions {
   /// whole delta (O(T x |delta|)); kept for differential testing and the
   /// dispatch-scaling ablation.
   bool use_dispatch_index = true;
+
+  /// Execution strategy for trigger WHEN/action statements and ad-hoc
+  /// Cypher. True (default): lower each statement once into a
+  /// slot-addressed PhysicalPlan (src/cypher/plan) — symbols interned,
+  /// variables frame-addressed, scans template-selected — cache it
+  /// (per-trigger on the TriggerDef, per-statement-text in the Database's
+  /// LRU), and execute the cached plan; any index/trigger DDL bumps the
+  /// plan epoch and invalidates cached plans. False: legacy AST-walking
+  /// interpreter on every evaluation; kept for the differential suite
+  /// (tests/test_plan_differential.cc) and the plan-compile ablation. Both
+  /// paths produce byte-identical results, activations, and stats.
+  bool use_compiled_plans = true;
+
+  /// Capacity of the Database's prepared-plan LRU for ad-hoc statement
+  /// text (0 disables ad-hoc caching; trigger plans are unaffected).
+  size_t plan_cache_capacity = 128;
 
   TriggerOrdering trigger_ordering = TriggerOrdering::kCreationTime;
 

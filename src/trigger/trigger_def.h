@@ -2,6 +2,7 @@
 #define PGTRIGGERS_TRIGGER_TRIGGER_DEF_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -9,6 +10,8 @@
 #include "src/cypher/ast.h"
 
 namespace pgt {
+
+struct TriggerPlans;  // src/trigger/trigger_plan.h
 
 /// When the trigger's condition is considered and its action executed,
 /// relative to the activating statement / transaction (paper Figure 1 and
@@ -85,6 +88,12 @@ struct TriggerDef {
   // --- Engine bookkeeping ---------------------------------------------------
   uint64_t seq = 0;      ///< creation order; drives prioritization (D5)
   bool enabled = true;
+
+  /// Compiled WHEN/action plans, filled lazily by the engine on first
+  /// activation and keyed on (store, plan epoch) — see trigger_plan.h.
+  /// Mutable because plan caching is transparent to trigger identity; the
+  /// engine is single-threaded (D7). Not cloned (a clone recompiles).
+  mutable std::shared_ptr<const TriggerPlans> compiled_plans;
 
   bool HasWhen() const {
     return when_expr != nullptr || !when_query.clauses.empty();

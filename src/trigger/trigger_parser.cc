@@ -5,6 +5,7 @@
 #include "src/common/macros.h"
 #include "src/common/str_util.h"
 #include "src/cypher/lexer.h"
+#include "src/cypher/statement_classifier.h"
 #include "src/cypher/parser.h"
 
 namespace pgt {
@@ -56,11 +57,8 @@ Result<TransitionVar> ParseTransitionVar(Parser& p) {
 }  // namespace
 
 bool TriggerDdlParser::IsTriggerDdl(std::string_view text) {
-  if (StartsWithWords(text, "DROP", "TRIGGER") ||
-      StartsWithWords(text, "ALTER", "TRIGGER")) {
-    return true;
-  }
-  return StartsWithWords(text, "CREATE", "TRIGGER");
+  // Single source of truth for the DDL-routing token grammar.
+  return ClassifyStatement(text) == StatementKind::kTriggerDdl;
 }
 
 Result<TriggerDdl> TriggerDdlParser::Parse(std::string_view text) {

@@ -1,0 +1,64 @@
+#include "src/trigger/trigger_plan.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace pgt {
+
+cypher::plan::CompileEnv TriggerCompileEnv(const TriggerDef& def) {
+  // Mirror of BuildActivations: which transition variables an activation of
+  // this trigger carries. CREATE raises NEW; DELETE raises OLD; SET raises
+  // NEW plus (for property events) OLD; REMOVE raises OLD.
+  const bool has_new =
+      def.event == TriggerEvent::kCreate || def.event == TriggerEvent::kSet;
+  const bool has_old = def.event == TriggerEvent::kDelete ||
+                       def.event == TriggerEvent::kRemove ||
+                       (def.event == TriggerEvent::kSet &&
+                        !def.property.empty());
+
+  const std::string new_name = def.granularity == Granularity::kEach
+                                   ? def.AliasFor(TransitionVar::kNew)
+                                   : def.NewVarName();
+  const std::string old_name = def.granularity == Granularity::kEach
+                                   ? def.AliasFor(TransitionVar::kOld)
+                                   : def.OldVarName();
+
+  cypher::plan::CompileEnv env;
+  if (has_new) env.seed_vars.push_back(new_name);
+  if (has_old) {
+    env.seed_vars.push_back(old_name);
+    env.old_view_vars.insert(old_name);
+  }
+  return env;
+}
+
+const TriggerPlans* GetOrCompileTriggerPlans(const TriggerDef& def,
+                                             const GraphStore& store,
+                                             uint64_t epoch) {
+  const TriggerPlans* cached = def.compiled_plans.get();
+  if (cached != nullptr && cached->store == &store &&
+      cached->epoch == epoch) {
+    return cached;
+  }
+  auto plans = std::make_shared<TriggerPlans>();
+  plans->epoch = epoch;
+  plans->store = &store;
+  const cypher::plan::CompileEnv env = TriggerCompileEnv(def);
+  auto compiled = cypher::plan::CompileTrigger(
+      def.when_expr.get(), &def.when_query, def.statement, env, store, epoch);
+  if (compiled.ok()) {
+    plans->program = std::move(compiled).value();
+    plans->usable = true;
+  } else {
+    // Intentional fallback (CALL / RETURN-position statements the
+    // interpreter rejects at runtime): the trigger stays interpreted.
+    // Anything else is a compiler defect — surface it in debug builds.
+    assert(compiled.status().code() == StatusCode::kUnimplemented &&
+           "trigger-plan compilation failed with a non-fallback status");
+  }
+  def.compiled_plans = std::move(plans);
+  return def.compiled_plans.get();
+}
+
+}  // namespace pgt

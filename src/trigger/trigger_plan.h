@@ -1,0 +1,41 @@
+#ifndef PGTRIGGERS_TRIGGER_TRIGGER_PLAN_H_
+#define PGTRIGGERS_TRIGGER_TRIGGER_PLAN_H_
+
+#include <cstdint>
+
+#include "src/cypher/plan/compiler.h"
+#include "src/cypher/plan/program.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt {
+
+/// A trigger's compiled WHEN/action plans, cached on the TriggerDef and
+/// keyed on (store, plan epoch). `usable == false` marks an intentional
+/// compile fallback (e.g. a CALL in the action); the engine then runs the
+/// interpreter, whose semantics are identical.
+struct TriggerPlans {
+  bool usable = false;
+  uint64_t epoch = 0;
+  const GraphStore* store = nullptr;
+  cypher::plan::TriggerProgram program;  // valid iff usable
+};
+
+/// Derives the compile environment (transition seed variables and OLD-view
+/// names) a trigger's activations always carry, from the definition alone.
+/// Which transition variables exist is a function of (event, property,
+/// granularity, item, referencing) — see BuildActivations in engine.cc —
+/// so the environment is deterministic per definition.
+cypher::plan::CompileEnv TriggerCompileEnv(const TriggerDef& def);
+
+/// Returns `def`'s cached compiled plans, compiling on first use and
+/// recompiling when the plan epoch or store changed (index/trigger DDL
+/// invalidates cached plans). Never fails: statements the compiler does not
+/// cover yield a non-usable entry and the caller falls back to the
+/// interpreter.
+const TriggerPlans* GetOrCompileTriggerPlans(const TriggerDef& def,
+                                             const GraphStore& store,
+                                             uint64_t epoch);
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_TRIGGER_TRIGGER_PLAN_H_

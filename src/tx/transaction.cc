@@ -218,6 +218,13 @@ std::vector<LabelId> Transaction::ReadNodeLabels(NodeId id) const {
   return {};
 }
 
+const std::vector<LabelId>* Transaction::ReadNodeLabelsView(NodeId id) const {
+  if (store_->NodeAlive(id)) return &store_->GetNode(id)->labels;
+  const DeletedNodeImage* ghost = GhostNode(id);
+  if (ghost != nullptr) return &ghost->labels;
+  return nullptr;
+}
+
 const DeletedNodeImage* Transaction::GhostNode(NodeId id) const {
   auto it = ghost_nodes_.find(id);
   return it == ghost_nodes_.end() ? nullptr : &it->second;

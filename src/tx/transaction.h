@@ -61,6 +61,13 @@ class Transaction {
   /// The accumulated transaction-level delta (everything since Begin).
   const GraphDelta& AccumulatedDelta() const { return delta_stack_.front(); }
 
+  /// Moves the accumulated delta out (for AfterCommit processing). Only
+  /// legal after a successful Commit — the transaction no longer needs it —
+  /// and saves the full-delta copy the commit path used to make.
+  GraphDelta TakeAccumulatedDelta() {
+    return std::move(delta_stack_.front());
+  }
+
   // --- Change-tracked mutations --------------------------------------------
 
   Result<NodeId> CreateNode(const std::vector<LabelId>& labels,
@@ -89,6 +96,12 @@ class Transaction {
 
   /// Labels of a node, ghost-aware.
   std::vector<LabelId> ReadNodeLabels(NodeId id) const;
+
+  /// Zero-copy variant: the node's sorted label vector (ghost-aware), or
+  /// nullptr when the node never existed. The pointer is invalidated by the
+  /// next store mutation; used by the compiled matcher's per-candidate
+  /// label checks (src/cypher/plan), which read and immediately test.
+  const std::vector<LabelId>* ReadNodeLabelsView(NodeId id) const;
 
   /// Ghost image lookup (nullptr when the item was not deleted here).
   const DeletedNodeImage* GhostNode(NodeId id) const;

@@ -1,0 +1,419 @@
+// Differential suite for the compile-once query-plan subsystem
+// (src/cypher/plan): with EngineOptions::use_compiled_plans on, trigger
+// WHEN/action statements and ad-hoc Cypher execute through slot-addressed
+// compiled plans; off, the legacy AST interpreter runs. The two paths must
+// produce byte-identical QueryResults, firing order, per-trigger stats, and
+// final graph state over a corpus spanning every compiled clause and
+// expression shape — plus identical behavior across plan-cache hits and
+// DDL-epoch invalidation. Mirrors tests/test_dispatch_differential.cc.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/trigger/database.h"
+#include "src/trigger/trigger_plan.h"
+
+namespace pgt {
+namespace {
+
+EngineOptions Options(bool use_compiled_plans) {
+  EngineOptions opts;
+  opts.use_compiled_plans = use_compiled_plans;
+  return opts;
+}
+
+int64_t Count(Database& db, const std::string& query) {
+  auto r = db.Execute(query);
+  EXPECT_TRUE(r.ok()) << r.status();
+  if (!r.ok() || r->rows.empty()) return -1;
+  return r->rows[0][0].int_value();
+}
+
+std::vector<std::string> FiringLog(Database& db) {
+  std::vector<std::string> out;
+  auto r = db.Execute("MATCH (l:Log) RETURN l.t");
+  EXPECT_TRUE(r.ok()) << r.status();
+  for (const auto& row : r->rows) out.push_back(row[0].string_value());
+  return out;
+}
+
+/// Canonical dump of the whole graph: every alive node (sorted labels,
+/// properties) and relationship, in id order. Byte-compared across modes.
+std::string DumpGraph(Database& db) {
+  std::ostringstream os;
+  const GraphStore& store = db.store();
+  for (NodeId id : store.AllNodes()) {
+    const NodeRecord* n = store.GetNode(id);
+    os << "n" << id.value << "[";
+    for (LabelId l : n->labels) os << store.LabelName(l) << ",";
+    os << "]{";
+    for (const auto& [k, v] : n->props) {
+      os << store.PropKeyName(k) << "=" << v.ToString() << ",";
+    }
+    os << "}\n";
+  }
+  for (RelId id : store.AllRels()) {
+    const RelRecord* r = store.GetRel(id);
+    os << "r" << id.value << ":" << store.RelTypeName(r->type) << " "
+       << r->src.value << "->" << r->dst.value << "{";
+    for (const auto& [k, v] : r->props) {
+      os << store.PropKeyName(k) << "=" << v.ToString() << ",";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+void ExpectSameStats(Database& compiled, Database& interpreted) {
+  const EngineStats& sc = compiled.stats();
+  const EngineStats& si = interpreted.stats();
+  ASSERT_EQ(sc.per_trigger.size(), si.per_trigger.size());
+  for (const auto& [name, ts] : sc.per_trigger) {
+    auto it = si.per_trigger.find(name);
+    ASSERT_NE(it, si.per_trigger.end()) << name;
+    EXPECT_EQ(ts.considered, it->second.considered) << name;
+    EXPECT_EQ(ts.fired, it->second.fired) << name;
+    EXPECT_EQ(ts.action_rows, it->second.action_rows) << name;
+    EXPECT_EQ(ts.errors, it->second.errors) << name;
+  }
+  EXPECT_EQ(sc.statements, si.statements);
+  EXPECT_EQ(sc.cascade_depth_max, si.cascade_depth_max);
+  EXPECT_EQ(sc.oncommit_rounds_max, si.oncommit_rounds_max);
+  EXPECT_EQ(sc.detached_runs, si.detached_runs);
+}
+
+// ---------------------------------------------------------------------------
+// The trigger corpus: every action time, both granularities, WHEN
+// expressions and WHEN pipelines (sargable MATCH, aggregates, UNWIND,
+// EXISTS, CASE, list comprehensions), OLD property views, REFERENCING
+// aliases, transition pseudo-labels, and actions exercising CREATE /
+// relationship CREATE / SET / REMOVE / DELETE / MERGE / FOREACH — plus a
+// CALL action, which intentionally falls back to the interpreter.
+
+const char* kTriggerCorpus[] = {
+    // WHEN expression over OLD/NEW with an OLD property view.
+    "CREATE TRIGGER Wexpr AFTER SET ON 'Acct'.'bal' FOR EACH NODE "
+    "WHEN OLD.bal <> NEW.bal "
+    "BEGIN CREATE (:Log {t: 'Wexpr', d: NEW.bal - OLD.bal}) END",
+    // WHEN pipeline: sargable MATCH probe + chain + WITH re-scope.
+    "CREATE TRIGGER Wpipe AFTER SET ON 'Acct'.'bal' FOR EACH NODE "
+    "WHEN MATCH (o:Owner {oid: NEW.owner})-[:OWNS]->(x:Acct) "
+    "WHERE x.bal >= 0 WITH o, x "
+    "BEGIN CREATE (:Log {t: 'Wpipe', who: o.name, b: x.bal + NEW.bal}) END",
+    // Aggregate + ORDER BY + LIMIT in the condition pipeline.
+    "CREATE TRIGGER Wagg ONCOMMIT CREATE ON 'Acct' FOR ALL NODES "
+    "WHEN MATCH (a:Acct) WITH COUNT(*) AS n WHERE n >= 2 "
+    "BEGIN CREATE (:Log {t: 'Wagg', n: n}) END",
+    // UNWIND over the transition set + FOREACH in the action.
+    "CREATE TRIGGER Wset AFTER CREATE ON 'Batch' "
+    "REFERENCING NEWNODES AS fresh FOR ALL NODES "
+    "WHEN UNWIND fresh AS b WITH b WHERE b.k > 0 "
+    "BEGIN FOREACH (i IN RANGE(1, b.k) | CREATE (:Log {t: 'Wset', i: i})) "
+    "END",
+    // Transition pseudo-label in the pattern + EXISTS in WHEN.
+    "CREATE TRIGGER Wexists AFTER CREATE ON 'Link' FOR EACH RELATIONSHIP "
+    "WHEN EXISTS ((:Hub)-[:T]->(:Hub)) "
+    "BEGIN CREATE (:Log {t: 'Wexists'}) END",
+    // BEFORE trigger conditioning NEW states.
+    "CREATE TRIGGER Bfix BEFORE SET ON 'Acct'.'bal' FOR EACH NODE "
+    "WHEN NEW.bal < 0 BEGIN SET NEW.bal = 0 END",
+    // OLD view on DELETE + DETACHED autonomous transaction.
+    "CREATE TRIGGER Dgone DETACHED DELETE ON 'Acct' FOR EACH NODE "
+    "BEGIN CREATE (:Log {t: 'Dgone', last: OLD.bal}) END",
+    // Label event + MERGE action with ON CREATE / ON MATCH.
+    "CREATE TRIGGER Lmark AFTER SET ON 'Flagged' FOR EACH NODE "
+    "BEGIN MERGE (c:Counter {kind: 'flag'}) "
+    "ON CREATE SET c.n = 1 ON MATCH SET c.n = c.n + 1 END",
+    // REMOVE event + list comprehension + CASE in the action.
+    "CREATE TRIGGER Rprop AFTER REMOVE ON 'Acct'.'tag' FOR EACH NODE "
+    "BEGIN CREATE (:Log {t: 'Rprop', c: CASE WHEN OLD.bal > 5 THEN 'hi' "
+    "ELSE 'lo' END, l: [z IN [1,2,3] WHERE z > 1 | z * 10]}) END",
+    // Relationship SET event + OLD rel view.
+    "CREATE TRIGGER RelSet ONCOMMIT SET ON 'OWNS'.'w' FOR EACH RELATIONSHIP "
+    "WHEN OLD.w < NEW.w BEGIN CREATE (:Log {t: 'RelSet', was: OLD.w}) END",
+    // CALL in the action: intentional interpreter fallback.
+    "CREATE TRIGGER Cback AFTER CREATE ON 'Procy' FOR EACH NODE "
+    "BEGIN CALL test.mark() END",
+    // Cascade source: DELETE action raising further events.
+    "CREATE TRIGGER Casc AFTER CREATE ON 'Sweep' FOR EACH NODE "
+    "BEGIN MATCH (v:Victim) DETACH DELETE v END",
+    "CREATE TRIGGER Cascd AFTER DELETE ON 'Victim' FOR EACH NODE "
+    "BEGIN CREATE (:Log {t: 'Cascd'}) END",
+};
+
+const char* kWorkload[] = {
+    "CREATE (:Owner {oid: 1, name: 'ada'}), (:Owner {oid: 2, name: 'bob'})",
+    "CREATE (:Acct {bal: 10, owner: 1, tag: 'x'})",
+    "CREATE (:Acct {bal: 20, owner: 2, tag: 'y'})",
+    "MATCH (o:Owner), (a:Acct) WHERE o.oid = a.owner "
+    "CREATE (o)-[:OWNS {w: 1}]->(a)",
+    "MATCH (a:Acct {owner: 1}) SET a.bal = 15",
+    "MATCH (a:Acct) WHERE a.bal > 18 SET a.bal = a.bal + 1",
+    "MATCH (a:Acct {owner: 2}) SET a.bal = -5",  // Bfix clamps to 0
+    "CREATE (:Batch {k: 2}), (:Batch {k: 0})",
+    "CREATE (:Hub), (:Hub)",
+    "MATCH (h1:Hub), (h2:Hub) WHERE h1.x IS NULL AND h2.x IS NULL "
+    "CREATE (h1)-[:T]->(h2)",
+    "MATCH (a:Hub), (b:Hub) CREATE (a)-[:Link]->(b)",
+    "MATCH (a:Acct {owner: 1}) SET a:Flagged",
+    "MATCH (a:Acct {owner: 2}) SET a:Flagged",
+    "MATCH (a:Acct {owner: 1}) REMOVE a.tag",
+    "MATCH ()-[r:OWNS]->() SET r.w = 3",
+    "CREATE (:Procy)",
+    "CREATE (:Victim), (:Victim), (:Sweep)",
+    "MATCH (a:Acct {owner: 2}) DELETE a",
+    // Var-length + OPTIONAL MATCH + DISTINCT / ORDER BY / SKIP read.
+    "MATCH (o:Owner)-[:OWNS*1..2]->(a) RETURN o.name AS nm, a.bal AS b "
+    "ORDER BY nm, b",
+    "OPTIONAL MATCH (z:NoSuchLabel) RETURN z",
+    "MATCH (o:Owner) WITH DISTINCT o.name AS nm ORDER BY nm DESC "
+    "RETURN nm SKIP 1",
+    "UNWIND [3, 1, 2] AS v WITH v ORDER BY v RETURN COLLECT(v) AS sorted",
+};
+
+void InstallCorpus(Database& db) {
+  db.procedures().Register(
+      "test.mark", {},
+      [&db](cypher::EvalContext& ctx, const std::vector<Value>&,
+            const cypher::Row&) -> Result<std::vector<cypher::Row>> {
+        (void)ctx;
+        (void)db;
+        return std::vector<cypher::Row>{};
+      });
+  for (const char* ddl : kTriggerCorpus) {
+    auto r = db.Execute(ddl);
+    ASSERT_TRUE(r.ok()) << ddl << " -> " << r.status();
+  }
+}
+
+TEST(PlanDifferential, CorpusByteIdenticalAcrossPaths) {
+  Database compiled(Options(true));
+  Database interpreted(Options(false));
+  InstallCorpus(compiled);
+  InstallCorpus(interpreted);
+
+  for (const char* stmt : kWorkload) {
+    auto rc = compiled.Execute(stmt);
+    auto ri = interpreted.Execute(stmt);
+    ASSERT_EQ(rc.ok(), ri.ok()) << stmt << " -> " << rc.status() << " vs "
+                                << ri.status();
+    if (rc.ok()) {
+      EXPECT_EQ(rc->ToTable(), ri->ToTable()) << stmt;
+    } else {
+      EXPECT_EQ(rc.status().message(), ri.status().message()) << stmt;
+    }
+  }
+
+  const std::vector<std::string> log_c = FiringLog(compiled);
+  const std::vector<std::string> log_i = FiringLog(interpreted);
+  EXPECT_FALSE(log_c.empty());
+  EXPECT_EQ(log_c, log_i);
+  ExpectSameStats(compiled, interpreted);
+  EXPECT_EQ(DumpGraph(compiled), DumpGraph(interpreted));
+}
+
+TEST(PlanDifferential, MultiStatementTransactionsIdentical) {
+  Database compiled(Options(true));
+  Database interpreted(Options(false));
+  InstallCorpus(compiled);
+  InstallCorpus(interpreted);
+  const std::vector<std::string> tx = {
+      "CREATE (:Acct {bal: 1, owner: 1})",
+      "CREATE (:Acct {bal: 2, owner: 1})",
+      "MATCH (a:Acct) SET a.bal = a.bal * 10",
+      "MATCH (a:Acct) WHERE a.bal >= 20 DELETE a",
+  };
+  auto rc = compiled.ExecuteTx(tx);
+  auto ri = interpreted.ExecuteTx(tx);
+  ASSERT_TRUE(rc.ok()) << rc.status();
+  ASSERT_TRUE(ri.ok()) << ri.status();
+  ASSERT_EQ(rc->size(), ri->size());
+  for (size_t i = 0; i < rc->size(); ++i) {
+    EXPECT_EQ((*rc)[i].ToTable(), (*ri)[i].ToTable());
+  }
+  EXPECT_EQ(FiringLog(compiled), FiringLog(interpreted));
+  ExpectSameStats(compiled, interpreted);
+  EXPECT_EQ(DumpGraph(compiled), DumpGraph(interpreted));
+}
+
+// Index DDL mid-stream: the epoch bump must recompile cached plans (both
+// per-trigger and the ad-hoc LRU); results stay identical whichever access
+// path the new plans select.
+TEST(PlanDifferential, IndexDdlInvalidatesAndStaysIdentical) {
+  Database compiled(Options(true));
+  Database interpreted(Options(false));
+  InstallCorpus(compiled);
+  InstallCorpus(interpreted);
+
+  const std::string seed1 = "CREATE (:Owner {oid: 9, name: 'zoe'})";
+  const std::string probe =
+      "MATCH (o:Owner) WHERE o.oid >= 2 RETURN o.name AS nm ORDER BY nm";
+  for (Database* db : {&compiled, &interpreted}) {
+    ASSERT_TRUE(db->Execute(seed1).ok());
+    ASSERT_TRUE(db->Execute("CREATE (:Acct {bal: 3, owner: 9})").ok());
+  }
+  auto before_c = compiled.Execute(probe);
+  auto before_i = interpreted.Execute(probe);
+  ASSERT_TRUE(before_c.ok() && before_i.ok());
+  EXPECT_EQ(before_c->ToTable(), before_i->ToTable());
+
+  const uint64_t epoch_before = compiled.PlanEpoch();
+  for (Database* db : {&compiled, &interpreted}) {
+    ASSERT_TRUE(db->Execute("CREATE RANGE INDEX ON :Owner(oid)").ok());
+  }
+  EXPECT_GT(compiled.PlanEpoch(), epoch_before);
+
+  // Same probe text: cache hit + recompile against the new catalog.
+  auto after_c = compiled.Execute(probe);
+  auto after_i = interpreted.Execute(probe);
+  ASSERT_TRUE(after_c.ok() && after_i.ok());
+  EXPECT_EQ(after_c->ToTable(), after_i->ToTable());
+  EXPECT_EQ(before_c->ToTable(), after_c->ToTable());
+
+  // Trigger plans recompile too; firing keeps matching.
+  for (Database* db : {&compiled, &interpreted}) {
+    ASSERT_TRUE(db->Execute("MATCH (a:Acct {owner: 9}) SET a.bal = 4").ok());
+  }
+  EXPECT_EQ(FiringLog(compiled), FiringLog(interpreted));
+  ExpectSameStats(compiled, interpreted);
+}
+
+// Trigger DDL bumps the plan epoch as well (conservative invalidation).
+TEST(PlanDifferential, TriggerDdlBumpsPlanEpoch) {
+  Database db(Options(true));
+  const uint64_t e0 = db.PlanEpoch();
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER T AFTER CREATE ON 'X' "
+                         "FOR EACH NODE BEGIN CREATE (:Hit) END")
+                  .ok());
+  const uint64_t e1 = db.PlanEpoch();
+  EXPECT_GT(e1, e0);
+  ASSERT_TRUE(db.Execute("DROP TRIGGER T").ok());
+  EXPECT_GT(db.PlanEpoch(), e1);
+}
+
+// The ad-hoc LRU: repeated statement text parses and compiles once.
+TEST(PlanDifferential, PlanCacheHitsOnRepeatedText) {
+  Database db(Options(true));
+  ASSERT_TRUE(db.Execute("CREATE (:P {v: 1})").ok());
+  const std::string q = "MATCH (p:P) RETURN p.v";
+  const uint64_t misses_before = db.plan_cache().misses();
+  for (int i = 0; i < 5; ++i) {
+    auto r = db.Execute(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rows[0][0].int_value(), 1);
+  }
+  EXPECT_EQ(db.plan_cache().misses(), misses_before + 1);
+  EXPECT_GE(db.plan_cache().hits(), 4u);
+}
+
+TEST(PlanDifferential, PlanCacheEvictsAtCapacity) {
+  EngineOptions opts;
+  opts.plan_cache_capacity = 2;
+  Database db(opts);
+  ASSERT_TRUE(db.Execute("RETURN 1 AS a").ok());
+  ASSERT_TRUE(db.Execute("RETURN 2 AS a").ok());
+  ASSERT_TRUE(db.Execute("RETURN 3 AS a").ok());
+  EXPECT_EQ(db.plan_cache().size(), 2u);
+}
+
+// Pending symbol resolution: a trigger compiled while its WHEN labels are
+// not interned yet must start matching once they appear — without any DDL.
+TEST(PlanDifferential, LateInternedSymbolsResolveInCompiledPlans) {
+  for (bool use_plans : {true, false}) {
+    Database db(Options(use_plans));
+    ASSERT_TRUE(db.Execute("CREATE TRIGGER Late AFTER CREATE ON 'Seen' "
+                           "FOR EACH NODE "
+                           "WHEN MATCH (g:Ghost {gid: NEW.gid}) "
+                           "BEGIN CREATE (:Hit {g: g.gid}) END")
+                    .ok());
+    // 'Ghost' and 'gid' are unknown: the condition matches nothing.
+    ASSERT_TRUE(db.Execute("CREATE (:Seen {gid: 7})").ok());
+    EXPECT_EQ(Count(db, "MATCH (h:Hit) RETURN COUNT(*) AS c"), 0)
+        << "use_compiled_plans=" << use_plans;
+    // Interning 'Ghost'/'gid' through plain statements (no DDL, no epoch
+    // bump) must flow into the cached plan via pending symbol resolution.
+    ASSERT_TRUE(db.Execute("CREATE (:Ghost {gid: 7})").ok());
+    ASSERT_TRUE(db.Execute("CREATE (:Seen {gid: 7})").ok());
+    EXPECT_EQ(Count(db, "MATCH (h:Hit) RETURN COUNT(*) AS c"), 1)
+        << "use_compiled_plans=" << use_plans;
+  }
+}
+
+// Intentional fallbacks stay identical: RETURN * and CALL are interpreted
+// even with compiled plans on.
+TEST(PlanDifferential, FallbackShapesIdentical) {
+  Database compiled(Options(true));
+  Database interpreted(Options(false));
+  for (Database* db : {&compiled, &interpreted}) {
+    ASSERT_TRUE(db->Execute("CREATE (:A {v: 1})-[:R]->(:B {v: 2})").ok());
+  }
+  for (const char* q : {"MATCH (a:A) RETURN *",
+                        "MATCH (a:A)-[r:R]->(b) RETURN *"}) {
+    auto rc = compiled.Execute(q);
+    auto ri = interpreted.Execute(q);
+    ASSERT_EQ(rc.ok(), ri.ok()) << q;
+    if (rc.ok()) EXPECT_EQ(rc->ToTable(), ri->ToTable()) << q;
+  }
+}
+
+// Error surfacing parity for statements that fail mid-way.
+TEST(PlanDifferential, RuntimeErrorsIdentical) {
+  Database compiled(Options(true));
+  Database interpreted(Options(false));
+  for (Database* db : {&compiled, &interpreted}) {
+    ASSERT_TRUE(db->Execute("CREATE (:N {v: 'str'})").ok());
+  }
+  for (const char* q :
+       {"MATCH (n:N) RETURN n.v - 1",          // type error
+        "RETURN unboundvar",                   // unbound variable
+        "MATCH (n:N) RETURN n.v LIMIT -1",     // bad LIMIT
+        "RETURN $missing"}) {                  // unbound parameter
+    auto rc = compiled.Execute(q);
+    auto ri = interpreted.Execute(q);
+    ASSERT_FALSE(rc.ok()) << q;
+    ASSERT_FALSE(ri.ok()) << q;
+    EXPECT_EQ(rc.status().code(), ri.status().code()) << q;
+    EXPECT_EQ(rc.status().message(), ri.status().message()) << q;
+  }
+}
+
+// Regression: the constant-IN probe must not diverge from the
+// interpreter's Equals-based semantics for NaN, including NaN nested
+// inside lists (TotalCompare treats NaN as equal to any number; Equals
+// says false). Probe values that could hide NaN take the linear path.
+TEST(PlanDifferential, ConstInProbeNanSemanticsIdentical) {
+  Database compiled(Options(true));
+  Database interpreted(Options(false));
+  for (const char* q :
+       {"RETURN [1.0 % 0.0] IN [[2.0], [3.0]] AS r",  // nested NaN
+        "RETURN (1.0 % 0.0) IN [2.0, 3.0] AS r",      // top-level NaN
+        "RETURN 2.0 IN [1, 2, 3] AS r",               // int/double coercion
+        "RETURN 'b' IN ['a', 'b'] AS r",
+        "RETURN 5 IN [1, NULL, 3] AS r"}) {           // null in list
+    auto rc = compiled.Execute(q);
+    auto ri = interpreted.Execute(q);
+    ASSERT_EQ(rc.ok(), ri.ok()) << q;
+    if (rc.ok()) EXPECT_EQ(rc->ToTable(), ri->ToTable()) << q;
+  }
+}
+
+// Parameterized statements share one cached plan across different values.
+TEST(PlanDifferential, ParamsReuseOneCachedPlan) {
+  Database db(Options(true));
+  ASSERT_TRUE(db.Execute("CREATE (:K {id: 1}), (:K {id: 2})").ok());
+  const std::string q = "MATCH (k:K) WHERE k.id = $id RETURN k.id";
+  for (int64_t id : {1, 2, 1}) {
+    Params params{{"id", Value::Int(id)}};
+    auto r = db.Execute(q, params);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(r->rows.size(), 1u);
+    EXPECT_EQ(r->rows[0][0].int_value(), id);
+  }
+  EXPECT_GE(db.plan_cache().hits(), 2u);
+}
+
+}  // namespace
+}  // namespace pgt

@@ -1,0 +1,112 @@
+// Unit tests for the single-pass statement classifier that routes
+// Database::Execute / ExecuteTx (replacing the legacy IsTriggerDdl +
+// IsIndexDdl double scan). Classification must agree with the two legacy
+// predicates on every input, including leading whitespace and comments.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cypher/statement_classifier.h"
+#include "src/index/index_ddl.h"
+#include "src/trigger/trigger_parser.h"
+
+namespace pgt {
+namespace {
+
+TEST(StatementClassifier, TriggerDdl) {
+  const std::vector<std::string> ddls = {
+      "CREATE TRIGGER T AFTER CREATE ON 'L' FOR EACH NODE BEGIN CREATE (:X) "
+      "END",
+      "DROP TRIGGER T",
+      "ALTER TRIGGER T ENABLE",
+      "ALTER TRIGGER T DISABLE",
+      "create trigger lower_case AFTER CREATE ON 'L' FOR EACH NODE BEGIN "
+      "CREATE (:X) END",
+      "  \n\t CREATE TRIGGER Padded AFTER CREATE ON 'L' FOR EACH NODE BEGIN "
+      "CREATE (:X) END",
+      "// a leading comment\nCREATE TRIGGER C AFTER CREATE ON 'L' FOR EACH "
+      "NODE BEGIN CREATE (:X) END",
+      "/* block\n comment */ DROP TRIGGER T",
+  };
+  for (const std::string& s : ddls) {
+    EXPECT_EQ(ClassifyStatement(s), StatementKind::kTriggerDdl) << s;
+  }
+}
+
+TEST(StatementClassifier, IndexDdl) {
+  const std::vector<std::string> ddls = {
+      "CREATE INDEX ON :Person(ssn)",
+      "CREATE UNIQUE INDEX ON :Person(ssn)",
+      "CREATE RANGE INDEX ON :Person(age)",
+      "CREATE UNIQUE RANGE INDEX ON :Person(ssn)",
+      "create hash index on :Person(ssn)",
+      "DROP INDEX ON :Person(ssn)",
+      "SHOW INDEXES",
+      "show index",
+      "  /* comment */ CREATE INDEX ON :L(p)",
+      "// note\nDROP INDEX ON :L(p)",
+  };
+  for (const std::string& s : ddls) {
+    EXPECT_EQ(ClassifyStatement(s), StatementKind::kIndexDdl) << s;
+  }
+}
+
+TEST(StatementClassifier, PlainCypher) {
+  const std::vector<std::string> stmts = {
+      "CREATE (:Mutation {name: 'Spike:D614G'})",
+      "MATCH (n) RETURN n.name",
+      "MATCH (n:Trigger) RETURN COUNT(*) AS c",  // label named Trigger
+      "CREATE (:Index {v: 1})",                  // label named Index
+      "CREATE INDEXED",  // 'INDEXED' is not the INDEX keyword
+      "CREATE UNIQUE RANGE HASH UNIQUE INDEX ON :L(p)",  // past modifier window
+      "RETURN 1 AS one",
+      "// only a comment followed by cypher\nRETURN 1 AS one",
+      "DROP",         // single token
+      "",             // empty
+      "  \t\n ",      // whitespace only
+      "??? not lexable $$$",
+  };
+  for (const std::string& s : stmts) {
+    EXPECT_EQ(ClassifyStatement(s), StatementKind::kCypher) << s;
+  }
+}
+
+// The classifier must agree with the legacy predicates (and their routing
+// precedence: trigger DDL first) on a mixed corpus.
+TEST(StatementClassifier, AgreesWithLegacyPredicates) {
+  const std::vector<std::string> corpus = {
+      "CREATE TRIGGER T AFTER CREATE ON 'L' FOR EACH NODE BEGIN CREATE (:X) "
+      "END",
+      "DROP TRIGGER T",
+      "ALTER TRIGGER T ENABLE",
+      "CREATE INDEX ON :L(p)",
+      "CREATE UNIQUE RANGE INDEX ON :L(p)",
+      // Within the legacy 3-token modifier window, even a repeated modifier
+      // classifies as index DDL (the index parser rejects it afterwards).
+      "CREATE UNIQUE UNIQUE INDEX ON :L(p)",
+      "DROP INDEX ON :L(p)",
+      "SHOW INDEXES",
+      "CREATE (:L {p: 1})",
+      "MATCH (n) RETURN n",
+      "MERGE (n:L) RETURN n",
+      "RETURN 1 AS x",
+      "",
+      "ALTER",
+      "/* c */ CREATE TRIGGER X AFTER CREATE ON 'L' FOR EACH NODE BEGIN "
+      "CREATE (:Y) END",
+  };
+  for (const std::string& s : corpus) {
+    StatementKind expected = StatementKind::kCypher;
+    if (TriggerDdlParser::IsTriggerDdl(s)) {
+      expected = StatementKind::kTriggerDdl;
+    } else if (index::IndexDdlParser::IsIndexDdl(s)) {
+      expected = StatementKind::kIndexDdl;
+    }
+    EXPECT_EQ(ClassifyStatement(s), expected) << s;
+  }
+}
+
+}  // namespace
+}  // namespace pgt
