@@ -109,10 +109,10 @@ int main() {
     bool ok = acts.size() == 1;
     if (ok) {
       const cypher::TransitionEnv& env = acts[0].env;
-      const bool has_old = env.singles.count(def.AliasFor(
-                               TransitionVar::kOld)) > 0;
-      const bool has_new = env.singles.count(def.AliasFor(
-                               TransitionVar::kNew)) > 0;
+      const bool has_old =
+          env.FindSingle(def.AliasFor(TransitionVar::kOld)) != nullptr;
+      const bool has_new =
+          env.FindSingle(def.AliasFor(TransitionVar::kNew)) != nullptr;
       const bool has_overlay =
           !env.old_node_props.empty() || !env.old_rel_props.empty();
       ok = has_old == c.expect_old && has_new == c.expect_new &&

@@ -1,0 +1,316 @@
+// Value-substrate microbenchmark: the shared value/allocation machinery
+// every trigger firing touches (docs/values.md).
+//
+//   $ ./build/bench_value_substrate [output.json] [--smoke]
+//
+// Four workloads, each reporting ns/op (or us/firing) and heap
+// allocations/op via a global operator-new counting hook:
+//
+//  * value_copy   — copying Values dominated by short strings (status /
+//    label-sized payloads, the common property case). Exercises the Value
+//    representation directly: a heap-backed string rep pays one malloc per
+//    copy; an SSO rep pays none.
+//  * prop_read    — point property reads against nodes carrying a handful
+//    of properties (GetNodeProp). Exercises the per-record property
+//    container: red-black tree walk vs. flat sorted-vector binary search.
+//  * activation   — PgTriggerEngine::MatchAll over a synthetic delta of
+//    property assignments: the activation-derivation path that builds one
+//    TransitionEnv per matched event.
+//  * firing       — end-to-end small-property trigger workload: an AFTER
+//    SET trigger with a NEW/OLD WHEN condition whose action SETs two
+//    properties (one short string, one number). This is the acceptance
+//    workload: per-firing wall time and allocations/firing.
+//
+// Writes a JSON report (default /tmp/bench_value.json). The checked-in
+// BENCH_value.json holds this report for the pre-refactor baseline and the
+// current tree side by side. --smoke runs tiny counts and asserts only
+// correctness invariants (CI).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/tx/delta.h"
+
+// ---------------------------------------------------------------------------
+// Allocation-counting hook: every global operator new bumps a counter. The
+// bench is single-threaded; plain counters are fine.
+// ---------------------------------------------------------------------------
+
+namespace {
+unsigned long long g_alloc_count = 0;
+unsigned long long g_alloc_bytes = 0;
+}  // namespace
+
+void* operator new(size_t size) {
+  ++g_alloc_count;
+  g_alloc_bytes += size;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](size_t size) {
+  ++g_alloc_count;
+  g_alloc_bytes += size;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace pgt::bench {
+namespace {
+
+struct Measurement {
+  std::string name;
+  double ns_per_op = 0;
+  double allocs_per_op = 0;
+  long long ops = 0;
+};
+
+/// Runs `op` `n` times and returns (ns/op, allocs/op).
+template <typename Fn>
+Measurement Measure(const std::string& name, long long n, Fn&& op) {
+  // Warm-up round so lazily-built state (plan caches, interned symbols,
+  // pooled buffers) does not bill its one-time cost to the steady state.
+  op(0);
+  const unsigned long long allocs_before = g_alloc_count;
+  Stopwatch sw;
+  for (long long i = 1; i <= n; ++i) op(i);
+  const double micros = sw.ElapsedMicros();
+  const unsigned long long allocs = g_alloc_count - allocs_before;
+  Measurement m;
+  m.name = name;
+  m.ops = n;
+  m.ns_per_op = micros * 1000.0 / static_cast<double>(n);
+  m.allocs_per_op = static_cast<double>(allocs) / static_cast<double>(n);
+  return m;
+}
+
+// --- value_copy -------------------------------------------------------------
+
+Measurement BenchValueCopy(long long n) {
+  // Status-sized strings: the common property payload (labels, enum-ish
+  // status fields). Lengths straddle the representation boundaries: 10
+  // chars (inline everywhere), 16 chars (heap under libstdc++
+  // std::string's 15-char SSO), 22 chars (heap everywhere — shared vs.
+  // deep-copied is the difference under test).
+  std::vector<Value> pool;
+  pool.push_back(Value::String("quarantine"));            // 10 chars
+  pool.push_back(Value::String("status-updated-x"));      // 16 chars
+  pool.push_back(Value::String("flagged-for-review-xyz"));  // 22 chars
+  pool.push_back(Value::Int(42));
+  pool.push_back(Value::Double(3.5));
+  pool.push_back(Value::Bool(true));
+  std::vector<Value> sink;
+  Measurement m = Measure("value_copy", n, [&](long long i) {
+    // One op = a fresh copy of the whole mixed pool (6 values, 3 strings)
+    // into newly-allocated storage — what seeding an activation env or an
+    // executor frame does, as opposed to assignment into warm buffers.
+    std::vector<Value> fresh(pool.begin(), pool.end());
+    sink.swap(fresh);
+  });
+  if (!sink[0].is_string() || sink[0].string_value() != pool[0].string_value()) {
+    std::fprintf(stderr, "FATAL: value_copy corrupted values\n");
+    std::abort();
+  }
+  return m;
+}
+
+// --- prop_read --------------------------------------------------------------
+
+constexpr int kPropNodes = 512;
+constexpr int kPropsPerNode = 8;
+
+Measurement BenchPropRead(GraphStore& store, long long n) {
+  std::vector<PropKeyId> keys;
+  for (int k = 0; k < kPropsPerNode; ++k) {
+    keys.push_back(store.InternPropKey("p" + std::to_string(k)));
+  }
+  Value sum = Value::Int(0);
+  long long checksum = 0;
+  Measurement m = Measure("prop_read", n, [&](long long i) {
+    // One op = one point read; rotate node and key.
+    const NodeId id{static_cast<uint64_t>(i % kPropNodes)};
+    const PropKeyId key = keys[static_cast<size_t>(i % kPropsPerNode)];
+    const Value v = store.GetNodeProp(id, key);
+    if (v.is_int()) checksum += v.int_value();
+  });
+  if (checksum == 0) {
+    std::fprintf(stderr, "FATAL: prop_read read nothing\n");
+    std::abort();
+  }
+  return m;
+}
+
+// --- activation setup -------------------------------------------------------
+
+Measurement BenchActivation(Database& db, long long n) {
+  // A delta of 32 property assignments on trigger-targeted nodes: one
+  // MatchAll derives 32 FOR EACH activations, each with its own
+  // TransitionEnv (singles, sets, old-image overlay).
+  GraphDelta delta;
+  const PropKeyId bal = db.store().InternPropKey("bal");
+  for (int i = 0; i < 32; ++i) {
+    NodePropChange pc;
+    pc.node = NodeId{static_cast<uint64_t>(i)};
+    pc.key = bal;
+    pc.old_value = Value::Int(i);
+    pc.new_value = Value::Int(i + 1);
+    delta.assigned_node_props.push_back(pc);
+  }
+  size_t acts_seen = 0;
+  Measurement m = Measure("activation", n, [&](long long i) {
+    std::vector<Activation> acts =
+        db.engine().MatchAll(ActionTime::kAfter, delta);
+    acts_seen = acts.size();
+  });
+  if (acts_seen != 32) {
+    std::fprintf(stderr, "FATAL: activation matched %zu (want 32)\n",
+                 acts_seen);
+    std::abort();
+  }
+  // Report per derived activation, not per MatchAll call.
+  m.ns_per_op /= 32.0;
+  m.allocs_per_op /= 32.0;
+  return m;
+}
+
+// --- end-to-end firing ------------------------------------------------------
+
+constexpr int kAccts = 256;
+
+void SeedFiringDb(Database& db) {
+  MustExec(db, "CREATE INDEX ON :Acct(id)");
+  for (int i = 0; i < kAccts; ++i) {
+    MustExec(db, "CREATE (:Acct {id: " + std::to_string(i) +
+                     ", bal: 0, status: 'account-in-good-order', "
+                     "tag: 'retail-standard'})");
+  }
+  // Status-sized strings in the condition, the action, and the statement
+  // itself: the "small property" case the substrate is built for. Every
+  // firing copies several 16-22 char strings through property records,
+  // delta entries, and scope merges.
+  MustExec(db,
+           "CREATE TRIGGER Flag AFTER SET ON 'Acct'.'bal' FOR EACH NODE "
+           "WHEN NEW.bal > OLD.bal AND NEW.status <> 'account-suspended' "
+           "BEGIN SET NEW.status = 'balance-increased', "
+           "NEW.note = NEW.tag, NEW.last = NEW.bal END");
+}
+
+Measurement BenchFiring(Database& db, long long n) {
+  const std::string stmt =
+      "MATCH (a:Acct {id: $id}) SET a.bal = $v, a.audit = $tag";
+  Params params{{"id", Value::Int(0)},
+                {"v", Value::Int(0)},
+                {"tag", Value::String("pending-validation")}};
+  Measurement m = Measure("firing", n, [&](long long i) {
+    params["id"] = Value::Int(i % kAccts);
+    params["v"] = Value::Int(i + 1);  // strictly raising => WHEN passes
+    MustExec(db, stmt, params);
+  });
+  const TriggerStats& ts = db.stats().per_trigger["Flag"];
+  if (ts.fired != static_cast<uint64_t>(n) + 1) {  // +1 warm-up
+    std::fprintf(stderr, "FATAL: trigger fired %llu times (want %lld)\n",
+                 static_cast<unsigned long long>(ts.fired), n + 1);
+    std::abort();
+  }
+  const int64_t raised =
+      MustCount(db, "MATCH (a:Acct) WHERE a.status = 'balance-increased' "
+                    "RETURN COUNT(a) AS c");
+  if (raised == 0) {
+    std::fprintf(stderr, "FATAL: firing action had no effect\n");
+    std::abort();
+  }
+  return m;
+}
+
+void WriteJson(const char* path, const std::vector<Measurement>& ms) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"value_substrate\",\n  \"workloads\": {\n");
+  for (size_t i = 0; i < ms.size(); ++i) {
+    std::fprintf(f,
+                 "    \"%s\": {\"ns_per_op\": %.1f, \"allocs_per_op\": %.2f, "
+                 "\"ops\": %lld}%s\n",
+                 ms[i].name.c_str(), ms[i].ns_per_op, ms[i].allocs_per_op,
+                 ms[i].ops, i + 1 < ms.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+int Main(int argc, char** argv) {
+  const char* out = "/tmp/bench_value.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out = argv[i];
+    }
+  }
+  Banner("VALUE", "value substrate: copies, property reads, activations, "
+                  "firings");
+
+  const long long scale = smoke ? 200 : 200000;
+  std::vector<Measurement> ms;
+
+  ms.push_back(BenchValueCopy(scale * 5));
+
+  {
+    Database db;
+    for (int i = 0; i < kPropNodes; ++i) {
+      std::string q = "CREATE (:Acct {";
+      for (int k = 0; k < kPropsPerNode; ++k) {
+        if (k > 0) q += ", ";
+        q += "p" + std::to_string(k) + ": " +
+             (k % 2 == 0 ? std::to_string(i + k)
+                         : "'status-" + std::to_string(k) + "'");
+      }
+      q += "})";
+      MustExec(db, q);
+    }
+    ms.push_back(BenchPropRead(db.store(), scale * 5));
+  }
+
+  {
+    Database db;
+    SeedFiringDb(db);
+    ms.push_back(BenchActivation(db, smoke ? 50 : 20000));
+  }
+
+  {
+    Database db;
+    SeedFiringDb(db);
+    Measurement firing = BenchFiring(db, smoke ? 200 : 20000);
+    ms.push_back(firing);
+  }
+
+  std::printf("%-12s %14s %14s %12s\n", "workload", "ns/op", "allocs/op",
+              "ops");
+  for (const Measurement& m : ms) {
+    std::printf("%-12s %14.1f %14.2f %12lld\n", m.name.c_str(), m.ns_per_op,
+                m.allocs_per_op, m.ops);
+  }
+  WriteJson(out, ms);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pgt::bench
+
+int main(int argc, char** argv) { return pgt::bench::Main(argc, argv); }

@@ -1,0 +1,121 @@
+#ifndef PGTRIGGERS_COMMON_PROP_MAP_H_
+#define PGTRIGGERS_COMMON_PROP_MAP_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/value.h"
+
+namespace pgt {
+
+/// Flat sorted-vector property map keyed by interned PropKeyId: the
+/// per-record property container of NodeRecord / RelRecord, the deleted-item
+/// images, and the OLD-image overlays of TransitionEnv (docs/values.md).
+///
+/// Records carry a handful of properties, so one contiguous vector with
+/// binary-search reads beats a node-per-entry red-black tree on every axis
+/// that matters here: reads are one cache line instead of a pointer chase
+/// per tree level, copies are one allocation instead of one per entry, and
+/// clear/reuse keeps the capacity. Iteration order is ascending key id —
+/// deterministic, like the std::map it replaces (ids are interned in
+/// first-seen order, so the *relative* order of two keys can differ from
+/// name order; nothing observable depends on it).
+///
+/// The std::map-flavored parts of the interface (find / count / emplace)
+/// are kept so call sites read the same as before the flattening.
+class PropMap {
+ public:
+  using value_type = std::pair<PropKeyId, Value>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+  using iterator = std::vector<value_type>::iterator;
+
+  PropMap() = default;
+  PropMap(std::initializer_list<value_type> init) {
+    for (const value_type& e : init) Set(e.first, e.second);
+  }
+
+  /// Pointer to the mapped value, or nullptr when absent.
+  const Value* Find(PropKeyId key) const {
+    auto it = LowerBound(key);
+    return it != entries_.end() && it->first == key ? &it->second : nullptr;
+  }
+
+  /// The mapped value, or NULL when absent (property-read semantics).
+  Value Get(PropKeyId key) const {
+    const Value* v = Find(key);
+    return v != nullptr ? *v : Value();
+  }
+
+  /// Inserts or overwrites.
+  void Set(PropKeyId key, Value v) {
+    auto it = MutableLowerBound(key);
+    if (it != entries_.end() && it->first == key) {
+      it->second = std::move(v);
+    } else {
+      entries_.emplace(it, key, std::move(v));
+    }
+  }
+
+  /// Inserts only if absent (std::map::emplace semantics — "first value
+  /// wins", which the OLD-image overlays rely on). Returns true if
+  /// inserted.
+  bool emplace(PropKeyId key, Value v) {
+    auto it = MutableLowerBound(key);
+    if (it != entries_.end() && it->first == key) return false;
+    entries_.emplace(it, key, std::move(v));
+    return true;
+  }
+
+  /// Inserts NULL if absent; returns a mutable reference to the slot.
+  Value& operator[](PropKeyId key) {
+    auto it = MutableLowerBound(key);
+    if (it == entries_.end() || it->first != key) {
+      it = entries_.emplace(it, key, Value());
+    }
+    return it->second;
+  }
+
+  /// Removes the entry; returns true if it was present.
+  bool Erase(PropKeyId key) {
+    auto it = MutableLowerBound(key);
+    if (it == entries_.end() || it->first != key) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  const_iterator find(PropKeyId key) const {
+    auto it = LowerBound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  size_t count(PropKeyId key) const { return Find(key) != nullptr ? 1 : 0; }
+  bool contains(PropKeyId key) const { return Find(key) != nullptr; }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }  // keeps capacity (pooled reuse)
+  void reserve(size_t n) { entries_.reserve(n); }
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+ private:
+  const_iterator LowerBound(PropKeyId key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, PropKeyId k) { return e.first < k; });
+  }
+  iterator MutableLowerBound(PropKeyId key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, PropKeyId k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;  // sorted by key id, unique
+};
+
+}  // namespace pgt
+
+#endif  // PGTRIGGERS_COMMON_PROP_MAP_H_

@@ -34,40 +34,15 @@ const char* ValueTypeName(ValueType t) {
 }
 
 Value Value::MakeList(List items) {
-  return Value(Rep(std::make_shared<const List>(std::move(items))));
+  Value v(Tag::kList);
+  new (&v.p_.list) ListPtr(std::make_shared<const List>(std::move(items)));
+  return v;
 }
 
 Value Value::MakeMap(Map items) {
-  return Value(Rep(std::make_shared<const Map>(std::move(items))));
-}
-
-ValueType Value::type() const {
-  // Index order must track the variant declaration in value.h.
-  switch (rep_.index()) {
-    case 0:
-      return ValueType::kNull;
-    case 1:
-      return ValueType::kBool;
-    case 2:
-      return ValueType::kInt;
-    case 3:
-      return ValueType::kDouble;
-    case 4:
-      return ValueType::kString;
-    case 5:
-      return ValueType::kList;
-    case 6:
-      return ValueType::kMap;
-    case 7:
-      return ValueType::kDate;
-    case 8:
-      return ValueType::kDateTime;
-    case 9:
-      return ValueType::kNode;
-    case 10:
-      return ValueType::kRel;
-  }
-  return ValueType::kNull;
+  Value v(Tag::kMap);
+  new (&v.p_.map) MapPtr(std::make_shared<const Map>(std::move(items)));
+  return v;
 }
 
 namespace {
@@ -135,6 +110,8 @@ bool Value::Equals(const Value& other) const {
     case ValueType::kList: {
       const List& a = list_value();
       const List& b = other.list_value();
+      // No shared-payload shortcut: a list containing NaN must compare
+      // unequal to itself, exactly as the element-wise walk reports.
       if (a.size() != b.size()) return false;
       for (size_t i = 0; i < a.size(); ++i) {
         if (!a[i].Equals(b[i])) return false;

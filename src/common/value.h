@@ -2,10 +2,11 @@
 #define PGTRIGGERS_COMMON_VALUE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
-#include <variant>
+#include <string_view>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -50,60 +51,163 @@ const char* ValueTypeName(ValueType t);
 /// properties, Cypher expression evaluation, query result rows, and trigger
 /// transition variables.
 ///
-/// Lists and maps use shared ownership (copy-on-write is not needed at our
-/// scale; copies share the payload, mutation goes through the builders).
+/// Representation (docs/values.md): a 24-byte tagged union — 16-byte
+/// payload + tag + inline-string length. Scalars (bool/int/double/date/
+/// datetime/node/rel) live directly in the payload; strings up to
+/// kSsoCapacity bytes are stored inline (the common case for labels and
+/// status-sized properties); longer strings, lists, and maps fall back to a
+/// shared-ownership heap block, so copying any Value is at most a reference
+/// count bump — never a deep copy (mutation goes through the builders).
 /// Node/relationship values store only the id; the evaluation context
 /// resolves them against the store (including "ghost" records of deleted
 /// items so that OLD transition variables remain readable).
 class Value {
  public:
   using List = std::vector<Value>;
-  using Map = std::map<std::string, Value>;  // ordered => deterministic print
+  // Ordered => deterministic print; transparent comparator => lookups from
+  // string_view keys (e.g. `map[other.string_value()]`) skip the temporary.
+  using Map = std::map<std::string, Value, std::less<>>;
+
+  /// Longest string stored inline (no heap). Chosen to exactly reuse the
+  /// payload bytes the shared_ptr fallback occupies, keeping
+  /// sizeof(Value) <= 24 (asserted in tests/test_value_rep.cc).
+  static constexpr size_t kSsoCapacity = 16;
 
   /// Default-constructed Value is NULL.
-  Value() : rep_(std::monostate{}) {}
+  Value() = default;
+
+  Value(const Value& other) { CopyFrom(other); }
+  Value(Value&& other) noexcept { MoveFrom(other); }
+  // Assignment stages through a temporary so assigning a Value from within
+  // its own payload (v = v.list_value()[i]) cannot free the source before
+  // it is read — Destroy() may drop the last reference to the container
+  // the right-hand side lives in.
+  Value& operator=(const Value& other) {
+    if (this != &other) {
+      Value tmp(other);
+      Destroy();
+      MoveFrom(tmp);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept {
+    if (this != &other) {
+      Value tmp(std::move(other));
+      Destroy();
+      MoveFrom(tmp);
+    }
+    return *this;
+  }
+  ~Value() { Destroy(); }
 
   static Value Null() { return Value(); }
-  static Value Bool(bool b) { return Value(Rep(b)); }
-  static Value Int(int64_t i) { return Value(Rep(i)); }
-  static Value Double(double d) { return Value(Rep(d)); }
-  static Value String(std::string s) { return Value(Rep(std::move(s))); }
+  static Value Bool(bool b) {
+    Value v(Tag::kBool);
+    v.p_.b = b;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v(Tag::kInt);
+    v.p_.i = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v(Tag::kDouble);
+    v.p_.d = d;
+    return v;
+  }
+  static Value String(std::string_view s) {
+    Value v;
+    v.AssignString(s);
+    return v;
+  }
+  static Value String(const std::string& s) {
+    return String(std::string_view(s));
+  }
+  static Value String(const char* s) { return String(std::string_view(s)); }
   static Value MakeList(List items);
   static Value MakeMap(Map items);
-  static Value MakeDate(int64_t days) { return Value(Rep(Date{days})); }
-  static Value MakeDateTime(int64_t micros) {
-    return Value(Rep(DateTime{micros}));
+  static Value MakeDate(int64_t days) {
+    Value v(Tag::kDate);
+    v.p_.date = pgt::Date{days};
+    return v;
   }
-  static Value Node(NodeId id) { return Value(Rep(id)); }
-  static Value Rel(RelId id) { return Value(Rep(id)); }
+  static Value MakeDateTime(int64_t micros) {
+    Value v(Tag::kDateTime);
+    v.p_.dt = pgt::DateTime{micros};
+    return v;
+  }
+  static Value Node(NodeId id) {
+    Value v(Tag::kNode);
+    v.p_.node = id;
+    return v;
+  }
+  static Value Rel(RelId id) {
+    Value v(Tag::kRel);
+    v.p_.rel = id;
+    return v;
+  }
 
-  ValueType type() const;
+  ValueType type() const {
+    switch (tag_) {
+      case Tag::kNull:
+        return ValueType::kNull;
+      case Tag::kBool:
+        return ValueType::kBool;
+      case Tag::kInt:
+        return ValueType::kInt;
+      case Tag::kDouble:
+        return ValueType::kDouble;
+      case Tag::kSsoString:
+      case Tag::kHeapString:
+        return ValueType::kString;
+      case Tag::kList:
+        return ValueType::kList;
+      case Tag::kMap:
+        return ValueType::kMap;
+      case Tag::kDate:
+        return ValueType::kDate;
+      case Tag::kDateTime:
+        return ValueType::kDateTime;
+      case Tag::kNode:
+        return ValueType::kNode;
+      case Tag::kRel:
+        return ValueType::kRel;
+    }
+    return ValueType::kNull;
+  }
   const char* type_name() const { return ValueTypeName(type()); }
 
-  bool is_null() const { return type() == ValueType::kNull; }
-  bool is_bool() const { return type() == ValueType::kBool; }
-  bool is_int() const { return type() == ValueType::kInt; }
-  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_null() const { return tag_ == Tag::kNull; }
+  bool is_bool() const { return tag_ == Tag::kBool; }
+  bool is_int() const { return tag_ == Tag::kInt; }
+  bool is_double() const { return tag_ == Tag::kDouble; }
   bool is_numeric() const { return is_int() || is_double(); }
-  bool is_string() const { return type() == ValueType::kString; }
-  bool is_list() const { return type() == ValueType::kList; }
-  bool is_map() const { return type() == ValueType::kMap; }
-  bool is_node() const { return type() == ValueType::kNode; }
-  bool is_rel() const { return type() == ValueType::kRel; }
+  bool is_string() const {
+    return tag_ == Tag::kSsoString || tag_ == Tag::kHeapString;
+  }
+  bool is_list() const { return tag_ == Tag::kList; }
+  bool is_map() const { return tag_ == Tag::kMap; }
+  bool is_node() const { return tag_ == Tag::kNode; }
+  bool is_rel() const { return tag_ == Tag::kRel; }
 
   /// Unchecked accessors; caller must verify the type first.
-  bool bool_value() const { return std::get<bool>(rep_); }
-  int64_t int_value() const { return std::get<int64_t>(rep_); }
-  double double_value() const { return std::get<double>(rep_); }
-  const std::string& string_value() const {
-    return std::get<std::string>(rep_);
+  bool bool_value() const { return p_.b; }
+  int64_t int_value() const { return p_.i; }
+  double double_value() const { return p_.d; }
+  /// The string payload. Views into an SSO value are invalidated by
+  /// assigning to / destroying that Value (like a std::string's buffer);
+  /// views into a heap value stay valid while any copy is alive.
+  std::string_view string_value() const {
+    return tag_ == Tag::kSsoString ? std::string_view(p_.sso, sso_len_)
+                                   : std::string_view(*p_.str);
   }
-  const List& list_value() const { return *std::get<ListPtr>(rep_); }
-  const Map& map_value() const { return *std::get<MapPtr>(rep_); }
-  Date date_value() const { return std::get<Date>(rep_); }
-  DateTime datetime_value() const { return std::get<DateTime>(rep_); }
-  NodeId node_id() const { return std::get<NodeId>(rep_); }
-  RelId rel_id() const { return std::get<RelId>(rep_); }
+  const List& list_value() const { return *p_.list; }
+  const Map& map_value() const { return *p_.map; }
+  pgt::Date date_value() const { return p_.date; }
+  pgt::DateTime datetime_value() const { return p_.dt; }
+  NodeId node_id() const { return p_.node; }
+  RelId rel_id() const { return p_.rel; }
 
   /// Numeric value widened to double (valid for kInt/kDouble).
   double as_double() const {
@@ -127,14 +231,121 @@ class Value {
   bool operator==(const Value& other) const { return Equals(other); }
 
  private:
+  using StrPtr = std::shared_ptr<const std::string>;
   using ListPtr = std::shared_ptr<const List>;
   using MapPtr = std::shared_ptr<const Map>;
-  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string,
-                           ListPtr, MapPtr, Date, DateTime, NodeId, RelId>;
 
-  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  enum class Tag : uint8_t {
+    kNull = 0,
+    kBool,
+    kInt,
+    kDouble,
+    kSsoString,   // string inline in p_.sso, length in sso_len_
+    kHeapString,  // shared heap string (> kSsoCapacity bytes)
+    kList,
+    kMap,
+    kDate,
+    kDateTime,
+    kNode,
+    kRel,
+  };
 
-  Rep rep_;
+  union Payload {
+    bool b;
+    int64_t i;
+    double d;
+    pgt::Date date;
+    pgt::DateTime dt;
+    NodeId node;
+    RelId rel;
+    char sso[kSsoCapacity];
+    StrPtr str;
+    ListPtr list;
+    MapPtr map;
+
+    // Lifetime of the active member is managed by Value (Destroy/CopyFrom/
+    // MoveFrom switch on the tag). Zero-filled so the raw-byte copy of
+    // trivial payloads never reads indeterminate bytes.
+    Payload() { std::memset(this, 0, sizeof(*this)); }
+    ~Payload() {}
+  };
+
+  explicit Value(Tag tag) : tag_(tag) {}
+
+  void AssignString(std::string_view s) {
+    if (s.size() <= kSsoCapacity) {
+      std::memcpy(p_.sso, s.data(), s.size());
+      sso_len_ = static_cast<uint8_t>(s.size());
+      tag_ = Tag::kSsoString;
+    } else {
+      new (&p_.str) StrPtr(std::make_shared<const std::string>(s));
+      tag_ = Tag::kHeapString;
+    }
+  }
+
+  void CopyFrom(const Value& other) {
+    switch (other.tag_) {
+      case Tag::kHeapString:
+        new (&p_.str) StrPtr(other.p_.str);
+        break;
+      case Tag::kList:
+        new (&p_.list) ListPtr(other.p_.list);
+        break;
+      case Tag::kMap:
+        new (&p_.map) MapPtr(other.p_.map);
+        break;
+      default:
+        // Trivial payloads (including the inline string bytes).
+        std::memcpy(&p_, &other.p_, sizeof(p_));
+        break;
+    }
+    tag_ = other.tag_;
+    sso_len_ = other.sso_len_;
+  }
+
+  void MoveFrom(Value& other) noexcept {
+    switch (other.tag_) {
+      case Tag::kHeapString:
+        new (&p_.str) StrPtr(std::move(other.p_.str));
+        other.p_.str.~StrPtr();
+        break;
+      case Tag::kList:
+        new (&p_.list) ListPtr(std::move(other.p_.list));
+        other.p_.list.~ListPtr();
+        break;
+      case Tag::kMap:
+        new (&p_.map) MapPtr(std::move(other.p_.map));
+        other.p_.map.~MapPtr();
+        break;
+      default:
+        std::memcpy(&p_, &other.p_, sizeof(p_));
+        break;
+    }
+    tag_ = other.tag_;
+    sso_len_ = other.sso_len_;
+    other.tag_ = Tag::kNull;
+  }
+
+  void Destroy() {
+    switch (tag_) {
+      case Tag::kHeapString:
+        p_.str.~StrPtr();
+        break;
+      case Tag::kList:
+        p_.list.~ListPtr();
+        break;
+      case Tag::kMap:
+        p_.map.~MapPtr();
+        break;
+      default:
+        break;
+    }
+    tag_ = Tag::kNull;
+  }
+
+  Payload p_;
+  Tag tag_ = Tag::kNull;
+  uint8_t sso_len_ = 0;
 };
 
 /// Comparator usable as the ordering of std::map / std::sort over Values.

@@ -124,7 +124,7 @@ CovidDataset GenerateCovidData(GraphStore& store,
 
   // Lineages: roughly half get a WHO designation.
   for (int i = 0; i < options.lineages; ++i) {
-    std::map<PropKeyId, Value> props = {
+    PropMap props = {
         {p_name, Value::String("B.1." + std::to_string(i + 1))}};
     if (rng.NextBool(0.5)) {
       props[p_who] = Value::String(
@@ -161,7 +161,7 @@ CovidDataset GenerateCovidData(GraphStore& store,
   // Patients; a fraction are hospitalized (carrying both labels, the
   // multi-label encoding of the Figure 4 hierarchy).
   for (int i = 0; i < options.patients; ++i) {
-    std::map<PropKeyId, Value> props = {
+    PropMap props = {
         {p_ssn, Value::String("SSN" + std::to_string(100000 + i))},
         {p_name, Value::String("Patient" + std::to_string(i))},
         {p_sex, Value::String(rng.NextBool(0.5) ? "F" : "M")},

@@ -9,21 +9,21 @@
 
 namespace pgt::cypher {
 
-const Value* Row::Get(const std::string& name) const {
+const Value* Row::Get(std::string_view name) const {
   for (const auto& [k, v] : cols) {
     if (k == name) return &v;
   }
   return nullptr;
 }
 
-void Row::Set(const std::string& name, Value v) {
+void Row::Set(std::string_view name, Value v) {
   for (auto& [k, val] : cols) {
     if (k == name) {
       val = std::move(v);
       return;
     }
   }
-  cols.emplace_back(name, std::move(v));
+  cols.emplace_back(std::string(name), std::move(v));
 }
 
 bool IsAggregateFunctionName(const std::string& name) {
@@ -154,7 +154,7 @@ Result<Value> EvalBinaryOp(BinOp op, const Value& a, const Value& b, int line,
       if (a.is_null() || b.is_null()) return Value::Null();
       if (a.is_string() || b.is_string()) {
         auto raw = [](const Value& v) {
-          return v.is_string() ? v.string_value() : v.ToString();
+          return v.is_string() ? std::string(v.string_value()) : v.ToString();
         };
         return Value::String(raw(a) + raw(b));
       }
@@ -251,8 +251,8 @@ Result<Value> EvalBinaryOp(BinOp op, const Value& a, const Value& b, int line,
       if (!a.is_string() || !b.is_string()) {
         return TypeErr("string predicate requires strings");
       }
-      const std::string& s = a.string_value();
-      const std::string& t = b.string_value();
+      const std::string_view s = a.string_value();
+      const std::string_view t = b.string_value();
       bool r = false;
       if (op == BinOp::kStartsWith) {
         r = s.size() >= t.size() && s.compare(0, t.size(), t) == 0;
@@ -328,17 +328,12 @@ Result<Value> EvalExpr(const Expr& e, const Row& row, EvalContext& ctx) {
       // OLD transition views: reads through an old-view variable see the
       // pre-event property image.
       if (ctx.transition != nullptr && e.a->kind == Expr::Kind::kVar &&
-          ctx.transition->old_view_vars.count(e.a->name) > 0) {
-        const auto& overlays = base.is_node()
-                                   ? ctx.transition->old_node_props
-                                   : ctx.transition->old_rel_props;
+          ctx.transition->IsOldView(e.a->name)) {
         const uint64_t id =
             base.is_node() ? base.node_id().value : base.rel_id().value;
-        auto oit = overlays.find(id);
-        if (oit != overlays.end()) {
-          auto pit = oit->second.find(*key);
-          if (pit != oit->second.end()) return pit->second;
-        }
+        const Value* old =
+            ctx.transition->FindOldProp(base.is_node(), id, *key);
+        if (old != nullptr) return *old;
       }
       return ReadItemProp(ctx, base, *key);
     }

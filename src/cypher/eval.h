@@ -1,31 +1,47 @@
 #ifndef PGTRIGGERS_CYPHER_EVAL_H_
 #define PGTRIGGERS_CYPHER_EVAL_H_
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/prop_map.h"
 #include "src/common/result.h"
 #include "src/common/value.h"
 #include "src/cypher/ast.h"
+#include "src/cypher/transition_vars.h"
 #include "src/tx/transaction.h"
+
+namespace pgt {
+
+/// Query parameters ($name -> value). Transparent comparator: lookups from
+/// string_view / const char* keys probe without materializing a
+/// std::string.
+using Params = std::map<std::string, Value, std::less<>>;
+
+}  // namespace pgt
 
 namespace pgt::cypher {
 
 /// A binding row flowing through the clause pipeline. Kept as a small
 /// ordered vector (queries bind few variables); lookups are linear.
+/// string_view interface: interpreter callers holding views (AST names,
+/// transition-variable names) bind without a temporary std::string.
 struct Row {
   std::vector<std::pair<std::string, Value>> cols;
 
-  const Value* Get(const std::string& name) const;
-  bool Has(const std::string& name) const { return Get(name) != nullptr; }
+  const Value* Get(std::string_view name) const;
+  bool Has(std::string_view name) const { return Get(name) != nullptr; }
   /// Sets (overwriting an existing binding of the same name).
-  void Set(const std::string& name, Value v);
+  void Set(std::string_view name, Value v);
 };
 
 /// Transition-variable environment injected by the trigger engine
@@ -38,23 +54,167 @@ struct Row {
 ///   NEWRELS or aliases). These act as *pseudo-labels* in patterns —
 ///   `MATCH (pn:NEWNODES)` filters to the transition set — and are also
 ///   seeded as list values.
-/// * `old_view_vars` lists variable names whose property reads must see the
+/// * `old_view_vars` lists variables whose property reads must see the
 ///   OLD images (old_node_props / old_rel_props overlays; falls back to the
 ///   ghost record for deleted items, then to the live store).
+///
+/// Bindings are keyed by interned TransVarId and held in flat
+/// insertion-ordered vectors (an env binds at most a handful of variables —
+/// linear probes beat tree maps and allocate nothing once the capacity is
+/// warm). Envs are pooled by the engine across activations: Clear() resets
+/// contents but keeps every buffer's capacity, so a steady-state firing
+/// builds its env without heap traffic. Name-keyed lookups go through the
+/// TransVars table first; a name the table has never seen cannot be bound
+/// in any env.
 struct TransitionEnv {
   struct SetBinding {
     bool is_node = true;
     std::vector<uint64_t> ids;
   };
-  std::map<std::string, Value> singles;
-  std::map<std::string, SetBinding> sets;
-  std::set<std::string> old_view_vars;
-  std::unordered_map<uint64_t, std::map<PropKeyId, Value>> old_node_props;
-  std::unordered_map<uint64_t, std::map<PropKeyId, Value>> old_rel_props;
 
-  const SetBinding* FindSet(const std::string& name) const {
-    auto it = sets.find(name);
-    return it == sets.end() ? nullptr : &it->second;
+  /// One OLD-image overlay entry: the pre-statement value of (item, key).
+  /// Appended in event order while the activation is built; Seal() then
+  /// sorts by (item, key) keeping the first-appended entry per pair ("first
+  /// old value wins" — it is the pre-statement image). A flat vector keeps
+  /// the pooled env allocation-free where a node-per-entry hash map paid
+  /// one allocation per overlay per activation.
+  struct OldImage {
+    uint64_t item = 0;
+    PropKeyId key = 0;
+    uint32_t seq = 0;  // append order; Seal's stability tie-break
+    Value value;
+  };
+
+  std::vector<std::pair<TransVarId, Value>> singles;
+  std::vector<std::pair<TransVarId, SetBinding>> sets;
+  std::vector<TransVarId> old_view_vars;
+  std::vector<OldImage> old_node_props;
+  std::vector<OldImage> old_rel_props;
+
+  // --- Builders (engine / tests) -------------------------------------------
+
+  void SetSingle(TransVarId var, Value v) {
+    for (auto& [id, val] : singles) {
+      if (id == var) {
+        val = std::move(v);
+        return;
+      }
+    }
+    singles.emplace_back(var, std::move(v));
+  }
+  void SetSingle(std::string_view name, Value v) {
+    SetSingle(TransVars::Intern(name), std::move(v));
+  }
+
+  /// Returns the set binding for `var`, creating it if absent.
+  SetBinding& MutableSet(TransVarId var, bool is_node) {
+    for (auto& [id, sb] : sets) {
+      if (id == var) return sb;
+    }
+    sets.emplace_back(var, SetBinding{is_node, {}});
+    return sets.back().second;
+  }
+  SetBinding& MutableSet(std::string_view name, bool is_node) {
+    return MutableSet(TransVars::Intern(name), is_node);
+  }
+
+  void MarkOldView(TransVarId var) {
+    if (!IsOldView(var)) old_view_vars.push_back(var);
+  }
+  void MarkOldView(std::string_view name) {
+    MarkOldView(TransVars::Intern(name));
+  }
+
+  void AddOldNodeProp(uint64_t item, PropKeyId key, Value v) {
+    old_node_props.push_back(
+        {item, key, static_cast<uint32_t>(old_node_props.size()),
+         std::move(v)});
+  }
+  void AddOldRelProp(uint64_t item, PropKeyId key, Value v) {
+    old_rel_props.push_back(
+        {item, key, static_cast<uint32_t>(old_rel_props.size()),
+         std::move(v)});
+  }
+
+  /// Sorts the overlays by (item, key) and drops all but the first-appended
+  /// entry per pair. Must be called once after the last Add*; lookups
+  /// binary-search the sealed form.
+  void Seal() {
+    SealOne(old_node_props);
+    SealOne(old_rel_props);
+  }
+
+  /// Sealed-overlay lookup: the pre-statement value of (item, key), or
+  /// nullptr when the statement did not touch it.
+  const Value* FindOldProp(bool is_node, uint64_t item, PropKeyId key) const {
+    const std::vector<OldImage>& v = is_node ? old_node_props
+                                             : old_rel_props;
+    auto it = std::lower_bound(v.begin(), v.end(), std::pair{item, key},
+                               [](const OldImage& e,
+                                  const std::pair<uint64_t, PropKeyId>& k) {
+                                 return std::tie(e.item, e.key) <
+                                        std::tie(k.first, k.second);
+                               });
+    if (it == v.end() || it->item != item || it->key != key) return nullptr;
+    return &it->value;
+  }
+
+  /// Resets contents, keeping the outer containers' capacity (pooled
+  /// reuse; the set bindings' inner id buffers are freed — they are
+  /// per-binding and tiny).
+  void Clear() {
+    singles.clear();
+    sets.clear();
+    old_view_vars.clear();
+    old_node_props.clear();
+    old_rel_props.clear();
+  }
+
+  // --- Lookups --------------------------------------------------------------
+
+  const Value* FindSingle(TransVarId var) const {
+    for (const auto& [id, v] : singles) {
+      if (id == var) return &v;
+    }
+    return nullptr;
+  }
+  const SetBinding* FindSet(TransVarId var) const {
+    for (const auto& [id, sb] : sets) {
+      if (id == var) return &sb;
+    }
+    return nullptr;
+  }
+  bool IsOldView(TransVarId var) const {
+    for (TransVarId id : old_view_vars) {
+      if (id == var) return true;
+    }
+    return false;
+  }
+
+  const Value* FindSingle(std::string_view name) const {
+    auto id = TransVars::Lookup(name);
+    return id.has_value() ? FindSingle(*id) : nullptr;
+  }
+  const SetBinding* FindSet(std::string_view name) const {
+    auto id = TransVars::Lookup(name);
+    return id.has_value() ? FindSet(*id) : nullptr;
+  }
+  bool IsOldView(std::string_view name) const {
+    auto id = TransVars::Lookup(name);
+    return id.has_value() && IsOldView(*id);
+  }
+
+ private:
+  static void SealOne(std::vector<OldImage>& v) {
+    if (v.size() < 2) return;
+    std::sort(v.begin(), v.end(), [](const OldImage& a, const OldImage& b) {
+      return std::tie(a.item, a.key, a.seq) < std::tie(b.item, b.key, b.seq);
+    });
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](const OldImage& a, const OldImage& b) {
+                          return a.item == b.item && a.key == b.key;
+                        }),
+            v.end());
   }
 };
 
@@ -64,7 +224,7 @@ class ProcedureRegistry;
 /// Non-owning: the Database wires the pieces together.
 struct EvalContext {
   Transaction* tx = nullptr;
-  const std::map<std::string, Value>* params = nullptr;
+  const Params* params = nullptr;
   LogicalClock* clock = nullptr;
   const TransitionEnv* transition = nullptr;
   ProcedureRegistry* procedures = nullptr;

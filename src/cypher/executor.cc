@@ -466,7 +466,7 @@ Result<Row> Executor::CreatePatternPart(const PatternPart& part, Row row) {
       }
       labels.push_back(ctx_.store()->InternLabel(l));
     }
-    std::map<PropKeyId, Value> props;
+    PropMap props;
     for (const auto& [k, expr] : np.props) {
       PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, r, ctx_));
       if (v.is_null()) continue;
@@ -493,7 +493,7 @@ Result<Row> Executor::CreatePatternPart(const PatternPart& part, Row row) {
           "CREATE cannot use variable-length relationships");
     }
     PGT_ASSIGN_OR_RETURN(NodeId next, resolve_node(np, row));
-    std::map<PropKeyId, Value> props;
+    PropMap props;
     for (const auto& [k, expr] : rp.props) {
       PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, row, ctx_));
       if (v.is_null()) continue;

@@ -23,7 +23,7 @@ Status FnTypeError(const std::string& name, const std::string& msg, int line,
 }
 
 std::string RawString(const Value& v) {
-  return v.is_string() ? v.string_value() : v.ToString();
+  return v.is_string() ? std::string(v.string_value()) : v.ToString();
 }
 
 }  // namespace
@@ -75,7 +75,7 @@ Result<Value> CallBuiltin(const std::string& name,
     PGT_RETURN_IF_ERROR(arity(1));
     const Value& v = args[0];
     if (v.is_null()) return Value::Null();
-    std::map<PropKeyId, Value> props;
+    PropMap props;
     if (v.is_node()) {
       const NodeRecord* rec = ctx.store()->GetNode(v.node_id());
       if (rec != nullptr && rec->alive) {
@@ -223,9 +223,10 @@ Result<Value> CallBuiltin(const std::string& name,
     if (v.is_double()) return Value::Int(static_cast<int64_t>(v.double_value()));
     if (v.is_string()) {
       try {
+        const std::string s(v.string_value());
         size_t idx = 0;
-        const int64_t x = std::stoll(v.string_value(), &idx);
-        if (idx == v.string_value().size()) return Value::Int(x);
+        const int64_t x = std::stoll(s, &idx);
+        if (idx == s.size()) return Value::Int(x);
       } catch (...) {
       }
       return Value::Null();
@@ -241,9 +242,10 @@ Result<Value> CallBuiltin(const std::string& name,
     if (v.is_int()) return Value::Double(static_cast<double>(v.int_value()));
     if (v.is_string()) {
       try {
+        const std::string s(v.string_value());
         size_t idx = 0;
-        const double x = std::stod(v.string_value(), &idx);
-        if (idx == v.string_value().size()) return Value::Double(x);
+        const double x = std::stod(s, &idx);
+        if (idx == s.size()) return Value::Double(x);
       } catch (...) {
       }
       return Value::Null();
@@ -283,7 +285,7 @@ Result<Value> CallBuiltin(const std::string& name,
     if (!args[0].is_string()) {
       return FnTypeError(name, "requires a string", line, col);
     }
-    const std::string& s = args[0].string_value();
+    const std::string_view s = args[0].string_value();
     if (fn == "toupper") return Value::String(ToUpper(s));
     if (fn == "tolower") return Value::String(ToLower(s));
     if (fn == "trim") return Value::String(std::string(Trim(s)));
@@ -295,16 +297,16 @@ Result<Value> CallBuiltin(const std::string& name,
     if (!args[0].is_string() || !args[1].is_string()) {
       return FnTypeError(name, "requires strings", line, col);
     }
-    const std::string& sep = args[1].string_value();
+    const std::string_view sep = args[1].string_value();
     Value::List out;
     if (sep.empty()) {
       out.push_back(args[0]);
     } else {
-      const std::string& s = args[0].string_value();
+      const std::string_view s = args[0].string_value();
       size_t start = 0;
       while (true) {
         const size_t p = s.find(sep, start);
-        if (p == std::string::npos) {
+        if (p == std::string_view::npos) {
           out.push_back(Value::String(s.substr(start)));
           break;
         }
@@ -321,7 +323,7 @@ Result<Value> CallBuiltin(const std::string& name,
         (n == 3 && !args[2].is_int())) {
       return FnTypeError(name, "requires (string, int[, int])", line, col);
     }
-    const std::string& s = args[0].string_value();
+    const std::string_view s = args[0].string_value();
     const int64_t start = args[1].int_value();
     if (start < 0 || static_cast<size_t>(start) > s.size()) {
       return Value::String("");
@@ -341,9 +343,9 @@ Result<Value> CallBuiltin(const std::string& name,
         return FnTypeError(name, "requires strings", line, col);
       }
     }
-    std::string s = args[0].string_value();
-    const std::string& from = args[1].string_value();
-    const std::string& to = args[2].string_value();
+    std::string s(args[0].string_value());
+    const std::string_view from = args[1].string_value();
+    const std::string_view to = args[2].string_value();
     if (from.empty()) return Value::String(std::move(s));
     size_t pos = 0;
     while ((pos = s.find(from, pos)) != std::string::npos) {
@@ -358,7 +360,7 @@ Result<Value> CallBuiltin(const std::string& name,
     if (!args[0].is_string() || !args[1].is_int()) {
       return FnTypeError(name, "requires (string, int)", line, col);
     }
-    const std::string& s = args[0].string_value();
+    const std::string_view s = args[0].string_value();
     const size_t k = static_cast<size_t>(
         std::min<int64_t>(std::max<int64_t>(0, args[1].int_value()),
                           static_cast<int64_t>(s.size())));
@@ -397,7 +399,7 @@ void ProcedureRegistry::Register(const std::string& name,
 }
 
 const ProcedureRegistry::Entry* ProcedureRegistry::Lookup(
-    const std::string& name) const {
+    std::string_view name) const {
   auto it = procs_.find(ToLower(name));
   return it == procs_.end() ? nullptr : &it->second;
 }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
@@ -46,10 +47,12 @@ class ProcedureRegistry {
                 Procedure fn);
 
   /// Case-insensitive lookup; nullptr if unknown.
-  const Entry* Lookup(const std::string& name) const;
+  const Entry* Lookup(std::string_view name) const;
 
  private:
-  std::map<std::string, Entry> procs_;  // keyed by lowercase name
+  // Keyed by lowercase name; transparent comparator so lookups with
+  // string_view keys (post-ToLower probes) skip the temporary.
+  std::map<std::string, Entry, std::less<>> procs_;
 };
 
 }  // namespace pgt::cypher

@@ -112,6 +112,9 @@ class Compiler {
         out->prop = SymbolRef(e.name);
         out->old_view_candidate = e.a->kind == Expr::Kind::kVar &&
                                   env_.old_view_vars.count(e.a->name) > 0;
+        if (out->old_view_candidate) {
+          out->old_view_var = TransVars::Intern(e.a->name);
+        }
         break;
       }
       case Expr::Kind::kBinary: {
@@ -370,8 +373,8 @@ class Compiler {
 
     std::map<PropKeyId, PScanTemplate::RangeGroup> range_groups;
 
-    auto consider_eq = [&](const std::string& key,
-                           const Expr& comparand) -> Status {
+    auto consider_eq = [&](const std::string& key, const Expr& comparand,
+                           int inline_prop_idx) -> Status {
       auto pk = store_.LookupPropKey(key);
       if (!pk.has_value()) return Status::OK();
       for (LabelId l : labels) {
@@ -380,6 +383,7 @@ class Compiler {
         PScanTemplate::EqProbe probe;
         probe.idx = idx;
         probe.unique = idx->unique();
+        probe.inline_prop_idx = inline_prop_idx;
         PGT_ASSIGN_OR_RETURN(probe.comparand, CompileExpr(comparand));
         t.eq_probes.push_back(std::move(probe));
       }
@@ -407,9 +411,13 @@ class Compiler {
       return Status::OK();
     };
 
-    for (const auto& [key, expr] : np.props) {
-      if (expr == nullptr || !StaticPlannerEvaluable(*expr)) continue;
-      PGT_RETURN_IF_ERROR(consider_eq(key, *expr));
+    {
+      int prop_idx = 0;
+      for (const auto& [key, expr] : np.props) {
+        const int this_idx = prop_idx++;
+        if (expr == nullptr || !StaticPlannerEvaluable(*expr)) continue;
+        PGT_RETURN_IF_ERROR(consider_eq(key, *expr, this_idx));
+      }
     }
     if (where_hint != nullptr && !np.var.empty() &&
         !StaticallyBound(np.var)) {
@@ -417,7 +425,7 @@ class Compiler {
       CollectSargTemplates(*where_hint, np.var, &sargs);
       for (const SargTemplate& s : sargs) {
         if (s.op == BinOp::kEq) {
-          PGT_RETURN_IF_ERROR(consider_eq(s.key, *s.comparand));
+          PGT_RETURN_IF_ERROR(consider_eq(s.key, *s.comparand, -1));
         } else {
           PGT_RETURN_IF_ERROR(consider_range(s.key, s.op, *s.comparand));
         }
@@ -731,7 +739,7 @@ Result<TriggerProgram> CompileTrigger(const Expr* when_expr,
   for (const std::string& name : env.seed_vars) {
     const int slot = c.SlotOf(name);
     c.Bind(slot);
-    tp.seed_slots.emplace_back(name, slot);
+    tp.seed_slots.emplace_back(TransVars::Intern(name), slot);
   }
   if (when_expr != nullptr) {
     PGT_ASSIGN_OR_RETURN(tp.when_expr, c.CompileExpr(*when_expr));
@@ -743,8 +751,8 @@ Result<TriggerProgram> CompileTrigger(const Expr* when_expr,
   // Transition variables are re-seeded into the condition's result rows
   // before the action runs (Section 6.2 scope rule), so the action compiles
   // with them statically bound again.
-  for (const auto& [name, slot] : tp.seed_slots) {
-    (void)name;
+  for (const auto& [var, slot] : tp.seed_slots) {
+    (void)var;
     c.Bind(slot);
   }
   PGT_ASSIGN_OR_RETURN(tp.action_steps,

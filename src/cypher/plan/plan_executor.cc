@@ -28,6 +28,21 @@ bool InSet(const TransitionEnv::SetBinding& set, uint64_t id) {
   return std::find(set.ids.begin(), set.ids.end(), id) != set.ids.end();
 }
 
+/// Transition-set binding for a (pattern label / label test) symbol, with
+/// the name -> TransVarId resolution cached on the SymbolRef. A lookup
+/// miss is not cached: the name may be interned later by a new trigger
+/// (same pending discipline as label resolution).
+const TransitionEnv::SetBinding* FindTransSet(const SymbolRef& ref,
+                                              const TransitionEnv* env) {
+  if (env == nullptr) return nullptr;
+  if (ref.trans_cached < 0) {
+    auto id = TransVars::Lookup(ref.name);
+    if (!id.has_value()) return nullptr;
+    ref.trans_cached = *id;
+  }
+  return env->FindSet(static_cast<TransVarId>(ref.trans_cached));
+}
+
 /// Probe values for which TotalCompare-equality provably coincides with
 /// Equals: scalars, excluding NaN. Lists/maps are excluded wholesale — a
 /// NaN *nested* inside them would compare "equal" to any number under
@@ -46,6 +61,33 @@ bool ProbeSafeScalar(const Value& v) {
       return true;
     case ValueType::kDouble:
       return !std::isnan(v.double_value());
+    default:
+      return false;
+  }
+}
+
+/// Probe values for which index-key equality (SameBand / band ordering)
+/// provably coincides with Equals, so a candidate from an exact posting
+/// list needs no per-candidate re-check of the sourcing constraint.
+/// Stricter than ProbeSafeScalar: huge int64s collapse to the same double
+/// band as their neighbors beyond 2^53, where only the re-check's exact
+/// int comparison separates them.
+bool IndexProbeExact(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kBool:
+    case ValueType::kString:
+    case ValueType::kDate:
+    case ValueType::kDateTime:
+    case ValueType::kNode:
+    case ValueType::kRel:
+      return true;
+    case ValueType::kDouble:
+      // Any stored int sharing the band compares Equals via as_double too.
+      return !std::isnan(v.double_value());
+    case ValueType::kInt: {
+      const int64_t i = v.int_value();
+      return i > -(int64_t{1} << 53) && i < (int64_t{1} << 53);
+    }
     default:
       return false;
   }
@@ -117,17 +159,12 @@ Result<Value> PlanExecutor::Eval(const PExpr& e, Frame& f) {
       auto key = ResolvePropKey(e.prop, *ctx_.store());
       if (!key.has_value()) return Value::Null();
       if (e.old_view_candidate && ctx_.transition != nullptr &&
-          ctx_.transition->old_view_vars.count(e.a->name) > 0) {
-        const auto& overlays = base.is_node()
-                                   ? ctx_.transition->old_node_props
-                                   : ctx_.transition->old_rel_props;
+          ctx_.transition->IsOldView(e.old_view_var)) {
         const uint64_t id =
             base.is_node() ? base.node_id().value : base.rel_id().value;
-        auto oit = overlays.find(id);
-        if (oit != overlays.end()) {
-          auto pit = oit->second.find(*key);
-          if (pit != oit->second.end()) return pit->second;
-        }
+        const Value* old =
+            ctx_.transition->FindOldProp(base.is_node(), id, *key);
+        if (old != nullptr) return *old;
       }
       return ReadItemProp(ctx_, base, *key);
     }
@@ -281,8 +318,7 @@ Result<Value> PlanExecutor::Eval(const PExpr& e, Frame& f) {
       std::vector<LabelId> labels = ReadItemLabels(ctx_, base);
       for (const SymbolRef& ref : e.labels) {
         const TransitionEnv::SetBinding* set =
-            ctx_.transition != nullptr ? ctx_.transition->FindSet(ref.name)
-                                       : nullptr;
+            FindTransSet(ref, ctx_.transition);
         if (set != nullptr) {
           const uint64_t id = base.node_id().value;
           const bool member = set->is_node && InSet(*set, id);
@@ -374,8 +410,10 @@ class FrameMatcher {
   /// bindings the interpreter's row would hold at the same point; one copy
   /// per *emitted* row remains (the result the caller keeps).
   Status Run(const Frame& row) {
-    work_ = row;
-    return MatchPart(0);
+    work_ = exec_->CopyFrame(row);  // pooled buffer, copy-assigned in place
+    Status st = MatchPart(0);
+    exec_->Recycle(std::move(work_));
+    return st;
   }
 
  private:
@@ -383,8 +421,7 @@ class FrameMatcher {
     PLabelSplit out;
     for (const SymbolRef& ref : refs) {
       const TransitionEnv::SetBinding* set =
-          ctx_.transition != nullptr ? ctx_.transition->FindSet(ref.name)
-                                     : nullptr;
+          FindTransSet(ref, ctx_.transition);
       if (set != nullptr) {
         if (set->is_node != for_node) {
           out.impossible = true;
@@ -403,8 +440,11 @@ class FrameMatcher {
     return out;
   }
 
+  /// `skip_prop_idx` names an inline constraint already proven by the
+  /// chosen index-equality access path (exact postings + probe-safe
+  /// scalar); re-evaluating it per candidate is redundant.
   Result<bool> NodeMatches(const PNodePattern& np, const PLabelSplit& split,
-                           NodeId id) {
+                           NodeId id, int skip_prop_idx = -1) {
     if (split.impossible) return false;
     // Zero-copy label membership (same sorted vector ReadNodeLabels would
     // have copied).
@@ -420,7 +460,9 @@ class FrameMatcher {
     for (const TransitionEnv::SetBinding* set : split.trans) {
       if (!InSet(*set, id.value)) return false;
     }
-    for (const PPropConstraint& pc : np.props) {
+    for (size_t i = 0; i < np.props.size(); ++i) {
+      if (static_cast<int>(i) == skip_prop_idx) continue;
+      const PPropConstraint& pc = np.props[i];
       PGT_ASSIGN_OR_RETURN(Value want, exec_->Eval(*pc.expr, work_));
       auto pk = ResolvePropKey(pc.key, *ctx_.store());
       Value have =
@@ -463,31 +505,41 @@ class FrameMatcher {
   /// same preference order as PlanNodeScan (unique equality, any equality,
   /// range, least-populated label, full scan). Whatever is picked, results
   /// are identical — candidates always enumerate in ascending id order.
+  /// `satisfied_prop_idx` (out): inline-prop index the selected equality
+  /// probe makes redundant, or -1 (guarded by IndexProbeExact — NaN and
+  /// beyond-2^53 int probes keep the re-check, which rejects what Equals
+  /// rejects but the index's band equality admits).
   NodeScanPlan SelectScan(const PScanTemplate& t,
-                          const std::vector<LabelId>& real_labels) {
+                          const std::vector<LabelId>& real_labels,
+                          int* satisfied_prop_idx) {
     NodeScanPlan plan;
+    *satisfied_prop_idx = -1;
     if (real_labels.empty()) return plan;  // kFullScan
 
-    const index::PropertyIndex* first_any = nullptr;
+    auto take_eq = [&](const PScanTemplate::EqProbe& probe, Value value) {
+      plan.kind = NodeScanPlan::Kind::kIndexEquality;
+      plan.idx = probe.idx;
+      if (probe.inline_prop_idx >= 0 && IndexProbeExact(value)) {
+        *satisfied_prop_idx = probe.inline_prop_idx;
+      }
+      plan.eq_value = std::move(value);
+    };
+    const PScanTemplate::EqProbe* first_any = nullptr;
     Value first_any_value;
     for (const PScanTemplate::EqProbe& probe : t.eq_probes) {
       auto r = exec_->Eval(*probe.comparand, work_);
       if (!r.ok()) continue;  // the normal evaluation path surfaces errors
       if (probe.unique) {
-        plan.kind = NodeScanPlan::Kind::kIndexEquality;
-        plan.idx = probe.idx;
-        plan.eq_value = std::move(r).value();
+        take_eq(probe, std::move(r).value());
         return plan;
       }
       if (first_any == nullptr) {
-        first_any = probe.idx;
+        first_any = &probe;
         first_any_value = std::move(r).value();
       }
     }
     if (first_any != nullptr) {
-      plan.kind = NodeScanPlan::Kind::kIndexEquality;
-      plan.idx = first_any;
-      plan.eq_value = std::move(first_any_value);
+      take_eq(*first_any, std::move(first_any_value));
       return plan;
     }
 
@@ -526,7 +578,8 @@ class FrameMatcher {
 
   Status MatchPart(size_t part_idx) {
     if (part_idx >= pattern_.parts.size()) {
-      Frame result = work_;  // the one copy per emitted row
+      // The one copy per emitted row (into a pooled buffer).
+      Frame result = exec_->CopyFrame(work_);
       return (*emit_)(result);
     }
     const PPatternPart& part = pattern_.parts[part_idx];
@@ -538,8 +591,10 @@ class FrameMatcher {
     PLabelSplit split = SplitLabels(np.labels, /*for_node=*/true);
     if (split.impossible) return Status::OK();
 
+    int satisfied_prop_idx = -1;
     auto try_candidate = [&](NodeId id) -> Status {
-      PGT_ASSIGN_OR_RETURN(bool ok, NodeMatches(np, split, id));
+      PGT_ASSIGN_OR_RETURN(bool ok,
+                           NodeMatches(np, split, id, satisfied_prop_idx));
       if (!ok) return Status::OK();
       bool bound_here = false;
       if (np.slot >= 0 && !work_.Bound(np.slot)) {
@@ -568,13 +623,19 @@ class FrameMatcher {
       }
       return Status::OK();
     }
-    const NodeScanPlan plan = SelectScan(part.scan, split.real);
-    const std::vector<NodeId> candidates = ExecuteNodeScan(plan, ctx_);
+    const NodeScanPlan plan =
+        SelectScan(part.scan, split.real, &satisfied_prop_idx);
+    // Pooled per-level buffers: the recursion below may run nested scans,
+    // so each level owns its own (recycled) pair.
+    NodeScanBuffers bufs = exec_->AcquireScanBufs();
+    const std::vector<NodeId>& candidates =
+        ExecuteNodeScanInto(plan, ctx_, bufs);
     assert(std::is_sorted(candidates.begin(), candidates.end()) &&
            "node scans must enumerate in ascending id order");
     for (NodeId id : candidates) {
       PGT_RETURN_IF_ERROR(try_candidate(id));
     }
+    exec_->ReleaseScanBufs(std::move(bufs));
     return Status::OK();
   }
 
@@ -798,63 +859,77 @@ Result<std::vector<Frame>> PlanExecutor::ApplyStep(const PStep& s,
 
 Result<std::vector<Frame>> PlanExecutor::ApplyMatch(const PStep& s,
                                                     std::vector<Frame> frames) {
-  std::vector<Frame> out;
+  std::vector<Frame> out = NewFrameVec();
+  // One-pointer capture: fits std::function's inline buffer, so building
+  // the emit callback costs no allocation per step.
+  struct EmitCtx {
+    PlanExecutor* self;
+    const PStep* step;
+    std::vector<Frame>* out;
+  } ec{this, &s, &out};
+  const std::function<Status(Frame&)> emit = [&ec](Frame& match) -> Status {
+    if (ec.step->where != nullptr) {
+      PGT_ASSIGN_OR_RETURN(bool pass,
+                           ec.self->EvalPredicate(*ec.step->where, match));
+      if (!pass) {
+        ec.self->Recycle(std::move(match));
+        return Status::OK();
+      }
+    }
+    ec.out->push_back(std::move(match));
+    return Status::OK();
+  };
   for (const Frame& f : frames) {
     const size_t before = out.size();
-    PGT_RETURN_IF_ERROR(
-        MatchPattern(s.pattern, f, [&](Frame& match) -> Status {
-          if (s.where != nullptr) {
-            PGT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*s.where, match));
-            if (!pass) return Status::OK();
-          }
-          out.push_back(std::move(match));
-          return Status::OK();
-        }));
+    PGT_RETURN_IF_ERROR(MatchPattern(s.pattern, f, emit));
     if (s.optional_match && out.size() == before) {
-      Frame padded = f;
+      Frame padded = CopyFrame(f);
       for (int slot : s.pattern.intro_slots) {
         if (!padded.Bound(slot)) padded.Set(slot, Value::Null());
       }
       out.push_back(std::move(padded));
     }
   }
+  RecycleAll(std::move(frames));
   return out;
 }
 
 Result<std::vector<Frame>> PlanExecutor::ApplyUnwind(
     const PStep& s, std::vector<Frame> frames) {
-  std::vector<Frame> out;
+  std::vector<Frame> out = NewFrameVec();
   for (Frame& f : frames) {
     PGT_ASSIGN_OR_RETURN(Value list, Eval(*s.unwind_expr, f));
     if (list.is_null()) continue;
     if (list.is_list()) {
       for (const Value& v : list.list_value()) {
-        Frame next = f;
+        Frame next = CopyFrame(f);
         next.Set(s.unwind_slot, v);
         out.push_back(std::move(next));
       }
     } else {
-      Frame next = f;
+      Frame next = CopyFrame(f);
       next.Set(s.unwind_slot, list);
       out.push_back(std::move(next));
     }
   }
+  RecycleAll(std::move(frames));
   return out;
 }
 
 Result<std::vector<Frame>> PlanExecutor::ApplyProjection(
     const PStep& s, std::vector<Frame> frames) {
-  std::vector<Frame> projected;
+  std::vector<Frame> projected = NewFrameVec();
 
   if (!s.any_aggregate) {
     for (Frame& f : frames) {
-      Frame out(slot_count());
+      Frame out = NewFrame();
       for (const PProjItem& item : s.items) {
         PGT_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, f));
         out.Set(item.slot, std::move(v));
       }
       projected.push_back(std::move(out));
     }
+    RecycleAll(std::move(frames));
   } else {
     // Group rows by the values of the non-aggregate items.
     std::vector<const PProjItem*> key_items;
@@ -875,8 +950,8 @@ Result<std::vector<Frame>> PlanExecutor::ApplyProjection(
     }
     for (auto& [key, group] : groups) {
       (void)key;
-      Frame rep = group.empty() ? Frame(slot_count()) : group.front();
-      Frame out(slot_count());
+      Frame rep = group.empty() ? NewFrame() : CopyFrame(group.front());
+      Frame out = NewFrame();
       std::vector<Value> agg_results(static_cast<size_t>(s.agg_count));
       for (const PProjItem& item : s.items) {
         if (item.has_aggregate) {
@@ -893,6 +968,8 @@ Result<std::vector<Frame>> PlanExecutor::ApplyProjection(
         }
       }
       projected.push_back(std::move(out));
+      Recycle(std::move(rep));
+      RecycleAll(std::move(group));
     }
   }
 
@@ -905,7 +982,11 @@ Result<std::vector<Frame>> PlanExecutor::ApplyProjection(
         const Value* v = f.Get(slot);
         key.push_back(v == nullptr ? Value::Null() : *v);
       }
-      if (seen.insert(std::move(key)).second) uniq.push_back(std::move(f));
+      if (seen.insert(std::move(key)).second) {
+        uniq.push_back(std::move(f));
+      } else {
+        Recycle(std::move(f));
+      }
     }
     projected = std::move(uniq);
   }
@@ -914,7 +995,11 @@ Result<std::vector<Frame>> PlanExecutor::ApplyProjection(
     std::vector<Frame> filtered;
     for (Frame& f : projected) {
       PGT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*s.where, f));
-      if (pass) filtered.push_back(std::move(f));
+      if (pass) {
+        filtered.push_back(std::move(f));
+      } else {
+        Recycle(std::move(f));
+      }
     }
     projected = std::move(filtered);
   }
@@ -950,27 +1035,33 @@ Result<std::vector<Frame>> PlanExecutor::ApplyProjection(
   }
 
   if (s.skip != nullptr) {
-    Frame empty(slot_count());
+    Frame empty = NewFrame();
     PGT_ASSIGN_OR_RETURN(Value v, Eval(*s.skip, empty));
     if (!v.is_int() || v.int_value() < 0) {
       return ExecErrAt(s, "SKIP requires a non-negative integer");
     }
     const size_t k = static_cast<size_t>(v.int_value());
     if (k >= projected.size()) {
-      projected.clear();
+      RecycleAll(std::move(projected));
     } else {
+      for (size_t i = 0; i < k; ++i) Recycle(std::move(projected[i]));
       projected.erase(projected.begin(),
                       projected.begin() + static_cast<ptrdiff_t>(k));
     }
   }
   if (s.limit != nullptr) {
-    Frame empty(slot_count());
+    Frame empty = NewFrame();
     PGT_ASSIGN_OR_RETURN(Value v, Eval(*s.limit, empty));
     if (!v.is_int() || v.int_value() < 0) {
       return ExecErrAt(s, "LIMIT requires a non-negative integer");
     }
     const size_t k = static_cast<size_t>(v.int_value());
-    if (projected.size() > k) projected.resize(k);
+    if (projected.size() > k) {
+      for (size_t i = k; i < projected.size(); ++i) {
+        Recycle(std::move(projected[i]));
+      }
+      projected.resize(k);
+    }
   }
   return projected;
 }
@@ -997,14 +1088,13 @@ Result<Frame> PlanExecutor::CreatePatternPart(const PPatternPart& part,
     }
     std::vector<LabelId> labels;
     for (const SymbolRef& ref : np.labels) {
-      if (ctx_.transition != nullptr &&
-          ctx_.transition->FindSet(ref.name) != nullptr) {
+      if (FindTransSet(ref, ctx_.transition) != nullptr) {
         return Status::InvalidArgument(
             "cannot CREATE with transition pseudo-label " + ref.name);
       }
       labels.push_back(InternLabel(ref, *ctx_.store()));
     }
-    std::map<PropKeyId, Value> props;
+    PropMap props;
     for (const PPropConstraint& pc : np.props) {
       PGT_ASSIGN_OR_RETURN(Value v, Eval(*pc.expr, r));
       if (v.is_null()) continue;
@@ -1031,7 +1121,7 @@ Result<Frame> PlanExecutor::CreatePatternPart(const PPatternPart& part,
           "CREATE cannot use variable-length relationships");
     }
     PGT_ASSIGN_OR_RETURN(NodeId next, resolve_node(np, row));
-    std::map<PropKeyId, Value> props;
+    PropMap props;
     for (const PPropConstraint& pc : rp.props) {
       PGT_ASSIGN_OR_RETURN(Value v, Eval(*pc.expr, row));
       if (v.is_null()) continue;
@@ -1058,7 +1148,7 @@ Result<Frame> PlanExecutor::CreatePatternPart(const PPatternPart& part,
 
 Result<std::vector<Frame>> PlanExecutor::ApplyCreate(
     const PStep& s, std::vector<Frame> frames) {
-  std::vector<Frame> out;
+  std::vector<Frame> out = NewFrameVec();
   for (Frame& f : frames) {
     Frame current = std::move(f);
     for (const PPatternPart& part : s.pattern.parts) {
@@ -1138,7 +1228,7 @@ Status PlanExecutor::ApplySetItems(const std::vector<PSetItem>& items,
 
 Result<std::vector<Frame>> PlanExecutor::ApplyMerge(
     const PStep& s, std::vector<Frame> frames) {
-  std::vector<Frame> out;
+  std::vector<Frame> out = NewFrameVec();
   const PPatternPart& part = s.pattern.parts.front();
   for (Frame& f : frames) {
     std::vector<Frame> matches;
@@ -1152,6 +1242,7 @@ Result<std::vector<Frame>> PlanExecutor::ApplyMerge(
         PGT_RETURN_IF_ERROR(ApplySetItems(s.on_match, m));
         out.push_back(std::move(m));
       }
+      Recycle(std::move(f));
     } else {
       PGT_ASSIGN_OR_RETURN(Frame created,
                            CreatePatternPart(part, std::move(f)));
@@ -1247,7 +1338,7 @@ Result<std::vector<Frame>> PlanExecutor::ApplyForeach(
       return ExecErrAt(s, "FOREACH requires a list");
     }
     for (const Value& v : list.list_value()) {
-      Frame scoped = f;
+      Frame scoped = CopyFrame(f);
       scoped.Set(s.foreach_slot, v);
       std::vector<Frame> seeded;
       seeded.push_back(std::move(scoped));
@@ -1263,7 +1354,7 @@ Result<std::vector<Frame>> PlanExecutor::ApplyForeach(
 
 Result<QueryResult> PlanExecutor::Run(const std::vector<PStep>& steps,
                                       Frame seed) {
-  std::vector<Frame> frames;
+  std::vector<Frame> frames = NewFrameVec();
   frames.push_back(std::move(seed));
   QueryResult result;
   for (const PStep& s : steps) {
@@ -1285,6 +1376,7 @@ Result<QueryResult> PlanExecutor::Run(const std::vector<PStep>& steps,
       }
     }
   }
+  RecycleAll(std::move(frames));
   return result;
 }
 
@@ -1301,6 +1393,7 @@ Status PlanExecutor::RunUpdates(const std::vector<PStep>& steps,
   for (const PStep& s : steps) {
     PGT_ASSIGN_OR_RETURN(frames, ApplyStep(s, std::move(frames)));
   }
+  RecycleAll(std::move(frames));
   return Status::OK();
 }
 

@@ -8,6 +8,7 @@
 #include "src/common/result.h"
 #include "src/cypher/eval.h"
 #include "src/cypher/executor.h"
+#include "src/cypher/scan_plan.h"
 #include "src/cypher/plan/program.h"
 
 namespace pgt::cypher::plan {
@@ -30,8 +31,42 @@ namespace pgt::cypher::plan {
 /// executing; a stale plan may hold dangling index pointers.
 class PlanExecutor {
  public:
-  PlanExecutor(EvalContext ctx, const std::vector<std::string>& slot_names)
-      : ctx_(ctx), slot_names_(slot_names) {}
+  /// `pool` (optional) recycles frame slot buffers across frames and across
+  /// executions — the Database / engine pass their long-lived pool so
+  /// steady-state firings run without frame allocations.
+  PlanExecutor(EvalContext ctx, const std::vector<std::string>& slot_names,
+               FramePool* pool = nullptr)
+      : ctx_(ctx), slot_names_(slot_names), pool_(pool) {}
+
+  /// A fresh frame of slot_count() slots (pooled when a pool is wired).
+  Frame NewFrame() {
+    return pool_ != nullptr ? pool_->Acquire(slot_count())
+                            : Frame(slot_count());
+  }
+  /// A copy of `src` into a pooled buffer.
+  Frame CopyFrame(const Frame& src) {
+    return pool_ != nullptr ? pool_->AcquireCopy(src) : src;
+  }
+  void Recycle(Frame&& f) {
+    if (pool_ != nullptr) pool_->Recycle(std::move(f));
+  }
+  void RecycleAll(std::vector<Frame>&& frames) {
+    if (pool_ != nullptr) pool_->RecycleAll(std::move(frames));
+  }
+  /// An empty frames vector with banked capacity when pooled.
+  std::vector<Frame> NewFrameVec() {
+    return pool_ != nullptr ? pool_->AcquireVec() : std::vector<Frame>{};
+  }
+
+  /// Node-scan buffers, recycled via the shared FramePool so they stay
+  /// warm across executor instances (one executor is built per statement /
+  /// activation).
+  NodeScanBuffers AcquireScanBufs() {
+    return pool_ != nullptr ? pool_->AcquireScanBufs() : NodeScanBuffers{};
+  }
+  void ReleaseScanBufs(NodeScanBuffers&& b) {
+    if (pool_ != nullptr) pool_->ReleaseScanBufs(std::move(b));
+  }
 
   /// Mirror of Executor::Run: executes a full statement, shaping the result
   /// table from the final RETURN step.
@@ -95,6 +130,7 @@ class PlanExecutor {
 
   EvalContext ctx_;
   const std::vector<std::string>& slot_names_;
+  FramePool* pool_ = nullptr;
   /// Non-null only while evaluating a projection item whose aggregates were
   /// precomputed; aggregate nodes then read their substituted value.
   const std::vector<Value>* agg_results_ = nullptr;

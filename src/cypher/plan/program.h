@@ -1,6 +1,7 @@
 #ifndef PGTRIGGERS_CYPHER_PLAN_PROGRAM_H_
 #define PGTRIGGERS_CYPHER_PLAN_PROGRAM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -10,6 +11,8 @@
 
 #include "src/common/value.h"
 #include "src/cypher/ast.h"
+#include "src/cypher/scan_buffers.h"
+#include "src/cypher/transition_vars.h"
 #include "src/storage/graph_store.h"
 
 namespace pgt::cypher::plan {
@@ -47,6 +50,92 @@ struct Frame {
   }
 };
 
+/// Recycler for the slot buffers behind Frames. A firing churns through
+/// frames (seed, per-emitted-match copies, per-step pipelines); their slot
+/// vectors are all the same length for a given program, so returning them
+/// here instead of freeing makes steady-state frame traffic allocation-free
+/// (docs/values.md "pooled activation lifecycle"). Owned by the Database /
+/// engine and shared by every PlanExecutor; single-threaded by design (D7).
+class FramePool {
+ public:
+  /// A frame of `n` default slots, reusing a recycled buffer when one fits.
+  /// Fresh buffers reserve kMinSlotCapacity so recycled buffers are
+  /// interchangeable across programs with different (small) slot counts.
+  Frame Acquire(size_t n) {
+    Frame f;
+    if (free_.empty()) {
+      f.slots.reserve(std::max(n, kMinSlotCapacity));
+    } else {
+      f.slots = std::move(free_.back());
+      free_.pop_back();
+      f.slots.clear();  // destroys old slot values, keeps the buffer
+    }
+    f.slots.resize(n);
+    return f;
+  }
+
+  /// A copy of `src`, reusing a recycled buffer (vector copy-assign into
+  /// retained capacity: no allocation once warm).
+  Frame AcquireCopy(const Frame& src) {
+    Frame f;
+    if (free_.empty()) {
+      f.slots.reserve(std::max(src.slots.size(), kMinSlotCapacity));
+    } else {
+      f.slots = std::move(free_.back());
+      free_.pop_back();
+    }
+    f.slots = src.slots;
+    return f;
+  }
+
+  void Recycle(Frame&& f) {
+    if (f.slots.capacity() != 0 && free_.size() < kMaxFree) {
+      // Destroy the Values now (banked buffers must not pin the last
+      // execution's heap payloads); the capacity is what the pool keeps.
+      f.slots.clear();
+      free_.push_back(std::move(f.slots));
+    }
+  }
+
+  void RecycleAll(std::vector<Frame>&& frames) {
+    for (Frame& f : frames) Recycle(std::move(f));
+    frames.clear();
+    // Bank the vector's own buffer as well: pipeline steps churn through
+    // one frames-vector per step.
+    if (frames.capacity() != 0 && free_vecs_.size() < kMaxFree) {
+      free_vecs_.push_back(std::move(frames));
+    }
+  }
+
+  /// An empty frames vector, reusing a banked buffer when available.
+  std::vector<Frame> AcquireVec() {
+    if (free_vecs_.empty()) return {};
+    std::vector<Frame> v = std::move(free_vecs_.back());
+    free_vecs_.pop_back();
+    return v;
+  }
+
+  /// LIFO recycler for node-scan buffers (the matcher recurses while
+  /// iterating candidates, so every MATCH level owns its own pair).
+  NodeScanBuffers AcquireScanBufs() {
+    if (free_scan_bufs_.empty()) return {};
+    NodeScanBuffers b = std::move(free_scan_bufs_.back());
+    free_scan_bufs_.pop_back();
+    return b;
+  }
+  void ReleaseScanBufs(NodeScanBuffers&& b) {
+    if (free_scan_bufs_.size() < 32) free_scan_bufs_.push_back(std::move(b));
+  }
+
+ private:
+  // Bounds pool memory; deep pipelines simply fall back to malloc.
+  static constexpr size_t kMaxFree = 256;
+  static constexpr size_t kMinSlotCapacity = 8;
+  std::vector<std::vector<FrameSlot>> free_;
+  std::vector<std::vector<Frame>> free_vecs_;
+  std::vector<NodeScanBuffers> free_scan_bufs_;
+};
+
 // ============================================================================
 // Symbol references — names resolved to interned ids once, then cached.
 //
@@ -63,6 +152,10 @@ struct Frame {
 struct SymbolRef {
   std::string name;
   mutable int64_t cached = -1;  // < 0 = not resolved yet
+  // Id in the TransVars table, for names that may address a transition
+  // set binding (pattern labels / label tests). Same pending discipline:
+  // cached on first successful lookup; TransVars never forgets a name.
+  mutable int64_t trans_cached = -1;
 
   SymbolRef() = default;
   explicit SymbolRef(std::string n) : name(std::move(n)) {}
@@ -129,8 +222,11 @@ struct PExpr {
   int slot = -1;     // kVar; kListComp iteration slot
   SymbolRef prop;    // kProp
   // kProp whose base is a variable the compile env lists as an OLD-view
-  // candidate; the executor then consults TransitionEnv overlays.
+  // candidate; the executor then consults TransitionEnv overlays. The
+  // base variable's TransVars id is interned at compile time so the
+  // runtime re-check is an integer probe.
   bool old_view_candidate = false;
+  TransVarId old_view_var = kInvalidTransVar;
 
   std::unique_ptr<PExpr> a, b, c;
   std::vector<std::unique_ptr<PExpr>> args;
@@ -203,6 +299,12 @@ struct PScanTemplate {
     const index::PropertyIndex* idx = nullptr;
     PExprPtr comparand;  // owned copy; the planner evaluates it per row
     bool unique = false;
+    // Index into the pattern node's props when this probe came from that
+    // inline constraint (-1: WHERE conjunct). Index postings are exact
+    // (alive nodes, exact indexed value), so when the executor takes this
+    // probe with a probe-safe scalar it can skip re-checking the sourcing
+    // constraint per candidate.
+    int inline_prop_idx = -1;
   };
   struct RangeBound {
     BinOp op = BinOp::kLt;  // kLt / kLe / kGt / kGe
@@ -330,10 +432,12 @@ struct PlanProgram {
 struct TriggerProgram {
   size_t slot_count = 0;
   std::vector<std::string> slot_names;
-  // Transition variables seeded before WHEN, as (name, slot); the engine
+  // Transition variables seeded before WHEN, as (TransVars id, slot) —
+  // names are resolved to interned ids at compile time, so matching an
+  // activation's env bindings to slots is integer compares. The engine
   // fills values from the activation's TransitionEnv and re-binds any slot
   // a WITH re-scope dropped before running the action.
-  std::vector<std::pair<std::string, int>> seed_slots;
+  std::vector<std::pair<TransVarId, int>> seed_slots;
   PExprPtr when_expr;           // nullable
   std::vector<PStep> when_steps;
   std::vector<PStep> action_steps;

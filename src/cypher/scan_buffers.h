@@ -1,0 +1,21 @@
+#ifndef PGTRIGGERS_CYPHER_SCAN_BUFFERS_H_
+#define PGTRIGGERS_CYPHER_SCAN_BUFFERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace pgt::cypher {
+
+/// Reusable buffers for ExecuteNodeScanInto: `raw` holds index postings,
+/// `ids` the resulting candidates. Pooled (FramePool) so per-MATCH scan
+/// materialization is allocation-free once warm.
+struct NodeScanBuffers {
+  std::vector<uint64_t> raw;
+  std::vector<NodeId> ids;
+};
+
+}  // namespace pgt::cypher
+
+#endif  // PGTRIGGERS_CYPHER_SCAN_BUFFERS_H_

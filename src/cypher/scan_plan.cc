@@ -274,36 +274,44 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
   return plan;
 }
 
-std::vector<NodeId> ExecuteNodeScan(const NodeScanPlan& plan,
-                                    EvalContext& ctx) {
+const std::vector<NodeId>& ExecuteNodeScanInto(const NodeScanPlan& plan,
+                                               EvalContext& ctx,
+                                               NodeScanBuffers& bufs) {
+  bufs.raw.clear();
+  bufs.ids.clear();
   switch (plan.kind) {
     case NodeScanPlan::Kind::kFullScan:
-      return ctx.store()->AllNodes();
+      bufs.ids = ctx.store()->AllNodes();
+      break;
     case NodeScanPlan::Kind::kLabelScan:
-      return ctx.store()->NodesByLabel(plan.label);
+      bufs.ids = ctx.store()->NodesByLabel(plan.label);
+      break;
     case NodeScanPlan::Kind::kIndexEquality: {
-      std::vector<uint64_t> raw;
-      plan.idx->Lookup(plan.eq_value, &raw);
+      plan.idx->Lookup(plan.eq_value, &bufs.raw);
       // Posting lists are id-sorted already.
-      std::vector<NodeId> out;
-      out.reserve(raw.size());
-      for (uint64_t v : raw) out.push_back(NodeId{v});
-      return out;
+      bufs.ids.reserve(bufs.raw.size());
+      for (uint64_t v : bufs.raw) bufs.ids.push_back(NodeId{v});
+      break;
     }
     case NodeScanPlan::Kind::kIndexRange: {
-      std::vector<uint64_t> raw;
       plan.idx->Range(plan.lo, plan.lo_inclusive, plan.hi, plan.hi_inclusive,
-                      &raw);
+                      &bufs.raw);
       // Range traversal is value-ordered; restore global id order so the
       // access path never changes result order.
-      std::sort(raw.begin(), raw.end());
-      std::vector<NodeId> out;
-      out.reserve(raw.size());
-      for (uint64_t v : raw) out.push_back(NodeId{v});
-      return out;
+      std::sort(bufs.raw.begin(), bufs.raw.end());
+      bufs.ids.reserve(bufs.raw.size());
+      for (uint64_t v : bufs.raw) bufs.ids.push_back(NodeId{v});
+      break;
     }
   }
-  return {};
+  return bufs.ids;
+}
+
+std::vector<NodeId> ExecuteNodeScan(const NodeScanPlan& plan,
+                                    EvalContext& ctx) {
+  NodeScanBuffers bufs;
+  ExecuteNodeScanInto(plan, ctx, bufs);
+  return std::move(bufs.ids);
 }
 
 }  // namespace pgt::cypher

@@ -8,6 +8,7 @@
 #include "src/common/result.h"
 #include "src/cypher/ast.h"
 #include "src/cypher/eval.h"
+#include "src/cypher/scan_buffers.h"
 #include "src/index/property_index.h"
 
 namespace pgt::cypher {
@@ -81,6 +82,12 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
 /// Materializes the plan's candidate nodes in ascending id order.
 std::vector<NodeId> ExecuteNodeScan(const NodeScanPlan& plan,
                                     EvalContext& ctx);
+
+/// ExecuteNodeScan into caller-owned buffers; returns bufs.ids (cleared
+/// first). Identical results and order.
+const std::vector<NodeId>& ExecuteNodeScanInto(const NodeScanPlan& plan,
+                                               EvalContext& ctx,
+                                               NodeScanBuffers& bufs);
 
 }  // namespace pgt::cypher
 

@@ -1,0 +1,62 @@
+#include "src/cypher/transition_vars.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace pgt::cypher {
+
+namespace {
+
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct Table {
+  std::unordered_map<std::string, TransVarId, StringHash, std::equal_to<>>
+      ids;
+  std::vector<std::string> names;
+};
+
+Table& TheTable() {
+  static Table* t = [] {
+    auto* table = new Table();
+    // Pre-intern the canonical names so their ids are stable regardless of
+    // trigger installation order.
+    for (const char* name :
+         {"OLD", "NEW", "OLDNODES", "NEWNODES", "OLDRELS", "NEWRELS"}) {
+      const TransVarId id = static_cast<TransVarId>(table->names.size());
+      table->ids.emplace(name, id);
+      table->names.emplace_back(name);
+    }
+    return table;
+  }();
+  return *t;
+}
+
+}  // namespace
+
+TransVarId TransVars::Intern(std::string_view name) {
+  Table& t = TheTable();
+  auto it = t.ids.find(name);
+  if (it != t.ids.end()) return it->second;
+  const TransVarId id = static_cast<TransVarId>(t.names.size());
+  t.ids.emplace(std::string(name), id);
+  t.names.emplace_back(name);
+  return id;
+}
+
+std::optional<TransVarId> TransVars::Lookup(std::string_view name) {
+  Table& t = TheTable();
+  auto it = t.ids.find(name);
+  if (it == t.ids.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& TransVars::Name(TransVarId id) {
+  return TheTable().names[id];
+}
+
+}  // namespace pgt::cypher

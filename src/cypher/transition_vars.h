@@ -1,0 +1,43 @@
+#ifndef PGTRIGGERS_CYPHER_TRANSITION_VARS_H_
+#define PGTRIGGERS_CYPHER_TRANSITION_VARS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pgt::cypher {
+
+/// Interned id of a transition-variable name (OLD / NEW / NEWNODES / ... or
+/// a REFERENCING alias).
+using TransVarId = uint32_t;
+
+inline constexpr TransVarId kInvalidTransVar = 0xFFFFFFFFu;
+
+/// Process-wide append-only symbol table for transition-variable names —
+/// the DispatchIndex-style resolution layer that lets TransitionEnv key its
+/// bindings by dense id instead of by string (docs/values.md).
+///
+/// Ids are keyed purely by string content (two databases interning "NEW"
+/// get the same id), assigned in first-seen order, and never removed, so a
+/// cached id can never go stale — the same stability argument as
+/// plan::SymbolRef. The canonical six variable names are pre-interned. Like
+/// the rest of the engine this table is single-threaded by design (D7).
+class TransVars {
+ public:
+  /// Returns the id for `name`, interning it if unseen. Called at
+  /// trigger-compile / activation-build time, not per evaluation.
+  static TransVarId Intern(std::string_view name);
+
+  /// Returns the id for `name` if some trigger ever interned it. A miss
+  /// means no TransitionEnv anywhere can bind that name (envs intern their
+  /// keys on construction).
+  static std::optional<TransVarId> Lookup(std::string_view name);
+
+  /// Returns the name for `id`. Precondition: id was returned by Intern.
+  static const std::string& Name(TransVarId id);
+};
+
+}  // namespace pgt::cypher
+
+#endif  // PGTRIGGERS_CYPHER_TRANSITION_VARS_H_

@@ -53,7 +53,7 @@ const std::vector<PropertyIndex*>* IndexCatalog::IndexesOnLabel(
 }
 
 void IndexCatalog::OnNodeAdded(NodeId id, const std::vector<LabelId>& labels,
-                               const std::map<PropKeyId, Value>& props) {
+                               const PropMap& props) {
   for (LabelId l : labels) {
     const auto* indexes = IndexesOnLabel(l);
     if (indexes == nullptr) continue;
@@ -66,7 +66,7 @@ void IndexCatalog::OnNodeAdded(NodeId id, const std::vector<LabelId>& labels,
 
 void IndexCatalog::OnNodeRemoved(NodeId id,
                                  const std::vector<LabelId>& labels,
-                                 const std::map<PropKeyId, Value>& props) {
+                                 const PropMap& props) {
   for (LabelId l : labels) {
     const auto* indexes = IndexesOnLabel(l);
     if (indexes == nullptr) continue;
@@ -78,7 +78,7 @@ void IndexCatalog::OnNodeRemoved(NodeId id,
 }
 
 void IndexCatalog::OnLabelAdded(NodeId id, LabelId label,
-                                const std::map<PropKeyId, Value>& props) {
+                                const PropMap& props) {
   const auto* indexes = IndexesOnLabel(label);
   if (indexes == nullptr) return;
   for (PropertyIndex* idx : *indexes) {
@@ -88,7 +88,7 @@ void IndexCatalog::OnLabelAdded(NodeId id, LabelId label,
 }
 
 void IndexCatalog::OnLabelRemoved(NodeId id, LabelId label,
-                                  const std::map<PropKeyId, Value>& props) {
+                                  const PropMap& props) {
   const auto* indexes = IndexesOnLabel(label);
   if (indexes == nullptr) return;
   for (PropertyIndex* idx : *indexes) {
@@ -114,7 +114,7 @@ void IndexCatalog::OnPropChanged(NodeId id,
 
 std::optional<IndexCatalog::UniqueConflict> IndexCatalog::CheckNodeAdd(
     const std::vector<LabelId>& labels,
-    const std::map<PropKeyId, Value>& props) const {
+    const PropMap& props) const {
   for (LabelId l : labels) {
     const auto* indexes = IndexesOnLabel(l);
     if (indexes == nullptr) continue;
@@ -133,7 +133,7 @@ std::optional<IndexCatalog::UniqueConflict> IndexCatalog::CheckNodeAdd(
 
 std::optional<IndexCatalog::UniqueConflict> IndexCatalog::CheckLabelAdd(
     NodeId id, LabelId label,
-    const std::map<PropKeyId, Value>& props) const {
+    const PropMap& props) const {
   const auto* indexes = IndexesOnLabel(label);
   if (indexes == nullptr) return std::nullopt;
   for (const PropertyIndex* idx : *indexes) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/prop_map.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/value.h"
@@ -66,17 +67,17 @@ class IndexCatalog {
 
   /// Node became visible with these labels/props (create or revive).
   void OnNodeAdded(NodeId id, const std::vector<LabelId>& labels,
-                   const std::map<PropKeyId, Value>& props);
+                   const PropMap& props);
 
   /// Node is about to be tombstoned; labels/props are its final image.
   void OnNodeRemoved(NodeId id, const std::vector<LabelId>& labels,
-                     const std::map<PropKeyId, Value>& props);
+                     const PropMap& props);
 
   /// Label added to / removed from an alive node with these props.
   void OnLabelAdded(NodeId id, LabelId label,
-                    const std::map<PropKeyId, Value>& props);
+                    const PropMap& props);
   void OnLabelRemoved(NodeId id, LabelId label,
-                      const std::map<PropKeyId, Value>& props);
+                      const PropMap& props);
 
   /// Property of an alive node changed old -> new (either side may be NULL
   /// for absent); `labels` is the node's current label set.
@@ -97,12 +98,12 @@ class IndexCatalog {
   /// unique enforce-on-write index?
   std::optional<UniqueConflict> CheckNodeAdd(
       const std::vector<LabelId>& labels,
-      const std::map<PropKeyId, Value>& props) const;
+      const PropMap& props) const;
 
   /// Would adding `label` to node `id` (current props given) conflict?
   std::optional<UniqueConflict> CheckLabelAdd(
       NodeId id, LabelId label,
-      const std::map<PropKeyId, Value>& props) const;
+      const PropMap& props) const;
 
   /// Would setting `key` = `value` on node `id` (current labels given)
   /// conflict?

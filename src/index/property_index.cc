@@ -68,7 +68,7 @@ size_t ValueHash::operator()(const Value& v) const {
       // collisions are benign, the equality predicate disambiguates.
       return std::hash<double>{}(v.as_double());
     case ValueType::kString:
-      return std::hash<std::string>{}(v.string_value());
+      return std::hash<std::string_view>{}(v.string_value());
     case ValueType::kDate:
       return HashCombine(1, std::hash<int64_t>{}(v.date_value().days));
     case ValueType::kDateTime:

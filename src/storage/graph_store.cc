@@ -11,7 +11,7 @@ bool NodeRecord::HasLabel(LabelId l) const {
 // --- Nodes ------------------------------------------------------------------
 
 NodeId GraphStore::CreateNode(const std::vector<LabelId>& labels,
-                              std::map<PropKeyId, Value> props) {
+                              PropMap props) {
   NodeRecord rec;
   rec.id = NodeId{nodes_.size()};
   rec.labels = labels;
@@ -70,7 +70,7 @@ Status GraphStore::DeleteNode(NodeId id) {
 }
 
 Status GraphStore::ReviveNode(NodeId id, const std::vector<LabelId>& labels,
-                              std::map<PropKeyId, Value> props) {
+                              PropMap props) {
   NodeRecord* n = MutableNode(id);
   if (n == nullptr) {
     return Status::NotFound("node " + std::to_string(id.value));
@@ -124,7 +124,7 @@ Result<Value> GraphStore::SetNodeProp(NodeId id, PropKeyId key, Value value) {
   if (it != n->props.end()) old = it->second;
   if (value.is_null()) {
     // Cypher semantics: SET n.p = null removes the property.
-    n->props.erase(key);
+    n->props.Erase(key);
     if (!indexes_.empty()) {
       indexes_.OnPropChanged(id, n->labels, key, old, Value::Null());
     }
@@ -146,7 +146,7 @@ Result<Value> GraphStore::RemoveNodeProp(NodeId id, PropKeyId key) {
   auto it = n->props.find(key);
   if (it != n->props.end()) {
     old = it->second;
-    n->props.erase(it);
+    n->props.Erase(key);
     if (!indexes_.empty()) {
       indexes_.OnPropChanged(id, n->labels, key, old, Value::Null());
     }
@@ -164,7 +164,7 @@ Value GraphStore::GetNodeProp(NodeId id, PropKeyId key) const {
 // --- Relationships -----------------------------------------------------------
 
 Result<RelId> GraphStore::CreateRel(NodeId src, RelTypeId type, NodeId dst,
-                                    std::map<PropKeyId, Value> props) {
+                                    PropMap props) {
   NodeRecord* s = MutableNode(src);
   NodeRecord* d = MutableNode(dst);
   if (s == nullptr || !s->alive) {
@@ -212,7 +212,7 @@ Status GraphStore::DeleteRel(RelId id) {
   return Status::OK();
 }
 
-Status GraphStore::ReviveRel(RelId id, std::map<PropKeyId, Value> props) {
+Status GraphStore::ReviveRel(RelId id, PropMap props) {
   RelRecord* r = MutableRel(id);
   if (r == nullptr) {
     return Status::NotFound("relationship " + std::to_string(id.value));
@@ -236,7 +236,7 @@ Result<Value> GraphStore::SetRelProp(RelId id, PropKeyId key, Value value) {
   auto it = r->props.find(key);
   if (it != r->props.end()) old = it->second;
   if (value.is_null()) {
-    r->props.erase(key);
+    r->props.Erase(key);
   } else {
     r->props[key] = std::move(value);
   }
@@ -252,7 +252,7 @@ Result<Value> GraphStore::RemoveRelProp(RelId id, PropKeyId key) {
   auto it = r->props.find(key);
   if (it != r->props.end()) {
     old = it->second;
-    r->props.erase(it);
+    r->props.Erase(key);
   }
   return old;
 }

@@ -13,6 +13,7 @@
 #include "src/common/ids.h"
 #include "src/common/interner.h"
 #include "src/common/macros.h"
+#include "src/common/prop_map.h"
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/value.h"
@@ -31,7 +32,7 @@ struct NodeRecord {
   NodeId id;
   bool alive = true;
   std::vector<LabelId> labels;  // sorted, unique
-  std::map<PropKeyId, Value> props;
+  PropMap props;
   std::vector<RelId> out_rels;
   std::vector<RelId> in_rels;
 
@@ -47,7 +48,7 @@ struct RelRecord {
   RelTypeId type = 0;
   NodeId src;
   NodeId dst;
-  std::map<PropKeyId, Value> props;
+  PropMap props;
 };
 
 /// In-memory property graph: the storage substrate on which the PG-Trigger
@@ -104,7 +105,7 @@ class GraphStore {
 
   /// Creates a node with the given labels and properties.
   NodeId CreateNode(const std::vector<LabelId>& labels,
-                    std::map<PropKeyId, Value> props);
+                    PropMap props);
 
   /// Returns the record (alive or tombstoned), or nullptr if never existed.
   const NodeRecord* GetNode(NodeId id) const;
@@ -119,7 +120,7 @@ class GraphStore {
 
   /// Re-inserts a tombstoned node with the given image (undo path).
   Status ReviveNode(NodeId id, const std::vector<LabelId>& labels,
-                    std::map<PropKeyId, Value> props);
+                    PropMap props);
 
   /// Adds a label; returns true if the label was newly added.
   Result<bool> AddLabel(NodeId id, LabelId label);
@@ -140,7 +141,7 @@ class GraphStore {
 
   /// Creates a relationship src -[type]-> dst.
   Result<RelId> CreateRel(NodeId src, RelTypeId type, NodeId dst,
-                          std::map<PropKeyId, Value> props);
+                          PropMap props);
 
   const RelRecord* GetRel(RelId id) const;
   bool RelAlive(RelId id) const;
@@ -148,7 +149,7 @@ class GraphStore {
   Status DeleteRel(RelId id);
 
   /// Re-inserts a tombstoned relationship with the given image (undo path).
-  Status ReviveRel(RelId id, std::map<PropKeyId, Value> props);
+  Status ReviveRel(RelId id, PropMap props);
 
   Result<Value> SetRelProp(RelId id, PropKeyId key, Value value);
   Result<Value> RemoveRelProp(RelId id, PropKeyId key);

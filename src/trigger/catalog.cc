@@ -175,7 +175,10 @@ Status TriggerCatalog::Install(TriggerDef def) {
   triggers_.push_back(ptr);
   // Dispatch invariant: only enabled triggers are registered (programmatic
   // installs may arrive pre-disabled).
-  if (ptr->enabled) dispatch_.Add(ptr);
+  if (ptr->enabled) {
+    dispatch_.Add(ptr);
+    BumpCount(ptr->time, +1);
+  }
   ++ddl_epoch_;
   return Status::OK();
 }
@@ -184,6 +187,7 @@ Status TriggerCatalog::Drop(const std::string& name) {
   for (auto it = triggers_.begin(); it != triggers_.end(); ++it) {
     if ((*it)->name == name) {
       dispatch_.Remove(it->get());
+      if ((*it)->enabled) BumpCount((*it)->time, -1);
       triggers_.erase(it);
       ++ddl_epoch_;
       return Status::OK();
@@ -202,6 +206,7 @@ Status TriggerCatalog::SetEnabled(const std::string& name, bool enabled) {
         } else {
           dispatch_.Remove(t.get());
         }
+        BumpCount(t->time, enabled ? +1 : -1);
         ++ddl_epoch_;
       }
       return Status::OK();
@@ -213,6 +218,7 @@ Status TriggerCatalog::SetEnabled(const std::string& name, bool enabled) {
 void TriggerCatalog::DropAll() {
   triggers_.clear();
   dispatch_.Clear();
+  enabled_counts_.fill(0);
   ++ddl_epoch_;
 }
 

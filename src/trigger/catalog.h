@@ -1,6 +1,7 @@
 #ifndef PGTRIGGERS_TRIGGER_CATALOG_H_
 #define PGTRIGGERS_TRIGGER_CATALOG_H_
 
+#include <array>
 #include <map>
 #include <memory>
 #include <string>
@@ -66,6 +67,15 @@ class TriggerCatalog {
   /// cached query plans alongside index DDL.
   uint64_t ddl_epoch() const { return ddl_epoch_; }
 
+  /// Number of enabled triggers with the given action time (O(1),
+  /// maintained by Install / Drop / SetEnabled / DropAll). The engine's
+  /// MatchAll early-outs on zero, skipping the delta walk entirely —
+  /// statements in databases without, say, BEFORE triggers never pay a
+  /// BEFORE matching pass.
+  size_t EnabledCount(ActionTime time) const {
+    return enabled_counts_[static_cast<size_t>(time)];
+  }
+
   /// The Section 4.2 execution-order comparator, shared by ByTime and the
   /// engine's cross-bucket merge so the two dispatch strategies can never
   /// order triggers differently.
@@ -78,8 +88,15 @@ class TriggerCatalog {
  private:
   Status Validate(const TriggerDef& def) const;
 
+  void BumpCount(ActionTime time, int d) {
+    enabled_counts_[static_cast<size_t>(time)] =
+        static_cast<size_t>(static_cast<long long>(
+            enabled_counts_[static_cast<size_t>(time)]) + d);
+  }
+
   const EngineOptions* options_;
   std::vector<std::shared_ptr<TriggerDef>> triggers_;  // creation order
+  std::array<size_t, 4> enabled_counts_{};  // indexed by ActionTime
   DispatchIndex dispatch_;
   uint64_t next_seq_ = 1;
   uint64_t ddl_epoch_ = 0;

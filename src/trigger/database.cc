@@ -54,6 +54,7 @@ Result<cypher::QueryResult> Database::RunStatementInTx(
   GraphDelta delta = tx.PopDeltaScope();
   if (!result.ok()) return result.status();
   PGT_RETURN_IF_ERROR(runtime().OnStatement(tx, delta));
+  tx.RecycleDelta(std::move(delta));
   return result;
 }
 
@@ -122,12 +123,13 @@ Result<cypher::QueryResult> Database::RunPreparedInTx(
   }
   tx.PushDeltaScope();
   cypher::EvalContext ctx = MakeEvalContext(&tx, &params, nullptr);
-  cypher::plan::PlanExecutor exec(ctx, stmt.program->slot_names);
-  auto result = exec.Run(stmt.program->steps,
-                         cypher::plan::Frame(stmt.program->slot_count));
+  cypher::plan::PlanExecutor exec(ctx, stmt.program->slot_names,
+                                  &frame_pool_);
+  auto result = exec.Run(stmt.program->steps, exec.NewFrame());
   GraphDelta delta = tx.PopDeltaScope();
   if (!result.ok()) return result.status();
   PGT_RETURN_IF_ERROR(runtime().OnStatement(tx, delta));
+  tx.RecycleDelta(std::move(delta));
   return result;
 }
 
@@ -196,15 +198,19 @@ Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
   }
   st = tx->Commit();
   if (!st.ok()) {
-    tx_manager_.Release(tx.get());
+    tx_manager_.Release(std::move(tx));
     return st;
   }
   // The committed transaction no longer needs its delta: move it out for
   // AfterCommit instead of copying.
-  const GraphDelta total = tx->TakeAccumulatedDelta();
-  tx_manager_.Release(tx.get());
+  GraphDelta total = tx->TakeAccumulatedDelta();
+  tx_manager_.Release(std::move(tx));
   tx_manager_.NoteCommit();
-  return runtime().AfterCommit(total);
+  Status after = runtime().AfterCommit(total);
+  // ... and once AfterCommit has consumed it, its buffers re-arm the next
+  // transaction's accumulated delta.
+  tx_manager_.RecycleDelta(std::move(total));
+  return after;
 }
 
 void Database::RollbackAndRelease(std::unique_ptr<Transaction> tx) {
@@ -215,7 +221,7 @@ void Database::RollbackAndRelease(std::unique_ptr<Transaction> tx) {
     Status st = tx->Rollback();
     (void)st;
   }
-  tx_manager_.Release(tx.get());
+  tx_manager_.Release(std::move(tx));
 }
 
 Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {

@@ -22,9 +22,6 @@
 
 namespace pgt {
 
-/// Query parameters ($name -> value).
-using Params = std::map<std::string, Value>;
-
 /// The reactive graph database facade: storage + transactions + the Cypher
 /// subset + the PG-Trigger runtime, wired together.
 ///
@@ -141,6 +138,10 @@ class Database {
   /// The ad-hoc prepared-plan cache (stats read by tests/benches).
   const cypher::plan::PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// Recycler for plan-executor frame buffers, shared by ad-hoc statement
+  /// execution and the trigger engine's activation runs (docs/values.md).
+  cypher::plan::FramePool& frame_pool() { return frame_pool_; }
+
   /// Begins an autonomous transaction (DETACHED triggers). The caller must
   /// finish it via CommitWithTriggers or RollbackAndRelease.
   Result<std::unique_ptr<Transaction>> BeginTx();
@@ -181,6 +182,7 @@ class Database {
   // PG-Key indexes auto-created by AttachSchema (dropped on detach).
   std::vector<std::pair<LabelId, PropKeyId>> schema_key_indexes_;
   cypher::plan::PlanCache plan_cache_;
+  cypher::plan::FramePool frame_pool_;
 };
 
 }  // namespace pgt

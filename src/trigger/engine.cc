@@ -16,14 +16,17 @@ namespace {
 
 /// Labels of a node, falling back to the delta's deleted image when the
 /// node is gone (matching runs against deltas of committed transactions for
-/// DETACHED triggers, where no transaction ghost map exists).
-std::vector<LabelId> LabelsOf(const GraphStore& store, const GraphDelta& delta,
-                              NodeId id) {
+/// DETACHED triggers, where no transaction ghost map exists). Returns a
+/// view into the record / image — event matching walks every delta entry
+/// per action time, so a by-value copy here is a per-event allocation.
+const std::vector<LabelId>& LabelsOf(const GraphStore& store,
+                                     const GraphDelta& delta, NodeId id) {
   if (store.NodeAlive(id)) return store.GetNode(id)->labels;
   for (const DeletedNodeImage& img : delta.deleted_nodes) {
     if (img.id == id) return img.labels;
   }
-  return {};
+  static const std::vector<LabelId> kEmpty;
+  return kEmpty;
 }
 
 /// Type of a relationship, falling back to the delta's deleted image when
@@ -44,6 +47,19 @@ std::optional<RelTypeId> RelTypeOf(const GraphStore& store,
 
 bool HasLabel(const std::vector<LabelId>& labels, LabelId l) {
   return std::binary_search(labels.begin(), labels.end(), l);
+}
+
+/// Target label of a node trigger, resolved once per definition and cached
+/// (interner ids are stable; a miss is re-looked-up — the label may be
+/// interned later).
+std::optional<LabelId> ResolveTargetLabel(const TriggerDef& def,
+                                          const GraphStore& store) {
+  if (def.target_label_cache >= 0) {
+    return static_cast<LabelId>(def.target_label_cache);
+  }
+  auto id = store.LookupLabel(def.label);
+  if (id.has_value()) def.target_label_cache = *id;
+  return id;
 }
 
 /// One matched event occurrence.
@@ -184,47 +200,59 @@ std::vector<Entry> MatchEntries(const GraphStore& store,
 /// Turns one trigger's matched entries into activations (FOR EACH: one per
 /// entry; FOR ALL: one batched, deduplicated). Both dispatch strategies
 /// funnel through here, so their activations are structurally identical.
+/// Envs come from `env_pool` when given (engine-internal dispatch), so a
+/// steady-state round reuses warm buffers instead of allocating.
 void BuildActivations(std::shared_ptr<const TriggerDef> def,
                       const std::vector<Entry>& entries,
+                      TransitionEnvPool* env_pool,
                       std::vector<Activation>* out) {
   if (entries.empty()) return;
   const bool is_node = def->item == ItemKind::kNode;
+  // Variable names resolve to interned ids once per definition; everything
+  // below is integer-keyed.
+  const cypher::TransVarId new_var = def->NewVarId();
+  const cypher::TransVarId old_var = def->OldVarId();
 
   auto item_value = [&](uint64_t id) {
     return is_node ? Value::Node(NodeId{id}) : Value::Rel(RelId{id});
   };
+  auto acquire_env = [&](Activation& act) {
+    if (env_pool != nullptr) act.env = env_pool->Acquire();
+  };
   auto add_overlay = [&](cypher::TransitionEnv& env, const Entry& e) {
     if (!e.has_overlay) return;
-    auto& overlays =
-        is_node ? env.old_node_props : env.old_rel_props;
-    // First old value wins: it is the pre-statement image.
-    overlays[e.id].emplace(e.key, e.old_value);
+    // Appended in event order; Seal keeps the first entry per (item, key) —
+    // the pre-statement image.
+    if (is_node) {
+      env.AddOldNodeProp(e.id, e.key, e.old_value);
+    } else {
+      env.AddOldRelProp(e.id, e.key, e.old_value);
+    }
   };
 
   if (def->granularity == Granularity::kEach) {
-    const std::string new_name = def->AliasFor(TransitionVar::kNew);
-    const std::string old_name = def->AliasFor(TransitionVar::kOld);
     for (const Entry& e : entries) {
       Activation act;
       act.trigger = def;
+      acquire_env(act);
       if (e.has_new) {
-        act.env.singles[new_name] = item_value(e.id);
+        act.env.SetSingle(new_var, item_value(e.id));
         // NEW is also usable as a pseudo-label: MATCH (pn:NEW)-...
-        act.env.sets[new_name] = {is_node, {e.id}};
+        act.env.MutableSet(new_var, is_node).ids.push_back(e.id);
       }
       if (e.has_old) {
-        act.env.singles[old_name] = item_value(e.id);
-        act.env.sets[old_name] = {is_node, {e.id}};
-        act.env.old_view_vars.insert(old_name);
+        act.env.SetSingle(old_var, item_value(e.id));
+        act.env.MutableSet(old_var, is_node).ids.push_back(e.id);
+        act.env.MarkOldView(old_var);
         add_overlay(act.env, e);
       }
+      act.env.Seal();
       out->push_back(std::move(act));
     }
   } else {
-    const std::string new_name = def->NewVarName();
-    const std::string old_name = def->OldVarName();
     Activation act;
     act.trigger = def;
+    acquire_env(act);
     std::vector<uint64_t> old_ids, new_ids;
     std::set<uint64_t> seen_old, seen_new;
     for (const Entry& e : entries) {
@@ -233,20 +261,61 @@ void BuildActivations(std::shared_ptr<const TriggerDef> def,
       add_overlay(act.env, e);
     }
     if (!new_ids.empty()) {
-      act.env.sets[new_name] = {is_node, std::move(new_ids)};
+      act.env.MutableSet(new_var, is_node).ids = std::move(new_ids);
     }
     if (!old_ids.empty()) {
-      act.env.sets[old_name] = {is_node, std::move(old_ids)};
-      act.env.old_view_vars.insert(old_name);
+      act.env.MutableSet(old_var, is_node).ids = std::move(old_ids);
+      act.env.MarkOldView(old_var);
     }
+    act.env.Seal();
     out->push_back(std::move(act));
   }
 }
 
 }  // namespace
 
+/// Per-trigger entry buckets of one MatchAllIndexed walk, kept as engine
+/// scratch so the per-statement dispatch allocates nothing once warm. The
+/// buffers are only live within a single MatchAllIndexed call (activation
+/// derivation never re-enters the engine).
+struct PgTriggerEngine::MatchScratch {
+  struct Bucket {
+    std::shared_ptr<const TriggerDef> def;
+    std::vector<Entry> entries;
+  };
+  std::vector<Bucket> buckets;
+  std::unordered_map<const TriggerDef*, size_t> bucket_of;
+  // Retired entry buffers, recycled into new buckets.
+  std::vector<std::vector<Entry>> free_entries;
+
+  void Reset() {
+    for (Bucket& b : buckets) {
+      b.def.reset();
+      b.entries.clear();
+      if (free_entries.size() < 64) {
+        free_entries.push_back(std::move(b.entries));
+      }
+    }
+    buckets.clear();
+    bucket_of.clear();
+  }
+
+  std::vector<Entry> AcquireEntries() {
+    if (free_entries.empty()) return {};
+    std::vector<Entry> e = std::move(free_entries.back());
+    free_entries.pop_back();
+    return e;
+  }
+};
+
+PgTriggerEngine::PgTriggerEngine(Database* db)
+    : db_(db), scratch_(std::make_unique<MatchScratch>()) {}
+
+PgTriggerEngine::~PgTriggerEngine() = default;
+
 void PgTriggerEngine::AppendActivations(std::shared_ptr<const TriggerDef> def,
                                         const GraphDelta& delta,
+                                        TransitionEnvPool* pool,
                                         std::vector<Activation>* out) const {
   const GraphStore& store = db_->store();
   const bool is_node = def->item == ItemKind::kNode;
@@ -270,7 +339,7 @@ void PgTriggerEngine::AppendActivations(std::shared_ptr<const TriggerDef> def,
   std::vector<Entry> entries =
       MatchEntries(store, db_->options().label_event_semantics, *def, *target,
                    prop, delta);
-  BuildActivations(std::move(def), entries, out);
+  BuildActivations(std::move(def), entries, pool, out);
 }
 
 std::vector<Activation> PgTriggerEngine::MatchActivations(
@@ -280,15 +349,15 @@ std::vector<Activation> PgTriggerEngine::MatchActivations(
   // defs; the resulting activations must not outlive them.
   AppendActivations(std::shared_ptr<const TriggerDef>(
                         std::shared_ptr<const TriggerDef>(), &def),
-                    delta, &out);
+                    delta, /*pool=*/nullptr, &out);
   return out;
 }
 
 std::vector<Activation> PgTriggerEngine::MatchAllLinear(
-    ActionTime time, const GraphDelta& delta) const {
-  std::vector<Activation> out;
+    ActionTime time, const GraphDelta& delta) {
+  std::vector<Activation> out = AcquireActs();
   for (std::shared_ptr<const TriggerDef>& def : db_->catalog().ByTime(time)) {
-    AppendActivations(std::move(def), delta, &out);
+    AppendActivations(std::move(def), delta, &env_pool_, &out);
   }
   return out;
 }
@@ -302,18 +371,20 @@ std::vector<Activation> PgTriggerEngine::MatchAllIndexed(
   // Per-trigger entry buckets, created in first-match order. Each trigger
   // reads exactly one delta category, so walking the categories in any
   // fixed order preserves the per-trigger entry order of the linear scan.
-  struct Bucket {
-    std::shared_ptr<const TriggerDef> def;
-    std::vector<Entry> entries;
-  };
-  std::vector<Bucket> buckets;
-  std::unordered_map<const TriggerDef*, size_t> bucket_of;
+  // Buckets live in engine scratch: cleared per call, capacity kept.
+  MatchScratch& scratch = *scratch_;
+  scratch.Reset();
+  auto& buckets = scratch.buckets;
+  auto& bucket_of = scratch.bucket_of;
 
   auto emit = [&](const DispatchIndex::TriggerList* defs, const Entry& e) {
     if (defs == nullptr) return;
     for (const std::shared_ptr<const TriggerDef>& def : *defs) {
       auto [it, inserted] = bucket_of.try_emplace(def.get(), buckets.size());
-      if (inserted) buckets.push_back(Bucket{def, {}});
+      if (inserted) {
+        buckets.push_back(
+            MatchScratch::Bucket{def, scratch.AcquireEntries()});
+      }
       buckets[it->second].entries.push_back(e);
     }
   };
@@ -409,20 +480,24 @@ std::vector<Activation> PgTriggerEngine::MatchAllIndexed(
   // Cross-bucket execution order matches the catalog's ByTime ordering.
   const TriggerOrdering ordering = db_->options().trigger_ordering;
   std::sort(buckets.begin(), buckets.end(),
-            [ordering](const Bucket& a, const Bucket& b) {
+            [ordering](const MatchScratch::Bucket& a,
+                       const MatchScratch::Bucket& b) {
               return TriggerCatalog::ExecutionOrderLess(ordering, *a.def,
                                                         *b.def);
             });
 
-  std::vector<Activation> out;
-  for (Bucket& b : buckets) {
-    BuildActivations(std::move(b.def), b.entries, &out);
+  std::vector<Activation> out = AcquireActs();
+  for (MatchScratch::Bucket& b : buckets) {
+    BuildActivations(std::move(b.def), b.entries, &env_pool_, &out);
   }
   return out;
 }
 
 std::vector<Activation> PgTriggerEngine::MatchAll(ActionTime time,
                                                   const GraphDelta& delta) {
+  // O(1) early-out: no enabled trigger of this action time means no event
+  // can match — skip the delta walk entirely.
+  if (db_->catalog().EnabledCount(time) == 0) return {};
   if (delta.Empty()) return {};
   if (db_->options().use_dispatch_index) {
     return MatchAllIndexed(time, delta);
@@ -433,11 +508,11 @@ std::vector<Activation> PgTriggerEngine::MatchAll(ActionTime time,
 namespace {
 
 /// Slot of a transition variable in a compiled trigger program, -1 if the
-/// program was compiled without it.
+/// program was compiled without it. Ids on both sides: integer compares.
 int SeedSlotFor(const cypher::plan::TriggerProgram& prog,
-                const std::string& name) {
-  for (const auto& [n, s] : prog.seed_slots) {
-    if (n == name) return s;
+                cypher::TransVarId var) {
+  for (const auto& [v, s] : prog.seed_slots) {
+    if (v == var) return s;
   }
   return -1;
 }
@@ -447,14 +522,14 @@ int SeedSlotFor(const cypher::plan::TriggerProgram& prog,
 /// itself; a defensive mismatch falls back to the interpreter).
 bool SeedsMatch(const cypher::plan::TriggerProgram& prog,
                 const Activation& act) {
-  for (const auto& [name, v] : act.env.singles) {
+  for (const auto& [var, v] : act.env.singles) {
     (void)v;
-    if (SeedSlotFor(prog, name) < 0) return false;
+    if (SeedSlotFor(prog, var) < 0) return false;
   }
   if (act.trigger->granularity == Granularity::kAll) {
-    for (const auto& [name, sb] : act.env.sets) {
+    for (const auto& [var, sb] : act.env.sets) {
       (void)sb;
-      if (SeedSlotFor(prog, name) < 0) return false;
+      if (SeedSlotFor(prog, var) < 0) return false;
     }
   }
   return true;
@@ -468,48 +543,58 @@ Status PgTriggerEngine::RunActivationCompiled(cypher::EvalContext& ctx,
                                               TriggerStats& ts) {
   const TriggerDef& def = *act.trigger;
   const cypher::plan::TriggerProgram& prog = plans.program;
-  cypher::plan::PlanExecutor exec(ctx, prog.slot_names);
+  cypher::plan::PlanExecutor exec(ctx, prog.slot_names,
+                                  &db_->frame_pool());
 
   // Seed frame: single transition variables, plus set variables as lists
-  // (mirror of the interpreter's seed row).
-  cypher::plan::Frame seed(prog.slot_count);
-  for (const auto& [name, v] : act.env.singles) {
-    seed.Set(SeedSlotFor(prog, name), v);
+  // (mirror of the interpreter's seed row). Seed slots and env bindings are
+  // both keyed by interned TransVarId — matching them is integer compares,
+  // and the frame buffer itself comes from the pool.
+  cypher::plan::Frame seed = exec.NewFrame();
+  for (const auto& [var, v] : act.env.singles) {
+    seed.Set(SeedSlotFor(prog, var), v);
   }
   if (def.granularity == Granularity::kAll) {
-    for (const auto& [name, sb] : act.env.sets) {
+    for (const auto& [var, sb] : act.env.sets) {
       Value::List items;
       items.reserve(sb.ids.size());
       for (uint64_t id : sb.ids) {
         items.push_back(sb.is_node ? Value::Node(NodeId{id})
                                    : Value::Rel(RelId{id}));
       }
-      seed.Set(SeedSlotFor(prog, name), Value::MakeList(std::move(items)));
+      seed.Set(SeedSlotFor(prog, var), Value::MakeList(std::move(items)));
     }
   }
 
-  std::vector<cypher::plan::Frame> frames;
+  std::vector<cypher::plan::Frame> frames = exec.NewFrameVec();
   if (prog.when_expr != nullptr) {
     PGT_ASSIGN_OR_RETURN(bool pass,
                          exec.EvalPredicate(*prog.when_expr, seed));
-    if (!pass) return Status::OK();
+    if (!pass) {
+      exec.Recycle(std::move(seed));
+      return Status::OK();
+    }
     frames.push_back(std::move(seed));
   } else if (!prog.when_steps.empty()) {
-    std::vector<cypher::plan::Frame> start;
-    start.push_back(seed);
+    std::vector<cypher::plan::Frame> start = exec.NewFrameVec();
+    start.push_back(exec.CopyFrame(seed));
     PGT_ASSIGN_OR_RETURN(frames,
                          exec.RunClauses(prog.when_steps, std::move(start)));
-    if (frames.empty()) return Status::OK();
+    if (frames.empty()) {
+      exec.Recycle(std::move(seed));
+      return Status::OK();
+    }
     // Transition variables stay in scope for the action even when the
     // condition pipeline's WITH clauses re-scoped the rows (Section 6.2).
     for (cypher::plan::Frame& f : frames) {
-      for (const auto& [name, slot] : prog.seed_slots) {
-        (void)name;
+      for (const auto& [var, slot] : prog.seed_slots) {
+        (void)var;
         if (!f.Bound(slot) && seed.Bound(slot)) {
           f.Set(slot, seed.slots[static_cast<size_t>(slot)].v);
         }
       }
     }
+    exec.Recycle(std::move(seed));
   } else {
     frames.push_back(std::move(seed));
   }
@@ -528,7 +613,7 @@ Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
   // remove the trigger's target label (catches dynamic cases the static
   // install check cannot see).
   if (def.item == ItemKind::kNode) {
-    auto target = db_->store().LookupLabel(def.label);
+    auto target = ResolveTargetLabel(def, db_->store());
     if (target.has_value()) {
       // Small trivially-copyable capture (fits std::function's inline
       // buffer — no heap allocation per activation); the definition
@@ -559,16 +644,18 @@ Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
 
   // Seed row: single transition variables, plus set variables as lists.
   cypher::Row seed;
-  for (const auto& [name, v] : act.env.singles) seed.Set(name, v);
+  for (const auto& [var, v] : act.env.singles) {
+    seed.Set(cypher::TransVars::Name(var), v);
+  }
   if (def.granularity == Granularity::kAll) {
-    for (const auto& [name, sb] : act.env.sets) {
+    for (const auto& [var, sb] : act.env.sets) {
       Value::List items;
       items.reserve(sb.ids.size());
       for (uint64_t id : sb.ids) {
         items.push_back(sb.is_node ? Value::Node(NodeId{id})
                                    : Value::Rel(RelId{id}));
       }
-      seed.Set(name, Value::MakeList(std::move(items)));
+      seed.Set(cypher::TransVars::Name(var), Value::MakeList(std::move(items)));
     }
   }
 
@@ -611,10 +698,8 @@ Status PgTriggerEngine::ValidateBeforeDelta(const TriggerDef& def,
     return fail("changed graph structure");
   }
   std::set<uint64_t> allowed;
-  const std::string new_name = def.granularity == Granularity::kEach
-                                   ? def.AliasFor(TransitionVar::kNew)
-                                   : def.NewVarName();
-  const cypher::TransitionEnv::SetBinding* set = act.env.FindSet(new_name);
+  const cypher::TransitionEnv::SetBinding* set =
+      act.env.FindSet(def.NewVarId());
   if (set != nullptr) allowed.insert(set->ids.begin(), set->ids.end());
   auto check_node = [&](const NodePropChange& pc) -> Status {
     if (def.item != ItemKind::kNode || allowed.count(pc.node.value) == 0) {
@@ -661,23 +746,34 @@ Status PgTriggerEngine::ProcessStatementLevel(Transaction& tx,
   // All activations of the statement are derived up front against one
   // consistent delta snapshot (Section 4.2: same-statement triggers
   // consider the same set of events).
-  for (const Activation& act : MatchAll(ActionTime::kBefore, delta)) {
+  // Drained activations release their envs back to the pool (error paths
+  // skip the release; the vector then frees them normally).
+  std::vector<Activation> before_acts = MatchAll(ActionTime::kBefore, delta);
+  for (Activation& act : before_acts) {
     tx.PushDeltaScope();
     Status st = RunActivation(tx, act);
     GraphDelta d = tx.PopDeltaScope();
     if (!st.ok()) return st;
     PGT_RETURN_IF_ERROR(ValidateBeforeDelta(*act.trigger, act, d));
+    env_pool_.Release(std::move(act.env));
+    tx.RecycleDelta(std::move(d));
   }
+  ReleaseActs(std::move(before_acts));
 
   // AFTER: each action is its own statement scope; cascades recursively
-  // (SQL3-style stack of execution contexts).
-  for (const Activation& act : MatchAll(ActionTime::kAfter, delta)) {
+  // (SQL3-style stack of execution contexts). The env is released before
+  // the cascade so nested rounds reuse it.
+  std::vector<Activation> after_acts = MatchAll(ActionTime::kAfter, delta);
+  for (Activation& act : after_acts) {
     tx.PushDeltaScope();
     Status st = RunActivation(tx, act);
     GraphDelta d = tx.PopDeltaScope();
     if (!st.ok()) return st;
+    env_pool_.Release(std::move(act.env));
     PGT_RETURN_IF_ERROR(ProcessStatementLevel(tx, d, depth + 1));
+    tx.RecycleDelta(std::move(d));
   }
+  ReleaseActs(std::move(after_acts));
   return Status::OK();
 }
 
@@ -705,20 +801,23 @@ Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
     stats_.oncommit_rounds_max =
         std::max<uint64_t>(stats_.oncommit_rounds_max, round);
     tx.PushDeltaScope();
-    for (const Activation& act : acts) {
+    for (Activation& act : acts) {
       tx.PushDeltaScope();
       Status st = RunActivation(tx, act);
       GraphDelta d = tx.PopDeltaScope();
       if (st.ok()) {
+        env_pool_.Release(std::move(act.env));
         // ONCOMMIT actions are statements: BEFORE/AFTER triggers cascade
         // on their effects as usual.
         st = ProcessStatementLevel(tx, d, 1);
+        if (st.ok()) tx.RecycleDelta(std::move(d));
       }
       if (!st.ok()) {
         tx.PopDeltaScope();
         return st;
       }
     }
+    ReleaseActs(std::move(acts));
     pending = tx.PopDeltaScope();  // everything this round produced
     current = &pending;
   }
@@ -734,6 +833,7 @@ Status PgTriggerEngine::AfterCommit(const GraphDelta& tx_delta) {
     for (Activation& act : acts) {
       detached_queue_.emplace_back(std::move(act), source);
     }
+    ReleaseActs(std::move(acts));
   }
   if (draining_detached_) return Status::OK();
   draining_detached_ = true;
@@ -750,6 +850,7 @@ Status PgTriggerEngine::AfterCommit(const GraphDelta& tx_delta) {
     auto [act, src] = std::move(detached_queue_.front());
     detached_queue_.pop_front();
     Status st = RunDetachedActivation(act, *src);
+    env_pool_.Release(std::move(act.env));
     if (!st.ok()) {
       result = st;
       detached_queue_.clear();
@@ -776,6 +877,7 @@ Status PgTriggerEngine::RunDetachedActivation(const Activation& act,
   Status st = RunActivation(*tx, act);
   GraphDelta d = tx->PopDeltaScope();
   if (st.ok()) st = ProcessStatementLevel(*tx, d, 1);
+  if (st.ok()) tx->RecycleDelta(std::move(d));
   if (!st.ok()) {
     // A DETACHED trigger failure aborts only its own autonomous
     // transaction; the activating transaction is already durable.

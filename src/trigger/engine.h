@@ -50,6 +50,30 @@ struct Activation {
   cypher::TransitionEnv env;
 };
 
+/// Recycler for TransitionEnvs: the engine builds one env per activation;
+/// instead of allocating its containers per firing, envs drained by a
+/// statement / commit round come back here (cleared, capacities kept) and
+/// the next round's activations reuse them (docs/values.md).
+class TransitionEnvPool {
+ public:
+  cypher::TransitionEnv Acquire() {
+    if (free_.empty()) return {};
+    cypher::TransitionEnv env = std::move(free_.back());
+    free_.pop_back();
+    return env;
+  }
+
+  void Release(cypher::TransitionEnv&& env) {
+    if (free_.size() >= kMaxFree) return;  // bound pool memory
+    env.Clear();
+    free_.push_back(std::move(env));
+  }
+
+ private:
+  static constexpr size_t kMaxFree = 64;
+  std::vector<cypher::TransitionEnv> free_;
+};
+
 /// Strategy interface between the Database and a trigger runtime.
 ///
 /// The native PG-Trigger engine implements the paper's proposed semantics;
@@ -93,7 +117,8 @@ class TriggerRuntime {
 /// (creation-time by default, per Section 4.2).
 class PgTriggerEngine : public TriggerRuntime {
  public:
-  explicit PgTriggerEngine(Database* db) : db_(db) {}
+  explicit PgTriggerEngine(Database* db);
+  ~PgTriggerEngine() override;  // MatchScratch is engine.cc-private
 
   Status OnStatement(Transaction& tx, const GraphDelta& delta) override;
   Status OnCommitPoint(Transaction& tx) override;
@@ -133,9 +158,9 @@ class PgTriggerEngine : public TriggerRuntime {
   std::vector<Activation> MatchAllIndexed(ActionTime time,
                                           const GraphDelta& delta);
   std::vector<Activation> MatchAllLinear(ActionTime time,
-                                         const GraphDelta& delta) const;
+                                         const GraphDelta& delta);
   void AppendActivations(std::shared_ptr<const TriggerDef> def,
-                         const GraphDelta& delta,
+                         const GraphDelta& delta, TransitionEnvPool* pool,
                          std::vector<Activation>* out) const;
   Status ProcessStatementLevel(Transaction& tx, const GraphDelta& delta,
                                int depth);
@@ -144,8 +169,30 @@ class PgTriggerEngine : public TriggerRuntime {
   Status RunDetachedActivation(const Activation& act,
                                const GraphDelta& source_delta);
 
+  /// Recyclers for the per-round activation vectors (LIFO: cascaded
+  /// rounds nest, each level owns its own buffer).
+  std::vector<Activation> AcquireActs() {
+    if (acts_pool_.empty()) return {};
+    std::vector<Activation> v = std::move(acts_pool_.back());
+    acts_pool_.pop_back();
+    return v;
+  }
+  void ReleaseActs(std::vector<Activation>&& v) {
+    v.clear();
+    if (v.capacity() != 0 && acts_pool_.size() < 16) {
+      acts_pool_.push_back(std::move(v));
+    }
+  }
+
   Database* db_;
   EngineStats stats_;
+  TransitionEnvPool env_pool_;
+  std::vector<std::vector<Activation>> acts_pool_;
+  /// Scratch buffers for MatchAllIndexed (per-trigger entry buckets),
+  /// reused across statements so the indexed dispatch walk allocates
+  /// nothing once warm. Only live within one MatchAllIndexed call.
+  struct MatchScratch;
+  std::unique_ptr<MatchScratch> scratch_;
   bool draining_detached_ = false;
   // One shared transaction delta per activating commit (not one copy per
   // queued activation).

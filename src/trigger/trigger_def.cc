@@ -77,6 +77,20 @@ std::string TriggerDef::NewVarName() const {
                                           : TransitionVar::kNewRels);
 }
 
+cypher::TransVarId TriggerDef::OldVarId() const {
+  if (old_var_id_cache < 0) {
+    old_var_id_cache = cypher::TransVars::Intern(OldVarName());
+  }
+  return static_cast<cypher::TransVarId>(old_var_id_cache);
+}
+
+cypher::TransVarId TriggerDef::NewVarId() const {
+  if (new_var_id_cache < 0) {
+    new_var_id_cache = cypher::TransVars::Intern(NewVarName());
+  }
+  return static_cast<cypher::TransVarId>(new_var_id_cache);
+}
+
 std::string TriggerDef::ToDdl() const {
   std::ostringstream os;
   os << "CREATE TRIGGER " << name << "\n";

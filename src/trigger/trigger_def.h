@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/cypher/ast.h"
+#include "src/cypher/transition_vars.h"
 
 namespace pgt {
 
@@ -107,6 +108,18 @@ struct TriggerDef {
   /// granularity and item kind.
   std::string OldVarName() const;
   std::string NewVarName() const;
+
+  /// Interned ids of OldVarName()/NewVarName(), resolved once per
+  /// definition (TransVars is append-only, so a cached id never goes
+  /// stale). The engine keys every TransitionEnv binding on these. Mutable
+  /// lazy caches, same discipline as compiled_plans (single-threaded, D7).
+  cypher::TransVarId OldVarId() const;
+  cypher::TransVarId NewVarId() const;
+  mutable int64_t old_var_id_cache = -1;
+  mutable int64_t new_var_id_cache = -1;
+  /// Cached target LabelId (node triggers), resolved on first activation
+  /// against the store's interner; < 0 = not yet interned.
+  mutable int64_t target_label_cache = -1;
 
   /// Unparses to canonical PG-Trigger DDL (round-trips through the parser).
   std::string ToDdl() const;

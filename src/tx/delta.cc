@@ -26,7 +26,20 @@ void GraphDelta::MergeFrom(const GraphDelta& other) {
 
 bool GraphDelta::Empty() const { return ChangeCount() == 0; }
 
-void GraphDelta::Clear() { *this = GraphDelta(); }
+void GraphDelta::Clear() {
+  // Keeps each vector's capacity: cleared deltas are recycled as fresh
+  // scopes by the transaction (docs/values.md pooled-activation lifecycle).
+  created_nodes.clear();
+  created_rels.clear();
+  deleted_nodes.clear();
+  deleted_rels.clear();
+  assigned_labels.clear();
+  removed_labels.clear();
+  assigned_node_props.clear();
+  removed_node_props.clear();
+  assigned_rel_props.clear();
+  removed_rel_props.clear();
+}
 
 size_t GraphDelta::ChangeCount() const {
   return created_nodes.size() + created_rels.size() + deleted_nodes.size() +

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/prop_map.h"
 #include "src/common/value.h"
 
 namespace pgt {
@@ -16,7 +17,7 @@ namespace pgt {
 struct DeletedNodeImage {
   NodeId id;
   std::vector<LabelId> labels;  // sorted
-  std::map<PropKeyId, Value> props;
+  PropMap props;
 };
 
 /// Full image of a deleted relationship (see DeletedNodeImage).
@@ -25,7 +26,7 @@ struct DeletedRelImage {
   RelTypeId type = 0;
   NodeId src;
   NodeId dst;
-  std::map<PropKeyId, Value> props;
+  PropMap props;
 };
 
 /// A label set on / removed from a node.

@@ -21,7 +21,41 @@ Transaction::Transaction(GraphStore* store, uint64_t id)
   delta_stack_.emplace_back();  // transaction-level scope
 }
 
-void Transaction::PushDeltaScope() { delta_stack_.emplace_back(); }
+void Transaction::PushDeltaScope() {
+  if (!spare_scopes_.empty()) {
+    delta_stack_.push_back(std::move(spare_scopes_.back()));
+    spare_scopes_.pop_back();
+  } else {
+    delta_stack_.emplace_back();
+  }
+}
+
+void Transaction::Reset(uint64_t id) {
+  id_ = id;
+  state_ = State::kActive;
+  // One cleared transaction-level scope; extra scopes (only present after
+  // an error unwind) are banked for reuse.
+  while (delta_stack_.size() > 1) {
+    RecycleDelta(std::move(delta_stack_.back()));
+    delta_stack_.pop_back();
+  }
+  if (delta_stack_.empty()) {
+    delta_stack_.emplace_back();
+  } else {
+    delta_stack_.front().Clear();
+  }
+  // A committed transaction's accumulated delta was moved out whole
+  // (TakeAccumulatedDelta), leaving a capacity-less front; re-arm it from
+  // the spare scopes (refilled by the manager's RecycleDelta).
+  if (delta_stack_.front().created_nodes.capacity() == 0 &&
+      !spare_scopes_.empty()) {
+    delta_stack_.front() = std::move(spare_scopes_.back());
+    spare_scopes_.pop_back();
+  }
+  undo_log_.clear();
+  ghost_nodes_.clear();
+  ghost_rels_.clear();
+}
 
 GraphDelta Transaction::PopDeltaScope() {
   GraphDelta top = std::move(delta_stack_.back());
@@ -39,7 +73,7 @@ Status Transaction::CheckActive() const {
 }
 
 Result<NodeId> Transaction::CreateNode(const std::vector<LabelId>& labels,
-                                       std::map<PropKeyId, Value> props) {
+                                       PropMap props) {
   PGT_RETURN_IF_ERROR(CheckActive());
   // Write-time unique enforcement happens here (not in the store), so the
   // rollback path — which replays inverse mutations directly through the
@@ -56,7 +90,7 @@ Result<NodeId> Transaction::CreateNode(const std::vector<LabelId>& labels,
 }
 
 Result<RelId> Transaction::CreateRel(NodeId src, RelTypeId type, NodeId dst,
-                                     std::map<PropKeyId, Value> props) {
+                                     PropMap props) {
   PGT_RETURN_IF_ERROR(CheckActive());
   PGT_ASSIGN_OR_RETURN(RelId id,
                        store_->CreateRel(src, type, dst, std::move(props)));
@@ -292,13 +326,24 @@ Result<std::unique_ptr<Transaction>> TransactionManager::Begin() {
     return Status::FailedPrecondition(
         "another transaction is active (single-writer engine)");
   }
-  auto tx = std::make_unique<Transaction>(store_, next_id_++);
+  std::unique_ptr<Transaction> tx;
+  if (spare_ != nullptr) {
+    tx = std::move(spare_);
+    tx->Reset(next_id_++);
+  } else {
+    tx = std::make_unique<Transaction>(store_, next_id_++);
+  }
   active_ = tx.get();
   return tx;
 }
 
 void TransactionManager::Release(Transaction* tx) {
   if (active_ == tx) active_ = nullptr;
+}
+
+void TransactionManager::Release(std::unique_ptr<Transaction> tx) {
+  Release(tx.get());
+  if (spare_ == nullptr) spare_ = std::move(tx);
 }
 
 }  // namespace pgt

@@ -48,8 +48,21 @@ class Transaction {
 
   // --- Delta scopes --------------------------------------------------------
 
-  /// Opens a nested delta scope (one per executed statement).
+  /// Opens a nested delta scope (one per executed statement). Reuses a
+  /// recycled scope's buffers when one is available.
   void PushDeltaScope();
+
+  /// Hands a delta obtained from PopDeltaScope back for reuse: the next
+  /// PushDeltaScope gets its (cleared) buffers instead of allocating.
+  void RecycleDelta(GraphDelta&& d) {
+    if (spare_scopes_.size() >= 8) return;
+    d.Clear();
+    spare_scopes_.push_back(std::move(d));
+  }
+
+  /// Re-initializes a finished transaction for reuse by the manager,
+  /// keeping warm container capacities (undo log, delta scopes, spares).
+  void Reset(uint64_t id);
 
   /// Closes the innermost scope, returning its delta; the entries also fold
   /// into the parent scope.
@@ -71,9 +84,9 @@ class Transaction {
   // --- Change-tracked mutations --------------------------------------------
 
   Result<NodeId> CreateNode(const std::vector<LabelId>& labels,
-                            std::map<PropKeyId, Value> props);
+                            PropMap props);
   Result<RelId> CreateRel(NodeId src, RelTypeId type, NodeId dst,
-                          std::map<PropKeyId, Value> props);
+                          PropMap props);
 
   /// Deletes a node; if `detach`, first deletes all incident relationships
   /// (each recorded as its own deletion, as in Cypher DETACH DELETE).
@@ -173,6 +186,7 @@ class Transaction {
   uint64_t id_;
   State state_ = State::kActive;
   std::vector<GraphDelta> delta_stack_;
+  std::vector<GraphDelta> spare_scopes_;  // recycled (cleared) scopes
   std::vector<UndoOp> undo_log_;
   std::unordered_map<NodeId, DeletedNodeImage> ghost_nodes_;
   std::unordered_map<RelId, DeletedRelImage> ghost_rels_;
@@ -184,12 +198,24 @@ class TransactionManager {
  public:
   explicit TransactionManager(GraphStore* store) : store_(store) {}
 
-  /// Starts a transaction. Fails with FailedPrecondition if one is already
-  /// active (the engine serializes writers).
+  /// Starts a transaction — a pooled one when available (the finished
+  /// transaction banked by Release keeps its warm undo-log / delta-scope
+  /// buffers). Fails with FailedPrecondition if one is already active (the
+  /// engine serializes writers).
   Result<std::unique_ptr<Transaction>> Begin();
 
   /// Must be called with the active transaction after Commit/Rollback.
+  /// The ownership-taking overload banks the object for reuse by the next
+  /// Begin; the raw-pointer overload only clears the active slot.
   void Release(Transaction* tx);
+  void Release(std::unique_ptr<Transaction> tx);
+
+  /// Hands a spent transaction-level delta (TakeAccumulatedDelta output,
+  /// after AfterCommit processing) to the banked spare transaction, so the
+  /// next transaction's accumulated delta starts with warm buffers.
+  void RecycleDelta(GraphDelta&& d) {
+    if (spare_ != nullptr) spare_->RecycleDelta(std::move(d));
+  }
 
   uint64_t committed_count() const { return committed_; }
   void NoteCommit() { ++committed_; }
@@ -199,6 +225,7 @@ class TransactionManager {
   uint64_t next_id_ = 1;
   uint64_t committed_ = 0;
   Transaction* active_ = nullptr;
+  std::unique_ptr<Transaction> spare_;  // finished tx banked for reuse
 };
 
 }  // namespace pgt

@@ -32,28 +32,32 @@ TriggerDef ParseDef(const std::string& ddl) {
 std::string Describe(const Activation& act) {
   std::ostringstream os;
   os << act.trigger->name << "{";
-  for (const auto& [name, v] : act.env.singles) {
-    os << "s:" << name << "=" << v.ToString() << ";";
+  for (const auto& [var, v] : act.env.singles) {
+    os << "s:" << cypher::TransVars::Name(var) << "=" << v.ToString() << ";";
   }
-  for (const auto& [name, sb] : act.env.sets) {
-    os << "S:" << name << (sb.is_node ? ":n[" : ":r[");
+  for (const auto& [var, sb] : act.env.sets) {
+    os << "S:" << cypher::TransVars::Name(var) << (sb.is_node ? ":n[" : ":r[");
     for (uint64_t id : sb.ids) os << id << ",";
     os << "];";
   }
-  for (const std::string& name : act.env.old_view_vars) {
-    os << "o:" << name << ";";
+  for (cypher::TransVarId var : act.env.old_view_vars) {
+    os << "o:" << cypher::TransVars::Name(var) << ";";
   }
-  auto overlay = [&os](const char* tag, const auto& m) {
-    std::vector<uint64_t> ids;
-    for (const auto& [id, props] : m) ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    for (uint64_t id : ids) {
-      os << tag << id << "{";
-      for (const auto& [key, v] : m.at(id)) {
-        os << key << "=" << v.ToString() << ",";
+  // Sealed overlays are sorted by (item, key) already.
+  auto overlay = [&os](const char* tag,
+                       const std::vector<cypher::TransitionEnv::OldImage>& m) {
+    uint64_t current = 0;
+    bool open = false;
+    for (const cypher::TransitionEnv::OldImage& e : m) {
+      if (!open || e.item != current) {
+        if (open) os << "};";
+        os << tag << e.item << "{";
+        current = e.item;
+        open = true;
       }
-      os << "};";
+      os << e.key << "=" << e.value.ToString() << ",";
     }
+    if (open) os << "};";
   };
   overlay("On:", act.env.old_node_props);
   overlay("Or:", act.env.old_rel_props);
@@ -99,7 +103,7 @@ std::vector<std::string> FiringLog(Database& db) {
   std::vector<std::string> out;
   auto r = db.Execute("MATCH (l:Log) RETURN l.t");
   EXPECT_TRUE(r.ok()) << r.status();
-  for (const auto& row : r->rows) out.push_back(row[0].string_value());
+  for (const auto& row : r->rows) out.emplace_back(row[0].string_value());
   return out;
 }
 
@@ -362,7 +366,7 @@ TEST_F(RelDeltaLifetime, CreateEventOnRelDeletedInSameDelta) {
   delta.created_rels.push_back(RelId{977});
   auto acts = db_.engine().MatchActivations(def, delta);
   ASSERT_EQ(acts.size(), 1u);
-  EXPECT_TRUE(acts[0].env.singles.count("NEW"));
+  EXPECT_NE(acts[0].env.FindSingle("NEW"), nullptr);
 }
 
 TEST_F(RelDeltaLifetime, SetEventOnRelDeletedInSameDelta) {

@@ -46,7 +46,7 @@ TEST_F(EngineEventsTest, CreateNodeEvent) {
   auto acts = db_.engine().MatchActivations(def, delta);
   ASSERT_EQ(acts.size(), 2u);
   // NEW bound as single and as pseudo-set.
-  EXPECT_TRUE(acts[0].env.singles.count("NEW"));
+  EXPECT_NE(acts[0].env.FindSingle("NEW"), nullptr);
   EXPECT_NE(acts[0].env.FindSet("NEW"), nullptr);
   EXPECT_TRUE(acts[0].env.old_view_vars.empty());
 }
@@ -72,8 +72,8 @@ TEST_F(EngineEventsTest, DeleteNodeEventUsesImages) {
   GraphDelta delta = RunAndCapture(db_, "MATCH (a:A) DELETE a");
   auto acts = db_.engine().MatchActivations(def, delta);
   ASSERT_EQ(acts.size(), 2u);
-  EXPECT_TRUE(acts[0].env.singles.count("OLD"));
-  EXPECT_EQ(acts[0].env.old_view_vars.count("OLD"), 1u);
+  EXPECT_NE(acts[0].env.FindSingle("OLD"), nullptr);
+  EXPECT_TRUE(acts[0].env.IsOldView("OLD"));
 }
 
 TEST_F(EngineEventsTest, CreateAndDeleteRelEvents) {
@@ -111,11 +111,11 @@ TEST_F(EngineEventsTest, SetPropertyEventCarriesOldAndNew) {
   GraphDelta delta = RunAndCapture(db_, "MATCH (n:L) SET n.p = 2");
   auto acts = db_.engine().MatchActivations(def, delta);
   ASSERT_EQ(acts.size(), 1u);
-  EXPECT_TRUE(acts[0].env.singles.count("OLD"));
-  EXPECT_TRUE(acts[0].env.singles.count("NEW"));
+  EXPECT_NE(acts[0].env.FindSingle("OLD"), nullptr);
+  EXPECT_NE(acts[0].env.FindSingle("NEW"), nullptr);
   const auto& overlay = acts[0].env.old_node_props;
   ASSERT_EQ(overlay.size(), 1u);
-  EXPECT_EQ(overlay.begin()->second.begin()->second.int_value(), 1);
+  EXPECT_EQ(overlay.front().value.int_value(), 1);
 }
 
 TEST_F(EngineEventsTest, SetPropertyFiltersByKeyAndLabel) {
@@ -139,12 +139,10 @@ TEST_F(EngineEventsTest, RemovePropertyEventIsOldOnly) {
   GraphDelta delta = RunAndCapture(db_, "MATCH (n:L) REMOVE n.p");
   auto acts = db_.engine().MatchActivations(def, delta);
   ASSERT_EQ(acts.size(), 1u);
-  EXPECT_TRUE(acts[0].env.singles.count("OLD"));
-  EXPECT_FALSE(acts[0].env.singles.count("NEW"));
+  EXPECT_NE(acts[0].env.FindSingle("OLD"), nullptr);
+  EXPECT_EQ(acts[0].env.FindSingle("NEW"), nullptr);
   // Old value readable through the overlay.
-  EXPECT_EQ(acts[0].env.old_node_props.begin()->second.begin()->second
-                .int_value(),
-            7);
+  EXPECT_EQ(acts[0].env.old_node_props.front().value.int_value(), 7);
 }
 
 TEST_F(EngineEventsTest, RelPropertyEvents) {
@@ -173,7 +171,7 @@ TEST_F(EngineEventsTest, LabelSetEventMonitoredSemantics) {
   GraphDelta delta = RunAndCapture(db_, "MATCH (p:P) SET p:Flagged");
   auto acts = db_.engine().MatchActivations(def, delta);
   ASSERT_EQ(acts.size(), 1u);
-  EXPECT_TRUE(acts[0].env.singles.count("NEW"));
+  EXPECT_NE(acts[0].env.FindSingle("NEW"), nullptr);
   // Setting an unrelated label does not fire.
   GraphDelta other = RunAndCapture(db_, "MATCH (p:P) SET p:Other");
   EXPECT_TRUE(db_.engine().MatchActivations(def, other).empty());
@@ -187,7 +185,7 @@ TEST_F(EngineEventsTest, LabelRemoveEventMonitoredSemantics) {
   GraphDelta delta = RunAndCapture(db_, "MATCH (p:P) REMOVE p:Flagged");
   auto acts = db_.engine().MatchActivations(def, delta);
   ASSERT_EQ(acts.size(), 1u);
-  EXPECT_TRUE(acts[0].env.singles.count("OLD"));
+  EXPECT_NE(acts[0].env.FindSingle("OLD"), nullptr);
 }
 
 TEST_F(EngineEventsTest, LabelEventTargetSetChangeSemantics) {
@@ -249,9 +247,7 @@ TEST_F(EngineEventsTest, SetGranularityOverlayKeepsFirstOldValue) {
       RunAndCapture(db_, "MATCH (n:L) SET n.p = 2 SET n.p = 3");
   auto acts = db_.engine().MatchActivations(def, delta);
   ASSERT_EQ(acts.size(), 1u);
-  EXPECT_EQ(acts[0].env.old_node_props.begin()->second.begin()->second
-                .int_value(),
-            1);
+  EXPECT_EQ(acts[0].env.old_node_props.front().value.int_value(), 1);
   EXPECT_EQ(acts[0].env.FindSet("NEWNODES")->ids.size(), 1u);  // deduped
 }
 

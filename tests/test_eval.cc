@@ -37,7 +37,7 @@ class EvalTest : public ::testing::Test {
   TransactionManager manager_;
   std::unique_ptr<Transaction> tx_;
   LogicalClock clock_{1000};
-  std::map<std::string, Value> params_;
+  Params params_;
   Row row_;
   EvalContext ctx_;
 };
@@ -250,10 +250,11 @@ TEST_F(EvalTest, OldViewOverlayReadsOldPropertyValue) {
                               {{k, Value::Int(2)}})
                   .value();
   TransitionEnv env;
-  env.singles["OLD"] = Value::Node(id);
-  env.singles["NEW"] = Value::Node(id);
-  env.old_view_vars.insert("OLD");
-  env.old_node_props[id.value][k] = Value::Int(1);
+  env.SetSingle("OLD", Value::Node(id));
+  env.SetSingle("NEW", Value::Node(id));
+  env.MarkOldView("OLD");
+  env.AddOldNodeProp(id.value, k, Value::Int(1));
+  env.Seal();
   ctx_.transition = &env;
   row_.Set("OLD", Value::Node(id));
   row_.Set("NEW", Value::Node(id));

@@ -500,7 +500,7 @@ class ScanPlanTest : public ::testing::Test {
   TransactionManager manager_;
   std::unique_ptr<Transaction> tx_;
   LogicalClock clock_;
-  std::map<std::string, Value> params_;
+  Params params_;
   cypher::EvalContext ctx_;
 };
 

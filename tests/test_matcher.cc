@@ -22,7 +22,7 @@ class MatcherTest : public ::testing::Test {
 
   NodeId Node(const std::string& label,
               std::map<std::string, Value> props = {}) {
-    std::map<PropKeyId, Value> p;
+    PropMap p;
     for (auto& [k, v] : props) p[store_.InternPropKey(k)] = v;
     return store_.CreateNode({store_.InternLabel(label)}, std::move(p));
   }
@@ -49,7 +49,7 @@ class MatcherTest : public ::testing::Test {
   TransactionManager manager_;
   std::unique_ptr<Transaction> tx_;
   LogicalClock clock_;
-  std::map<std::string, Value> params_;
+  Params params_;
   EvalContext ctx_;
 };
 
@@ -181,7 +181,7 @@ TEST_F(MatcherTest, TransitionPseudoLabel) {
   NodeId a = Node("P");
   Node("P");
   TransitionEnv env;
-  env.sets["NEWNODES"] = {true, {a.value}};
+  env.MutableSet("NEWNODES", true).ids = {a.value};
   ctx_.transition = &env;
   std::vector<Row> rows = Match("(pn:NEWNODES)");
   ASSERT_EQ(rows.size(), 1u);
@@ -194,7 +194,7 @@ TEST_F(MatcherTest, TransitionPseudoLabel) {
 TEST_F(MatcherTest, PseudoLabelOfRelSetNeverMatchesNodes) {
   Node("P");
   TransitionEnv env;
-  env.sets["NEWRELS"] = {false, {0}};
+  env.MutableSet("NEWRELS", false).ids = {0};
   ctx_.transition = &env;
   EXPECT_TRUE(Match("(x:NEWRELS)").empty());
 }
@@ -205,7 +205,7 @@ TEST_F(MatcherTest, DeletedNodesInOldSetMatchButDoNotTraverse) {
   Rel(a, "R", b);
   ASSERT_TRUE(tx_->DeleteNode(a, /*detach=*/true).ok());
   TransitionEnv env;
-  env.sets["OLDNODES"] = {true, {a.value}};
+  env.MutableSet("OLDNODES", true).ids = {a.value};
   ctx_.transition = &env;
   EXPECT_EQ(Match("(x:OLDNODES)").size(), 1u);       // ghost matches
   EXPECT_TRUE(Match("(x:OLDNODES)-[:R]-(y)").empty());  // no traversal

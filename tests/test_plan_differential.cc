@@ -36,7 +36,7 @@ std::vector<std::string> FiringLog(Database& db) {
   std::vector<std::string> out;
   auto r = db.Execute("MATCH (l:Log) RETURN l.t");
   EXPECT_TRUE(r.ok()) << r.status();
-  for (const auto& row : r->rows) out.push_back(row[0].string_value());
+  for (const auto& row : r->rows) out.emplace_back(row[0].string_value());
   return out;
 }
 
@@ -397,6 +397,34 @@ TEST(PlanDifferential, ConstInProbeNanSemanticsIdentical) {
     auto ri = interpreted.Execute(q);
     ASSERT_EQ(rc.ok(), ri.ok()) << q;
     if (rc.ok()) EXPECT_EQ(rc->ToTable(), ri->ToTable()) << q;
+  }
+}
+
+// An inline-prop equality probe lets the compiled matcher skip the
+// per-candidate re-check — but only when index band equality provably
+// coincides with Equals. Beyond 2^53 two distinct int64 keys collapse to
+// the same double band, so the re-check must stay and both paths must
+// agree (the interpreter always re-checks).
+TEST(PlanDifferential, IndexProbeHugeIntBandsIdentical) {
+  Database compiled(Options(true));
+  Database interpreted(Options(false));
+  const int64_t big = (int64_t{1} << 53);
+  for (Database* db : {&compiled, &interpreted}) {
+    ASSERT_TRUE(db->Execute("CREATE INDEX ON :K(v)").ok());
+    for (int64_t v : {big, big + 1, big + 2}) {
+      ASSERT_TRUE(db->Execute("CREATE (:K {v: " + std::to_string(v) + "})")
+                      .ok());
+    }
+  }
+  for (int64_t v : {big, big + 1, int64_t{7}}) {
+    const std::string q = "MATCH (k:K {v: " + std::to_string(v) +
+                          "}) RETURN COUNT(k) AS c";
+    auto rc = compiled.Execute(q);
+    auto ri = interpreted.Execute(q);
+    ASSERT_TRUE(rc.ok() && ri.ok()) << q;
+    EXPECT_EQ(rc->ToTable(), ri->ToTable()) << q;
+    // Exactly the one matching node, never its band neighbors.
+    if (v >= big) EXPECT_EQ(rc->rows[0][0].int_value(), 1) << q;
   }
 }
 

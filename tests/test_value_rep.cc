@@ -1,0 +1,274 @@
+// Representation-boundary tests for the compact SSO Value (docs/values.md):
+// the observable semantics (Equals / TotalCompare / ToString) must be
+// identical to the previous std::variant representation at every boundary
+// the new layout introduces — the SSO threshold, the shared heap payloads,
+// and the numeric edge cases the total order is defined over.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/value.h"
+
+namespace pgt {
+namespace {
+
+// The whole point of the rewrite: a Value is a 16-byte payload + tag +
+// inline length, never more.
+static_assert(sizeof(Value) <= 24, "Value must stay a compact tagged union");
+static_assert(Value::kSsoCapacity == 16, "SSO threshold documented as 16");
+
+std::string StrOfLen(size_t n, char fill = 'x') {
+  return std::string(n, fill);
+}
+
+TEST(ValueRep, SsoThresholdBoundaries) {
+  // N-1 / N / N+1 around the inline capacity: all must round-trip bytes
+  // exactly and compare as plain strings.
+  for (size_t len : {size_t{0}, size_t{1}, Value::kSsoCapacity - 1,
+                     Value::kSsoCapacity, Value::kSsoCapacity + 1,
+                     size_t{100}}) {
+    const std::string s = StrOfLen(len, 'a');
+    const Value v = Value::String(s);
+    ASSERT_TRUE(v.is_string()) << len;
+    EXPECT_EQ(v.string_value(), s) << len;
+    EXPECT_EQ(v.string_value().size(), len);
+    EXPECT_EQ(v.ToString(), "'" + s + "'") << len;
+
+    // Copies are equal and independent of the original's lifetime.
+    Value copy = v;
+    EXPECT_TRUE(copy.Equals(v));
+    EXPECT_EQ(copy.TotalCompare(v), 0);
+    EXPECT_EQ(copy.string_value(), s);
+  }
+}
+
+TEST(ValueRep, SsoAndHeapStringsCompareIdentically) {
+  // Comparison crosses the representation boundary: a 16-char inline
+  // string against a 17-char heap string orders by content, not by rep.
+  const Value inl = Value::String(StrOfLen(Value::kSsoCapacity, 'a'));
+  const Value heap = Value::String(StrOfLen(Value::kSsoCapacity + 1, 'a'));
+  EXPECT_LT(inl.TotalCompare(heap), 0);  // "aa..a" < "aa..aa"
+  EXPECT_GT(heap.TotalCompare(inl), 0);
+  EXPECT_FALSE(inl.Equals(heap));
+
+  const Value heap2 = Value::String(StrOfLen(Value::kSsoCapacity + 1, 'a'));
+  EXPECT_TRUE(heap.Equals(heap2));
+  EXPECT_EQ(heap.TotalCompare(heap2), 0);
+}
+
+TEST(ValueRep, HeapStringsShareAfterCopy) {
+  const Value v = Value::String(StrOfLen(40, 'q'));
+  const Value copy = v;
+  // Shared payload: same bytes, same address (refcount bump, no deep copy).
+  EXPECT_EQ(copy.string_value().data(), v.string_value().data());
+}
+
+TEST(ValueRep, ListAndMapAliasAfterCopy) {
+  Value::List items;
+  items.push_back(Value::Int(1));
+  items.push_back(Value::String("status-updated-ok"));
+  const Value list = Value::MakeList(std::move(items));
+  const Value list_copy = list;
+  EXPECT_EQ(&list_copy.list_value(), &list.list_value());
+  EXPECT_TRUE(list_copy.Equals(list));
+  EXPECT_EQ(list_copy.TotalCompare(list), 0);
+
+  Value::Map m;
+  m["k"] = Value::Int(7);
+  m["long-key-name"] = Value::String(StrOfLen(30));
+  const Value map = Value::MakeMap(std::move(m));
+  const Value map_copy = map;
+  EXPECT_EQ(&map_copy.map_value(), &map.map_value());
+  EXPECT_TRUE(map_copy.Equals(map));
+  EXPECT_EQ(map_copy.ToString(), map.ToString());
+}
+
+TEST(ValueRep, MoveLeavesNull) {
+  Value v = Value::String(StrOfLen(40));
+  Value moved = std::move(v);
+  EXPECT_TRUE(moved.is_string());
+  EXPECT_TRUE(v.is_null());  // NOLINT(bugprone-use-after-move): asserted
+
+  Value lv = Value::MakeList({Value::Int(1)});
+  Value lmoved = std::move(lv);
+  EXPECT_TRUE(lmoved.is_list());
+  EXPECT_TRUE(lv.is_null());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ValueRep, EqualsParityAcrossAllTypes) {
+  // One representative per ValueType; pairwise Equals must be an equality
+  // on (type modulo numeric coercion, payload).
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Int(42),
+      Value::Double(42.0),
+      Value::String("answer"),
+      Value::MakeList({Value::Int(1), Value::Int(2)}),
+      Value::MakeMap({}),
+      Value::MakeDate(19000),
+      Value::MakeDateTime(1'000'000),
+      Value::Node(NodeId{7}),
+      Value::Rel(RelId{7}),
+  };
+  for (size_t i = 0; i < values.size(); ++i) {
+    for (size_t j = 0; j < values.size(); ++j) {
+      const bool expect_equal =
+          i == j || (values[i].is_numeric() && values[j].is_numeric() &&
+                     values[i].as_double() == values[j].as_double());
+      EXPECT_EQ(values[i].Equals(values[j]), expect_equal)
+          << values[i].ToString() << " vs " << values[j].ToString();
+      if (expect_equal) {
+        EXPECT_EQ(values[i].TotalCompare(values[j]), 0);
+      }
+    }
+  }
+  // Node and relationship ids never compare equal across kinds.
+  EXPECT_FALSE(Value::Node(NodeId{7}).Equals(Value::Rel(RelId{7})));
+}
+
+TEST(ValueRep, TotalOrderTypeRanks) {
+  // bool < numeric < string < date < datetime < node < rel < list < map
+  // < NULL (NULL sorts last) — byte-identical to the old TypeRank table.
+  const std::vector<Value> ordered = {
+      Value::Bool(false),
+      Value::Int(5),
+      Value::String("s"),
+      Value::MakeDate(1),
+      Value::MakeDateTime(1),
+      Value::Node(NodeId{1}),
+      Value::Rel(RelId{1}),
+      Value::MakeList({}),
+      Value::MakeMap({}),
+      Value::Null(),
+  };
+  for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+    EXPECT_LT(ordered[i].TotalCompare(ordered[i + 1]), 0)
+        << ordered[i].ToString() << " !< " << ordered[i + 1].ToString();
+    EXPECT_GT(ordered[i + 1].TotalCompare(ordered[i]), 0);
+  }
+}
+
+TEST(ValueRep, NumericCoercionOrdering) {
+  EXPECT_LT(Value::Int(1).TotalCompare(Value::Double(1.5)), 0);
+  EXPECT_LT(Value::Double(1.5).TotalCompare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(3).TotalCompare(Value::Double(3.0)), 0);
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  // Huge int64 values compare exactly int-vs-int.
+  EXPECT_LT(Value::Int((1LL << 62) + 0).TotalCompare(
+                Value::Int((1LL << 62) + 1)),
+            0);
+}
+
+TEST(ValueRep, NanAndSignedZeroSemantics) {
+  const double nan = std::nan("");
+  // NaN: unordered under CompareDoubles, which reports 0 — the historical
+  // behavior the compiled IN-probe explicitly guards against (see
+  // ProbeSafeScalar). Locked here so the rep change cannot shift it.
+  EXPECT_EQ(Value::Double(nan).TotalCompare(Value::Double(nan)), 0);
+  EXPECT_EQ(Value::Double(nan).TotalCompare(Value::Double(1.0)), 0);
+  EXPECT_FALSE(Value::Double(nan).Equals(Value::Double(nan)));  // IEEE
+
+  // Signed zero: +0.0 and -0.0 are the same value everywhere.
+  EXPECT_TRUE(Value::Double(0.0).Equals(Value::Double(-0.0)));
+  EXPECT_EQ(Value::Double(0.0).TotalCompare(Value::Double(-0.0)), 0);
+  EXPECT_TRUE(Value::Int(0).Equals(Value::Double(-0.0)));
+  EXPECT_EQ(Value::Double(-0.0).ToString(), "0.0");
+}
+
+TEST(ValueRep, ToStringParity) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::MakeDate(3).ToString(), "date(3)");
+  EXPECT_EQ(Value::MakeDateTime(9).ToString(), "datetime(9)");
+  EXPECT_EQ(Value::Node(NodeId{4}).ToString(), "#n4");
+  EXPECT_EQ(Value::Rel(RelId{6}).ToString(), "#r6");
+  EXPECT_EQ(
+      Value::MakeList({Value::Int(1), Value::String("a")}).ToString(),
+      "[1, 'a']");
+  Value::Map m;
+  m["a"] = Value::Int(1);
+  m["b"] = Value::String("x");
+  EXPECT_EQ(Value::MakeMap(std::move(m)).ToString(), "{a: 1, b: 'x'}");
+}
+
+TEST(ValueRep, AssignmentOverwritesEveryRepCombination) {
+  // Assigning across representation classes must release/retain payloads
+  // correctly (exercised further under ASan in CI).
+  std::vector<Value> reps = {
+      Value::Null(), Value::Int(1), Value::String("short"),
+      Value::String(StrOfLen(40)), Value::MakeList({Value::Int(1)}),
+      Value::MakeMap({})};
+  for (const Value& a : reps) {
+    for (const Value& b : reps) {
+      Value x = a;
+      x = b;  // copy-assign over a's rep
+      EXPECT_TRUE(x.Equals(b));
+      Value y = a;
+      Value b2 = b;
+      y = std::move(b2);  // move-assign over a's rep
+      EXPECT_TRUE(y.Equals(b));
+      // Self-assignment keeps the value intact.
+      Value z = a;
+      z = *&z;
+      EXPECT_TRUE(z.Equals(a));
+    }
+  }
+}
+
+TEST(ValueRep, SelfAliasedAssignmentFromOwnPayload) {
+  // Assigning a Value from within its own payload must not read freed
+  // memory even when the assignment drops the last reference to the
+  // container (caught by ASan in CI).
+  Value outer = Value::MakeList({Value::MakeList({Value::Int(42)})});
+  outer = outer.list_value()[0];
+  ASSERT_TRUE(outer.is_list());
+  EXPECT_EQ(outer.list_value()[0].int_value(), 42);
+
+  Value::Map inner;
+  inner["k"] = Value::String(StrOfLen(40, 'm'));
+  Value m = Value::MakeMap({{"outer", Value::MakeMap(std::move(inner))}});
+  m = m.map_value().at("outer");
+  ASSERT_TRUE(m.is_map());
+  EXPECT_EQ(m.map_value().at("k").string_value(), StrOfLen(40, 'm'));
+
+  // Move-assign from own payload.
+  Value lst = Value::MakeList({Value::String(StrOfLen(33, 'z'))});
+  Value elem = lst.list_value()[0];
+  lst = std::move(elem);
+  EXPECT_EQ(lst.string_value(), StrOfLen(33, 'z'));
+}
+
+TEST(ValueRep, SharedPayloadNanListStillUnequal) {
+  // Two Values sharing one list payload containing NaN compare element
+  // wise: NaN != NaN, so the lists are not Equals — identical to the
+  // pre-SSO representation (no pointer-equality shortcut).
+  const Value l = Value::MakeList({Value::Double(std::nan(""))});
+  const Value copy = l;
+  ASSERT_EQ(&copy.list_value(), &l.list_value());  // shared payload
+  EXPECT_FALSE(l.Equals(copy));
+  EXPECT_FALSE(l.Equals(l));
+}
+
+TEST(ValueRep, MapTransparentLookup) {
+  Value::Map m;
+  m["key-one"] = Value::Int(1);
+  const Value v = Value::MakeMap(std::move(m));
+  // Heterogeneous find: a string_view key probes without materializing a
+  // std::string (this is what map indexing through Value::string_value()
+  // relies on).
+  const std::string_view key = "key-one";
+  auto it = v.map_value().find(key);
+  ASSERT_NE(it, v.map_value().end());
+  EXPECT_EQ(it->second.int_value(), 1);
+}
+
+}  // namespace
+}  // namespace pgt
