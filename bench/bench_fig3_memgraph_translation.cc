@@ -72,7 +72,8 @@ int main() {
     delta.assigned_labels.push_back(LabelChange{b, store.InternLabel("X")});
     delta.deleted_nodes.push_back(DeletedNodeImage{b, {}, {}});
     cypher::Row vars =
-        emul::MemgraphEmulator::BuildPredefinedVars(delta, store);
+        emul::MemgraphEmulator::BuildPredefinedVars(delta,
+                                                    StoreView::Live(store));
     std::printf("Table 4 predefined variables (%zu bound):\n",
                 vars.cols.size());
     for (const auto& [name, value] : vars.cols) {

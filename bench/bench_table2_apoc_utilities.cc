@@ -28,7 +28,8 @@ Params CaptureParams(Database& db, const std::string& statement) {
   }
   GraphDelta delta = tx->PopDeltaScope();
   (void)db.CommitWithTriggers(std::move(tx));
-  return emul::ApocEmulator::BuildUtilityParams(delta, db.store());
+  return emul::ApocEmulator::BuildUtilityParams(delta,
+                                                StoreView::Live(db.store()));
 }
 
 size_t PayloadSize(const Value& v) {

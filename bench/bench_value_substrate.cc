@@ -234,6 +234,30 @@ Measurement BenchFiring(Database& db, long long n) {
   return m;
 }
 
+// --- read-only statement routing --------------------------------------------
+
+/// The same index-probed read statement through the txless fast path
+/// (Execute classifies it read-only and skips transaction setup, delta
+/// scopes, the trigger round, and commit processing) and through a
+/// one-statement transaction (ExecuteTx — the shape every read paid before
+/// the snapshot-substrate PR). The allocs/op delta is the removed
+/// transaction machinery.
+Measurement BenchReadQuery(Database& db, long long n, bool fast_path) {
+  const std::string stmt =
+      "MATCH (a:Acct {id: $id}) RETURN a.bal AS b, a.status AS s";
+  Params params{{"id", Value::Int(0)}};
+  return Measure(fast_path ? "read_query_fast" : "read_query_tx", n,
+                 [&](long long i) {
+                   params["id"] = Value::Int(i % kAccts);
+                   if (fast_path) {
+                     MustExec(db, stmt, params);
+                   } else {
+                     auto r = db.ExecuteTx({stmt}, params);
+                     if (!r.ok()) std::abort();
+                   }
+                 });
+}
+
 void WriteJson(const char* path, const std::vector<Measurement>& ms) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -298,6 +322,13 @@ int Main(int argc, char** argv) {
     SeedFiringDb(db);
     Measurement firing = BenchFiring(db, smoke ? 200 : 20000);
     ms.push_back(firing);
+  }
+
+  {
+    Database db;
+    SeedFiringDb(db);
+    ms.push_back(BenchReadQuery(db, smoke ? 200 : 20000, /*fast_path=*/false));
+    ms.push_back(BenchReadQuery(db, smoke ? 200 : 20000, /*fast_path=*/true));
   }
 
   std::printf("%-12s %14s %14s %12s\n", "workload", "ns/op", "allocs/op",

@@ -1,11 +1,22 @@
 #ifndef PGTRIGGERS_COMMON_STR_UTIL_H_
 #define PGTRIGGERS_COMMON_STR_UTIL_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace pgt {
+
+/// Transparent string hash for heterogeneous unordered_map lookup: probe
+/// with a string_view / const char* without materializing a std::string.
+/// Pair with std::equal_to<>.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// ASCII-uppercased copy (for case-insensitive keyword handling).
 std::string ToUpper(std::string_view s);

@@ -508,4 +508,19 @@ Query CloneQuery(const Query& q) {
   return out;
 }
 
+bool IsReadOnlyQuery(const Query& q) {
+  for (const ClausePtr& c : q.clauses) {
+    switch (c->kind) {
+      case Clause::Kind::kMatch:
+      case Clause::Kind::kUnwind:
+      case Clause::Kind::kWith:
+      case Clause::Kind::kReturn:
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace pgt::cypher

@@ -226,6 +226,14 @@ struct Query {
   std::vector<ClausePtr> clauses;
 };
 
+/// True iff the query cannot mutate the graph: every clause is MATCH /
+/// UNWIND / WITH / RETURN. CALL is conservatively treated as writing
+/// (procedures may mutate), as are CREATE / MERGE / SET / REMOVE / DELETE /
+/// FOREACH. Read-only statements run without a transaction: Database
+/// routes them through the txless read path (live or snapshot StoreView),
+/// skipping transaction setup, trigger rounds, and commit processing.
+bool IsReadOnlyQuery(const Query& q);
+
 // --- Unparsing ----------------------------------------------------------------
 
 /// Variable rename map used when unparsing (the APOC/Memgraph translators

@@ -55,13 +55,13 @@ bool ContainsAggregate(const Expr& e) {
 }
 
 Value ReadItemProp(EvalContext& ctx, const Value& item, PropKeyId key) {
-  if (item.is_node()) return ctx.tx->ReadNodeProp(item.node_id(), key);
-  if (item.is_rel()) return ctx.tx->ReadRelProp(item.rel_id(), key);
+  if (item.is_node()) return ctx.ReadNodeProp(item.node_id(), key);
+  if (item.is_rel()) return ctx.ReadRelProp(item.rel_id(), key);
   return Value::Null();
 }
 
 std::vector<LabelId> ReadItemLabels(EvalContext& ctx, const Value& item) {
-  if (item.is_node()) return ctx.tx->ReadNodeLabels(item.node_id());
+  if (item.is_node()) return ctx.ReadNodeLabels(item.node_id());
   return {};
 }
 

@@ -18,6 +18,7 @@
 #include "src/common/value.h"
 #include "src/cypher/ast.h"
 #include "src/cypher/transition_vars.h"
+#include "src/storage/store_view.h"
 #include "src/tx/transaction.h"
 
 namespace pgt {
@@ -222,10 +223,19 @@ class ProcedureRegistry;
 
 /// Everything expression evaluation / matching / execution needs.
 /// Non-owning: the Database wires the pieces together.
+///
+/// Reads flow through `view` (src/storage/store_view.h): a zero-cost
+/// LiveView for the writer / trigger path, or a SnapshotView pinned to a
+/// committed epoch for lock-free reader threads (Database::QueryAt). The
+/// ghost-aware Read* helpers consult the transaction's deleted-item images
+/// first when a transaction is present; snapshot contexts have tx ==
+/// nullptr (they are read-only by construction) and resolve directly
+/// against the pinned view.
 struct EvalContext {
-  Transaction* tx = nullptr;
+  Transaction* tx = nullptr;  // null for read-only (txless) execution
+  mutable StoreView view;     // lazily derived from tx when unset
   const Params* params = nullptr;
-  LogicalClock* clock = nullptr;
+  LogicalClock* clock = nullptr;  // null in snapshot contexts
   const TransitionEnv* transition = nullptr;
   ProcedureRegistry* procedures = nullptr;
 
@@ -234,7 +244,42 @@ struct EvalContext {
   /// trigger statement may not set/remove its target label.
   std::function<Status(LabelId, bool /*is_set*/)> label_write_guard;
 
-  GraphStore* store() const { return tx->store(); }
+  /// The read view. Contexts built around a transaction may omit `view`;
+  /// it is derived (once) as the live view of the transaction's store.
+  const StoreView* store() const {
+    if (!view.valid() && tx != nullptr) {
+      view = StoreView::Live(*tx->store());
+    }
+    return &view;
+  }
+
+  // --- Ghost-aware reads (shared by evaluator / matcher / executors) -------
+
+  Value ReadNodeProp(NodeId id, PropKeyId key) const {
+    if (tx != nullptr) return tx->ReadNodeProp(id, key);
+    return store()->NodeProp(id, key);
+  }
+  Value ReadRelProp(RelId id, PropKeyId key) const {
+    if (tx != nullptr) return tx->ReadRelProp(id, key);
+    return store()->RelProp(id, key);
+  }
+  std::vector<LabelId> ReadNodeLabels(NodeId id) const {
+    if (tx != nullptr) return tx->ReadNodeLabels(id);
+    const std::vector<LabelId>* labels = store()->NodeLabels(id);
+    return labels != nullptr ? *labels : std::vector<LabelId>{};
+  }
+  /// Zero-copy labels (see Transaction::ReadNodeLabelsView); nullptr when
+  /// the node is unreadable in this context.
+  const std::vector<LabelId>* ReadNodeLabelsView(NodeId id) const {
+    if (tx != nullptr) return tx->ReadNodeLabelsView(id);
+    return store()->NodeLabels(id);
+  }
+  const DeletedNodeImage* GhostNode(NodeId id) const {
+    return tx != nullptr ? tx->GhostNode(id) : nullptr;
+  }
+  const DeletedRelImage* GhostRel(RelId id) const {
+    return tx != nullptr ? tx->GhostRel(id) : nullptr;
+  }
 };
 
 /// Evaluates an expression in the given row. Aggregate calls are rejected

@@ -464,13 +464,13 @@ Result<Row> Executor::CreatePatternPart(const PatternPart& part, Row row) {
         return Status::InvalidArgument(
             "cannot CREATE with transition pseudo-label " + l);
       }
-      labels.push_back(ctx_.store()->InternLabel(l));
+      labels.push_back(ctx_.tx->store()->InternLabel(l));
     }
     PropMap props;
     for (const auto& [k, expr] : np.props) {
       PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, r, ctx_));
       if (v.is_null()) continue;
-      props[ctx_.store()->InternPropKey(k)] = std::move(v);
+      props[ctx_.tx->store()->InternPropKey(k)] = std::move(v);
     }
     PGT_ASSIGN_OR_RETURN(NodeId id, ctx_.tx->CreateNode(labels,
                                                         std::move(props)));
@@ -497,9 +497,9 @@ Result<Row> Executor::CreatePatternPart(const PatternPart& part, Row row) {
     for (const auto& [k, expr] : rp.props) {
       PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, row, ctx_));
       if (v.is_null()) continue;
-      props[ctx_.store()->InternPropKey(k)] = std::move(v);
+      props[ctx_.tx->store()->InternPropKey(k)] = std::move(v);
     }
-    const RelTypeId type = ctx_.store()->InternRelType(rp.types[0]);
+    const RelTypeId type = ctx_.tx->store()->InternRelType(rp.types[0]);
     const NodeId src =
         rp.direction == PatternDirection::kLeftToRight ? prev : next;
     const NodeId dst =
@@ -540,7 +540,7 @@ Status Executor::ApplySetItems(const std::vector<SetItem>& items,
       PGT_ASSIGN_OR_RETURN(Value target, EvalExpr(*item.target, row, ctx_));
       if (target.is_null()) continue;
       PGT_ASSIGN_OR_RETURN(Value v, EvalExpr(*item.value, row, ctx_));
-      const PropKeyId key = ctx_.store()->InternPropKey(item.prop);
+      const PropKeyId key = ctx_.tx->store()->InternPropKey(item.prop);
       if (target.is_node()) {
         PGT_RETURN_IF_ERROR(
             ctx_.tx->SetNodeProp(target.node_id(), key, std::move(v)));
@@ -567,7 +567,7 @@ Status Executor::ApplySetItems(const std::vector<SetItem>& items,
         return Status::TypeError("SET += requires a map value");
       }
       for (const auto& [k, v] : map.map_value()) {
-        const PropKeyId key = ctx_.store()->InternPropKey(k);
+        const PropKeyId key = ctx_.tx->store()->InternPropKey(k);
         if (target->is_node()) {
           PGT_RETURN_IF_ERROR(ctx_.tx->SetNodeProp(target->node_id(), key, v));
         } else {
@@ -585,7 +585,7 @@ Status Executor::ApplySetItems(const std::vector<SetItem>& items,
         return Status::TypeError("SET labels target must be a node");
       }
       for (const std::string& l : item.labels) {
-        const LabelId label = ctx_.store()->InternLabel(l);
+        const LabelId label = ctx_.tx->store()->InternLabel(l);
         if (ctx_.label_write_guard) {
           PGT_RETURN_IF_ERROR(ctx_.label_write_guard(label, /*is_set=*/true));
         }

@@ -56,7 +56,7 @@ Result<Value> CallBuiltin(const std::string& name,
       return FnTypeError(name, "requires a node", line, col);
     }
     Value::List out;
-    for (LabelId l : ctx.tx->ReadNodeLabels(args[0].node_id())) {
+    for (LabelId l : ctx.ReadNodeLabels(args[0].node_id())) {
       out.push_back(Value::String(ctx.store()->LabelName(l)));
     }
     return Value::MakeList(std::move(out));
@@ -67,9 +67,9 @@ Result<Value> CallBuiltin(const std::string& name,
     if (!args[0].is_rel()) {
       return FnTypeError(name, "requires a relationship", line, col);
     }
-    const RelRecord* r = ctx.store()->GetRel(args[0].rel_id());
-    if (r == nullptr) return Value::Null();
-    return Value::String(ctx.store()->RelTypeName(r->type));
+    const StoreView::RelInfo r = ctx.store()->Rel(args[0].rel_id());
+    if (!r.exists) return Value::Null();
+    return Value::String(ctx.store()->RelTypeName(r.type));
   }
   if (fn == "keys" || fn == "properties") {
     PGT_RETURN_IF_ERROR(arity(1));
@@ -77,17 +77,15 @@ Result<Value> CallBuiltin(const std::string& name,
     if (v.is_null()) return Value::Null();
     PropMap props;
     if (v.is_node()) {
-      const NodeRecord* rec = ctx.store()->GetNode(v.node_id());
-      if (rec != nullptr && rec->alive) {
-        props = rec->props;
-      } else if (const DeletedNodeImage* g = ctx.tx->GhostNode(v.node_id())) {
+      if (const PropMap* p = ctx.store()->NodeProps(v.node_id())) {
+        props = *p;
+      } else if (const DeletedNodeImage* g = ctx.GhostNode(v.node_id())) {
         props = g->props;
       }
     } else if (v.is_rel()) {
-      const RelRecord* rec = ctx.store()->GetRel(v.rel_id());
-      if (rec != nullptr && rec->alive) {
-        props = rec->props;
-      } else if (const DeletedRelImage* g = ctx.tx->GhostRel(v.rel_id())) {
+      if (const PropMap* p = ctx.store()->RelProps(v.rel_id())) {
+        props = *p;
+      } else if (const DeletedRelImage* g = ctx.GhostRel(v.rel_id())) {
         props = g->props;
       }
     } else if (v.is_map()) {
@@ -124,13 +122,13 @@ Result<Value> CallBuiltin(const std::string& name,
     if (!args[0].is_rel()) {
       return FnTypeError(name, "requires a relationship", line, col);
     }
-    const RelRecord* r = ctx.store()->GetRel(args[0].rel_id());
-    if (r == nullptr) {
-      const DeletedRelImage* g = ctx.tx->GhostRel(args[0].rel_id());
+    const StoreView::RelInfo r = ctx.store()->Rel(args[0].rel_id());
+    if (!r.exists) {
+      const DeletedRelImage* g = ctx.GhostRel(args[0].rel_id());
       if (g == nullptr) return Value::Null();
       return Value::Node(fn == "startnode" ? g->src : g->dst);
     }
-    return Value::Node(fn == "startnode" ? r->src : r->dst);
+    return Value::Node(fn == "startnode" ? r.src : r.dst);
   }
   if (fn == "exists") {
     PGT_RETURN_IF_ERROR(arity(1));
@@ -367,8 +365,20 @@ Result<Value> CallBuiltin(const std::string& name,
     return Value::String(fn == "left" ? s.substr(0, k)
                                       : s.substr(s.size() - k));
   }
+  // Clock-reading functions advance the logical clock and are therefore
+  // unavailable in clockless (snapshot) contexts, where statements must be
+  // side-effect free.
+  auto need_clock = [&]() -> Status {
+    if (ctx.clock != nullptr) return Status::OK();
+    return Status::FailedPrecondition(
+        name + "() requires a transactional clock and is not available in "
+               "snapshot reads");
+  };
   if (fn == "datetime") {
-    if (n == 0) return Value::MakeDateTime(ctx.clock->NextMicros());
+    if (n == 0) {
+      PGT_RETURN_IF_ERROR(need_clock());
+      return Value::MakeDateTime(ctx.clock->NextMicros());
+    }
     if (n == 1 && args[0].is_int()) {
       return Value::MakeDateTime(args[0].int_value());
     }
@@ -376,6 +386,7 @@ Result<Value> CallBuiltin(const std::string& name,
   }
   if (fn == "date") {
     if (n == 0) {
+      PGT_RETURN_IF_ERROR(need_clock());
       return Value::MakeDate(ctx.clock->PeekMicros() / 86'400'000'000LL);
     }
     if (n == 1 && args[0].is_int()) return Value::MakeDate(args[0].int_value());
@@ -383,6 +394,7 @@ Result<Value> CallBuiltin(const std::string& name,
   }
   if (fn == "timestamp") {
     PGT_RETURN_IF_ERROR(arity(0));
+    PGT_RETURN_IF_ERROR(need_clock());
     return Value::Int(ctx.clock->NextMicros());
   }
   return Status::NotFound("unknown function '" + name + "' at " +

@@ -59,7 +59,7 @@ bool InSet(const TransitionEnv::SetBinding& set, uint64_t id) {
 Result<bool> NodeMatches(const NodePattern& np, const LabelSplit& split,
                          NodeId id, const Row& row, EvalContext& ctx) {
   if (split.impossible) return false;
-  std::vector<LabelId> labels = ctx.tx->ReadNodeLabels(id);
+  std::vector<LabelId> labels = ctx.ReadNodeLabels(id);
   for (LabelId l : split.real) {
     if (!std::binary_search(labels.begin(), labels.end(), l)) return false;
   }
@@ -70,7 +70,7 @@ Result<bool> NodeMatches(const NodePattern& np, const LabelSplit& split,
     PGT_ASSIGN_OR_RETURN(Value want, EvalExpr(*expr, row, ctx));
     auto pk = ctx.store()->LookupPropKey(key);
     Value have =
-        pk.has_value() ? ctx.tx->ReadNodeProp(id, *pk) : Value::Null();
+        pk.has_value() ? ctx.ReadNodeProp(id, *pk) : Value::Null();
     if (want.is_null() || have.is_null() || !have.Equals(want)) return false;
   }
   return true;
@@ -78,13 +78,13 @@ Result<bool> NodeMatches(const NodePattern& np, const LabelSplit& split,
 
 Result<bool> RelMatches(const RelPattern& rp, RelId id, const Row& row,
                         EvalContext& ctx) {
-  const RelRecord* r = ctx.store()->GetRel(id);
-  if (r == nullptr) return false;
+  const StoreView::RelInfo r = ctx.store()->Rel(id);
+  if (!r.exists) return false;
   if (!rp.types.empty()) {
     bool any = false;
     for (const std::string& t : rp.types) {
       auto tid = ctx.store()->LookupRelType(t);
-      if (tid.has_value() && r->type == *tid) {
+      if (tid.has_value() && r.type == *tid) {
         any = true;
         break;
       }
@@ -95,7 +95,7 @@ Result<bool> RelMatches(const RelPattern& rp, RelId id, const Row& row,
     PGT_ASSIGN_OR_RETURN(Value want, EvalExpr(*expr, row, ctx));
     auto pk = ctx.store()->LookupPropKey(key);
     Value have =
-        pk.has_value() ? ctx.tx->ReadRelProp(id, *pk) : Value::Null();
+        pk.has_value() ? ctx.ReadRelProp(id, *pk) : Value::Null();
     if (want.is_null() || have.is_null() || !have.Equals(want)) return false;
   }
   return true;
@@ -213,8 +213,8 @@ class PartMatcher {
       if (state_->used_rels.count(rid.value) > 0) continue;
       PGT_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rp, rid, row, ctx));
       if (!rel_ok) continue;
-      const RelRecord* r = ctx.store()->GetRel(rid);
-      const NodeId other = r->src == at ? r->dst : r->src;
+      const StoreView::RelInfo r = ctx.store()->Rel(rid);
+      const NodeId other = r.src == at ? r.dst : r.src;
       // For undirected self-loops both ends coincide; direction filters
       // already handled src/dst orientation via RelsOf.
       PGT_ASSIGN_OR_RETURN(bool node_ok,
@@ -298,8 +298,8 @@ class PartMatcher {
         if (state_->used_rels.count(rid.value) > 0) continue;
         PGT_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rp, rid, row, ctx));
         if (!rel_ok) continue;
-        const RelRecord* r = ctx.store()->GetRel(rid);
-        const NodeId other = r->src == at ? r->dst : r->src;
+        const StoreView::RelInfo r = ctx.store()->Rel(rid);
+        const NodeId other = r.src == at ? r.dst : r.src;
         state_->used_rels.insert(rid.value);
         path.push_back(rid);
         Status st = dfs(other, depth + 1);

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "src/common/str_util.h"
 #include "src/cypher/ast.h"
 #include "src/cypher/plan/program.h"
 
@@ -24,6 +25,9 @@ struct PreparedStatement {
   /// recompiled from `query` without re-parsing.
   uint64_t epoch = 0;
   const GraphStore* store = nullptr;
+  /// Computed once at parse: read-only statements take the txless read
+  /// path (no transaction, no delta scope, no trigger round, no commit).
+  bool read_only = false;
 };
 
 /// Small LRU cache mapping ad-hoc statement text to PreparedStatements.
@@ -55,18 +59,11 @@ class PlanCache {
     std::shared_ptr<PreparedStatement> stmt;
   };
 
-  /// Transparent hash so Get can probe with a string_view.
-  struct TextHash {
-    using is_transparent = void;
-    size_t operator()(std::string_view sv) const {
-      return std::hash<std::string_view>{}(sv);
-    }
-  };
-
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator, TextHash,
-                     std::equal_to<>>
+  // Transparent hash so Get can probe with a string_view.
+  std::unordered_map<std::string, std::list<Entry>::iterator,
+                     TransparentStringHash, std::equal_to<>>
       entries_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

@@ -449,7 +449,7 @@ class FrameMatcher {
     // Zero-copy label membership (same sorted vector ReadNodeLabels would
     // have copied).
     if (!split.real.empty()) {
-      const std::vector<LabelId>* labels = ctx_.tx->ReadNodeLabelsView(id);
+      const std::vector<LabelId>* labels = ctx_.ReadNodeLabelsView(id);
       if (labels == nullptr) return false;
       for (LabelId l : split.real) {
         if (!std::binary_search(labels->begin(), labels->end(), l)) {
@@ -466,7 +466,7 @@ class FrameMatcher {
       PGT_ASSIGN_OR_RETURN(Value want, exec_->Eval(*pc.expr, work_));
       auto pk = ResolvePropKey(pc.key, *ctx_.store());
       Value have =
-          pk.has_value() ? ctx_.tx->ReadNodeProp(id, *pk) : Value::Null();
+          pk.has_value() ? ctx_.ReadNodeProp(id, *pk) : Value::Null();
       if (want.is_null() || have.is_null() || !have.Equals(want)) {
         return false;
       }
@@ -475,13 +475,13 @@ class FrameMatcher {
   }
 
   Result<bool> RelMatches(const PRelPattern& rp, RelId id) {
-    const RelRecord* r = ctx_.store()->GetRel(id);
-    if (r == nullptr) return false;
+    const StoreView::RelInfo r = ctx_.store()->Rel(id);
+    if (!r.exists) return false;
     if (!rp.types.empty()) {
       bool any = false;
       for (const SymbolRef& t : rp.types) {
         auto tid = ResolveRelType(t, *ctx_.store());
-        if (tid.has_value() && r->type == *tid) {
+        if (tid.has_value() && r.type == *tid) {
           any = true;
           break;
         }
@@ -492,7 +492,7 @@ class FrameMatcher {
       PGT_ASSIGN_OR_RETURN(Value want, exec_->Eval(*pc.expr, work_));
       auto pk = ResolvePropKey(pc.key, *ctx_.store());
       Value have =
-          pk.has_value() ? ctx_.tx->ReadRelProp(id, *pk) : Value::Null();
+          pk.has_value() ? ctx_.ReadRelProp(id, *pk) : Value::Null();
       if (want.is_null() || have.is_null() || !have.Equals(want)) {
         return false;
       }
@@ -680,8 +680,8 @@ class FrameMatcher {
       if (RelUsed(rid.value)) continue;
       PGT_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rp, rid));
       if (!rel_ok) continue;
-      const RelRecord* r = ctx_.store()->GetRel(rid);
-      const NodeId other = r->src == at ? r->dst : r->src;
+      const StoreView::RelInfo r = ctx_.store()->Rel(rid);
+      const NodeId other = r.src == at ? r.dst : r.src;
       PGT_ASSIGN_OR_RETURN(bool node_ok, NodeMatches(np, next_split, other));
       if (!node_ok) continue;
       bool bound_node = false, bound_rel_slot = false;
@@ -767,8 +767,8 @@ class FrameMatcher {
         if (RelUsed(rid.value)) continue;
         PGT_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rp, rid));
         if (!rel_ok) continue;
-        const RelRecord* r = ctx_.store()->GetRel(rid);
-        const NodeId other = r->src == at ? r->dst : r->src;
+        const StoreView::RelInfo r = ctx_.store()->Rel(rid);
+        const NodeId other = r.src == at ? r.dst : r.src;
         used_rels_.push_back(rid.value);
         path.push_back(rid);
         Status st = dfs(other, depth + 1);
@@ -1092,13 +1092,13 @@ Result<Frame> PlanExecutor::CreatePatternPart(const PPatternPart& part,
         return Status::InvalidArgument(
             "cannot CREATE with transition pseudo-label " + ref.name);
       }
-      labels.push_back(InternLabel(ref, *ctx_.store()));
+      labels.push_back(InternLabel(ref, *ctx_.tx->store()));
     }
     PropMap props;
     for (const PPropConstraint& pc : np.props) {
       PGT_ASSIGN_OR_RETURN(Value v, Eval(*pc.expr, r));
       if (v.is_null()) continue;
-      props[InternPropKey(pc.key, *ctx_.store())] = std::move(v);
+      props[InternPropKey(pc.key, *ctx_.tx->store())] = std::move(v);
     }
     PGT_ASSIGN_OR_RETURN(NodeId id,
                          ctx_.tx->CreateNode(labels, std::move(props)));
@@ -1125,9 +1125,9 @@ Result<Frame> PlanExecutor::CreatePatternPart(const PPatternPart& part,
     for (const PPropConstraint& pc : rp.props) {
       PGT_ASSIGN_OR_RETURN(Value v, Eval(*pc.expr, row));
       if (v.is_null()) continue;
-      props[InternPropKey(pc.key, *ctx_.store())] = std::move(v);
+      props[InternPropKey(pc.key, *ctx_.tx->store())] = std::move(v);
     }
-    const RelTypeId type = InternRelType(rp.types[0], *ctx_.store());
+    const RelTypeId type = InternRelType(rp.types[0], *ctx_.tx->store());
     const NodeId src =
         rp.direction == PatternDirection::kLeftToRight ? prev : next;
     const NodeId dst =
@@ -1161,15 +1161,15 @@ Result<std::vector<Frame>> PlanExecutor::ApplyCreate(
 }
 
 Status PlanExecutor::ApplySetItems(const std::vector<PSetItem>& items,
-                                   const Frame& row) {
+                                   Frame& row) {
   for (const PSetItem& item : items) {
     if (item.kind == SetItem::Kind::kProperty) {
       PGT_ASSIGN_OR_RETURN(Value target,
-                           Eval(*item.target, const_cast<Frame&>(row)));
+                           Eval(*item.target, row));
       if (target.is_null()) continue;
       PGT_ASSIGN_OR_RETURN(Value v,
-                           Eval(*item.value, const_cast<Frame&>(row)));
-      const PropKeyId key = InternPropKey(item.prop, *ctx_.store());
+                           Eval(*item.value, row));
+      const PropKeyId key = InternPropKey(item.prop, *ctx_.tx->store());
       if (target.is_node()) {
         PGT_RETURN_IF_ERROR(
             ctx_.tx->SetNodeProp(target.node_id(), key, std::move(v)));
@@ -1191,13 +1191,13 @@ Status PlanExecutor::ApplySetItems(const std::vector<PSetItem>& items,
             "SET += target must be a node or relationship");
       }
       PGT_ASSIGN_OR_RETURN(Value map,
-                           Eval(*item.value, const_cast<Frame&>(row)));
+                           Eval(*item.value, row));
       if (map.is_null()) continue;
       if (!map.is_map()) {
         return Status::TypeError("SET += requires a map value");
       }
       for (const auto& [k, v] : map.map_value()) {
-        const PropKeyId key = ctx_.store()->InternPropKey(k);
+        const PropKeyId key = ctx_.tx->store()->InternPropKey(k);
         if (target->is_node()) {
           PGT_RETURN_IF_ERROR(ctx_.tx->SetNodeProp(target->node_id(), key, v));
         } else {
@@ -1215,7 +1215,7 @@ Status PlanExecutor::ApplySetItems(const std::vector<PSetItem>& items,
         return Status::TypeError("SET labels target must be a node");
       }
       for (const SymbolRef& ref : item.labels) {
-        const LabelId label = InternLabel(ref, *ctx_.store());
+        const LabelId label = InternLabel(ref, *ctx_.tx->store());
         if (ctx_.label_write_guard) {
           PGT_RETURN_IF_ERROR(ctx_.label_write_guard(label, /*is_set=*/true));
         }
@@ -1283,7 +1283,7 @@ Result<std::vector<Frame>> PlanExecutor::ApplyDelete(
 
 Result<std::vector<Frame>> PlanExecutor::ApplySet(const PStep& s,
                                                   std::vector<Frame> frames) {
-  for (const Frame& f : frames) {
+  for (Frame& f : frames) {
     PGT_RETURN_IF_ERROR(ApplySetItems(s.set_items, f));
   }
   return frames;

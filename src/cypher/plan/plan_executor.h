@@ -117,7 +117,10 @@ class PlanExecutor {
   Result<std::vector<Frame>> ApplyForeach(const PStep& s,
                                           std::vector<Frame> frames);
 
-  Status ApplySetItems(const std::vector<PSetItem>& items, const Frame& row);
+  /// `row` is mutable scratch: Eval binds list-comprehension slots in
+  /// place (restored by SlotSaver), so a const reference here was a lie
+  /// the old const_casts papered over.
+  Status ApplySetItems(const std::vector<PSetItem>& items, Frame& row);
   Result<Frame> CreatePatternPart(const PPatternPart& part, Frame row);
 
   Result<bool> PatternExists(const PPattern& pattern, const PExpr* where,

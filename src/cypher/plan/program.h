@@ -14,6 +14,7 @@
 #include "src/cypher/scan_buffers.h"
 #include "src/cypher/transition_vars.h"
 #include "src/storage/graph_store.h"
+#include "src/storage/store_view.h"
 
 namespace pgt::cypher::plan {
 
@@ -162,25 +163,25 @@ struct SymbolRef {
 };
 
 inline std::optional<LabelId> ResolveLabel(const SymbolRef& ref,
-                                           const GraphStore& store) {
+                                           const StoreView& view) {
   if (ref.cached >= 0) return static_cast<LabelId>(ref.cached);
-  auto id = store.LookupLabel(ref.name);
+  auto id = view.LookupLabel(ref.name);
   if (id.has_value()) ref.cached = *id;
   return id;
 }
 
 inline std::optional<RelTypeId> ResolveRelType(const SymbolRef& ref,
-                                               const GraphStore& store) {
+                                               const StoreView& view) {
   if (ref.cached >= 0) return static_cast<RelTypeId>(ref.cached);
-  auto id = store.LookupRelType(ref.name);
+  auto id = view.LookupRelType(ref.name);
   if (id.has_value()) ref.cached = *id;
   return id;
 }
 
 inline std::optional<PropKeyId> ResolvePropKey(const SymbolRef& ref,
-                                               const GraphStore& store) {
+                                               const StoreView& view) {
   if (ref.cached >= 0) return static_cast<PropKeyId>(ref.cached);
-  auto id = store.LookupPropKey(ref.name);
+  auto id = view.LookupPropKey(ref.name);
   if (id.has_value()) ref.cached = *id;
   return id;
 }

@@ -171,8 +171,12 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
                                   const Expr* where_hint, const Row& row,
                                   EvalContext& ctx) {
   NodeScanPlan plan;
-  const GraphStore* store = ctx.store();
-  const index::IndexCatalog& catalog = store->indexes();
+  const StoreView* store = ctx.store();
+  // Snapshot views expose no property indexes (postings are not
+  // versioned); the planner falls back to label scans, which is purely an
+  // access-path change — results are identical by the determinism
+  // contract above.
+  const index::IndexCatalog* catalog_ptr = store->Indexes();
 
   if (labels.empty()) return plan;  // our indexes are label-scoped
 
@@ -184,23 +188,24 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
   std::vector<EqCandidate> equalities;
   std::map<PropKeyId, RangeBounds> ranges;  // ordered-index range bounds per key
 
+  const bool no_indexes = catalog_ptr == nullptr || catalog_ptr->empty();
   auto consider_eq = [&](const std::string& key, const Value& v) {
-    if (catalog.empty()) return;
+    if (no_indexes) return;
     auto pk = store->LookupPropKey(key);
     if (!pk.has_value()) return;
     for (LabelId l : labels) {
-      const index::PropertyIndex* idx = catalog.Find(l, *pk);
+      const index::PropertyIndex* idx = catalog_ptr->Find(l, *pk);
       if (idx != nullptr) equalities.push_back(EqCandidate{idx, v});
     }
   };
   auto consider_range = [&](const std::string& key, BinOp op,
                             const Value& v) {
-    if (catalog.empty()) return;
+    if (no_indexes) return;
     if (index::CompareClassOf(v) == index::CompareClass::kOther) return;
     auto pk = store->LookupPropKey(key);
     if (!pk.has_value()) return;
     for (LabelId l : labels) {
-      const index::PropertyIndex* idx = catalog.Find(l, *pk);
+      const index::PropertyIndex* idx = catalog_ptr->Find(l, *pk);
       if (idx != nullptr && idx->SupportsRange()) {
         ranges[*pk].Tighten(op, v);
         break;  // bounds are per-key; one ordered index suffices
@@ -208,7 +213,7 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
     }
   };
 
-  if (!catalog.empty()) {
+  if (!no_indexes) {
     for (const auto& [key, expr] : np.props) {
       if (expr == nullptr || !PlannerEvaluable(*expr, row)) continue;
       std::optional<Value> v = TryEval(*expr, row, ctx);
@@ -247,7 +252,7 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
   for (const auto& [pk, bounds] : ranges) {
     if (!bounds.lo.has_value() && !bounds.hi.has_value()) continue;
     for (LabelId l : labels) {
-      const index::PropertyIndex* idx = catalog.Find(l, pk);
+      const index::PropertyIndex* idx = catalog_ptr->Find(l, pk);
       if (idx == nullptr || !idx->SupportsRange()) continue;
       plan.kind = NodeScanPlan::Kind::kIndexRange;
       plan.idx = idx;

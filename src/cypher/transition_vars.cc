@@ -3,19 +3,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/str_util.h"
+
 namespace pgt::cypher {
 
 namespace {
 
-struct StringHash {
-  using is_transparent = void;
-  size_t operator()(std::string_view s) const {
-    return std::hash<std::string_view>{}(s);
-  }
-};
-
 struct Table {
-  std::unordered_map<std::string, TransVarId, StringHash, std::equal_to<>>
+  std::unordered_map<std::string, TransVarId, TransparentStringHash,
+                     std::equal_to<>>
       ids;
   std::vector<std::string> names;
 };

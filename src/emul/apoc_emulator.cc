@@ -127,7 +127,7 @@ void ApocEmulator::QueueInterleaved(const std::string& statement) {
 }
 
 Params ApocEmulator::BuildUtilityParams(const GraphDelta& delta,
-                                        const GraphStore& store) {
+                                        const StoreView& store) {
   Params params;
   {
     Value::List nodes;
@@ -262,7 +262,7 @@ Status ApocEmulator::OnCommitPoint(Transaction& tx) {
   // what the transaction actually touched.
   const GraphDelta delta = tx.AccumulatedDelta();
   if (delta.Empty()) return Status::OK();
-  Params params = BuildUtilityParams(delta, db_->store());
+  Params params = BuildUtilityParams(delta, StoreView::Live(db_->store()));
   for (InstalledTrigger* t : ByPhaseAlphabetical({"before"})) {
     tx.PushDeltaScope();
     Status st = RunTriggerQuery(tx, *t, params);
@@ -289,7 +289,7 @@ Status ApocEmulator::AfterCommit(const GraphDelta& tx_delta) {
   }
 
   in_trigger_context_ = true;
-  Params params = BuildUtilityParams(tx_delta, db_->store());
+  Params params = BuildUtilityParams(tx_delta, StoreView::Live(db_->store()));
   auto tx_or = db_->BeginTx();
   if (!tx_or.ok()) {
     in_trigger_context_ = false;

@@ -74,7 +74,7 @@ class ApocEmulator : public TriggerRuntime {
   /// Builds the Table 2 utility parameter map from a delta (exposed for
   /// the Table 2 / Table 3 benches).
   static Params BuildUtilityParams(const GraphDelta& delta,
-                                   const GraphStore& store);
+                                   const StoreView& store);
 
  private:
   std::vector<InstalledTrigger*> ByPhaseAlphabetical(

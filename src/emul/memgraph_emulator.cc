@@ -76,7 +76,7 @@ bool MemgraphEmulator::EventClassMatches(MgEventClass e,
 }
 
 cypher::Row MemgraphEmulator::BuildPredefinedVars(const GraphDelta& delta,
-                                                  const GraphStore& store) {
+                                                  const StoreView& store) {
   cypher::Row row;
   Value::List created_vertices, created_edges, created_objects;
   for (NodeId id : delta.created_nodes) {
@@ -202,7 +202,7 @@ Status MemgraphEmulator::OnCommitPoint(Transaction& tx) {
   if (in_trigger_context_) return Status::OK();  // no cascading (§5.2)
   const GraphDelta delta = tx.AccumulatedDelta();
   if (delta.Empty()) return Status::OK();
-  cypher::Row vars = BuildPredefinedVars(delta, db_->store());
+  cypher::Row vars = BuildPredefinedVars(delta, StoreView::Live(db_->store()));
   for (InstalledTrigger& t : triggers_) {  // creation order
     if (!t.before_commit) continue;
     if (!EventClassMatches(t.event_class, delta)) continue;
@@ -226,7 +226,7 @@ Status MemgraphEmulator::AfterCommit(const GraphDelta& tx_delta) {
   if (!any) return Status::OK();
 
   in_trigger_context_ = true;
-  cypher::Row vars = BuildPredefinedVars(tx_delta, db_->store());
+  cypher::Row vars = BuildPredefinedVars(tx_delta, StoreView::Live(db_->store()));
   auto tx_or = db_->BeginTx();
   if (!tx_or.ok()) {
     in_trigger_context_ = false;

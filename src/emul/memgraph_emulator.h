@@ -56,7 +56,7 @@ class MemgraphEmulator : public TriggerRuntime {
   /// Builds the Table 4 predefined-variable bindings from a delta
   /// (exposed for the Table 4 bench).
   static cypher::Row BuildPredefinedVars(const GraphDelta& delta,
-                                         const GraphStore& store);
+                                         const StoreView& store);
 
   /// Does the event class fire for this delta?
   static bool EventClassMatches(translate::MgEventClass e,

@@ -47,7 +47,7 @@ std::string ValidationReport::Summary() const {
   return os.str();
 }
 
-ValidationReport ValidateGraph(const GraphStore& store,
+ValidationReport ValidateGraph(const StoreView& store,
                                const SchemaDef& schema) {
   ValidationReport report;
 
@@ -102,7 +102,9 @@ ValidationReport ValidateGraph(const GraphStore& store,
       if (!p.is_key) continue;
       auto pid = store.LookupPropKey(p.name);
       if (!pid.has_value()) continue;
-      const index::PropertyIndex* idx = store.indexes().Find(*lid, *pid);
+      const index::IndexCatalog* catalog = store.Indexes();
+      const index::PropertyIndex* idx =
+          catalog != nullptr ? catalog->Find(*lid, *pid) : nullptr;
       if (idx == nullptr) continue;
       indexed_keys.push_back(IndexedKey{&t, p.name, *pid, idx});
       indexed_key_names.insert({t.type_name, p.name});
@@ -116,13 +118,13 @@ ValidationReport ValidateGraph(const GraphStore& store,
 
   for (NodeId id : store.AllNodes()) {
     ++report.nodes_checked;
-    const NodeRecord* n = store.GetNode(id);
+    const std::vector<LabelId>& node_labels = *store.NodeLabels(id);
     const std::string item = "node " + std::to_string(id.value);
-    const NodeTypeSpec* t = resolve_type(n->labels);
+    const NodeTypeSpec* t = resolve_type(node_labels);
     if (t == nullptr) {
       if (schema.strict) {
         std::string labels;
-        for (LabelId l : n->labels) labels += ":" + store.LabelName(l);
+        for (LabelId l : node_labels) labels += ":" + store.LabelName(l);
         report.violations.push_back(
             {Violation::Kind::kUntypedNode, item,
              "labels [" + labels + "] match no declared node type"});
@@ -135,7 +137,7 @@ ValidationReport ValidateGraph(const GraphStore& store,
       std::set<std::string> expect(chain.value().begin(),
                                    chain.value().end());
       std::set<std::string> have;
-      for (LabelId l : n->labels) have.insert(store.LabelName(l));
+      for (LabelId l : node_labels) have.insert(store.LabelName(l));
       if (have != expect) {
         std::string labels;
         for (const std::string& l : have) labels += ":" + l;
@@ -151,7 +153,7 @@ ValidationReport ValidateGraph(const GraphStore& store,
     for (const PropertySpec& p : props.value()) {
       declared.insert(p.name);
       auto key = store.LookupPropKey(p.name);
-      Value v = key.has_value() ? store.GetNodeProp(id, *key) : Value::Null();
+      Value v = key.has_value() ? store.NodeProp(id, *key) : Value::Null();
       if (v.is_null()) {
         if (!p.optional) {
           report.violations.push_back(
@@ -181,7 +183,7 @@ ValidationReport ValidateGraph(const GraphStore& store,
       }
     }
     if (!t->open) {
-      for (const auto& [pk, pv] : n->props) {
+      for (const auto& [pk, pv] : *store.NodeProps(id)) {
         (void)pv;
         const std::string& pname = store.PropKeyName(pk);
         if (declared.count(pname) == 0) {
@@ -202,14 +204,15 @@ ValidationReport ValidateGraph(const GraphStore& store,
   // fallback groups by repr alone — so the index path does not report the
   // fallback's false positives for distinct values whose lossy ToString
   // renderings collide (e.g. doubles beyond print precision).
-  auto tracks_keys_for = [&](const NodeRecord* n, const NodeTypeSpec* t) {
-    if (resolve_type(n->labels) != t) return false;
+  auto tracks_keys_for = [&](const std::vector<LabelId>& labels,
+                             const NodeTypeSpec* t) {
+    if (resolve_type(labels) != t) return false;
     if (!schema.strict) return true;
     auto chain = schema.EffectiveLabels(*t);
     if (!chain.ok()) return false;
     std::set<std::string> expect(chain.value().begin(), chain.value().end());
     std::set<std::string> have;
-    for (LabelId l : n->labels) have.insert(store.LabelName(l));
+    for (LabelId l : labels) have.insert(store.LabelName(l));
     return have == expect;
   };
   for (const IndexedKey& k : indexed_keys) {
@@ -225,11 +228,11 @@ ValidationReport ValidateGraph(const GraphStore& store,
       std::map<std::string, uint64_t> seen;  // value repr -> first node id
       for (uint64_t raw : ids) {
         const NodeId nid{raw};
-        const NodeRecord* n = store.GetNode(nid);
-        if (n == nullptr || !n->alive || !tracks_keys_for(n, k.type)) {
+        const std::vector<LabelId>* labels = store.NodeLabels(nid);
+        if (labels == nullptr || !tracks_keys_for(*labels, k.type)) {
           continue;
         }
-        const std::string repr = store.GetNodeProp(nid, k.prop_id).ToString();
+        const std::string repr = store.NodeProp(nid, k.prop_id).ToString();
         auto [it, inserted] = seen.emplace(repr, raw);
         if (!inserted) {
           report.violations.push_back(
@@ -244,9 +247,9 @@ ValidationReport ValidateGraph(const GraphStore& store,
 
   for (RelId id : store.AllRels()) {
     ++report.rels_checked;
-    const RelRecord* r = store.GetRel(id);
+    const StoreView::RelInfo r = store.Rel(id);
     const std::string item = "rel " + std::to_string(id.value);
-    const std::string type_name = store.RelTypeName(r->type);
+    const std::string type_name = store.RelTypeName(r.type);
     const EdgeTypeSpec* e = schema.FindEdgeType(type_name);
     if (e == nullptr) {
       if (schema.strict) {
@@ -259,26 +262,26 @@ ValidationReport ValidateGraph(const GraphStore& store,
     auto endpoint_ok = [&](NodeId node, const std::string& want_type) {
       const NodeTypeSpec* want = schema.FindNodeType(want_type);
       if (want == nullptr) return false;
-      const NodeRecord* rec = store.GetNode(node);
-      if (rec == nullptr) return false;
-      for (LabelId l : rec->labels) {
+      const std::vector<LabelId>* labels = store.NodeLabels(node);
+      if (labels == nullptr) return false;
+      for (LabelId l : *labels) {
         if (store.LabelName(l) == want->label) return true;
       }
       return false;
     };
-    if (!endpoint_ok(r->src, e->src_type)) {
+    if (!endpoint_ok(r.src, e->src_type)) {
       report.violations.push_back(
           {Violation::Kind::kBadEndpoint, item,
            "source of :" + type_name + " is not a " + e->src_type});
     }
-    if (!endpoint_ok(r->dst, e->dst_type)) {
+    if (!endpoint_ok(r.dst, e->dst_type)) {
       report.violations.push_back(
           {Violation::Kind::kBadEndpoint, item,
            "target of :" + type_name + " is not a " + e->dst_type});
     }
     for (const PropertySpec& p : e->props) {
       auto key = store.LookupPropKey(p.name);
-      Value v = key.has_value() ? store.GetRelProp(id, *key) : Value::Null();
+      Value v = key.has_value() ? store.RelProp(id, *key) : Value::Null();
       if (v.is_null()) {
         if (!p.optional) {
           report.violations.push_back(

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "src/schema/pg_schema.h"
-#include "src/storage/graph_store.h"
+#include "src/storage/store_view.h"
 
 namespace pgt::schema {
 
@@ -37,11 +37,19 @@ struct ValidationReport {
   std::string Summary() const;
 };
 
-/// Validates every alive node and relationship of `store` against `schema`
-/// (type conformance, required/extra properties, PG-Key uniqueness, edge
-/// endpoint types with inheritance).
-ValidationReport ValidateGraph(const GraphStore& store,
+/// Validates every alive node and relationship visible through `store`
+/// against `schema` (type conformance, required/extra properties, PG-Key
+/// uniqueness, edge endpoint types with inheritance). Takes any StoreView:
+/// the commit guard validates the live store; snapshot views validate a
+/// pinned epoch (the index-backed PG-Key fast path is live-only — snapshot
+/// views fall back to the per-node uniqueness scan).
+ValidationReport ValidateGraph(const StoreView& store,
                                const SchemaDef& schema);
+
+inline ValidationReport ValidateGraph(const GraphStore& store,
+                                      const SchemaDef& schema) {
+  return ValidateGraph(StoreView::Live(store), schema);
+}
 
 }  // namespace pgt::schema
 

@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "src/storage/snapshot.h"
+
 namespace pgt {
+
+GraphStore::GraphStore() : snapshots_(std::make_shared<SnapshotManager>()) {}
+
+GraphStore::~GraphStore() = default;
+
+std::shared_ptr<const GraphSnapshot> GraphStore::OpenSnapshot() {
+  if (!snapshots_->armed()) snapshots_->Arm(*this);
+  return snapshots_->Open(snapshots_);
+}
 
 bool NodeRecord::HasLabel(LabelId l) const {
   return std::binary_search(labels.begin(), labels.end(), l);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -21,6 +22,9 @@
 #include "src/index/index_def.h"
 
 namespace pgt {
+
+class GraphSnapshot;
+class SnapshotManager;
 
 /// Direction of traversal relative to a node.
 enum class Direction { kOutgoing, kIncoming, kBoth };
@@ -71,7 +75,8 @@ struct RelRecord {
 /// that is the transaction layer's job (src/tx). It is single-writer.
 class GraphStore {
  public:
-  GraphStore() = default;
+  GraphStore();
+  ~GraphStore();
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
 
@@ -100,6 +105,12 @@ class GraphStore {
   const std::string& PropKeyName(PropKeyId id) const {
     return prop_keys_.name(id);
   }
+
+  /// Dictionary sizes: ids are dense, so every id < size is valid. The
+  /// snapshot substrate uses these to mirror the dictionaries per epoch.
+  size_t LabelDictSize() const { return labels_.size(); }
+  size_t RelTypeDictSize() const { return rel_types_.size(); }
+  size_t PropKeyDictSize() const { return prop_keys_.size(); }
 
   // --- Node operations ----------------------------------------------------
 
@@ -232,6 +243,20 @@ class GraphStore {
   /// Drops the index on (label, prop); NotFound if none exists.
   Status DropIndex(LabelId label, PropKeyId prop);
 
+  // --- Snapshots ------------------------------------------------------------
+
+  /// The epoch-versioning snapshot substrate (src/storage/snapshot.h,
+  /// docs/snapshots.md). Until the first OpenSnapshot arms it, commits
+  /// only bump an atomic epoch counter.
+  SnapshotManager& snapshots() { return *snapshots_; }
+  const SnapshotManager& snapshots() const { return *snapshots_; }
+
+  /// Opens a snapshot pinned to the last committed epoch. The first call
+  /// arms the substrate (baseline-copies every live record) and must run
+  /// on the writer thread while no transaction is active; afterwards
+  /// OpenSnapshot is safe from any thread.
+  std::shared_ptr<const GraphSnapshot> OpenSnapshot();
+
  private:
   NodeRecord* MutableNode(NodeId id);
   RelRecord* MutableRel(RelId id);
@@ -246,6 +271,7 @@ class GraphStore {
   // label -> alive node ids carrying it; std::set keeps scans deterministic.
   std::unordered_map<LabelId, std::set<uint64_t>> label_index_;
   index::IndexCatalog indexes_;
+  std::shared_ptr<SnapshotManager> snapshots_;  // open snapshots co-own it
   size_t alive_nodes_ = 0;
   size_t alive_rels_ = 0;
 };

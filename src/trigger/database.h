@@ -57,6 +57,25 @@ class Database {
   Result<std::vector<cypher::QueryResult>> ExecuteTx(
       const std::vector<std::string>& statements, const Params& params = {});
 
+  // --- Snapshot reads (docs/snapshots.md) -----------------------------------
+
+  /// Pins a snapshot of the last committed state. The first call arms the
+  /// snapshot substrate and must not race an in-flight transaction (call
+  /// it from the writer thread, or once up front); afterwards OpenSnapshot
+  /// is safe from any thread while the writer commits. Snapshots opened at
+  /// the same epoch share one pinned object; releasing the last reference
+  /// unpins the epoch and frees superseded sidecar versions.
+  Result<std::shared_ptr<const GraphSnapshot>> OpenSnapshot();
+
+  /// Runs a read-only statement against a pinned snapshot. Safe to call
+  /// from any number of reader threads concurrently with the single
+  /// writer: the read path takes no locks and never touches writer-mutable
+  /// state. Statements that could write (including CALL) are rejected;
+  /// clock functions (datetime()/timestamp()) are unavailable.
+  Result<cypher::QueryResult> QueryAt(const GraphSnapshot& snapshot,
+                                      std::string_view text,
+                                      const Params& params = {}) const;
+
   // --- Components -----------------------------------------------------------
 
   GraphStore& store() { return store_; }
@@ -159,6 +178,11 @@ class Database {
  private:
   Result<cypher::QueryResult> ExecuteDdl(std::string_view text);
   Result<cypher::QueryResult> ExecuteIndexDdl(std::string_view text);
+  /// Runs a prepared read-only statement without a transaction (live view,
+  /// writer thread): no delta scope, no trigger round, no commit — the
+  /// statement produces no events, so skipping them is unobservable.
+  Result<cypher::QueryResult> RunReadOnly(
+      const cypher::plan::PreparedStatement& stmt, const Params& params);
   /// (Re)compiles `stmt`'s program from its parsed AST against the current
   /// store and `epoch`; an intentional compile fallback leaves it null.
   void CompileInto(cypher::plan::PreparedStatement* stmt, uint64_t epoch);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/storage/snapshot.h"
+
 namespace pgt {
 
 namespace {
@@ -276,6 +278,10 @@ Status Transaction::Commit() {
   }
   state_ = State::kCommitted;
   undo_log_.clear();
+  // Publish the commit epoch (and, when the snapshot substrate is armed,
+  // epoch-tagged versions of every record this transaction touched).
+  // Rollbacks publish nothing: snapshots only ever observe committed state.
+  store_->snapshots().PublishCommit(*store_, delta_stack_.front());
   return Status::OK();
 }
 

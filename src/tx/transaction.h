@@ -220,6 +220,10 @@ class TransactionManager {
   uint64_t committed_count() const { return committed_; }
   void NoteCommit() { ++committed_; }
 
+  /// True while a transaction is in flight (snapshot arming must not race
+  /// an active writer's mutations).
+  bool HasActive() const { return active_ != nullptr; }
+
  private:
   GraphStore* store_;
   uint64_t next_id_ = 1;

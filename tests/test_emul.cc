@@ -163,7 +163,8 @@ TEST_F(ApocEmulatorTest, UtilityParamsExposeTable2Shapes) {
       n, store.InternPropKey("p"), Value::Int(1), Value::Int(2)});
   delta.assigned_labels.push_back(
       LabelChange{n, store.InternLabel("Extra")});
-  Params params = ApocEmulator::BuildUtilityParams(delta, store);
+  Params params =
+      ApocEmulator::BuildUtilityParams(delta, StoreView::Live(store));
   EXPECT_EQ(params["createdNodes"].list_value().size(), 1u);
   EXPECT_EQ(params["deletedNodes"].list_value().size(), 0u);
   const Value& by_key = params["assignedNodeProperties"];
@@ -359,7 +360,8 @@ TEST_F(MemgraphEmulatorTest, PredefinedVarsExposeTable4Shapes) {
       n, store.InternPropKey("p"), Value::Int(3), Value::Null()});
   delta.assigned_labels.push_back(
       LabelChange{n, store.InternLabel("Extra")});
-  cypher::Row row = MemgraphEmulator::BuildPredefinedVars(delta, store);
+  cypher::Row row =
+      MemgraphEmulator::BuildPredefinedVars(delta, StoreView::Live(store));
   EXPECT_EQ(row.Get("createdVertices")->list_value().size(), 1u);
   EXPECT_EQ(row.Get("createdObjects")->list_value().size(), 1u);
   EXPECT_EQ(row.Get("removedVertexProperties")->list_value().size(), 1u);
