@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

@@ -36,6 +36,8 @@ enum class StatusCode {
   kUnimplemented,
   /// Internal invariant broken; indicates a bug in the library.
   kInternal,
+  /// A filesystem operation failed (WAL append, fsync, snapshot write).
+  kIoError,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -86,6 +88,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

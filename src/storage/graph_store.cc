@@ -357,6 +357,64 @@ Status GraphStore::DropIndex(LabelId label, PropKeyId prop) {
   return indexes_.Unregister(label, prop);
 }
 
+Status GraphStore::LoadForRecovery(const std::vector<std::string>& labels,
+                                   const std::vector<std::string>& rel_types,
+                                   const std::vector<std::string>& prop_keys,
+                                   std::vector<NodeRecord> nodes,
+                                   std::vector<RelRecord> rels) {
+  if (!nodes_.empty() || !rels_.empty() || labels_.size() != 0 ||
+      rel_types_.size() != 0 || prop_keys_.size() != 0) {
+    return Status::Internal("LoadForRecovery requires an empty store");
+  }
+  for (const std::string& s : labels) labels_.Intern(s);
+  for (const std::string& s : rel_types) rel_types_.Intern(s);
+  for (const std::string& s : prop_keys) prop_keys_.Intern(s);
+  if (labels_.size() != labels.size() || rel_types_.size() != rel_types.size() ||
+      prop_keys_.size() != prop_keys.size()) {
+    // Intern dedups, so a shrink means the image held duplicate names —
+    // which a healthy writer can never produce.
+    return Status::IoError("recovered dictionary contains duplicate names");
+  }
+
+  nodes_ = std::move(nodes);
+  rels_ = std::move(rels);
+  alive_nodes_ = 0;
+  alive_rels_ = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    NodeRecord& n = nodes_[i];
+    n.id = NodeId{i};
+    n.out_rels.clear();
+    n.in_rels.clear();
+    if (!n.alive) continue;
+    ++alive_nodes_;
+    for (LabelId l : n.labels) {
+      if (l >= labels_.size()) {
+        return Status::IoError("recovered node carries unknown label id " +
+                               std::to_string(l));
+      }
+      IndexNodeLabel(n.id, l);
+    }
+  }
+  // Adjacency is rebuilt from the alive relationships in id order: a
+  // tombstoned rel's adjacency entries were unobservable (every traversal
+  // skips dead rels), so omitting them is equivalent — and it is the same
+  // out-then-in append CreateRel does, self-loops landing in both lists.
+  for (size_t i = 0; i < rels_.size(); ++i) {
+    RelRecord& r = rels_[i];
+    r.id = RelId{i};
+    if (!r.alive) continue;
+    if (r.src.value >= nodes_.size() || r.dst.value >= nodes_.size() ||
+        !nodes_[r.src.value].alive || !nodes_[r.dst.value].alive) {
+      return Status::IoError("recovered relationship " + std::to_string(i) +
+                             " has a dead or missing endpoint");
+    }
+    ++alive_rels_;
+    nodes_[r.src.value].out_rels.push_back(r.id);
+    nodes_[r.dst.value].in_rels.push_back(r.id);
+  }
+  return Status::OK();
+}
+
 void GraphStore::IndexNodeLabel(NodeId id, LabelId label) {
   label_index_[label].insert(id.value);
 }

@@ -257,6 +257,23 @@ class GraphStore {
   /// OpenSnapshot is safe from any thread.
   std::shared_ptr<const GraphSnapshot> OpenSnapshot();
 
+  // --- Recovery -------------------------------------------------------------
+
+  /// Bulk-loads a recovered snapshot image into an empty store (WAL
+  /// recovery only). Interns the dictionaries in their original order (the
+  /// dense ids baked into the records must resolve to the same symbols),
+  /// installs node / relationship records — tombstones included, because
+  /// the id space must come back hole-for-hole — rebuilds adjacency from
+  /// the alive relationships in id order, and rebuilds the label index and
+  /// alive counts. Record `id` fields are assigned from position; incoming
+  /// adjacency lists are ignored. Property indexes are not touched: the
+  /// caller re-creates them from the recovered definitions afterwards.
+  Status LoadForRecovery(const std::vector<std::string>& labels,
+                         const std::vector<std::string>& rel_types,
+                         const std::vector<std::string>& prop_keys,
+                         std::vector<NodeRecord> nodes,
+                         std::vector<RelRecord> rels);
+
  private:
   NodeRecord* MutableNode(NodeId id);
   RelRecord* MutableRel(RelId id);

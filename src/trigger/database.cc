@@ -11,6 +11,7 @@
 #include "src/schema/validator.h"
 #include "src/storage/snapshot.h"
 #include "src/storage/store_view.h"
+#include "src/wal/commit_record.h"
 
 namespace pgt {
 
@@ -26,7 +27,275 @@ Database::Database(EngineOptions options)
       engine_(std::make_unique<PgTriggerEngine>(this)),
       plan_cache_(options.plan_cache_capacity) {}
 
-Database::~Database() = default;
+Database::~Database() {
+  if (wal_ != nullptr) (void)wal_->CloseClean();
+}
+
+// --- Durability -------------------------------------------------------------
+
+/// Private nested class: routes the recovered history into the enclosing
+/// database's private replay methods.
+class Database::ReplayHandler final : public wal::WalReplayHandler {
+ public:
+  explicit ReplayHandler(Database* db) : db_(db) {}
+  Status OnSnapshot(wal::SnapshotImage&& img) override {
+    return db_->RestoreSnapshotImage(std::move(img));
+  }
+  Status OnCommit(wal::WalCommit&& c) override { return db_->CommitReplay(c); }
+  Status OnDdl(wal::WalDdl&& d) override { return db_->ApplyReplayedDdl(d); }
+
+ private:
+  Database* db_;
+};
+
+Result<std::unique_ptr<Database>> Database::Open(wal::WalOptions wal,
+                                                 EngineOptions options) {
+  auto db = std::make_unique<Database>(options);
+  PGT_ASSIGN_OR_RETURN(std::unique_ptr<wal::WalManager> mgr,
+                       wal::WalManager::Open(std::move(wal)));
+  PGT_RETURN_IF_ERROR(db->RecoverFromWal(*mgr));
+  PGT_RETURN_IF_ERROR(mgr->StartAppending());
+  // Only now does logging arm: recovery itself must never re-log the
+  // history it is replaying.
+  db->wal_ = std::move(mgr);
+  db->wal_dicts_logged_.labels =
+      static_cast<uint32_t>(db->store_.LabelDictSize());
+  db->wal_dicts_logged_.rel_types =
+      static_cast<uint32_t>(db->store_.RelTypeDictSize());
+  db->wal_dicts_logged_.prop_keys =
+      static_cast<uint32_t>(db->store_.PropKeyDictSize());
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path) {
+  wal::WalOptions wal;
+  wal.dir = path;
+  return Open(std::move(wal));
+}
+
+Status Database::Close() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->CloseClean();
+}
+
+Status Database::RecoverFromWal(wal::WalManager& wal) {
+  ReplayHandler handler(this);
+  return wal.Recover(handler);
+}
+
+Status Database::RestoreSnapshotImage(wal::SnapshotImage&& img) {
+  std::vector<NodeRecord> nodes;
+  nodes.reserve(img.nodes.size());
+  for (wal::SnapshotNode& sn : img.nodes) {
+    NodeRecord n;
+    n.alive = sn.alive;
+    n.labels = std::move(sn.labels);
+    n.props = std::move(sn.props);
+    nodes.push_back(std::move(n));
+  }
+  std::vector<RelRecord> rels;
+  rels.reserve(img.rels.size());
+  for (wal::SnapshotRel& sr : img.rels) {
+    RelRecord r;
+    r.alive = sr.alive;
+    r.type = sr.type;
+    r.src = sr.src;
+    r.dst = sr.dst;
+    r.props = std::move(sr.props);
+    rels.push_back(std::move(r));
+  }
+  PGT_RETURN_IF_ERROR(store_.LoadForRecovery(img.labels, img.rel_types,
+                                             img.prop_keys, std::move(nodes),
+                                             std::move(rels)));
+
+  // User indexes. Lookup, never Intern: the names were interned when the
+  // original CREATE INDEX ran, so a miss means the image is inconsistent —
+  // and interning here would silently shift the dense-id sequence replayed
+  // records rely on.
+  for (const wal::SnapshotIndexSpec& ix : img.indexes) {
+    auto label = store_.LookupLabel(ix.label);
+    auto prop = store_.LookupPropKey(ix.prop);
+    if (!label.has_value() || !prop.has_value()) {
+      return Status::IoError("snapshot index " + ix.label + "(" + ix.prop +
+                             ") references a symbol missing from the "
+                             "recovered dictionaries");
+    }
+    index::IndexSpec spec;
+    spec.label = *label;
+    spec.prop = *prop;
+    spec.kind = static_cast<index::IndexKind>(ix.kind);
+    spec.unique = ix.unique;
+    spec.enforce_on_write = ix.enforce_on_write;
+    PGT_RETURN_IF_ERROR(store_.CreateIndex(std::move(spec)).status());
+  }
+
+  // Schema (re-creates its PG-Key indexes; they were excluded from the
+  // image for exactly that reason).
+  if (img.schema_ddl.has_value()) {
+    PGT_ASSIGN_OR_RETURN(schema::SchemaDef def,
+                         schema::ParseSchemaDdl(*img.schema_ddl));
+    AttachSchema(std::move(def));
+  }
+
+  // Triggers, in creation order; relative priority (seq order) is preserved
+  // even though the absolute seq values renumber.
+  for (const wal::SnapshotTrigger& t : img.triggers) {
+    PGT_RETURN_IF_ERROR(ExecuteDdl(t.ddl).status());
+    if (!t.enabled) {
+      const auto all = catalog_.All();
+      PGT_RETURN_IF_ERROR(catalog_.SetEnabled(all.back()->name, false));
+    }
+  }
+
+  tx_manager_.RestoreCommitted(img.committed_count);
+  clock_.AdvanceMicros(img.clock_micros - clock_.PeekMicros());
+  return Status::OK();
+}
+
+Status Database::CommitReplay(const wal::WalCommit& c) {
+  PGT_RETURN_IF_ERROR(wal::ApplyDictDelta(store_, c.dicts));
+  PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, tx_manager_.Begin());
+  tx->SetReplayUnchecked(true);
+  Status st = wal::ApplyWalCommit(*tx, c);
+  if (!st.ok()) {
+    RollbackAndRelease(std::move(tx));
+    return st;
+  }
+  // Physical commit only: PublishCommit and index maintenance already ran
+  // through the mutation path; trigger rounds must NOT run again (their
+  // effects are part of the logged record).
+  st = tx->Commit();
+  if (!st.ok()) {
+    tx_manager_.Release(std::move(tx));
+    return st;
+  }
+  tx_manager_.Release(std::move(tx));
+  // The logged counters are authoritative — replay must not drift them
+  // (rolled-back transactions ticked the clock too, invisibly to the log).
+  tx_manager_.RestoreCommitted(c.committed_after);
+  clock_.AdvanceMicros(c.clock_after - clock_.PeekMicros());
+  return Status::OK();
+}
+
+Status Database::ApplyReplayedDdl(const wal::WalDdl& d) {
+  PGT_RETURN_IF_ERROR(wal::ApplyDictDelta(store_, d.dicts));
+  switch (d.kind) {
+    case wal::WalDdlKind::kTriggerDdl:
+      return ExecuteDdl(d.text).status();
+    case wal::WalDdlKind::kIndexDdl:
+      return ExecuteIndexDdl(d.text).status();
+    case wal::WalDdlKind::kAttachSchema: {
+      PGT_ASSIGN_OR_RETURN(schema::SchemaDef def,
+                           schema::ParseSchemaDdl(d.text));
+      AttachSchema(std::move(def));
+      return Status::OK();
+    }
+    case wal::WalDdlKind::kDetachSchema:
+      AttachSchema(std::nullopt);
+      return Status::OK();
+  }
+  return Status::IoError("unknown replayed DDL kind");
+}
+
+Status Database::LogCommit(Transaction& tx) {
+  wal::WalCommit c = wal::BuildWalCommit(store_, tx.AccumulatedDelta());
+  c.committed_after = tx_manager_.committed_count() + 1;
+  c.clock_after = clock_.PeekMicros();
+  c.dicts = wal::BuildDictDelta(store_, &wal_dicts_logged_);
+  return wal_->AppendCommit(c);
+}
+
+Status Database::LogDdl(wal::WalDdlKind kind, std::string_view text) {
+  if (wal_ == nullptr) return Status::OK();
+  wal::WalDdl d;
+  d.kind = kind;
+  d.text = std::string(text);
+  d.dicts = wal::BuildDictDelta(store_, &wal_dicts_logged_);
+  return wal_->AppendDdl(d);
+}
+
+wal::SnapshotImage Database::BuildSnapshotImage(const GraphSnapshot& snap,
+                                                uint64_t first_live_seq) {
+  wal::SnapshotImage img;
+  img.first_live_seq = first_live_seq;
+  img.wal_epoch = wal_->logged_epoch();
+  img.committed_count = tx_manager_.committed_count();
+  img.clock_micros = clock_.PeekMicros();
+
+  // Full *live* dictionaries (not the snapshot's): DDL between commits can
+  // intern names the epoch-pinned dictionaries have not absorbed yet, and
+  // id continuity with post-checkpoint records needs every entry.
+  img.labels.reserve(store_.LabelDictSize());
+  for (size_t i = 0; i < store_.LabelDictSize(); ++i) {
+    img.labels.push_back(store_.LabelName(static_cast<LabelId>(i)));
+  }
+  img.rel_types.reserve(store_.RelTypeDictSize());
+  for (size_t i = 0; i < store_.RelTypeDictSize(); ++i) {
+    img.rel_types.push_back(store_.RelTypeName(static_cast<RelTypeId>(i)));
+  }
+  img.prop_keys.reserve(store_.PropKeyDictSize());
+  for (size_t i = 0; i < store_.PropKeyDictSize(); ++i) {
+    img.prop_keys.push_back(store_.PropKeyName(static_cast<PropKeyId>(i)));
+  }
+
+  // Records come off the pinned snapshot (CheckpointNow runs between
+  // transactions, so the pinned epoch IS the live state; going through the
+  // snapshot keeps this loop writer-safe if checkpointing ever moves off
+  // the writer thread). Dead ids become placeholder tombstones — their
+  // content is unobservable after recovery, only the id hole matters.
+  img.nodes.resize(snap.NodeIdBound());
+  for (uint64_t i = 0; i < snap.NodeIdBound(); ++i) {
+    const NodeVersion* v = snap.Node(NodeId{i});
+    if (v == nullptr || !v->alive) continue;
+    img.nodes[i].alive = true;
+    img.nodes[i].labels = v->labels;
+    img.nodes[i].props = v->props;
+  }
+  img.rels.resize(snap.RelIdBound());
+  for (uint64_t i = 0; i < snap.RelIdBound(); ++i) {
+    const RelVersion* v = snap.Rel(RelId{i});
+    if (v == nullptr || !v->alive) continue;
+    img.rels[i].alive = true;
+    img.rels[i].type = v->type;
+    img.rels[i].src = v->src;
+    img.rels[i].dst = v->dst;
+    img.rels[i].props = v->props;
+  }
+
+  store_.indexes().ForEach([&](const index::PropertyIndex& idx) {
+    const index::IndexSpec& spec = idx.spec();
+    if (spec.schema_managed) return;  // AttachSchema recreates these
+    wal::SnapshotIndexSpec out;
+    out.label = store_.LabelName(spec.label);
+    out.prop = store_.PropKeyName(spec.prop);
+    out.kind = static_cast<uint8_t>(spec.kind);
+    out.unique = spec.unique;
+    out.enforce_on_write = spec.enforce_on_write;
+    img.indexes.push_back(std::move(out));
+  });
+
+  if (schema_.has_value()) img.schema_ddl = schema_->ToDdl();
+
+  for (const TriggerDef* t : catalog_.All()) {
+    img.triggers.push_back(wal::SnapshotTrigger{t->ToDdl(), t->enabled});
+  }
+  return img;
+}
+
+Status Database::CheckpointNow() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "in-memory database has no WAL to checkpoint");
+  }
+  if (tx_manager_.HasActive()) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint while a transaction is active");
+  }
+  PGT_ASSIGN_OR_RETURN(uint64_t first_live_seq, wal_->RotateForSnapshot());
+  PGT_ASSIGN_OR_RETURN(std::shared_ptr<const GraphSnapshot> snap,
+                       OpenSnapshot());
+  return wal_->WriteSnapshot(BuildSnapshotImage(*snap, first_live_seq));
+}
 
 void Database::SetRuntime(std::unique_ptr<TriggerRuntime> runtime) {
   runtime_ = std::move(runtime);
@@ -199,7 +468,10 @@ void Database::AttachSchema(std::optional<schema::SchemaDef> schema) {
   }
   schema_key_indexes_.clear();
   schema_ = std::move(schema);
-  if (!schema_.has_value()) return;
+  if (!schema_.has_value()) {
+    LogSchemaChange();
+    return;
+  }
   // Index-backed PG-Key enforcement: one deferred unique index per key
   // property. Deferred (enforce_on_write = false) so a transaction may pass
   // through a temporarily-duplicated state; the commit guard reads
@@ -226,6 +498,18 @@ void Database::AttachSchema(std::optional<schema::SchemaDef> schema) {
       }
     }
   }
+  LogSchemaChange();
+}
+
+void Database::LogSchemaChange() {
+  // Best effort (AttachSchema is void): an append failure has already
+  // poisoned the WAL, so later commits fail loudly rather than diverge.
+  if (wal_ == nullptr) return;
+  if (schema_.has_value()) {
+    (void)LogDdl(wal::WalDdlKind::kAttachSchema, schema_->ToDdl());
+  } else {
+    (void)LogDdl(wal::WalDdlKind::kDetachSchema, "");
+  }
 }
 
 Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
@@ -250,8 +534,23 @@ Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
                : ""));
     }
   }
+  // Write-ahead: the commit record must be in the log before the commit is
+  // acknowledged. Append failure rolls back, keeping memory and log in
+  // step; empty deltas (pure reads in a tx) log nothing.
+  bool logged = false;
+  if (wal_ != nullptr && !tx->AccumulatedDelta().Empty()) {
+    st = LogCommit(*tx);
+    if (!st.ok()) {
+      RollbackAndRelease(std::move(tx));
+      return st;
+    }
+    logged = true;
+  }
   st = tx->Commit();
   if (!st.ok()) {
+    // Appended but not committed: the log now claims a commit memory never
+    // made. Poison it so nothing else is appended after the divergence.
+    if (logged) wal_->Poison();
     tx_manager_.Release(std::move(tx));
     return st;
   }
@@ -264,6 +563,14 @@ Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
   // ... and once AfterCommit has consumed it, its buffers re-arm the next
   // transaction's accumulated delta.
   tx_manager_.RecycleDelta(std::move(total));
+  // Auto-checkpoint once the configured commit budget is spent. Best
+  // effort: a failed checkpoint leaves the WAL chain fully usable, and the
+  // next commit retries. Skipped while a transaction is active (DETACHED
+  // trigger commits nest inside AfterCommit of an outer commit).
+  if (after.ok() && wal_ != nullptr && wal_->ShouldSnapshot() &&
+      !tx_manager_.HasActive()) {
+    (void)CheckpointNow();
+  }
   return after;
 }
 
@@ -294,6 +601,7 @@ Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
       PGT_RETURN_IF_ERROR(catalog_.SetEnabled(ddl.name, false));
       break;
   }
+  PGT_RETURN_IF_ERROR(LogDdl(wal::WalDdlKind::kTriggerDdl, text));
   return cypher::QueryResult{};
 }
 
@@ -309,6 +617,7 @@ Result<cypher::QueryResult> Database::ExecuteIndexDdl(std::string_view text) {
       spec.unique = ddl.unique;
       spec.enforce_on_write = true;
       PGT_RETURN_IF_ERROR(store_.CreateIndex(std::move(spec)).status());
+      PGT_RETURN_IF_ERROR(LogDdl(wal::WalDdlKind::kIndexDdl, text));
       return cypher::QueryResult{};
     }
     case index::IndexDdl::Kind::kDrop: {
@@ -319,6 +628,7 @@ Result<cypher::QueryResult> Database::ExecuteIndexDdl(std::string_view text) {
                                 ddl.prop + ")");
       }
       PGT_RETURN_IF_ERROR(store_.DropIndex(*label, *prop));
+      PGT_RETURN_IF_ERROR(LogDdl(wal::WalDdlKind::kIndexDdl, text));
       return cypher::QueryResult{};
     }
     case index::IndexDdl::Kind::kShow: {

@@ -19,6 +19,7 @@
 #include "src/trigger/options.h"
 #include "src/trigger/trigger_parser.h"
 #include "src/tx/transaction.h"
+#include "src/wal/wal_manager.h"
 
 namespace pgt {
 
@@ -45,6 +46,34 @@ class Database {
   ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // --- Durability (docs/durability.md) --------------------------------------
+
+  /// Opens a durable database rooted at `wal.dir`: loads the newest valid
+  /// snapshot, replays the WAL to the last durable record (a torn tail from
+  /// a crash is discarded), and resumes logging. Recovery runs through the
+  /// normal commit path, so snapshot publication, index postings, the
+  /// trigger catalog, and the commit/clock counters all come back exactly
+  /// as the durable prefix left them.
+  static Result<std::unique_ptr<Database>> Open(wal::WalOptions wal,
+                                                EngineOptions options = {});
+
+  /// Open with default WAL options (fsync on, group size 8) at `path`.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path);
+
+  /// Clean shutdown: flushes the group-commit buffer, fsyncs, and writes
+  /// the CLEAN marker so the next Open skips torn-tail tolerance. Idempotent;
+  /// the destructor calls it best-effort. No-op for in-memory databases.
+  Status Close();
+
+  /// Forces a checkpoint: rotates to a fresh WAL segment, writes a full
+  /// snapshot through the epoch-pinned read substrate, and purges every
+  /// segment the snapshot covers. Also runs automatically every
+  /// `WalOptions::snapshot_interval` commits.
+  Status CheckpointNow();
+
+  /// The write-ahead log, or nullptr for an in-memory database.
+  wal::WalManager* wal() { return wal_.get(); }
 
   // --- Query / DDL execution ----------------------------------------------
 
@@ -176,8 +205,35 @@ class Database {
   }
 
  private:
+  class ReplayHandler;  // WAL recovery callbacks (database.cc)
+
   Result<cypher::QueryResult> ExecuteDdl(std::string_view text);
   Result<cypher::QueryResult> ExecuteIndexDdl(std::string_view text);
+
+  // --- WAL plumbing ---------------------------------------------------------
+
+  /// Replays the log into this (freshly constructed) database. `wal_` is
+  /// still null here, deliberately: replayed DDL and commits must not be
+  /// re-logged.
+  Status RecoverFromWal(wal::WalManager& wal);
+  /// Rebuilds store + indexes + schema + triggers from a snapshot image.
+  Status RestoreSnapshotImage(wal::SnapshotImage&& img);
+  /// Re-commits one logged transaction through the normal commit machinery
+  /// (no trigger rounds — the log already contains every trigger effect).
+  Status CommitReplay(const wal::WalCommit& c);
+  Status ApplyReplayedDdl(const wal::WalDdl& d);
+  /// Appends the commit record for `tx` (called at the commit point, before
+  /// the physical commit).
+  Status LogCommit(Transaction& tx);
+  /// Appends a DDL record; failures poison the WAL (append-side) and are
+  /// surfaced to the DDL caller.
+  Status LogDdl(wal::WalDdlKind kind, std::string_view text);
+  /// Logs the current schema attachment state (called from AttachSchema).
+  void LogSchemaChange();
+  /// Builds the full-store image for WriteSnapshot from a pinned snapshot
+  /// plus the live dictionaries and catalogs.
+  wal::SnapshotImage BuildSnapshotImage(const GraphSnapshot& snap,
+                                        uint64_t first_live_seq);
   /// Runs a prepared read-only statement without a transaction (live view,
   /// writer thread): no delta scope, no trigger round, no commit — the
   /// statement produces no events, so skipping them is unobservable.
@@ -207,6 +263,12 @@ class Database {
   std::vector<std::pair<LabelId, PropKeyId>> schema_key_indexes_;
   cypher::plan::PlanCache plan_cache_;
   cypher::plan::FramePool frame_pool_;
+  /// Durability subsystem; null = in-memory database (the default — no WAL
+  /// hook is even reached on the hot path until Open attaches one).
+  std::unique_ptr<wal::WalManager> wal_;
+  /// High-water marks of dictionary entries already written to the log
+  /// (wal::BuildDictDelta emits and advances).
+  wal::LoggedDictSizes wal_dicts_logged_;
 };
 
 }  // namespace pgt

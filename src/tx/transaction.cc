@@ -35,6 +35,7 @@ void Transaction::PushDeltaScope() {
 void Transaction::Reset(uint64_t id) {
   id_ = id;
   state_ = State::kActive;
+  replay_unchecked_ = false;
   // One cleared transaction-level scope; extra scopes (only present after
   // an error unwind) are banked for reuse.
   while (delta_stack_.size() > 1) {
@@ -80,7 +81,7 @@ Result<NodeId> Transaction::CreateNode(const std::vector<LabelId>& labels,
   // Write-time unique enforcement happens here (not in the store), so the
   // rollback path — which replays inverse mutations directly through the
   // store — can never be blocked by a constraint.
-  if (!store_->indexes().empty()) {
+  if (!replay_unchecked_ && !store_->indexes().empty()) {
     if (auto c = store_->indexes().CheckNodeAdd(labels, props)) {
       return UniqueViolation(*c);
     }
@@ -138,7 +139,7 @@ Status Transaction::DeleteRel(RelId id) {
 
 Status Transaction::AddLabel(NodeId id, LabelId label) {
   PGT_RETURN_IF_ERROR(CheckActive());
-  if (!store_->indexes().empty()) {
+  if (!replay_unchecked_ && !store_->indexes().empty()) {
     const NodeRecord* n = store_->GetNode(id);
     if (n != nullptr && n->alive && !n->HasLabel(label)) {
       if (auto c = store_->indexes().CheckLabelAdd(id, label, n->props)) {
@@ -166,7 +167,7 @@ Status Transaction::RemoveLabel(NodeId id, LabelId label) {
 
 Status Transaction::SetNodeProp(NodeId id, PropKeyId key, Value value) {
   PGT_RETURN_IF_ERROR(CheckActive());
-  if (!store_->indexes().empty() && !value.is_null()) {
+  if (!replay_unchecked_ && !store_->indexes().empty() && !value.is_null()) {
     const NodeRecord* n = store_->GetNode(id);
     if (n != nullptr && n->alive) {
       if (auto c = store_->indexes().CheckPropSet(id, n->labels, key, value)) {

@@ -46,6 +46,14 @@ class Transaction {
   bool active() const { return state_ == State::kActive; }
   bool committed() const { return state_ == State::kCommitted; }
 
+  /// WAL replay mode: suppresses write-time unique-index probes. Replaying
+  /// a commit in canonical final-state order (creates, updates, deletes)
+  /// can pass through transient duplicate states the original execution
+  /// order never exhibited; the log is already-committed history, so the
+  /// probes would only reject valid state. Cleared by Reset.
+  void SetReplayUnchecked(bool on) { replay_unchecked_ = on; }
+  bool replay_unchecked() const { return replay_unchecked_; }
+
   // --- Delta scopes --------------------------------------------------------
 
   /// Opens a nested delta scope (one per executed statement). Reuses a
@@ -185,6 +193,7 @@ class Transaction {
   GraphStore* store_;
   uint64_t id_;
   State state_ = State::kActive;
+  bool replay_unchecked_ = false;
   std::vector<GraphDelta> delta_stack_;
   std::vector<GraphDelta> spare_scopes_;  // recycled (cleared) scopes
   std::vector<UndoOp> undo_log_;
@@ -219,6 +228,11 @@ class TransactionManager {
 
   uint64_t committed_count() const { return committed_; }
   void NoteCommit() { ++committed_; }
+
+  /// WAL recovery: restores the counter to the value the crashed process
+  /// had after the commit being replayed (replay itself must not make the
+  /// count drift — logged `committed_after` values are authoritative).
+  void RestoreCommitted(uint64_t n) { committed_ = n; }
 
   /// True while a transaction is in flight (snapshot arming must not race
   /// an active writer's mutations).

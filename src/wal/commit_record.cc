@@ -1,0 +1,197 @@
+#include "src/wal/commit_record.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/macros.h"
+#include "src/storage/graph_store.h"
+#include "src/tx/transaction.h"
+
+namespace pgt::wal {
+
+namespace {
+
+Status IdMismatch(const char* what, uint64_t got, uint64_t want) {
+  return Status::IoError(std::string("replay allocated ") + what + " id " +
+                         std::to_string(got) + ", log expects " +
+                         std::to_string(want) +
+                         " (divergent id sequence — log and store disagree)");
+}
+
+}  // namespace
+
+WalCommit BuildWalCommit(const GraphStore& store, const GraphDelta& delta) {
+  WalCommit c;
+
+  std::unordered_set<uint64_t> deleted_nodes, deleted_rels;
+  std::unordered_set<uint64_t> created_nodes, created_rels;
+  for (const DeletedNodeImage& img : delta.deleted_nodes) {
+    deleted_nodes.insert(img.id.value);
+  }
+  for (const DeletedRelImage& img : delta.deleted_rels) {
+    deleted_rels.insert(img.id.value);
+  }
+  for (NodeId id : delta.created_nodes) created_nodes.insert(id.value);
+  for (RelId id : delta.created_rels) created_rels.insert(id.value);
+
+  // Creations, in execution order == id order (ids are allocated densely).
+  // Doomed items (created then deleted here) get empty images: the content
+  // of a tombstone is unobservable after restart, but the id must still be
+  // burned so later allocations line up.
+  c.node_creates.reserve(delta.created_nodes.size());
+  for (NodeId id : delta.created_nodes) {
+    WalNodeCreate nc;
+    nc.id = id;
+    if (deleted_nodes.count(id.value) == 0) {
+      const NodeRecord* n = store.GetNode(id);
+      nc.labels = n->labels;
+      nc.props = n->props;
+    }
+    c.node_creates.push_back(std::move(nc));
+  }
+  c.rel_creates.reserve(delta.created_rels.size());
+  for (RelId id : delta.created_rels) {
+    // Type and endpoints survive tombstoning (adjacency is append-only and
+    // keyed by them), so they are read off the record even for doomed rels.
+    const RelRecord* r = store.GetRel(id);
+    WalRelCreate rc;
+    rc.id = id;
+    rc.type = r->type;
+    rc.src = r->src;
+    rc.dst = r->dst;
+    if (deleted_rels.count(id.value) == 0) rc.props = r->props;
+    c.rel_creates.push_back(std::move(rc));
+  }
+
+  // Pre-existing items the transaction relabeled / re-propertied: log the
+  // final live image once per item (the delta may hold many intermediate
+  // changes; only the outcome matters for recovery).
+  std::set<uint64_t> touched_nodes;
+  for (const LabelChange& ch : delta.assigned_labels) {
+    touched_nodes.insert(ch.node.value);
+  }
+  for (const LabelChange& ch : delta.removed_labels) {
+    touched_nodes.insert(ch.node.value);
+  }
+  for (const NodePropChange& ch : delta.assigned_node_props) {
+    touched_nodes.insert(ch.node.value);
+  }
+  for (const NodePropChange& ch : delta.removed_node_props) {
+    touched_nodes.insert(ch.node.value);
+  }
+  for (uint64_t idv : touched_nodes) {
+    if (created_nodes.count(idv) != 0 || deleted_nodes.count(idv) != 0) {
+      continue;  // creations / deletions carry their own sections
+    }
+    const NodeRecord* n = store.GetNode(NodeId{idv});
+    WalNodeUpdate nu;
+    nu.id = NodeId{idv};
+    nu.labels = n->labels;
+    nu.props = n->props;
+    c.node_updates.push_back(std::move(nu));
+  }
+  std::set<uint64_t> touched_rels;
+  for (const RelPropChange& ch : delta.assigned_rel_props) {
+    touched_rels.insert(ch.rel.value);
+  }
+  for (const RelPropChange& ch : delta.removed_rel_props) {
+    touched_rels.insert(ch.rel.value);
+  }
+  for (uint64_t idv : touched_rels) {
+    if (created_rels.count(idv) != 0 || deleted_rels.count(idv) != 0) {
+      continue;
+    }
+    const RelRecord* r = store.GetRel(RelId{idv});
+    WalRelUpdate ru;
+    ru.id = RelId{idv};
+    ru.props = r->props;
+    c.rel_updates.push_back(std::move(ru));
+  }
+
+  c.rel_deletes.reserve(delta.deleted_rels.size());
+  for (const DeletedRelImage& img : delta.deleted_rels) {
+    c.rel_deletes.push_back(img.id);
+  }
+  c.node_deletes.reserve(delta.deleted_nodes.size());
+  for (const DeletedNodeImage& img : delta.deleted_nodes) {
+    c.node_deletes.push_back(img.id);
+  }
+  return c;
+}
+
+Status ApplyWalCommit(Transaction& tx, const WalCommit& c) {
+  GraphStore* store = tx.store();
+
+  for (const WalNodeCreate& n : c.node_creates) {
+    if (store->NodeIdBound() != n.id.value) {
+      return IdMismatch("node", store->NodeIdBound(), n.id.value);
+    }
+    PGT_ASSIGN_OR_RETURN(NodeId got, tx.CreateNode(n.labels, n.props));
+    if (got != n.id) return IdMismatch("node", got.value, n.id.value);
+  }
+  for (const WalRelCreate& r : c.rel_creates) {
+    if (store->RelIdBound() != r.id.value) {
+      return IdMismatch("rel", store->RelIdBound(), r.id.value);
+    }
+    PGT_ASSIGN_OR_RETURN(RelId got,
+                         tx.CreateRel(r.src, r.type, r.dst, r.props));
+    if (got != r.id) return IdMismatch("rel", got.value, r.id.value);
+  }
+
+  for (const WalNodeUpdate& n : c.node_updates) {
+    const NodeRecord* live = store->GetNode(n.id);
+    if (live == nullptr || !live->alive) {
+      return Status::IoError("node update " + std::to_string(n.id.value) +
+                             " targets a missing node");
+    }
+    // Copy the live label / key lists up front: the mutations below edit
+    // the record in place.
+    const std::vector<LabelId> old_labels = live->labels;
+    std::vector<PropKeyId> stale_keys;
+    for (const auto& [key, value] : live->props) {
+      if (!n.props.contains(key)) stale_keys.push_back(key);
+    }
+    std::vector<LabelId> to_remove, to_add;
+    std::set_difference(old_labels.begin(), old_labels.end(),
+                        n.labels.begin(), n.labels.end(),
+                        std::back_inserter(to_remove));
+    std::set_difference(n.labels.begin(), n.labels.end(), old_labels.begin(),
+                        old_labels.end(), std::back_inserter(to_add));
+    for (LabelId l : to_remove) PGT_RETURN_IF_ERROR(tx.RemoveLabel(n.id, l));
+    for (LabelId l : to_add) PGT_RETURN_IF_ERROR(tx.AddLabel(n.id, l));
+    for (PropKeyId key : stale_keys) {
+      PGT_RETURN_IF_ERROR(tx.RemoveNodeProp(n.id, key));
+    }
+    // Blind overwrite of every target property — no value diffing, so odd
+    // equality cases (1 vs 1.0, NaN) can never skip a needed write.
+    for (const auto& [key, value] : n.props) {
+      PGT_RETURN_IF_ERROR(tx.SetNodeProp(n.id, key, value));
+    }
+  }
+  for (const WalRelUpdate& r : c.rel_updates) {
+    const RelRecord* live = store->GetRel(r.id);
+    if (live == nullptr || !live->alive) {
+      return Status::IoError("rel update " + std::to_string(r.id.value) +
+                             " targets a missing relationship");
+    }
+    std::vector<PropKeyId> stale_keys;
+    for (const auto& [key, value] : live->props) {
+      if (!r.props.contains(key)) stale_keys.push_back(key);
+    }
+    for (PropKeyId key : stale_keys) {
+      PGT_RETURN_IF_ERROR(tx.RemoveRelProp(r.id, key));
+    }
+    for (const auto& [key, value] : r.props) {
+      PGT_RETURN_IF_ERROR(tx.SetRelProp(r.id, key, value));
+    }
+  }
+
+  for (RelId id : c.rel_deletes) PGT_RETURN_IF_ERROR(tx.DeleteRel(id));
+  for (NodeId id : c.node_deletes) {
+    PGT_RETURN_IF_ERROR(tx.DeleteNode(id, /*detach=*/false));
+  }
+  return Status::OK();
+}
+
+}  // namespace pgt::wal

@@ -1,0 +1,32 @@
+#ifndef PGTRIGGERS_WAL_COMMIT_RECORD_H_
+#define PGTRIGGERS_WAL_COMMIT_RECORD_H_
+
+#include "src/common/status.h"
+#include "src/tx/delta.h"
+#include "src/wal/wal_format.h"
+
+namespace pgt {
+class GraphStore;
+class Transaction;
+}  // namespace pgt
+
+namespace pgt::wal {
+
+/// Derives the canonical commit record from the transaction's accumulated
+/// delta and the live store. Must run at the commit point, after all
+/// mutations (including trigger actions) applied and before the physical
+/// commit: the delta names what was touched, the store holds the final
+/// images. Does not fill epoch/committed_after/clock_after/dicts — the
+/// append path stamps those.
+WalCommit BuildWalCommit(const GraphStore& store, const GraphDelta& delta);
+
+/// Replays one commit record through `tx` (which must be in replay-unchecked
+/// mode: canonical final-state order can pass through transient unique-index
+/// violations that the original execution order never exhibited). Verifies
+/// that created ids come out exactly as logged — the id-allocation invariant
+/// every later record depends on.
+Status ApplyWalCommit(Transaction& tx, const WalCommit& c);
+
+}  // namespace pgt::wal
+
+#endif  // PGTRIGGERS_WAL_COMMIT_RECORD_H_

@@ -1,0 +1,34 @@
+#ifndef PGTRIGGERS_WAL_CRC32C_H_
+#define PGTRIGGERS_WAL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pgt::wal {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+/// checksum guarding every WAL record and snapshot file. Software
+/// slice-by-8 table implementation — ~1 byte/cycle, which is far faster
+/// than the fsync the records amortize. Matches the widely-deployed
+/// variant (iSCSI, RocksDB, LevelDB): Crc32c("123456789") == 0xE3069283.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+/// Masked CRC in the LevelDB/RocksDB style: storing the CRC of data that
+/// itself embeds CRCs makes accidental fixed points more likely; the
+/// rotation+offset mask breaks them.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace pgt::wal
+
+#endif  // PGTRIGGERS_WAL_CRC32C_H_

@@ -1,0 +1,200 @@
+#include "src/wal/snapshot_file.h"
+
+#include "src/common/macros.h"
+#include "src/wal/crc32c.h"
+#include "src/wal/serialize.h"
+
+namespace pgt::wal {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'P', 'G', 'T', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kMaxSnapshotCount = 1u << 28;
+
+Status CheckCount(uint32_t n, const char* what) {
+  if (n > kMaxSnapshotCount) {
+    return Status::IoError(std::string("snapshot: implausible ") + what +
+                           " count " + std::to_string(n));
+  }
+  return Status::OK();
+}
+
+void PutStringVec(Encoder& enc, const std::vector<std::string>& v) {
+  enc.PutU32(static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) enc.PutString(s);
+}
+
+Status GetStringVec(Decoder& dec, std::vector<std::string>* out,
+                    const char* what) {
+  uint32_t n = 0;
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  PGT_RETURN_IF_ERROR(CheckCount(n, what));
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string_view s;
+    PGT_RETURN_IF_ERROR(dec.GetString(&s));
+    out->emplace_back(s);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const SnapshotImage& img) {
+  Encoder enc;
+  for (char c : kSnapshotMagic) enc.PutU8(static_cast<uint8_t>(c));
+
+  enc.PutU64(img.first_live_seq);
+  enc.PutU64(img.wal_epoch);
+  enc.PutU64(img.committed_count);
+  enc.PutI64(img.clock_micros);
+
+  PutStringVec(enc, img.labels);
+  PutStringVec(enc, img.rel_types);
+  PutStringVec(enc, img.prop_keys);
+
+  enc.PutU32(static_cast<uint32_t>(img.nodes.size()));
+  for (const SnapshotNode& n : img.nodes) {
+    enc.PutU8(n.alive ? 1 : 0);
+    enc.PutU32(static_cast<uint32_t>(n.labels.size()));
+    for (LabelId l : n.labels) enc.PutU32(l);
+    enc.PutPropMap(n.props);
+  }
+  enc.PutU32(static_cast<uint32_t>(img.rels.size()));
+  for (const SnapshotRel& r : img.rels) {
+    enc.PutU8(r.alive ? 1 : 0);
+    enc.PutU32(r.type);
+    enc.PutU64(r.src.value);
+    enc.PutU64(r.dst.value);
+    enc.PutPropMap(r.props);
+  }
+
+  enc.PutU32(static_cast<uint32_t>(img.indexes.size()));
+  for (const SnapshotIndexSpec& ix : img.indexes) {
+    enc.PutString(ix.label);
+    enc.PutString(ix.prop);
+    enc.PutU8(ix.kind);
+    enc.PutU8(ix.unique ? 1 : 0);
+    enc.PutU8(ix.enforce_on_write ? 1 : 0);
+  }
+
+  enc.PutU8(img.schema_ddl.has_value() ? 1 : 0);
+  if (img.schema_ddl.has_value()) enc.PutString(*img.schema_ddl);
+
+  enc.PutU32(static_cast<uint32_t>(img.triggers.size()));
+  for (const SnapshotTrigger& t : img.triggers) {
+    enc.PutString(t.ddl);
+    enc.PutU8(t.enabled ? 1 : 0);
+  }
+
+  std::string body = enc.Take();
+  uint32_t crc = MaskCrc(Crc32c(body.data(), body.size()));
+  Encoder tail;
+  tail.PutU32(crc);
+  body += tail.Take();
+  return body;
+}
+
+Status DecodeSnapshot(std::string_view data, SnapshotImage* out) {
+  if (data.size() < sizeof(kSnapshotMagic) + sizeof(uint32_t)) {
+    return Status::IoError("snapshot: file too short");
+  }
+  if (data.compare(0, sizeof(kSnapshotMagic),
+                   std::string_view(kSnapshotMagic, sizeof(kSnapshotMagic))) !=
+      0) {
+    return Status::IoError("snapshot: bad magic");
+  }
+  std::string_view body = data.substr(0, data.size() - sizeof(uint32_t));
+  Decoder crc_dec(data.substr(body.size()));
+  uint32_t stored = 0;
+  PGT_RETURN_IF_ERROR(crc_dec.GetU32(&stored));
+  if (UnmaskCrc(stored) != Crc32c(body.data(), body.size())) {
+    return Status::IoError("snapshot: checksum mismatch");
+  }
+
+  SnapshotImage img;
+  Decoder dec(body.substr(sizeof(kSnapshotMagic)));
+  PGT_RETURN_IF_ERROR(dec.GetU64(&img.first_live_seq));
+  PGT_RETURN_IF_ERROR(dec.GetU64(&img.wal_epoch));
+  PGT_RETURN_IF_ERROR(dec.GetU64(&img.committed_count));
+  PGT_RETURN_IF_ERROR(dec.GetI64(&img.clock_micros));
+
+  PGT_RETURN_IF_ERROR(GetStringVec(dec, &img.labels, "label"));
+  PGT_RETURN_IF_ERROR(GetStringVec(dec, &img.rel_types, "rel-type"));
+  PGT_RETURN_IF_ERROR(GetStringVec(dec, &img.prop_keys, "prop-key"));
+
+  uint32_t n = 0;
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  PGT_RETURN_IF_ERROR(CheckCount(n, "node"));
+  img.nodes.resize(n);
+  for (SnapshotNode& node : img.nodes) {
+    uint8_t alive = 0;
+    PGT_RETURN_IF_ERROR(dec.GetU8(&alive));
+    node.alive = alive != 0;
+    uint32_t nlabels = 0;
+    PGT_RETURN_IF_ERROR(dec.GetU32(&nlabels));
+    PGT_RETURN_IF_ERROR(CheckCount(nlabels, "node-label"));
+    node.labels.resize(nlabels);
+    for (LabelId& l : node.labels) PGT_RETURN_IF_ERROR(dec.GetU32(&l));
+    PGT_RETURN_IF_ERROR(dec.GetPropMap(&node.props));
+  }
+
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  PGT_RETURN_IF_ERROR(CheckCount(n, "rel"));
+  img.rels.resize(n);
+  for (SnapshotRel& rel : img.rels) {
+    uint8_t alive = 0;
+    PGT_RETURN_IF_ERROR(dec.GetU8(&alive));
+    rel.alive = alive != 0;
+    PGT_RETURN_IF_ERROR(dec.GetU32(&rel.type));
+    PGT_RETURN_IF_ERROR(dec.GetU64(&rel.src.value));
+    PGT_RETURN_IF_ERROR(dec.GetU64(&rel.dst.value));
+    PGT_RETURN_IF_ERROR(dec.GetPropMap(&rel.props));
+  }
+
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  PGT_RETURN_IF_ERROR(CheckCount(n, "index"));
+  img.indexes.resize(n);
+  for (SnapshotIndexSpec& ix : img.indexes) {
+    std::string_view s;
+    PGT_RETURN_IF_ERROR(dec.GetString(&s));
+    ix.label.assign(s);
+    PGT_RETURN_IF_ERROR(dec.GetString(&s));
+    ix.prop.assign(s);
+    PGT_RETURN_IF_ERROR(dec.GetU8(&ix.kind));
+    uint8_t b = 0;
+    PGT_RETURN_IF_ERROR(dec.GetU8(&b));
+    ix.unique = b != 0;
+    PGT_RETURN_IF_ERROR(dec.GetU8(&b));
+    ix.enforce_on_write = b != 0;
+  }
+
+  uint8_t has_schema = 0;
+  PGT_RETURN_IF_ERROR(dec.GetU8(&has_schema));
+  if (has_schema != 0) {
+    std::string_view s;
+    PGT_RETURN_IF_ERROR(dec.GetString(&s));
+    img.schema_ddl.emplace(s);
+  }
+
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  PGT_RETURN_IF_ERROR(CheckCount(n, "trigger"));
+  img.triggers.resize(n);
+  for (SnapshotTrigger& t : img.triggers) {
+    std::string_view s;
+    PGT_RETURN_IF_ERROR(dec.GetString(&s));
+    t.ddl.assign(s);
+    uint8_t b = 0;
+    PGT_RETURN_IF_ERROR(dec.GetU8(&b));
+    t.enabled = b != 0;
+  }
+
+  if (!dec.AtEnd()) {
+    return Status::IoError("snapshot: trailing bytes after image");
+  }
+  *out = std::move(img);
+  return Status::OK();
+}
+
+}  // namespace pgt::wal

@@ -1,0 +1,183 @@
+#include "src/wal/vfs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace pgt::wal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+      size_ += static_cast<uint64_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+#if defined(__APPLE__)
+    if (::fsync(fd_) != 0) return Errno("fsync", path_);
+#else
+    if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Errno("close", path_);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+class PosixVfs final : public Vfs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                    0644);
+    if (fd < 0) return Errno("open", path);
+    off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0) {
+      ::close(fd);
+      return Errno("lseek", path);
+    }
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(fd, path, static_cast<uint64_t>(size)));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open", path);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Errno("read", path);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) {
+      return Status::IoError("listdir '" + dir + "': " + ec.message());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Status Delete(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::IoError("delete '" + path + "': " +
+                             (ec ? ec.message() : "no such file"));
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::IoError("rename '" + from + "' -> '" + to +
+                             "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Errno("truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IoError("mkdir '" + dir + "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return Errno("open dir", dir);
+    Status st;
+    if (::fsync(fd) != 0) st = Errno("fsync dir", dir);
+    ::close(fd);
+    return st;
+  }
+};
+
+}  // namespace
+
+Vfs* Vfs::Posix() {
+  static PosixVfs* vfs = new PosixVfs();  // leaked singleton, never torn down
+  return vfs;
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (!out.empty() && out.back() != '/') out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+}  // namespace pgt::wal

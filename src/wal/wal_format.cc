@@ -1,0 +1,299 @@
+#include "src/wal/wal_format.h"
+
+#include "src/common/macros.h"
+#include "src/storage/graph_store.h"
+#include "src/wal/crc32c.h"
+
+namespace pgt::wal {
+
+namespace {
+
+void PutDictDelta(Encoder* enc, const DictDelta& d) {
+  enc->PutU32(d.label_base);
+  enc->PutU32(static_cast<uint32_t>(d.labels.size()));
+  for (const std::string& s : d.labels) enc->PutString(s);
+  enc->PutU32(d.rel_type_base);
+  enc->PutU32(static_cast<uint32_t>(d.rel_types.size()));
+  for (const std::string& s : d.rel_types) enc->PutString(s);
+  enc->PutU32(d.prop_key_base);
+  enc->PutU32(static_cast<uint32_t>(d.prop_keys.size()));
+  for (const std::string& s : d.prop_keys) enc->PutString(s);
+}
+
+Status GetDictDelta(Decoder* dec, DictDelta* d) {
+  auto get_section = [dec](uint32_t* base,
+                           std::vector<std::string>* names) -> Status {
+    PGT_RETURN_IF_ERROR(dec->GetU32(base));
+    uint32_t n;
+    PGT_RETURN_IF_ERROR(dec->GetU32(&n));
+    names->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string_view s;
+      PGT_RETURN_IF_ERROR(dec->GetString(&s));
+      names->emplace_back(s);
+    }
+    return Status::OK();
+  };
+  PGT_RETURN_IF_ERROR(get_section(&d->label_base, &d->labels));
+  PGT_RETURN_IF_ERROR(get_section(&d->rel_type_base, &d->rel_types));
+  return get_section(&d->prop_key_base, &d->prop_keys);
+}
+
+void PutLabels(Encoder* enc, const std::vector<LabelId>& labels) {
+  enc->PutU32(static_cast<uint32_t>(labels.size()));
+  for (LabelId l : labels) enc->PutU32(l);
+}
+
+Status GetLabels(Decoder* dec, std::vector<LabelId>* labels) {
+  uint32_t n;
+  PGT_RETURN_IF_ERROR(dec->GetU32(&n));
+  labels->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t l;
+    PGT_RETURN_IF_ERROR(dec->GetU32(&l));
+    labels->push_back(l);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DictDelta BuildDictDelta(const GraphStore& store, LoggedDictSizes* logged) {
+  DictDelta d;
+  d.label_base = logged->labels;
+  for (uint32_t i = logged->labels; i < store.LabelDictSize(); ++i) {
+    d.labels.push_back(store.LabelName(i));
+  }
+  d.rel_type_base = logged->rel_types;
+  for (uint32_t i = logged->rel_types; i < store.RelTypeDictSize(); ++i) {
+    d.rel_types.push_back(store.RelTypeName(i));
+  }
+  d.prop_key_base = logged->prop_keys;
+  for (uint32_t i = logged->prop_keys; i < store.PropKeyDictSize(); ++i) {
+    d.prop_keys.push_back(store.PropKeyName(i));
+  }
+  logged->labels = static_cast<uint32_t>(store.LabelDictSize());
+  logged->rel_types = static_cast<uint32_t>(store.RelTypeDictSize());
+  logged->prop_keys = static_cast<uint32_t>(store.PropKeyDictSize());
+  return d;
+}
+
+Status ApplyDictDelta(GraphStore& store, const DictDelta& delta) {
+  struct Section {
+    const char* what;
+    uint32_t base;
+    const std::vector<std::string>* names;
+  };
+  const Section sections[3] = {
+      {"label", delta.label_base, &delta.labels},
+      {"rel type", delta.rel_type_base, &delta.rel_types},
+      {"prop key", delta.prop_key_base, &delta.prop_keys},
+  };
+  for (const Section& sec : sections) {
+    for (uint32_t i = 0; i < sec.names->size(); ++i) {
+      const uint32_t expect = sec.base + i;
+      const std::string& name = (*sec.names)[i];
+      size_t size;
+      uint32_t got;
+      if (sec.what[0] == 'l') {
+        size = store.LabelDictSize();
+        if (expect > size) {
+          return Status::IoError("dict delta gap: label id " +
+                                 std::to_string(expect) + " with only " +
+                                 std::to_string(size) + " interned");
+        }
+        got = store.InternLabel(name);
+      } else if (sec.what[0] == 'r') {
+        size = store.RelTypeDictSize();
+        if (expect > size) {
+          return Status::IoError("dict delta gap: rel type id " +
+                                 std::to_string(expect) + " with only " +
+                                 std::to_string(size) + " interned");
+        }
+        got = store.InternRelType(name);
+      } else {
+        size = store.PropKeyDictSize();
+        if (expect > size) {
+          return Status::IoError("dict delta gap: prop key id " +
+                                 std::to_string(expect) + " with only " +
+                                 std::to_string(size) + " interned");
+        }
+        got = store.InternPropKey(name);
+      }
+      if (got != expect) {
+        return Status::IoError(std::string("dict delta mismatch: ") +
+                               sec.what + " '" + name + "' resolved to id " +
+                               std::to_string(got) + ", log expects " +
+                               std::to_string(expect));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeCommitPayload(const WalCommit& c) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(WalRecordType::kCommit));
+  PutDictDelta(&enc, c.dicts);
+  enc.PutU64(c.epoch);
+  enc.PutU64(c.committed_after);
+  enc.PutI64(c.clock_after);
+
+  enc.PutU32(static_cast<uint32_t>(c.node_creates.size()));
+  for (const WalNodeCreate& n : c.node_creates) {
+    enc.PutU64(n.id.value);
+    PutLabels(&enc, n.labels);
+    enc.PutPropMap(n.props);
+  }
+  enc.PutU32(static_cast<uint32_t>(c.rel_creates.size()));
+  for (const WalRelCreate& r : c.rel_creates) {
+    enc.PutU64(r.id.value);
+    enc.PutU32(r.type);
+    enc.PutU64(r.src.value);
+    enc.PutU64(r.dst.value);
+    enc.PutPropMap(r.props);
+  }
+  enc.PutU32(static_cast<uint32_t>(c.node_updates.size()));
+  for (const WalNodeUpdate& n : c.node_updates) {
+    enc.PutU64(n.id.value);
+    PutLabels(&enc, n.labels);
+    enc.PutPropMap(n.props);
+  }
+  enc.PutU32(static_cast<uint32_t>(c.rel_updates.size()));
+  for (const WalRelUpdate& r : c.rel_updates) {
+    enc.PutU64(r.id.value);
+    enc.PutPropMap(r.props);
+  }
+  enc.PutU32(static_cast<uint32_t>(c.rel_deletes.size()));
+  for (RelId id : c.rel_deletes) enc.PutU64(id.value);
+  enc.PutU32(static_cast<uint32_t>(c.node_deletes.size()));
+  for (NodeId id : c.node_deletes) enc.PutU64(id.value);
+  return enc.Take();
+}
+
+Status DecodeCommitPayload(std::string_view payload, WalCommit* out) {
+  Decoder dec(payload);
+  uint8_t type;
+  PGT_RETURN_IF_ERROR(dec.GetU8(&type));
+  if (type != static_cast<uint8_t>(WalRecordType::kCommit)) {
+    return Status::IoError("not a commit record");
+  }
+  PGT_RETURN_IF_ERROR(GetDictDelta(&dec, &out->dicts));
+  PGT_RETURN_IF_ERROR(dec.GetU64(&out->epoch));
+  PGT_RETURN_IF_ERROR(dec.GetU64(&out->committed_after));
+  PGT_RETURN_IF_ERROR(dec.GetI64(&out->clock_after));
+
+  uint32_t n;
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  out->node_creates.resize(n);
+  for (WalNodeCreate& nc : out->node_creates) {
+    PGT_RETURN_IF_ERROR(dec.GetU64(&nc.id.value));
+    PGT_RETURN_IF_ERROR(GetLabels(&dec, &nc.labels));
+    PGT_RETURN_IF_ERROR(dec.GetPropMap(&nc.props));
+  }
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  out->rel_creates.resize(n);
+  for (WalRelCreate& rc : out->rel_creates) {
+    PGT_RETURN_IF_ERROR(dec.GetU64(&rc.id.value));
+    PGT_RETURN_IF_ERROR(dec.GetU32(&rc.type));
+    PGT_RETURN_IF_ERROR(dec.GetU64(&rc.src.value));
+    PGT_RETURN_IF_ERROR(dec.GetU64(&rc.dst.value));
+    PGT_RETURN_IF_ERROR(dec.GetPropMap(&rc.props));
+  }
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  out->node_updates.resize(n);
+  for (WalNodeUpdate& nu : out->node_updates) {
+    PGT_RETURN_IF_ERROR(dec.GetU64(&nu.id.value));
+    PGT_RETURN_IF_ERROR(GetLabels(&dec, &nu.labels));
+    PGT_RETURN_IF_ERROR(dec.GetPropMap(&nu.props));
+  }
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  out->rel_updates.resize(n);
+  for (WalRelUpdate& ru : out->rel_updates) {
+    PGT_RETURN_IF_ERROR(dec.GetU64(&ru.id.value));
+    PGT_RETURN_IF_ERROR(dec.GetPropMap(&ru.props));
+  }
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  out->rel_deletes.resize(n);
+  for (RelId& id : out->rel_deletes) {
+    PGT_RETURN_IF_ERROR(dec.GetU64(&id.value));
+  }
+  PGT_RETURN_IF_ERROR(dec.GetU32(&n));
+  out->node_deletes.resize(n);
+  for (NodeId& id : out->node_deletes) {
+    PGT_RETURN_IF_ERROR(dec.GetU64(&id.value));
+  }
+  if (!dec.AtEnd()) {
+    return Status::IoError("commit record has trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string EncodeDdlPayload(const WalDdl& d) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(WalRecordType::kDdl));
+  PutDictDelta(&enc, d.dicts);
+  enc.PutU8(static_cast<uint8_t>(d.kind));
+  enc.PutString(d.text);
+  return enc.Take();
+}
+
+Status DecodeDdlPayload(std::string_view payload, WalDdl* out) {
+  Decoder dec(payload);
+  uint8_t type;
+  PGT_RETURN_IF_ERROR(dec.GetU8(&type));
+  if (type != static_cast<uint8_t>(WalRecordType::kDdl)) {
+    return Status::IoError("not a DDL record");
+  }
+  PGT_RETURN_IF_ERROR(GetDictDelta(&dec, &out->dicts));
+  uint8_t kind;
+  PGT_RETURN_IF_ERROR(dec.GetU8(&kind));
+  if (kind < 1 || kind > 4) {
+    return Status::IoError("unknown DDL kind " + std::to_string(kind));
+  }
+  out->kind = static_cast<WalDdlKind>(kind);
+  std::string_view text;
+  PGT_RETURN_IF_ERROR(dec.GetString(&text));
+  out->text.assign(text);
+  if (!dec.AtEnd()) {
+    return Status::IoError("DDL record has trailing bytes");
+  }
+  return Status::OK();
+}
+
+void AppendFramedRecord(std::string* out, std::string_view payload) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  enc.PutU32(MaskCrc(Crc32c(payload)));
+  out->append(enc.buffer());
+  out->append(payload);
+}
+
+Status ReadFramedRecord(std::string_view data, size_t* offset,
+                        std::string_view* payload) {
+  if (data.size() - *offset < kRecordHeaderSize) {
+    return Status::IoError("torn: record header past end of segment");
+  }
+  Decoder dec(data.substr(*offset, kRecordHeaderSize));
+  uint32_t len, masked;
+  PGT_RETURN_IF_ERROR(dec.GetU32(&len));
+  PGT_RETURN_IF_ERROR(dec.GetU32(&masked));
+  if (len > kMaxRecordPayload) {
+    // A length this large is a corrupt header, not a real record; it is
+    // still "torn" in the sense that recovery may stop here at a tail.
+    return Status::IoError("torn: implausible record length " +
+                           std::to_string(len));
+  }
+  if (data.size() - *offset - kRecordHeaderSize < len) {
+    return Status::IoError("torn: record body past end of segment");
+  }
+  std::string_view body = data.substr(*offset + kRecordHeaderSize, len);
+  if (Crc32c(body) != UnmaskCrc(masked)) {
+    return Status::IoError("torn: record checksum mismatch");
+  }
+  *offset += kRecordHeaderSize + len;
+  *payload = body;
+  return Status::OK();
+}
+
+}  // namespace pgt::wal

@@ -1,0 +1,165 @@
+#ifndef PGTRIGGERS_WAL_WAL_FORMAT_H_
+#define PGTRIGGERS_WAL_WAL_FORMAT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/prop_map.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/wal/serialize.h"
+
+namespace pgt {
+class GraphStore;
+class Transaction;
+}  // namespace pgt
+
+namespace pgt::wal {
+
+/// On-disk layout (docs/durability.md):
+///
+///   segment file  := header record*
+///   header        := "PGTWAL01" u64(segment seq)
+///   record        := u32(payload len) u32(masked crc32c of payload) payload
+///   payload       := u8(WalRecordType) body
+///
+/// Records are length-prefixed and individually checksummed: recovery can
+/// stop at the first invalid record (a torn tail from power loss) while a
+/// valid prefix stays fully usable.
+inline constexpr char kSegmentMagic[8] = {'P', 'G', 'T', 'W',
+                                          'A', 'L', '0', '1'};
+inline constexpr size_t kSegmentHeaderSize = 16;  // magic + u64 seq
+inline constexpr size_t kRecordHeaderSize = 8;    // u32 len + u32 crc
+/// Upper bound on a single record payload (sanity check against a corrupt
+/// length field sending recovery on a multi-GB read).
+inline constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+enum class WalRecordType : uint8_t {
+  kCommit = 1,  ///< canonical final-state image of one committed transaction
+  kDdl = 2,     ///< trigger / index / schema DDL statement
+};
+
+enum class WalDdlKind : uint8_t {
+  kTriggerDdl = 1,    ///< CREATE/DROP/ALTER TRIGGER text, replayed verbatim
+  kIndexDdl = 2,      ///< CREATE/DROP INDEX text, replayed verbatim
+  kAttachSchema = 3,  ///< CREATE GRAPH TYPE text -> AttachSchema
+  kDetachSchema = 4,  ///< AttachSchema(nullopt); no text
+};
+
+/// New interner entries since the previous record. Every record (commit and
+/// DDL alike) carries the delta, because both commits and DDL can intern
+/// names — and replay must re-intern in exactly first-seen order for the
+/// dense ids embedded in later records to resolve to the same symbols.
+struct DictDelta {
+  uint32_t label_base = 0, rel_type_base = 0, prop_key_base = 0;
+  std::vector<std::string> labels, rel_types, prop_keys;
+
+  bool Empty() const {
+    return labels.empty() && rel_types.empty() && prop_keys.empty();
+  }
+};
+
+/// Running per-database count of dictionary entries already logged;
+/// BuildDictDelta emits everything the store interned past these marks and
+/// advances them.
+struct LoggedDictSizes {
+  uint32_t labels = 0, rel_types = 0, prop_keys = 0;
+};
+
+DictDelta BuildDictDelta(const GraphStore& store, LoggedDictSizes* logged);
+
+/// Re-interns the delta. Idempotent against entries a replayed DDL already
+/// interned (same name, same id); any id/name disagreement is corruption
+/// and fails with IoError.
+Status ApplyDictDelta(GraphStore& store, const DictDelta& delta);
+
+// --- Canonical commit record -------------------------------------------------
+//
+// Not an operation history: the record stores the *final* committed image of
+// every item the transaction touched. The GraphDelta that feeds trigger
+// dispatch only carries ids for creations, so images are read back from the
+// live store at append time (mutations apply eagerly; at the commit point
+// the store already holds the final state). Replay order — creates, updates,
+// rel deletes, node deletes — re-allocates the same dense ids and reproduces
+// append-only adjacency exactly.
+
+/// A node created by the transaction. Doomed items (created then deleted in
+/// the same transaction) are logged with empty labels/props and re-deleted
+/// by the delete sections: the id must still be burned, because ids are
+/// never reused and later records embed ids allocated after it.
+struct WalNodeCreate {
+  NodeId id;
+  std::vector<LabelId> labels;  // sorted
+  PropMap props;
+};
+
+struct WalRelCreate {
+  RelId id;
+  RelTypeId type = 0;
+  NodeId src;
+  NodeId dst;
+  PropMap props;
+};
+
+/// Final image of a pre-existing node the transaction relabeled or
+/// re-propertied (creations/deletions carry their own sections).
+struct WalNodeUpdate {
+  NodeId id;
+  std::vector<LabelId> labels;  // sorted
+  PropMap props;
+};
+
+struct WalRelUpdate {
+  RelId id;
+  PropMap props;
+};
+
+struct WalCommit {
+  uint64_t epoch = 0;            ///< 1-based ordinal among logged commits
+  uint64_t committed_after = 0;  ///< TransactionManager count after commit
+  int64_t clock_after = 0;       ///< LogicalClock reading after commit
+  DictDelta dicts;
+
+  std::vector<WalNodeCreate> node_creates;  // id order
+  std::vector<WalRelCreate> rel_creates;    // id order
+  std::vector<WalNodeUpdate> node_updates;  // id order
+  std::vector<WalRelUpdate> rel_updates;    // id order
+  std::vector<RelId> rel_deletes;           // execution order
+  std::vector<NodeId> node_deletes;         // execution order
+};
+
+struct WalDdl {
+  WalDdlKind kind = WalDdlKind::kTriggerDdl;
+  std::string text;
+  DictDelta dicts;
+};
+
+// --- Payload encode / decode -------------------------------------------------
+
+std::string EncodeCommitPayload(const WalCommit& c);
+std::string EncodeDdlPayload(const WalDdl& d);
+
+/// `payload` must start with the matching WalRecordType byte.
+Status DecodeCommitPayload(std::string_view payload, WalCommit* out);
+Status DecodeDdlPayload(std::string_view payload, WalDdl* out);
+
+// --- Record framing ----------------------------------------------------------
+
+/// Appends `u32 len + u32 masked crc + payload` to `out`.
+void AppendFramedRecord(std::string* out, std::string_view payload);
+
+/// Reads one framed record starting at `*offset`; on success advances
+/// `*offset` past it and points `*payload` into `data`.
+/// Distinguishes two failures: kIoError with message prefix "torn:" when the
+/// tail is short or the checksum fails (tolerable at the end of the last
+/// segment), other messages for structural corruption.
+Status ReadFramedRecord(std::string_view data, size_t* offset,
+                        std::string_view* payload);
+
+}  // namespace pgt::wal
+
+#endif  // PGTRIGGERS_WAL_WAL_FORMAT_H_

@@ -1,0 +1,146 @@
+#ifndef PGTRIGGERS_WAL_WAL_MANAGER_H_
+#define PGTRIGGERS_WAL_WAL_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/wal/snapshot_file.h"
+#include "src/wal/vfs.h"
+#include "src/wal/wal_format.h"
+
+namespace pgt::wal {
+
+struct WalOptions {
+  /// Directory holding segments (`wal-<seq>.log`), snapshots
+  /// (`snap-<seq>.pgs`), and the CLEAN shutdown marker. Created if missing.
+  std::string dir;
+  /// Filesystem to write through; nullptr selects Vfs::Posix(). Crash tests
+  /// substitute the MemVfs fault shim.
+  Vfs* vfs = nullptr;
+  /// When false no durability barrier is ever issued: commits survive a
+  /// process crash (the OS has the bytes) but not power loss.
+  bool fsync = true;
+  /// Group-commit width: one fsync per `group_size` appended commits.
+  /// 1 = strict per-commit durability; larger values trade a bounded
+  /// data-loss window (the unsynced suffix) for fsync amortization.
+  uint32_t group_size = 8;
+  /// Segment rotation threshold.
+  uint64_t segment_bytes = 64ull << 20;
+  /// Auto-checkpoint every N commits; 0 = manual (Database::CheckpointNow).
+  uint64_t snapshot_interval = 0;
+};
+
+struct RecoveryStats {
+  bool clean_shutdown = false;
+  bool snapshot_loaded = false;
+  uint64_t segments_replayed = 0;
+  uint64_t commits_replayed = 0;
+  uint64_t ddl_replayed = 0;
+  /// Bytes discarded from the torn tail of the last segment (0 after a
+  /// clean shutdown or an exact-boundary crash).
+  uint64_t torn_bytes_discarded = 0;
+};
+
+/// Receives the recovered history in order: at most one snapshot first, then
+/// every logged record. Implemented by Database (src/trigger/database.cc),
+/// which routes commits through the normal commit path so snapshot
+/// publication and trigger catalogs come out consistent.
+class WalReplayHandler {
+ public:
+  virtual ~WalReplayHandler() = default;
+  virtual Status OnSnapshot(SnapshotImage&& img) = 0;
+  virtual Status OnCommit(WalCommit&& c) = 0;
+  virtual Status OnDdl(WalDdl&& d) = 0;
+};
+
+/// Single-writer write-ahead log with compacted snapshots.
+///
+/// Lifecycle: Open -> Recover(handler) -> StartAppending -> Append*/Flush/
+/// checkpointing -> CloseClean. Recovery replays the newest valid snapshot
+/// plus every contiguous segment at or above its `first_live_seq`, stopping
+/// at the first torn record in the last segment (which is physically
+/// truncated away so the next recovery sees a clean chain). Any IO failure
+/// while appending poisons the log: the in-memory store may then be ahead
+/// of what the log can ever replay, so further appends are refused rather
+/// than logging a history with a hole in it.
+class WalManager {
+ public:
+  static Result<std::unique_ptr<WalManager>> Open(WalOptions opts);
+
+  /// Scans the directory and feeds the recovered history to `handler`.
+  /// Call exactly once, before StartAppending.
+  Status Recover(WalReplayHandler& handler);
+
+  /// Opens a fresh segment (seq = highest seen + 1). Old tails are never
+  /// re-appended to — a truncated tail stays immutable evidence.
+  Status StartAppending();
+
+  /// Stamps `c.epoch`, appends, and syncs when the group fills (DDL and
+  /// strict mode sync immediately). Caller fills everything else in `c`
+  /// (dict delta, committed_after, clock_after) beforehand.
+  Status AppendCommit(WalCommit& c);
+  Status AppendDdl(const WalDdl& d);
+
+  /// Syncs any unsynced group suffix.
+  Status Flush();
+
+  /// Flush + close + write the CLEAN marker recording the exact tail, so
+  /// the next recovery runs in strict mode (no torn-tail tolerance).
+  Status CloseClean();
+
+  /// True once `snapshot_interval` commits accumulated since the last one.
+  bool ShouldSnapshot() const;
+
+  /// Seals the current segment and opens the next; returns the new seq,
+  /// which becomes the snapshot's `first_live_seq`. The new segment header
+  /// is made durable before this returns, so a snapshot naming it can never
+  /// point at a missing file.
+  Result<uint64_t> RotateForSnapshot();
+
+  /// Durably publishes the snapshot (tmp + fsync + rename + dir sync), then
+  /// purges segments and snapshots below `img.first_live_seq`.
+  Status WriteSnapshot(const SnapshotImage& img);
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  /// Epoch of the last commit in the log (snapshot-covered included).
+  uint64_t logged_epoch() const { return logged_epoch_; }
+  bool broken() const { return broken_; }
+  /// Marks the log unusable (e.g. the store committed but the matching
+  /// append failed, so log and memory have diverged).
+  void Poison() { broken_ = true; }
+
+  const WalOptions& options() const { return opts_; }
+
+ private:
+  explicit WalManager(WalOptions opts);
+
+  Status OpenSegment(uint64_t seq);
+  Status AppendRecord(std::string_view payload, bool sync_now);
+  Status SyncNow();
+
+  WalOptions opts_;
+  Vfs* vfs_ = nullptr;
+
+  std::unique_ptr<WritableFile> file_;  // current segment, null until
+                                        // StartAppending
+  uint64_t cur_seq_ = 0;
+  uint64_t next_seq_ = 0;  // first unused segment seq
+  uint64_t cur_size_ = 0;
+
+  uint64_t logged_epoch_ = 0;
+  uint32_t pending_in_group_ = 0;
+  uint64_t commits_since_snapshot_ = 0;
+
+  bool recovered_ = false;
+  bool appending_ = false;
+  bool broken_ = false;
+
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace pgt::wal
+
+#endif  // PGTRIGGERS_WAL_WAL_MANAGER_H_
