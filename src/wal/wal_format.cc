@@ -284,6 +284,12 @@ Status ReadFramedRecord(std::string_view data, size_t* offset,
     return Status::IoError("torn: implausible record length " +
                            std::to_string(len));
   }
+  if (len == 0) {
+    // No valid record is empty (the type byte is mandatory), so an empty
+    // frame is corruption even though its CRC can verify — and handing back
+    // an empty payload would make the caller's type dispatch read past it.
+    return Status::IoError("torn: empty record");
+  }
   if (data.size() - *offset - kRecordHeaderSize < len) {
     return Status::IoError("torn: record body past end of segment");
   }

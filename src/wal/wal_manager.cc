@@ -87,9 +87,14 @@ Status WalManager::Recover(WalReplayHandler& handler) {
   std::sort(segment_seqs.begin(), segment_seqs.end());
   std::sort(snapshot_seqs.begin(), snapshot_seqs.end());
 
+  // The next append seq comes from the segment chain alone. In every
+  // legitimate state the newest segment is at or above the newest snapshot
+  // (rotation durably creates the segment a snapshot names before the
+  // snapshot is written), and letting a stray snapshot name push the
+  // counter past the chain would open a permanent gap the chain check
+  // rejects on every later open.
   uint64_t max_seen = 0;
   for (uint64_t s : segment_seqs) max_seen = std::max(max_seen, s);
-  for (uint64_t s : snapshot_seqs) max_seen = std::max(max_seen, s);
 
   // CLEAN marker: written by CloseClean, consumed (deleted) here. If it
   // names the exact tail we recover in strict mode — any torn record is
@@ -119,11 +124,12 @@ Status WalManager::Recover(WalReplayHandler& handler) {
   // below the oldest first_live_seq were already purged.
   uint64_t replay_from = 0;
   for (auto it = snapshot_seqs.rbegin(); it != snapshot_seqs.rend(); ++it) {
-    PGT_ASSIGN_OR_RETURN(
-        std::string data,
-        vfs_->ReadFile(JoinPath(opts_.dir, SnapshotName(*it))));
+    Result<std::string> data =
+        vfs_->ReadFile(JoinPath(opts_.dir, SnapshotName(*it)));
+    if (!data.ok()) continue;  // unreadable counts as invalid, same as a
+                               // failed decode: fall back to an older one
     SnapshotImage img;
-    if (!DecodeSnapshot(data, &img).ok()) continue;
+    if (!DecodeSnapshot(*data, &img).ok()) continue;
     replay_from = img.first_live_seq;
     logged_epoch_ = img.wal_epoch;
     recovery_stats_.snapshot_loaded = true;
@@ -153,6 +159,8 @@ Status WalManager::Recover(WalReplayHandler& handler) {
     }
   }
 
+  next_seq_ = max_seen + 1;
+
   for (size_t si = 0; si < replay.size(); ++si) {
     const uint64_t seq = replay[si];
     const bool is_last = si + 1 == replay.size();
@@ -177,6 +185,14 @@ Status WalManager::Recover(WalReplayHandler& handler) {
       if (is_last && !strict) {
         recovery_stats_.torn_bytes_discarded += data.size();
         PGT_RETURN_IF_ERROR(vfs_->Delete(path));
+        // The delete must be durable before a segment with the same name is
+        // created afresh: power loss that persists the new file but not the
+        // delete would splice the junk bytes back into the chain.
+        if (opts_.fsync) PGT_RETURN_IF_ERROR(vfs_->SyncDir(opts_.dir));
+        // Reuse the deleted seq for the next segment. Allocating max_seen+1
+        // instead would leave a permanent hole in the chain that the gap
+        // check above rejects on every later open.
+        next_seq_ = seq;
         break;
       }
       return Status::IoError("wal: bad segment header in " + SegmentName(seq));
@@ -192,7 +208,12 @@ Status WalManager::Recover(WalReplayHandler& handler) {
           recovery_stats_.torn_bytes_discarded += data.size() - off;
           // Truncate in place: after the next rotation this segment is no
           // longer last, and a lingering torn tail would read as corruption.
+          // The repair is fsynced before StartAppending creates a newer
+          // segment — an unsynced truncate lost to a second power failure
+          // would resurrect the tail in a segment that is no longer last,
+          // where tolerance no longer applies.
           PGT_RETURN_IF_ERROR(vfs_->Truncate(path, off));
+          PGT_RETURN_IF_ERROR(SyncRepairedFile(path));
           stop = true;
           break;
         }
@@ -231,9 +252,16 @@ Status WalManager::Recover(WalReplayHandler& handler) {
     if (stop) break;
   }
 
-  next_seq_ = max_seen + 1;
   recovered_ = true;
   return Status::OK();
+}
+
+Status WalManager::SyncRepairedFile(const std::string& path) {
+  if (!opts_.fsync) return Status::OK();
+  PGT_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> f,
+                       vfs_->OpenAppend(path));
+  PGT_RETURN_IF_ERROR(f->Sync());
+  return f->Close();
 }
 
 Status WalManager::StartAppending() {

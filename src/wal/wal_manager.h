@@ -120,6 +120,8 @@ class WalManager {
   Status OpenSegment(uint64_t seq);
   Status AppendRecord(std::string_view payload, bool sync_now);
   Status SyncNow();
+  /// fsyncs a file recovery repaired in place (no-op when fsync is off).
+  Status SyncRepairedFile(const std::string& path);
 
   WalOptions opts_;
   Vfs* vfs_ = nullptr;

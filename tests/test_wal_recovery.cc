@@ -331,6 +331,83 @@ TEST(WalRecovery, BitFlipInTailStopsAtCorruption) {
   }
 }
 
+TEST(WalRecovery, BadHeaderTailSegmentDeletedAndSeqReused) {
+  const std::vector<std::string> refs = ReferenceStates();
+  // A crash inside rotation's OpenSegment leaves the next segment file
+  // present but with a missing or torn header. Model every flavor: nothing
+  // reached the file, a prefix of the magic, and a full-size header whose
+  // seq does not match the name.
+  const std::string junks[] = {
+      "",
+      "PGTW",
+      std::string("PGTWAL01\x09\0\0\0\0\0\0\0", 16),
+  };
+  for (const std::string& junk : junks) {
+    wal::MemVfs vfs;
+    {
+      auto db = Database::Open(Opts(&vfs));
+      ASSERT_TRUE(db.ok()) << db.status();
+      ApplyWorkload(**db, 3);
+      ASSERT_TRUE((*db)->Close().ok());
+    }
+    // The workload fits in segment 1, so the crashed rotation's segment is 2.
+    const std::string junk_path =
+        wal::JoinPath(kDir, "wal-0000000002.log");
+    {
+      auto f = vfs.OpenAppend(junk_path);
+      ASSERT_TRUE(f.ok());
+      if (!junk.empty()) ASSERT_TRUE((*f)->Append(junk).ok());
+    }
+    // Recovery drops the junk segment and must reuse its sequence number
+    // for the segment StartAppending creates.
+    auto db = Database::Open(Opts(&vfs));
+    ASSERT_TRUE(db.ok()) << "junk size " << junk.size() << ": " << db.status();
+    EXPECT_EQ(DumpState(**db), refs[3]);
+    ASSERT_TRUE((*db)->Execute(kDml[3]).ok());
+    ASSERT_TRUE((*db)->Close().ok());
+    // Regression: allocating max_seen+1 instead would create wal-3 with
+    // wal-2 gone, and this reopen (and every later one) would hard-fail
+    // with a chain-gap error despite the clean shutdown above.
+    auto again = Database::Open(Opts(&vfs));
+    ASSERT_TRUE(again.ok()) << "junk size " << junk.size() << ": "
+                            << again.status();
+    EXPECT_TRUE((*again)->wal()->recovery_stats().clean_shutdown);
+    EXPECT_EQ(DumpState(**again), refs[4]);
+    ASSERT_TRUE((*again)->Close().ok());
+  }
+}
+
+TEST(WalRecovery, TornTailRepairIsSyncedBeforeAppending) {
+  const std::vector<std::string> refs = ReferenceStates();
+  wal::MemVfs vfs;
+  auto db = Database::Open(Opts(&vfs, /*group_size=*/64));
+  ASSERT_TRUE(db.ok()) << db.status();
+  ApplyWorkload(**db, kDmlCount);
+  const std::string seg = LastSegmentPath(vfs);
+  const uint64_t unsynced = vfs.UnsyncedBytes(seg);
+  ASSERT_GT(unsynced, 1u);
+  // Keep all but the final byte of the tail: the last record is torn.
+  auto crashed = vfs.CloneCrashed(seg, unsynced - 1);
+
+  // The very first fsync of the reopen must be the repaired segment's:
+  // recovery makes its truncate durable before any newer segment exists,
+  // and a failure of that fsync aborts the open instead of being skipped.
+  crashed->SetFaultPlan({.fail_sync_at = 1});
+  EXPECT_FALSE(Database::Open(Opts(crashed.get(), 64)).ok());
+  // The repair fsync aborts recovery before StartAppending runs — without
+  // it, sync #1 would instead be the next segment's header sync, which
+  // only fires after that segment's file is created.
+  EXPECT_FALSE(crashed->Exists(wal::JoinPath(kDir, "wal-0000000002.log")));
+
+  // The truncate itself already happened; with fsync healthy again the
+  // next open recovers the durable prefix plus every intact tail record.
+  crashed->SetFaultPlan({});
+  auto rec = Database::Open(Opts(crashed.get(), 64));
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(PrefixOf(refs, DumpState(**rec)),
+            static_cast<int>(kDmlCount) - 1);
+}
+
 // --- Checkpoints -------------------------------------------------------------
 
 TEST(WalRecovery, CheckpointCoversPrefixAndPurgesSegments) {
@@ -391,6 +468,78 @@ TEST(WalRecovery, AutoCheckpointEveryIntervalCommits) {
   Database ref;
   ApplyWorkload(ref, kDmlCount);
   EXPECT_EQ(DumpState(**rec), DumpState(ref));
+}
+
+TEST(WalRecovery, CorruptNewestSnapshotFallsBackToOlder) {
+  const std::vector<std::string> refs = ReferenceStates();
+  wal::MemVfs vfs;
+  wal::WalOptions o = Opts(&vfs);
+  o.segment_bytes = 1;  // rotate after every record: a multi-segment tail
+  auto db = Database::Open(o);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ApplyWorkload(**db, 7);
+  ASSERT_TRUE((*db)->CheckpointNow().ok());
+  for (size_t i = 7; i < kDmlCount; ++i) {
+    ASSERT_TRUE((*db)->Execute(kDml[i]).ok()) << kDml[i];
+  }
+  ASSERT_TRUE((*db)->Close().ok());
+
+  // Plant an undecodable newer snapshot named after the last segment —
+  // exactly where a checkpoint that crashed mid-publish would sit.
+  const std::string last_seg = LastSegmentPath(vfs);
+  const std::string digits =
+      last_seg.substr(last_seg.rfind("wal-") + 4, 10);
+  {
+    auto f = vfs.OpenAppend(wal::JoinPath(kDir, "snap-" + digits + ".pgs"));
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("not a snapshot").ok());
+  }
+
+  // Recovery skips it, loads the older valid snapshot, and replays the
+  // segments above it to full state.
+  auto rec = Database::Open(o);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_TRUE((*rec)->wal()->recovery_stats().snapshot_loaded);
+  EXPECT_EQ(DumpState(**rec), refs[kDmlCount]);
+  ASSERT_TRUE((*rec)->Close().ok());
+
+  // The planted file keeps being skipped on every later open too.
+  auto again = Database::Open(o);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(DumpState(**again), refs[kDmlCount]);
+}
+
+TEST(WalRecovery, StraySnapshotNameDoesNotForkSegmentNumbering) {
+  const std::vector<std::string> refs = ReferenceStates();
+  wal::MemVfs vfs;
+  auto db = Database::Open(Opts(&vfs));
+  ASSERT_TRUE(db.ok()) << db.status();
+  ApplyWorkload(**db, 7);
+  ASSERT_TRUE((*db)->CheckpointNow().ok());
+  for (size_t i = 7; i < kDmlCount; ++i) {
+    ASSERT_TRUE((*db)->Execute(kDml[i]).ok()) << kDml[i];
+  }
+  ASSERT_TRUE((*db)->Close().ok());
+
+  // A stray undecodable snapshot numbered far above the segment chain.
+  {
+    auto f = vfs.OpenAppend(wal::JoinPath(kDir, "snap-9999999999.pgs"));
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("garbage").ok());
+  }
+  // Its seq must not leak into segment numbering: the first reopen skips
+  // it, and the segment it appends into stays contiguous with the chain —
+  // otherwise this second reopen gap-fails permanently.
+  {
+    auto rec = Database::Open(Opts(&vfs));
+    ASSERT_TRUE(rec.ok()) << rec.status();
+    EXPECT_EQ(DumpState(**rec), refs[kDmlCount]);
+    ASSERT_TRUE((*rec)->Close().ok());
+  }
+  auto again = Database::Open(Opts(&vfs));
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE((*again)->wal()->recovery_stats().clean_shutdown);
+  EXPECT_EQ(DumpState(**again), refs[kDmlCount]);
 }
 
 // --- Append-side faults ------------------------------------------------------

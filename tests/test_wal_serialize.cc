@@ -291,6 +291,19 @@ TEST(WalFraming, ShortTailReportsTorn) {
   }
 }
 
+TEST(WalFraming, EmptyRecordIsRejected) {
+  // A zero-length frame carries the (valid!) CRC of the empty string, but
+  // no real record is empty — the type byte is mandatory. The reader must
+  // reject it rather than hand back a payload with no first byte.
+  std::string buf;
+  AppendFramedRecord(&buf, "");
+  size_t off = 0;
+  std::string_view payload;
+  Status s = ReadFramedRecord(buf, &off, &payload);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.message().rfind("torn:", 0), 0u);
+}
+
 TEST(WalCrc32c, KnownVectors) {
   // RFC 3720 / common Castagnoli verification vector.
   EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
