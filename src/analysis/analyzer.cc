@@ -1,0 +1,723 @@
+#include "src/analysis/analyzer.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace pgt::analysis {
+
+namespace {
+
+constexpr const char* kStar = "*";
+
+/// Can a write performed by a trigger at time `writer` wake a trigger at
+/// time `woken`? BEFORE-trigger writes merge into the enclosing statement
+/// delta without statement-level reprocessing, so they only surface at the
+/// commit point (ONCOMMIT matching / DETACHED queueing); every other
+/// writer's delta goes through full statement-level processing.
+bool TimeReachable(ActionTime writer, ActionTime woken) {
+  if (woken == ActionTime::kOnCommit || woken == ActionTime::kDetached) {
+    return true;
+  }
+  return writer != ActionTime::kBefore;
+}
+
+bool LabelsMayMatch(const WriteEvent& w, const std::string& label) {
+  return w.label_wildcard || w.labels.count(label) > 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry construction and schema narrowing
+// ---------------------------------------------------------------------------
+
+int TriggerAnalyzer::CreateEntry(const TriggerDef& def, uint64_t plan_epoch) {
+  int tid;
+  if (!free_list_.empty()) {
+    tid = free_list_.back();
+    free_list_.pop_back();
+    entries_[static_cast<size_t>(tid)] = Entry{};
+  } else {
+    tid = static_cast<int>(entries_.size());
+    entries_.emplace_back();
+  }
+  Entry& e = entries_[static_cast<size_t>(tid)];
+  e.name = def.name;
+  e.seq = def.seq;
+  e.time = def.time;
+  e.event = def.event;
+  e.item = def.item;
+  e.granularity = def.granularity;
+  e.label = def.label;
+  e.property = def.property;
+  e.guarded = def.HasWhen();
+  e.enabled = false;
+  e.writes = InferWriteSet(def, *store_, plan_epoch);
+  NarrowWithSchema(&e.writes);
+  e.guard = ExtractPropGuard(def);
+  e.alive = true;
+  by_name_[def.name] = tid;
+  return tid;
+}
+
+void TriggerAnalyzer::FreeEntry(int tid) {
+  Entry& e = entries_[static_cast<size_t>(tid)];
+  by_name_.erase(e.name);
+  e = Entry{};
+  free_list_.push_back(tid);
+}
+
+void TriggerAnalyzer::NarrowWithSchema(WriteSet* ws) const {
+  if (schema_ == nullptr || !schema_->strict) return;
+  // Union of EffectiveLabels over the node types whose label set covers
+  // `lower` (all conforming carriers of those labels). Narrowing assumes
+  // items conform to the strict schema; mid-transaction transients that
+  // only validate at commit are a documented caveat (docs/analysis.md).
+  auto narrow_node = [this](const std::set<std::string>& lower,
+                            std::set<std::string>* out) -> bool {
+    std::set<std::string> result = lower;
+    for (const schema::NodeTypeSpec& t : schema_->node_types) {
+      auto eff = schema_->EffectiveLabels(t);
+      if (!eff.ok()) return false;  // malformed hierarchy: keep wildcard
+      std::set<std::string> labels(eff.value().begin(), eff.value().end());
+      bool covers = true;
+      for (const std::string& l : lower) covers = covers && labels.count(l);
+      if (covers) result.insert(labels.begin(), labels.end());
+    }
+    *out = std::move(result);
+    return true;
+  };
+  for (WriteEvent& w : ws->events) {
+    if (w.item == ItemKind::kRelationship) {
+      if (w.label_wildcard && !w.is_label_write) {
+        w.labels.clear();
+        for (const schema::EdgeTypeSpec& t : schema_->edge_types) {
+          w.labels.insert(t.rel_type);
+        }
+        w.label_wildcard = false;
+      }
+      continue;
+    }
+    if (w.is_label_write) {
+      // Written label names stay as-is; narrow the carrier set.
+      if (w.carrier_wildcard &&
+          narrow_node(w.carrier_labels, &w.carrier_labels)) {
+        w.carrier_wildcard = false;
+      }
+      continue;
+    }
+    if (w.label_wildcard && narrow_node(w.labels, &w.labels)) {
+      w.label_wildcard = false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event-key bucket forms
+// ---------------------------------------------------------------------------
+
+std::vector<TriggerAnalyzer::Key> TriggerAnalyzer::MonitorForms(
+    const Entry& e) const {
+  const int item = static_cast<int>(e.item);
+  const int event = static_cast<int>(e.event);
+  std::vector<Key> forms;
+  if (e.property.empty()) {
+    // Structural (CREATE/DELETE) and label (SET/REMOVE, no property)
+    // monitors: writers of those categories register with prop key "".
+    forms.emplace_back(item, event, e.label, "");
+    forms.emplace_back(item, event, kStar, "");
+  } else {
+    forms.emplace_back(item, event, e.label, e.property);
+    forms.emplace_back(item, event, kStar, e.property);
+    forms.emplace_back(item, event, e.label, kStar);
+    forms.emplace_back(item, event, kStar, kStar);
+  }
+  return forms;
+}
+
+std::vector<TriggerAnalyzer::Key> TriggerAnalyzer::WriterForms(
+    const WriteEvent& w) const {
+  const int item = static_cast<int>(w.item);
+  const int event = static_cast<int>(w.event);
+  const std::string pk = w.prop_wildcard ? kStar : w.prop;
+  std::vector<Key> forms;
+  for (const std::string& l : w.labels) forms.emplace_back(item, event, l, pk);
+  if (w.label_wildcard) forms.emplace_back(item, event, kStar, pk);
+  if (w.is_label_write) {
+    // Label-event monitors key on the written label (kMonitoredLabel) or
+    // the carrier label (kTargetSetChange); register both — Evaluate
+    // applies the configured semantics per pair.
+    for (const std::string& l : w.carrier_labels) {
+      forms.emplace_back(item, event, l, pk);
+    }
+    if (w.carrier_wildcard) forms.emplace_back(item, event, kStar, pk);
+  }
+  return forms;
+}
+
+std::vector<TriggerAnalyzer::Key> TriggerAnalyzer::SetWriterForms(
+    const Entry& e) const {
+  std::vector<Key> forms;
+  for (const WriteEvent& w : e.writes.events) {
+    if (w.event != TriggerEvent::kSet || w.is_label_write) continue;
+    std::vector<Key> fs = WriterForms(w);
+    forms.insert(forms.end(), fs.begin(), fs.end());
+  }
+  return forms;
+}
+
+// ---------------------------------------------------------------------------
+// Pair evaluation
+// ---------------------------------------------------------------------------
+
+bool TriggerAnalyzer::MatchesMonitor(const WriteEvent& w,
+                                     const Entry& monitor) const {
+  if (w.item != monitor.item || w.event != monitor.event) return false;
+  switch (monitor.event) {
+    case TriggerEvent::kCreate:
+    case TriggerEvent::kDelete:
+      return LabelsMayMatch(w, monitor.label);
+    case TriggerEvent::kSet:
+    case TriggerEvent::kRemove:
+      break;
+  }
+  if (!monitor.property.empty()) {
+    // Property monitor: property writes only.
+    if (w.is_label_write) return false;
+    if (!w.prop_wildcard && w.prop != monitor.property) return false;
+    return LabelsMayMatch(w, monitor.label);
+  }
+  // Label-event monitor (nodes only; catalog rejects others).
+  if (!w.is_label_write) return false;
+  if (options_->label_event_semantics == LabelEventSemantics::kMonitoredLabel) {
+    // The monitored label itself is set/removed.
+    return LabelsMayMatch(w, monitor.label);
+  }
+  // kTargetSetChange: some *other* label changes on a node carrying the
+  // monitored label.
+  const bool carrier_may_have_label =
+      w.carrier_wildcard || w.carrier_labels.count(monitor.label) > 0 ||
+      w.labels.count(monitor.label) > 0;
+  bool writes_other_label = w.label_wildcard;
+  for (const std::string& l : w.labels) {
+    writes_other_label = writes_other_label || l != monitor.label;
+  }
+  return carrier_may_have_label && writes_other_label;
+}
+
+bool TriggerAnalyzer::HasInterferingWriter(const Entry& monitor) const {
+  std::set<int> candidates;
+  for (const Key& f : MonitorForms(monitor)) {
+    auto it = writer_buckets_.find(f);
+    if (it == writer_buckets_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  for (int tid : candidates) {
+    const Entry& w = entries_[static_cast<size_t>(tid)];
+    if (!w.alive || !w.enabled) continue;
+    for (const WriteEvent& ev : w.writes.events) {
+      if (ev.event != TriggerEvent::kSet || ev.is_label_write) continue;
+      if (!ev.prop_wildcard && ev.prop != monitor.property) continue;
+      if (!LabelsMayMatch(ev, monitor.label)) continue;
+      if (!ev.const_value.has_value() ||
+          !RefutesGuard(monitor.guard, *ev.const_value)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TriggerAnalyzer::EdgeKind TriggerAnalyzer::Evaluate(
+    const Entry& writer, const Entry& monitor) const {
+  if (!TimeReachable(writer.time, monitor.time)) return EdgeKind::kNoMatch;
+  bool matched = false;
+  bool all_refuted = monitor.guard.usable;
+  for (const WriteEvent& w : writer.writes.events) {
+    if (!MatchesMonitor(w, monitor)) continue;
+    matched = true;
+    if (!all_refuted) continue;
+    // Property monitors with a usable guard only ever match kSet property
+    // writes here (the guard is only extracted for kSet monitors).
+    if (!w.const_value.has_value() ||
+        !RefutesGuard(monitor.guard, *w.const_value)) {
+      all_refuted = false;
+    }
+  }
+  if (!matched) return EdgeKind::kNoMatch;
+  if (!all_refuted) return EdgeKind::kEdge;
+  // Every matching write installs a guard-refuting constant. Pruning is
+  // only sound if no other enabled trigger can rewrite the monitored
+  // property to a guard-satisfying value between the write and the guard
+  // evaluation (BEFORE triggers and earlier same-round activations run in
+  // between; WHEN is evaluated at activation time, not derivation time).
+  if (HasInterferingWriter(monitor)) return EdgeKind::kEdge;
+  return EdgeKind::kPruned;
+}
+
+// ---------------------------------------------------------------------------
+// Graph maintenance
+// ---------------------------------------------------------------------------
+
+void TriggerAnalyzer::AddEdge(int from, int to, EdgeKind kind) {
+  Entry& a = entries_[static_cast<size_t>(from)];
+  Entry& b = entries_[static_cast<size_t>(to)];
+  if (kind == EdgeKind::kEdge) {
+    a.out.insert(to);
+    b.in.insert(from);
+  } else if (kind == EdgeKind::kPruned) {
+    a.pruned_out.insert(to);
+    b.pruned_in.insert(from);
+  }
+}
+
+void TriggerAnalyzer::RemoveEdge(int from, int to) {
+  Entry& a = entries_[static_cast<size_t>(from)];
+  Entry& b = entries_[static_cast<size_t>(to)];
+  a.out.erase(to);
+  a.pruned_out.erase(to);
+  b.in.erase(from);
+  b.pruned_in.erase(from);
+}
+
+void TriggerAnalyzer::ReclassifyAffectedMonitors(const Entry& e,
+                                                 int skip_tid) {
+  std::set<int> monitors;
+  for (const Key& f : SetWriterForms(e)) {
+    auto it = monitor_buckets_.find(f);
+    if (it == monitor_buckets_.end()) continue;
+    monitors.insert(it->second.begin(), it->second.end());
+  }
+  for (int mtid : monitors) {
+    if (mtid == skip_tid) continue;
+    Entry& m = entries_[static_cast<size_t>(mtid)];
+    if (!m.alive || !m.guard.usable) continue;
+    std::set<int> writers = m.in;
+    writers.insert(m.pruned_in.begin(), m.pruned_in.end());
+    for (int wtid : writers) {
+      if (wtid == skip_tid) continue;
+      const EdgeKind kind =
+          Evaluate(entries_[static_cast<size_t>(wtid)], m);
+      RemoveEdge(wtid, mtid);
+      AddEdge(wtid, mtid, kind);
+    }
+  }
+}
+
+void TriggerAnalyzer::Attach(int tid) {
+  Entry& e = entries_[static_cast<size_t>(tid)];
+  e.enabled = true;
+  for (const Key& f : MonitorForms(e)) monitor_buckets_[f].insert(tid);
+  for (const WriteEvent& w : e.writes.events) {
+    for (const Key& f : WriterForms(w)) writer_buckets_[f].insert(tid);
+  }
+  // As writer: probe monitors whose keys any of our writes can raise.
+  std::set<int> monitors;
+  for (const WriteEvent& w : e.writes.events) {
+    for (const Key& f : WriterForms(w)) {
+      auto it = monitor_buckets_.find(f);
+      if (it == monitor_buckets_.end()) continue;
+      monitors.insert(it->second.begin(), it->second.end());
+    }
+  }
+  for (int mtid : monitors) {
+    AddEdge(tid, mtid, Evaluate(e, entries_[static_cast<size_t>(mtid)]));
+  }
+  // As monitor: probe writers whose registered keys our monitor matches.
+  std::set<int> writers;
+  for (const Key& f : MonitorForms(e)) {
+    auto it = writer_buckets_.find(f);
+    if (it == writer_buckets_.end()) continue;
+    writers.insert(it->second.begin(), it->second.end());
+  }
+  for (int wtid : writers) {
+    if (wtid == tid) continue;  // self-pair handled in the writer pass
+    AddEdge(wtid, tid, Evaluate(entries_[static_cast<size_t>(wtid)], e));
+  }
+  // This trigger's kSet writes may interfere with pruning decisions made
+  // before it existed: resurrect affected pruned edges.
+  ReclassifyAffectedMonitors(e, /*skip_tid=*/-1);
+}
+
+void TriggerAnalyzer::Detach(int tid) {
+  Entry& e = entries_[static_cast<size_t>(tid)];
+  e.enabled = false;
+  for (const Key& f : MonitorForms(e)) {
+    auto it = monitor_buckets_.find(f);
+    if (it != monitor_buckets_.end()) {
+      it->second.erase(tid);
+      if (it->second.empty()) monitor_buckets_.erase(it);
+    }
+  }
+  for (const WriteEvent& w : e.writes.events) {
+    for (const Key& f : WriterForms(w)) {
+      auto it = writer_buckets_.find(f);
+      if (it != writer_buckets_.end()) {
+        it->second.erase(tid);
+        if (it->second.empty()) writer_buckets_.erase(it);
+      }
+    }
+  }
+  for (int o : e.out) entries_[static_cast<size_t>(o)].in.erase(tid);
+  for (int o : e.pruned_out) {
+    entries_[static_cast<size_t>(o)].pruned_in.erase(tid);
+  }
+  for (int i : e.in) entries_[static_cast<size_t>(i)].out.erase(tid);
+  for (int i : e.pruned_in) {
+    entries_[static_cast<size_t>(i)].pruned_out.erase(tid);
+  }
+  e.out.clear();
+  e.pruned_out.clear();
+  e.in.clear();
+  e.pruned_in.clear();
+  // This trigger may have been the last interfering writer keeping some
+  // edges unpruned: re-prune affected monitors.
+  ReclassifyAffectedMonitors(e, tid);
+}
+
+void TriggerAnalyzer::Rebuild(uint64_t plan_epoch) {
+  entries_.clear();
+  free_list_.clear();
+  by_name_.clear();
+  monitor_buckets_.clear();
+  writer_buckets_.clear();
+  for (const TriggerDef* def : catalog_->All()) {
+    const int tid = CreateEntry(*def, plan_epoch);
+    if (def->enabled) Attach(tid);
+  }
+  dirty_ = false;
+  synced_epoch_ = catalog_->ddl_epoch();
+}
+
+void TriggerAnalyzer::EnsureSynced(uint64_t plan_epoch) {
+  if (!dirty_ && synced_epoch_ == catalog_->ddl_epoch()) return;
+  Rebuild(plan_epoch);
+}
+
+void TriggerAnalyzer::NoteInstall(const std::string& name,
+                                  uint64_t plan_epoch) {
+  if (dirty_ || synced_epoch_ + 1 != catalog_->ddl_epoch()) {
+    Rebuild(plan_epoch);
+    return;
+  }
+  const TriggerDef* def = catalog_->Find(name);
+  if (def == nullptr || by_name_.count(name) > 0) {
+    Rebuild(plan_epoch);
+    return;
+  }
+  const int tid = CreateEntry(*def, plan_epoch);
+  if (def->enabled) Attach(tid);
+  synced_epoch_ = catalog_->ddl_epoch();
+}
+
+void TriggerAnalyzer::NoteDrop(const std::string& name) {
+  if (dirty_ || synced_epoch_ + 1 != catalog_->ddl_epoch()) {
+    dirty_ = true;  // rebuild lazily on next sync (needs a plan epoch)
+    return;
+  }
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    dirty_ = true;
+    return;
+  }
+  const int tid = it->second;
+  if (entries_[static_cast<size_t>(tid)].enabled) Detach(tid);
+  FreeEntry(tid);
+  synced_epoch_ = catalog_->ddl_epoch();
+}
+
+void TriggerAnalyzer::NoteSetEnabled(const std::string& name,
+                                     uint64_t plan_epoch) {
+  if (dirty_ || synced_epoch_ + 1 != catalog_->ddl_epoch()) {
+    Rebuild(plan_epoch);
+    return;
+  }
+  const TriggerDef* def = catalog_->Find(name);
+  auto it = by_name_.find(name);
+  if (def == nullptr || it == by_name_.end()) {
+    Rebuild(plan_epoch);
+    return;
+  }
+  const int tid = it->second;
+  Entry& e = entries_[static_cast<size_t>(tid)];
+  if (def->enabled && !e.enabled) {
+    Attach(tid);
+  } else if (!def->enabled && e.enabled) {
+    Detach(tid);
+  }
+  synced_epoch_ = catalog_->ddl_epoch();
+}
+
+// ---------------------------------------------------------------------------
+// Cycles
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<int>> TriggerAnalyzer::EnabledSccs() const {
+  // Tarjan, deterministic: roots and neighbors visited in ascending tid.
+  const int n = static_cast<int>(entries_.size());
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> low(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<int>> sccs;
+  int counter = 0;
+
+  std::function<void(int)> strongconnect = [&](int v) {
+    index[static_cast<size_t>(v)] = low[static_cast<size_t>(v)] = counter++;
+    stack.push_back(v);
+    on_stack[static_cast<size_t>(v)] = true;
+    for (int w : entries_[static_cast<size_t>(v)].out) {
+      const Entry& we = entries_[static_cast<size_t>(w)];
+      if (!we.alive || !we.enabled) continue;
+      if (index[static_cast<size_t>(w)] < 0) {
+        strongconnect(w);
+        low[static_cast<size_t>(v)] =
+            std::min(low[static_cast<size_t>(v)], low[static_cast<size_t>(w)]);
+      } else if (on_stack[static_cast<size_t>(w)]) {
+        low[static_cast<size_t>(v)] = std::min(low[static_cast<size_t>(v)],
+                                               index[static_cast<size_t>(w)]);
+      }
+    }
+    if (low[static_cast<size_t>(v)] == index[static_cast<size_t>(v)]) {
+      std::vector<int> scc;
+      int w;
+      do {
+        w = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<size_t>(w)] = false;
+        scc.push_back(w);
+      } while (w != v);
+      std::sort(scc.begin(), scc.end());
+      sccs.push_back(std::move(scc));
+    }
+  };
+
+  for (int v = 0; v < n; ++v) {
+    const Entry& e = entries_[static_cast<size_t>(v)];
+    if (!e.alive || !e.enabled) continue;
+    if (index[static_cast<size_t>(v)] < 0) strongconnect(v);
+  }
+  return sccs;
+}
+
+std::vector<std::string> TriggerAnalyzer::CyclePathThrough(
+    int tid, const std::set<int>& scc) const {
+  const Entry& e = entries_[static_cast<size_t>(tid)];
+  if (e.out.count(tid) > 0) return {e.name, e.name};
+  // BFS within the SCC from tid to any predecessor of tid.
+  std::map<int, int> parent;  // node -> predecessor on BFS path
+  std::vector<int> queue = {tid};
+  parent[tid] = tid;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const int v = queue[qi];
+    for (int w : entries_[static_cast<size_t>(v)].out) {
+      if (scc.count(w) == 0) continue;
+      if (w == tid) {
+        std::vector<int> path = {v};
+        while (path.back() != tid) path.push_back(parent[path.back()]);
+        std::reverse(path.begin(), path.end());
+        std::vector<std::string> names;
+        names.reserve(path.size() + 1);
+        for (int p : path) {
+          names.push_back(entries_[static_cast<size_t>(p)].name);
+        }
+        names.push_back(e.name);
+        return names;
+      }
+      if (parent.count(w) == 0) {
+        parent[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  return {};  // unreachable for a genuine multi-node SCC
+}
+
+std::vector<std::string> TriggerAnalyzer::UnguardedCycleThrough(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return {};
+  const int tid = it->second;
+  const Entry& e = entries_[static_cast<size_t>(tid)];
+  if (!e.alive || !e.enabled) return {};
+  for (const std::vector<int>& scc : EnabledSccs()) {
+    if (std::find(scc.begin(), scc.end(), tid) == scc.end()) continue;
+    const bool is_cycle = scc.size() > 1 || e.out.count(tid) > 0;
+    if (!is_cycle) return {};
+    bool all_guarded = true;
+    for (int m : scc) {
+      all_guarded = all_guarded && entries_[static_cast<size_t>(m)].guarded;
+    }
+    if (all_guarded) return {};  // guarded cycles may converge: allowed
+    return CyclePathThrough(tid, std::set<int>(scc.begin(), scc.end()));
+  }
+  return {};
+}
+
+std::string TriggerAnalyzer::CycleHintFor(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return "";
+  const int tid = it->second;
+  const Entry& e = entries_[static_cast<size_t>(tid)];
+  if (!e.alive || !e.enabled) return "";
+  for (const std::vector<int>& scc : EnabledSccs()) {
+    if (std::find(scc.begin(), scc.end(), tid) == scc.end()) continue;
+    if (scc.size() == 1 && e.out.count(tid) == 0) return "";
+    const std::vector<std::string> path =
+        CyclePathThrough(tid, std::set<int>(scc.begin(), scc.end()));
+    std::ostringstream os;
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (i > 0) os << " -> ";
+      os << path[i];
+    }
+    return os.str();
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Reporting and introspection
+// ---------------------------------------------------------------------------
+
+std::set<std::pair<std::string, std::string>> TriggerAnalyzer::Edges() const {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const Entry& e : entries_) {
+    if (!e.alive) continue;
+    for (int o : e.out) {
+      out.emplace(e.name, entries_[static_cast<size_t>(o)].name);
+    }
+  }
+  return out;
+}
+
+std::set<std::pair<std::string, std::string>> TriggerAnalyzer::PrunedEdges()
+    const {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const Entry& e : entries_) {
+    if (!e.alive) continue;
+    for (int o : e.pruned_out) {
+      out.emplace(e.name, entries_[static_cast<size_t>(o)].name);
+    }
+  }
+  return out;
+}
+
+size_t TriggerAnalyzer::entry_count() const {
+  size_t n = 0;
+  for (const Entry& e : entries_) n += e.alive ? 1 : 0;
+  return n;
+}
+
+size_t TriggerAnalyzer::edge_count() const {
+  size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.alive) n += e.out.size();
+  }
+  return n;
+}
+
+AnalysisReport TriggerAnalyzer::Analyze(uint64_t plan_epoch) {
+  EnsureSynced(plan_epoch);
+  AnalysisReport rep;
+  std::vector<int> order;
+  for (int tid = 0; tid < static_cast<int>(entries_.size()); ++tid) {
+    if (entries_[static_cast<size_t>(tid)].alive) order.push_back(tid);
+  }
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return entries_[static_cast<size_t>(a)].name <
+           entries_[static_cast<size_t>(b)].name;
+  });
+  for (int tid : order) {
+    const Entry& e = entries_[static_cast<size_t>(tid)];
+    AnalysisReport::Row row;
+    row.name = e.name;
+    row.enabled = e.enabled;
+    row.guarded = e.guarded;
+    std::ostringstream mon;
+    mon << ActionTimeName(e.time) << " " << TriggerEventName(e.event)
+        << " ON '" << e.label << "'";
+    if (!e.property.empty()) mon << ".'" << e.property << "'";
+    mon << " FOR " << GranularityName(e.granularity) << " "
+        << ItemKindName(e.item);
+    row.monitor = mon.str();
+    row.guard = e.guard.ToString(e.property);
+    row.writes = e.writes.ToString();
+    for (int o : e.out) {
+      row.wakes.push_back(entries_[static_cast<size_t>(o)].name);
+    }
+    for (int o : e.pruned_out) {
+      row.pruned.push_back(entries_[static_cast<size_t>(o)].name);
+    }
+    std::sort(row.wakes.begin(), row.wakes.end());
+    std::sort(row.pruned.begin(), row.pruned.end());
+    rep.edge_count += row.wakes.size();
+    rep.pruned_count += row.pruned.size();
+    rep.rows.push_back(std::move(row));
+  }
+  rep.trigger_count = rep.rows.size();
+
+  for (const std::vector<int>& scc : EnabledSccs()) {
+    const int first = scc.front();
+    const Entry& fe = entries_[static_cast<size_t>(first)];
+    if (scc.size() == 1 && fe.out.count(first) == 0) continue;
+    // Start the cycle path at the lexicographically smallest member name.
+    int start = first;
+    for (int m : scc) {
+      if (entries_[static_cast<size_t>(m)].name <
+          entries_[static_cast<size_t>(start)].name) {
+        start = m;
+      }
+    }
+    bool guarded = true;
+    for (int m : scc) {
+      guarded = guarded && entries_[static_cast<size_t>(m)].guarded;
+    }
+    rep.cycles.emplace_back(
+        CyclePathThrough(start, std::set<int>(scc.begin(), scc.end())),
+        guarded);
+  }
+  std::sort(rep.cycles.begin(), rep.cycles.end());
+  rep.guaranteed_termination = rep.cycles.empty();
+  return rep;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::ostringstream os;
+  os << "TRIGGER ANALYSIS: " << trigger_count << " trigger"
+     << (trigger_count == 1 ? "" : "s") << ", " << edge_count << " edge"
+     << (edge_count == 1 ? "" : "s") << ", " << pruned_count << " pruned\n";
+  if (guaranteed_termination) {
+    os << "verdict: termination guaranteed (triggering graph is acyclic)\n";
+  } else {
+    os << "verdict: termination not guaranteed (" << cycles.size()
+       << " cycle" << (cycles.size() == 1 ? "" : "s") << ")\n";
+    for (const auto& [path, guarded] : cycles) {
+      os << "  " << (guarded ? "[guarded]  " : "[unguarded]") << " ";
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) os << " -> ";
+        os << path[i];
+      }
+      os << "\n";
+    }
+  }
+  for (const Row& r : rows) {
+    os << r.name << (r.enabled ? "" : " [disabled]")
+       << (r.guarded ? " [guarded]" : "") << ": " << r.monitor << "\n";
+    os << "  writes: " << r.writes << "\n";
+    if (r.guard != "-") os << "  guard: " << r.guard << "\n";
+    if (!r.wakes.empty()) {
+      os << "  wakes:";
+      for (const std::string& w : r.wakes) os << " " << w;
+      os << "\n";
+    }
+    if (!r.pruned.empty()) {
+      os << "  pruned:";
+      for (const std::string& w : r.pruned) os << " " << w;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pgt::analysis

@@ -1,0 +1,54 @@
+#ifndef PGTRIGGERS_ANALYSIS_PREDICATE_H_
+#define PGTRIGGERS_ANALYSIS_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/cypher/ast.h"
+#include "src/cypher/scan_plan.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt::analysis {
+
+/// Sargable constraints a WHEN guard places on the monitored property of a
+/// `FOR EACH ... SET ON 'L'.'p'` trigger, extracted from top-level AND
+/// conjuncts of the form `NEW.p <op> literal` (either operand order,
+/// <op> in =, <>, <, <=, >, >=). Used by the analyzer to prune triggering
+/// edges whose writes provably fail the guard (docs/analysis.md).
+struct PropGuard {
+  /// At least one conjunct was extracted; when false the guard constrains
+  /// nothing the analyzer can reason about and no edge may be pruned by it.
+  bool usable = false;
+
+  struct Constraint {
+    cypher::BinOp op = cypher::BinOp::kEq;
+    Value literal;
+  };
+  /// Extracted conjuncts. A partial set (other conjuncts ignored) stays
+  /// sound for refutation: a failing conjunct falsifies the conjunction.
+  std::vector<Constraint> constraints;
+
+  /// Intersection of the range conjuncts (kLt/kLe/kGt/kGe), tightened with
+  /// the same cypher::RangeBounds machinery the sargable scan planner uses.
+  /// Reporting only; refutation evaluates `constraints` directly.
+  cypher::RangeBounds bounds;
+
+  std::string ToString(const std::string& prop) const;
+};
+
+/// Extracts the monitored-property guard of `def`. Yields a non-usable
+/// guard unless def is FOR EACH, event kSet with a named property, and has
+/// an expression-form WHEN (pipeline conditions are not analyzed).
+PropGuard ExtractPropGuard(const TriggerDef& def);
+
+/// True when assigning `written` to the monitored property makes the WHEN
+/// definitely not-true: some extracted conjunct evaluates to false or null
+/// under NEW.p = written (Cypher ternary comparison semantics — null
+/// operands and cross-class range comparisons yield null, and a null
+/// conjunct can never make the conjunction true).
+bool RefutesGuard(const PropGuard& guard, const Value& written);
+
+}  // namespace pgt::analysis
+
+#endif  // PGTRIGGERS_ANALYSIS_PREDICATE_H_

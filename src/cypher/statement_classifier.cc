@@ -36,9 +36,9 @@ StatementKind ClassifyStatement(std::string_view text) {
   if (!toks.ok() || toks.value().size() < 2) return StatementKind::kCypher;
   const std::vector<Token>& t = toks.value();
 
-  // Trigger DDL: CREATE / DROP / ALTER TRIGGER.
+  // Trigger DDL: CREATE / DROP / ALTER TRIGGER, SHOW TRIGGER ANALYSIS.
   if ((IsWord(t[0], "CREATE") || IsWord(t[0], "DROP") ||
-       IsWord(t[0], "ALTER")) &&
+       IsWord(t[0], "ALTER") || IsWord(t[0], "SHOW")) &&
       IsWord(t[1], "TRIGGER")) {
     return StatementKind::kTriggerDdl;
   }

@@ -16,16 +16,24 @@ struct VarInfo {
   std::set<std::string> node_labels;  // labels seen on node patterns
   bool is_node = false;
   bool is_rel = false;
+  /// First bound by a CREATE pattern: the label set is exact (creation
+  /// labels). MATCH/MERGE-bound node variables may designate nodes that
+  /// carry labels beyond the matched ones, and the engine emits event keys
+  /// for *every* label of the affected node — such targets must widen.
+  bool created = false;
   std::set<std::string> rel_types;
 };
 
 using VarMap = std::map<std::string, VarInfo>;
 
-void ScanPattern(const cypher::Pattern& pattern, VarMap* vars) {
+void ScanPattern(const cypher::Pattern& pattern, bool create_bound,
+                 VarMap* vars) {
   auto note_node = [&](const cypher::NodePattern& np) {
     if (np.var.empty()) return;
+    const bool is_new = vars->count(np.var) == 0;
     VarInfo& info = (*vars)[np.var];
     info.is_node = true;
+    if (is_new && create_bound) info.created = true;
     for (const std::string& l : np.labels) info.node_labels.insert(l);
   };
   for (const cypher::PatternPart& part : pattern.parts) {
@@ -46,9 +54,12 @@ void ScanClausesForVars(const std::vector<cypher::ClausePtr>& clauses,
   for (const cypher::ClausePtr& c : clauses) {
     switch (c->kind) {
       case cypher::Clause::Kind::kMatch:
-      case cypher::Clause::Kind::kCreate:
       case cypher::Clause::Kind::kMerge:
-        ScanPattern(c->pattern, vars);
+        // MERGE may bind an existing item — labels are a lower bound only.
+        ScanPattern(c->pattern, /*create_bound=*/false, vars);
+        break;
+      case cypher::Clause::Kind::kCreate:
+        ScanPattern(c->pattern, /*create_bound=*/true, vars);
         break;
       case cypher::Clause::Kind::kForeach:
         ScanClausesForVars(c->foreach_body, vars);
@@ -60,7 +71,12 @@ void ScanClausesForVars(const std::vector<cypher::ClausePtr>& clauses,
 }
 
 /// Labels attributable to the base expression of a SET/REMOVE/DELETE
-/// target; wildcard when unknown.
+/// target; wildcard when unknown. Node variables bound by MATCH/MERGE (or
+/// transition variables) widen with "*": the designated node may carry
+/// labels beyond the matched ones, and a write raises event keys for every
+/// label it carries. Relationship types never widen (a rel has exactly one
+/// immutable type), and CREATE-bound nodes keep their exact creation
+/// labels.
 std::set<std::string> LabelsOfTarget(const cypher::Expr& e,
                                      const VarMap& vars, bool* is_node,
                                      bool* is_rel) {
@@ -72,7 +88,9 @@ std::set<std::string> LabelsOfTarget(const cypher::Expr& e,
       *is_node = it->second.is_node;
       *is_rel = it->second.is_rel;
       if (it->second.is_node && !it->second.node_labels.empty()) {
-        return it->second.node_labels;
+        std::set<std::string> labels = it->second.node_labels;
+        if (!it->second.created) labels.insert(kWildcard);
+        return labels;
       }
       if (it->second.is_rel && !it->second.rel_types.empty()) {
         return it->second.rel_types;
@@ -193,9 +211,15 @@ void CollectWrites(const std::vector<cypher::ClausePtr>& clauses,
         }
         break;
       }
-      case cypher::Clause::Kind::kForeach:
-        CollectWrites(c->foreach_body, vars, sig);
+      case cypher::Clause::Kind::kForeach: {
+        // The element variable shadows any outer binding and may hold an
+        // arbitrary node/rel (e.g. collected lists): reset it to unknown so
+        // writes through it widen instead of inheriting outer labels.
+        VarMap inner = vars;
+        if (!c->foreach_var.empty()) inner[c->foreach_var] = VarInfo{};
+        CollectWrites(c->foreach_body, inner, sig);
         break;
+      }
       default:
         break;
     }

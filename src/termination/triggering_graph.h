@@ -32,7 +32,17 @@ struct WriteSignature {
 /// Extracts a conservative write signature from a trigger action. Labels of
 /// variables are inferred from the MATCH/CREATE patterns that bind them in
 /// the same statement (and the WHEN pipeline); unknown targets widen to the
-/// wildcard.
+/// wildcard. MATCH/MERGE-bound and transition node variables additionally
+/// widen with "*" — the designated node may carry labels beyond the matched
+/// ones and the engine raises event keys for every label of the affected
+/// node — while CREATE-bound nodes keep their exact creation labels and
+/// relationship types never widen. FOREACH element variables are treated as
+/// unknown (they shadow outer bindings and may hold arbitrary items).
+///
+/// This AST-level signature is the fallback used when a trigger has no
+/// usable compiled plan; the primary, more precise path is
+/// analysis::InferWriteSet over the compiled TriggerProgram
+/// (src/analysis/write_set.h, docs/analysis.md).
 WriteSignature ExtractWriteSignature(const TriggerDef& def);
 
 /// Can the writes of `sig` raise the event monitored by `def`?

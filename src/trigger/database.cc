@@ -25,7 +25,28 @@ Database::Database(EngineOptions options)
       catalog_(&options_),
       clock_(options.clock_epoch_micros),
       engine_(std::make_unique<PgTriggerEngine>(this)),
-      plan_cache_(options.plan_cache_capacity) {}
+      analyzer_(&catalog_, &store_, &options_),
+      plan_cache_(options.plan_cache_capacity) {
+  // Analysis surface twin of SHOW TRIGGER ANALYSIS: the report as rows of
+  // text lines, deterministic (name-sorted rows, sorted edge lists).
+  procedures_.Register(
+      "pgt.analyzeTriggers", {"line"},
+      [this](cypher::EvalContext&, const std::vector<Value>&,
+             const cypher::Row&) -> Result<std::vector<cypher::Row>> {
+        const std::string text = AnalyzeTriggers().ToString();
+        std::vector<cypher::Row> rows;
+        size_t start = 0;
+        while (start < text.size()) {
+          size_t end = text.find('\n', start);
+          if (end == std::string::npos) end = text.size();
+          cypher::Row r;
+          r.Set("line", Value::String(text.substr(start, end - start)));
+          rows.push_back(std::move(r));
+          start = end + 1;
+        }
+        return rows;
+      });
+}
 
 Database::~Database() {
   if (wal_ != nullptr) (void)wal_->CloseClean();
@@ -80,7 +101,10 @@ Status Database::Close() {
 
 Status Database::RecoverFromWal(wal::WalManager& wal) {
   ReplayHandler handler(this);
-  return wal.Recover(handler);
+  in_recovery_ = true;
+  Status st = wal.Recover(handler);
+  in_recovery_ = false;
+  return st;
 }
 
 Status Database::RestoreSnapshotImage(wal::SnapshotImage&& img) {
@@ -469,6 +493,7 @@ void Database::AttachSchema(std::optional<schema::SchemaDef> schema) {
   schema_key_indexes_.clear();
   schema_ = std::move(schema);
   if (!schema_.has_value()) {
+    analyzer_.SetSchema(nullptr);
     LogSchemaChange();
     return;
   }
@@ -498,7 +523,14 @@ void Database::AttachSchema(std::optional<schema::SchemaDef> schema) {
       }
     }
   }
+  analyzer_.SetSchema(schema_.has_value() ? &*schema_ : nullptr);
   LogSchemaChange();
+}
+
+std::string Database::TerminationCycleHint(const std::string& trigger_name) {
+  if (options_.termination_policy == TerminationPolicy::kOff) return "";
+  analyzer_.EnsureSynced(PlanEpoch());
+  return analyzer_.CycleHintFor(trigger_name);
 }
 
 void Database::LogSchemaChange() {
@@ -587,19 +619,86 @@ void Database::RollbackAndRelease(std::unique_ptr<Transaction> tx) {
 
 Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
   PGT_ASSIGN_OR_RETURN(TriggerDdl ddl, TriggerDdlParser::Parse(text));
+  const bool analyze = options_.termination_policy != TerminationPolicy::kOff;
   switch (ddl.kind) {
-    case TriggerDdl::Kind::kCreate:
+    case TriggerDdl::Kind::kCreate: {
+      const std::string name = ddl.def.name;
       PGT_RETURN_IF_ERROR(catalog_.Install(std::move(ddl.def)));
+      if (analyze) {
+        analyzer_.NoteInstall(name, PlanEpoch());
+        // Replayed DDL was legal when logged; recovery must restore the
+        // durable catalog verbatim, so the reject policy only applies to
+        // fresh CREATEs.
+        if (options_.termination_policy == TerminationPolicy::kReject &&
+            !in_recovery_) {
+          const std::vector<std::string> cycle =
+              analyzer_.UnguardedCycleThrough(name);
+          if (!cycle.empty()) {
+            (void)catalog_.Drop(name);
+            analyzer_.NoteDrop(name);
+            std::string path;
+            for (size_t i = 0; i < cycle.size(); ++i) {
+              if (i > 0) path += " -> ";
+              path += cycle[i];
+            }
+            return Status::InvalidArgument(
+                "CREATE TRIGGER '" + name +
+                "' rejected: introduces unguarded triggering cycle " + path +
+                " (termination_policy = reject; a cycle member lacks a "
+                "WHEN guard — see SHOW TRIGGER ANALYSIS)");
+          }
+        }
+      }
       break;
+    }
     case TriggerDdl::Kind::kDrop:
       PGT_RETURN_IF_ERROR(catalog_.Drop(ddl.name));
+      if (analyze) analyzer_.NoteDrop(ddl.name);
       break;
     case TriggerDdl::Kind::kEnable:
       PGT_RETURN_IF_ERROR(catalog_.SetEnabled(ddl.name, true));
+      if (analyze) analyzer_.NoteSetEnabled(ddl.name, PlanEpoch());
       break;
     case TriggerDdl::Kind::kDisable:
       PGT_RETURN_IF_ERROR(catalog_.SetEnabled(ddl.name, false));
+      if (analyze) analyzer_.NoteSetEnabled(ddl.name, PlanEpoch());
       break;
+    case TriggerDdl::Kind::kShowAnalysis: {
+      // Introspection: no catalog mutation, nothing to log.
+      const analysis::AnalysisReport rep = AnalyzeTriggers();
+      cypher::QueryResult result;
+      result.columns = {"name",   "enabled", "guarded", "monitor",
+                        "guard",  "writes",  "wakes",   "pruned",
+                        "verdict"};
+      std::string verdict;
+      if (rep.guaranteed_termination) {
+        verdict = "termination guaranteed";
+      } else {
+        size_t unguarded = 0;
+        for (const auto& [path, guarded] : rep.cycles) {
+          unguarded += guarded ? 0 : 1;
+        }
+        verdict = "cycles: " + std::to_string(rep.cycles.size()) +
+                  " (unguarded: " + std::to_string(unguarded) + ")";
+      }
+      auto join = [](const std::vector<std::string>& v) {
+        std::string out;
+        for (size_t i = 0; i < v.size(); ++i) {
+          if (i > 0) out += ",";
+          out += v[i];
+        }
+        return out;
+      };
+      for (const analysis::AnalysisReport::Row& r : rep.rows) {
+        result.rows.push_back(
+            {Value::String(r.name), Value::Bool(r.enabled),
+             Value::Bool(r.guarded), Value::String(r.monitor),
+             Value::String(r.guard), Value::String(r.writes),
+             Value::String(join(r.wakes)), Value::String(join(r.pruned)),
+             Value::String(verdict)});
+      }
+      return result;
+    }
   }
   PGT_RETURN_IF_ERROR(LogDdl(wal::WalDdlKind::kTriggerDdl, text));
   return cypher::QueryResult{};

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/analysis/analyzer.h"
 #include "src/common/clock.h"
 #include "src/common/result.h"
 #include "src/cypher/executor.h"
@@ -126,6 +127,25 @@ class Database {
   TriggerRuntime& runtime() {
     return runtime_ != nullptr ? *runtime_ : *engine_;
   }
+
+  // --- Static termination analysis (docs/analysis.md) -----------------------
+
+  /// The plan-grounded triggering-graph analyzer. Maintained incrementally
+  /// on trigger DDL when termination_policy != kOff; always available on
+  /// demand (SHOW TRIGGER ANALYSIS / CALL pgt.analyzeTriggers() sync it
+  /// lazily regardless of policy).
+  analysis::TriggerAnalyzer& analyzer() { return analyzer_; }
+
+  /// Runs (or refreshes) the analysis and returns the deterministic report.
+  analysis::AnalysisReport AnalyzeTriggers() {
+    return analyzer_.Analyze(PlanEpoch());
+  }
+
+  /// Statically-found cycle through `trigger_name`, formatted
+  /// "A -> B -> A", for max_cascade_depth abort messages. Empty when the
+  /// policy is kOff (preserves pre-analysis messages byte-for-byte) or the
+  /// trigger is on no cycle.
+  std::string TerminationCycleHint(const std::string& trigger_name);
 
   // --- PG-Schema attachment --------------------------------------------------
 
@@ -261,6 +281,11 @@ class Database {
   std::optional<schema::SchemaDef> schema_;  // commit-time guard
   // PG-Key indexes auto-created by AttachSchema (dropped on detach).
   std::vector<std::pair<LabelId, PropKeyId>> schema_key_indexes_;
+  analysis::TriggerAnalyzer analyzer_;
+  /// True while RecoverFromWal replays the log: replayed CREATE TRIGGER is
+  /// never policy-rejected (it was legal when logged; recovery must bring
+  /// back the durable state verbatim).
+  bool in_recovery_ = false;
   cypher::plan::PlanCache plan_cache_;
   cypher::plan::FramePool frame_pool_;
   /// Durability subsystem; null = in-memory database (the default — no WAL

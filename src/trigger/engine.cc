@@ -731,13 +731,23 @@ Status PgTriggerEngine::ValidateBeforeDelta(const TriggerDef& def,
 
 Status PgTriggerEngine::ProcessStatementLevel(Transaction& tx,
                                               const GraphDelta& delta,
-                                              int depth) {
+                                              int depth,
+                                              const TriggerDef* writer) {
   if (delta.Empty()) return Status::OK();
   if (depth > db_->options().max_cascade_depth) {
-    return Status::CascadeLimitExceeded(
-        "trigger cascade exceeded max_cascade_depth=" +
-        std::to_string(db_->options().max_cascade_depth) +
-        " (possible non-terminating rule set; see Section 6.2.3)");
+    std::string msg = "trigger cascade exceeded max_cascade_depth=" +
+                      std::to_string(db_->options().max_cascade_depth) +
+                      " (possible non-terminating rule set; see Section "
+                      "6.2.3)";
+    if (writer != nullptr) {
+      // Cite the statically-found cycle through the looping trigger (empty
+      // when termination_policy is kOff — message preserved byte-for-byte).
+      const std::string hint = db_->TerminationCycleHint(writer->name);
+      if (!hint.empty()) {
+        msg += "; static analysis found triggering cycle " + hint;
+      }
+    }
+    return Status::CascadeLimitExceeded(msg);
   }
   stats_.cascade_depth_max =
       std::max<uint64_t>(stats_.cascade_depth_max, depth);
@@ -750,10 +760,18 @@ Status PgTriggerEngine::ProcessStatementLevel(Transaction& tx,
   // skip the release; the vector then frees them normally).
   std::vector<Activation> before_acts = MatchAll(ActionTime::kBefore, delta);
   for (Activation& act : before_acts) {
+    const uint64_t fired_before =
+        cascade_probe_ ? stats_.per_trigger[act.trigger->name].fired : 0;
     tx.PushDeltaScope();
     Status st = RunActivation(tx, act);
     GraphDelta d = tx.PopDeltaScope();
     if (!st.ok()) return st;
+    if (cascade_probe_) {
+      cascade_probe_(writer != nullptr ? writer->name : "",
+                     act.trigger->name, act.trigger->time,
+                     stats_.per_trigger[act.trigger->name].fired >
+                         fired_before);
+    }
     PGT_RETURN_IF_ERROR(ValidateBeforeDelta(*act.trigger, act, d));
     env_pool_.Release(std::move(act.env));
     tx.RecycleDelta(std::move(d));
@@ -765,21 +783,46 @@ Status PgTriggerEngine::ProcessStatementLevel(Transaction& tx,
   // the cascade so nested rounds reuse it.
   std::vector<Activation> after_acts = MatchAll(ActionTime::kAfter, delta);
   for (Activation& act : after_acts) {
+    const uint64_t fired_before =
+        cascade_probe_ ? stats_.per_trigger[act.trigger->name].fired : 0;
     tx.PushDeltaScope();
     Status st = RunActivation(tx, act);
     GraphDelta d = tx.PopDeltaScope();
     if (!st.ok()) return st;
+    if (cascade_probe_) {
+      cascade_probe_(writer != nullptr ? writer->name : "",
+                     act.trigger->name, act.trigger->time,
+                     stats_.per_trigger[act.trigger->name].fired >
+                         fired_before);
+    }
     env_pool_.Release(std::move(act.env));
-    PGT_RETURN_IF_ERROR(ProcessStatementLevel(tx, d, depth + 1));
+    PGT_RETURN_IF_ERROR(
+        ProcessStatementLevel(tx, d, depth + 1, act.trigger.get()));
     tx.RecycleDelta(std::move(d));
   }
   ReleaseActs(std::move(after_acts));
+
+  // Probe-armed runs additionally attribute commit-time derivations: this
+  // writer's delta folds into the accumulated transaction delta, so every
+  // ONCOMMIT/DETACHED activation it can derive is a cascade edge even
+  // though the activation itself runs later (fired stays false here; the
+  // commit-point processing reports the firing).
+  if (cascade_probe_ && writer != nullptr) {
+    for (ActionTime t : {ActionTime::kOnCommit, ActionTime::kDetached}) {
+      std::vector<Activation> derived = MatchAll(t, delta);
+      for (Activation& act : derived) {
+        cascade_probe_(writer->name, act.trigger->name, t, /*fired=*/false);
+        env_pool_.Release(std::move(act.env));
+      }
+      ReleaseActs(std::move(derived));
+    }
+  }
   return Status::OK();
 }
 
 Status PgTriggerEngine::OnStatement(Transaction& tx, const GraphDelta& delta) {
   ++stats_.statements;
-  return ProcessStatementLevel(tx, delta, 1);
+  return ProcessStatementLevel(tx, delta, 1, /*writer=*/nullptr);
 }
 
 Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
@@ -809,7 +852,7 @@ Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
         env_pool_.Release(std::move(act.env));
         // ONCOMMIT actions are statements: BEFORE/AFTER triggers cascade
         // on their effects as usual.
-        st = ProcessStatementLevel(tx, d, 1);
+        st = ProcessStatementLevel(tx, d, 1, act.trigger.get());
         if (st.ok()) tx.RecycleDelta(std::move(d));
       }
       if (!st.ok()) {
@@ -876,7 +919,7 @@ Status PgTriggerEngine::RunDetachedActivation(const Activation& act,
   tx->PushDeltaScope();
   Status st = RunActivation(*tx, act);
   GraphDelta d = tx->PopDeltaScope();
-  if (st.ok()) st = ProcessStatementLevel(*tx, d, 1);
+  if (st.ok()) st = ProcessStatementLevel(*tx, d, 1, act.trigger.get());
   if (st.ok()) tx->RecycleDelta(std::move(d));
   if (!st.ok()) {
     // A DETACHED trigger failure aborts only its own autonomous

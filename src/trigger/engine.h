@@ -2,6 +2,7 @@
 #define PGTRIGGERS_TRIGGER_ENGINE_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -152,6 +153,23 @@ class PgTriggerEngine : public TriggerRuntime {
   /// Both paths are byte-identical (tests/test_plan_differential.cc).
   Status RunActivation(Transaction& tx, const Activation& act);
 
+  /// Observation hook for every runtime cascade edge writer -> woken
+  /// (used by tests/test_analysis_soundness.cc to check the static
+  /// triggering graph covers actual cascades). `writer` is the trigger
+  /// whose action produced the activating delta (empty for user
+  /// statements). `fired` is true when the woken trigger's WHEN held and
+  /// its action ran; false for derivation-only observations (the
+  /// activation was considered, or a commit-time/detached activation was
+  /// derived from the writer's delta without running here). Pass nullptr
+  /// to disarm. Probe-armed runs derive extra ONCOMMIT/DETACHED matches
+  /// per statement for attribution — test-only overhead.
+  using CascadeProbe =
+      std::function<void(const std::string& writer, const std::string& woken,
+                         ActionTime woken_time, bool fired)>;
+  void SetCascadeProbe(CascadeProbe probe) {
+    cascade_probe_ = std::move(probe);
+  }
+
  private:
   Status RunActivationCompiled(cypher::EvalContext& ctx, const Activation& act,
                                const TriggerPlans& plans, TriggerStats& ts);
@@ -162,8 +180,12 @@ class PgTriggerEngine : public TriggerRuntime {
   void AppendActivations(std::shared_ptr<const TriggerDef> def,
                          const GraphDelta& delta, TransitionEnvPool* pool,
                          std::vector<Activation>* out) const;
+  /// `writer` is the trigger whose action produced `delta` (nullptr for a
+  /// user statement): it attributes cascade-probe edges and lets the
+  /// max_cascade_depth abort cite the statically-found cycle through the
+  /// looping trigger (docs/analysis.md).
   Status ProcessStatementLevel(Transaction& tx, const GraphDelta& delta,
-                               int depth);
+                               int depth, const TriggerDef* writer);
   Status ValidateBeforeDelta(const TriggerDef& def, const Activation& act,
                              const GraphDelta& delta) const;
   Status RunDetachedActivation(const Activation& act,
@@ -193,6 +215,7 @@ class PgTriggerEngine : public TriggerRuntime {
   /// nothing once warm. Only live within one MatchAllIndexed call.
   struct MatchScratch;
   std::unique_ptr<MatchScratch> scratch_;
+  CascadeProbe cascade_probe_;  // null when disarmed (the common case)
   bool draining_detached_ = false;
   // One shared transaction delta per activating commit (not one copy per
   // queued activation).

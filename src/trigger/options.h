@@ -31,11 +31,31 @@ enum class TriggerOrdering {
   kName,          ///< PostgreSQL-style alphabetical order (ablation)
 };
 
+/// What the static termination analysis (src/analysis/, docs/analysis.md)
+/// does when CREATE TRIGGER would close a cycle in the triggering graph
+/// with no WHEN guard on any cycle member (Baralis/Ceri/Widom: such a rule
+/// set cannot be proven terminating).
+enum class TerminationPolicy {
+  /// No registration-time analysis; max_cascade_depth remains the only
+  /// backstop. Default — preserves pre-analysis behavior byte-for-byte.
+  kOff,
+  /// Maintain the triggering graph incrementally; unguarded cycles are
+  /// surfaced via SHOW TRIGGER ANALYSIS / CALL pgt.analyzeTriggers() but
+  /// the CREATE succeeds.
+  kWarn,
+  /// Refuse a CREATE TRIGGER that introduces an unguarded cycle, naming
+  /// the cycle in the error.
+  kReject,
+};
+
 /// Tunables of the reactive engine (RocksDB-style options struct).
 struct EngineOptions {
   /// Maximum depth of cascaded trigger activations before the transaction
   /// aborts with CascadeLimitExceeded (runaway-rule backstop; Section 6.2.3
-  /// discusses non-terminating relocation cascades).
+  /// discusses non-terminating relocation cascades). When the static
+  /// analysis is active (termination_policy != kOff), the abort message
+  /// also cites the statically-found cycle through the looping trigger —
+  /// see docs/analysis.md.
   int max_cascade_depth = 32;
 
   /// Maximum ONCOMMIT fixpoint rounds (DESIGN.md D4) before aborting.
@@ -72,6 +92,12 @@ struct EngineOptions {
   size_t plan_cache_capacity = 128;
 
   TriggerOrdering trigger_ordering = TriggerOrdering::kCreationTime;
+
+  /// Registration-time termination analysis (docs/analysis.md). kOff skips
+  /// all analyzer maintenance on trigger DDL (SHOW TRIGGER ANALYSIS still
+  /// builds a report on demand); kWarn/kReject keep the triggering graph
+  /// incrementally up to date on every CREATE/DROP TRIGGER.
+  TerminationPolicy termination_policy = TerminationPolicy::kOff;
 
   /// Epoch for the deterministic logical clock behind DATETIME().
   int64_t clock_epoch_micros = 1'700'000'000'000'000;  // fixed, reproducible

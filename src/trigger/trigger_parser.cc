@@ -66,6 +66,16 @@ Result<TriggerDdl> TriggerDdlParser::Parse(std::string_view text) {
   Parser p(std::move(toks));
 
   TriggerDdl ddl;
+  if (p.AcceptKeyword("SHOW")) {
+    PGT_RETURN_IF_ERROR(p.ExpectKeyword("TRIGGER"));
+    PGT_RETURN_IF_ERROR(p.ExpectKeyword("ANALYSIS"));
+    ddl.kind = TriggerDdl::Kind::kShowAnalysis;
+    p.Accept(TokenType::kSemicolon);
+    if (!p.AtEnd()) {
+      return p.MakeError("unexpected input after SHOW TRIGGER ANALYSIS");
+    }
+    return ddl;
+  }
   if (p.AcceptKeyword("DROP")) {
     PGT_RETURN_IF_ERROR(p.ExpectKeyword("TRIGGER"));
     PGT_ASSIGN_OR_RETURN(ddl.name, p.ParseNameOrString("trigger name"));

@@ -11,7 +11,7 @@ namespace pgt {
 
 /// A parsed trigger-DDL command.
 struct TriggerDdl {
-  enum class Kind { kCreate, kDrop, kEnable, kDisable };
+  enum class Kind { kCreate, kDrop, kEnable, kDisable, kShowAnalysis };
   Kind kind = Kind::kCreate;
   TriggerDef def;    // kCreate
   std::string name;  // kDrop / kEnable / kDisable
@@ -28,7 +28,8 @@ struct TriggerDdl {
 ///
 /// plus the management commands `DROP TRIGGER <name>` and
 /// `ALTER TRIGGER <name> ENABLE|DISABLE` (paper Section 5.1 maps these to
-/// apoc.trigger.drop / stop / start).
+/// apoc.trigger.drop / stop / start), and the introspection command
+/// `SHOW TRIGGER ANALYSIS` (triggering-graph report, docs/analysis.md).
 ///
 /// The WHEN condition is either a boolean expression (`OLD.x <> NEW.x`,
 /// `EXISTS (NEW)-[:Risk]-(:CriticalEffect)`) or a read-only Cypher pipeline

@@ -183,6 +183,70 @@ TEST(TriggeringGraphTest, LabelEventEdges) {
   EXPECT_TRUE(MayTrigger(sig, watcher));
 }
 
+// --- Conservativeness regressions -----------------------------------------
+// MATCH/MERGE-bound and transition node variables must widen with "*" (the
+// designated node may carry labels beyond the matched ones); CREATE-bound
+// nodes keep their exact creation labels.
+
+TEST(WriteSignatureTest, MatchBoundSetWidensToWildcard) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN MATCH (h:Hospital) SET h.load = 1 END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.set_node_props.count({"Hospital", "load"}));
+  EXPECT_TRUE(sig.set_node_props.count({"*", "load"}));
+}
+
+TEST(WriteSignatureTest, CreateBoundSetStaysExact) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN CREATE (n:Fresh) SET n.v = 1 END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.set_node_props.count({"Fresh", "v"}));
+  EXPECT_FALSE(sig.set_node_props.count({"*", "v"}));
+}
+
+TEST(WriteSignatureTest, MergeMayCreateAndOnMatchWidens) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN MERGE (m:Metric) ON MATCH SET m.n = 1 END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  // MERGE may create the node -> a CREATE event on Metric is possible.
+  EXPECT_TRUE(sig.created_node_labels.count("Metric"));
+  // ...but the variable may also bind an existing node with more labels.
+  EXPECT_TRUE(sig.set_node_props.count({"Metric", "n"}));
+  EXPECT_TRUE(sig.set_node_props.count({"*", "n"}));
+}
+
+TEST(WriteSignatureTest, DetachDeleteMatchedNodeWidens) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN MATCH (old:Stale) DETACH DELETE old END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.deleted_node_labels.count("Stale"));
+  EXPECT_TRUE(sig.deleted_node_labels.count("*"));  // extra labels possible
+  EXPECT_TRUE(sig.deleted_rel_types.count("*"));    // detach widens
+}
+
+TEST(WriteSignatureTest, ForeachVarShadowsOuterBinding) {
+  // The foreach element variable shadows the CREATE-bound x: writes through
+  // it must widen instead of inheriting the exact creation label.
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN CREATE (x:Safe) FOREACH (x IN [1] | SET x.v = 2) END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.set_node_props.count({"*", "v"}));
+  EXPECT_FALSE(sig.set_node_props.count({"Safe", "v"}));
+}
+
+TEST(WriteSignatureTest, UntypedRelDeleteIsWildcard) {
+  TriggerDef t = Parse(
+      "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
+      "BEGIN MATCH (a:A)-[r]->(b:B) DELETE r END");
+  WriteSignature sig = ExtractWriteSignature(t);
+  EXPECT_TRUE(sig.deleted_rel_types.count("*"));
+}
+
 TEST(WriteSignatureTest, ToStringListsCategories) {
   TriggerDef t = Parse(
       "CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH NODE "
