@@ -510,7 +510,8 @@ std::string WriteSet::ToString() const {
 
 WriteSet InferWriteSet(const TriggerDef& def, const GraphStore& store,
                        uint64_t plan_epoch) {
-  const TriggerPlans* plans = GetOrCompileTriggerPlans(def, store, plan_epoch);
+  const std::shared_ptr<const TriggerPlans> plans =
+      GetOrCompileTriggerPlans(def, store, plan_epoch);
   if (plans == nullptr || !plans->usable) return FromAstSignature(def);
   const plan::TriggerProgram& prog = plans->program;
 

@@ -3,6 +3,7 @@
 namespace pgt::cypher::plan {
 
 std::shared_ptr<PreparedStatement> PlanCache::Get(std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(text);
   if (it == entries_.end()) {
     ++misses_;
@@ -16,6 +17,7 @@ std::shared_ptr<PreparedStatement> PlanCache::Get(std::string_view text) {
 void PlanCache::Put(std::string_view text,
                     std::shared_ptr<PreparedStatement> stmt) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(text);
   if (it != entries_.end()) {
     it->second->stmt = std::move(stmt);
@@ -31,6 +33,7 @@ void PlanCache::Put(std::string_view text,
 }
 
 void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   entries_.clear();
 }

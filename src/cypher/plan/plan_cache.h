@@ -5,6 +5,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -31,8 +32,11 @@ struct PreparedStatement {
 };
 
 /// Small LRU cache mapping ad-hoc statement text to PreparedStatements.
-/// Single-threaded (the engine is single-writer); epoch validation is the
-/// caller's job — the cache only stores and evicts.
+/// Thread-safe behind an internal mutex: the writer and async-pool apply
+/// threads may prepare statements from different threads (serialized by
+/// the Database's writer interlock, but the mutex makes the cache safe on
+/// its own — including stats reads from monitoring threads). Epoch
+/// validation is the caller's job — the cache only stores and evicts.
 class PlanCache {
  public:
   explicit PlanCache(size_t capacity = 128) : capacity_(capacity) {}
@@ -48,10 +52,19 @@ class PlanCache {
   void Put(std::string_view text, std::shared_ptr<PreparedStatement> stmt);
 
   void Clear();
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Entry {
@@ -59,6 +72,7 @@ class PlanCache {
     std::shared_ptr<PreparedStatement> stmt;
   };
 
+  mutable std::mutex mu_;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recent
   // Transparent hash so Get can probe with a string_view.

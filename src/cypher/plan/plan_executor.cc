@@ -509,6 +509,17 @@ class FrameMatcher {
   /// probe makes redundant, or -1 (guarded by IndexProbeExact — NaN and
   /// beyond-2^53 int probes keep the re-check, which rejects what Equals
   /// rejects but the index's band equality admits).
+  /// Resolves a compile-time index pointer against the executing view.
+  /// Live views (what the plan was compiled against) use it directly;
+  /// snapshot views re-resolve by spec to the epoch-versioned posting
+  /// sidecar — invalid when the pinned image predates the index, in which
+  /// case the caller falls through to the next access path.
+  IndexRef ResolveIndex(const index::PropertyIndex* idx) const {
+    const StoreView* view = ctx_.store();
+    if (!view->is_snapshot()) return IndexRef::LiveIndex(idx);
+    return view->FindIndex(idx->spec().label, idx->spec().prop);
+  }
+
   NodeScanPlan SelectScan(const PScanTemplate& t,
                           const std::vector<LabelId>& real_labels,
                           int* satisfied_prop_idx) {
@@ -516,34 +527,41 @@ class FrameMatcher {
     *satisfied_prop_idx = -1;
     if (real_labels.empty()) return plan;  // kFullScan
 
-    auto take_eq = [&](const PScanTemplate::EqProbe& probe, Value value) {
+    auto take_eq = [&](const PScanTemplate::EqProbe& probe, IndexRef ref,
+                       Value value) {
       plan.kind = NodeScanPlan::Kind::kIndexEquality;
-      plan.idx = probe.idx;
+      plan.idx = ref;
       if (probe.inline_prop_idx >= 0 && IndexProbeExact(value)) {
         *satisfied_prop_idx = probe.inline_prop_idx;
       }
       plan.eq_value = std::move(value);
     };
     const PScanTemplate::EqProbe* first_any = nullptr;
+    IndexRef first_any_ref;
     Value first_any_value;
     for (const PScanTemplate::EqProbe& probe : t.eq_probes) {
       auto r = exec_->Eval(*probe.comparand, work_);
       if (!r.ok()) continue;  // the normal evaluation path surfaces errors
+      IndexRef ref = ResolveIndex(probe.idx);
+      if (!ref) continue;  // index absent at this snapshot's epoch
       if (probe.unique) {
-        take_eq(probe, std::move(r).value());
+        take_eq(probe, ref, std::move(r).value());
         return plan;
       }
       if (first_any == nullptr) {
         first_any = &probe;
+        first_any_ref = ref;
         first_any_value = std::move(r).value();
       }
     }
     if (first_any != nullptr) {
-      take_eq(*first_any, std::move(first_any_value));
+      take_eq(*first_any, first_any_ref, std::move(first_any_value));
       return plan;
     }
 
     for (const PScanTemplate::RangeGroup& group : t.range_groups) {
+      IndexRef ref = ResolveIndex(group.idx);
+      if (!ref || !ref.SupportsRange()) continue;  // live-only access path
       RangeBounds bounds;
       for (const PScanTemplate::RangeBound& b : group.bounds) {
         auto r = exec_->Eval(*b.comparand, work_);
@@ -554,7 +572,7 @@ class FrameMatcher {
       }
       if (!bounds.lo.has_value() && !bounds.hi.has_value()) continue;
       plan.kind = NodeScanPlan::Kind::kIndexRange;
-      plan.idx = group.idx;
+      plan.idx = ref;
       plan.lo = bounds.lo;
       plan.hi = bounds.hi;
       plan.lo_inclusive = bounds.lo_inclusive;

@@ -2,6 +2,7 @@
 #define PGTRIGGERS_CYPHER_PLAN_PROGRAM_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -146,20 +147,50 @@ class FramePool {
 // and a cached id: read-side uses Resolve* (lookup, cache on success —
 // interner ids are stable and never removed, so a cached id can never go
 // stale), write-side uses Intern* (interning on first execution, exactly
-// where the interpreter would have interned). Caches are plain mutable
-// fields: the engine is single-writer single-threaded by design (D7).
+// where the interpreter would have interned). Caches are mutable relaxed
+// atomics so pool workers sharing a compiled plan may race benignly on
+// them (see the struct comment below).
 // ============================================================================
 
 struct SymbolRef {
   std::string name;
-  mutable int64_t cached = -1;  // < 0 = not resolved yet
+  // Caches are mutable atomics: a trigger's compiled plans are shared with
+  // async pool workers (docs/async.md), so concurrent executions may race
+  // to fill a cache — benign (every racer writes the same stable id), but
+  // atomics make the race defined. Relaxed suffices: the value is
+  // self-validating (< 0 = retry the lookup).
+  mutable std::atomic<int64_t> cached{-1};  // < 0 = not resolved yet
   // Id in the TransVars table, for names that may address a transition
   // set binding (pattern labels / label tests). Same pending discipline:
   // cached on first successful lookup; TransVars never forgets a name.
-  mutable int64_t trans_cached = -1;
+  mutable std::atomic<int64_t> trans_cached{-1};
 
   SymbolRef() = default;
   explicit SymbolRef(std::string n) : name(std::move(n)) {}
+  SymbolRef(const SymbolRef& o)
+      : name(o.name),
+        cached(o.cached.load(std::memory_order_relaxed)),
+        trans_cached(o.trans_cached.load(std::memory_order_relaxed)) {}
+  SymbolRef(SymbolRef&& o) noexcept
+      : name(std::move(o.name)),
+        cached(o.cached.load(std::memory_order_relaxed)),
+        trans_cached(o.trans_cached.load(std::memory_order_relaxed)) {}
+  SymbolRef& operator=(const SymbolRef& o) {
+    name = o.name;
+    cached.store(o.cached.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    trans_cached.store(o.trans_cached.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+  SymbolRef& operator=(SymbolRef&& o) noexcept {
+    name = std::move(o.name);
+    cached.store(o.cached.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    trans_cached.store(o.trans_cached.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 inline std::optional<LabelId> ResolveLabel(const SymbolRef& ref,

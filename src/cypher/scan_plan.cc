@@ -153,9 +153,9 @@ const char* NodeScanPlan::KindName() const {
 std::string NodeScanPlan::ToString() const {
   std::string s = KindName();
   if (kind == Kind::kIndexEquality) {
-    s += " " + idx->spec().name + " = " + eq_value.ToString();
+    s += " " + idx.spec().name + " = " + eq_value.ToString();
   } else if (kind == Kind::kIndexRange) {
-    s += " " + idx->spec().name;
+    s += " " + idx.spec().name;
     if (lo.has_value()) {
       s += (lo_inclusive ? " >= " : " > ") + lo->ToString();
     }
@@ -172,30 +172,29 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
                                   EvalContext& ctx) {
   NodeScanPlan plan;
   const StoreView* store = ctx.store();
-  // Snapshot views expose no property indexes (postings are not
-  // versioned); the planner falls back to label scans, which is purely an
-  // access-path change — results are identical by the determinism
-  // contract above.
-  const index::IndexCatalog* catalog_ptr = store->Indexes();
 
   if (labels.empty()) return plan;  // our indexes are label-scoped
 
   // Candidate equality probes: inline props first, then WHERE conjuncts.
+  // FindIndex is view-polymorphic: live views probe the catalog, snapshot
+  // views the epoch-versioned posting sidecar — the same plan shapes work
+  // against any pinned epoch. Range scans remain live-only (the sidecar
+  // versions equality bands, not order): SupportsRange() gates them.
   struct EqCandidate {
-    const index::PropertyIndex* idx;
+    IndexRef idx;
     Value value;
   };
   std::vector<EqCandidate> equalities;
   std::map<PropKeyId, RangeBounds> ranges;  // ordered-index range bounds per key
 
-  const bool no_indexes = catalog_ptr == nullptr || catalog_ptr->empty();
+  const bool no_indexes = !store->HasIndexes();
   auto consider_eq = [&](const std::string& key, const Value& v) {
     if (no_indexes) return;
     auto pk = store->LookupPropKey(key);
     if (!pk.has_value()) return;
     for (LabelId l : labels) {
-      const index::PropertyIndex* idx = catalog_ptr->Find(l, *pk);
-      if (idx != nullptr) equalities.push_back(EqCandidate{idx, v});
+      IndexRef idx = store->FindIndex(l, *pk);
+      if (idx) equalities.push_back(EqCandidate{idx, v});
     }
   };
   auto consider_range = [&](const std::string& key, BinOp op,
@@ -205,8 +204,8 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
     auto pk = store->LookupPropKey(key);
     if (!pk.has_value()) return;
     for (LabelId l : labels) {
-      const index::PropertyIndex* idx = catalog_ptr->Find(l, *pk);
-      if (idx != nullptr && idx->SupportsRange()) {
+      IndexRef idx = store->FindIndex(l, *pk);
+      if (idx && idx.SupportsRange()) {
         ranges[*pk].Tighten(op, v);
         break;  // bounds are per-key; one ordered index suffices
       }
@@ -234,7 +233,7 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
 
   // 1-2. Equality probe, unique indexes preferred.
   for (const EqCandidate& c : equalities) {
-    if (c.idx->unique()) {
+    if (c.idx.unique()) {
       plan.kind = NodeScanPlan::Kind::kIndexEquality;
       plan.idx = c.idx;
       plan.eq_value = c.value;
@@ -252,8 +251,8 @@ Result<NodeScanPlan> PlanNodeScan(const NodePattern& np,
   for (const auto& [pk, bounds] : ranges) {
     if (!bounds.lo.has_value() && !bounds.hi.has_value()) continue;
     for (LabelId l : labels) {
-      const index::PropertyIndex* idx = catalog_ptr->Find(l, pk);
-      if (idx == nullptr || !idx->SupportsRange()) continue;
+      IndexRef idx = store->FindIndex(l, pk);
+      if (!idx || !idx.SupportsRange()) continue;
       plan.kind = NodeScanPlan::Kind::kIndexRange;
       plan.idx = idx;
       plan.lo = bounds.lo;
@@ -292,15 +291,15 @@ const std::vector<NodeId>& ExecuteNodeScanInto(const NodeScanPlan& plan,
       bufs.ids = ctx.store()->NodesByLabel(plan.label);
       break;
     case NodeScanPlan::Kind::kIndexEquality: {
-      plan.idx->Lookup(plan.eq_value, &bufs.raw);
+      plan.idx.Lookup(plan.eq_value, &bufs.raw);
       // Posting lists are id-sorted already.
       bufs.ids.reserve(bufs.raw.size());
       for (uint64_t v : bufs.raw) bufs.ids.push_back(NodeId{v});
       break;
     }
     case NodeScanPlan::Kind::kIndexRange: {
-      plan.idx->Range(plan.lo, plan.lo_inclusive, plan.hi, plan.hi_inclusive,
-                      &bufs.raw);
+      plan.idx.Range(plan.lo, plan.lo_inclusive, plan.hi, plan.hi_inclusive,
+                     &bufs.raw);
       // Range traversal is value-ordered; restore global id order so the
       // access path never changes result order.
       std::sort(bufs.raw.begin(), bufs.raw.end());

@@ -10,6 +10,7 @@
 #include "src/cypher/eval.h"
 #include "src/cypher/scan_buffers.h"
 #include "src/index/property_index.h"
+#include "src/storage/store_view.h"
 
 namespace pgt::cypher {
 
@@ -22,9 +23,9 @@ struct NodeScanPlan {
   enum class Kind { kFullScan, kLabelScan, kIndexEquality, kIndexRange };
 
   Kind kind = Kind::kFullScan;
-  LabelId label = 0;                            // kLabelScan
-  const index::PropertyIndex* idx = nullptr;    // kIndexEquality/kIndexRange
-  Value eq_value;                               // kIndexEquality
+  LabelId label = 0;   // kLabelScan
+  IndexRef idx;        // kIndexEquality/kIndexRange; view-polymorphic
+  Value eq_value;      // kIndexEquality
   std::optional<Value> lo, hi;                  // kIndexRange
   bool lo_inclusive = false, hi_inclusive = false;
 

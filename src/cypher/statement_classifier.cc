@@ -36,10 +36,15 @@ StatementKind ClassifyStatement(std::string_view text) {
   if (!toks.ok() || toks.value().size() < 2) return StatementKind::kCypher;
   const std::vector<Token>& t = toks.value();
 
-  // Trigger DDL: CREATE / DROP / ALTER TRIGGER, SHOW TRIGGER ANALYSIS.
+  // Trigger DDL: CREATE / DROP / ALTER TRIGGER, SHOW TRIGGER ANALYSIS,
+  // SHOW ASYNC STATUS (async pool introspection rides the trigger-DDL
+  // route — docs/async.md).
   if ((IsWord(t[0], "CREATE") || IsWord(t[0], "DROP") ||
        IsWord(t[0], "ALTER") || IsWord(t[0], "SHOW")) &&
       IsWord(t[1], "TRIGGER")) {
+    return StatementKind::kTriggerDdl;
+  }
+  if (IsWord(t[0], "SHOW") && IsWord(t[1], "ASYNC")) {
     return StatementKind::kTriggerDdl;
   }
 

@@ -1,7 +1,8 @@
 #include "src/cypher/transition_vars.h"
 
+#include <deque>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "src/common/str_util.h"
 
@@ -10,10 +11,16 @@ namespace pgt::cypher {
 namespace {
 
 struct Table {
+  /// Guards the maps. Interning happens at trigger-compile / activation
+  /// -build time and seed-row construction — including on async pool
+  /// workers — so the registry must be safe for concurrent access.
+  std::mutex mu;
   std::unordered_map<std::string, TransVarId, TransparentStringHash,
                      std::equal_to<>>
       ids;
-  std::vector<std::string> names;
+  /// Deque, not vector: Name() hands out references that must survive
+  /// later growth (a deque never relocates existing elements).
+  std::deque<std::string> names;
 };
 
 Table& TheTable() {
@@ -36,6 +43,7 @@ Table& TheTable() {
 
 TransVarId TransVars::Intern(std::string_view name) {
   Table& t = TheTable();
+  std::lock_guard<std::mutex> lock(t.mu);
   auto it = t.ids.find(name);
   if (it != t.ids.end()) return it->second;
   const TransVarId id = static_cast<TransVarId>(t.names.size());
@@ -46,13 +54,16 @@ TransVarId TransVars::Intern(std::string_view name) {
 
 std::optional<TransVarId> TransVars::Lookup(std::string_view name) {
   Table& t = TheTable();
+  std::lock_guard<std::mutex> lock(t.mu);
   auto it = t.ids.find(name);
   if (it == t.ids.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& TransVars::Name(TransVarId id) {
-  return TheTable().names[id];
+  Table& t = TheTable();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.names[id];
 }
 
 }  // namespace pgt::cypher

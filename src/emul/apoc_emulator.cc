@@ -284,7 +284,9 @@ Status ApocEmulator::AfterCommit(const GraphDelta& tx_delta) {
   std::vector<std::string> interleaved = std::move(interleaved_);
   interleaved_.clear();
   for (const std::string& stmt : interleaved) {
-    auto r = db_->Execute(stmt);
+    // Nested entry: this runs inside CommitWithTriggers, on the writer
+    // thread, under the caller's writer-interlock hold.
+    auto r = db_->ExecuteNested(stmt);
     PGT_RETURN_IF_ERROR(r.status());
   }
 

@@ -236,6 +236,35 @@ void PropertyIndex::Range(const std::optional<Value>& lo, bool lo_inclusive,
   }
 }
 
+void PropertyIndex::ForEachBandPosting(
+    const std::function<void(const Value&, const std::vector<uint64_t>&)>& fn)
+    const {
+  std::vector<uint64_t> buf;
+  if (spec_.kind == IndexKind::kHash) {
+    // Hash buckets are band-granular already.
+    for (const auto& [v, p] : hash_) {
+      buf.assign(p.begin(), p.end());
+      fn(v, buf);
+    }
+    return;
+  }
+  // Ordered layout: merge the contiguous keys of each band.
+  for (auto it = ordered_.begin(); it != ordered_.end();) {
+    const Value& band = it->first;
+    buf.assign(it->second.begin(), it->second.end());
+    auto next = std::next(it);
+    size_t keys = 1;
+    while (next != ordered_.end() && SameBand(next->first, band)) {
+      buf.insert(buf.end(), next->second.begin(), next->second.end());
+      ++next;
+      ++keys;
+    }
+    if (keys > 1) std::sort(buf.begin(), buf.end());
+    fn(band, buf);
+    it = next;
+  }
+}
+
 void PropertyIndex::ForEachDuplicate(
     const std::function<void(const Value&, const std::set<uint64_t>&)>& fn)
     const {

@@ -94,6 +94,14 @@ class PropertyIndex {
              const std::optional<Value>& hi, bool hi_inclusive,
              std::vector<uint64_t>* out) const;
 
+  /// Invokes `fn` for every *band* with its complete posting list (sorted
+  /// ascending). Ordered layouts merge band-spanning keys (huge int +
+  /// double) into one call, keyed by the band's first key. This is how the
+  /// snapshot sidecar (index/versioned_postings.h) baselines itself.
+  void ForEachBandPosting(
+      const std::function<void(const Value&, const std::vector<uint64_t>&)>&
+          fn) const;
+
   /// Invokes `fn` for every value whose posting list holds >= 2 nodes.
   /// This is how deferred-unique (PG-Key) violations are read off the index
   /// at commit time: O(duplicated values) instead of a full rescan.

@@ -1,0 +1,164 @@
+#include "src/index/versioned_postings.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pgt::index {
+
+namespace {
+
+constexpr size_t kInitialBuckets = 16;  // power of two
+
+/// NaN probes/keys match nothing (live parity: PropertyIndex never indexes
+/// NaN and Lookup rejects it).
+bool IsNanValue(const Value& v) {
+  return v.is_double() && v.double_value() != v.double_value();
+}
+
+}  // namespace
+
+VersionedPostings::VersionedPostings(IndexSpec spec) : spec_(std::move(spec)) {
+  auto t = std::make_unique<Table>();
+  t->mask = kInitialBuckets - 1;
+  t->buckets = std::make_unique<std::atomic<Slot*>[]>(kInitialBuckets);
+  table_.store(t.get(), std::memory_order_release);
+  tables_.push_back(std::move(t));
+}
+
+VersionedPostings::~VersionedPostings() {
+  for (const auto& band : bands_) {
+    PostingVersion* v = band->head.load(std::memory_order_relaxed);
+    while (v != nullptr) {
+      PostingVersion* p = v->prev.load(std::memory_order_relaxed);
+      delete v;
+      v = p;
+    }
+  }
+}
+
+VersionedPostings::Band* VersionedPostings::FindBand(const Value& key) const {
+  const Table* t = table_.load(std::memory_order_acquire);
+  const size_t b = ValueHash{}(key) & t->mask;
+  for (Slot* s = t->buckets[b].load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    if (IndexKeyEq{}(s->band->key, key)) return s->band;
+  }
+  return nullptr;
+}
+
+void VersionedPostings::InsertSlot(Table& t, Band* band) {
+  const size_t b = ValueHash{}(band->key) & t.mask;
+  auto slot = std::make_unique<Slot>();
+  slot->band = band;
+  slot->next = t.buckets[b].load(std::memory_order_relaxed);
+  t.buckets[b].store(slot.get(), std::memory_order_release);
+  slots_.push_back(std::move(slot));
+}
+
+void VersionedPostings::GrowLocked() {
+  const Table* old = table_.load(std::memory_order_relaxed);
+  auto bigger = std::make_unique<Table>();
+  bigger->mask = (old->mask + 1) * 2 - 1;
+  bigger->buckets =
+      std::make_unique<std::atomic<Slot*>[]>(bigger->mask + 1);
+  // Fresh chains into the new directory; the old table (and its slots)
+  // stays intact for readers that already loaded it. Bands are shared, so
+  // version chains published after the swap are visible through both.
+  for (const auto& band : bands_) InsertSlot(*bigger, band.get());
+  table_.store(bigger.get(), std::memory_order_release);
+  tables_.push_back(std::move(bigger));
+}
+
+VersionedPostings::Band* VersionedPostings::EnsureBand(const Value& key) {
+  Band* existing = FindBand(key);
+  if (existing != nullptr) return existing;
+  if (bands_.size() + 1 >
+      table_.load(std::memory_order_relaxed)->mask + 1) {
+    GrowLocked();
+  }
+  auto band = std::make_unique<Band>();
+  band->key = key;
+  Band* raw = band.get();
+  bands_.push_back(std::move(band));
+  InsertSlot(*tables_.back(), raw);
+  return raw;
+}
+
+void VersionedPostings::Baseline(const PropertyIndex& live, uint64_t epoch) {
+  live.ForEachBandPosting(
+      [&](const Value& key, const std::vector<uint64_t>& ids) {
+        Band* band = EnsureBand(key);
+        auto* v = new PostingVersion();
+        v->epoch = epoch;
+        v->ids = ids;
+        band->head.store(v, std::memory_order_release);
+      });
+}
+
+void VersionedPostings::PublishBand(const Value& key,
+                                    const PropertyIndex& live,
+                                    uint64_t epoch) {
+  if (key.is_null() || IsNanValue(key)) return;
+  scratch_.clear();
+  live.Lookup(key, &scratch_);
+  Band* band = FindBand(key);
+  if (band == nullptr) {
+    if (scratch_.empty()) return;  // never-indexed band stays absent
+    band = EnsureBand(key);
+  }
+  PostingVersion* head = band->head.load(std::memory_order_relaxed);
+  if (head != nullptr && head->ids == scratch_) return;  // no-op candidate
+  auto* v = new PostingVersion();
+  v->epoch = epoch;
+  v->ids = scratch_;
+  v->prev.store(head, std::memory_order_relaxed);
+  band->head.store(v, std::memory_order_release);
+  if (head != nullptr) {
+    ++superseded_;
+    multi_.push_back(band);
+  }
+}
+
+void VersionedPostings::Truncate(uint64_t min_keep) {
+  std::sort(multi_.begin(), multi_.end());
+  multi_.erase(std::unique(multi_.begin(), multi_.end()), multi_.end());
+  size_t w = 0;
+  for (Band* band : multi_) {
+    PostingVersion* head = band->head.load(std::memory_order_relaxed);
+    PostingVersion* v = head;
+    while (v != nullptr && v->epoch > min_keep) {
+      v = v->prev.load(std::memory_order_relaxed);
+    }
+    if (v != nullptr) {
+      PostingVersion* dead = v->prev.load(std::memory_order_relaxed);
+      if (dead != nullptr) {
+        v->prev.store(nullptr, std::memory_order_release);
+        while (dead != nullptr) {
+          PostingVersion* p = dead->prev.load(std::memory_order_relaxed);
+          delete dead;
+          --superseded_;
+          dead = p;
+        }
+      }
+    }
+    if (head != nullptr &&
+        head->prev.load(std::memory_order_relaxed) != nullptr) {
+      multi_[w++] = band;  // still multi-versioned: revisit next GC
+    }
+  }
+  multi_.resize(w);
+}
+
+void VersionedPostings::LookupAt(const Value& value, uint64_t epoch,
+                                 std::vector<uint64_t>* out) const {
+  if (value.is_null() || IsNanValue(value)) return;
+  const Band* band = FindBand(value);
+  if (band == nullptr) return;
+  const PostingVersion* v = band->head.load(std::memory_order_acquire);
+  while (v != nullptr && v->epoch > epoch) {
+    v = v->prev.load(std::memory_order_acquire);
+  }
+  if (v != nullptr) out->insert(out->end(), v->ids.begin(), v->ids.end());
+}
+
+}  // namespace pgt::index

@@ -1,0 +1,128 @@
+#ifndef PGTRIGGERS_INDEX_VERSIONED_POSTINGS_H_
+#define PGTRIGGERS_INDEX_VERSIONED_POSTINGS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/index/index_def.h"
+#include "src/index/property_index.h"
+
+namespace pgt::index {
+
+/// Epoch-versioned sidecar of one live PropertyIndex, maintained by the
+/// SnapshotManager so index probes work against any pinned epoch — the
+/// posting-list analogue of the record version chains in
+/// src/storage/snapshot.h (docs/snapshots.md, docs/async.md).
+///
+/// Granularity is the *band* (see property_index.h: numerics grouped by
+/// double value, everything else by exact equality — the same superset
+/// contract as live `Lookup`, so per-candidate rechecks carry over
+/// unchanged). Each band holds an immutable version chain; a version is the
+/// band's complete posting list (sorted ascending ids) as of its commit
+/// epoch. Resolving a probe at epoch E walks the chain to the newest
+/// version with `epoch <= E`.
+///
+/// Thread contract (mirrors the record sidecar):
+///  * all mutation — `Baseline`, `PublishBand`, `Truncate` — runs on the
+///    writer thread under the SnapshotManager mutex;
+///  * `LookupAt` / `Find` are lock-free and safe from any thread
+///    concurrently with the writer. The band hash table grows by
+///    publishing a rebuilt bucket directory; superseded directories are
+///    retired, not freed, so an in-flight reader's traversal stays valid
+///    (retired memory is bounded: geometric growth sums to less than one
+///    extra copy of the final table).
+///
+/// Bands are never removed once created (an emptied band keeps a version
+/// with an empty posting list); only `Truncate` reclaims versions older
+/// than what the oldest pinned snapshot can still observe.
+class VersionedPostings {
+ public:
+  explicit VersionedPostings(IndexSpec spec);
+  ~VersionedPostings();
+  VersionedPostings(const VersionedPostings&) = delete;
+  VersionedPostings& operator=(const VersionedPostings&) = delete;
+
+  const IndexSpec& spec() const { return spec_; }
+  bool unique() const { return spec_.unique; }
+
+  // --- Writer side (under the SnapshotManager mutex) ------------------------
+
+  /// Materializes one version per band of `live` at `epoch`. Called when
+  /// the sidecar is created: at Arm() for pre-existing indexes, at CREATE
+  /// INDEX for indexes added while armed.
+  void Baseline(const PropertyIndex& live, uint64_t epoch);
+
+  /// Re-publishes the band containing `key` from the live index's current
+  /// (committed) content at `epoch`. Candidates are allowed to
+  /// over-approximate: when the band's content is unchanged the call is a
+  /// dedupe no-op, so callers may nominate any value a commit might have
+  /// touched. At most one publish per band per epoch (callers dedupe their
+  /// candidate list by band).
+  void PublishBand(const Value& key, const PropertyIndex& live,
+                   uint64_t epoch);
+
+  /// Frees versions no snapshot pinned at `min_keep` or newer can observe
+  /// (same cut-and-free discipline as SnapshotManager::TruncateChains).
+  void Truncate(uint64_t min_keep);
+
+  /// Number of superseded (non-head) versions currently banked.
+  size_t SupersededVersions() const { return superseded_; }
+  size_t BandCount() const { return bands_.size(); }
+
+  // --- Reader side (lock-free) ----------------------------------------------
+
+  /// Equality probe at a pinned epoch: appends the ids of the band
+  /// containing `value` as of `epoch`, ascending. NULL / NaN probes match
+  /// nothing (live parity).
+  void LookupAt(const Value& value, uint64_t epoch,
+                std::vector<uint64_t>* out) const;
+
+ private:
+  struct PostingVersion {
+    uint64_t epoch = 0;
+    std::vector<uint64_t> ids;  // sorted ascending
+    std::atomic<PostingVersion*> prev{nullptr};  // next-older version
+  };
+
+  struct Band {
+    Value key;  // immutable; any band member hashes/compares identically
+    std::atomic<PostingVersion*> head{nullptr};
+  };
+
+  // Per-table bucket-chain node. Immutable after insertion; rebuilt (not
+  // relinked) on growth so readers of a retired table never see a torn
+  // chain.
+  struct Slot {
+    Band* band = nullptr;
+    Slot* next = nullptr;
+  };
+
+  struct Table {
+    size_t mask = 0;  // bucket_count - 1 (power of two)
+    std::unique_ptr<std::atomic<Slot*>[]> buckets;
+  };
+
+  Band* FindBand(const Value& key) const;  // lock-free
+  Band* EnsureBand(const Value& key);      // writer side
+  void InsertSlot(Table& t, Band* band);   // writer side
+  void GrowLocked();                       // writer side
+
+  IndexSpec spec_;
+  std::atomic<Table*> table_{nullptr};
+
+  // Writer-side ownership; readers only ever reach this memory through the
+  // published table / chains.
+  std::vector<std::unique_ptr<Table>> tables_;  // [0..n-2] retired, back live
+  std::vector<std::unique_ptr<Band>> bands_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Band*> multi_;  // bands with chains > 1: GC revisit list
+  size_t superseded_ = 0;
+  std::vector<uint64_t> scratch_;  // PublishBand working buffer
+};
+
+}  // namespace pgt::index
+
+#endif  // PGTRIGGERS_INDEX_VERSIONED_POSTINGS_H_

@@ -350,11 +350,16 @@ Result<const index::PropertyIndex*> GraphStore::CreateIndex(
       return Status::ConstraintViolation(error);
     }
   }
+  // Snapshot sidecar: give pinned-epoch readers a versioned posting store
+  // for the new index (no-op until snapshots are armed).
+  if (snapshots_->armed()) snapshots_->OnIndexCreated(*idx);
   return idx;
 }
 
 Status GraphStore::DropIndex(LabelId label, PropKeyId prop) {
-  return indexes_.Unregister(label, prop);
+  PGT_RETURN_IF_ERROR(indexes_.Unregister(label, prop));
+  if (snapshots_->armed()) snapshots_->OnIndexDropped(label, prop);
+  return Status::OK();
 }
 
 Status GraphStore::LoadForRecovery(const std::vector<std::string>& labels,

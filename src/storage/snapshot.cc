@@ -151,11 +151,76 @@ void SnapshotManager::Arm(const GraphStore& store) {
   for (uint32_t l = 0; l < store.LabelDictSize(); ++l) {
     RebuildBucketLocked(store, l);
   }
+  // Baseline a versioned posting sidecar per existing property index, so
+  // snapshot probes work from the first pinned epoch on.
+  auto image = std::make_shared<SnapshotIndexImage>();
+  store.indexes().ForEach([&](const index::PropertyIndex& idx) {
+    auto sidecar = std::make_shared<index::VersionedPostings>(idx.spec());
+    sidecar->Baseline(idx, epoch);
+    (*image)[{idx.spec().label, idx.spec().prop}] = std::move(sidecar);
+  });
+  index_image_ = std::move(image);
   node_bound_ = store.NodeIdBound();
   rel_bound_ = store.RelIdBound();
   node_count_ = store.NodeCount();
   rel_count_ = store.RelCount();
   armed_.store(true, std::memory_order_release);
+}
+
+void SnapshotManager::PublishIndexBandsLocked(const GraphStore& store,
+                                              const GraphDelta& delta,
+                                              uint64_t new_epoch) {
+  if (index_image_ == nullptr || index_image_->empty()) return;
+  std::vector<Value> candidates;
+  for (const auto& [key, sidecar] : *index_image_) {
+    const LabelId label = key.first;
+    const PropKeyId prop = key.second;
+    const index::PropertyIndex* live = store.indexes().Find(label, prop);
+    if (live == nullptr) continue;  // image and catalog are DDL-synced
+    // Bands this commit may have changed. Over-approximation is fine —
+    // PublishBand dedupes unchanged content — so no label filtering: a
+    // value is a candidate if any touched node carried it under `prop`.
+    candidates.clear();
+    auto add = [&](const Value& v) {
+      if (v.is_null()) return;
+      for (const Value& c : candidates) {
+        if (index::IndexKeyEq{}(c, v)) return;  // one publish per band
+      }
+      candidates.push_back(v);
+    };
+    auto add_record_prop = [&](NodeId id) {
+      const NodeRecord* rec = store.GetNode(id);
+      if (rec == nullptr) return;
+      auto it = rec->props.find(prop);
+      if (it != rec->props.end()) add(it->second);
+    };
+    for (const NodePropChange& c : delta.assigned_node_props) {
+      if (c.key != prop) continue;
+      add(c.old_value);
+      add(c.new_value);
+    }
+    for (const NodePropChange& c : delta.removed_node_props) {
+      if (c.key != prop) continue;
+      add(c.old_value);
+      add(c.new_value);
+    }
+    // Deleted nodes: the final image (tombstones keep props, but the
+    // delta image survives recycling). Covers label-removed-then-deleted.
+    for (const DeletedNodeImage& img : delta.deleted_nodes) {
+      auto it = img.props.find(prop);
+      if (it != img.props.end()) add(it->second);
+    }
+    for (NodeId id : delta.created_nodes) add_record_prop(id);
+    for (const LabelChange& c : delta.assigned_labels) {
+      if (c.label == label) add_record_prop(c.node);
+    }
+    for (const LabelChange& c : delta.removed_labels) {
+      if (c.label == label) add_record_prop(c.node);
+    }
+    for (const Value& v : candidates) {
+      sidecar->PublishBand(v, *live, new_epoch);
+    }
+  }
 }
 
 void SnapshotManager::PublishCommit(const GraphStore& store,
@@ -266,6 +331,8 @@ void SnapshotManager::PublishCommit(const GraphStore& store,
       touched_labels.end());
   for (LabelId l : touched_labels) RebuildBucketLocked(store, l);
 
+  PublishIndexBandsLocked(store, delta, new_epoch);
+
   RefreshDictsLocked(store);
   node_bound_ = store.NodeIdBound();
   rel_bound_ = store.RelIdBound();
@@ -292,6 +359,7 @@ std::shared_ptr<const GraphSnapshot> SnapshotManager::Open(
   snap->epoch_ = epoch;
   snap->dicts_ = dicts_;
   snap->buckets_ = buckets_;
+  snap->indexes_ = index_image_;
   snap->node_bound_ = node_bound_;
   snap->rel_bound_ = rel_bound_;
   snap->node_count_ = node_count_;
@@ -348,11 +416,52 @@ void SnapshotManager::CollectGarbageLocked() {
                                 : *pins_.begin();
   TruncateChains(nodes_, multi_nodes_, min_keep);
   TruncateChains(rels_, multi_rels_, min_keep);
+  if (index_image_ != nullptr) {
+    for (const auto& [key, sidecar] : *index_image_) {
+      sidecar->Truncate(min_keep);
+    }
+  }
+}
+
+void SnapshotManager::OnIndexCreated(const index::PropertyIndex& live) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  auto image = index_image_ == nullptr
+                   ? std::make_shared<SnapshotIndexImage>()
+                   : std::make_shared<SnapshotIndexImage>(*index_image_);
+  auto sidecar = std::make_shared<index::VersionedPostings>(live.spec());
+  sidecar->Baseline(live, commit_epoch_.load(std::memory_order_relaxed));
+  (*image)[{live.spec().label, live.spec().prop}] = std::move(sidecar);
+  index_image_ = std::move(image);
+  // Same-epoch re-opens must capture the new image; already-open snapshots
+  // keep the old one and simply lack this index (planner label-scans).
+  cache_.reset();
+}
+
+void SnapshotManager::OnIndexDropped(LabelId label, PropKeyId prop) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  if (index_image_ == nullptr) return;
+  auto image = std::make_shared<SnapshotIndexImage>(*index_image_);
+  image->erase({label, prop});
+  index_image_ = std::move(image);
+  cache_.reset();
 }
 
 size_t SnapshotManager::SidecarVersions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sidecar_versions_;
+}
+
+size_t SnapshotManager::IndexSidecarVersions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  if (index_image_ != nullptr) {
+    for (const auto& [key, sidecar] : *index_image_) {
+      total += sidecar->SupersededVersions();
+    }
+  }
+  return total;
 }
 
 size_t SnapshotManager::PinnedSnapshots() const {

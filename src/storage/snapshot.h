@@ -18,6 +18,7 @@
 #include "src/common/prop_map.h"
 #include "src/common/str_util.h"
 #include "src/common/value.h"
+#include "src/index/versioned_postings.h"
 #include "src/storage/graph_store.h"
 
 namespace pgt {
@@ -193,6 +194,14 @@ struct SnapshotDicts {
 
 class SnapshotManager;
 
+/// The set of versioned index sidecars visible to snapshots: (label, prop)
+/// -> chain store. The map itself is copy-on-write — replaced only on
+/// index DDL, shared by every snapshot opened in between; per-commit
+/// posting publication mutates the (lock-free) sidecars in place.
+using SnapshotIndexImage =
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::shared_ptr<index::VersionedPostings>>;
+
 /// A pinned point-in-time view of the graph: everything committed up to
 /// (and including) `epoch()`, nothing after, nothing uncommitted. Safe to
 /// read from any number of threads concurrently with the single writer;
@@ -283,6 +292,23 @@ class GraphSnapshot {
   std::vector<RelId> RelsOf(NodeId node, Direction dir,
                             std::optional<RelTypeId> type) const;
 
+  // --- Index probes ---------------------------------------------------------
+
+  /// The versioned posting sidecar for the index on (label, prop), or
+  /// nullptr when no index covered the pair when this snapshot was opened
+  /// (callers fall back to a label scan). Probe with
+  /// `LookupAt(value, epoch(), out)`.
+  const index::VersionedPostings* FindIndex(LabelId label,
+                                            PropKeyId prop) const {
+    if (indexes_ == nullptr) return nullptr;
+    auto it = indexes_->find({label, prop});
+    return it == indexes_->end() ? nullptr : it->second.get();
+  }
+
+  bool HasIndexes() const {
+    return indexes_ != nullptr && !indexes_->empty();
+  }
+
   size_t NodeCount() const { return node_count_; }
   size_t RelCount() const { return rel_count_; }
   uint64_t NodeIdBound() const { return node_bound_; }
@@ -299,6 +325,9 @@ class GraphSnapshot {
   // committed bucket; replaced-not-mutated on later commits).
   std::unordered_map<LabelId, std::shared_ptr<const std::vector<NodeId>>>
       buckets_;
+  // Versioned index sidecars as of this snapshot's open (shared with the
+  // manager; keeps dropped indexes' chains alive for the pinned epoch).
+  std::shared_ptr<const SnapshotIndexImage> indexes_;
   uint64_t node_bound_ = 0, rel_bound_ = 0;
   size_t node_count_ = 0, rel_count_ = 0;
 };
@@ -340,10 +369,25 @@ class SnapshotManager {
   std::shared_ptr<const GraphSnapshot> Open(
       std::shared_ptr<SnapshotManager> self);
 
+  // --- Index DDL hooks (writer thread; invoked by GraphStore) ---------------
+
+  /// A property index was created while armed: baseline a versioned
+  /// sidecar for it at the current epoch and publish a new index image.
+  /// Snapshots already open (including the cached current-epoch one) keep
+  /// the old image and fall back to label scans for this index — correct,
+  /// just unaccelerated.
+  void OnIndexCreated(const index::PropertyIndex& live);
+
+  /// A property index was dropped while armed: publish an image without
+  /// it. Open snapshots keep the old image (and its chains) alive.
+  void OnIndexDropped(LabelId label, PropKeyId prop);
+
   // --- Introspection (tests / docs) ----------------------------------------
 
   /// Number of superseded (non-head) versions currently banked.
   size_t SidecarVersions() const;
+  /// Number of superseded posting versions banked across index sidecars.
+  size_t IndexSidecarVersions() const;
   /// Number of epochs currently pinned by live snapshots.
   size_t PinnedSnapshots() const;
 
@@ -354,6 +398,8 @@ class SnapshotManager {
   void CollectGarbageLocked();
   void RefreshDictsLocked(const GraphStore& store);
   void RebuildBucketLocked(const GraphStore& store, LabelId label);
+  void PublishIndexBandsLocked(const GraphStore& store,
+                               const GraphDelta& delta, uint64_t new_epoch);
 
   template <typename V>
   void TruncateChains(VersionTable<V>& table, std::vector<uint64_t>& ids,
@@ -375,6 +421,10 @@ class SnapshotManager {
   std::shared_ptr<const SnapshotDicts> dicts_;
   std::unordered_map<LabelId, std::shared_ptr<const std::vector<NodeId>>>
       buckets_;
+  // Versioned index sidecars (docs/async.md). The image map is COW'd only
+  // on index DDL; commits publish posting versions into the shared
+  // sidecars in place.
+  std::shared_ptr<const SnapshotIndexImage> index_image_;
   uint64_t node_bound_ = 0, rel_bound_ = 0;
   size_t node_count_ = 0, rel_count_ = 0;
 };

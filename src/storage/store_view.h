@@ -15,6 +15,67 @@
 
 namespace pgt {
 
+/// A view-polymorphic handle to one property index's equality access path:
+/// either the live catalog index or a snapshot's versioned posting sidecar
+/// resolved at the pinned epoch. Small value type — scan plans carry it by
+/// value, and an invalid (default) ref means "no index, label-scan".
+///
+/// Both paths share the band contract of property_index.h: Lookup appends
+/// a band superset of exact matches in ascending id order, and callers
+/// re-check candidates — so plans are access-path agnostic. Range scans
+/// are live-only (SupportsRange() is false on snapshot refs).
+class IndexRef {
+ public:
+  IndexRef() = default;
+
+  static IndexRef LiveIndex(const index::PropertyIndex* idx) {
+    IndexRef r;
+    r.live_ = idx;
+    return r;
+  }
+  static IndexRef SnapshotIndex(const index::VersionedPostings* postings,
+                                uint64_t epoch) {
+    IndexRef r;
+    r.snap_ = postings;
+    r.epoch_ = epoch;
+    return r;
+  }
+
+  bool valid() const { return live_ != nullptr || snap_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  const index::IndexSpec& spec() const {
+    return live_ != nullptr ? live_->spec() : snap_->spec();
+  }
+  bool unique() const { return spec().unique; }
+  bool SupportsRange() const {
+    return live_ != nullptr && live_->SupportsRange();
+  }
+
+  /// Equality probe: band-superset candidates, ascending id order.
+  void Lookup(const Value& value, std::vector<uint64_t>* out) const {
+    if (live_ != nullptr) {
+      live_->Lookup(value, out);
+    } else {
+      snap_->LookupAt(value, epoch_, out);
+    }
+  }
+
+  /// Range probe — live refs only (callers gate on SupportsRange()).
+  void Range(const std::optional<Value>& lo, bool lo_inclusive,
+             const std::optional<Value>& hi, bool hi_inclusive,
+             std::vector<uint64_t>* out) const {
+    if (live_ != nullptr) {
+      live_->Range(lo, lo_inclusive, hi, hi_inclusive, out);
+    }
+  }
+
+ private:
+  const index::PropertyIndex* live_ = nullptr;
+  const index::VersionedPostings* snap_ = nullptr;
+  uint64_t epoch_ = 0;
+};
+
 /// The read abstraction every read path consumes (matcher, interpreter,
 /// compiled-plan executor, scan planner, PG-Schema validator, emulation
 /// layers): two pointers, one of which is set.
@@ -28,10 +89,15 @@ namespace pgt {
 ///    GraphSnapshot: the last committed state at the snapshot's epoch,
 ///    lock-free and safe on any thread while the single writer commits.
 ///
-/// Property indexes are a live-only access path: Indexes() is nullptr on
-/// snapshots and the scan planner falls back to label scans. That is a
-/// pure access-path change — the matcher's determinism contract guarantees
-/// results are byte-identical whichever path is picked.
+/// Property indexes work on both view kinds through FindIndex(): live
+/// views probe the catalog's PropertyIndex directly; snapshot views probe
+/// the epoch-versioned posting sidecar the SnapshotManager publishes
+/// alongside record versions (index/versioned_postings.h), resolved at the
+/// pinned epoch. Range scans remain a live-only access path (the sidecar
+/// versions equality bands, not order) — the planner falls back to label
+/// scans for range predicates on snapshots, which is a pure access-path
+/// change: the matcher's determinism contract guarantees byte-identical
+/// results whichever path is picked.
 ///
 /// Semantics parity notes (mirroring GraphStore):
 ///  * NodeLabels/NodeProps/RelProps return nullptr for dead or absent
@@ -211,11 +277,30 @@ class StoreView {
     return snap_ == nullptr ? live_->RelIdBound() : snap_->RelIdBound();
   }
 
-  /// Property-index catalog — live views only. Snapshot reads fall back to
-  /// label scans (identical results by the determinism contract; postings
-  /// are not versioned).
+  /// Property-index catalog — live views only (write-path consumers such
+  /// as the PG-Schema validator; read paths use FindIndex, which works on
+  /// snapshots too).
   const index::IndexCatalog* Indexes() const {
     return snap_ == nullptr ? &live_->indexes() : nullptr;
+  }
+
+  /// True when this view has any index access path at all — a cheap
+  /// planner early-out before per-(label, prop) FindIndex probes.
+  bool HasIndexes() const {
+    return snap_ == nullptr ? !live_->indexes().empty()
+                            : snap_->HasIndexes();
+  }
+
+  /// The index access path for (label, prop) in this view, or an invalid
+  /// ref when none exists. Live views wrap the catalog index; snapshot
+  /// views wrap the versioned posting sidecar pinned at the snapshot's
+  /// epoch (absent for indexes created after the snapshot opened).
+  IndexRef FindIndex(LabelId label, PropKeyId prop) const {
+    if (snap_ == nullptr) {
+      return IndexRef::LiveIndex(live_->indexes().Find(label, prop));
+    }
+    return IndexRef::SnapshotIndex(snap_->FindIndex(label, prop),
+                                   snap_->epoch());
   }
 
  private:

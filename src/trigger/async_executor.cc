@@ -1,0 +1,309 @@
+#include "src/trigger/async_executor.h"
+
+#include <utility>
+
+#include "src/cypher/ast.h"
+#include "src/cypher/eval.h"
+#include "src/cypher/executor.h"
+#include "src/storage/store_view.h"
+#include "src/trigger/database.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt {
+
+AsyncExecutor::AsyncExecutor(Database* db, int workers, size_t capacity,
+                             AsyncBackpressure backpressure)
+    : db_(db), capacity_(capacity), backpressure_(backpressure) {
+  if (workers < 0) workers = 0;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+AsyncExecutor::~AsyncExecutor() { Stop(); }
+
+void AsyncExecutor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // already stopped and joined
+    stop_ = true;
+  }
+  accepting_.store(false, std::memory_order_release);
+  cv_work_.notify_all();
+  cv_state_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void AsyncExecutor::Enqueue(std::vector<Activation>&& acts,
+                            std::shared_ptr<const GraphDelta> source,
+                            std::shared_ptr<const GraphSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A hand-off from the writer's own commit (not from an apply we are
+  // running) starts a fresh detached chain (see the chain valve in
+  // ApplyOwned).
+  if (!applying_) chain_applies_ = 0;
+  for (Activation& act : acts) {
+    if (backpressure_ == AsyncBackpressure::kReject &&
+        OutstandingLocked() >= capacity_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto item = std::make_unique<Item>();
+    item->seq = next_seq_++;
+    item->act = std::move(act);
+    item->source = source;
+    item->snapshot = snapshot;
+    pending_.push_back(std::move(item));
+    enqueued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_work_.notify_all();
+}
+
+void AsyncExecutor::WorkerMain() {
+  for (;;) {
+    std::unique_ptr<Item> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (stop_) return;  // leftovers are drained by the final quiesce
+      item = std::move(pending_.front());
+      pending_.pop_front();
+      ++evaluating_;
+    }
+    PreEvaluate(item.get());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --evaluating_;
+      done_.emplace(item->seq, std::move(item));
+    }
+    cv_state_.notify_all();
+    TryApply();
+  }
+}
+
+void AsyncExecutor::PreEvaluate(Item* item) const {
+  item->no_fire = false;  // default: defer to the full on-writer run
+  const TriggerDef& def = *item->act.trigger;
+  const bool has_expr = def.when_expr != nullptr;
+  const bool has_query = !def.when_query.clauses.empty();
+  // No WHEN: the action always runs; there is nothing to prefilter.
+  if (!has_expr && !has_query) return;
+  if (item->snapshot == nullptr) return;
+  // A no-fire verdict is only usable while the pinned epoch is still
+  // current, and epochs never rewind: once the writer has moved past it,
+  // the item is headed for the full on-writer run no matter what we would
+  // compute here — skip the evaluation instead of paying for it twice
+  // (without this, one stale item under a lagging pool makes every
+  // successor cost pre-eval + full run and the backlog never recovers).
+  if (db_->store().snapshots().commit_epoch() != item->snapshot->epoch()) {
+    return;
+  }
+  // OLD transition variables of deleted items resolve through transaction
+  // ghosts the snapshot cannot carry — the on-writer run re-injects them.
+  if (!item->source->deleted_nodes.empty() ||
+      !item->source->deleted_rels.empty()) {
+    return;
+  }
+  // Pathological WHEN pipelines that would write are evaluated (and
+  // rejected) only by the real run.
+  if (has_query && !cypher::IsReadOnlyQuery(def.when_query)) return;
+
+  // Snapshot evaluation context: exactly QueryAt's shape (txless, pinned
+  // view, no clock, no procedures — statements needing either error out
+  // here and defer), plus the activation's transition environment.
+  static const Params kNoParams;
+  cypher::EvalContext ctx;
+  ctx.tx = nullptr;
+  ctx.view = StoreView::Snapshot(*item->snapshot);
+  ctx.params = &kNoParams;
+  ctx.clock = nullptr;
+  ctx.procedures = nullptr;
+  ctx.transition = &item->act.env;
+
+  cypher::Row seed = PgTriggerEngine::BuildActivationSeedRow(item->act);
+  if (has_expr) {
+    auto pass = cypher::EvalPredicate(*def.when_expr, seed, ctx);
+    item->no_fire = pass.ok() && !pass.value();
+    return;
+  }
+  cypher::Executor exec(ctx);
+  std::vector<cypher::Row> rows;
+  rows.push_back(std::move(seed));
+  auto out = exec.RunClauses(def.when_query.clauses, std::move(rows));
+  item->no_fire = out.ok() && out.value().empty();
+}
+
+void AsyncExecutor::TryApply() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_.find(next_apply_) == done_.end()) return;
+  }
+  // The head of the sequence is ready: take the writer interlock and apply
+  // every consecutively-ready item. Racing appliers are harmless — whoever
+  // wins the interlock drains the ready prefix; the loser finds nothing.
+  std::lock_guard<std::mutex> writer(db_->writer_interlock());
+  for (;;) {
+    std::unique_ptr<Item> item;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = done_.find(next_apply_);
+      if (it == done_.end()) return;
+      item = std::move(it->second);
+      done_.erase(it);
+    }
+    ApplyOwned(item.get(), /*spilled=*/false);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++next_apply_;
+      if (OutstandingLocked() == 0) chain_applies_ = 0;
+    }
+    cv_state_.notify_all();
+  }
+}
+
+void AsyncExecutor::ApplyOwned(Item* item, bool spilled) {
+  uint64_t chain = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    applying_ = true;
+    chain = ++chain_applies_;
+  }
+  // Pool-mode analog of the serial drain's max_detached_queue valve: a
+  // self-sustaining detached chain (each apply enqueues successors) is cut
+  // off by dropping instead of erroring — the activating committer already
+  // returned, so there is nobody left to hand the error to (docs/async.md).
+  const auto limit =
+      static_cast<uint64_t>(db_->options().max_detached_queue);
+  if (chain > limit) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  } else if (item->no_fire && item->snapshot != nullptr &&
+             db_->store().snapshots().commit_epoch() ==
+                 item->snapshot->epoch()) {
+    // The pinned epoch is still current, so the snapshot verdict is exact.
+    db_->engine().ApplyPoolSkip(item->act);
+    prefiltered_.fetch_add(1, std::memory_order_relaxed);
+    applied_.fetch_add(1, std::memory_order_relaxed);
+    if (spilled) spilled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    (void)db_->engine().ApplyPoolDeferred(item->act, *item->source);
+    deferred_.fetch_add(1, std::memory_order_relaxed);
+    applied_.fetch_add(1, std::memory_order_relaxed);
+    if (spilled) spilled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  applying_ = false;
+}
+
+std::unique_ptr<AsyncExecutor::Item> AsyncExecutor::TakeNextLocked() {
+  auto it = done_.find(next_apply_);
+  if (it != done_.end()) {
+    std::unique_ptr<Item> item = std::move(it->second);
+    done_.erase(it);
+    return item;
+  }
+  // pending_ is seq-ordered; the head item is at the front iff no worker
+  // has claimed it yet. An unevaluated item keeps no_fire == false and
+  // gets the full run.
+  if (!pending_.empty() && pending_.front()->seq == next_apply_) {
+    std::unique_ptr<Item> item = std::move(pending_.front());
+    pending_.pop_front();
+    return item;
+  }
+  return nullptr;  // head is on a worker, mid-evaluation
+}
+
+void AsyncExecutor::QuiesceHoldingWriterMu() {
+  for (;;) {
+    std::unique_ptr<Item> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (OutstandingLocked() == 0) return;
+      item = TakeNextLocked();
+      if (item == nullptr) {
+        // Head is mid-evaluation. The worker needs only mu_ to finish (it
+        // only takes the writer interlock — which we hold — when it later
+        // tries to *apply*, after publishing to done_), so this wait
+        // cannot deadlock.
+        cv_state_.wait(lock, [this] {
+          return done_.count(next_apply_) != 0 || OutstandingLocked() == 0;
+        });
+        continue;
+      }
+    }
+    ApplyOwned(item.get(), /*spilled=*/false);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++next_apply_;
+      if (OutstandingLocked() == 0) chain_applies_ = 0;
+    }
+    cv_state_.notify_all();
+  }
+}
+
+void AsyncExecutor::StatementBoundary() {
+  if (backpressure_ == AsyncBackpressure::kReject) return;
+  if (backpressure_ == AsyncBackpressure::kBlock) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_state_.wait(lock, [this] {
+      return stop_ || OutstandingLocked() <= capacity_;
+    });
+    return;
+  }
+  // kSpill: the writer thread absorbs the overflow itself, oldest first.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || OutstandingLocked() <= capacity_) return;
+  }
+  std::lock_guard<std::mutex> writer(db_->writer_interlock());
+  for (;;) {
+    std::unique_ptr<Item> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_ || OutstandingLocked() <= capacity_) return;
+      item = TakeNextLocked();
+      if (item == nullptr) {
+        // Same shape as the quiesce wait: a worker holds the head.
+        cv_state_.wait(lock, [this] {
+          return stop_ || done_.count(next_apply_) != 0 ||
+                 OutstandingLocked() <= capacity_;
+        });
+        continue;
+      }
+    }
+    ApplyOwned(item.get(), /*spilled=*/true);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++next_apply_;
+      if (OutstandingLocked() == 0) chain_applies_ = 0;
+    }
+    cv_state_.notify_all();
+  }
+}
+
+bool AsyncExecutor::Idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ == next_apply_;
+}
+
+AsyncPoolStats AsyncExecutor::Stats() const {
+  AsyncPoolStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = next_seq_ - next_apply_;
+    s.in_flight = evaluating_;
+    s.workers = static_cast<int>(workers_.size());
+  }
+  s.enqueued = enqueued_.load(std::memory_order_relaxed);
+  s.applied = applied_.load(std::memory_order_relaxed);
+  s.prefiltered = prefiltered_.load(std::memory_order_relaxed);
+  s.deferred = deferred_.load(std::memory_order_relaxed);
+  s.spilled = spilled_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pgt

@@ -11,12 +11,36 @@
 #include "src/schema/validator.h"
 #include "src/storage/snapshot.h"
 #include "src/storage/store_view.h"
+#include "src/trigger/async_executor.h"
 #include "src/wal/commit_record.h"
 
 namespace pgt {
 
 namespace {
+
 const Params kNoParams;
+
+/// SHOW ASYNC STATUS / CALL pgt.asyncStats() surface: one row of pool
+/// counters (all zeros with the pool off — the surface stays queryable).
+cypher::QueryResult AsyncStatusTable(AsyncExecutor* async) {
+  AsyncPoolStats s;
+  if (async != nullptr) s = async->Stats();
+  cypher::QueryResult result;
+  result.columns = {"workers",  "queue_depth", "in_flight",
+                    "enqueued", "prefiltered", "deferred",
+                    "applied",  "spilled",     "rejected"};
+  result.rows.push_back({Value::Int(s.workers),
+                         Value::Int(static_cast<int64_t>(s.queue_depth)),
+                         Value::Int(static_cast<int64_t>(s.in_flight)),
+                         Value::Int(static_cast<int64_t>(s.enqueued)),
+                         Value::Int(static_cast<int64_t>(s.prefiltered)),
+                         Value::Int(static_cast<int64_t>(s.deferred)),
+                         Value::Int(static_cast<int64_t>(s.applied)),
+                         Value::Int(static_cast<int64_t>(s.spilled)),
+                         Value::Int(static_cast<int64_t>(s.rejected))});
+  return result;
+}
+
 }  // namespace
 
 Database::Database(EngineOptions options)
@@ -46,10 +70,52 @@ Database::Database(EngineOptions options)
         }
         return rows;
       });
+  // Async pool introspection twin of SHOW ASYNC STATUS (docs/async.md).
+  procedures_.Register(
+      "pgt.asyncStats",
+      {"workers", "queue_depth", "in_flight", "enqueued", "prefiltered",
+       "deferred", "applied", "spilled", "rejected"},
+      [this](cypher::EvalContext&, const std::vector<Value>&,
+             const cypher::Row&) -> Result<std::vector<cypher::Row>> {
+        cypher::QueryResult table = AsyncStatusTable(async_.get());
+        cypher::Row r;
+        for (size_t i = 0; i < table.columns.size(); ++i) {
+          r.Set(table.columns[i], table.rows.front()[i]);
+        }
+        return std::vector<cypher::Row>{std::move(r)};
+      });
+  if (options_.async_pool_size > 0) {
+    async_ = std::make_unique<AsyncExecutor>(
+        this, options_.async_pool_size, options_.async_queue_capacity,
+        options_.async_backpressure);
+    // Arm the snapshot substrate up front: AfterCommit pins one snapshot
+    // per detached hand-off, and arming mid-stream would have to wait for
+    // an idle writer.
+    (void)store_.OpenSnapshot();
+  }
 }
 
 Database::~Database() {
+  ShutdownAsync();
   if (wal_ != nullptr) (void)wal_->CloseClean();
+}
+
+void Database::ShutdownAsync() {
+  if (async_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    async_->QuiesceHoldingWriterMu();
+  }
+  // Join OUTSIDE the interlock: a worker that saw a ready head before the
+  // quiesce may still be blocked acquiring it. Between the quiesce and the
+  // stop nothing can enqueue (the single logical writer is here).
+  async_->Stop();
+}
+
+void Database::DrainAsync() {
+  if (async_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  async_->QuiesceHoldingWriterMu();
 }
 
 // --- Durability -------------------------------------------------------------
@@ -95,6 +161,9 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path) {
 }
 
 Status Database::Close() {
+  // Queued DETACHED work is part of the durable history the WAL promises:
+  // drain it (and stop the workers) before the CLEAN marker is written.
+  ShutdownAsync();
   if (wal_ == nullptr) return Status::OK();
   return wal_->CloseClean();
 }
@@ -307,6 +376,15 @@ wal::SnapshotImage Database::BuildSnapshotImage(const GraphSnapshot& snap,
 }
 
 Status Database::CheckpointNow() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // The snapshot image must not be read while the pool mutates the store,
+  // and a checkpoint should capture queued detached effects rather than
+  // park them behind the fresh segment boundary.
+  if (async_ != nullptr) async_->QuiesceHoldingWriterMu();
+  return CheckpointLocked();
+}
+
+Status Database::CheckpointLocked() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition(
         "in-memory database has no WAL to checkpoint");
@@ -481,6 +559,12 @@ Result<cypher::QueryResult> Database::RunPreparedInTx(
 }
 
 void Database::AttachSchema(std::optional<schema::SchemaDef> schema) {
+  // Outermost entry point (tests and recovery call it directly; nothing
+  // calls it while holding the interlock): serialize against pool applies
+  // and drain them — attaching a commit-time guard mid-queue would apply
+  // it to detached work that semantically predates it.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  if (async_ != nullptr) async_->QuiesceHoldingWriterMu();
   // Drop the PG-Key indexes that backed the previous schema — but only if
   // the index at (label, prop) is still the schema-managed one; a user
   // index that replaced it stays.
@@ -598,10 +682,12 @@ Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
   // Auto-checkpoint once the configured commit budget is spent. Best
   // effort: a failed checkpoint leaves the WAL chain fully usable, and the
   // next commit retries. Skipped while a transaction is active (DETACHED
-  // trigger commits nest inside AfterCommit of an outer commit).
+  // trigger commits nest inside AfterCommit of an outer commit) and while
+  // the async pool has work in flight (the public CheckpointNow quiesces;
+  // this opportunistic path just waits for a quieter commit).
   if (after.ok() && wal_ != nullptr && wal_->ShouldSnapshot() &&
-      !tx_manager_.HasActive()) {
-    (void)CheckpointNow();
+      !tx_manager_.HasActive() && (async_ == nullptr || async_->Idle())) {
+    (void)CheckpointLocked();
   }
   return after;
 }
@@ -619,6 +705,15 @@ void Database::RollbackAndRelease(std::unique_ptr<Transaction> tx) {
 
 Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
   PGT_ASSIGN_OR_RETURN(TriggerDdl ddl, TriggerDdlParser::Parse(text));
+  // Catalog mutation fence: drain the async pool first, so DROP/DISABLE
+  // never races a queued activation — queued work runs to completion under
+  // the pre-DDL catalog, exactly as the serial drain would have ordered it
+  // (docs/async.md). Introspection kinds skip the barrier. During WAL
+  // recovery the pool is empty and this is a no-op.
+  if (async_ != nullptr && ddl.kind != TriggerDdl::Kind::kShowAnalysis &&
+      ddl.kind != TriggerDdl::Kind::kShowAsyncStatus) {
+    async_->QuiesceHoldingWriterMu();
+  }
   const bool analyze = options_.termination_policy != TerminationPolicy::kOff;
   switch (ddl.kind) {
     case TriggerDdl::Kind::kCreate: {
@@ -699,6 +794,9 @@ Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
       }
       return result;
     }
+    case TriggerDdl::Kind::kShowAsyncStatus:
+      // Introspection: no catalog mutation, nothing to log.
+      return AsyncStatusTable(async_.get());
   }
   PGT_RETURN_IF_ERROR(LogDdl(wal::WalDdlKind::kTriggerDdl, text));
   return cypher::QueryResult{};
@@ -707,6 +805,12 @@ Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
 Result<cypher::QueryResult> Database::ExecuteIndexDdl(std::string_view text) {
   PGT_ASSIGN_OR_RETURN(index::IndexDdl ddl,
                        index::IndexDdlParser::Parse(text));
+  // Same fence as trigger DDL: index create/drop invalidates compiled
+  // trigger plans and frees live index structures a queued apply could
+  // touch. SHOW stays barrier-free.
+  if (async_ != nullptr && ddl.kind != index::IndexDdl::Kind::kShow) {
+    async_->QuiesceHoldingWriterMu();
+  }
   switch (ddl.kind) {
     case index::IndexDdl::Kind::kCreate: {
       index::IndexSpec spec;
@@ -748,6 +852,19 @@ Result<cypher::QueryResult> Database::ExecuteIndexDdl(std::string_view text) {
 
 Result<cypher::QueryResult> Database::Execute(std::string_view text,
                                               const Params& params) {
+  Result<cypher::QueryResult> result = [&] {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return ExecuteNested(text, params);
+  }();
+  // Backpressure runs with the interlock RELEASED so the pool can drain
+  // through it (kBlock waits for the workers; kSpill has the writer apply
+  // overflow itself).
+  if (async_ != nullptr) async_->StatementBoundary();
+  return result;
+}
+
+Result<cypher::QueryResult> Database::ExecuteNested(std::string_view text,
+                                                    const Params& params) {
   // A plan-cache hit proves the text is plain Cypher (DDL never enters the
   // cache), so repeated statements skip even the single classification
   // pass. Misses classify once (replacing the old IsTriggerDdl +
@@ -779,6 +896,16 @@ Result<cypher::QueryResult> Database::Execute(std::string_view text,
 }
 
 Result<std::vector<cypher::QueryResult>> Database::ExecuteTx(
+    const std::vector<std::string>& statements, const Params& params) {
+  Result<std::vector<cypher::QueryResult>> result = [&] {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return ExecuteTxLocked(statements, params);
+  }();
+  if (async_ != nullptr) async_->StatementBoundary();
+  return result;
+}
+
+Result<std::vector<cypher::QueryResult>> Database::ExecuteTxLocked(
     const std::vector<std::string>& statements, const Params& params) {
   std::vector<std::shared_ptr<cypher::plan::PreparedStatement>> prepared;
   prepared.reserve(statements.size());

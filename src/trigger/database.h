@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "src/wal/wal_manager.h"
 
 namespace pgt {
+
+class AsyncExecutor;  // src/trigger/async_executor.h
 
 /// The reactive graph database facade: storage + transactions + the Cypher
 /// subset + the PG-Trigger runtime, wired together.
@@ -86,6 +89,24 @@ class Database {
   /// trigger round per statement, one commit at the end).
   Result<std::vector<cypher::QueryResult>> ExecuteTx(
       const std::vector<std::string>& statements, const Params& params = {});
+
+  // --- Off-writer ASYNC execution (docs/async.md) ---------------------------
+
+  /// The async DETACHED pool, or nullptr (EngineOptions::async_pool_size ==
+  /// 0, the default — behavior is then byte-identical to the serial
+  /// on-writer drain).
+  AsyncExecutor* async() { return async_.get(); }
+
+  /// The writer interlock: serializes the single logical writer (Execute /
+  /// ExecuteTx / DDL / checkpoint) against the async pool's apply step.
+  /// Pool internals acquire it; everything else goes through the public
+  /// entry points, which lock it themselves.
+  std::mutex& writer_interlock() { return writer_mu_; }
+
+  /// Drain barrier: blocks until every queued DETACHED activation has been
+  /// applied (tests, benches, and anything needing serial-equivalent
+  /// state). No-op without a pool.
+  void DrainAsync();
 
   // --- Snapshot reads (docs/snapshots.md) -----------------------------------
 
@@ -174,6 +195,13 @@ class Database {
   cypher::EvalContext MakeEvalContext(Transaction* tx, const Params* params,
                                       const cypher::TransitionEnv* env);
 
+  /// Execute for callers already on the writer thread inside a runtime
+  /// callback (the emulators' deterministic interleaving injection): same
+  /// semantics, but does not re-acquire the writer interlock and does not
+  /// run the async backpressure boundary.
+  Result<cypher::QueryResult> ExecuteNested(std::string_view text,
+                                            const Params& params = {});
+
   /// Runs one parsed statement inside `tx`: opens a delta scope, executes,
   /// pops the scope, and hands the delta to the active runtime's
   /// OnStatement. Always interprets the AST (emulators and tests call this
@@ -229,6 +257,17 @@ class Database {
 
   Result<cypher::QueryResult> ExecuteDdl(std::string_view text);
   Result<cypher::QueryResult> ExecuteIndexDdl(std::string_view text);
+  /// ExecuteTx body; caller holds writer_mu_.
+  Result<std::vector<cypher::QueryResult>> ExecuteTxLocked(
+      const std::vector<std::string>& statements, const Params& params);
+  /// CheckpointNow body; caller holds writer_mu_ (or is the auto-checkpoint
+  /// inside CommitWithTriggers, which runs under the committing entry
+  /// point's lock). Does not quiesce the pool.
+  Status CheckpointLocked();
+  /// Final pool shutdown: quiesce under the interlock, then stop and join
+  /// the workers (outside the interlock — a worker may be blocked on it).
+  /// Afterwards AfterCommit falls back to the serial inline drain.
+  void ShutdownAsync();
 
   // --- WAL plumbing ---------------------------------------------------------
 
@@ -288,6 +327,15 @@ class Database {
   bool in_recovery_ = false;
   cypher::plan::PlanCache plan_cache_;
   cypher::plan::FramePool frame_pool_;
+  /// Serializes the logical writer against the async pool's apply step.
+  /// Acquired only at the outermost entry points (Execute/ExecuteTx/
+  /// CheckpointNow/AttachSchema/DrainAsync/shutdown) and by the pool;
+  /// nested paths (trigger runs, recovery, auto-checkpoint) stay lock-free
+  /// under their caller's hold. Uncontended (a handful of atomic ops) when
+  /// async_pool_size == 0.
+  std::mutex writer_mu_;
+  /// Off-writer DETACHED executor; null unless async_pool_size > 0.
+  std::unique_ptr<AsyncExecutor> async_;
   /// Durability subsystem; null = in-memory database (the default — no WAL
   /// hook is even reached on the hot path until Open attaches one).
   std::unique_ptr<wal::WalManager> wal_;

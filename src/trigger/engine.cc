@@ -7,6 +7,8 @@
 #include "src/common/macros.h"
 #include "src/cypher/executor.h"
 #include "src/cypher/plan/plan_executor.h"
+#include "src/storage/snapshot.h"
+#include "src/trigger/async_executor.h"
 #include "src/trigger/database.h"
 #include "src/trigger/trigger_plan.h"
 
@@ -54,11 +56,10 @@ bool HasLabel(const std::vector<LabelId>& labels, LabelId l) {
 /// interned later).
 std::optional<LabelId> ResolveTargetLabel(const TriggerDef& def,
                                           const GraphStore& store) {
-  if (def.target_label_cache >= 0) {
-    return static_cast<LabelId>(def.target_label_cache);
-  }
+  const int64_t cached = def.target_label_cache.load();
+  if (cached >= 0) return static_cast<LabelId>(cached);
   auto id = store.LookupLabel(def.label);
-  if (id.has_value()) def.target_label_cache = *id;
+  if (id.has_value()) def.target_label_cache.store(*id);
   return id;
 }
 
@@ -603,6 +604,26 @@ Status PgTriggerEngine::RunActivationCompiled(cypher::EvalContext& ctx,
   return exec.RunUpdates(prog.action_steps, std::move(frames));
 }
 
+cypher::Row PgTriggerEngine::BuildActivationSeedRow(const Activation& act) {
+  // Seed row: single transition variables, plus set variables as lists.
+  cypher::Row seed;
+  for (const auto& [var, v] : act.env.singles) {
+    seed.Set(cypher::TransVars::Name(var), v);
+  }
+  if (act.trigger->granularity == Granularity::kAll) {
+    for (const auto& [var, sb] : act.env.sets) {
+      Value::List items;
+      items.reserve(sb.ids.size());
+      for (uint64_t id : sb.ids) {
+        items.push_back(sb.is_node ? Value::Node(NodeId{id})
+                                   : Value::Rel(RelId{id}));
+      }
+      seed.Set(cypher::TransVars::Name(var), Value::MakeList(std::move(items)));
+    }
+  }
+  return seed;
+}
+
 Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
   const TriggerDef& def = *act.trigger;
   TriggerStats& ts = stats_.per_trigger[def.name];
@@ -635,29 +656,14 @@ Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
   // Compiled fast path: execute the trigger's cached WHEN/action plans
   // (compiled on first activation, invalidated by DDL epoch bumps).
   if (db_->options().use_compiled_plans) {
-    const TriggerPlans* plans =
+    const std::shared_ptr<const TriggerPlans> plans =
         GetOrCompileTriggerPlans(def, db_->store(), db_->PlanEpoch());
     if (plans->usable && SeedsMatch(plans->program, act)) {
       return RunActivationCompiled(ctx, act, *plans, ts);
     }
   }
 
-  // Seed row: single transition variables, plus set variables as lists.
-  cypher::Row seed;
-  for (const auto& [var, v] : act.env.singles) {
-    seed.Set(cypher::TransVars::Name(var), v);
-  }
-  if (def.granularity == Granularity::kAll) {
-    for (const auto& [var, sb] : act.env.sets) {
-      Value::List items;
-      items.reserve(sb.ids.size());
-      for (uint64_t id : sb.ids) {
-        items.push_back(sb.is_node ? Value::Node(NodeId{id})
-                                   : Value::Rel(RelId{id}));
-      }
-      seed.Set(cypher::TransVars::Name(var), Value::MakeList(std::move(items)));
-    }
-  }
+  cypher::Row seed = BuildActivationSeedRow(act);
 
   cypher::Executor exec(ctx);
   std::vector<cypher::Row> rows = {seed};
@@ -868,6 +874,25 @@ Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
 }
 
 Status PgTriggerEngine::AfterCommit(const GraphDelta& tx_delta) {
+  // Off-writer pool (docs/async.md): hand the activations over with one
+  // shared delta and a snapshot pinned at the epoch this commit just
+  // published, then return immediately — the workers pre-evaluate WHEN
+  // against exactly the state the activations saw raised. Nested detached
+  // commits re-enter here and enqueue behind their parents, reproducing
+  // the serial drain's queue-append FIFO. After Stop() (shutdown) the
+  // legacy inline drain below takes over.
+  AsyncExecutor* pool = db_->async();
+  if (pool != nullptr && pool->accepting()) {
+    std::vector<Activation> acts = MatchAll(ActionTime::kDetached, tx_delta);
+    if (!acts.empty()) {
+      auto source = std::make_shared<const GraphDelta>(tx_delta);
+      std::shared_ptr<const GraphSnapshot> snap =
+          db_->store().OpenSnapshot();
+      pool->Enqueue(std::move(acts), std::move(source), std::move(snap));
+    }
+    return Status::OK();
+  }
+
   std::vector<Activation> acts = MatchAll(ActionTime::kDetached, tx_delta);
   if (!acts.empty()) {
     // One shared copy of the activating transaction's delta per commit,
@@ -902,6 +927,25 @@ Status PgTriggerEngine::AfterCommit(const GraphDelta& tx_delta) {
   }
   draining_detached_ = false;
   return result;
+}
+
+void PgTriggerEngine::ApplyPoolSkip(Activation& act) {
+  // Serial-parity bookkeeping for a no-fire detached run, minus the empty
+  // autonomous transaction the serial path would have committed (an empty
+  // commit would bump the snapshot epoch and spuriously invalidate the
+  // rest of the batch's pre-evaluated verdicts; the divergence — detached
+  // no-fire runs not ticking committed_transactions — is documented in
+  // docs/async.md).
+  ++stats_.detached_runs;
+  ++stats_.per_trigger[act.trigger->name].considered;
+  env_pool_.Release(std::move(act.env));
+}
+
+Status PgTriggerEngine::ApplyPoolDeferred(Activation& act,
+                                          const GraphDelta& source_delta) {
+  Status st = RunDetachedActivation(act, source_delta);
+  env_pool_.Release(std::move(act.env));
+  return st;
 }
 
 Status PgTriggerEngine::RunDetachedActivation(const Activation& act,

@@ -153,6 +153,27 @@ class PgTriggerEngine : public TriggerRuntime {
   /// Both paths are byte-identical (tests/test_plan_differential.cc).
   Status RunActivation(Transaction& tx, const Activation& act);
 
+  /// Interpreter seed row for one activation: single transition variables,
+  /// plus (FOR ALL) the set variables as lists. Shared by RunActivation's
+  /// interpreter path and the async pool's snapshot pre-evaluation
+  /// (src/trigger/async_executor.cc). Pure: reads only the activation.
+  static cypher::Row BuildActivationSeedRow(const Activation& act);
+
+  // --- Async pool apply hooks (docs/async.md) -----------------------------
+  // Both run on a pool thread that holds the Database's writer interlock,
+  // so they may touch engine state exactly like the on-writer paths.
+
+  /// Retires an activation whose WHEN pre-evaluated false at a
+  /// still-current epoch: ticks the counters the serial no-fire run would
+  /// have ticked (detached_runs, per-trigger considered) and recycles the
+  /// env. Unlike the serial path it commits no empty autonomous
+  /// transaction — see docs/async.md for the documented divergence.
+  void ApplyPoolSkip(Activation& act);
+
+  /// Full on-writer run of a pool item: the unchanged legacy detached path
+  /// (autonomous transaction, ghost re-injection, contained failures).
+  Status ApplyPoolDeferred(Activation& act, const GraphDelta& source_delta);
+
   /// Observation hook for every runtime cascade edge writer -> woken
   /// (used by tests/test_analysis_soundness.cc to check the static
   /// triggering graph covers actual cascades). `writer` is the trigger

@@ -48,6 +48,25 @@ enum class TerminationPolicy {
   kReject,
 };
 
+/// What the writer does at a statement boundary when the ASYNC pool's
+/// queue exceeds async_queue_capacity (docs/async.md). Applied only when
+/// async_pool_size > 0.
+enum class AsyncBackpressure {
+  /// Wait until the workers drain the queue below capacity. Lossless;
+  /// bounds memory at the cost of writer latency spikes.
+  kBlock,
+  /// The writer takes over the oldest queued item (always the next one in
+  /// the global apply order) and executes it inline until the queue is
+  /// below capacity again. Lossless and FIFO-preserving; degrades toward
+  /// on-writer execution under sustained overload.
+  kSpill,
+  /// New activations are dropped at enqueue time while the queue is at
+  /// capacity (counted in pgt.asyncStats() as `rejected`). Lossy: final
+  /// state may miss detached effects — explicit opt-in for fire-and-forget
+  /// workloads only.
+  kReject,
+};
+
 /// Tunables of the reactive engine (RocksDB-style options struct).
 struct EngineOptions {
   /// Maximum depth of cascaded trigger activations before the transaction
@@ -101,6 +120,22 @@ struct EngineOptions {
 
   /// Epoch for the deterministic logical clock behind DATETIME().
   int64_t clock_epoch_micros = 1'700'000'000'000'000;  // fixed, reproducible
+
+  // --- Off-writer ASYNC (DETACHED) execution (docs/async.md) ----------------
+
+  /// Worker threads for DETACHED trigger execution. 0 (default) keeps the
+  /// legacy on-writer drain: every DETACHED activation runs inline inside
+  /// AfterCommit, bit-for-bit as before. > 0 hands activations to an
+  /// AsyncExecutor pool: workers pre-evaluate WHEN against a snapshot
+  /// pinned at the activating commit's epoch, and activations are applied
+  /// in strict global FIFO order through the single-writer commit pipeline.
+  int async_pool_size = 0;
+
+  /// Queue depth (outstanding activations) above which the backpressure
+  /// policy engages at the next statement boundary.
+  size_t async_queue_capacity = 1024;
+
+  AsyncBackpressure async_backpressure = AsyncBackpressure::kBlock;
 };
 
 }  // namespace pgt

@@ -78,17 +78,21 @@ std::string TriggerDef::NewVarName() const {
 }
 
 cypher::TransVarId TriggerDef::OldVarId() const {
-  if (old_var_id_cache < 0) {
-    old_var_id_cache = cypher::TransVars::Intern(OldVarName());
+  int64_t id = old_var_id_cache.load();
+  if (id < 0) {
+    id = cypher::TransVars::Intern(OldVarName());
+    old_var_id_cache.store(id);
   }
-  return static_cast<cypher::TransVarId>(old_var_id_cache);
+  return static_cast<cypher::TransVarId>(id);
 }
 
 cypher::TransVarId TriggerDef::NewVarId() const {
-  if (new_var_id_cache < 0) {
-    new_var_id_cache = cypher::TransVars::Intern(NewVarName());
+  int64_t id = new_var_id_cache.load();
+  if (id < 0) {
+    id = cypher::TransVars::Intern(NewVarName());
+    new_var_id_cache.store(id);
   }
-  return static_cast<cypher::TransVarId>(new_var_id_cache);
+  return static_cast<cypher::TransVarId>(id);
 }
 
 std::string TriggerDef::ToDdl() const {

@@ -1,6 +1,7 @@
 #ifndef PGTRIGGERS_TRIGGER_TRIGGER_DEF_H_
 #define PGTRIGGERS_TRIGGER_TRIGGER_DEF_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -13,6 +14,28 @@
 namespace pgt {
 
 struct TriggerPlans;  // src/trigger/trigger_plan.h
+
+/// Lazy resolved-id cache that stays copyable/movable (std::atomic alone
+/// would delete TriggerDef's copy/move). Every racer resolves and writes
+/// the same stable id (interners are append-only), so relaxed ordering is
+/// sufficient and concurrent writes are benign. Async-pool workers and the
+/// writer may touch these from different threads (docs/async.md).
+class ResolvedIdCache {
+ public:
+  ResolvedIdCache() = default;
+  ResolvedIdCache(const ResolvedIdCache& o)
+      : v_(o.v_.load(std::memory_order_relaxed)) {}
+  ResolvedIdCache& operator=(const ResolvedIdCache& o) {
+    v_.store(o.v_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+  int64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(int64_t x) { v_.store(x, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{-1};
+};
 
 /// When the trigger's condition is considered and its action executed,
 /// relative to the activating statement / transaction (paper Figure 1 and
@@ -92,8 +115,12 @@ struct TriggerDef {
 
   /// Compiled WHEN/action plans, filled lazily by the engine on first
   /// activation and keyed on (store, plan epoch) — see trigger_plan.h.
-  /// Mutable because plan caching is transparent to trigger identity; the
-  /// engine is single-threaded (D7). Not cloned (a clone recompiles).
+  /// Mutable because plan caching is transparent to trigger identity.
+  /// Access only through GetOrCompileTriggerPlans, which serializes
+  /// readers and writers behind a mutex: with an async pool, activations
+  /// of this trigger execute from worker threads (serialized by the
+  /// Database's writer interlock, but on changing threads). Not cloned (a
+  /// clone recompiles).
   mutable std::shared_ptr<const TriggerPlans> compiled_plans;
 
   bool HasWhen() const {
@@ -111,15 +138,16 @@ struct TriggerDef {
 
   /// Interned ids of OldVarName()/NewVarName(), resolved once per
   /// definition (TransVars is append-only, so a cached id never goes
-  /// stale). The engine keys every TransitionEnv binding on these. Mutable
-  /// lazy caches, same discipline as compiled_plans (single-threaded, D7).
+  /// stale). The engine keys every TransitionEnv binding on these.
+  /// Relaxed-atomic lazy caches: safe to race between pool workers and
+  /// the writer (every racer resolves the same stable id).
   cypher::TransVarId OldVarId() const;
   cypher::TransVarId NewVarId() const;
-  mutable int64_t old_var_id_cache = -1;
-  mutable int64_t new_var_id_cache = -1;
+  mutable ResolvedIdCache old_var_id_cache;
+  mutable ResolvedIdCache new_var_id_cache;
   /// Cached target LabelId (node triggers), resolved on first activation
   /// against the store's interner; < 0 = not yet interned.
-  mutable int64_t target_label_cache = -1;
+  mutable ResolvedIdCache target_label_cache;
 
   /// Unparses to canonical PG-Trigger DDL (round-trips through the parser).
   std::string ToDdl() const;

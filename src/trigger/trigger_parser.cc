@@ -67,6 +67,15 @@ Result<TriggerDdl> TriggerDdlParser::Parse(std::string_view text) {
 
   TriggerDdl ddl;
   if (p.AcceptKeyword("SHOW")) {
+    if (p.AcceptKeyword("ASYNC")) {
+      PGT_RETURN_IF_ERROR(p.ExpectKeyword("STATUS"));
+      ddl.kind = TriggerDdl::Kind::kShowAsyncStatus;
+      p.Accept(TokenType::kSemicolon);
+      if (!p.AtEnd()) {
+        return p.MakeError("unexpected input after SHOW ASYNC STATUS");
+      }
+      return ddl;
+    }
     PGT_RETURN_IF_ERROR(p.ExpectKeyword("TRIGGER"));
     PGT_RETURN_IF_ERROR(p.ExpectKeyword("ANALYSIS"));
     ddl.kind = TriggerDdl::Kind::kShowAnalysis;

@@ -11,7 +11,14 @@ namespace pgt {
 
 /// A parsed trigger-DDL command.
 struct TriggerDdl {
-  enum class Kind { kCreate, kDrop, kEnable, kDisable, kShowAnalysis };
+  enum class Kind {
+    kCreate,
+    kDrop,
+    kEnable,
+    kDisable,
+    kShowAnalysis,
+    kShowAsyncStatus,  // SHOW ASYNC STATUS (async pool counters)
+  };
   Kind kind = Kind::kCreate;
   TriggerDef def;    // kCreate
   std::string name;  // kDrop / kEnable / kDisable

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 namespace pgt {
@@ -33,13 +34,23 @@ cypher::plan::CompileEnv TriggerCompileEnv(const TriggerDef& def) {
   return env;
 }
 
-const TriggerPlans* GetOrCompileTriggerPlans(const TriggerDef& def,
-                                             const GraphStore& store,
-                                             uint64_t epoch) {
-  const TriggerPlans* cached = def.compiled_plans.get();
-  if (cached != nullptr && cached->store == &store &&
-      cached->epoch == epoch) {
-    return cached;
+namespace {
+/// Guards every TriggerDef::compiled_plans slot. A single global mutex is
+/// enough: the slot is read/replaced a handful of times per epoch (hits
+/// copy one shared_ptr under the lock; compiles are rare), and it keeps
+/// the hot activation path free of per-def lock storage.
+std::mutex g_trigger_plans_mu;
+}  // namespace
+
+std::shared_ptr<const TriggerPlans> GetOrCompileTriggerPlans(
+    const TriggerDef& def, const GraphStore& store, uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(g_trigger_plans_mu);
+    std::shared_ptr<const TriggerPlans> cached = def.compiled_plans;
+    if (cached != nullptr && cached->store == &store &&
+        cached->epoch == epoch) {
+      return cached;
+    }
   }
   auto plans = std::make_shared<TriggerPlans>();
   plans->epoch = epoch;
@@ -57,8 +68,9 @@ const TriggerPlans* GetOrCompileTriggerPlans(const TriggerDef& def,
     assert(compiled.status().code() == StatusCode::kUnimplemented &&
            "trigger-plan compilation failed with a non-fallback status");
   }
-  def.compiled_plans = std::move(plans);
-  return def.compiled_plans.get();
+  std::lock_guard<std::mutex> lock(g_trigger_plans_mu);
+  def.compiled_plans = plans;
+  return plans;
 }
 
 }  // namespace pgt

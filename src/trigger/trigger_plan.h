@@ -2,6 +2,7 @@
 #define PGTRIGGERS_TRIGGER_TRIGGER_PLAN_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/cypher/plan/compiler.h"
 #include "src/cypher/plan/program.h"
@@ -32,9 +33,14 @@ cypher::plan::CompileEnv TriggerCompileEnv(const TriggerDef& def);
 /// invalidates cached plans). Never fails: statements the compiler does not
 /// cover yield a non-usable entry and the caller falls back to the
 /// interpreter.
-const TriggerPlans* GetOrCompileTriggerPlans(const TriggerDef& def,
-                                             const GraphStore& store,
-                                             uint64_t epoch);
+///
+/// Returns shared ownership and serializes the cache slot internally:
+/// with an async pool, activations of the same trigger execute from
+/// changing threads (worker applies are serialized by the Database's
+/// writer interlock, but an epoch-bump replacement must not free plans a
+/// concurrent reader still holds).
+std::shared_ptr<const TriggerPlans> GetOrCompileTriggerPlans(
+    const TriggerDef& def, const GraphStore& store, uint64_t epoch);
 
 }  // namespace pgt
 

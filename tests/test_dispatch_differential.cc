@@ -471,6 +471,39 @@ TEST(DropWhileQueued, QueuedDetachedActivationSurvivesDrop) {
   EXPECT_EQ(Count(db, "MATCH (n:FromB) RETURN COUNT(*) AS c"), 1);
 }
 
+// The same race under the ASYNC pool (docs/async.md): the drop is issued
+// from trigger A's autonomous transaction while it runs on a pool thread
+// holding the writer interlock, and B's activation is queued behind it.
+// Shared ownership of the definition must hold off-writer too.
+TEST(DropWhileQueued, PoolModeQueuedActivationSurvivesDrop) {
+  EngineOptions opts;
+  opts.async_pool_size = 2;
+  opts.async_queue_capacity = 0;  // kBlock: drain at every boundary
+  opts.async_backpressure = AsyncBackpressure::kBlock;
+  Database db(opts);
+  db.procedures().Register(
+      "test.dropb", {},
+      [&db](cypher::EvalContext&, const std::vector<Value>&,
+            const cypher::Row&) -> Result<std::vector<cypher::Row>> {
+        PGT_RETURN_IF_ERROR(db.catalog().Drop("B"));
+        return std::vector<cypher::Row>{};
+      });
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER A DETACHED CREATE ON 'X' "
+                         "FOR EACH NODE BEGIN CALL test.dropb() END")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE TRIGGER B DETACHED CREATE ON 'X' "
+                         "FOR EACH NODE BEGIN CREATE (:FromB) END")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE (:X)").ok());
+
+  EXPECT_EQ(db.catalog().Find("B"), nullptr);
+  EXPECT_EQ(Count(db, "MATCH (n:FromB) RETURN COUNT(*) AS c"), 1);
+  EXPECT_EQ(db.stats().per_trigger["B"].fired, 1u);
+
+  ASSERT_TRUE(db.Execute("CREATE (:X)").ok());
+  EXPECT_EQ(Count(db, "MATCH (n:FromB) RETURN COUNT(*) AS c"), 1);
+}
+
 // One commit queues several DETACHED activations; they share one source
 // delta, and each still reads OLD state through the re-injected ghosts.
 TEST(DetachedQueue, SharedSourceDeltaKeepsOldReadable) {
