@@ -1,0 +1,147 @@
+#include "src/common/fault.h"
+
+#include <utility>
+
+namespace pgt {
+
+namespace {
+
+/// SplitMix64 finalizer: turns (seed, hit index) into a uniform 64-bit
+/// hash so probabilistic arming is deterministic per seed — replaying a
+/// chaos seed fails exactly the same hits.
+uint64_t MixHit(uint64_t seed, uint64_t index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Status MakeFault(const FaultRegistry::FaultSpec& spec,
+                 std::string_view point) {
+  std::string msg = spec.message.empty()
+                        ? "injected fault at " + std::string(point)
+                        : spec.message;
+  return Status(spec.code, std::move(msg));
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* g = new FaultRegistry();  // never destroyed
+  return *g;
+}
+
+Status FaultRegistry::HitSlow(std::string_view point, uint64_t units,
+                              uint64_t* accepted_units) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  if (it == points_.end() || !it->second.armed) return Status::OK();
+  PointState& st = it->second;
+  const uint64_t index = st.hits++;
+  const FaultSpec& spec = st.spec;
+
+  bool fail = false;
+  // Nth-hit window.
+  if (spec.trigger_count > 0 && index >= spec.skip_first &&
+      index < spec.skip_first + spec.trigger_count) {
+    fail = true;
+  }
+  // Probabilistic (seeded, per-hit deterministic).
+  if (!fail && spec.probability > 0.0) {
+    const double u = static_cast<double>(MixHit(spec.seed, index) >> 11) *
+                     (1.0 / 9007199254740992.0);  // [0,1) from 53 bits
+    fail = u < spec.probability;
+  }
+  // Unit budget (short-write semantics).
+  if (!fail && spec.unit_budget >= 0) {
+    const int64_t room = spec.unit_budget - st.units_seen;
+    st.units_seen += static_cast<int64_t>(units);
+    if (room < static_cast<int64_t>(units)) {
+      if (accepted_units != nullptr) {
+        *accepted_units = room > 0 ? static_cast<uint64_t>(room) : 0;
+      }
+      ++st.failures;
+      return MakeFault(spec, point);
+    }
+  }
+  // Scripted.
+  if (!fail && spec.script && spec.script(index)) fail = true;
+
+  if (!fail) return Status::OK();
+  if (accepted_units != nullptr) *accepted_units = 0;
+  ++st.failures;
+  return MakeFault(spec, point);
+}
+
+void FaultRegistry::Arm(std::string_view point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& st = points_[std::string(point)];
+  if (!st.armed) armed_points_.fetch_add(1, std::memory_order_relaxed);
+  st.armed = true;
+  st.spec = std::move(spec);
+  st.hits = 0;
+  st.failures = 0;
+  st.units_seen = 0;
+}
+
+void FaultRegistry::ArmNthHit(std::string_view point, uint64_t nth,
+                              StatusCode code, std::string message) {
+  FaultSpec spec;
+  spec.code = code;
+  spec.message = std::move(message);
+  spec.skip_first = nth > 0 ? nth - 1 : 0;
+  spec.trigger_count = 1;
+  Arm(point, std::move(spec));
+}
+
+void FaultRegistry::ArmProbabilistic(std::string_view point, double p,
+                                     uint64_t seed, StatusCode code,
+                                     std::string message) {
+  FaultSpec spec;
+  spec.code = code;
+  spec.message = std::move(message);
+  spec.probability = p;
+  spec.seed = seed;
+  Arm(point, std::move(spec));
+}
+
+void FaultRegistry::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, st] : points_) {
+    if (st.armed) {
+      st.armed = false;
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t FaultRegistry::HitCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultRegistry::FailureCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.failures;
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, st] : points_) {
+    if (st.armed) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace pgt

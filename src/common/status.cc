@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kBudgetExceeded:
+      return "BudgetExceeded";
   }
   return "Unknown";
 }

@@ -38,6 +38,9 @@ enum class StatusCode {
   kInternal,
   /// A filesystem operation failed (WAL append, fsync, snapshot write).
   kIoError,
+  /// A statement exceeded its execution budget (statement_timeout_ms or
+  /// max_plan_steps) and was cancelled cooperatively (docs/robustness.md).
+  kBudgetExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -91,6 +94,9 @@ class Status {
   }
   static Status IoError(std::string m) {
     return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status BudgetExceeded(std::string m) {
+    return Status(StatusCode::kBudgetExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

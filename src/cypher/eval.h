@@ -17,6 +17,7 @@
 #include "src/common/result.h"
 #include "src/common/value.h"
 #include "src/cypher/ast.h"
+#include "src/cypher/exec_budget.h"
 #include "src/cypher/transition_vars.h"
 #include "src/storage/store_view.h"
 #include "src/tx/transaction.h"
@@ -238,6 +239,12 @@ struct EvalContext {
   LogicalClock* clock = nullptr;  // null in snapshot contexts
   const TransitionEnv* transition = nullptr;
   ProcedureRegistry* procedures = nullptr;
+
+  /// Cooperative cancellation budget (docs/robustness.md). Null (the
+  /// default, and always null when neither budget option is set) keeps
+  /// every tick site at one predicted-not-taken branch. Non-null contexts
+  /// share the statement's budget across cascaded trigger activations.
+  ExecBudget* budget = nullptr;
 
   /// Guard invoked on every label set/remove performed by the executor;
   /// the trigger engine uses it to enforce the Section 4.2 rule that a

@@ -223,6 +223,9 @@ Result<std::vector<Row>> Executor::RunClauses(
 
 Result<std::vector<Row>> Executor::ApplyClause(const Clause& c,
                                                std::vector<Row> rows) {
+  if (ctx_.budget != nullptr) {
+    PGT_RETURN_IF_ERROR(ctx_.budget->Tick());
+  }
   switch (c.kind) {
     case Clause::Kind::kMatch:
       return ApplyMatch(c, std::move(rows));

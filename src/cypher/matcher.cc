@@ -125,6 +125,9 @@ class PartMatcher {
     if (split.impossible) return Status::OK();
 
     auto try_candidate = [&](NodeId id) -> Status {
+      if (ctx.budget != nullptr) {
+        PGT_RETURN_IF_ERROR(ctx.budget->Tick());
+      }
       PGT_ASSIGN_OR_RETURN(bool ok, NodeMatches(np, split, id, row, ctx));
       if (!ok) return Status::OK();
       Row next = row;
@@ -209,6 +212,9 @@ class PartMatcher {
     if (next_split.impossible) return Status::OK();
 
     for (RelId rid : ctx.store()->RelsOf(at, dir, type_filter)) {
+      if (ctx.budget != nullptr) {
+        PGT_RETURN_IF_ERROR(ctx.budget->Tick());
+      }
       if (bound_rel.has_value() && rid.value != *bound_rel) continue;
       if (state_->used_rels.count(rid.value) > 0) continue;
       PGT_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rp, rid, row, ctx));
@@ -266,6 +272,9 @@ class PartMatcher {
     // Recursive lambda DFS.
     std::function<Status(NodeId, int64_t)> dfs =
         [&](NodeId at, int64_t depth) -> Status {
+      if (ctx.budget != nullptr) {
+        PGT_RETURN_IF_ERROR(ctx.budget->Tick());
+      }
       if (depth >= rp.min_hops) {
         PGT_ASSIGN_OR_RETURN(bool node_ok,
                              NodeMatches(np, next_split, at, row, ctx));

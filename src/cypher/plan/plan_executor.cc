@@ -611,6 +611,9 @@ class FrameMatcher {
 
     int satisfied_prop_idx = -1;
     auto try_candidate = [&](NodeId id) -> Status {
+      if (ctx_.budget != nullptr) {
+        PGT_RETURN_IF_ERROR(ctx_.budget->Tick());
+      }
       PGT_ASSIGN_OR_RETURN(bool ok,
                            NodeMatches(np, split, id, satisfied_prop_idx));
       if (!ok) return Status::OK();
@@ -694,6 +697,9 @@ class FrameMatcher {
     if (next_split.impossible) return Status::OK();
 
     for (RelId rid : ctx_.store()->RelsOf(at, dir, type_filter)) {
+      if (ctx_.budget != nullptr) {
+        PGT_RETURN_IF_ERROR(ctx_.budget->Tick());
+      }
       if (bound_rel.has_value() && rid.value != *bound_rel) continue;
       if (RelUsed(rid.value)) continue;
       PGT_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rp, rid));
@@ -748,6 +754,9 @@ class FrameMatcher {
     std::vector<RelId> path;
     std::function<Status(NodeId, int64_t)> dfs =
         [&](NodeId at, int64_t depth) -> Status {
+      if (ctx_.budget != nullptr) {
+        PGT_RETURN_IF_ERROR(ctx_.budget->Tick());
+      }
       if (depth >= rp.min_hops) {
         PGT_ASSIGN_OR_RETURN(bool node_ok, NodeMatches(np, next_split, at));
         if (node_ok) {
@@ -849,6 +858,9 @@ Result<bool> PlanExecutor::PatternExists(const PPattern& pattern,
 
 Result<std::vector<Frame>> PlanExecutor::ApplyStep(const PStep& s,
                                                    std::vector<Frame> frames) {
+  if (ctx_.budget != nullptr) {
+    PGT_RETURN_IF_ERROR(ctx_.budget->Tick());
+  }
   switch (s.kind) {
     case Clause::Kind::kMatch:
       return ApplyMatch(s, std::move(frames));

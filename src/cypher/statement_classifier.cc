@@ -47,6 +47,11 @@ StatementKind ClassifyStatement(std::string_view text) {
   if (IsWord(t[0], "SHOW") && IsWord(t[1], "ASYNC")) {
     return StatementKind::kTriggerDdl;
   }
+  // SHOW HEALTH (degraded mode / quarantine — docs/robustness.md) rides
+  // the same route.
+  if (IsWord(t[0], "SHOW") && IsWord(t[1], "HEALTH")) {
+    return StatementKind::kTriggerDdl;
+  }
 
   // Index DDL: DROP INDEX, SHOW INDEX(ES), CREATE [modifiers] INDEX.
   if (IsWord(t[0], "DROP") && IsWord(t[1], "INDEX")) {

@@ -39,6 +39,24 @@ NodeId GraphStore::CreateNode(const std::vector<LabelId>& labels,
   return id;
 }
 
+NodeId GraphStore::BurnNodeId() {
+  NodeRecord rec;
+  rec.id = NodeId{nodes_.size()};
+  rec.alive = false;
+  const NodeId id = rec.id;
+  nodes_.push_back(std::move(rec));
+  return id;
+}
+
+RelId GraphStore::BurnRelId() {
+  RelRecord rec;
+  rec.id = RelId{rels_.size()};
+  rec.alive = false;
+  const RelId id = rec.id;
+  rels_.push_back(std::move(rec));
+  return id;
+}
+
 const NodeRecord* GraphStore::GetNode(NodeId id) const {
   if (id.value >= nodes_.size()) return nullptr;
   return &nodes_[id.value];

@@ -224,6 +224,13 @@ class GraphStore {
   uint64_t NodeIdBound() const { return nodes_.size(); }
   uint64_t RelIdBound() const { return rels_.size(); }
 
+  /// Consumes one id by appending a dead placeholder record (no adjacency,
+  /// no index postings, no counters). A rolled-back transaction burns the
+  /// ids it allocated without logging anything, so WAL replay uses these to
+  /// reproduce the resulting gaps in the id sequence (docs/durability.md).
+  NodeId BurnNodeId();
+  RelId BurnRelId();
+
   // --- Property indexes ----------------------------------------------------
 
   /// The property-index catalog. Every node mutation above flows through

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/fault.h"
+#include "src/common/macros.h"
 #include "src/tx/delta.h"
 
 namespace pgt {
@@ -223,12 +225,16 @@ void SnapshotManager::PublishIndexBandsLocked(const GraphStore& store,
   }
 }
 
-void SnapshotManager::PublishCommit(const GraphStore& store,
-                                    const GraphDelta& delta) {
+Status SnapshotManager::PublishCommit(const GraphStore& store,
+                                      const GraphDelta& delta) {
+  // The fault point fires before the epoch advances or any version is
+  // written, so a refused publish leaves the substrate exactly at the
+  // previous commit and the transaction fully rollbackable.
+  PGT_RETURN_IF_ERROR(FaultRegistry::Global().Hit("snapshot.publish"));
   if (!armed_.load(std::memory_order_acquire)) {
     // Unarmed: no readers exist; just advance the epoch counter.
     commit_epoch_.fetch_add(1, std::memory_order_release);
-    return;
+    return Status::OK();
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -343,6 +349,7 @@ void SnapshotManager::PublishCommit(const GraphStore& store,
   commit_epoch_.store(new_epoch, std::memory_order_release);
 
   CollectGarbageLocked();
+  return Status::OK();
 }
 
 std::shared_ptr<const GraphSnapshot> SnapshotManager::Open(

@@ -16,6 +16,7 @@
 
 #include "src/common/ids.h"
 #include "src/common/prop_map.h"
+#include "src/common/status.h"
 #include "src/common/str_util.h"
 #include "src/common/value.h"
 #include "src/index/versioned_postings.h"
@@ -357,8 +358,10 @@ class SnapshotManager {
 
   /// Publishes the commit that produced `delta`: bumps the epoch and (when
   /// armed) re-versions every record the delta touched, from the
-  /// now-committed live images. Writer thread only.
-  void PublishCommit(const GraphStore& store, const GraphDelta& delta);
+  /// now-committed live images. Writer thread only. Fails only by fault
+  /// injection ("snapshot.publish", docs/robustness.md), and then before
+  /// any state changes — the caller can still roll the transaction back.
+  Status PublishCommit(const GraphStore& store, const GraphDelta& delta);
 
   uint64_t commit_epoch() const {
     return commit_epoch_.load(std::memory_order_acquire);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/common/fault.h"
 #include "src/cypher/ast.h"
 #include "src/cypher/eval.h"
 #include "src/cypher/executor.h"
@@ -15,6 +16,7 @@ AsyncExecutor::AsyncExecutor(Database* db, int workers, size_t capacity,
                              AsyncBackpressure backpressure)
     : db_(db), capacity_(capacity), backpressure_(backpressure) {
   if (workers < 0) workers = 0;
+  alive_workers_ = workers;
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerMain(); });
@@ -47,6 +49,13 @@ void AsyncExecutor::Enqueue(std::vector<Activation>&& acts,
   // ApplyOwned).
   if (!applying_) chain_applies_ = 0;
   for (Activation& act : acts) {
+    // Fault containment: an injected hand-off failure sheds the activation
+    // (the commit that produced it is already durable; DETACHED effects
+    // are post-commit and shed-able by contract — docs/robustness.md).
+    if (!FaultRegistry::Global().Hit("async.enqueue").ok()) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (backpressure_ == AsyncBackpressure::kReject &&
         OutstandingLocked() >= capacity_) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -74,14 +83,37 @@ void AsyncExecutor::WorkerMain() {
       pending_.pop_front();
       ++evaluating_;
     }
-    PreEvaluate(item.get());
+    // Fault containment: an injected "async.worker" fault kills this worker
+    // mid-claim. Crucially the claimed item is still published — unevaluated
+    // (no_fire stays false), so it gets the full on-writer run — which keeps
+    // the FIFO apply chain satisfiable: quiesce/backpressure waits watch for
+    // done_.count(next_apply_), and a silently vanished head would park them
+    // forever (docs/robustness.md).
+    const bool dying = !FaultRegistry::Global().Hit("async.worker").ok();
+    if (!dying) PreEvaluate(item.get());
     {
       std::lock_guard<std::mutex> lock(mu_);
       --evaluating_;
       done_.emplace(item->seq, std::move(item));
+      if (dying) {
+        worker_deaths_.fetch_add(1, std::memory_order_relaxed);
+        if (--alive_workers_ <= 0) {
+          // Last worker down: nobody is left to claim pending_ items, so a
+          // kBlock writer waiting for the pool to drain would deadlock.
+          // Adopt the whole queue unevaluated (full runs at apply) and stop
+          // accepting — the engine serial-drains future commits inline.
+          accepting_.store(false, std::memory_order_release);
+          while (!pending_.empty()) {
+            std::unique_ptr<Item> orphan = std::move(pending_.front());
+            pending_.pop_front();
+            done_.emplace(orphan->seq, std::move(orphan));
+          }
+        }
+      }
     }
     cv_state_.notify_all();
     TryApply();
+    if (dying) return;
   }
 }
 
@@ -180,6 +212,11 @@ void AsyncExecutor::ApplyOwned(Item* item, bool spilled) {
       static_cast<uint64_t>(db_->options().max_detached_queue);
   if (chain > limit) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!FaultRegistry::Global().Hit("async.apply").ok()) {
+    // Fault containment: an injected apply failure sheds the activation but
+    // still retires it, so next_apply_ advances and the FIFO never stalls.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    applied_.fetch_add(1, std::memory_order_relaxed);
   } else if (item->no_fire && item->snapshot != nullptr &&
              db_->store().snapshots().commit_epoch() ==
                  item->snapshot->epoch()) {
@@ -248,8 +285,11 @@ void AsyncExecutor::StatementBoundary() {
   if (backpressure_ == AsyncBackpressure::kReject) return;
   if (backpressure_ == AsyncBackpressure::kBlock) {
     std::unique_lock<std::mutex> lock(mu_);
+    // alive_workers_ == 0: every worker died to an injected fault; nothing
+    // will drain pending_, so waiting would deadlock. Leftovers are applied
+    // at the next quiesce point (DDL / checkpoint / shutdown).
     cv_state_.wait(lock, [this] {
-      return stop_ || OutstandingLocked() <= capacity_;
+      return stop_ || alive_workers_ <= 0 || OutstandingLocked() <= capacity_;
     });
     return;
   }
@@ -303,6 +343,8 @@ AsyncPoolStats AsyncExecutor::Stats() const {
   s.deferred = deferred_.load(std::memory_order_relaxed);
   s.spilled = spilled_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.worker_deaths = worker_deaths_.load(std::memory_order_relaxed);
   return s;
 }
 

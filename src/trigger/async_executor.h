@@ -31,6 +31,12 @@ struct AsyncPoolStats {
   uint64_t rejected = 0;     ///< dropped at enqueue (kReject) or overflow
   uint64_t queue_depth = 0;  ///< outstanding (enqueued, not yet applied)
   uint64_t in_flight = 0;    ///< currently pre-evaluating on a worker
+  /// Activations dropped by fault containment (injected enqueue/apply
+  /// failures — docs/robustness.md), distinct from backpressure rejects.
+  uint64_t shed = 0;
+  /// Workers lost to injected faults; at zero live workers the pool stops
+  /// accepting and the engine falls back to the serial inline drain.
+  uint64_t worker_deaths = 0;
   int workers = 0;
 };
 
@@ -150,6 +156,10 @@ class AsyncExecutor {
   uint64_t next_seq_ = 0;    // next sequence number to assign
   uint64_t next_apply_ = 0;  // lowest sequence number not yet applied
   size_t evaluating_ = 0;    // items claimed by a worker, mid-eval
+  /// Workers still alive (not lost to an injected "async.worker" fault).
+  /// The last dying worker adopts the whole queue unevaluated and drains
+  /// it, then flips accepting_ off (docs/robustness.md).
+  int alive_workers_ = 0;
   bool stop_ = false;
   /// True while an apply is in progress (appliers hold the writer
   /// interlock, so at most one at a time). Lets Enqueue tell nested
@@ -166,6 +176,8 @@ class AsyncExecutor {
   std::atomic<uint64_t> deferred_{0};
   std::atomic<uint64_t> spilled_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> worker_deaths_{0};
 
   std::vector<std::thread> workers_;
 };

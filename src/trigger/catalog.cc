@@ -189,6 +189,7 @@ Status TriggerCatalog::Drop(const std::string& name) {
       dispatch_.Remove(it->get());
       if ((*it)->enabled) BumpCount((*it)->time, -1);
       triggers_.erase(it);
+      health_.erase(name);
       ++ddl_epoch_;
       return Status::OK();
     }
@@ -209,6 +210,9 @@ Status TriggerCatalog::SetEnabled(const std::string& name, bool enabled) {
         BumpCount(t->time, enabled ? +1 : -1);
         ++ddl_epoch_;
       }
+      // A manual ENABLE is the operator saying "try again": the breaker
+      // starts from a clean slate (quarantine lifted, counters reset).
+      if (enabled) health_.erase(name);
       return Status::OK();
     }
   }
@@ -219,6 +223,7 @@ void TriggerCatalog::DropAll() {
   triggers_.clear();
   dispatch_.Clear();
   enabled_counts_.fill(0);
+  health_.clear();
   ++ddl_epoch_;
 }
 
@@ -243,6 +248,104 @@ std::vector<std::shared_ptr<const TriggerDef>> TriggerCatalog::ByTime(
               });
   }
   // kCreationTime: triggers_ is already in creation order.
+  return out;
+}
+
+void TriggerCatalog::NoteSuccess(const std::string& name) {
+  auto it = health_.find(name);
+  if (it == health_.end()) return;
+  TriggerHealth& h = it->second;
+  h.consecutive_failures = 0;
+  if (h.quarantined && h.probe_inflight) {
+    // Half-open probe succeeded: the fault cleared — lift the quarantine
+    // and forget the backoff (a future incident starts fresh).
+    h.quarantined = false;
+    h.probe_inflight = false;
+    h.backoff = 0;
+    h.skips_remaining = 0;
+    h.reason.clear();
+  }
+}
+
+void TriggerCatalog::NoteFailure(const std::string& name, const Status& error,
+                                 int64_t now_micros) {
+  const int threshold = options_->quarantine_threshold;
+  if (threshold <= 0) return;  // breaker off
+  const TriggerDef* def = Find(name);
+  if (def == nullptr) return;  // dropped while its activation was in flight
+  TriggerHealth& h = health_[name];
+  ++h.consecutive_failures;
+  ++h.total_failures;
+
+  if (h.quarantined) {
+    // Only a half-open probe can reach here; a failed probe doubles the
+    // backoff window (capped) and closes the breaker again.
+    h.probe_inflight = false;
+    const auto cap = static_cast<uint64_t>(
+        options_->quarantine_backoff_cap > 0 ? options_->quarantine_backoff_cap
+                                             : 1);
+    h.backoff = h.backoff >= cap ? cap : h.backoff * 2;
+    if (h.backoff > cap) h.backoff = cap;
+    h.skips_remaining = h.backoff;
+    h.reason = "probe failed: " + error.ToString();
+    h.quarantined_at_micros = now_micros;
+    ++h.quarantines;
+    return;
+  }
+
+  if (h.consecutive_failures < static_cast<uint64_t>(threshold)) return;
+
+  // Trip the breaker.
+  h.quarantined = true;
+  h.quarantined_at_micros = now_micros;
+  h.reason = "quarantined after " + std::to_string(h.consecutive_failures) +
+             " consecutive failures; last: " + error.ToString();
+  ++h.quarantines;
+  if (def->time == ActionTime::kDetached) {
+    // DETACHED actions are autonomous (their errors never fail a host
+    // transaction), so the breaker can retry them: skip `backoff`
+    // opportunities, then let one probe through.
+    h.backoff = static_cast<uint64_t>(
+        options_->quarantine_backoff_base > 0
+            ? options_->quarantine_backoff_base
+            : 1);
+    h.skips_remaining = h.backoff;
+    h.probe_inflight = false;
+  } else {
+    // Statement-time triggers fail their host transaction; auto-retry
+    // would keep breaking commits. Disable until a manual ENABLE.
+    (void)SetEnabled(name, false);
+  }
+}
+
+DetachedGate TriggerCatalog::GateDetached(const std::string& name) {
+  auto it = health_.find(name);
+  if (it == health_.end() || !it->second.quarantined) return DetachedGate::kRun;
+  TriggerHealth& h = it->second;
+  if (h.probe_inflight) {
+    ++h.skipped;
+    return DetachedGate::kSkip;  // one probe at a time
+  }
+  if (h.skips_remaining > 0) {
+    --h.skips_remaining;
+    ++h.skipped;
+    return DetachedGate::kSkip;
+  }
+  h.probe_inflight = true;
+  ++h.probes;
+  return DetachedGate::kProbe;
+}
+
+const TriggerHealth* TriggerCatalog::Health(const std::string& name) const {
+  auto it = health_.find(name);
+  return it == health_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> TriggerCatalog::Quarantined() const {
+  std::vector<std::string> out;
+  for (const auto& [name, h] : health_) {
+    if (h.quarantined) out.push_back(name);
+  }
   return out;
 }
 

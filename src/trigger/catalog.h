@@ -14,6 +14,35 @@
 
 namespace pgt {
 
+/// Per-trigger circuit-breaker state (docs/robustness.md). Deliberately
+/// *not* transactional: a trigger that fails its host transaction still
+/// has its failure recorded — that is the whole point of the breaker.
+struct TriggerHealth {
+  uint64_t consecutive_failures = 0;
+  bool quarantined = false;
+  std::string reason;                // error that tripped the breaker
+  int64_t quarantined_at_micros = 0; // logical-clock stamp of the trip
+
+  // DETACHED half-open retry state, measured in firing opportunities (not
+  // wall time) so recovery is deterministic under test.
+  uint64_t backoff = 0;           // opportunities to skip per window
+  uint64_t skips_remaining = 0;   // left in the current window
+  bool probe_inflight = false;    // one activation let through half-open
+
+  // Lifetime counters (SHOW TRIGGER STATUS / pgt.health()).
+  uint64_t total_failures = 0;
+  uint64_t probes = 0;
+  uint64_t quarantines = 0;
+  uint64_t skipped = 0;  ///< firing opportunities suppressed by quarantine
+};
+
+/// What the engine should do with a DETACHED firing opportunity.
+enum class DetachedGate {
+  kRun,    ///< not quarantined: run normally
+  kProbe,  ///< half-open: run this one as the recovery probe
+  kSkip,   ///< quarantined: suppress (counts down the backoff window)
+};
+
 /// The installed-trigger catalog: owns TriggerDefs (shared with queued
 /// activations, so a DROP TRIGGER can never dangle an in-flight
 /// activation), validates legality at install time, maintains the
@@ -76,6 +105,32 @@ class TriggerCatalog {
     return enabled_counts_[static_cast<size_t>(time)];
   }
 
+  // --- Circuit breaker (docs/robustness.md) --------------------------------
+
+  /// Records a successful firing: resets the consecutive-failure count and,
+  /// when the firing was a half-open probe, lifts the quarantine.
+  void NoteSuccess(const std::string& name);
+
+  /// Records an action/WHEN failure at `now_micros`. When the consecutive
+  /// count reaches `EngineOptions::quarantine_threshold` the trigger is
+  /// quarantined: statement-time triggers are disabled (manual ALTER
+  /// TRIGGER ... ENABLE required); DETACHED triggers stay installed and
+  /// enter the exponential-backoff half-open cycle. A failed probe doubles
+  /// the backoff (capped) and re-arms the quarantine. No-op when the
+  /// breaker is off (threshold == 0).
+  void NoteFailure(const std::string& name, const Status& error,
+                   int64_t now_micros);
+
+  /// Gates one DETACHED firing opportunity for `name`: kRun when healthy,
+  /// kSkip while backing off, kProbe exactly once per window.
+  DetachedGate GateDetached(const std::string& name);
+
+  /// Breaker state for `name`, or nullptr when it never failed.
+  const TriggerHealth* Health(const std::string& name) const;
+
+  /// Names of currently quarantined triggers (SHOW HEALTH).
+  std::vector<std::string> Quarantined() const;
+
   /// The Section 4.2 execution-order comparator, shared by ByTime and the
   /// engine's cross-bucket merge so the two dispatch strategies can never
   /// order triggers differently.
@@ -100,6 +155,9 @@ class TriggerCatalog {
   DispatchIndex dispatch_;
   uint64_t next_seq_ = 1;
   uint64_t ddl_epoch_ = 0;
+  // Breaker state, keyed by trigger name. Entries are created on first
+  // failure, erased by Drop/DropAll and by a manual ENABLE (fresh start).
+  std::map<std::string, TriggerHealth> health_;
 };
 
 }  // namespace pgt

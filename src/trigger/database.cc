@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/common/fault.h"
 #include "src/common/macros.h"
 #include "src/cypher/parser.h"
 #include "src/cypher/plan/compiler.h"
@@ -38,6 +39,31 @@ cypher::QueryResult AsyncStatusTable(AsyncExecutor* async) {
                          Value::Int(static_cast<int64_t>(s.applied)),
                          Value::Int(static_cast<int64_t>(s.spilled)),
                          Value::Int(static_cast<int64_t>(s.rejected))});
+  return result;
+}
+
+/// SHOW TRIGGER STATUS / part of pgt.health(): one row per installed
+/// trigger with its circuit-breaker state (docs/robustness.md). Healthy
+/// triggers that never failed show zeros.
+cypher::QueryResult TriggerStatusTable(const TriggerCatalog& catalog) {
+  static const TriggerHealth kHealthy;
+  cypher::QueryResult result;
+  result.columns = {"name",           "time",    "enabled",
+                    "quarantined",    "failures", "total_failures",
+                    "probes",         "skipped", "reason",
+                    "since_micros"};
+  for (const TriggerDef* t : catalog.All()) {
+    const TriggerHealth* h = catalog.Health(t->name);
+    if (h == nullptr) h = &kHealthy;
+    result.rows.push_back(
+        {Value::String(t->name), Value::String(ActionTimeName(t->time)),
+         Value::Bool(t->enabled), Value::Bool(h->quarantined),
+         Value::Int(static_cast<int64_t>(h->consecutive_failures)),
+         Value::Int(static_cast<int64_t>(h->total_failures)),
+         Value::Int(static_cast<int64_t>(h->probes)),
+         Value::Int(static_cast<int64_t>(h->skipped)),
+         Value::String(h->reason), Value::Int(h->quarantined_at_micros)});
+  }
   return result;
 }
 
@@ -78,6 +104,20 @@ Database::Database(EngineOptions options)
       [this](cypher::EvalContext&, const std::vector<Value>&,
              const cypher::Row&) -> Result<std::vector<cypher::Row>> {
         cypher::QueryResult table = AsyncStatusTable(async_.get());
+        cypher::Row r;
+        for (size_t i = 0; i < table.columns.size(); ++i) {
+          r.Set(table.columns[i], table.rows.front()[i]);
+        }
+        return std::vector<cypher::Row>{std::move(r)};
+      });
+  // Health introspection twin of SHOW HEALTH (docs/robustness.md).
+  procedures_.Register(
+      "pgt.health",
+      {"mode", "wal_poison_cause", "quarantined_count", "quarantined",
+       "async_shed", "async_worker_deaths", "armed_fault_points"},
+      [this](cypher::EvalContext&, const std::vector<Value>&,
+             const cypher::Row&) -> Result<std::vector<cypher::Row>> {
+        cypher::QueryResult table = HealthTable();
         cypher::Row r;
         for (size_t i = 0; i < table.columns.size(); ++i) {
           r.Set(table.columns[i], table.rows.front()[i]);
@@ -412,7 +452,64 @@ cypher::EvalContext Database::MakeEvalContext(
   ctx.clock = &clock_;
   ctx.transition = env;
   ctx.procedures = &procedures_;
+  // One predicted branch per tick site when budgets are off: the context
+  // only ever carries a budget pointer while a BudgetScope is armed.
+  ctx.budget = budget_armed_ ? &budget_ : nullptr;
   return ctx;
+}
+
+Database::BudgetScope::BudgetScope(Database* db, bool fresh) : db_(db) {
+  const EngineOptions& o = db->options_;
+  if (o.statement_timeout_ms <= 0 && o.max_plan_steps <= 0) return;
+  // Nested statements (trigger cascades) inherit the enclosing budget;
+  // DETACHED activations (`fresh`) save it and arm their own.
+  if (db->budget_armed_ && !fresh) return;
+  saved_ = db->budget_;
+  saved_armed_ = db->budget_armed_;
+  db->budget_.Arm(o.max_plan_steps, o.statement_timeout_ms);
+  db->budget_armed_ = true;
+  armed_here_ = true;
+}
+
+Database::BudgetScope::~BudgetScope() {
+  if (!armed_here_) return;
+  db_->budget_ = saved_;
+  db_->budget_armed_ = saved_armed_;
+}
+
+bool Database::degraded() const {
+  return wal_ != nullptr && wal_->broken();
+}
+
+Status Database::DegradedError() const {
+  return Status::FailedPrecondition(
+      "database is in read-only degraded mode (WAL poisoned: " +
+      wal_->poison_cause() + "); reads still work, writes are refused — "
+      "reopen the database to recover to the last durable state");
+}
+
+cypher::QueryResult Database::HealthTable() {
+  cypher::QueryResult result;
+  result.columns = {"mode",        "wal_poison_cause", "quarantined_count",
+                    "quarantined", "async_shed",       "async_worker_deaths",
+                    "armed_fault_points"};
+  const std::vector<std::string> quarantined = catalog_.Quarantined();
+  std::string joined;
+  for (const std::string& name : quarantined) {
+    if (!joined.empty()) joined += ",";
+    joined += name;
+  }
+  AsyncPoolStats s;
+  if (async_ != nullptr) s = async_->Stats();
+  result.rows.push_back(
+      {Value::String(degraded() ? "degraded-read-only" : "ok"),
+       Value::String(wal_ != nullptr ? wal_->poison_cause() : ""),
+       Value::Int(static_cast<int64_t>(quarantined.size())),
+       Value::String(joined), Value::Int(static_cast<int64_t>(s.shed)),
+       Value::Int(static_cast<int64_t>(s.worker_deaths)),
+       Value::Int(static_cast<int64_t>(
+           FaultRegistry::Global().ArmedPoints().size()))});
+  return result;
 }
 
 Result<std::shared_ptr<const GraphSnapshot>> Database::OpenSnapshot() {
@@ -666,8 +763,14 @@ Status Database::CommitWithTriggers(std::unique_ptr<Transaction> tx) {
   if (!st.ok()) {
     // Appended but not committed: the log now claims a commit memory never
     // made. Poison it so nothing else is appended after the divergence.
-    if (logged) wal_->Poison();
-    tx_manager_.Release(std::move(tx));
+    if (logged) {
+      wal_->Poison("commit logged but refused in memory: " + st.message());
+    }
+    // A refused physical commit (fault injection at tx.commit /
+    // snapshot.publish) leaves the transaction active with its undo log
+    // intact — roll it back so the store returns to the last committed
+    // state instead of leaking half a transaction into the live graph.
+    RollbackAndRelease(std::move(tx));
     return st;
   }
   // The committed transaction no longer needs its delta: move it out for
@@ -710,10 +813,16 @@ Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
   // the pre-DDL catalog, exactly as the serial drain would have ordered it
   // (docs/async.md). Introspection kinds skip the barrier. During WAL
   // recovery the pool is empty and this is a no-op.
-  if (async_ != nullptr && ddl.kind != TriggerDdl::Kind::kShowAnalysis &&
-      ddl.kind != TriggerDdl::Kind::kShowAsyncStatus) {
+  const bool introspection = ddl.kind == TriggerDdl::Kind::kShowAnalysis ||
+                             ddl.kind == TriggerDdl::Kind::kShowAsyncStatus ||
+                             ddl.kind == TriggerDdl::Kind::kShowStatus ||
+                             ddl.kind == TriggerDdl::Kind::kShowHealth;
+  if (async_ != nullptr && !introspection) {
     async_->QuiesceHoldingWriterMu();
   }
+  // Degraded mode refuses catalog mutations too: LogDdl would fail after
+  // the catalog changed, diverging memory from the durable history.
+  if (!introspection && degraded()) return DegradedError();
   const bool analyze = options_.termination_policy != TerminationPolicy::kOff;
   switch (ddl.kind) {
     case TriggerDdl::Kind::kCreate: {
@@ -797,6 +906,10 @@ Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
     case TriggerDdl::Kind::kShowAsyncStatus:
       // Introspection: no catalog mutation, nothing to log.
       return AsyncStatusTable(async_.get());
+    case TriggerDdl::Kind::kShowStatus:
+      return TriggerStatusTable(catalog_);
+    case TriggerDdl::Kind::kShowHealth:
+      return HealthTable();
   }
   PGT_RETURN_IF_ERROR(LogDdl(wal::WalDdlKind::kTriggerDdl, text));
   return cypher::QueryResult{};
@@ -810,6 +923,9 @@ Result<cypher::QueryResult> Database::ExecuteIndexDdl(std::string_view text) {
   // touch. SHOW stays barrier-free.
   if (async_ != nullptr && ddl.kind != index::IndexDdl::Kind::kShow) {
     async_->QuiesceHoldingWriterMu();
+  }
+  if (ddl.kind != index::IndexDdl::Kind::kShow && degraded()) {
+    return DegradedError();
   }
   switch (ddl.kind) {
     case index::IndexDdl::Kind::kCreate: {
@@ -881,10 +997,16 @@ Result<cypher::QueryResult> Database::ExecuteNested(std::string_view text,
     }
   }
   PGT_ASSIGN_OR_RETURN(stmt, PrepareWith(std::move(stmt), text));
+  // The statement budget covers everything downstream: the statement
+  // itself, every trigger it cascades into, and the commit-point round.
+  BudgetScope budget(this);
   // Read-only statements skip transaction setup entirely: no delta scope,
   // no trigger round, no commit (visible in BENCH_value as removed
   // allocations on the read path).
   if (stmt->read_only) return RunReadOnly(*stmt, params);
+  // Degraded mode: a poisoned WAL can never log another commit, so refuse
+  // writes up front with the cause instead of failing deep in the commit.
+  if (degraded()) return DegradedError();
   PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, BeginTx());
   auto result = RunPreparedInTx(*tx, *stmt, params);
   if (!result.ok()) {
@@ -925,9 +1047,13 @@ Result<std::vector<cypher::QueryResult>> Database::ExecuteTxLocked(
         std::shared_ptr<cypher::plan::PreparedStatement> stmt, Prepare(s));
     prepared.push_back(std::move(stmt));
   }
+  if (degraded()) return DegradedError();
   PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, BeginTx());
   std::vector<cypher::QueryResult> results;
   for (const auto& stmt : prepared) {
+    // Each statement of the transaction gets its own budget (matching the
+    // one-statement Execute path); the commit round below gets another.
+    BudgetScope budget(this);
     auto result = RunPreparedInTx(*tx, *stmt, params);
     if (!result.ok()) {
       RollbackAndRelease(std::move(tx));
@@ -935,6 +1061,7 @@ Result<std::vector<cypher::QueryResult>> Database::ExecuteTxLocked(
     }
     results.push_back(std::move(result).value());
   }
+  BudgetScope commit_budget(this);
   PGT_RETURN_IF_ERROR(CommitWithTriggers(std::move(tx)));
   return results;
 }

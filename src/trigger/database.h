@@ -11,6 +11,7 @@
 #include "src/analysis/analyzer.h"
 #include "src/common/clock.h"
 #include "src/common/result.h"
+#include "src/cypher/exec_budget.h"
 #include "src/cypher/executor.h"
 #include "src/cypher/functions.h"
 #include "src/cypher/plan/plan_cache.h"
@@ -188,6 +189,36 @@ class Database {
     return schema_;
   }
 
+  // --- Fault containment & resource governance (docs/robustness.md) --------
+
+  /// RAII: arms the writer-thread execution budget
+  /// (EngineOptions::statement_timeout_ms / max_plan_steps) for the
+  /// enclosing top-level statement. Nested trigger statements find the
+  /// budget already armed and inherit it — BEFORE/AFTER/ONCOMMIT cascades
+  /// spend the activating statement's allowance. `fresh = true` (DETACHED
+  /// activations) saves the current budget and arms a full new one: each
+  /// autonomous transaction gets its own allowance. No-op when both budget
+  /// options are 0, so the default configuration never even arms.
+  class BudgetScope {
+   public:
+    explicit BudgetScope(Database* db, bool fresh = false);
+    ~BudgetScope();
+    BudgetScope(const BudgetScope&) = delete;
+    BudgetScope& operator=(const BudgetScope&) = delete;
+
+   private:
+    Database* db_;
+    bool armed_here_ = false;
+    cypher::ExecBudget saved_;
+    bool saved_armed_ = false;
+  };
+
+  /// True once a WAL append/fsync failure has poisoned the log: the
+  /// database stays up for reads (read-only Execute, QueryAt, the SHOW
+  /// surfaces) but refuses mutating statements fast, citing the poison
+  /// cause, instead of letting memory and log diverge further.
+  bool degraded() const;
+
   // --- Internals used by trigger runtimes -----------------------------------
 
   /// Builds an evaluation context over `tx` (params/clock/procedures wired;
@@ -256,6 +287,10 @@ class Database {
   class ReplayHandler;  // WAL recovery callbacks (database.cc)
 
   Result<cypher::QueryResult> ExecuteDdl(std::string_view text);
+  /// The FailedPrecondition returned for writes while degraded().
+  Status DegradedError() const;
+  /// The one-row SHOW HEALTH / CALL pgt.health() table.
+  cypher::QueryResult HealthTable();
   Result<cypher::QueryResult> ExecuteIndexDdl(std::string_view text);
   /// ExecuteTx body; caller holds writer_mu_.
   Result<std::vector<cypher::QueryResult>> ExecuteTxLocked(
@@ -327,6 +362,12 @@ class Database {
   bool in_recovery_ = false;
   cypher::plan::PlanCache plan_cache_;
   cypher::plan::FramePool frame_pool_;
+  /// Writer-thread execution budget. Armed per top-level statement (and
+  /// per DETACHED activation) by BudgetScope; MakeEvalContext hands out a
+  /// pointer only while armed, so with budgets off every tick site costs
+  /// exactly one null check.
+  cypher::ExecBudget budget_;
+  bool budget_armed_ = false;
   /// Serializes the logical writer against the async pool's apply step.
   /// Acquired only at the outermost entry points (Execute/ExecuteTx/
   /// CheckpointNow/AttachSchema/DrainAsync/shutdown) and by the pool;

@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/common/fault.h"
 #include "src/common/macros.h"
 #include "src/cypher/executor.h"
 #include "src/cypher/plan/plan_executor.h"
@@ -624,12 +625,44 @@ cypher::Row PgTriggerEngine::BuildActivationSeedRow(const Activation& act) {
   return seed;
 }
 
+namespace {
+
+/// Scopes ExecBudget::current_trigger to one activation so a budget abort
+/// names the trigger that was executing (restores the enclosing trigger's
+/// name on exit — cascades nest).
+class BudgetTriggerScope {
+ public:
+  BudgetTriggerScope(cypher::ExecBudget* budget, const std::string* name)
+      : budget_(budget) {
+    if (budget_ != nullptr) {
+      prev_ = budget_->current_trigger;
+      budget_->current_trigger = name;
+    }
+  }
+  ~BudgetTriggerScope() {
+    if (budget_ != nullptr) budget_->current_trigger = prev_;
+  }
+  BudgetTriggerScope(const BudgetTriggerScope&) = delete;
+  BudgetTriggerScope& operator=(const BudgetTriggerScope&) = delete;
+
+ private:
+  cypher::ExecBudget* budget_;
+  const std::string* prev_ = nullptr;
+};
+
+}  // namespace
+
 Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
   const TriggerDef& def = *act.trigger;
   TriggerStats& ts = stats_.per_trigger[def.name];
   ++ts.considered;
 
+  // Chaos hook: lets the fault suite fail a specific trigger's firings on
+  // demand (exercising the circuit breaker without a broken action).
+  PGT_RETURN_IF_ERROR(FaultRegistry::Global().Hit("engine.activation"));
+
   cypher::EvalContext ctx = db_->MakeEvalContext(&tx, nullptr, &act.env);
+  BudgetTriggerScope budget_scope(ctx.budget, &def.name);
   // Runtime guard for the Section 4.2 rule: the statement may not set or
   // remove the trigger's target label (catches dynamic cases the static
   // install check cannot see).
@@ -771,14 +804,19 @@ Status PgTriggerEngine::ProcessStatementLevel(Transaction& tx,
     tx.PushDeltaScope();
     Status st = RunActivation(tx, act);
     GraphDelta d = tx.PopDeltaScope();
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      NoteOutcome(act.trigger->name, st);
+      return st;
+    }
     if (cascade_probe_) {
       cascade_probe_(writer != nullptr ? writer->name : "",
                      act.trigger->name, act.trigger->time,
                      stats_.per_trigger[act.trigger->name].fired >
                          fired_before);
     }
-    PGT_RETURN_IF_ERROR(ValidateBeforeDelta(*act.trigger, act, d));
+    st = ValidateBeforeDelta(*act.trigger, act, d);
+    NoteOutcome(act.trigger->name, st);
+    PGT_RETURN_IF_ERROR(st);
     env_pool_.Release(std::move(act.env));
     tx.RecycleDelta(std::move(d));
   }
@@ -794,6 +832,7 @@ Status PgTriggerEngine::ProcessStatementLevel(Transaction& tx,
     tx.PushDeltaScope();
     Status st = RunActivation(tx, act);
     GraphDelta d = tx.PopDeltaScope();
+    NoteOutcome(act.trigger->name, st);
     if (!st.ok()) return st;
     if (cascade_probe_) {
       cascade_probe_(writer != nullptr ? writer->name : "",
@@ -854,6 +893,7 @@ Status PgTriggerEngine::OnCommitPoint(Transaction& tx) {
       tx.PushDeltaScope();
       Status st = RunActivation(tx, act);
       GraphDelta d = tx.PopDeltaScope();
+      NoteOutcome(act.trigger->name, st);
       if (st.ok()) {
         env_pool_.Release(std::move(act.env));
         // ONCOMMIT actions are statements: BEFORE/AFTER triggers cascade
@@ -948,8 +988,28 @@ Status PgTriggerEngine::ApplyPoolDeferred(Activation& act,
   return st;
 }
 
+void PgTriggerEngine::NoteOutcome(const std::string& trigger,
+                                  const Status& st) {
+  if (st.ok()) {
+    db_->catalog().NoteSuccess(trigger);
+  } else {
+    db_->catalog().NoteFailure(trigger, st, db_->clock().PeekMicros());
+  }
+}
+
 Status PgTriggerEngine::RunDetachedActivation(const Activation& act,
                                               const GraphDelta& source_delta) {
+  // Circuit breaker (docs/robustness.md): a quarantined DETACHED trigger
+  // skips its backoff window of firing opportunities, then lets exactly
+  // one probe through; the probe's outcome below decides whether the
+  // quarantine lifts or the backoff doubles.
+  if (db_->catalog().GateDetached(act.trigger->name) == DetachedGate::kSkip) {
+    return Status::OK();
+  }
+  // Each autonomous transaction gets a fresh execution budget: a DETACHED
+  // activation must not be starved by whatever the activating statement
+  // already spent (and its overrun must not abort an unrelated successor).
+  Database::BudgetScope budget(db_, /*fresh=*/true);
   PGT_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> tx, db_->BeginTx());
   // Keep OLD transition variables readable: the activating transaction is
   // committed, so its deleted-item images are re-injected as ghosts.
@@ -970,9 +1030,12 @@ Status PgTriggerEngine::RunDetachedActivation(const Activation& act,
     // transaction; the activating transaction is already durable.
     db_->RollbackAndRelease(std::move(tx));
     ++stats_.per_trigger[act.trigger->name].errors;
+    NoteOutcome(act.trigger->name, st);
     return Status::OK();
   }
-  return db_->CommitWithTriggers(std::move(tx));
+  st = db_->CommitWithTriggers(std::move(tx));
+  NoteOutcome(act.trigger->name, st);
+  return st;
 }
 
 }  // namespace pgt

@@ -212,6 +212,11 @@ class PgTriggerEngine : public TriggerRuntime {
   Status RunDetachedActivation(const Activation& act,
                                const GraphDelta& source_delta);
 
+  /// Feeds one activation outcome to the catalog's circuit breaker
+  /// (docs/robustness.md): success resets the consecutive-failure count,
+  /// failure advances it toward quarantine.
+  void NoteOutcome(const std::string& trigger, const Status& st);
+
   /// Recyclers for the per-round activation vectors (LIFO: cascaded
   /// rounds nest, each level owns its own buffer).
   std::vector<Activation> AcquireActs() {

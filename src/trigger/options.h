@@ -136,6 +136,42 @@ struct EngineOptions {
   size_t async_queue_capacity = 1024;
 
   AsyncBackpressure async_backpressure = AsyncBackpressure::kBlock;
+
+  // --- Execution budgets & fault containment (docs/robustness.md) -----------
+
+  /// Wall-clock budget per top-level statement, including every trigger it
+  /// cascades into (BEFORE/AFTER/ONCOMMIT run inside the statement's
+  /// budget; each DETACHED activation gets its own fresh budget). 0
+  /// (default) disables the check entirely — the matcher/executor tick is
+  /// one predicted-not-taken branch. When exceeded the statement aborts
+  /// with BudgetExceeded, the transaction rolls back cleanly, and the
+  /// error names the trigger (if any) that was executing.
+  int64_t statement_timeout_ms = 0;
+
+  /// Logical step budget per top-level statement: every matcher candidate,
+  /// expansion edge, var-length DFS node, and executed plan step counts as
+  /// one step. Deterministic companion to statement_timeout_ms (same
+  /// enforcement sites, same abort semantics). 0 (default) disables.
+  int64_t max_plan_steps = 0;
+
+  /// Trigger circuit breaker: after this many *consecutive* action/WHEN
+  /// errors a trigger is auto-quarantined — disabled with a recorded
+  /// reason + timestamp, visible in SHOW TRIGGER STATUS / CALL
+  /// pgt.health(). Statement-time triggers (BEFORE/AFTER/ONCOMMIT) stay
+  /// quarantined until a manual ALTER TRIGGER ... ENABLE; DETACHED
+  /// triggers retry via exponential-backoff half-open probes (below).
+  /// 0 (default) disables the breaker.
+  int quarantine_threshold = 0;
+
+  /// DETACHED half-open retry: after quarantine, the trigger skips
+  /// quarantine_backoff_base firing opportunities, then lets exactly one
+  /// activation through as a probe. Success re-enables the trigger and
+  /// resets its failure count; failure doubles the backoff (capped at
+  /// quarantine_backoff_cap) and re-quarantines. Measured in firing
+  /// opportunities, not wall time, so recovery is deterministic and
+  /// testable.
+  int quarantine_backoff_base = 4;
+  int quarantine_backoff_cap = 256;
 };
 
 }  // namespace pgt

@@ -76,7 +76,21 @@ Result<TriggerDdl> TriggerDdlParser::Parse(std::string_view text) {
       }
       return ddl;
     }
+    if (p.AcceptKeyword("HEALTH")) {
+      ddl.kind = TriggerDdl::Kind::kShowHealth;
+      p.Accept(TokenType::kSemicolon);
+      if (!p.AtEnd()) return p.MakeError("unexpected input after SHOW HEALTH");
+      return ddl;
+    }
     PGT_RETURN_IF_ERROR(p.ExpectKeyword("TRIGGER"));
+    if (p.AcceptKeyword("STATUS")) {
+      ddl.kind = TriggerDdl::Kind::kShowStatus;
+      p.Accept(TokenType::kSemicolon);
+      if (!p.AtEnd()) {
+        return p.MakeError("unexpected input after SHOW TRIGGER STATUS");
+      }
+      return ddl;
+    }
     PGT_RETURN_IF_ERROR(p.ExpectKeyword("ANALYSIS"));
     ddl.kind = TriggerDdl::Kind::kShowAnalysis;
     p.Accept(TokenType::kSemicolon);

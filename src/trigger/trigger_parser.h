@@ -18,6 +18,8 @@ struct TriggerDdl {
     kDisable,
     kShowAnalysis,
     kShowAsyncStatus,  // SHOW ASYNC STATUS (async pool counters)
+    kShowStatus,       // SHOW TRIGGER STATUS (per-trigger breaker state)
+    kShowHealth,       // SHOW HEALTH (degraded mode / quarantine / faults)
   };
   Kind kind = Kind::kCreate;
   TriggerDef def;    // kCreate

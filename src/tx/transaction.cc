@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/fault.h"
 #include "src/storage/snapshot.h"
 
 namespace pgt {
@@ -277,12 +278,17 @@ Status Transaction::Commit() {
   if (delta_stack_.size() != 1) {
     return Status::Internal("commit with open delta scopes");
   }
-  state_ = State::kCommitted;
-  undo_log_.clear();
+  // Fault points fire before any state transition: a refused commit leaves
+  // the transaction active with its undo log intact, so the caller's
+  // rollback restores the pre-transaction store exactly.
+  PGT_RETURN_IF_ERROR(FaultRegistry::Global().Hit("tx.commit"));
   // Publish the commit epoch (and, when the snapshot substrate is armed,
   // epoch-tagged versions of every record this transaction touched).
   // Rollbacks publish nothing: snapshots only ever observe committed state.
-  store_->snapshots().PublishCommit(*store_, delta_stack_.front());
+  PGT_RETURN_IF_ERROR(
+      store_->snapshots().PublishCommit(*store_, delta_stack_.front()));
+  state_ = State::kCommitted;
+  undo_log_.clear();
   return Status::OK();
 }
 

@@ -123,7 +123,13 @@ WalCommit BuildWalCommit(const GraphStore& store, const GraphDelta& delta) {
 Status ApplyWalCommit(Transaction& tx, const WalCommit& c) {
   GraphStore* store = tx.store();
 
+  // The log may legitimately run *ahead* of the store's id sequence: a
+  // rolled-back transaction burns the ids it allocated but appends no
+  // record, so the next logged commit starts past a hole. Re-burn the gap
+  // as dead placeholders — tombstone content is unobservable, only the id
+  // space must line up. A log *behind* the store is still hard divergence.
   for (const WalNodeCreate& n : c.node_creates) {
+    while (store->NodeIdBound() < n.id.value) store->BurnNodeId();
     if (store->NodeIdBound() != n.id.value) {
       return IdMismatch("node", store->NodeIdBound(), n.id.value);
     }
@@ -131,6 +137,7 @@ Status ApplyWalCommit(Transaction& tx, const WalCommit& c) {
     if (got != n.id) return IdMismatch("node", got.value, n.id.value);
   }
   for (const WalRelCreate& r : c.rel_creates) {
+    while (store->RelIdBound() < r.id.value) store->BurnRelId();
     if (store->RelIdBound() != r.id.value) {
       return IdMismatch("rel", store->RelIdBound(), r.id.value);
     }

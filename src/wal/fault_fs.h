@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/wal/vfs.h"
 
 namespace pgt::wal {
@@ -29,6 +30,11 @@ namespace pgt::wal {
 /// unfavorable one, which tests model by crashing before the metadata op.
 class MemVfs final : public Vfs {
  public:
+  /// Legacy fault knobs, kept as the crash suites' interface but
+  /// implemented on the unified FaultRegistry (docs/robustness.md): the
+  /// plan arms the owned registry's "memvfs.sync" (Nth-hit) and
+  /// "memvfs.append" (byte-budget) points. Chaos tests bypass the plan and
+  /// arm `faults()` directly.
   struct FaultPlan {
     /// Fail the Nth Sync() call from now (1 = next). 0 = never.
     int fail_sync_at = 0;
@@ -41,11 +47,22 @@ class MemVfs final : public Vfs {
   MemVfs() = default;
 
   void SetFaultPlan(const FaultPlan& plan) {
-    std::lock_guard<std::mutex> lk(mu_);
-    plan_ = plan;
-    sync_calls_seen_ = 0;
-    bytes_appended_ = 0;
+    faults_.DisarmAll();
+    if (plan.fail_sync_at > 0) {
+      faults_.ArmNthHit("memvfs.sync", static_cast<uint64_t>(plan.fail_sync_at),
+                        StatusCode::kIoError, "injected fsync failure");
+    }
+    if (plan.short_write_after_bytes >= 0) {
+      FaultRegistry::FaultSpec spec;
+      spec.message = "injected short write";
+      spec.unit_budget = plan.short_write_after_bytes;
+      faults_.Arm("memvfs.append", std::move(spec));
+    }
   }
+
+  /// The per-instance fault registry behind this filesystem's IO paths
+  /// ("memvfs.append" carries byte units; "memvfs.sync" one hit per fsync).
+  FaultRegistry& faults() { return faults_; }
 
   /// The post-power-loss view of this filesystem. Files keep their durable
   /// prefix; the file named `torn_path` (if non-empty) additionally keeps
@@ -185,30 +202,20 @@ class MemVfs final : public Vfs {
         : vfs_(vfs), state_(std::move(state)) {}
 
     Status Append(std::string_view data) override {
+      uint64_t take = data.size();
+      Status fault = vfs_->faults_.Hit("memvfs.append", data.size(), &take);
       std::lock_guard<std::mutex> lk(vfs_->mu_);
-      size_t take = data.size();
-      bool fault = false;
-      if (vfs_->plan_.short_write_after_bytes >= 0) {
-        int64_t room =
-            vfs_->plan_.short_write_after_bytes - vfs_->bytes_appended_;
-        if (static_cast<int64_t>(take) > room) {
-          take = static_cast<size_t>(std::max<int64_t>(room, 0));
-          fault = true;
-        }
-      }
-      state_->data.append(data.data(), take);
-      vfs_->bytes_appended_ += static_cast<int64_t>(take);
-      if (fault) return Status::IoError("injected short write");
-      return Status::OK();
+      // Short-write semantics: the prefix the budget still had room for is
+      // persisted, then the error surfaces — exactly what a full disk or a
+      // killed write() leaves behind.
+      state_->data.append(data.data(), static_cast<size_t>(take));
+      return fault;
     }
 
     Status Sync() override {
+      Status fault = vfs_->faults_.Hit("memvfs.sync");
+      if (!fault.ok()) return fault;
       std::lock_guard<std::mutex> lk(vfs_->mu_);
-      ++vfs_->sync_calls_seen_;
-      if (vfs_->plan_.fail_sync_at > 0 &&
-          vfs_->sync_calls_seen_ == vfs_->plan_.fail_sync_at) {
-        return Status::IoError("injected fsync failure");
-      }
       state_->durable = state_->data.size();
       return Status::OK();
     }
@@ -230,9 +237,7 @@ class MemVfs final : public Vfs {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<FileState>> files_;
   std::set<std::string> dirs_;
-  FaultPlan plan_;
-  int sync_calls_seen_ = 0;
-  int64_t bytes_appended_ = 0;
+  FaultRegistry faults_;  // owned: one MemVfs's faults never leak globally
 };
 
 }  // namespace pgt::wal

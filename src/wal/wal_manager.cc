@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/macros.h"
 #include "src/wal/crc32c.h"
 #include "src/wal/serialize.h"
@@ -294,6 +295,7 @@ Status WalManager::OpenSegment(uint64_t seq) {
 }
 
 Status WalManager::SyncNow() {
+  PGT_RETURN_IF_ERROR(FaultRegistry::Global().Hit("wal.sync"));
   if (opts_.fsync) PGT_RETURN_IF_ERROR(file_->Sync());
   pending_in_group_ = 0;
   return Status::OK();
@@ -311,17 +313,19 @@ Status WalManager::AppendRecord(std::string_view payload, bool sync_now) {
   // Any failure from here on poisons the log: a partially appended or
   // unsyncable record means the on-disk chain can no longer be trusted to
   // match what the caller believes was logged.
-  Status s = file_->Append(framed);
+  Status s = FaultRegistry::Global().Hit("wal.append", framed.size());
+  if (s.ok()) s = file_->Append(framed);
   if (s.ok()) {
     cur_size_ += framed.size();
     if (sync_now) s = SyncNow();
   }
   if (s.ok() && cur_size_ >= opts_.segment_bytes) {
-    s = SyncNow();
+    s = FaultRegistry::Global().Hit("wal.rotate");
+    if (s.ok()) s = SyncNow();
     if (s.ok()) s = file_->Close();
     if (s.ok()) s = OpenSegment(next_seq_);
   }
-  if (!s.ok()) broken_ = true;
+  if (!s.ok()) Poison("wal append failed: " + s.message());
   return s;
 }
 
@@ -346,7 +350,7 @@ Status WalManager::Flush() {
   }
   if (!appending_) return Status::OK();
   Status s = SyncNow();
-  if (!s.ok()) broken_ = true;
+  if (!s.ok()) Poison("wal flush failed: " + s.message());
   return s;
 }
 
@@ -389,17 +393,21 @@ Result<uint64_t> WalManager::RotateForSnapshot() {
     return Status::IoError("wal: poisoned by an earlier IO failure");
   }
   if (!appending_) return Status::Internal("wal: not in appending state");
-  Status s = SyncNow();
+  Status s = FaultRegistry::Global().Hit("wal.rotate");
+  if (s.ok()) s = SyncNow();
   if (s.ok()) s = file_->Close();
   if (s.ok()) s = OpenSegment(next_seq_);
   if (!s.ok()) {
-    broken_ = true;
+    Poison("wal rotate failed: " + s.message());
     return s;
   }
   return cur_seq_;
 }
 
 Status WalManager::WriteSnapshot(const SnapshotImage& img) {
+  // Checkpoints are best effort: a refused write leaves the segment chain
+  // fully usable (no poisoning) and the next commit retries.
+  PGT_RETURN_IF_ERROR(FaultRegistry::Global().Hit("wal.snapshot.write"));
   const std::string final_path =
       JoinPath(opts_.dir, SnapshotName(img.first_live_seq));
   const std::string tmp_path = final_path + ".tmp";

@@ -109,8 +109,15 @@ class WalManager {
   uint64_t logged_epoch() const { return logged_epoch_; }
   bool broken() const { return broken_; }
   /// Marks the log unusable (e.g. the store committed but the matching
-  /// append failed, so log and memory have diverged).
-  void Poison() { broken_ = true; }
+  /// append failed, so log and memory have diverged). The first cause is
+  /// kept and surfaced by the Database's degraded read-only mode
+  /// (docs/robustness.md).
+  void Poison(std::string cause = "commit applied but its log append failed") {
+    if (!broken_) poison_cause_ = std::move(cause);
+    broken_ = true;
+  }
+  /// The failure that poisoned the log; empty while healthy.
+  const std::string& poison_cause() const { return poison_cause_; }
 
   const WalOptions& options() const { return opts_; }
 
@@ -139,6 +146,7 @@ class WalManager {
   bool recovered_ = false;
   bool appending_ = false;
   bool broken_ = false;
+  std::string poison_cause_;  // first failure; empty while healthy
 
   RecoveryStats recovery_stats_;
 };

@@ -1,0 +1,517 @@
+// Fault containment & resource governance (docs/robustness.md):
+// execution budgets (statement_timeout_ms / max_plan_steps) with clean
+// rollback under both the compiled-plan and interpreter paths, the
+// per-trigger circuit breaker (auto-quarantine, DETACHED half-open
+// backoff probes, SHOW TRIGGER STATUS), the unified fault-point registry,
+// and WAL-poison read-only degraded mode (SHOW HEALTH).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/trigger/async_executor.h"
+#include "src/trigger/database.h"
+#include "src/wal/fault_fs.h"
+
+namespace pgt {
+namespace {
+
+/// Every test disarms the global registry on both ends: faults armed by a
+/// failing test must never leak into the next one.
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().DisarmAll(); }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+
+  static void Exec(Database& db, const std::string& q) {
+    auto r = db.Execute(q);
+    ASSERT_TRUE(r.ok()) << q << " -> " << r.status();
+  }
+  static int64_t Count(Database& db, const std::string& q) {
+    auto r = db.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status();
+    return r.ok() ? r.value().rows[0][0].int_value() : -1;
+  }
+};
+
+// --- Execution budgets -------------------------------------------------------
+
+EngineOptions StepBudget(int64_t steps, bool compiled) {
+  EngineOptions o;
+  o.max_plan_steps = steps;
+  o.use_compiled_plans = compiled;
+  return o;
+}
+
+/// A statement whose work is quadratic in the seeded node count — big
+/// enough to blow a small step budget deterministically, small enough to
+/// finish instantly when the budget check itself is under test.
+constexpr char kHeavy[] = "MATCH (a:N), (b:N) RETURN COUNT(*) AS c";
+
+void SeedNodes(Database& db, int n) {
+  ASSERT_TRUE(
+      db.Execute("UNWIND RANGE(1, " + std::to_string(n) + ") AS i "
+                 "CREATE (:N {i: i})")
+          .ok());
+}
+
+TEST_F(RobustnessTest, StepBudgetAbortsBothExecutionPaths) {
+  for (bool compiled : {true, false}) {
+    Database db(StepBudget(500, compiled));
+    SeedNodes(db, 100);  // 100 x 100 candidate pairs >> 500 steps
+    auto r = db.Execute(kHeavy);
+    ASSERT_FALSE(r.ok()) << "compiled=" << compiled;
+    EXPECT_EQ(r.status().code(), StatusCode::kBudgetExceeded);
+    EXPECT_NE(r.status().message().find("max_plan_steps"), std::string::npos)
+        << r.status();
+    // The budget is per statement: the next (cheap) statement succeeds.
+    EXPECT_EQ(Count(db, "MATCH (n:N) RETURN COUNT(*) AS c"), 100);
+  }
+}
+
+TEST_F(RobustnessTest, TimeoutAbortsLongStatement) {
+  EngineOptions o;
+  o.statement_timeout_ms = 50;
+  Database db(o);
+  SeedNodes(db, 150);
+  // 150^3 = 3.4M candidate triples: far past 50ms on any machine, yet
+  // bounded if cancellation were broken.
+  auto r = db.Execute("MATCH (a:N), (b:N), (c:N) RETURN COUNT(*) AS c");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExceeded);
+  EXPECT_NE(r.status().message().find("statement_timeout_ms"),
+            std::string::npos)
+      << r.status();
+}
+
+TEST_F(RobustnessTest, BudgetAbortRollsBackCleanly) {
+  for (bool compiled : {true, false}) {
+    Database db(StepBudget(500, compiled));
+    SeedNodes(db, 100);
+    // The write statement blows its budget mid-flight: nothing of it (or
+    // of any trigger it would have fired) may survive.
+    Exec(db, "CREATE TRIGGER T AFTER CREATE ON 'X' FOR EACH NODE "
+             "BEGIN CREATE (:Log) END");
+    auto r = db.Execute("MATCH (a:N), (b:N) CREATE (:X {u: a.i})");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kBudgetExceeded);
+    EXPECT_EQ(Count(db, "MATCH (x:X) RETURN COUNT(*) AS c"), 0);
+    EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 0);
+    EXPECT_EQ(Count(db, "MATCH (n:N) RETURN COUNT(*) AS c"), 100);
+  }
+}
+
+TEST_F(RobustnessTest, BudgetAbortNamesTheTrigger) {
+  for (bool compiled : {true, false}) {
+    Database db(StepBudget(2000, compiled));
+    SeedNodes(db, 100);
+    // The top-level statement is cheap; the trigger's action is the hog.
+    Exec(db, "CREATE TRIGGER Hog AFTER CREATE ON 'X' FOR EACH NODE "
+             "BEGIN MATCH (a:N), (b:N) CREATE (:Pair) END");
+    auto r = db.Execute("CREATE (:X)");
+    ASSERT_FALSE(r.ok()) << "compiled=" << compiled;
+    EXPECT_EQ(r.status().code(), StatusCode::kBudgetExceeded);
+    EXPECT_NE(r.status().message().find("trigger 'Hog'"), std::string::npos)
+        << r.status();
+    EXPECT_EQ(Count(db, "MATCH (x:X) RETURN COUNT(*) AS c"), 0);
+  }
+}
+
+TEST_F(RobustnessTest, CascadesSpendTheStatementsBudget) {
+  // Two triggers, each individually affordable; together they exceed the
+  // budget — proof that BEFORE/AFTER cascades inherit rather than re-arm.
+  Database solo(StepBudget(4000, true));
+  SeedNodes(solo, 50);
+  Exec(solo, "CREATE TRIGGER A AFTER CREATE ON 'X' FOR EACH NODE "
+             "BEGIN MATCH (a:N), (b:N) WITH COUNT(*) AS c CREATE (:La) END");
+  ASSERT_TRUE(solo.Execute("CREATE (:X)").ok());
+
+  Database both(StepBudget(4000, true));
+  SeedNodes(both, 50);
+  Exec(both, "CREATE TRIGGER A AFTER CREATE ON 'X' FOR EACH NODE "
+             "BEGIN MATCH (a:N), (b:N) WITH COUNT(*) AS c CREATE (:La) END");
+  Exec(both, "CREATE TRIGGER B AFTER CREATE ON 'X' FOR EACH NODE "
+             "BEGIN MATCH (a:N), (b:N) WITH COUNT(*) AS c CREATE (:Lb) END");
+  auto r = both.Execute("CREATE (:X)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExceeded);
+}
+
+TEST_F(RobustnessTest, RepeatedBudgetAbortsLeakNothing) {
+  // Leak regression (run under ASan in CI): aborting mid-firing over and
+  // over must not leak pooled frames/envs or corrupt engine state.
+  Database db(StepBudget(2000, true));
+  SeedNodes(db, 100);
+  Exec(db, "CREATE TRIGGER Hog AFTER CREATE ON 'X' FOR EACH NODE "
+           "BEGIN MATCH (a:N), (b:N) CREATE (:Pair) END");
+  for (int i = 0; i < 50; ++i) {
+    auto r = db.Execute("CREATE (:X)");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kBudgetExceeded);
+  }
+  EXPECT_EQ(Count(db, "MATCH (x:X) RETURN COUNT(*) AS c"), 0);
+  // The engine is still fully live once the hog is gone.
+  Exec(db, "DROP TRIGGER Hog");
+  Exec(db, "CREATE (:X)");
+  EXPECT_EQ(Count(db, "MATCH (x:X) RETURN COUNT(*) AS c"), 1);
+}
+
+// --- Circuit breaker ---------------------------------------------------------
+
+EngineOptions Breaker(int threshold, int backoff_base = 4) {
+  EngineOptions o;
+  o.quarantine_threshold = threshold;
+  o.quarantine_backoff_base = backoff_base;
+  return o;
+}
+
+TEST_F(RobustnessTest, StatementTriggerQuarantinedAfterThreshold) {
+  Database db(Breaker(3));
+  Exec(db, "CREATE TRIGGER Flaky AFTER CREATE ON 'P' FOR EACH NODE "
+           "BEGIN CREATE (:Log) END");
+  // Fail the trigger's next three firings through the chaos hook.
+  FaultRegistry::Global().Arm("engine.activation", [] {
+    FaultRegistry::FaultSpec s;
+    s.trigger_count = 3;
+    s.message = "injected activation failure";
+    return s;
+  }());
+
+  for (int i = 0; i < 3; ++i) {
+    auto r = db.Execute("CREATE (:P)");
+    ASSERT_FALSE(r.ok()) << "firing " << i;
+  }
+  // Threshold reached: the trigger is quarantined (disabled), so the next
+  // commit sails through even though the statement still creates :P nodes.
+  const TriggerHealth* h = db.catalog().Health("Flaky");
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->quarantined);
+  EXPECT_EQ(h->consecutive_failures, 3u);
+  EXPECT_NE(h->reason.find("injected activation failure"), std::string::npos);
+  EXPECT_FALSE(db.catalog().Find("Flaky")->enabled);
+
+  Exec(db, "CREATE (:P)");
+  EXPECT_EQ(Count(db, "MATCH (p:P) RETURN COUNT(*) AS c"), 1);
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 0);
+
+  // SHOW TRIGGER STATUS surfaces the quarantine with its reason.
+  auto status = db.Execute("SHOW TRIGGER STATUS");
+  ASSERT_TRUE(status.ok()) << status.status();
+  ASSERT_EQ(status->rows.size(), 1u);
+  size_t name_col = 0, quar_col = 0, reason_col = 0;
+  for (size_t c = 0; c < status->columns.size(); ++c) {
+    if (status->columns[c] == "name") name_col = c;
+    if (status->columns[c] == "quarantined") quar_col = c;
+    if (status->columns[c] == "reason") reason_col = c;
+  }
+  EXPECT_EQ(status->rows[0][name_col].string_value(), "Flaky");
+  EXPECT_TRUE(status->rows[0][quar_col].bool_value());
+  EXPECT_NE(std::string(status->rows[0][reason_col].string_value())
+                .find("injected activation failure"),
+            std::string::npos);
+
+  // Manual ENABLE is the only way back for a statement-time trigger, and
+  // it resets the breaker to a fresh start.
+  Exec(db, "ALTER TRIGGER Flaky ENABLE");
+  Exec(db, "CREATE (:P)");
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 1);
+  EXPECT_EQ(db.catalog().Health("Flaky"), nullptr);
+}
+
+TEST_F(RobustnessTest, DetachedTriggerRecoversViaBackoffProbe) {
+  Database db(Breaker(/*threshold=*/2, /*backoff_base=*/1));
+  Exec(db, "CREATE TRIGGER D DETACHED CREATE ON 'P' FOR EACH NODE "
+           "BEGIN CREATE (:Log) END");
+  FaultRegistry::Global().Arm("engine.activation", [] {
+    FaultRegistry::FaultSpec s;
+    s.trigger_count = 2;
+    s.message = "injected detached failure";
+    return s;
+  }());
+
+  // DETACHED failures are contained: the activating commits succeed.
+  Exec(db, "CREATE (:P)");
+  Exec(db, "CREATE (:P)");
+  const TriggerHealth* h = db.catalog().Health("D");
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->quarantined);
+
+  // The fault has passed. Opportunity 1 is skipped (backoff window of 1),
+  // opportunity 2 runs as the half-open probe and succeeds -> recovered.
+  Exec(db, "CREATE (:P)");  // skipped
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 0);
+  Exec(db, "CREATE (:P)");  // probe
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 1);
+  h = db.catalog().Health("D");
+  ASSERT_NE(h, nullptr);
+  EXPECT_FALSE(h->quarantined);
+  EXPECT_EQ(h->probes, 1u);
+  EXPECT_EQ(h->skipped, 1u);
+
+  Exec(db, "CREATE (:P)");  // back to normal service
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 2);
+}
+
+TEST_F(RobustnessTest, FailedProbeDoublesTheBackoff) {
+  Database db(Breaker(/*threshold=*/1, /*backoff_base=*/1));
+  Exec(db, "CREATE TRIGGER D DETACHED CREATE ON 'P' FOR EACH NODE "
+           "BEGIN CREATE (:Log) END");
+  // Fail the first firing AND the first probe (hits 1 and 2).
+  FaultRegistry::Global().Arm("engine.activation", [] {
+    FaultRegistry::FaultSpec s;
+    s.trigger_count = 2;
+    return s;
+  }());
+
+  Exec(db, "CREATE (:P)");  // failure -> quarantined, backoff 1
+  Exec(db, "CREATE (:P)");  // skipped
+  Exec(db, "CREATE (:P)");  // probe -> fails -> backoff 2
+  const TriggerHealth* h = db.catalog().Health("D");
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(h->quarantined);
+  EXPECT_EQ(h->backoff, 2u);
+  EXPECT_EQ(h->quarantines, 2u);
+
+  Exec(db, "CREATE (:P)");  // skipped (1/2)
+  Exec(db, "CREATE (:P)");  // skipped (2/2)
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 0);
+  Exec(db, "CREATE (:P)");  // probe -> succeeds -> recovered
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 1);
+  EXPECT_FALSE(db.catalog().Health("D")->quarantined);
+}
+
+// --- Degraded read-only mode -------------------------------------------------
+
+TEST_F(RobustnessTest, WalPoisonEntersReadOnlyDegradedMode) {
+  wal::MemVfs vfs;
+  wal::WalOptions wo;
+  wo.dir = "/db";
+  wo.vfs = &vfs;
+  wo.fsync = true;
+  wo.group_size = 1;
+  auto opened = Database::Open(wo);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Database& db = **opened;
+  Exec(db, "CREATE (:P {i: 1})");
+
+  // The next log append fails -> the WAL is poisoned.
+  FaultRegistry::Global().ArmNthHit("wal.append", 1);
+  auto failed = db.Execute("CREATE (:P {i: 2})");
+  ASSERT_FALSE(failed.ok());
+  ASSERT_TRUE(db.degraded());
+
+  // Writes are refused fast, citing the poison cause...
+  auto write = db.Execute("CREATE (:P {i: 3})");
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(write.status().message().find("degraded"), std::string::npos);
+  EXPECT_NE(write.status().message().find("wal append failed"),
+            std::string::npos)
+      << write.status();
+  // ... and so is trigger/index DDL.
+  EXPECT_FALSE(db.Execute("CREATE TRIGGER T AFTER CREATE ON 'P' FOR EACH "
+                          "NODE BEGIN CREATE (:L) END")
+                   .ok());
+  EXPECT_FALSE(db.Execute("CREATE INDEX ON :P(i)").ok());
+
+  // Reads still work; the refused commit never half-applied.
+  EXPECT_EQ(Count(db, "MATCH (p:P) RETURN COUNT(*) AS c"), 1);
+
+  // SHOW HEALTH reports the mode and the cause.
+  auto health = db.Execute("SHOW HEALTH");
+  ASSERT_TRUE(health.ok()) << health.status();
+  ASSERT_EQ(health->rows.size(), 1u);
+  size_t mode_col = 0, cause_col = 0;
+  for (size_t c = 0; c < health->columns.size(); ++c) {
+    if (health->columns[c] == "mode") mode_col = c;
+    if (health->columns[c] == "wal_poison_cause") cause_col = c;
+  }
+  EXPECT_EQ(health->rows[0][mode_col].string_value(), "degraded-read-only");
+  EXPECT_NE(std::string(health->rows[0][cause_col].string_value())
+                .find("wal append failed"),
+            std::string::npos);
+
+  // Reopening recovers to the last durable state: the poisoned-away
+  // commits were refused in memory too, so nothing diverges.
+  FaultRegistry::Global().DisarmAll();
+  ASSERT_FALSE(db.Close().ok());  // close flushes into the poisoned log
+  auto reopened = Database::Open(wo);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_FALSE((*reopened)->degraded());
+  EXPECT_EQ(Count(**reopened, "MATCH (p:P) RETURN COUNT(*) AS c"), 1);
+  Exec(**reopened, "CREATE (:P {i: 9})");
+  EXPECT_EQ(Count(**reopened, "MATCH (p:P) RETURN COUNT(*) AS c"), 2);
+}
+
+// A statement that fails *after* allocating ids rolls back and burns those
+// ids forever (ids are dense and never reused) — but a rollback appends no
+// WAL record, so the log's id sequence legitimately runs ahead of a fresh
+// replay's. Recovery must re-burn the gap as tombstones, not refuse the
+// open with a divergence error. Found by the chaos suite (seed 2).
+TEST_F(RobustnessTest, RolledBackIdBurnsDoNotDesyncWalReplay) {
+  wal::MemVfs vfs;
+  wal::WalOptions wo;
+  wo.dir = "/db";
+  wo.vfs = &vfs;
+  wo.fsync = true;
+  wo.group_size = 1;
+  auto opened = Database::Open(wo);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  Database& db = **opened;
+  Exec(db, "CREATE (:P {i: 1})");
+  Exec(db,
+       "CREATE TRIGGER Boom AFTER CREATE ON 'P' FOR EACH NODE "
+       "BEGIN CREATE (:L) END");
+
+  // The statement allocates one node id and one rel id, then its AFTER
+  // trigger fails by injection -> full rollback, both ids burned unlogged.
+  FaultRegistry::Global().ArmNthHit("engine.activation", 1);
+  auto failed =
+      db.Execute("MATCH (a:P {i: 1}) CREATE (a)-[:R]->(:P {i: 2})");
+  ASSERT_FALSE(failed.ok());
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_FALSE(db.degraded());
+
+  // The next successful commit logs creates that start past the hole.
+  Exec(db, "MATCH (a:P {i: 1}) CREATE (a)-[:R]->(:P {i: 4})");
+  ASSERT_TRUE(db.Close().ok());
+
+  auto reopened = Database::Open(wo);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  Database& rdb = **reopened;
+  EXPECT_EQ(Count(rdb, "MATCH (p:P) RETURN COUNT(*) AS c"), 2);
+  EXPECT_EQ(Count(rdb, "MATCH (:P)-[r:R]->(:P) RETURN COUNT(*) AS c"), 1);
+  EXPECT_EQ(Count(rdb, "MATCH (l:L) RETURN COUNT(*) AS c"), 1);
+  // The recovered id space includes the burned holes: appending resumes
+  // exactly where the log left off, so a further close/reopen also works.
+  Exec(rdb, "CREATE (:P {i: 9})");
+  ASSERT_TRUE(rdb.Close().ok());
+  auto again = Database::Open(wo);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(Count(**again, "MATCH (p:P) RETURN COUNT(*) AS c"), 3);
+}
+
+TEST_F(RobustnessTest, HealthSurfacesViaShowAndProcedure) {
+  Database db;
+  auto show = db.Execute("SHOW HEALTH");
+  ASSERT_TRUE(show.ok()) << show.status();
+  auto call = db.Execute(
+      "CALL pgt.health() YIELD mode, quarantined_count, armed_fault_points "
+      "RETURN mode, quarantined_count, armed_fault_points");
+  ASSERT_TRUE(call.ok()) << call.status();
+  ASSERT_EQ(show->rows.size(), 1u);
+  ASSERT_EQ(call->rows.size(), 1u);
+  EXPECT_EQ(show->rows[0][0].string_value(), "ok");
+  EXPECT_EQ(call->rows[0][0].string_value(), "ok");
+  EXPECT_EQ(call->rows[0][1].int_value(), 0);
+  EXPECT_EQ(call->rows[0][2].int_value(), 0);
+
+  auto status = db.Execute("SHOW TRIGGER STATUS");
+  ASSERT_TRUE(status.ok()) << status.status();
+  EXPECT_TRUE(status->rows.empty());  // no triggers installed
+}
+
+// --- Fault registry semantics ------------------------------------------------
+
+TEST_F(RobustnessTest, RegistryNthHitAndCounters) {
+  auto& reg = FaultRegistry::Global();
+  reg.ArmNthHit("test.point", 3);
+  EXPECT_TRUE(reg.Hit("test.point").ok());
+  EXPECT_TRUE(reg.Hit("test.point").ok());
+  EXPECT_FALSE(reg.Hit("test.point").ok());
+  EXPECT_TRUE(reg.Hit("test.point").ok());  // one-shot
+  EXPECT_EQ(reg.HitCount("test.point"), 4u);
+  EXPECT_EQ(reg.FailureCount("test.point"), 1u);
+  EXPECT_EQ(reg.ArmedPoints().size(), 1u);
+  reg.DisarmAll();
+  EXPECT_TRUE(reg.ArmedPoints().empty());
+}
+
+TEST_F(RobustnessTest, RegistryProbabilisticIsSeedDeterministic) {
+  auto& reg = FaultRegistry::Global();
+  auto run = [&](uint64_t seed) {
+    reg.ArmProbabilistic("test.p", 0.3, seed);
+    std::vector<bool> fails;
+    for (int i = 0; i < 64; ++i) fails.push_back(!reg.Hit("test.p").ok());
+    reg.Disarm("test.p");
+    return fails;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST_F(RobustnessTest, RegistryUnitBudgetShortWrite) {
+  auto& reg = FaultRegistry::Global();
+  FaultRegistry::FaultSpec s;
+  s.unit_budget = 10;
+  reg.Arm("test.bytes", std::move(s));
+  uint64_t accepted = 7;
+  EXPECT_TRUE(reg.Hit("test.bytes", 7, &accepted).ok());
+  EXPECT_EQ(accepted, 7u);  // untouched on success
+  accepted = 99;
+  EXPECT_FALSE(reg.Hit("test.bytes", 7, &accepted).ok());
+  EXPECT_EQ(accepted, 3u);  // short write: 3 of 7 fit
+  reg.DisarmAll();
+}
+
+// --- Async pool fault containment --------------------------------------------
+
+EngineOptions AsyncPool(int workers) {
+  EngineOptions o;
+  o.async_pool_size = workers;
+  o.async_queue_capacity = 4;
+  o.async_backpressure = AsyncBackpressure::kBlock;
+  return o;
+}
+
+TEST_F(RobustnessTest, DeadAsyncWorkerDoesNotStallTheApplyChain) {
+  Database db(AsyncPool(2));
+  Exec(db, "CREATE TRIGGER D DETACHED CREATE ON 'P' FOR EACH NODE "
+           "BEGIN CREATE (:Log) END");
+  // Kill both workers on their next claims. The claimed items must still
+  // be published (unevaluated) so the FIFO drain never stalls, and the
+  // pool must hand future commits back to the serial inline path.
+  FaultRegistry::Global().Arm("async.worker", [] {
+    FaultRegistry::FaultSpec s;
+    s.trigger_count = 2;
+    return s;
+  }());
+
+  for (int i = 0; i < 6; ++i) Exec(db, "CREATE (:P)");
+  db.DrainAsync();
+  FaultRegistry::Global().DisarmAll();
+  EXPECT_EQ(db.async()->Stats().worker_deaths, 2u);
+
+  // Every activation still ran exactly once, dead workers or not.
+  for (int i = 0; i < 4; ++i) Exec(db, "CREATE (:P)");
+  db.DrainAsync();
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 10);
+}
+
+TEST_F(RobustnessTest, InjectedEnqueueAndApplyFailuresShed) {
+  Database db(AsyncPool(1));
+  Exec(db, "CREATE TRIGGER D DETACHED CREATE ON 'P' FOR EACH NODE "
+           "BEGIN CREATE (:Log) END");
+  FaultRegistry::Global().ArmNthHit("async.enqueue", 1);
+  Exec(db, "CREATE (:P)");  // shed at hand-off
+  Exec(db, "CREATE (:P)");  // enqueued normally
+  db.DrainAsync();
+  FaultRegistry::Global().ArmNthHit("async.apply", 1);
+  Exec(db, "CREATE (:P)");  // shed at apply
+  db.DrainAsync();
+  FaultRegistry::Global().DisarmAll();
+
+  AsyncPoolStats s = db.async()->Stats();
+  EXPECT_EQ(s.shed, 2u);
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 1);
+  // The pool is healthy: subsequent activations flow normally.
+  Exec(db, "CREATE (:P)");
+  db.DrainAsync();
+  EXPECT_EQ(Count(db, "MATCH (l:Log) RETURN COUNT(*) AS c"), 2);
+}
+
+}  // namespace
+}  // namespace pgt
