@@ -1,0 +1,279 @@
+// Incremental WHEN maintenance (src/ivm) vs full re-match: per-firing
+// condition cost as a function of graph size and of delta size.
+//
+//   $ ./build/bench_ivm [output.json] [--smoke]
+//
+// Setup: N :Person nodes (10k / 100k), a handful of which satisfy each
+// trigger's predicate, and two WHEN shapes that are worst cases for the
+// re-match path because neither is index-backed:
+//
+//  * "scan"  — WHEN MATCH (p:Person) WHERE p.score > 999. Five sentinel
+//    nodes qualify; every firing without IVM label-scans all N nodes.
+//    With IVM the firing reads the ~5 maintained rows: O(graph) -> O(1).
+//  * "keyed" — WHEN MATCH (c:Person {pid: NEW.owner}) with no index on
+//    pid. Without IVM each firing scans N nodes for the one match; with
+//    IVM it is one band probe of the maintained key partition.
+//
+// The delta sweep then varies writes-per-statement on the watched
+// property (1 / 10 / 100 SETs): IVM pays O(delta) maintenance per
+// statement plus O(matched) per firing, the re-match path pays O(graph)
+// per firing regardless — so the gap is widest exactly where triggers
+// fire most often, on small deltas over big graphs.
+//
+// Firing logs and graph checksums must be identical between modes at
+// every point. Writes a JSON baseline (default BENCH_ivm.json).
+// Acceptance goal: >= 10x per-firing speedup for small deltas at 100k
+// nodes, and IVM per-firing cost flat (not proportional) in graph size.
+// --smoke runs small points (CI) and only checks identity.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/ivm/ivm_manager.h"
+
+namespace pgt::bench {
+namespace {
+
+constexpr int kSentinels = 5;
+
+struct Point {
+  std::string shape;
+  int nodes = 0;
+  int delta = 0;  // watched-property writes per statement (delta sweep)
+  int firings = 0;
+  double off_micros = 0;  // per firing, use_ivm = false
+  double on_micros = 0;   // per firing, use_ivm = true
+  bool identical = false;
+  double Speedup() const {
+    return on_micros > 0 ? off_micros / on_micros : 0;
+  }
+};
+
+EngineOptions Options(bool use_ivm) {
+  EngineOptions opts;
+  opts.use_ivm = use_ivm;
+  return opts;
+}
+
+void Seed(Database& db, int nodes) {
+  // Parameterized CREATE: one plan-cache entry for the whole load.
+  const std::string stmt = "CREATE (:Person {pid: $pid, score: $score})";
+  Params params{{"pid", Value::Int(0)}, {"score", Value::Int(0)}};
+  for (int i = 0; i < nodes; ++i) {
+    params["pid"] = Value::Int(i);
+    // kSentinels nodes clear the scan trigger's score > 999 bar.
+    params["score"] = Value::Int(i < kSentinels ? 1000 + i : i % 500);
+    MustExec(db, stmt, params);
+  }
+}
+
+void InstallTriggers(Database& db) {
+  MustExec(db,
+           "CREATE TRIGGER Scan AFTER CREATE ON 'Probe' FOR EACH NODE "
+           "WHEN MATCH (p:Person) WHERE p.score > 999 "
+           "BEGIN CREATE (:Log {t: 'scan', n: p.score}) END");
+  MustExec(db,
+           "CREATE TRIGGER Keyed AFTER CREATE ON 'Order' FOR EACH NODE "
+           "WHEN MATCH (c:Person {pid: NEW.owner}) "
+           "BEGIN CREATE (:Log {t: 'keyed', n: c.pid}) END");
+}
+
+/// Fires one trigger `firings` times; returns micros per firing.
+double RunFirings(Database& db, const std::string& shape, int nodes,
+                  int firings) {
+  const std::string stmt = shape == "scan"
+                               ? "CREATE (:Probe)"
+                               : "CREATE (:Order {owner: $k})";
+  Params params{{"k", Value::Int(0)}};
+  // Warmup firing: compiles the trigger plans and (use_ivm) pays the
+  // one-time O(graph) state seed, so the loop measures steady state.
+  MustExec(db, stmt, params);
+  Stopwatch sw;
+  for (int i = 0; i < firings; ++i) {
+    params["k"] = Value::Int((i * 7919) % nodes);  // scattered key probes
+    MustExec(db, stmt, params);
+  }
+  return sw.ElapsedMicros() / firings;
+}
+
+/// Delta sweep: each round makes `delta` index-backed point writes to the
+/// watched property (membership stays stable — the sentinels are never
+/// touched), then one firing statement. The writes cost O(delta) in both
+/// modes; the firing costs O(graph) re-matching vs O(matched) + O(delta)
+/// maintenance with IVM. Returns micros per round.
+double RunDeltaRound(Database& db, int nodes, int delta, int rounds) {
+  const std::string set_stmt =
+      "MATCH (p:Person {pid: $k}) SET p.score = p.score + 0";
+  Params params{{"k", Value::Int(0)}};
+  MustExec(db, "CREATE (:Probe)");  // warmup: plan compile + state seed
+  Stopwatch sw;
+  for (int i = 0; i < rounds; ++i) {
+    for (int d = 0; d < delta; ++d) {
+      const int k = kSentinels + (i * delta + d) % (nodes / 2);
+      params["k"] = Value::Int(k);
+      MustExec(db, set_stmt, params);
+    }
+    MustExec(db, "CREATE (:Probe)");
+  }
+  return sw.ElapsedMicros() / rounds;
+}
+
+int64_t Checksum(Database& db) {
+  return MustCount(db,
+                   "MATCH (l:Log) RETURN COUNT(*) * 100000 + SUM(l.n) AS c");
+}
+
+bool SameStats(Database& a, Database& b, const std::string& trigger) {
+  const TriggerStats& sa = a.stats().per_trigger[trigger];
+  const TriggerStats& sb = b.stats().per_trigger[trigger];
+  return sa.considered == sb.considered && sa.fired == sb.fired &&
+         sa.action_rows == sb.action_rows && sa.errors == sb.errors;
+}
+
+Point RunPoint(const std::string& shape, int nodes, int firings) {
+  Database off(Options(false));
+  Database on(Options(true));
+  for (Database* db : {&off, &on}) {
+    InstallTriggers(*db);
+    Seed(*db, nodes);
+  }
+  Point p;
+  p.shape = shape;
+  p.nodes = nodes;
+  p.firings = firings;
+  p.off_micros = RunFirings(off, shape, nodes, firings);
+  p.on_micros = RunFirings(on, shape, nodes, firings);
+  const std::string trigger = shape == "scan" ? "Scan" : "Keyed";
+  p.identical =
+      SameStats(off, on, trigger) && Checksum(off) == Checksum(on);
+  return p;
+}
+
+Point RunDeltaPoint(int nodes, int delta, int rounds) {
+  Database off(Options(false));
+  Database on(Options(true));
+  for (Database* db : {&off, &on}) {
+    InstallTriggers(*db);
+    Seed(*db, nodes);
+    // Index the point-write key so the delta writes cost O(delta), not
+    // O(graph) — the sweep isolates the *firing* cost. (The Keyed trigger
+    // stays un-indexed on purpose; this sweep only fires Scan.)
+    MustExec(*db, "CREATE INDEX ON :Person(pid)");
+  }
+  Point p;
+  p.shape = "delta";
+  p.nodes = nodes;
+  p.delta = delta;
+  p.firings = rounds;
+  p.off_micros = RunDeltaRound(off, nodes, delta, rounds);
+  p.on_micros = RunDeltaRound(on, nodes, delta, rounds);
+  p.identical = SameStats(off, on, "Scan") && Checksum(off) == Checksum(on);
+  return p;
+}
+
+}  // namespace
+}  // namespace pgt::bench
+
+int main(int argc, char** argv) {
+  using namespace pgt::bench;
+
+  std::string out_path = "BENCH_ivm.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  Banner("bench_ivm",
+         "incremental WHEN maintenance vs full re-match: per-firing cost");
+
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{500} : std::vector<int>{10000, 100000};
+  const int firings = smoke ? 20 : 50;
+  std::vector<Point> points;
+  bool all_identical = true;
+  double small_ivm = 0, large_ivm = 0, large_speedup = 0;
+  for (const char* shape : {"scan", "keyed"}) {
+    for (int nodes : sizes) {
+      Point p = RunPoint(shape, nodes, firings);
+      points.push_back(p);
+      all_identical = all_identical && p.identical;
+      if (std::strcmp(shape, "scan") == 0) {
+        if (nodes == sizes.front()) small_ivm = p.on_micros;
+        if (nodes == sizes.back()) large_ivm = p.on_micros;
+      }
+      if (nodes == sizes.back()) large_speedup = p.Speedup();
+      std::printf(
+          "%-5s nodes=%-7d firings=%-4d rematch=%9.2f us   ivm=%8.2f us   "
+          "speedup=%6.1fx   identical=%s\n",
+          shape, p.nodes, p.firings, p.off_micros, p.on_micros, p.Speedup(),
+          p.identical ? "yes" : "NO");
+    }
+  }
+  const std::vector<int> deltas =
+      smoke ? std::vector<int>{1, 10} : std::vector<int>{1, 10, 100};
+  const int rounds = smoke ? 10 : 30;
+  double speedup_small_delta = 0;
+  for (int delta : deltas) {
+    Point p = RunDeltaPoint(sizes.back(), delta, rounds);
+    points.push_back(p);
+    all_identical = all_identical && p.identical;
+    if (delta == deltas.front()) speedup_small_delta = p.Speedup();
+    std::printf(
+        "delta nodes=%-7d writes=%-4d rematch=%9.2f us   ivm=%8.2f us   "
+        "speedup=%6.1fx   identical=%s\n",
+        p.nodes, p.delta, p.off_micros, p.on_micros, p.Speedup(),
+        p.identical ? "yes" : "NO");
+  }
+
+  // Flatness: IVM per-firing cost at 100k within 4x of 10k (the re-match
+  // path grows ~10x here, tracking the graph).
+  const bool flat = smoke || (small_ivm > 0 && large_ivm / small_ivm < 4.0);
+  const bool goal = smoke || (speedup_small_delta >= 10.0 && flat);
+  std::printf(
+      "\nsmall-delta speedup at %d nodes: %.1fx (goal >= 10x): %s\n"
+      "ivm per-firing cost flat in graph size (%.2f us -> %.2f us): %s\n",
+      sizes.back(), speedup_small_delta, goal ? "MET" : "NOT MET",
+      small_ivm, large_ivm, flat ? "yes" : "NO");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"smoke\": %s,\n  \"sentinels\": %d,\n"
+                 "  \"points\": [\n",
+                 smoke ? "true" : "false", kSentinels);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(
+          f,
+          "    {\"shape\": \"%s\", \"nodes\": %d, \"delta_writes\": %d, "
+          "\"firings\": %d, \"rematch_micros_per_firing\": %.1f, "
+          "\"ivm_micros_per_firing\": %.1f, \"speedup\": %.1f, "
+          "\"identical\": %s}%s\n",
+          p.shape.c_str(), p.nodes, p.delta, p.firings, p.off_micros,
+          p.on_micros, p.Speedup(), p.identical ? "true" : "false",
+          i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n  \"notes\": \"scan/keyed = per-firing WHEN cost vs graph "
+        "size (re-match label-scans all N nodes, IVM reads the maintained "
+        "rows); delta = WHEN cost vs watched writes per statement at the "
+        "largest size. Neither shape is index-backed, matching rules whose "
+        "predicates the DBA never indexed.\",\n"
+        "  \"speedup_small_delta\": %.1f,\n"
+        "  \"ivm_flat_in_graph_size\": %s,\n"
+        "  \"goal_10x_small_delta\": %s\n}\n",
+        speedup_small_delta, flat ? "true" : "false",
+        goal ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return all_identical && goal ? 0 : 1;
+}

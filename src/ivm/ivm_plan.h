@@ -1,0 +1,90 @@
+#ifndef PGTRIGGERS_IVM_IVM_PLAN_H_
+#define PGTRIGGERS_IVM_IVM_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/cypher/ast.h"
+#include "src/cypher/plan/program.h"
+#include "src/trigger/trigger_def.h"
+
+namespace pgt::ivm {
+
+/// One node-local predicate of a maintainable WHEN shape: a constraint on a
+/// single property of the pattern node that compares against a literal.
+/// Two semantic families, mirroring where the constraint came from:
+///
+///  * inline_eq — an inline property map entry `(x:L {k: <literal>})`.
+///    NodeMatches semantics: fails when either side is NULL, otherwise
+///    Value::Equals (type-sensitive).
+///  * WHERE comparison — a `x.k <op> <literal>` conjunct. EvalBinaryOp
+///    semantics: NULL for incomparable operands (which EvalPredicate then
+///    treats as false), numeric cross-type comparison, never errors.
+///
+/// The distinction matters (Equals(1, 1.0) differs from `1 = 1.0`), so
+/// maintenance re-evaluates each predicate with exactly the family the
+/// matcher would have used.
+struct IvmPred {
+  bool inline_eq = false;
+  cypher::BinOp op = cypher::BinOp::kEq;  // kEq/kNe/kLt/kLe/kGt/kGe
+  std::string key;                        // property key name
+  PropKeyId key_id = 0;                   // resolved at state activation
+  Value literal;
+};
+
+/// The lowered, delta-maintainable form of a trigger WHEN pipeline.
+/// Supported shape (docs/ivm.md "supported-shape matrix"):
+///
+///   WHEN MATCH (x:L1:...:Ln { inline props }) WHERE <conjuncts>
+///
+/// — a single non-OPTIONAL MATCH step, one pattern part, no relationship
+/// chain, at least one real label, where every WHERE conjunct is either a
+/// node-local literal comparison (an IvmPred), the single keyed equality
+/// `x.k = <seed expr>`, or a residual predicate over transition variables
+/// only. Anything else is rejected with a reason and the trigger keeps the
+/// full re-match path.
+struct IvmShape {
+  /// Frame slot of the pattern node (-1 = anonymous pattern node; a match
+  /// then contributes one row without binding anything).
+  int x_slot = -1;
+  std::string x_var;  // diagnostics
+
+  /// Required labels (names; resolved to ids at state activation).
+  std::vector<std::string> labels;
+
+  /// Node-local literal predicates; membership requires all to pass.
+  std::vector<IvmPred> preds;
+
+  /// At most one keyed equality `x.k = <seed expr>` (inline or WHERE form):
+  /// maintained state is then partitioned by the value of x.k, and a firing
+  /// evaluates the comparand once and probes the matching band.
+  bool keyed = false;
+  IvmPred key_pred;  // key/key_id/inline_eq of the keyed equality
+  const cypher::plan::PExpr* key_comparand = nullptr;  // owned by the plans
+
+  /// WHERE conjuncts that do not mention the pattern node: evaluated once
+  /// per firing against the seed frame (transition variables), exactly as
+  /// the matcher would evaluate them per emitted row. All must be true for
+  /// the firing to produce rows.
+  std::vector<const cypher::plan::PExpr*> residuals;
+};
+
+/// Result of lowering: either a maintainable shape or a rejection reason
+/// (surfaced via SHOW TRIGGER STATUS as the fallback cause).
+struct IvmLowering {
+  bool supported = false;
+  std::string reason;  // why not, when !supported
+  IvmShape shape;      // valid iff supported
+};
+
+/// Lowers a compiled trigger program into the delta-maintainable shape, or
+/// reports why it cannot be. Pure function of (def, program): the same
+/// definition always lowers the same way, so an epoch recompile yields an
+/// identical shape with fresh expression pointers.
+IvmLowering LowerForIvm(const TriggerDef& def,
+                        const cypher::plan::TriggerProgram& prog);
+
+}  // namespace pgt::ivm
+
+#endif  // PGTRIGGERS_IVM_IVM_PLAN_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/ivm/ivm_manager.h"
 #include "src/storage/snapshot.h"
 
 namespace pgt {
@@ -17,6 +18,26 @@ std::shared_ptr<const GraphSnapshot> GraphStore::OpenSnapshot() {
 
 bool NodeRecord::HasLabel(LabelId l) const {
   return std::binary_search(labels.begin(), labels.end(), l);
+}
+
+// --- IVM hook forwarders ----------------------------------------------------
+// Out of line so graph_store.h only forward-declares the manager; the
+// active() pre-check keeps the detached / idle cost to one branch.
+
+void GraphStore::IvmNodeEvent(NodeId id, const std::vector<LabelId>& labels) {
+  if (ivm_ != nullptr && ivm_->active()) ivm_->OnNodeEvent(id, labels);
+}
+
+void GraphStore::IvmLabelEvent(NodeId id, LabelId changed,
+                               const std::vector<LabelId>& labels) {
+  if (ivm_ != nullptr && ivm_->active()) {
+    ivm_->OnLabelEvent(id, changed, labels);
+  }
+}
+
+void GraphStore::IvmPropEvent(NodeId id, PropKeyId key,
+                              const std::vector<LabelId>& labels) {
+  if (ivm_ != nullptr && ivm_->active()) ivm_->OnPropEvent(id, key, labels);
 }
 
 // --- Nodes ------------------------------------------------------------------
@@ -36,6 +57,7 @@ NodeId GraphStore::CreateNode(const std::vector<LabelId>& labels,
   const NodeRecord& stored = nodes_.back();
   for (LabelId l : stored.labels) IndexNodeLabel(id, l);
   if (!indexes_.empty()) indexes_.OnNodeAdded(id, stored.labels, stored.props);
+  IvmNodeEvent(id, stored.labels);
   return id;
 }
 
@@ -95,6 +117,9 @@ Status GraphStore::DeleteNode(NodeId id) {
   if (!indexes_.empty()) indexes_.OnNodeRemoved(id, n->labels, n->props);
   n->alive = false;
   --alive_nodes_;
+  // After the alive flip: IVM recomputes membership from the record, so it
+  // must see the tombstoned state (labels stay intact on the tombstone).
+  IvmNodeEvent(id, n->labels);
   return Status::OK();
 }
 
@@ -114,6 +139,7 @@ Status GraphStore::ReviveNode(NodeId id, const std::vector<LabelId>& labels,
   ++alive_nodes_;
   for (LabelId l : n->labels) IndexNodeLabel(id, l);
   if (!indexes_.empty()) indexes_.OnNodeAdded(id, n->labels, n->props);
+  IvmNodeEvent(id, n->labels);
   return Status::OK();
 }
 
@@ -127,6 +153,7 @@ Result<bool> GraphStore::AddLabel(NodeId id, LabelId label) {
   n->labels.insert(it, label);
   IndexNodeLabel(id, label);
   if (!indexes_.empty()) indexes_.OnLabelAdded(id, label, n->props);
+  IvmLabelEvent(id, label, n->labels);
   return true;
 }
 
@@ -140,6 +167,7 @@ Result<bool> GraphStore::RemoveLabel(NodeId id, LabelId label) {
   n->labels.erase(it);
   UnindexNodeLabel(id, label);
   if (!indexes_.empty()) indexes_.OnLabelRemoved(id, label, n->props);
+  IvmLabelEvent(id, label, n->labels);
   return true;
 }
 
@@ -163,6 +191,7 @@ Result<Value> GraphStore::SetNodeProp(NodeId id, PropKeyId key, Value value) {
     }
     n->props[key] = std::move(value);
   }
+  IvmPropEvent(id, key, n->labels);
   return old;
 }
 
@@ -179,6 +208,7 @@ Result<Value> GraphStore::RemoveNodeProp(NodeId id, PropKeyId key) {
     if (!indexes_.empty()) {
       indexes_.OnPropChanged(id, n->labels, key, old, Value::Null());
     }
+    IvmPropEvent(id, key, n->labels);
   }
   return old;
 }

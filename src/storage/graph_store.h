@@ -26,6 +26,10 @@ namespace pgt {
 class GraphSnapshot;
 class SnapshotManager;
 
+namespace ivm {
+class IvmManager;
+}
+
 /// Direction of traversal relative to a node.
 enum class Direction { kOutgoing, kIncoming, kBoth };
 
@@ -250,6 +254,16 @@ class GraphStore {
   /// Drops the index on (label, prop); NotFound if none exists.
   Status DropIndex(LabelId label, PropKeyId prop);
 
+  // --- Incremental WHEN maintenance (src/ivm, docs/ivm.md) ------------------
+
+  /// Wires the IVM manager into the node-mutation hook sites (the same
+  /// call sites that maintain the label and property indexes), so
+  /// per-trigger materialized match state stays exact across mutations —
+  /// rollback included, since undo replays inverse mutations through these
+  /// same methods. Null detaches (the default).
+  void SetIvmManager(ivm::IvmManager* ivm) { ivm_ = ivm; }
+  ivm::IvmManager* ivm_manager() const { return ivm_; }
+
   // --- Snapshots ------------------------------------------------------------
 
   /// The epoch-versioning snapshot substrate (src/storage/snapshot.h,
@@ -286,6 +300,15 @@ class GraphStore {
   RelRecord* MutableRel(RelId id);
   void IndexNodeLabel(NodeId id, LabelId label);
   void UnindexNodeLabel(NodeId id, LabelId label);
+  // IVM hook forwarders (defined in graph_store.cc where the manager is a
+  // complete type). Called at the END of each mutator, after the record
+  // reflects the new truth — maintenance recomputes membership from the
+  // store, so it must observe the post-mutation state.
+  void IvmNodeEvent(NodeId id, const std::vector<LabelId>& labels);
+  void IvmLabelEvent(NodeId id, LabelId changed,
+                     const std::vector<LabelId>& labels);
+  void IvmPropEvent(NodeId id, PropKeyId key,
+                    const std::vector<LabelId>& labels);
 
   StringInterner labels_;
   StringInterner rel_types_;
@@ -295,6 +318,7 @@ class GraphStore {
   // label -> alive node ids carrying it; std::set keeps scans deterministic.
   std::unordered_map<LabelId, std::set<uint64_t>> label_index_;
   index::IndexCatalog indexes_;
+  ivm::IvmManager* ivm_ = nullptr;  // not owned; see SetIvmManager
   std::shared_ptr<SnapshotManager> snapshots_;  // open snapshots co-own it
   size_t alive_nodes_ = 0;
   size_t alive_rels_ = 0;

@@ -4,6 +4,7 @@
 
 #include "src/common/macros.h"
 #include "src/common/str_util.h"
+#include "src/ivm/ivm_manager.h"
 
 namespace pgt {
 
@@ -58,6 +59,14 @@ bool IsReadOnlyClause(const cypher::Clause& c) {
 }
 
 }  // namespace
+
+void TriggerCatalog::IvmUnregister(const std::string& name) {
+  if (ivm_ != nullptr) ivm_->Unregister(name);
+}
+
+void TriggerCatalog::IvmUnregisterAll() {
+  if (ivm_ != nullptr) ivm_->UnregisterAll();
+}
 
 Status TriggerCatalog::Validate(const TriggerDef& def) const {
   if (def.name.empty()) {
@@ -190,6 +199,7 @@ Status TriggerCatalog::Drop(const std::string& name) {
       if ((*it)->enabled) BumpCount((*it)->time, -1);
       triggers_.erase(it);
       health_.erase(name);
+      IvmUnregister(name);
       ++ddl_epoch_;
       return Status::OK();
     }
@@ -206,6 +216,9 @@ Status TriggerCatalog::SetEnabled(const std::string& name, bool enabled) {
           dispatch_.Add(t);
         } else {
           dispatch_.Remove(t.get());
+          // A disabled trigger never fires, so it must not pay state
+          // maintenance; re-enabling rebuilds lazily at the next firing.
+          IvmUnregister(name);
         }
         BumpCount(t->time, enabled ? +1 : -1);
         ++ddl_epoch_;
@@ -224,6 +237,7 @@ void TriggerCatalog::DropAll() {
   dispatch_.Clear();
   enabled_counts_.fill(0);
   health_.clear();
+  IvmUnregisterAll();
   ++ddl_epoch_;
 }
 
@@ -290,6 +304,9 @@ void TriggerCatalog::NoteFailure(const std::string& name, const Status& error,
     h.reason = "probe failed: " + error.ToString();
     h.quarantined_at_micros = now_micros;
     ++h.quarantines;
+    // The probe's firing may have rebuilt IVM state; quarantined triggers
+    // must not maintain any.
+    IvmUnregister(name);
     return;
   }
 
@@ -311,6 +328,7 @@ void TriggerCatalog::NoteFailure(const std::string& name, const Status& error,
             : 1);
     h.skips_remaining = h.backoff;
     h.probe_inflight = false;
+    IvmUnregister(name);
   } else {
     // Statement-time triggers fail their host transaction; auto-retry
     // would keep breaking commits. Disable until a manual ENABLE.

@@ -14,6 +14,10 @@
 
 namespace pgt {
 
+namespace ivm {
+class IvmManager;
+}
+
 /// Per-trigger circuit-breaker state (docs/robustness.md). Deliberately
 /// *not* transactional: a trigger that fails its host transaction still
 /// has its failure recorded — that is the whole point of the breaker.
@@ -131,6 +135,13 @@ class TriggerCatalog {
   /// Names of currently quarantined triggers (SHOW HEALTH).
   std::vector<std::string> Quarantined() const;
 
+  /// Wires the IVM manager so trigger lifecycle transitions tear down
+  /// maintained match state: Drop / DropAll / disable / quarantine all
+  /// unregister (a disabled or quarantined trigger must not pay — or
+  /// trust — maintenance); re-enabling lets the state rebuild lazily at
+  /// the next firing. Null detaches (the default).
+  void SetIvmSink(ivm::IvmManager* ivm) { ivm_ = ivm; }
+
   /// The Section 4.2 execution-order comparator, shared by ByTime and the
   /// engine's cross-bucket merge so the two dispatch strategies can never
   /// order triggers differently.
@@ -142,6 +153,8 @@ class TriggerCatalog {
 
  private:
   Status Validate(const TriggerDef& def) const;
+  void IvmUnregister(const std::string& name);
+  void IvmUnregisterAll();
 
   void BumpCount(ActionTime time, int d) {
     enabled_counts_[static_cast<size_t>(time)] =
@@ -150,6 +163,7 @@ class TriggerCatalog {
   }
 
   const EngineOptions* options_;
+  ivm::IvmManager* ivm_ = nullptr;  // not owned; see SetIvmSink
   std::vector<std::shared_ptr<TriggerDef>> triggers_;  // creation order
   std::array<size_t, 4> enabled_counts_{};  // indexed by ActionTime
   DispatchIndex dispatch_;

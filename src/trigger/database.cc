@@ -43,18 +43,34 @@ cypher::QueryResult AsyncStatusTable(AsyncExecutor* async) {
 }
 
 /// SHOW TRIGGER STATUS / part of pgt.health(): one row per installed
-/// trigger with its circuit-breaker state (docs/robustness.md). Healthy
-/// triggers that never failed show zeros.
-cypher::QueryResult TriggerStatusTable(const TriggerCatalog& catalog) {
+/// trigger with its circuit-breaker state (docs/robustness.md) and its
+/// incremental-WHEN maintenance state (docs/ivm.md). Healthy triggers
+/// that never failed show zeros; triggers without maintained state show
+/// ivm_mode "idle" (state builds lazily at the first compiled firing) or
+/// "off" when EngineOptions::use_ivm is false.
+cypher::QueryResult TriggerStatusTable(const TriggerCatalog& catalog,
+                                       const ivm::IvmManager& ivm,
+                                       bool use_ivm) {
   static const TriggerHealth kHealthy;
   cypher::QueryResult result;
   result.columns = {"name",           "time",    "enabled",
                     "quarantined",    "failures", "total_failures",
                     "probes",         "skipped", "reason",
-                    "since_micros"};
+                    "since_micros",   "ivm_mode", "ivm_tuples",
+                    "ivm_bytes",      "ivm_served", "ivm_fallbacks"};
   for (const TriggerDef* t : catalog.All()) {
     const TriggerHealth* h = catalog.Health(t->name);
     if (h == nullptr) h = &kHealthy;
+    const ivm::TriggerIvmState* st = ivm.Find(t->name);
+    const char* mode = use_ivm ? "idle" : "off";
+    int64_t tuples = 0, bytes = 0, served = 0, fallbacks = 0;
+    if (st != nullptr) {
+      mode = ivm::IvmModeName(st->mode());
+      tuples = static_cast<int64_t>(st->tuples());
+      bytes = st->bytes();
+      served = static_cast<int64_t>(st->served());
+      fallbacks = static_cast<int64_t>(st->fallback_firings());
+    }
     result.rows.push_back(
         {Value::String(t->name), Value::String(ActionTimeName(t->time)),
          Value::Bool(t->enabled), Value::Bool(h->quarantined),
@@ -62,7 +78,9 @@ cypher::QueryResult TriggerStatusTable(const TriggerCatalog& catalog) {
          Value::Int(static_cast<int64_t>(h->total_failures)),
          Value::Int(static_cast<int64_t>(h->probes)),
          Value::Int(static_cast<int64_t>(h->skipped)),
-         Value::String(h->reason), Value::Int(h->quarantined_at_micros)});
+         Value::String(h->reason), Value::Int(h->quarantined_at_micros),
+         Value::String(mode), Value::Int(tuples), Value::Int(bytes),
+         Value::Int(served), Value::Int(fallbacks)});
   }
   return result;
 }
@@ -77,6 +95,11 @@ Database::Database(EngineOptions options)
       engine_(std::make_unique<PgTriggerEngine>(this)),
       analyzer_(&catalog_, &store_, &options_),
       plan_cache_(options.plan_cache_capacity) {
+  // Incremental WHEN maintenance (docs/ivm.md): the store's mutation hooks
+  // feed the manager; the catalog tears state down on drop / disable /
+  // quarantine. States build lazily at the first compiled firing.
+  store_.SetIvmManager(&ivm_);
+  catalog_.SetIvmSink(&ivm_);
   // Analysis surface twin of SHOW TRIGGER ANALYSIS: the report as rows of
   // text lines, deterministic (name-sorted rows, sorted edge lists).
   procedures_.Register(
@@ -110,11 +133,30 @@ Database::Database(EngineOptions options)
         }
         return std::vector<cypher::Row>{std::move(r)};
       });
+  // Incremental-WHEN / plan-churn introspection (docs/ivm.md). One row of
+  // engine-wide counters: plan (re)compiles that used to happen silently,
+  // plus aggregated IVM maintenance state across triggers.
+  procedures_.Register(
+      "pgt.ivmStats",
+      {"trigger_plan_compiles", "trigger_plan_recompiles",
+       "adhoc_plan_recompiles", "states", "maintained", "tuples", "bytes",
+       "served", "fallbacks", "maintain_ops", "seeds", "degradations",
+       "resolutions"},
+      [this](cypher::EvalContext&, const std::vector<Value>&,
+             const cypher::Row&) -> Result<std::vector<cypher::Row>> {
+        cypher::QueryResult table = IvmStatsTable();
+        cypher::Row r;
+        for (size_t i = 0; i < table.columns.size(); ++i) {
+          r.Set(table.columns[i], table.rows.front()[i]);
+        }
+        return std::vector<cypher::Row>{std::move(r)};
+      });
   // Health introspection twin of SHOW HEALTH (docs/robustness.md).
   procedures_.Register(
       "pgt.health",
       {"mode", "wal_poison_cause", "quarantined_count", "quarantined",
-       "async_shed", "async_worker_deaths", "armed_fault_points"},
+       "async_shed", "async_worker_deaths", "armed_fault_points",
+       "ivm_maintained", "ivm_bytes", "ivm_degradations"},
       [this](cypher::EvalContext&, const std::vector<Value>&,
              const cypher::Row&) -> Result<std::vector<cypher::Row>> {
         cypher::QueryResult table = HealthTable();
@@ -492,7 +534,8 @@ cypher::QueryResult Database::HealthTable() {
   cypher::QueryResult result;
   result.columns = {"mode",        "wal_poison_cause", "quarantined_count",
                     "quarantined", "async_shed",       "async_worker_deaths",
-                    "armed_fault_points"};
+                    "armed_fault_points", "ivm_maintained", "ivm_bytes",
+                    "ivm_degradations"};
   const std::vector<std::string> quarantined = catalog_.Quarantined();
   std::string joined;
   for (const std::string& name : quarantined) {
@@ -501,6 +544,12 @@ cypher::QueryResult Database::HealthTable() {
   }
   AsyncPoolStats s;
   if (async_ != nullptr) s = async_->Stats();
+  int64_t ivm_maintained = 0;
+  int64_t ivm_bytes = 0;
+  for (const ivm::TriggerIvmState* st : ivm_.States()) {
+    if (st->mode() == ivm::IvmMode::kMaintained) ++ivm_maintained;
+    ivm_bytes += st->bytes();
+  }
   result.rows.push_back(
       {Value::String(degraded() ? "degraded-read-only" : "ok"),
        Value::String(wal_ != nullptr ? wal_->poison_cause() : ""),
@@ -508,7 +557,41 @@ cypher::QueryResult Database::HealthTable() {
        Value::String(joined), Value::Int(static_cast<int64_t>(s.shed)),
        Value::Int(static_cast<int64_t>(s.worker_deaths)),
        Value::Int(static_cast<int64_t>(
-           FaultRegistry::Global().ArmedPoints().size()))});
+           FaultRegistry::Global().ArmedPoints().size())),
+       Value::Int(ivm_maintained), Value::Int(ivm_bytes),
+       Value::Int(static_cast<int64_t>(ivm_.counters().degradations))});
+  return result;
+}
+
+cypher::QueryResult Database::IvmStatsTable() {
+  cypher::QueryResult result;
+  result.columns = {"trigger_plan_compiles", "trigger_plan_recompiles",
+                    "adhoc_plan_recompiles", "states", "maintained",
+                    "tuples", "bytes", "served", "fallbacks",
+                    "maintain_ops", "seeds", "degradations", "resolutions"};
+  int64_t states = 0, maintained = 0, tuples = 0, bytes = 0;
+  int64_t served = 0, fallbacks = 0;
+  for (const ivm::TriggerIvmState* st : ivm_.States()) {
+    ++states;
+    if (st->mode() == ivm::IvmMode::kMaintained) ++maintained;
+    tuples += static_cast<int64_t>(st->tuples());
+    bytes += st->bytes();
+    served += static_cast<int64_t>(st->served());
+    fallbacks += static_cast<int64_t>(st->fallback_firings());
+  }
+  const ivm::IvmManager::Counters& c = ivm_.counters();
+  result.rows.push_back(
+      {Value::Int(static_cast<int64_t>(
+           plan_compile_counters_.trigger_compiles)),
+       Value::Int(static_cast<int64_t>(
+           plan_compile_counters_.trigger_recompiles)),
+       Value::Int(static_cast<int64_t>(adhoc_plan_recompiles_)),
+       Value::Int(states), Value::Int(maintained), Value::Int(tuples),
+       Value::Int(bytes), Value::Int(served), Value::Int(fallbacks),
+       Value::Int(static_cast<int64_t>(c.maintain_ops)),
+       Value::Int(static_cast<int64_t>(c.seeds)),
+       Value::Int(static_cast<int64_t>(c.degradations)),
+       Value::Int(static_cast<int64_t>(c.resolutions))});
   return result;
 }
 
@@ -620,7 +703,9 @@ Result<std::shared_ptr<cypher::plan::PreparedStatement>> Database::PrepareWith(
     }
   } else if (stmt->epoch != epoch || stmt->store != &store_) {
     // DDL bumped the plan epoch: recompile from the cached AST (the parse
-    // is still saved).
+    // is still saved). Counted — silent recompiles made plan churn
+    // invisible to benchmarks (CALL pgt.ivmStats()).
+    ++adhoc_plan_recompiles_;
     CompileInto(stmt.get(), epoch);
   }
   return stmt;
@@ -907,7 +992,7 @@ Result<cypher::QueryResult> Database::ExecuteDdl(std::string_view text) {
       // Introspection: no catalog mutation, nothing to log.
       return AsyncStatusTable(async_.get());
     case TriggerDdl::Kind::kShowStatus:
-      return TriggerStatusTable(catalog_);
+      return TriggerStatusTable(catalog_, ivm_, options_.use_ivm);
     case TriggerDdl::Kind::kShowHealth:
       return HealthTable();
   }

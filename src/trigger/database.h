@@ -15,11 +15,13 @@
 #include "src/cypher/executor.h"
 #include "src/cypher/functions.h"
 #include "src/cypher/plan/plan_cache.h"
+#include "src/ivm/ivm_manager.h"
 #include "src/schema/pg_schema.h"
 #include "src/storage/graph_store.h"
 #include "src/trigger/catalog.h"
 #include "src/trigger/engine.h"
 #include "src/trigger/options.h"
+#include "src/trigger/trigger_plan.h"
 #include "src/trigger/trigger_parser.h"
 #include "src/tx/transaction.h"
 #include "src/wal/wal_manager.h"
@@ -265,6 +267,22 @@ class Database {
   /// The ad-hoc prepared-plan cache (stats read by tests/benches).
   const cypher::plan::PlanCache& plan_cache() const { return plan_cache_; }
 
+  // --- Incremental WHEN evaluation (src/ivm, docs/ivm.md) -------------------
+
+  /// Per-trigger maintained WHEN match state. Wired into the store's
+  /// mutation hooks and the catalog's lifecycle transitions at
+  /// construction; the engine acquires per-trigger states lazily at the
+  /// first compiled firing (EngineOptions::use_ivm).
+  ivm::IvmManager& ivm() { return ivm_; }
+  const ivm::IvmManager& ivm() const { return ivm_; }
+
+  /// Plan-churn counters (trigger plan compiles/recompiles on epoch
+  /// invalidation, ad-hoc cached-plan recompiles) — CALL pgt.ivmStats().
+  PlanCompileCounters& plan_compile_counters() {
+    return plan_compile_counters_;
+  }
+  uint64_t adhoc_plan_recompiles() const { return adhoc_plan_recompiles_; }
+
   /// Recycler for plan-executor frame buffers, shared by ad-hoc statement
   /// execution and the trigger engine's activation runs (docs/values.md).
   cypher::plan::FramePool& frame_pool() { return frame_pool_; }
@@ -291,6 +309,9 @@ class Database {
   Status DegradedError() const;
   /// The one-row SHOW HEALTH / CALL pgt.health() table.
   cypher::QueryResult HealthTable();
+  /// One-row CALL pgt.ivmStats() table: plan-churn counters plus
+  /// aggregated IVM maintenance state (docs/ivm.md).
+  cypher::QueryResult IvmStatsTable();
   Result<cypher::QueryResult> ExecuteIndexDdl(std::string_view text);
   /// ExecuteTx body; caller holds writer_mu_.
   Result<std::vector<cypher::QueryResult>> ExecuteTxLocked(
@@ -348,6 +369,12 @@ class Database {
   GraphStore store_;
   TransactionManager tx_manager_;
   TriggerCatalog catalog_;
+  /// Declared after store_/options_ (it holds pointers to both) and before
+  /// engine_; the constructor wires it into the store's mutation hooks and
+  /// the catalog's lifecycle sink.
+  ivm::IvmManager ivm_{&store_, &options_};
+  PlanCompileCounters plan_compile_counters_;
+  uint64_t adhoc_plan_recompiles_ = 0;
   cypher::ProcedureRegistry procedures_;
   LogicalClock clock_;
   std::unique_ptr<PgTriggerEngine> engine_;

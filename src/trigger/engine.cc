@@ -8,6 +8,7 @@
 #include "src/common/macros.h"
 #include "src/cypher/executor.h"
 #include "src/cypher/plan/plan_executor.h"
+#include "src/ivm/ivm_manager.h"
 #include "src/storage/snapshot.h"
 #include "src/trigger/async_executor.h"
 #include "src/trigger/database.h"
@@ -542,7 +543,8 @@ bool SeedsMatch(const cypher::plan::TriggerProgram& prog,
 Status PgTriggerEngine::RunActivationCompiled(cypher::EvalContext& ctx,
                                               const Activation& act,
                                               const TriggerPlans& plans,
-                                              TriggerStats& ts) {
+                                              TriggerStats& ts,
+                                              ivm::TriggerIvmState* ivm_state) {
   const TriggerDef& def = *act.trigger;
   const cypher::plan::TriggerProgram& prog = plans.program;
   cypher::plan::PlanExecutor exec(ctx, prog.slot_names,
@@ -578,10 +580,18 @@ Status PgTriggerEngine::RunActivationCompiled(cypher::EvalContext& ctx,
     }
     frames.push_back(std::move(seed));
   } else if (!prog.when_steps.empty()) {
-    std::vector<cypher::plan::Frame> start = exec.NewFrameVec();
-    start.push_back(exec.CopyFrame(seed));
-    PGT_ASSIGN_OR_RETURN(frames,
-                         exec.RunClauses(prog.when_steps, std::move(start)));
+    // Incremental WHEN: when maintained match state exists, the condition
+    // is a state lookup producing exactly the frames the pipeline would
+    // (tests/test_ivm_differential.cc asserts byte-identity). A false
+    // return is the defensive fallback — run the pipeline as the oracle.
+    const bool served =
+        ivm_state != nullptr && ivm_state->CollectFrames(exec, seed, &frames);
+    if (!served) {
+      std::vector<cypher::plan::Frame> start = exec.NewFrameVec();
+      start.push_back(exec.CopyFrame(seed));
+      PGT_ASSIGN_OR_RETURN(frames,
+                           exec.RunClauses(prog.when_steps, std::move(start)));
+    }
     if (frames.empty()) {
       exec.Recycle(std::move(seed));
       return Status::OK();
@@ -689,10 +699,14 @@ Status PgTriggerEngine::RunActivation(Transaction& tx, const Activation& act) {
   // Compiled fast path: execute the trigger's cached WHEN/action plans
   // (compiled on first activation, invalidated by DDL epoch bumps).
   if (db_->options().use_compiled_plans) {
-    const std::shared_ptr<const TriggerPlans> plans =
-        GetOrCompileTriggerPlans(def, db_->store(), db_->PlanEpoch());
+    const std::shared_ptr<const TriggerPlans> plans = GetOrCompileTriggerPlans(
+        def, db_->store(), db_->PlanEpoch(), &db_->plan_compile_counters());
     if (plans->usable && SeedsMatch(plans->program, act)) {
-      return RunActivationCompiled(ctx, act, *plans, ts);
+      ivm::TriggerIvmState* ivm_state = nullptr;
+      if (db_->options().use_ivm) {
+        ivm_state = db_->ivm().Acquire(def, plans, db_->PlanEpoch());
+      }
+      return RunActivationCompiled(ctx, act, *plans, ts, ivm_state);
     }
   }
 

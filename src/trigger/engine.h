@@ -21,6 +21,10 @@ namespace pgt {
 class Database;
 struct TriggerPlans;  // src/trigger/trigger_plan.h
 
+namespace ivm {
+class TriggerIvmState;  // src/ivm/ivm_manager.h
+}
+
 /// Per-trigger runtime counters (benchmarks and tests read these).
 struct TriggerStats {
   uint64_t considered = 0;  ///< activations whose condition was evaluated
@@ -192,8 +196,12 @@ class PgTriggerEngine : public TriggerRuntime {
   }
 
  private:
+  /// `ivm_state` (nullable) is the trigger's maintained WHEN match state:
+  /// when present, the condition pipeline is served as a state lookup and
+  /// the full re-match runs only as a per-firing defensive fallback.
   Status RunActivationCompiled(cypher::EvalContext& ctx, const Activation& act,
-                               const TriggerPlans& plans, TriggerStats& ts);
+                               const TriggerPlans& plans, TriggerStats& ts,
+                               ivm::TriggerIvmState* ivm_state);
   std::vector<Activation> MatchAllIndexed(ActionTime time,
                                           const GraphDelta& delta);
   std::vector<Activation> MatchAllLinear(ActionTime time,

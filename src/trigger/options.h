@@ -110,6 +110,25 @@ struct EngineOptions {
   /// text (0 disables ad-hoc caching; trigger plans are unaffected).
   size_t plan_cache_capacity = 128;
 
+  /// Incremental WHEN evaluation (src/ivm, docs/ivm.md). True (default):
+  /// triggers whose WHEN lowers to the supported single-MATCH +
+  /// sargable-WHERE shape keep a materialized match set, maintained from
+  /// the same per-mutation hook sites as the property indexes, so a
+  /// firing's condition check is a state lookup (O(delta)) instead of a
+  /// re-match (O(graph)). Unsupported shapes, pending symbols, and
+  /// degraded states transparently use the full re-match path. False:
+  /// every firing re-matches; kept as the differential oracle
+  /// (tests/test_ivm_differential.cc). Both settings produce
+  /// byte-identical firing order, results, and stats. Requires
+  /// use_compiled_plans (IVM lowers from the compiled TriggerProgram).
+  bool use_ivm = true;
+
+  /// Per-trigger cap on maintained IVM state (approximate resident bytes).
+  /// A trigger whose state outgrows the cap degrades to the re-match path
+  /// instead of OOMing — semantics are unchanged, only the firing cost.
+  /// 0 = unlimited.
+  int64_t max_ivm_state_bytes = 64 << 20;
+
   TriggerOrdering trigger_ordering = TriggerOrdering::kCreationTime;
 
   /// Registration-time termination analysis (docs/analysis.md). kOff skips

@@ -43,7 +43,9 @@ std::mutex g_trigger_plans_mu;
 }  // namespace
 
 std::shared_ptr<const TriggerPlans> GetOrCompileTriggerPlans(
-    const TriggerDef& def, const GraphStore& store, uint64_t epoch) {
+    const TriggerDef& def, const GraphStore& store, uint64_t epoch,
+    PlanCompileCounters* counters) {
+  bool had_stale_entry = false;
   {
     std::lock_guard<std::mutex> lock(g_trigger_plans_mu);
     std::shared_ptr<const TriggerPlans> cached = def.compiled_plans;
@@ -51,6 +53,7 @@ std::shared_ptr<const TriggerPlans> GetOrCompileTriggerPlans(
         cached->epoch == epoch) {
       return cached;
     }
+    had_stale_entry = cached != nullptr;
   }
   auto plans = std::make_shared<TriggerPlans>();
   plans->epoch = epoch;
@@ -69,6 +72,10 @@ std::shared_ptr<const TriggerPlans> GetOrCompileTriggerPlans(
            "trigger-plan compilation failed with a non-fallback status");
   }
   std::lock_guard<std::mutex> lock(g_trigger_plans_mu);
+  if (counters != nullptr) {
+    ++counters->trigger_compiles;
+    if (had_stale_entry) ++counters->trigger_recompiles;
+  }
   def.compiled_plans = plans;
   return plans;
 }

@@ -28,6 +28,15 @@ struct TriggerPlans {
 /// so the environment is deterministic per definition.
 cypher::plan::CompileEnv TriggerCompileEnv(const TriggerDef& def);
 
+/// Counters for plan-cache churn (docs/plan.md "observability"): epoch
+/// invalidation used to recompile silently, which made IVM state rebuild
+/// storms invisible. Incremented under the compile lock; read via
+/// CALL pgt.ivmStats().
+struct PlanCompileCounters {
+  uint64_t trigger_compiles = 0;    ///< first-use compiles
+  uint64_t trigger_recompiles = 0;  ///< stale-entry replacements (DDL epoch)
+};
+
 /// Returns `def`'s cached compiled plans, compiling on first use and
 /// recompiling when the plan epoch or store changed (index/trigger DDL
 /// invalidates cached plans). Never fails: statements the compiler does not
@@ -38,9 +47,11 @@ cypher::plan::CompileEnv TriggerCompileEnv(const TriggerDef& def);
 /// with an async pool, activations of the same trigger execute from
 /// changing threads (worker applies are serialized by the Database's
 /// writer interlock, but an epoch-bump replacement must not free plans a
-/// concurrent reader still holds).
+/// concurrent reader still holds). `counters` (optional) is bumped under
+/// the same lock when a compile happens.
 std::shared_ptr<const TriggerPlans> GetOrCompileTriggerPlans(
-    const TriggerDef& def, const GraphStore& store, uint64_t epoch);
+    const TriggerDef& def, const GraphStore& store, uint64_t epoch,
+    PlanCompileCounters* counters = nullptr);
 
 }  // namespace pgt
 

@@ -126,6 +126,11 @@ void InstallTriggers(Database& db) {
       "BEGIN CREATE (:RoundLog) END",
       "CREATE TRIGGER Seen DETACHED CREATE ON 'Item' FOR EACH NODE "
       "BEGIN CREATE (:SeenLog) END",
+      // IVM-shaped WHEN (keyed single-MATCH, docs/ivm.md): maintained
+      // match state rides the chaos workload, and the ivm.maintain fault
+      // point degrades it mid-run — firings must stay correct either way.
+      "CREATE TRIGGER Watch AFTER CREATE ON 'Item' FOR EACH NODE "
+      "WHEN MATCH (s:Item {k: NEW.k}) BEGIN CREATE (:WatchLog) END",
   };
   for (const char* s : ddl) {
     auto r = db.Execute(s);
@@ -137,11 +142,11 @@ void InstallTriggers(Database& db) {
 
 /// The engine-side fault points, armed on the global registry. The MemVfs
 /// points (memvfs.sync / memvfs.append) live on the vfs's own registry and
-/// are armed separately. 10 global + 2 vfs = 12 distinct points.
+/// are armed separately. 11 global + 2 vfs = 13 distinct points.
 const char* kGlobalPoints[] = {
     "wal.append",  "wal.sync",          "wal.rotate",   "wal.snapshot.write",
     "snapshot.publish", "tx.commit",    "engine.activation",
-    "async.enqueue",    "async.worker", "async.apply",
+    "async.enqueue",    "async.worker", "async.apply",  "ivm.maintain",
 };
 
 void ArmAll(wal::MemVfs& vfs, Rng& rng, double p) {

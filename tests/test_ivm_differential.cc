@@ -1,0 +1,421 @@
+// Differential suite for the incremental WHEN-maintenance subsystem
+// (src/ivm, docs/ivm.md): with EngineOptions::use_ivm on, supported
+// single-MATCH WHEN pipelines are served from materialized per-trigger
+// match state; off, every firing runs the full re-match. The two modes
+// must produce byte-identical query results, firing order, per-trigger
+// stats, and final graph state — across randomized CRUD + DDL workloads,
+// rollbacks (staged maintenance must rewind with the undo log), epoch
+// invalidation, and lifecycle transitions (disable / quarantine drop
+// state). IvmManager::VerifyAgainstStore is the per-statement exactness
+// oracle. Mirrors tests/test_plan_differential.cc.
+//
+// Deliberately uses default EngineOptions (budgets off): IVM-served
+// firings skip the WHEN pipeline's per-row budget ticks, a documented
+// divergence (docs/ivm.md).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ivm/ivm_manager.h"
+#include "src/trigger/database.h"
+
+namespace pgt {
+namespace {
+
+EngineOptions Options(bool use_ivm) {
+  EngineOptions opts;
+  opts.use_ivm = use_ivm;
+  return opts;
+}
+
+std::vector<std::string> FiringLog(Database& db) {
+  std::vector<std::string> out;
+  auto r = db.Execute("MATCH (l:Log) RETURN l.t");
+  EXPECT_TRUE(r.ok()) << r.status();
+  for (const auto& row : r->rows) out.emplace_back(row[0].string_value());
+  return out;
+}
+
+/// Canonical dump of the whole graph, byte-compared across modes (same
+/// shape as tests/test_plan_differential.cc).
+std::string DumpGraph(Database& db) {
+  std::ostringstream os;
+  const GraphStore& store = db.store();
+  for (NodeId id : store.AllNodes()) {
+    const NodeRecord* n = store.GetNode(id);
+    os << "n" << id.value << "[";
+    for (LabelId l : n->labels) os << store.LabelName(l) << ",";
+    os << "]{";
+    for (const auto& [k, v] : n->props) {
+      os << store.PropKeyName(k) << "=" << v.ToString() << ",";
+    }
+    os << "}\n";
+  }
+  for (RelId id : store.AllRels()) {
+    const RelRecord* r = store.GetRel(id);
+    os << "r" << id.value << ":" << store.RelTypeName(r->type) << " "
+       << r->src.value << "->" << r->dst.value << "{";
+    for (const auto& [k, v] : r->props) {
+      os << store.PropKeyName(k) << "=" << v.ToString() << ",";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+void ExpectSameStats(Database& a, Database& b) {
+  const EngineStats& sa = a.stats();
+  const EngineStats& sb = b.stats();
+  ASSERT_EQ(sa.per_trigger.size(), sb.per_trigger.size());
+  for (const auto& [name, ts] : sa.per_trigger) {
+    auto it = sb.per_trigger.find(name);
+    ASSERT_NE(it, sb.per_trigger.end()) << name;
+    EXPECT_EQ(ts.considered, it->second.considered) << name;
+    EXPECT_EQ(ts.fired, it->second.fired) << name;
+    EXPECT_EQ(ts.action_rows, it->second.action_rows) << name;
+    EXPECT_EQ(ts.errors, it->second.errors) << name;
+  }
+  EXPECT_EQ(sa.statements, sb.statements);
+  EXPECT_EQ(sa.detached_runs, sb.detached_runs);
+}
+
+/// Runs one statement on both databases and asserts identical outcomes,
+/// then checks the IVM database's maintained state against a full store
+/// scan (the exactness oracle).
+void Step(Database& on, Database& off, const std::string& stmt) {
+  auto ron = on.Execute(stmt);
+  auto roff = off.Execute(stmt);
+  ASSERT_EQ(ron.ok(), roff.ok())
+      << stmt << " -> " << ron.status() << " vs " << roff.status();
+  if (ron.ok()) {
+    EXPECT_EQ(ron->ToTable(), roff->ToTable()) << stmt;
+  } else {
+    EXPECT_EQ(ron.status().message(), roff.status().message()) << stmt;
+  }
+  Status oracle = on.ivm().VerifyAgainstStore();
+  ASSERT_TRUE(oracle.ok()) << "after: " << stmt << " -> " << oracle;
+}
+
+// ---------------------------------------------------------------------------
+// Trigger corpus: every supported IVM shape (label-only, constant
+// predicates under both equality families, keyed equality against a
+// transition expression, residual conjuncts) plus deliberately
+// unsupported shapes that must take the permanent re-match fallback.
+
+const char* kTriggerCorpus[] = {
+    // Label-only membership.
+    "CREATE TRIGGER TlabelOnly AFTER CREATE ON 'Probe' FOR EACH NODE "
+    "WHEN MATCH (p:Person) "
+    "BEGIN CREATE (:Log {t: 'lbl', n: p.score}) END",
+    // Constant range predicate (WHERE comparison, both orientations).
+    "CREATE TRIGGER Trange AFTER SET ON 'Person'.'score' FOR EACH NODE "
+    "WHEN MATCH (p:Person) WHERE p.score > 50 AND 100 >= p.score "
+    "BEGIN CREATE (:Log {t: 'rng', n: p.score}) END",
+    // Inline literal property (Value::Equals family).
+    "CREATE TRIGGER Tinline AFTER CREATE ON 'Probe' FOR EACH NODE "
+    "WHEN MATCH (v:Person {tier: 'gold'}) "
+    "BEGIN CREATE (:Log {t: 'inl', n: v.score}) END",
+    // Keyed: equality against a NEW-derived expression (delta-join probe).
+    "CREATE TRIGGER Tkeyed AFTER CREATE ON 'Order' FOR EACH NODE "
+    "WHEN MATCH (c:Person {pid: NEW.owner}) "
+    "BEGIN CREATE (:Log {t: 'key', n: c.score}) END",
+    // Residual conjunct (x-free, evaluated once per firing).
+    "CREATE TRIGGER Tresid AFTER CREATE ON 'Order' FOR EACH NODE "
+    "WHEN MATCH (p:Person) WHERE p.score >= 0 AND NEW.amt > 10 "
+    "BEGIN CREATE (:Log {t: 'res', n: p.score + NEW.amt}) END",
+    // Unsupported: relationship chain — permanent fallback, must still be
+    // byte-identical through the re-match path.
+    "CREATE TRIGGER Tchain AFTER CREATE ON 'Order' FOR EACH NODE "
+    "WHEN MATCH (a:Person)-[:KNOWS]->(b:Person) "
+    "BEGIN CREATE (:Log {t: 'chn', n: a.score + b.score}) END",
+    // Unsupported: aggregate pipeline.
+    "CREATE TRIGGER Tagg ONCOMMIT CREATE ON 'Person' FOR ALL NODES "
+    "WHEN MATCH (p:Person) WITH COUNT(*) AS n WHERE n >= 3 "
+    "BEGIN CREATE (:Log {t: 'agg', n: n}) END",
+};
+
+void InstallCorpus(Database& db) {
+  for (const char* ddl : kTriggerCorpus) {
+    auto r = db.Execute(ddl);
+    ASSERT_TRUE(r.ok()) << ddl << " -> " << r.status();
+  }
+}
+
+TEST(IvmDifferential, CorpusMaintainedAndByteIdentical) {
+  Database on(Options(true));
+  Database off(Options(false));
+  InstallCorpus(on);
+  InstallCorpus(off);
+
+  const char* kWorkload[] = {
+      "CREATE (:Person {pid: 1, score: 60, tier: 'gold'})",
+      "CREATE (:Person {pid: 2, score: 150, tier: 'silver'})",
+      "CREATE (:Person {pid: 3, score: 75, tier: 'gold'})",
+      "CREATE (:Probe)",  // fires label-only + inline triggers
+      "CREATE (:Order {owner: 2, amt: 20})",
+      "MATCH (p:Person {pid: 1}) SET p.score = 40",  // leaves Trange set
+      "CREATE (:Probe)",
+      "MATCH (p:Person {pid: 3}) SET p.score = 90",
+      "CREATE (:Order {owner: 3, amt: 5})",  // residual false: no 'res' fire
+      "MATCH (p:Person {pid: 2}) REMOVE p.score",  // null: out of every set
+      "CREATE (:Order {owner: 99, amt: 50})",      // keyed probe misses
+      "MATCH (p:Person {pid: 1}) DELETE p",
+      "CREATE (:Probe)",
+      "MATCH (a:Person {pid: 3}), (b:Person {pid: 2}) "
+      "CREATE (a)-[:KNOWS]->(b)",
+      "CREATE (:Order {owner: 3, amt: 11})",
+  };
+  for (const char* stmt : kWorkload) Step(on, off, stmt);
+
+  const std::vector<std::string> log_on = FiringLog(on);
+  EXPECT_FALSE(log_on.empty());
+  EXPECT_EQ(log_on, FiringLog(off));
+  ExpectSameStats(on, off);
+  EXPECT_EQ(DumpGraph(on), DumpGraph(off));
+
+  // The subsystem must actually be doing the work: supported shapes
+  // reached kMaintained and served firings from state; unsupported shapes
+  // are in permanent fallback with a reason.
+  uint64_t total_served = 0;
+  size_t maintained = 0;
+  for (const ivm::TriggerIvmState* st : on.ivm().States()) {
+    if (st->mode() == ivm::IvmMode::kMaintained) ++maintained;
+    total_served += st->served();
+  }
+  EXPECT_GE(maintained, 4u);
+  EXPECT_GT(total_served, 0u);
+  const ivm::TriggerIvmState* chain = on.ivm().Find("Tchain");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_EQ(chain->mode(), ivm::IvmMode::kFallback);
+  EXPECT_FALSE(chain->reason().empty());
+  // The differential twin maintained nothing.
+  EXPECT_TRUE(off.ivm().States().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized CRUD + DDL. Statements are generated from templates with
+// seeded random operands, so both databases see the exact same stream and
+// every divergence is reproducible from the seed.
+
+std::string RandomStatement(Rng& rng) {
+  const int pid = static_cast<int>(rng.NextInRange(1, 8));
+  const int score = static_cast<int>(rng.NextInRange(-20, 120));
+  const char* tier = rng.NextBool(0.5) ? "gold" : "silver";
+  std::ostringstream os;
+  switch (rng.NextBelow(12)) {
+    case 0:
+      os << "CREATE (:Person {pid: " << pid << ", score: " << score
+         << ", tier: '" << tier << "'})";
+      break;
+    case 1:
+      os << "MATCH (p:Person {pid: " << pid << "}) SET p.score = " << score;
+      break;
+    case 2:
+      // Cross-family numeric: double score exercises banded keys and the
+      // Equals-vs-`=` recheck split.
+      os << "MATCH (p:Person {pid: " << pid << "}) SET p.score = " << score
+         << ".5";
+      break;
+    case 3:
+      os << "MATCH (p:Person {pid: " << pid << "}) REMOVE p.score";
+      break;
+    case 4:
+      os << "MATCH (p:Person {pid: " << pid << "}) SET p.pid = "
+         << static_cast<int>(rng.NextInRange(1, 8));
+      break;
+    case 5:
+      os << "MATCH (p:Person {pid: " << pid << "}) DELETE p";
+      break;
+    case 6:
+      os << "MATCH (p:Person {pid: " << pid << "}) SET p:Vip";
+      break;
+    case 7:
+      os << "MATCH (p:Vip {pid: " << pid << "}) REMOVE p:Vip";
+      break;
+    case 8:
+      os << "CREATE (:Order {owner: " << pid << ", amt: "
+         << static_cast<int>(rng.NextInRange(0, 30)) << "})";
+      break;
+    case 9:
+      os << "CREATE (:Probe)";
+      break;
+    case 10:
+      os << "MATCH (o:Order) WHERE o.amt < 5 DELETE o";
+      break;
+    default:
+      os << "MATCH (p:Person) RETURN COUNT(*)";
+      break;
+  }
+  return os.str();
+}
+
+TEST(IvmDifferential, RandomizedCrudAndDdlByteIdentical) {
+  Database on(Options(true));
+  Database off(Options(false));
+  InstallCorpus(on);
+  InstallCorpus(off);
+
+  Rng rng(0xC0FFEE);
+  for (int i = 0; i < 400; ++i) {
+    Step(on, off, RandomStatement(rng));
+    if (i % 50 == 17) {
+      // Index DDL bumps the plan epoch mid-stream: compiled trigger plans
+      // recompile and IVM states revalidate (same shape -> plan swap).
+      const bool create = (i / 50) % 2 == 0;
+      Step(on, off,
+           create ? "CREATE INDEX ON :Person(score)"
+                  : "DROP INDEX ON :Person(score)");
+    }
+    if (i % 90 == 33) {
+      // Trigger DDL: disable/enable drops and lazily rebuilds state.
+      Step(on, off, "ALTER TRIGGER Trange DISABLE");
+      EXPECT_EQ(on.ivm().Find("Trange"), nullptr);
+      Step(on, off, "ALTER TRIGGER Trange ENABLE");
+    }
+  }
+
+  EXPECT_EQ(FiringLog(on), FiringLog(off));
+  ExpectSameStats(on, off);
+  EXPECT_EQ(DumpGraph(on), DumpGraph(off));
+
+  // Epoch churn was observed and counted, not silently absorbed.
+  auto stats = on.Execute(
+      "CALL pgt.ivmStats() YIELD trigger_plan_compiles, "
+      "trigger_plan_recompiles, adhoc_plan_recompiles, maintained "
+      "RETURN trigger_plan_compiles, trigger_plan_recompiles, "
+      "adhoc_plan_recompiles, maintained");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_EQ(stats->rows.size(), 1u);
+  EXPECT_GT(stats->rows[0][0].int_value(), 0);  // compiles
+  EXPECT_GT(stats->rows[0][1].int_value(), 0);  // epoch recompiles
+  EXPECT_GT(stats->rows[0][2].int_value(), 0);  // ad-hoc cache recompiles
+  EXPECT_GT(stats->rows[0][3].int_value(), 0);  // maintained states
+}
+
+TEST(IvmDifferential, RollbackDiscardsStagedMaintenance) {
+  Database on(Options(true));
+  Database off(Options(false));
+  InstallCorpus(on);
+  InstallCorpus(off);
+
+  Step(on, off, "CREATE (:Person {pid: 1, score: 60, tier: 'gold'})");
+  Step(on, off, "CREATE (:Probe)");  // builds + serves maintained state
+  const std::string before_on = DumpGraph(on);
+
+  // The transaction mutates watched state, then fails: the undo replay
+  // must rewind the maintained sets alongside the graph.
+  const std::vector<std::string> doomed = {
+      "CREATE (:Person {pid: 2, score: 80, tier: 'gold'})",
+      "MATCH (p:Person {pid: 1}) SET p.score = 10",
+      "MATCH (p:Person {pid: 1}) REMOVE p:Person",
+      "RETURN 1 / 0",
+  };
+  auto ron = on.ExecuteTx(doomed);
+  auto roff = off.ExecuteTx(doomed);
+  ASSERT_FALSE(ron.ok());
+  ASSERT_FALSE(roff.ok());
+  EXPECT_EQ(ron.status().message(), roff.status().message());
+
+  Status oracle = on.ivm().VerifyAgainstStore();
+  EXPECT_TRUE(oracle.ok()) << oracle;
+  EXPECT_EQ(DumpGraph(on), before_on);
+  EXPECT_EQ(DumpGraph(on), DumpGraph(off));
+
+  // And the subsequent firings still agree.
+  Step(on, off, "CREATE (:Probe)");
+  Step(on, off, "CREATE (:Order {owner: 1, amt: 20})");
+  EXPECT_EQ(FiringLog(on), FiringLog(off));
+  ExpectSameStats(on, off);
+}
+
+TEST(IvmDifferential, QuarantineDropsStateAndStopsMaintenance) {
+  EngineOptions opts;
+  opts.use_ivm = true;
+  opts.quarantine_threshold = 2;
+  Database db(opts);
+
+  // IVM-shaped WHEN, action that always fails at runtime.
+  auto r = db.Execute(
+      "CREATE TRIGGER Flaky AFTER CREATE ON 'Probe' FOR EACH NODE "
+      "WHEN MATCH (p:Person) "
+      "BEGIN CREATE (:Boom {v: 1 / 0}) END");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(db.Execute("CREATE (:Person {pid: 1})").ok());
+
+  // Each failing firing fails its statement; the breaker counts anyway.
+  for (int i = 0; i < 2; ++i) {
+    auto probe = db.Execute("CREATE (:Probe)");
+    EXPECT_FALSE(probe.ok());
+  }
+  const TriggerDef* def = db.catalog().Find("Flaky");
+  ASSERT_NE(def, nullptr);
+  EXPECT_FALSE(def->enabled);  // statement-time quarantine disables
+
+  // Quarantine dropped the maintained state, and further mutations must
+  // not maintain it (no stale watchers left behind).
+  EXPECT_EQ(db.ivm().Find("Flaky"), nullptr);
+  const uint64_t ops_before = db.ivm().counters().maintain_ops;
+  ASSERT_TRUE(db.Execute("CREATE (:Person {pid: 2})").ok());
+  EXPECT_EQ(db.ivm().counters().maintain_ops, ops_before);
+
+  // Manual re-enable: the state rebuilds lazily at the next firing.
+  ASSERT_TRUE(db.Execute("ALTER TRIGGER Flaky ENABLE").ok());
+  EXPECT_EQ(db.ivm().Find("Flaky"), nullptr);
+  EXPECT_FALSE(db.Execute("CREATE (:Probe)").ok());  // fires (and fails)
+  const ivm::TriggerIvmState* st = db.ivm().Find("Flaky");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->mode(), ivm::IvmMode::kMaintained);
+  EXPECT_EQ(st->tuples(), 2u);
+}
+
+TEST(IvmDifferential, StateCapDegradesInsteadOfGrowing) {
+  EngineOptions opts;
+  opts.use_ivm = true;
+  opts.max_ivm_state_bytes = 64;  // a handful of unkeyed entries
+  Database capped(opts);
+  Database off(Options(false));
+  InstallCorpus(capped);
+  InstallCorpus(off);
+
+  for (int i = 1; i <= 32; ++i) {
+    std::ostringstream os;
+    os << "CREATE (:Person {pid: " << i << ", score: " << 40 + i
+       << ", tier: 'gold'})";
+    Step(capped, off, os.str());
+    if (i % 8 == 0) Step(capped, off, "CREATE (:Probe)");
+  }
+
+  // At least one state blew the cap and degraded to re-match; results
+  // stayed identical throughout (Step checks per statement).
+  EXPECT_GT(capped.ivm().counters().degradations, 0u);
+  bool saw_degraded = false;
+  for (const ivm::TriggerIvmState* st : capped.ivm().States()) {
+    if (st->mode() == ivm::IvmMode::kDegraded) {
+      saw_degraded = true;
+      EXPECT_EQ(st->tuples(), 0u);  // containers dropped, not kept
+      EXPECT_FALSE(st->reason().empty());
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
+  EXPECT_EQ(FiringLog(capped), FiringLog(off));
+  EXPECT_EQ(DumpGraph(capped), DumpGraph(off));
+}
+
+TEST(IvmDifferential, DropTriggerUnregistersState) {
+  Database db(Options(true));
+  InstallCorpus(db);
+  ASSERT_TRUE(db.Execute("CREATE (:Person {pid: 1, score: 60})").ok());
+  ASSERT_TRUE(db.Execute("CREATE (:Probe)").ok());
+  ASSERT_NE(db.ivm().Find("TlabelOnly"), nullptr);
+  ASSERT_TRUE(db.Execute("DROP TRIGGER TlabelOnly").ok());
+  EXPECT_EQ(db.ivm().Find("TlabelOnly"), nullptr);
+  Status oracle = db.ivm().VerifyAgainstStore();
+  EXPECT_TRUE(oracle.ok()) << oracle;
+}
+
+}  // namespace
+}  // namespace pgt
